@@ -1,0 +1,89 @@
+//! Shared interface of all baseline cleaning systems.
+
+use bclean_data::Dataset;
+
+/// A data cleaning system: takes a dirty dataset, returns a repaired copy.
+///
+/// All baselines (and, via an adapter in the evaluation harness, BClean
+/// itself) implement this trait so the experiment runner can treat them
+/// uniformly.
+pub trait Cleaner {
+    /// Human-readable system name as used in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Produce a cleaned copy of `dirty`.
+    fn clean(&self, dirty: &Dataset) -> Dataset;
+}
+
+/// A cleaner that changes nothing. Useful as a sanity floor: every real
+/// system must repair at least some errors that this one does not.
+#[derive(Debug, Clone, Default)]
+pub struct NoOpCleaner;
+
+impl Cleaner for NoOpCleaner {
+    fn name(&self) -> &str {
+        "NoOp"
+    }
+
+    fn clean(&self, dirty: &Dataset) -> Dataset {
+        dirty.clone()
+    }
+}
+
+/// A cleaner that replaces every cell with the most frequent value of its
+/// column. A deliberately naive baseline used in tests to check that the
+/// metrics punish over-eager repairs.
+#[derive(Debug, Clone, Default)]
+pub struct MajorityCleaner;
+
+impl Cleaner for MajorityCleaner {
+    fn name(&self) -> &str {
+        "Majority"
+    }
+
+    fn clean(&self, dirty: &Dataset) -> Dataset {
+        let domains = bclean_data::Domains::compute(dirty);
+        let mut cleaned = dirty.clone();
+        for col in 0..dirty.num_columns() {
+            if let Some(mode) = domains.attribute(col).mode().cloned() {
+                for row in 0..dirty.num_rows() {
+                    cleaned.set_cell(row, col, mode.clone()).expect("cell in range");
+                }
+            }
+        }
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::dataset_from;
+
+    #[test]
+    fn noop_returns_identical_dataset() {
+        let d = dataset_from(&["a"], &[vec!["1"], vec!["2"]]);
+        let cleaner = NoOpCleaner;
+        assert_eq!(cleaner.clean(&d), d);
+        assert_eq!(cleaner.name(), "NoOp");
+    }
+
+    #[test]
+    fn majority_overwrites_with_mode() {
+        let d = dataset_from(&["a"], &[vec!["x"], vec!["x"], vec!["y"]]);
+        let cleaned = MajorityCleaner.clean(&d);
+        for row in cleaned.rows() {
+            assert_eq!(row[0].to_string(), "x");
+        }
+        assert_eq!(MajorityCleaner.name(), "Majority");
+    }
+
+    #[test]
+    fn cleaners_are_object_safe() {
+        let cleaners: Vec<Box<dyn Cleaner>> = vec![Box::new(NoOpCleaner), Box::new(MajorityCleaner)];
+        let d = dataset_from(&["a"], &[vec!["1"]]);
+        for c in cleaners {
+            assert_eq!(c.clean(&d).num_rows(), 1);
+        }
+    }
+}

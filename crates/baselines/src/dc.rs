@@ -1,0 +1,249 @@
+//! Denial constraints and functional dependencies for the baselines.
+//!
+//! HoloClean consumes denial constraints; the most common and most useful
+//! special case is the functional dependency `X → Y` ("two tuples agreeing on
+//! X must agree on Y"), which is also the only DC form the paper's experts
+//! wrote for the benchmark datasets. This module provides FD representation,
+//! violation detection and automatic approximate-FD discovery from dirty data
+//! (used by the Raha-lite and Garf-lite baselines).
+
+use std::collections::HashMap;
+
+use bclean_data::{CellRef, Dataset, Value};
+
+/// A functional dependency `lhs → rhs` over attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalDependency {
+    /// Determinant attributes.
+    pub lhs: Vec<String>,
+    /// Dependent attribute.
+    pub rhs: String,
+}
+
+impl FunctionalDependency {
+    /// Construct an FD.
+    pub fn new<S: Into<String>>(lhs: Vec<S>, rhs: impl Into<String>) -> FunctionalDependency {
+        FunctionalDependency { lhs: lhs.into_iter().map(Into::into).collect(), rhs: rhs.into() }
+    }
+
+    /// Resolve attribute names to column indices against a dataset schema.
+    /// Returns `None` when any attribute is missing.
+    pub fn resolve(&self, dataset: &Dataset) -> Option<(Vec<usize>, usize)> {
+        let schema = dataset.schema();
+        let lhs: Option<Vec<usize>> = self.lhs.iter().map(|a| schema.index_of(a).ok()).collect();
+        Some((lhs?, schema.index_of(&self.rhs).ok()?))
+    }
+
+    /// Detect cells violating this FD: for each determinant group, the
+    /// majority dependent value is assumed correct and every cell holding a
+    /// minority value (or null) is flagged.
+    pub fn violations(&self, dataset: &Dataset) -> Vec<CellRef> {
+        let Some((lhs_cols, rhs_col)) = self.resolve(dataset) else {
+            return Vec::new();
+        };
+        let groups = group_by(dataset, &lhs_cols);
+        let mut out = Vec::new();
+        for rows in groups.values() {
+            if rows.len() < 2 {
+                continue;
+            }
+            if let Some(majority) = majority_value(dataset, rows, rhs_col) {
+                for &r in rows {
+                    let v = dataset.cell(r, rhs_col).expect("cell in range");
+                    if v != &majority {
+                        out.push(CellRef::new(r, rhs_col));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The repair suggested by this FD for a violating cell: the majority
+    /// dependent value of the cell's determinant group, if the group is large
+    /// enough to trust.
+    pub fn suggested_repair(&self, dataset: &Dataset, at: CellRef, min_support: usize) -> Option<Value> {
+        let (lhs_cols, rhs_col) = self.resolve(dataset)?;
+        if at.col != rhs_col {
+            return None;
+        }
+        let key: Vec<Value> = lhs_cols
+            .iter()
+            .map(|&c| dataset.cell(at.row, c).expect("cell in range").clone())
+            .collect();
+        let groups = group_by(dataset, &lhs_cols);
+        let rows = groups.get(&key)?;
+        if rows.len() < min_support {
+            return None;
+        }
+        majority_value(dataset, rows, rhs_col)
+    }
+}
+
+/// Group row indices by their (non-null) determinant key.
+fn group_by(dataset: &Dataset, cols: &[usize]) -> HashMap<Vec<Value>, Vec<usize>> {
+    let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    'rows: for (r, row) in dataset.rows().enumerate() {
+        let mut key = Vec::with_capacity(cols.len());
+        for &c in cols {
+            if row[c].is_null() {
+                continue 'rows;
+            }
+            key.push(row[c].clone());
+        }
+        groups.entry(key).or_default().push(r);
+    }
+    groups
+}
+
+/// The most frequent non-null value of `col` among `rows` (ties broken by value order).
+fn majority_value(dataset: &Dataset, rows: &[usize], col: usize) -> Option<Value> {
+    let mut counts: HashMap<Value, usize> = HashMap::new();
+    for &r in rows {
+        let v = dataset.cell(r, col).expect("cell in range");
+        if !v.is_null() {
+            *counts.entry(v.clone()).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+        .map(|(v, _)| v)
+}
+
+/// Mine approximate FDs `A → B` (single-attribute determinants) from possibly
+/// dirty data: keep pairs where the dependent is determined by the
+/// determinant in at least `min_confidence` of the tuples and the determinant
+/// has at least 2 distinct values.
+pub fn discover_fds(dataset: &Dataset, min_confidence: f64) -> Vec<FunctionalDependency> {
+    let m = dataset.num_columns();
+    let n = dataset.num_rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    let names = dataset.schema().names();
+    let mut fds = Vec::new();
+    for lhs in 0..m {
+        let groups = group_by(dataset, &[lhs]);
+        if groups.len() < 2 || groups.len() > n / 2 + 1 {
+            // Keys with (almost) unique values everywhere are not useful determinants
+            // unless they repeat; |groups| close to n means nearly-unique.
+        }
+        for rhs in 0..m {
+            if lhs == rhs {
+                continue;
+            }
+            let mut consistent = 0usize;
+            let mut total = 0usize;
+            for rows in groups.values() {
+                if rows.len() < 2 {
+                    continue;
+                }
+                if let Some(majority) = majority_value(dataset, rows, rhs) {
+                    for &r in rows {
+                        total += 1;
+                        if dataset.cell(r, rhs).expect("cell in range") == &majority {
+                            consistent += 1;
+                        }
+                    }
+                }
+            }
+            if total >= 4 && consistent as f64 / total as f64 >= min_confidence {
+                fds.push(FunctionalDependency::new(vec![names[lhs]], names[rhs]));
+            }
+        }
+    }
+    fds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::dataset_from;
+
+    fn zip_state() -> Dataset {
+        dataset_from(
+            &["Zip", "State", "Name"],
+            &[
+                vec!["35150", "CA", "a"],
+                vec!["35150", "CA", "b"],
+                vec!["35150", "KT", "c"], // violation
+                vec!["35960", "KT", "d"],
+                vec!["35960", "KT", "e"],
+                vec!["35960", "KT", "f"],
+            ],
+        )
+    }
+
+    #[test]
+    fn violations_found_for_minority_values() {
+        let fd = FunctionalDependency::new(vec!["Zip"], "State");
+        let v = fd.violations(&zip_state());
+        assert_eq!(v, vec![CellRef::new(2, 1)]);
+    }
+
+    #[test]
+    fn suggested_repair_is_group_majority() {
+        let fd = FunctionalDependency::new(vec!["Zip"], "State");
+        let repair = fd.suggested_repair(&zip_state(), CellRef::new(2, 1), 2).unwrap();
+        assert_eq!(repair, Value::text("CA"));
+        // Insufficient support yields no repair.
+        assert!(fd.suggested_repair(&zip_state(), CellRef::new(2, 1), 10).is_none());
+        // Wrong column yields no repair.
+        assert!(fd.suggested_repair(&zip_state(), CellRef::new(2, 0), 2).is_none());
+    }
+
+    #[test]
+    fn unknown_attributes_are_harmless() {
+        let fd = FunctionalDependency::new(vec!["Nope"], "State");
+        assert!(fd.violations(&zip_state()).is_empty());
+        assert!(fd.resolve(&zip_state()).is_none());
+    }
+
+    #[test]
+    fn null_determinants_are_skipped() {
+        let d = dataset_from(
+            &["Zip", "State"],
+            &[vec!["", "CA"], vec!["", "KT"], vec!["35150", "CA"], vec!["35150", "CA"]],
+        );
+        let fd = FunctionalDependency::new(vec!["Zip"], "State");
+        assert!(fd.violations(&d).is_empty());
+    }
+
+    #[test]
+    fn discover_fds_finds_zip_to_state() {
+        let fds = discover_fds(&zip_state(), 0.8);
+        assert!(fds.contains(&FunctionalDependency::new(vec!["Zip"], "State")));
+        // Name is unique per row, so nothing should determine it and it cannot
+        // be discovered as a dependent.
+        assert!(!fds.iter().any(|fd| fd.rhs == "Name"));
+    }
+
+    #[test]
+    fn discover_fds_respects_confidence_threshold() {
+        // A noisy dependency: 2/3 consistency should fail at 0.9 confidence.
+        let d = dataset_from(
+            &["A", "B"],
+            &[
+                vec!["x", "1"],
+                vec!["x", "1"],
+                vec!["x", "2"],
+                vec!["y", "3"],
+                vec!["y", "4"],
+                vec!["y", "3"],
+            ],
+        );
+        let strict = discover_fds(&d, 0.95);
+        assert!(!strict.iter().any(|fd| fd.lhs == vec!["A".to_string()] && fd.rhs == "B"));
+        let lax = discover_fds(&d, 0.6);
+        assert!(lax.iter().any(|fd| fd.lhs == vec!["A".to_string()] && fd.rhs == "B"));
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let d = bclean_data::Dataset::new(bclean_data::Schema::from_names(&["a", "b"]).unwrap());
+        assert!(discover_fds(&d, 0.9).is_empty());
+        let fd = FunctionalDependency::new(vec!["a"], "b");
+        assert!(fd.violations(&d).is_empty());
+    }
+}

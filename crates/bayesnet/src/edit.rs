@@ -1,0 +1,262 @@
+//! Interactive network editing.
+//!
+//! The automatically constructed skeleton can be noisy; the paper (§4,
+//! Figures 2(f)–(h)) therefore exposes a user-interaction step in which the
+//! user can add or remove edges and merge nodes. Only the CPTs of the
+//! attributes touched by an edit are recomputed.
+
+use std::fmt;
+
+use bclean_data::Dataset;
+
+use crate::graph::{Dag, GraphError};
+use crate::network::BayesianNetwork;
+
+/// A single user edit of the network structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkEdit {
+    /// Add a directed edge `from → to`.
+    AddEdge {
+        /// Source attribute index.
+        from: usize,
+        /// Target attribute index.
+        to: usize,
+    },
+    /// Remove the directed edge `from → to`.
+    RemoveEdge {
+        /// Source attribute index.
+        from: usize,
+        /// Target attribute index.
+        to: usize,
+    },
+    /// Merge `nodes` into the representative node `into`: edges from/to the
+    /// merged nodes are redirected to `into` (duplicates collapse into one
+    /// edge, as in Figure 2(h)); the merged nodes become isolated.
+    MergeNodes {
+        /// Nodes to merge away.
+        nodes: Vec<usize>,
+        /// The representative node that keeps the merged connections.
+        into: usize,
+    },
+}
+
+/// Errors raised while applying user edits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// The underlying graph operation failed.
+    Graph(GraphError),
+    /// A merge listed the representative among the nodes to merge away.
+    MergeIntoSelf(usize),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::Graph(e) => write!(f, "{e}"),
+            EditError::MergeIntoSelf(n) => write!(f, "node {n} cannot be merged into itself"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl From<GraphError> for EditError {
+    fn from(e: GraphError) -> Self {
+        EditError::Graph(e)
+    }
+}
+
+/// An editing session over a network, bound to the dataset used to relearn
+/// the CPTs of modified attributes.
+#[derive(Debug, Clone)]
+pub struct NetworkEditor<'a> {
+    dataset: &'a Dataset,
+    dag: Dag,
+    alpha: f64,
+    applied: Vec<NetworkEdit>,
+}
+
+impl<'a> NetworkEditor<'a> {
+    /// Start an editing session from an existing network.
+    pub fn new(dataset: &'a Dataset, network: &BayesianNetwork, alpha: f64) -> NetworkEditor<'a> {
+        NetworkEditor { dataset, dag: network.dag().clone(), alpha, applied: Vec::new() }
+    }
+
+    /// Start an editing session from a bare structure.
+    pub fn from_dag(dataset: &'a Dataset, dag: Dag, alpha: f64) -> NetworkEditor<'a> {
+        NetworkEditor { dataset, dag, alpha, applied: Vec::new() }
+    }
+
+    /// The current (edited) structure.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// The edits applied so far.
+    pub fn applied_edits(&self) -> &[NetworkEdit] {
+        &self.applied
+    }
+
+    /// Apply one edit.
+    pub fn apply(&mut self, edit: NetworkEdit) -> Result<(), EditError> {
+        match &edit {
+            NetworkEdit::AddEdge { from, to } => {
+                self.dag.add_edge(*from, *to)?;
+            }
+            NetworkEdit::RemoveEdge { from, to } => {
+                self.dag.remove_edge(*from, *to)?;
+            }
+            NetworkEdit::MergeNodes { nodes, into } => {
+                if nodes.contains(into) {
+                    return Err(EditError::MergeIntoSelf(*into));
+                }
+                for &node in nodes {
+                    let parents = self.dag.parents(node);
+                    let children = self.dag.children(node);
+                    for p in parents {
+                        self.dag.remove_edge(p, node)?;
+                        if p != *into {
+                            // Duplicate edges collapse; cycles are silently skipped,
+                            // mirroring the paper's "other edges will be removed".
+                            let _ = self.dag.add_edge(p, *into);
+                        }
+                    }
+                    for c in children {
+                        self.dag.remove_edge(node, c)?;
+                        if c != *into {
+                            let _ = self.dag.add_edge(*into, c);
+                        }
+                    }
+                }
+            }
+        }
+        self.applied.push(edit);
+        Ok(())
+    }
+
+    /// Apply several edits, stopping at the first failure.
+    pub fn apply_all(&mut self, edits: impl IntoIterator<Item = NetworkEdit>) -> Result<(), EditError> {
+        for e in edits {
+            self.apply(e)?;
+        }
+        Ok(())
+    }
+
+    /// Finish the session: rebuild the network, relearning only the CPTs whose
+    /// parent sets changed relative to `base`.
+    pub fn finish(self, base: &BayesianNetwork) -> BayesianNetwork {
+        base.with_structure(self.dataset, self.dag, self.alpha)
+    }
+
+    /// Finish the session building a network from scratch.
+    pub fn finish_fresh(self) -> BayesianNetwork {
+        BayesianNetwork::learn(self.dataset, self.dag, self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::dataset_from;
+
+    fn data() -> Dataset {
+        dataset_from(
+            &["Zip", "City", "State", "Code"],
+            &[
+                vec!["35150", "sylacauga", "CA", "c1"],
+                vec!["35150", "sylacauga", "CA", "c1"],
+                vec!["35960", "centre", "KT", "c2"],
+                vec!["35960", "centre", "KT", "c2"],
+            ],
+        )
+    }
+
+    fn base_network(d: &Dataset) -> BayesianNetwork {
+        let mut dag = Dag::new(4);
+        dag.add_edge(0, 2).unwrap(); // Zip -> State
+        BayesianNetwork::learn(d, dag, 0.1)
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let d = data();
+        let bn = base_network(&d);
+        let mut editor = NetworkEditor::new(&d, &bn, 0.1);
+        editor.apply(NetworkEdit::AddEdge { from: 0, to: 1 }).unwrap();
+        editor.apply(NetworkEdit::RemoveEdge { from: 0, to: 2 }).unwrap();
+        assert!(editor.dag().has_edge(0, 1));
+        assert!(!editor.dag().has_edge(0, 2));
+        assert_eq!(editor.applied_edits().len(), 2);
+        let new_bn = editor.finish(&bn);
+        assert_eq!(new_bn.cpt(1).parents(), &[0]);
+        assert!(new_bn.cpt(2).parents().is_empty());
+    }
+
+    #[test]
+    fn cycle_creating_edit_is_rejected() {
+        let d = data();
+        let bn = base_network(&d);
+        let mut editor = NetworkEditor::new(&d, &bn, 0.1);
+        let err = editor.apply(NetworkEdit::AddEdge { from: 2, to: 0 }).unwrap_err();
+        assert!(matches!(err, EditError::Graph(GraphError::WouldCreateCycle { .. })));
+        // State unchanged after failed edit.
+        assert_eq!(editor.applied_edits().len(), 0);
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn merge_nodes_redirects_edges() {
+        let d = data();
+        // City -> Code and State -> Code; merging City into State should leave
+        // a single State -> Code edge and isolate City.
+        let mut dag = Dag::new(4);
+        dag.add_edge(1, 3).unwrap();
+        dag.add_edge(2, 3).unwrap();
+        dag.add_edge(0, 1).unwrap(); // Zip -> City
+        let bn = BayesianNetwork::learn(&d, dag, 0.1);
+        let mut editor = NetworkEditor::new(&d, &bn, 0.1);
+        editor.apply(NetworkEdit::MergeNodes { nodes: vec![1], into: 2 }).unwrap();
+        let dag = editor.dag();
+        assert!(dag.has_edge(2, 3));
+        assert!(!dag.has_edge(1, 3));
+        assert!(!dag.has_edge(0, 1));
+        assert!(dag.has_edge(0, 2)); // Zip edge redirected to State
+        assert!(dag.isolated_nodes().contains(&1));
+        let merged = editor.finish_fresh();
+        assert_eq!(merged.cpt(3).parents(), &[2]);
+    }
+
+    #[test]
+    fn merge_into_self_rejected() {
+        let d = data();
+        let bn = base_network(&d);
+        let mut editor = NetworkEditor::new(&d, &bn, 0.1);
+        let err = editor.apply(NetworkEdit::MergeNodes { nodes: vec![2], into: 2 }).unwrap_err();
+        assert!(matches!(err, EditError::MergeIntoSelf(2)));
+        assert!(err.to_string().contains("merged into itself"));
+    }
+
+    #[test]
+    fn apply_all_stops_on_error() {
+        let d = data();
+        let bn = base_network(&d);
+        let mut editor = NetworkEditor::new(&d, &bn, 0.1);
+        let result = editor.apply_all(vec![
+            NetworkEdit::AddEdge { from: 0, to: 1 },
+            NetworkEdit::AddEdge { from: 2, to: 0 }, // cycle
+            NetworkEdit::AddEdge { from: 0, to: 3 },
+        ]);
+        assert!(result.is_err());
+        assert_eq!(editor.applied_edits().len(), 1);
+        assert!(!editor.dag().has_edge(0, 3));
+    }
+
+    #[test]
+    fn editor_from_dag() {
+        let d = data();
+        let mut editor = NetworkEditor::from_dag(&d, Dag::new(4), 0.1);
+        editor.apply(NetworkEdit::AddEdge { from: 0, to: 2 }).unwrap();
+        let bn = editor.finish_fresh();
+        assert!(bn.dag().has_edge(0, 2));
+    }
+}

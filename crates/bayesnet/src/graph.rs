@@ -1,0 +1,330 @@
+//! Directed acyclic graph over attributes.
+//!
+//! Nodes are attribute (column) indices; a directed edge `X → Y` states that
+//! `Y` depends on `X` (X is a parent of Y). The DAG is the structural half of
+//! the Bayesian network `(N, E, θ)` of the paper (§2).
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Errors from DAG manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index is out of range.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// Adding the edge would create a directed cycle.
+    WouldCreateCycle {
+        /// Edge source.
+        from: usize,
+        /// Edge target.
+        to: usize,
+    },
+    /// Self-loops are not allowed.
+    SelfLoop(usize),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => write!(f, "node {node} out of range (graph has {len} nodes)"),
+            GraphError::WouldCreateCycle { from, to } => write!(f, "edge {from} -> {to} would create a cycle"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A directed acyclic graph with a fixed node count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    num_nodes: usize,
+    parents: Vec<BTreeSet<usize>>,
+    children: Vec<BTreeSet<usize>>,
+}
+
+impl Dag {
+    /// An edgeless DAG with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Dag {
+        Dag {
+            num_nodes,
+            parents: vec![BTreeSet::new(); num_nodes],
+            children: vec![BTreeSet::new(); num_nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.children.iter().map(|c| c.len()).sum()
+    }
+
+    fn check_node(&self, node: usize) -> Result<(), GraphError> {
+        if node >= self.num_nodes {
+            Err(GraphError::NodeOutOfRange { node, len: self.num_nodes })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Is there an edge `from → to`?
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        from < self.num_nodes && self.children[from].contains(&to)
+    }
+
+    /// Add edge `from → to`, rejecting self-loops and cycles.
+    pub fn add_edge(&mut self, from: usize, to: usize) -> Result<(), GraphError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        if self.has_edge(from, to) {
+            return Ok(());
+        }
+        if self.is_reachable(to, from) {
+            return Err(GraphError::WouldCreateCycle { from, to });
+        }
+        self.children[from].insert(to);
+        self.parents[to].insert(from);
+        Ok(())
+    }
+
+    /// Remove edge `from → to` if present. Returns whether an edge was removed.
+    pub fn remove_edge(&mut self, from: usize, to: usize) -> Result<bool, GraphError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        let removed = self.children[from].remove(&to);
+        self.parents[to].remove(&from);
+        Ok(removed)
+    }
+
+    /// Parents of a node.
+    pub fn parents(&self, node: usize) -> Vec<usize> {
+        self.parents.get(node).map(|p| p.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Children of a node.
+    pub fn children(&self, node: usize) -> Vec<usize> {
+        self.children.get(node).map(|c| c.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Nodes with no parents and no children.
+    pub fn isolated_nodes(&self) -> Vec<usize> {
+        (0..self.num_nodes)
+            .filter(|&n| self.parents[n].is_empty() && self.children[n].is_empty())
+            .collect()
+    }
+
+    /// The Markov blanket of a node: its parents, children, and the other
+    /// parents of its children (co-parents).
+    pub fn markov_blanket(&self, node: usize) -> Vec<usize> {
+        let mut blanket: BTreeSet<usize> = BTreeSet::new();
+        blanket.extend(self.parents(node));
+        for child in self.children(node) {
+            blanket.insert(child);
+            blanket.extend(self.parents(child));
+        }
+        blanket.remove(&node);
+        blanket.into_iter().collect()
+    }
+
+    /// The one-hop neighbourhood used by BClean's partitioned inference:
+    /// parents ∪ {node} ∪ children (paper §6.1, `A_joint`).
+    pub fn joint_set(&self, node: usize) -> Vec<usize> {
+        let mut set: BTreeSet<usize> = BTreeSet::new();
+        set.extend(self.parents(node));
+        set.insert(node);
+        set.extend(self.children(node));
+        set.into_iter().collect()
+    }
+
+    /// All directed edges as `(from, to)` pairs, sorted.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for from in 0..self.num_nodes {
+            for &to in &self.children[from] {
+                edges.push((from, to));
+            }
+        }
+        edges
+    }
+
+    /// Is `to` reachable from `from` following directed edges?
+    pub fn is_reachable(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.num_nodes];
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        seen[from] = true;
+        while let Some(n) = queue.pop_front() {
+            for &c in &self.children[n] {
+                if c == to {
+                    return true;
+                }
+                if !seen[c] {
+                    seen[c] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// Kahn topological sort. Always succeeds because the structure is kept
+    /// acyclic by construction.
+    pub fn topological_order(&self) -> Vec<usize> {
+        let mut indegree: Vec<usize> = (0..self.num_nodes).map(|n| self.parents[n].len()).collect();
+        let mut queue: VecDeque<usize> =
+            (0..self.num_nodes).filter(|&n| indegree[n] == 0).collect();
+        let mut order = Vec::with_capacity(self.num_nodes);
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            for &c in &self.children[n] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.num_nodes, "graph invariant violated: cycle detected");
+        order
+    }
+
+    /// Verify acyclicity from scratch (used by tests and after bulk edits).
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().len() == self.num_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Dag {
+        // 0 -> 1 -> 2, plus 3 isolated
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let g = chain();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.parents(2), vec![1]);
+        assert_eq!(g.children(0), vec![1]);
+        assert_eq!(g.edges(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn duplicate_edge_is_noop() {
+        let mut g = chain();
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_cycles() {
+        let mut g = chain();
+        assert!(matches!(g.add_edge(1, 1), Err(GraphError::SelfLoop(1))));
+        assert!(matches!(g.add_edge(2, 0), Err(GraphError::WouldCreateCycle { .. })));
+        assert!(matches!(g.add_edge(9, 0), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(g.add_edge(0, 9), Err(GraphError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = chain();
+        assert!(g.remove_edge(0, 1).unwrap());
+        assert!(!g.remove_edge(0, 1).unwrap());
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.remove_edge(0, 9).is_err());
+        // After removal the reverse edge becomes legal.
+        assert!(g.add_edge(2, 0).is_ok());
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = chain();
+        assert_eq!(g.isolated_nodes(), vec![3]);
+    }
+
+    #[test]
+    fn markov_blanket_includes_coparents() {
+        // 0 -> 2 <- 1, 2 -> 3
+        let mut g = Dag::new(4);
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        assert_eq!(g.markov_blanket(0), vec![1, 2]); // co-parent 1 via child 2
+        assert_eq!(g.markov_blanket(2), vec![0, 1, 3]);
+        assert_eq!(g.joint_set(2), vec![0, 1, 2, 3]);
+        assert_eq!(g.joint_set(0), vec![0, 2]);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = chain();
+        assert!(g.is_reachable(0, 2));
+        assert!(!g.is_reachable(2, 0));
+        assert!(g.is_reachable(1, 1));
+        assert!(!g.is_reachable(3, 0));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut g = Dag::new(5);
+        g.add_edge(3, 1).unwrap();
+        g.add_edge(1, 0).unwrap();
+        g.add_edge(3, 0).unwrap();
+        g.add_edge(4, 2).unwrap();
+        let order = g.topological_order();
+        assert_eq!(order.len(), 5);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 5];
+            for (i, &n) in order.iter().enumerate() {
+                p[n] = i;
+            }
+            p
+        };
+        for (from, to) in g.edges() {
+            assert!(pos[from] < pos[to], "edge {from}->{to} violates order");
+        }
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(GraphError::SelfLoop(1).to_string().contains("self-loop"));
+        assert!(GraphError::WouldCreateCycle { from: 1, to: 2 }.to_string().contains("cycle"));
+        assert!(GraphError::NodeOutOfRange { node: 5, len: 2 }.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Dag::new(0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_acyclic());
+        assert!(g.edges().is_empty());
+        assert!(g.topological_order().is_empty());
+    }
+}

@@ -1,0 +1,732 @@
+//! Exact and approximate posterior queries over a learned [`BayesianNetwork`].
+//!
+//! [`InferenceEngine`] turns the network's CPTs into [`Factor`]s over the
+//! observed domains and answers posterior queries with:
+//!
+//! * **variable elimination** ([`InferenceEngine::posterior`]) — exact, the
+//!   classic approach the BClean paper cites as the expensive baseline;
+//! * **Gibbs sampling** ([`InferenceEngine::posterior_gibbs`]) — approximate,
+//!   sampling-based;
+//! * **loopy belief propagation** ([`InferenceEngine::posterior_lbp`]) —
+//!   message passing on the factor graph.
+//!
+//! These engines exist to reproduce the paper's claim (§6, §8) that full
+//! network inference is considerably slower than BClean's partitioned
+//! Markov-blanket scoring, while agreeing with it on small networks; see the
+//! `exact_inference` bench and the `inference_methods` example.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use bclean_data::{Dataset, Value};
+
+use crate::inference::factor::{Factor, FactorError, DEFAULT_MAX_FACTOR_CELLS};
+use crate::inference::rng::SplitMix64;
+use crate::network::BayesianNetwork;
+
+/// Errors raised by posterior queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferenceError {
+    /// A factor exceeded the size budget (the network is too densely
+    /// connected or the domains too large for exact inference).
+    Factor(FactorError),
+    /// The query variable index is out of range.
+    UnknownVariable(usize),
+    /// An evidence value is not part of the variable's observed domain.
+    UnknownValue {
+        /// The variable the value was supplied for.
+        var: usize,
+        /// The textual rendering of the unknown value.
+        value: String,
+    },
+    /// The query variable was also given as evidence.
+    QueryIsEvidence(usize),
+}
+
+impl fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferenceError::Factor(err) => write!(f, "{err}"),
+            InferenceError::UnknownVariable(var) => write!(f, "unknown variable {var}"),
+            InferenceError::UnknownValue { var, value } => {
+                write!(f, "value {value:?} is not in the observed domain of variable {var}")
+            }
+            InferenceError::QueryIsEvidence(var) => {
+                write!(f, "variable {var} cannot be both query and evidence")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
+
+impl From<FactorError> for InferenceError {
+    fn from(err: FactorError) -> InferenceError {
+        InferenceError::Factor(err)
+    }
+}
+
+/// The discrete domain of one network variable: the values observed for the
+/// attribute, in a deterministic order, with an index for reverse lookup.
+#[derive(Debug, Clone)]
+pub struct DiscreteDomain {
+    values: Vec<Value>,
+    index: HashMap<Value, usize>,
+}
+
+impl DiscreteDomain {
+    fn from_values(mut values: Vec<Value>) -> DiscreteDomain {
+        values.sort();
+        values.dedup();
+        let index = values.iter().cloned().enumerate().map(|(i, v)| (v, i)).collect();
+        DiscreteDomain { values, index }
+    }
+
+    /// The values of the domain in index order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of values in the domain.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Index of a value, if it belongs to the domain.
+    pub fn index_of(&self, value: &Value) -> Option<usize> {
+        self.index.get(value).copied()
+    }
+}
+
+/// Tuning knobs for the approximate engines.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxConfig {
+    /// Number of Gibbs samples kept after burn-in.
+    pub samples: usize,
+    /// Number of initial Gibbs sweeps discarded.
+    pub burn_in: usize,
+    /// Seed for the internal deterministic PRNG.
+    pub seed: u64,
+    /// Maximum number of loopy-BP iterations.
+    pub max_iterations: usize,
+    /// Message damping factor in `[0, 1)`; higher is more conservative.
+    pub damping: f64,
+    /// Convergence tolerance on the maximum message change.
+    pub tolerance: f64,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> ApproxConfig {
+        ApproxConfig {
+            samples: 2_000,
+            burn_in: 200,
+            seed: 0x5EED_2024,
+            max_iterations: 50,
+            damping: 0.1,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// A posterior distribution over the values of one variable.
+pub type Posterior = Vec<(Value, f64)>;
+
+/// Exact / approximate inference over a [`BayesianNetwork`].
+pub struct InferenceEngine<'a> {
+    network: &'a BayesianNetwork,
+    domains: Vec<DiscreteDomain>,
+    max_factor_cells: usize,
+}
+
+impl<'a> InferenceEngine<'a> {
+    /// Build an engine whose per-variable domains are the values observed in
+    /// `dataset` (the same domains the cleaner draws candidates from).
+    pub fn new(network: &'a BayesianNetwork, dataset: &Dataset) -> InferenceEngine<'a> {
+        assert_eq!(
+            network.num_nodes(),
+            dataset.num_columns(),
+            "network and dataset must have the same number of attributes"
+        );
+        let domains = (0..network.num_nodes())
+            .map(|col| {
+                let values: Vec<Value> = dataset
+                    .column(col)
+                    .map(|vs| vs.into_iter().cloned().collect())
+                    .unwrap_or_default();
+                DiscreteDomain::from_values(values)
+            })
+            .collect();
+        InferenceEngine { network, domains, max_factor_cells: DEFAULT_MAX_FACTOR_CELLS }
+    }
+
+    /// Override the factor-size budget used by exact inference.
+    pub fn with_max_factor_cells(mut self, max_cells: usize) -> InferenceEngine<'a> {
+        self.max_factor_cells = max_cells.max(1);
+        self
+    }
+
+    /// The domain of a variable.
+    pub fn domain(&self, var: usize) -> Option<&DiscreteDomain> {
+        self.domains.get(var)
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &BayesianNetwork {
+        self.network
+    }
+
+    fn check_query(&self, query: usize, evidence: &[(usize, Value)]) -> Result<(), InferenceError> {
+        if query >= self.domains.len() {
+            return Err(InferenceError::UnknownVariable(query));
+        }
+        for (var, value) in evidence {
+            if *var >= self.domains.len() {
+                return Err(InferenceError::UnknownVariable(*var));
+            }
+            if *var == query {
+                return Err(InferenceError::QueryIsEvidence(query));
+            }
+            if self.domains[*var].index_of(value).is_none() {
+                return Err(InferenceError::UnknownValue { var: *var, value: value.to_string() });
+            }
+        }
+        Ok(())
+    }
+
+    /// The CPT of `node` rendered as a factor over `parents(node) ∪ {node}`.
+    fn node_factor(&self, node: usize) -> Result<Factor, InferenceError> {
+        let cpt = self.network.cpt(node);
+        let parents = self.network.dag().parents(node);
+        let mut scope: Vec<usize> = parents.clone();
+        scope.push(node);
+        scope.sort_unstable();
+        let cards: Vec<usize> = scope.iter().map(|&v| self.domains[v].cardinality().max(1)).collect();
+        let cells = cards.iter().product::<usize>().max(1);
+        if cells > self.max_factor_cells {
+            return Err(InferenceError::Factor(FactorError::TooLarge {
+                cells,
+                limit: self.max_factor_cells,
+            }));
+        }
+        let mut table = vec![0.0; cells];
+        // Walk every joint assignment of the scope and fill in
+        // Pr[node = v | parents = u] from the CPT.
+        let node_pos = scope.binary_search(&node).expect("node is in its own scope");
+        let parent_pos: Vec<usize> = parents
+            .iter()
+            .map(|p| scope.binary_search(p).expect("parent is in the scope"))
+            .collect();
+        let mut assignment = vec![0usize; scope.len()];
+        for (flat, slot) in table.iter_mut().enumerate() {
+            let mut rem = flat;
+            for k in (0..scope.len()).rev() {
+                assignment[k] = rem % cards[k];
+                rem /= cards[k];
+            }
+            let value = &self.domains[node].values()[assignment[node_pos]];
+            let parent_values: Vec<Value> = parents
+                .iter()
+                .zip(&parent_pos)
+                .map(|(&p, &pos)| self.domains[p].values()[assignment[pos]].clone())
+                .collect();
+            *slot = cpt.prob(value, &parent_values);
+        }
+        Ok(Factor::new(scope, cards, table)?)
+    }
+
+    /// Exact posterior `Pr[query | evidence]` by variable elimination.
+    ///
+    /// Unobserved non-query variables are summed out using a min-degree
+    /// elimination ordering. Returns the distribution over the query
+    /// variable's observed domain.
+    pub fn posterior(&self, query: usize, evidence: &[(usize, Value)]) -> Result<Posterior, InferenceError> {
+        self.check_query(query, evidence)?;
+        let evidence_map: BTreeMap<usize, usize> = evidence
+            .iter()
+            .map(|(var, value)| (*var, self.domains[*var].index_of(value).expect("validated above")))
+            .collect();
+
+        // Build all node factors and immediately apply the evidence.
+        let mut factors: Vec<Factor> = Vec::with_capacity(self.network.num_nodes());
+        for node in 0..self.network.num_nodes() {
+            let mut factor = self.node_factor(node)?;
+            for (&var, &idx) in &evidence_map {
+                if factor.contains(var) {
+                    factor = factor.reduce(var, idx)?;
+                }
+            }
+            factors.push(factor);
+        }
+
+        // Variables still to eliminate: everything except the query and evidence.
+        let mut to_eliminate: Vec<usize> = (0..self.network.num_nodes())
+            .filter(|v| *v != query && !evidence_map.contains_key(v))
+            .collect();
+
+        while !to_eliminate.is_empty() {
+            // Min-degree heuristic: eliminate the variable involved with the
+            // smallest combined scope first.
+            let (choice_pos, _) = to_eliminate
+                .iter()
+                .enumerate()
+                .map(|(pos, &var)| {
+                    let mut scope: Vec<usize> = Vec::new();
+                    for factor in factors.iter().filter(|f| f.contains(var)) {
+                        scope.extend_from_slice(factor.vars());
+                    }
+                    scope.sort_unstable();
+                    scope.dedup();
+                    (pos, scope.len())
+                })
+                .min_by_key(|&(_, degree)| degree)
+                .expect("non-empty elimination set");
+            let var = to_eliminate.swap_remove(choice_pos);
+
+            let (mentioning, rest): (Vec<Factor>, Vec<Factor>) =
+                factors.into_iter().partition(|f| f.contains(var));
+            factors = rest;
+            if mentioning.is_empty() {
+                continue;
+            }
+            let mut product = Factor::scalar(1.0);
+            for factor in &mentioning {
+                product = product.product(factor, self.max_factor_cells)?;
+            }
+            factors.push(product.sum_out(var)?);
+        }
+
+        // Multiply the remaining factors (all over the query variable or scalars).
+        let mut result = Factor::scalar(1.0);
+        for factor in &factors {
+            result = result.product(factor, self.max_factor_cells)?;
+        }
+        let probs = if result.contains(query) {
+            result.marginal(query)?
+        } else {
+            // The query never appeared (e.g. empty domain) — fall back to uniform.
+            let card = self.domains[query].cardinality().max(1);
+            vec![1.0 / card as f64; card]
+        };
+        Ok(self.domains[query]
+            .values()
+            .iter()
+            .cloned()
+            .zip(probs)
+            .collect())
+    }
+
+    /// Exact posterior for repairing a dataset cell: every other attribute of
+    /// the row is treated as evidence.
+    pub fn posterior_for_cell(&self, row: &[Value], col: usize) -> Result<Posterior, InferenceError> {
+        let evidence: Vec<(usize, Value)> = row
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| *i != col && self.domains[*i].index_of(v).is_some())
+            .map(|(i, v)| (i, v.clone()))
+            .collect();
+        self.posterior(col, &evidence)
+    }
+
+    /// The most probable value of `query` given `evidence` under exact inference.
+    pub fn map_value(&self, query: usize, evidence: &[(usize, Value)]) -> Result<Option<Value>, InferenceError> {
+        let posterior = self.posterior(query, evidence)?;
+        Ok(posterior
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(value, _)| value))
+    }
+
+    /// Approximate posterior `Pr[query | evidence]` by Gibbs sampling.
+    ///
+    /// All unobserved variables (including the query) are resampled in turn
+    /// from their full conditionals given the current state of their Markov
+    /// blanket; the query variable's visit counts after burn-in form the
+    /// returned distribution. Deterministic for a given seed.
+    pub fn posterior_gibbs(
+        &self,
+        query: usize,
+        evidence: &[(usize, Value)],
+        config: ApproxConfig,
+    ) -> Result<Posterior, InferenceError> {
+        self.check_query(query, evidence)?;
+        let n = self.network.num_nodes();
+        let evidence_map: BTreeMap<usize, usize> = evidence
+            .iter()
+            .map(|(var, value)| (*var, self.domains[*var].index_of(value).expect("validated above")))
+            .collect();
+        let unknowns: Vec<usize> = (0..n).filter(|v| !evidence_map.contains_key(v)).collect();
+        let mut rng = SplitMix64::new(config.seed);
+
+        // Current state: indices into each variable's domain.
+        let mut state: Vec<usize> = (0..n)
+            .map(|v| {
+                evidence_map.get(&v).copied().unwrap_or_else(|| {
+                    let card = self.domains[v].cardinality().max(1);
+                    rng.next_usize(card)
+                })
+            })
+            .collect();
+
+        let query_card = self.domains[query].cardinality().max(1);
+        let mut counts = vec![0usize; query_card];
+        let total_sweeps = config.burn_in + config.samples;
+        let mut row_values: Vec<Value> = state
+            .iter()
+            .enumerate()
+            .map(|(v, &idx)| self.domain_value(v, idx))
+            .collect();
+
+        for sweep in 0..total_sweeps {
+            for &var in &unknowns {
+                let card = self.domains[var].cardinality().max(1);
+                if card == 1 {
+                    continue;
+                }
+                // Full conditional of `var` given its Markov blanket, using the
+                // same blanket scoring as the partitioned cleaner.
+                let mut log_scores = Vec::with_capacity(card);
+                for idx in 0..card {
+                    let candidate = self.domain_value(var, idx);
+                    log_scores.push(self.network.blanket_log_score(&row_values, var, &candidate));
+                }
+                let probs = crate::network::log_softmax_to_probs(&log_scores);
+                let next = rng.sample_categorical(&probs);
+                state[var] = next;
+                row_values[var] = self.domain_value(var, next);
+            }
+            if sweep >= config.burn_in {
+                counts[state[query]] += 1;
+            }
+        }
+
+        let total: usize = counts.iter().sum();
+        let probs: Vec<f64> = if total == 0 {
+            vec![1.0 / query_card as f64; query_card]
+        } else {
+            counts.iter().map(|&c| c as f64 / total as f64).collect()
+        };
+        Ok(self.domains[query].values().iter().cloned().zip(probs).collect())
+    }
+
+    /// Approximate posterior by loopy belief propagation on the factor graph.
+    ///
+    /// Messages are passed between variables and CPT factors until the
+    /// largest message change falls below `config.tolerance` or
+    /// `config.max_iterations` is reached. Exact on tree-structured networks.
+    pub fn posterior_lbp(
+        &self,
+        query: usize,
+        evidence: &[(usize, Value)],
+        config: ApproxConfig,
+    ) -> Result<Posterior, InferenceError> {
+        self.check_query(query, evidence)?;
+        let n = self.network.num_nodes();
+        let evidence_map: BTreeMap<usize, usize> = evidence
+            .iter()
+            .map(|(var, value)| (*var, self.domains[*var].index_of(value).expect("validated above")))
+            .collect();
+
+        // Factors with evidence applied. Variables that became fully observed
+        // drop out of the graph.
+        let mut factors: Vec<Factor> = Vec::with_capacity(n);
+        for node in 0..n {
+            let mut factor = self.node_factor(node)?;
+            for (&var, &idx) in &evidence_map {
+                if factor.contains(var) {
+                    factor = factor.reduce(var, idx)?;
+                }
+            }
+            factors.push(factor);
+        }
+        let free_vars: Vec<usize> = (0..n).filter(|v| !evidence_map.contains_key(v)).collect();
+        let var_card: BTreeMap<usize, usize> =
+            free_vars.iter().map(|&v| (v, self.domains[v].cardinality().max(1))).collect();
+
+        // Messages var->factor and factor->var, indexed by (factor index, var).
+        let mut var_to_factor: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
+        let mut factor_to_var: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
+        for (fi, factor) in factors.iter().enumerate() {
+            for &v in factor.vars() {
+                if let Some(&card) = var_card.get(&v) {
+                    var_to_factor.insert((fi, v), vec![1.0 / card as f64; card]);
+                    factor_to_var.insert((fi, v), vec![1.0 / card as f64; card]);
+                }
+            }
+        }
+
+        for _iteration in 0..config.max_iterations {
+            let mut max_delta = 0.0f64;
+
+            // Factor -> variable messages.
+            let mut new_factor_to_var: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
+            for (fi, factor) in factors.iter().enumerate() {
+                for &target in factor.vars() {
+                    if !var_card.contains_key(&target) {
+                        continue;
+                    }
+                    // Multiply the factor by the incoming messages from every
+                    // other variable, then marginalise onto the target.
+                    let mut combined = factor.clone();
+                    for &other in factor.vars() {
+                        if other == target || !var_card.contains_key(&other) {
+                            continue;
+                        }
+                        let message = &var_to_factor[&(fi, other)];
+                        let msg_factor = Factor::new(vec![other], vec![message.len()], message.clone())?;
+                        combined = combined.product(&msg_factor, self.max_factor_cells)?;
+                    }
+                    let marginal = combined.marginal(target)?;
+                    let old = &factor_to_var[&(fi, target)];
+                    let damped: Vec<f64> = marginal
+                        .iter()
+                        .zip(old)
+                        .map(|(new, old)| config.damping * old + (1.0 - config.damping) * new)
+                        .collect();
+                    for (a, b) in damped.iter().zip(old) {
+                        max_delta = max_delta.max((a - b).abs());
+                    }
+                    new_factor_to_var.insert((fi, target), damped);
+                }
+            }
+            factor_to_var = new_factor_to_var;
+
+            // Variable -> factor messages.
+            let mut new_var_to_factor: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
+            for &v in &free_vars {
+                let card = var_card[&v];
+                let incident: Vec<usize> = factors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.contains(v))
+                    .map(|(fi, _)| fi)
+                    .collect();
+                for &target_factor in &incident {
+                    let mut message = vec![1.0f64; card];
+                    for &other_factor in &incident {
+                        if other_factor == target_factor {
+                            continue;
+                        }
+                        for (m, incoming) in message.iter_mut().zip(&factor_to_var[&(other_factor, v)]) {
+                            *m *= incoming;
+                        }
+                    }
+                    let total: f64 = message.iter().sum();
+                    if total > 0.0 {
+                        for m in &mut message {
+                            *m /= total;
+                        }
+                    } else {
+                        for m in &mut message {
+                            *m = 1.0 / card as f64;
+                        }
+                    }
+                    let old = &var_to_factor[&(target_factor, v)];
+                    for (a, b) in message.iter().zip(old) {
+                        max_delta = max_delta.max((a - b).abs());
+                    }
+                    new_var_to_factor.insert((target_factor, v), message);
+                }
+            }
+            var_to_factor = new_var_to_factor;
+
+            if max_delta < config.tolerance {
+                break;
+            }
+        }
+
+        // Belief of the query variable: product of all incoming factor messages.
+        let card = self.domains[query].cardinality().max(1);
+        let mut belief = vec![1.0f64; card];
+        for (fi, factor) in factors.iter().enumerate() {
+            if factor.contains(query) {
+                for (b, m) in belief.iter_mut().zip(&factor_to_var[&(fi, query)]) {
+                    *b *= m;
+                }
+            }
+        }
+        let total: f64 = belief.iter().sum();
+        let probs: Vec<f64> = if total > 0.0 {
+            belief.iter().map(|b| b / total).collect()
+        } else {
+            vec![1.0 / card as f64; card]
+        };
+        Ok(self.domains[query].values().iter().cloned().zip(probs).collect())
+    }
+
+    fn domain_value(&self, var: usize, idx: usize) -> Value {
+        self.domains[var]
+            .values()
+            .get(idx)
+            .cloned()
+            .unwrap_or(Value::Null)
+    }
+}
+
+/// Pick the most probable entry of a posterior.
+pub fn argmax_posterior(posterior: &[(Value, f64)]) -> Option<&(Value, f64)> {
+    posterior
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Dag;
+    use bclean_data::dataset_from;
+
+    fn zip_state_city() -> (Dataset, BayesianNetwork) {
+        // Zip -> State, Zip -> City (a small tree).
+        let rows: Vec<Vec<&str>> = (0..40)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec!["35150", "CA", "sylacauga"]
+                } else {
+                    vec!["35960", "KT", "centre"]
+                }
+            })
+            .collect();
+        let data = dataset_from(&["Zip", "State", "City"], &rows);
+        let mut dag = Dag::new(3);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        let bn = BayesianNetwork::learn(&data, dag, 0.1);
+        (data, bn)
+    }
+
+    #[test]
+    fn exact_posterior_recovers_fd_partner() {
+        let (data, bn) = zip_state_city();
+        let engine = InferenceEngine::new(&bn, &data);
+        let posterior = engine
+            .posterior(1, &[(0, Value::parse("35150")), (2, Value::text("sylacauga"))])
+            .unwrap();
+        let best = argmax_posterior(&posterior).unwrap();
+        assert_eq!(best.0, Value::text("CA"));
+        assert!(best.1 > 0.9);
+        let total: f64 = posterior.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_posterior_infers_parent_from_children() {
+        let (data, bn) = zip_state_city();
+        let engine = InferenceEngine::new(&bn, &data);
+        // Infer Zip given State and City.
+        let posterior = engine
+            .posterior(0, &[(1, Value::text("KT")), (2, Value::text("centre"))])
+            .unwrap();
+        let best = argmax_posterior(&posterior).unwrap();
+        assert_eq!(best.0, Value::parse("35960"));
+    }
+
+    #[test]
+    fn posterior_for_cell_uses_rest_of_row() {
+        let (data, bn) = zip_state_city();
+        let engine = InferenceEngine::new(&bn, &data);
+        let row = vec![Value::parse("35150"), Value::text("KT"), Value::text("sylacauga")];
+        let posterior = engine.posterior_for_cell(&row, 1).unwrap();
+        assert_eq!(argmax_posterior(&posterior).unwrap().0, Value::text("CA"));
+    }
+
+    #[test]
+    fn map_value_returns_argmax() {
+        let (data, bn) = zip_state_city();
+        let engine = InferenceEngine::new(&bn, &data);
+        let map = engine.map_value(2, &[(0, Value::parse("35960"))]).unwrap();
+        assert_eq!(map, Some(Value::text("centre")));
+    }
+
+    #[test]
+    fn query_validation_errors() {
+        let (data, bn) = zip_state_city();
+        let engine = InferenceEngine::new(&bn, &data);
+        assert!(matches!(engine.posterior(9, &[]), Err(InferenceError::UnknownVariable(9))));
+        assert!(matches!(
+            engine.posterior(1, &[(1, Value::text("CA"))]),
+            Err(InferenceError::QueryIsEvidence(1))
+        ));
+        assert!(matches!(
+            engine.posterior(1, &[(9, Value::text("CA"))]),
+            Err(InferenceError::UnknownVariable(9))
+        ));
+        assert!(matches!(
+            engine.posterior(1, &[(0, Value::text("99999"))]),
+            Err(InferenceError::UnknownValue { var: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn factor_size_budget_is_enforced() {
+        let (data, bn) = zip_state_city();
+        let engine = InferenceEngine::new(&bn, &data).with_max_factor_cells(1);
+        assert!(matches!(
+            engine.posterior(1, &[]),
+            Err(InferenceError::Factor(FactorError::TooLarge { .. }))
+        ));
+    }
+
+    #[test]
+    fn posterior_without_evidence_matches_marginal() {
+        let (data, bn) = zip_state_city();
+        let engine = InferenceEngine::new(&bn, &data);
+        let posterior = engine.posterior(1, &[]).unwrap();
+        // The two states are equally frequent in the training data.
+        let ca = posterior.iter().find(|(v, _)| *v == Value::text("CA")).unwrap().1;
+        let kt = posterior.iter().find(|(v, _)| *v == Value::text("KT")).unwrap().1;
+        assert!((ca - kt).abs() < 0.05, "ca={ca} kt={kt}");
+    }
+
+    #[test]
+    fn gibbs_agrees_with_exact_on_small_network() {
+        let (data, bn) = zip_state_city();
+        let engine = InferenceEngine::new(&bn, &data);
+        let evidence = vec![(0, Value::parse("35150"))];
+        let exact = engine.posterior(1, &evidence).unwrap();
+        let gibbs = engine
+            .posterior_gibbs(1, &evidence, ApproxConfig { samples: 4000, burn_in: 400, ..Default::default() })
+            .unwrap();
+        for ((v1, p1), (v2, p2)) in exact.iter().zip(&gibbs) {
+            assert_eq!(v1, v2);
+            assert!((p1 - p2).abs() < 0.1, "exact={p1} gibbs={p2} for {v1}");
+        }
+    }
+
+    #[test]
+    fn gibbs_is_deterministic_for_a_seed() {
+        let (data, bn) = zip_state_city();
+        let engine = InferenceEngine::new(&bn, &data);
+        let evidence = vec![(2, Value::text("centre"))];
+        let a = engine.posterior_gibbs(0, &evidence, ApproxConfig::default()).unwrap();
+        let b = engine.posterior_gibbs(0, &evidence, ApproxConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lbp_matches_exact_on_tree() {
+        let (data, bn) = zip_state_city();
+        let engine = InferenceEngine::new(&bn, &data);
+        let evidence = vec![(0, Value::parse("35960"))];
+        let exact = engine.posterior(1, &evidence).unwrap();
+        let lbp = engine.posterior_lbp(1, &evidence, ApproxConfig::default()).unwrap();
+        for ((v1, p1), (v2, p2)) in exact.iter().zip(&lbp) {
+            assert_eq!(v1, v2);
+            assert!((p1 - p2).abs() < 1e-3, "exact={p1} lbp={p2} for {v1}");
+        }
+    }
+
+    #[test]
+    fn lbp_infers_parent_from_child() {
+        let (data, bn) = zip_state_city();
+        let engine = InferenceEngine::new(&bn, &data);
+        let lbp = engine
+            .posterior_lbp(0, &[(1, Value::text("CA"))], ApproxConfig::default())
+            .unwrap();
+        assert_eq!(argmax_posterior(&lbp).unwrap().0, Value::parse("35150"));
+    }
+
+    #[test]
+    fn argmax_posterior_handles_empty() {
+        assert!(argmax_posterior(&[]).is_none());
+    }
+}

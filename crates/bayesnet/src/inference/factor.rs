@@ -1,0 +1,562 @@
+//! Discrete factors (potential tables) over subsets of network variables.
+//!
+//! A [`Factor`] is a non-negative table indexed by a joint assignment of a
+//! set of discrete variables. Factors are the work-horse of classical
+//! Bayesian-network inference: conditional probability tables become factors,
+//! evidence is applied by *reducing* factors, variables are eliminated by
+//! multiplying the factors that mention them and *summing the variable out*.
+//!
+//! The BClean paper (§6, §8) contrasts this kind of exact inference
+//! (variable elimination, belief propagation) with its own partitioned
+//! Markov-blanket scoring; this module provides the exact machinery so that
+//! the comparison can be reproduced and benchmarked.
+
+use std::fmt;
+
+/// Errors raised by factor construction and combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactorError {
+    /// The requested factor table would exceed the configured size budget.
+    TooLarge {
+        /// Number of entries the table would need.
+        cells: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A variable appears twice in a scope, or cardinalities disagree between
+    /// two factors that share a variable.
+    InconsistentScope(String),
+    /// The variable is not part of this factor's scope.
+    MissingVariable(usize),
+    /// A table was supplied whose length does not match the scope.
+    BadTableLength {
+        /// Expected number of entries.
+        expected: usize,
+        /// Number of entries supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorError::TooLarge { cells, limit } => {
+                write!(f, "factor with {cells} entries exceeds the limit of {limit}")
+            }
+            FactorError::InconsistentScope(msg) => write!(f, "inconsistent factor scope: {msg}"),
+            FactorError::MissingVariable(var) => write!(f, "variable {var} is not in the factor scope"),
+            FactorError::BadTableLength { expected, actual } => {
+                write!(f, "factor table has {actual} entries, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// Hard ceiling on factor table sizes used when no explicit limit is given.
+pub const DEFAULT_MAX_FACTOR_CELLS: usize = 50_000_000;
+
+/// A dense factor (potential) over a sorted set of discrete variables.
+///
+/// Variables are identified by `usize` ids (node indices of the Bayesian
+/// network). The table is stored row-major with the *last* variable in the
+/// scope varying fastest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    vars: Vec<usize>,
+    cards: Vec<usize>,
+    table: Vec<f64>,
+}
+
+impl Factor {
+    /// Create a factor from a scope, per-variable cardinalities and a table.
+    ///
+    /// `vars` must be strictly increasing and `table.len()` must equal the
+    /// product of the cardinalities.
+    pub fn new(vars: Vec<usize>, cards: Vec<usize>, table: Vec<f64>) -> Result<Factor, FactorError> {
+        if vars.len() != cards.len() {
+            return Err(FactorError::InconsistentScope(format!(
+                "{} variables but {} cardinalities",
+                vars.len(),
+                cards.len()
+            )));
+        }
+        for window in vars.windows(2) {
+            if window[0] >= window[1] {
+                return Err(FactorError::InconsistentScope(format!(
+                    "scope must be strictly increasing, found {} before {}",
+                    window[0], window[1]
+                )));
+            }
+        }
+        if cards.iter().any(|&c| c == 0) {
+            return Err(FactorError::InconsistentScope("zero cardinality".to_string()));
+        }
+        let expected = cards.iter().product::<usize>();
+        if table.len() != expected {
+            return Err(FactorError::BadTableLength { expected, actual: table.len() });
+        }
+        Ok(Factor { vars, cards, table })
+    }
+
+    /// A factor over no variables holding a single scalar value.
+    pub fn scalar(value: f64) -> Factor {
+        Factor { vars: Vec::new(), cards: Vec::new(), table: vec![value] }
+    }
+
+    /// A uniform factor over a single variable.
+    pub fn uniform(var: usize, cardinality: usize) -> Factor {
+        let p = 1.0 / cardinality.max(1) as f64;
+        Factor { vars: vec![var], cards: vec![cardinality.max(1)], table: vec![p; cardinality.max(1)] }
+    }
+
+    /// The (sorted) variable scope of this factor.
+    pub fn vars(&self) -> &[usize] {
+        &self.vars
+    }
+
+    /// Cardinalities aligned with [`Factor::vars`].
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// Raw table (row-major, last variable fastest).
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the factor has a single (scalar) entry.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Whether `var` is in the scope.
+    pub fn contains(&self, var: usize) -> bool {
+        self.vars.binary_search(&var).is_ok()
+    }
+
+    /// The cardinality of `var` within this factor, if present.
+    pub fn cardinality_of(&self, var: usize) -> Option<usize> {
+        self.vars.binary_search(&var).ok().map(|i| self.cards[i])
+    }
+
+    fn position(&self, var: usize) -> Result<usize, FactorError> {
+        self.vars.binary_search(&var).map_err(|_| FactorError::MissingVariable(var))
+    }
+
+    /// Strides for converting an assignment to a flat table index.
+    fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.cards.len()];
+        for i in (0..self.cards.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.cards[i + 1];
+        }
+        strides
+    }
+
+    /// Flat index of an assignment (aligned with the scope).
+    pub fn index_of(&self, assignment: &[usize]) -> usize {
+        debug_assert_eq!(assignment.len(), self.vars.len());
+        let strides = self.strides();
+        assignment.iter().zip(&strides).map(|(a, s)| a * s).sum()
+    }
+
+    /// Value at an assignment (aligned with the scope).
+    pub fn value_at(&self, assignment: &[usize]) -> f64 {
+        self.table[self.index_of(assignment)]
+    }
+
+    /// Set the value at an assignment (aligned with the scope).
+    pub fn set_value_at(&mut self, assignment: &[usize], value: f64) {
+        let idx = self.index_of(assignment);
+        self.table[idx] = value;
+    }
+
+    /// Sum of all table entries.
+    pub fn total_mass(&self) -> f64 {
+        self.table.iter().sum()
+    }
+
+    /// Normalise the factor so its entries sum to one.
+    ///
+    /// A factor whose mass is zero (all evidence contradicted) becomes
+    /// uniform, which mirrors how the cleaner treats unseen configurations.
+    pub fn normalized(&self) -> Factor {
+        let total = self.total_mass();
+        let mut out = self.clone();
+        if total > 0.0 && total.is_finite() {
+            for v in &mut out.table {
+                *v /= total;
+            }
+        } else {
+            let uniform = 1.0 / self.table.len() as f64;
+            for v in &mut out.table {
+                *v = uniform;
+            }
+        }
+        out
+    }
+
+    /// Multiply two factors, producing a factor over the union of the scopes.
+    ///
+    /// Shared variables must have identical cardinalities. The resulting
+    /// table size is checked against `max_cells`.
+    pub fn product(&self, other: &Factor, max_cells: usize) -> Result<Factor, FactorError> {
+        // Union of scopes.
+        let mut vars: Vec<usize> = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let mut cards: Vec<usize> = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.vars.len() || j < other.vars.len() {
+            let take_left = match (self.vars.get(i), other.vars.get(j)) {
+                (Some(&a), Some(&b)) => {
+                    if a == b {
+                        if self.cards[i] != other.cards[j] {
+                            return Err(FactorError::InconsistentScope(format!(
+                                "variable {a} has cardinality {} vs {}",
+                                self.cards[i], other.cards[j]
+                            )));
+                        }
+                        vars.push(a);
+                        cards.push(self.cards[i]);
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
+                    a < b
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_left {
+                vars.push(self.vars[i]);
+                cards.push(self.cards[i]);
+                i += 1;
+            } else {
+                vars.push(other.vars[j]);
+                cards.push(other.cards[j]);
+                j += 1;
+            }
+        }
+        let cells = cards.iter().product::<usize>().max(1);
+        if cells > max_cells {
+            return Err(FactorError::TooLarge { cells, limit: max_cells });
+        }
+
+        // Positions of the result's variables within each operand (if any).
+        let left_pos: Vec<Option<usize>> = vars.iter().map(|v| self.vars.binary_search(v).ok()).collect();
+        let right_pos: Vec<Option<usize>> = vars.iter().map(|v| other.vars.binary_search(v).ok()).collect();
+
+        let mut table = vec![0.0; cells];
+        let mut assignment = vec![0usize; vars.len()];
+        let left_strides = self.strides();
+        let right_strides = other.strides();
+        for (flat, slot) in table.iter_mut().enumerate() {
+            // Decode the flat index into a joint assignment.
+            let mut rem = flat;
+            for k in (0..vars.len()).rev() {
+                assignment[k] = rem % cards[k];
+                rem /= cards[k];
+            }
+            let mut left_idx = 0usize;
+            let mut right_idx = 0usize;
+            for (k, &a) in assignment.iter().enumerate() {
+                if let Some(p) = left_pos[k] {
+                    left_idx += a * left_strides[p];
+                }
+                if let Some(p) = right_pos[k] {
+                    right_idx += a * right_strides[p];
+                }
+            }
+            *slot = self.table[left_idx] * other.table[right_idx];
+        }
+        Ok(Factor { vars, cards, table })
+    }
+
+    /// Sum a variable out of the factor (marginalisation).
+    pub fn sum_out(&self, var: usize) -> Result<Factor, FactorError> {
+        self.eliminate(var, |acc, v| acc + v, 0.0)
+    }
+
+    /// Max a variable out of the factor (used for MAP / most-probable-explanation queries).
+    pub fn max_out(&self, var: usize) -> Result<Factor, FactorError> {
+        self.eliminate(var, f64::max, f64::NEG_INFINITY)
+    }
+
+    fn eliminate(
+        &self,
+        var: usize,
+        combine: impl Fn(f64, f64) -> f64,
+        init: f64,
+    ) -> Result<Factor, FactorError> {
+        let pos = self.position(var)?;
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        let removed_card = cards.remove(pos);
+        if vars.is_empty() {
+            let mut acc = init;
+            for &v in &self.table {
+                acc = combine(acc, v);
+            }
+            return Ok(Factor::scalar(acc));
+        }
+        let cells: usize = cards.iter().product();
+        let mut table = vec![init; cells];
+        let out = Factor { vars, cards, table: vec![0.0; cells] };
+        let out_strides = out.strides();
+        let mut assignment = vec![0usize; self.vars.len()];
+        for (flat, &value) in self.table.iter().enumerate() {
+            let mut rem = flat;
+            for k in (0..self.vars.len()).rev() {
+                assignment[k] = rem % self.cards[k];
+                rem /= self.cards[k];
+            }
+            let mut out_idx = 0usize;
+            let mut out_k = 0usize;
+            for (k, &a) in assignment.iter().enumerate() {
+                if k == pos {
+                    continue;
+                }
+                out_idx += a * out_strides[out_k];
+                out_k += 1;
+            }
+            table[out_idx] = combine(table[out_idx], value);
+        }
+        let _ = removed_card;
+        Ok(Factor { vars: out.vars, cards: out.cards, table })
+    }
+
+    /// Condition the factor on `var = value_index`, removing the variable from
+    /// the scope and keeping only the consistent slice of the table.
+    pub fn reduce(&self, var: usize, value_index: usize) -> Result<Factor, FactorError> {
+        let pos = self.position(var)?;
+        if value_index >= self.cards[pos] {
+            return Err(FactorError::InconsistentScope(format!(
+                "value index {value_index} out of range for variable {var} (cardinality {})",
+                self.cards[pos]
+            )));
+        }
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+        if vars.is_empty() {
+            // The factor had a single variable: the reduced table is one scalar.
+            return Ok(Factor::scalar(self.table[value_index]));
+        }
+        let cells: usize = cards.iter().product();
+        let mut table = vec![0.0; cells];
+        let out = Factor { vars: vars.clone(), cards: cards.clone(), table: vec![0.0; cells] };
+        let out_strides = out.strides();
+        let mut assignment = vec![0usize; self.vars.len()];
+        for (flat, &value) in self.table.iter().enumerate() {
+            let mut rem = flat;
+            for k in (0..self.vars.len()).rev() {
+                assignment[k] = rem % self.cards[k];
+                rem /= self.cards[k];
+            }
+            if assignment[pos] != value_index {
+                continue;
+            }
+            let mut out_idx = 0usize;
+            let mut out_k = 0usize;
+            for (k, &a) in assignment.iter().enumerate() {
+                if k == pos {
+                    continue;
+                }
+                out_idx += a * out_strides[out_k];
+                out_k += 1;
+            }
+            table[out_idx] = value;
+        }
+        Ok(Factor { vars, cards, table })
+    }
+
+    /// Marginal distribution of a single variable in the factor's scope,
+    /// summing all other variables out and normalising.
+    pub fn marginal(&self, var: usize) -> Result<Vec<f64>, FactorError> {
+        let mut current = self.clone();
+        let others: Vec<usize> = self.vars.iter().copied().filter(|&v| v != var).collect();
+        if !self.contains(var) {
+            return Err(FactorError::MissingVariable(var));
+        }
+        for other in others {
+            current = current.sum_out(other)?;
+        }
+        Ok(current.normalized().table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn joint_ab() -> Factor {
+        // P(A, B) with A in {0,1}, B in {0,1,2}.
+        Factor::new(
+            vec![0, 1],
+            vec![2, 3],
+            vec![0.1, 0.2, 0.1, 0.05, 0.25, 0.3],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_scope_and_table() {
+        assert!(Factor::new(vec![0, 1], vec![2], vec![1.0]).is_err());
+        assert!(Factor::new(vec![1, 0], vec![2, 2], vec![1.0; 4]).is_err());
+        assert!(Factor::new(vec![0, 0], vec![2, 2], vec![1.0; 4]).is_err());
+        assert!(Factor::new(vec![0], vec![0], vec![]).is_err());
+        assert!(matches!(
+            Factor::new(vec![0], vec![2], vec![1.0]).unwrap_err(),
+            FactorError::BadTableLength { expected: 2, actual: 1 }
+        ));
+        assert!(Factor::new(vec![0], vec![2], vec![0.5, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let f = joint_ab();
+        assert_eq!(f.index_of(&[0, 0]), 0);
+        assert_eq!(f.index_of(&[0, 2]), 2);
+        assert_eq!(f.index_of(&[1, 0]), 3);
+        assert_eq!(f.value_at(&[1, 1]), 0.25);
+    }
+
+    #[test]
+    fn sum_out_matches_manual_marginal() {
+        let f = joint_ab();
+        let marg_a = f.sum_out(1).unwrap();
+        assert_eq!(marg_a.vars(), &[0]);
+        assert!((marg_a.table()[0] - 0.4).abs() < 1e-12);
+        assert!((marg_a.table()[1] - 0.6).abs() < 1e-12);
+        let marg_b = f.sum_out(0).unwrap();
+        assert_eq!(marg_b.vars(), &[1]);
+        assert!((marg_b.table()[0] - 0.15).abs() < 1e-12);
+        assert!((marg_b.table()[1] - 0.45).abs() < 1e-12);
+        assert!((marg_b.table()[2] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_out_to_scalar() {
+        let f = joint_ab();
+        let scalar = f.sum_out(0).unwrap().sum_out(1).unwrap();
+        assert!(scalar.is_empty());
+        assert!((scalar.table()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_out_takes_maximum() {
+        let f = joint_ab();
+        let m = f.max_out(1).unwrap();
+        assert!((m.table()[0] - 0.2).abs() < 1e-12);
+        assert!((m.table()[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_selects_slice() {
+        let f = joint_ab();
+        let r = f.reduce(1, 2).unwrap();
+        assert_eq!(r.vars(), &[0]);
+        assert!((r.table()[0] - 0.1).abs() < 1e-12);
+        assert!((r.table()[1] - 0.3).abs() < 1e-12);
+        assert!(f.reduce(1, 5).is_err());
+        assert!(f.reduce(7, 0).is_err());
+    }
+
+    #[test]
+    fn reduce_single_variable_factor() {
+        let f = Factor::new(vec![3], vec![3], vec![0.2, 0.3, 0.5]).unwrap();
+        let r = f.reduce(3, 1).unwrap();
+        assert!(r.is_empty());
+        assert!((r.table()[0] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_over_shared_variable() {
+        // P(A) * P(B|A) == P(A, B)
+        let p_a = Factor::new(vec![0], vec![2], vec![0.4, 0.6]).unwrap();
+        let p_b_given_a = Factor::new(
+            vec![0, 1],
+            vec![2, 3],
+            vec![0.25, 0.5, 0.25, 1.0 / 12.0, 5.0 / 12.0, 0.5],
+        )
+        .unwrap();
+        let joint = p_a.product(&p_b_given_a, DEFAULT_MAX_FACTOR_CELLS).unwrap();
+        assert_eq!(joint.vars(), &[0, 1]);
+        assert!((joint.value_at(&[0, 1]) - 0.4 * 0.5).abs() < 1e-12);
+        assert!((joint.value_at(&[1, 2]) - 0.6 * 0.5).abs() < 1e-12);
+        assert!((joint.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_disjoint_scopes() {
+        let f = Factor::new(vec![0], vec![2], vec![0.5, 0.5]).unwrap();
+        let g = Factor::new(vec![2], vec![2], vec![0.3, 0.7]).unwrap();
+        let p = f.product(&g, DEFAULT_MAX_FACTOR_CELLS).unwrap();
+        assert_eq!(p.vars(), &[0, 2]);
+        assert!((p.value_at(&[1, 0]) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_with_scalar_is_scaling() {
+        let f = Factor::new(vec![0], vec![2], vec![0.5, 0.5]).unwrap();
+        let s = Factor::scalar(2.0);
+        let p = f.product(&s, DEFAULT_MAX_FACTOR_CELLS).unwrap();
+        assert_eq!(p.vars(), &[0]);
+        assert!((p.table()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_respects_size_limit() {
+        let f = Factor::new(vec![0], vec![10], vec![0.1; 10]).unwrap();
+        let g = Factor::new(vec![1], vec![10], vec![0.1; 10]).unwrap();
+        assert!(matches!(f.product(&g, 50), Err(FactorError::TooLarge { cells: 100, limit: 50 })));
+    }
+
+    #[test]
+    fn product_rejects_mismatched_cardinality() {
+        let f = Factor::new(vec![0], vec![2], vec![0.5, 0.5]).unwrap();
+        let g = Factor::new(vec![0], vec![3], vec![0.3, 0.3, 0.4]).unwrap();
+        assert!(f.product(&g, DEFAULT_MAX_FACTOR_CELLS).is_err());
+    }
+
+    #[test]
+    fn normalized_handles_zero_mass() {
+        let f = Factor::new(vec![0], vec![2], vec![0.0, 0.0]).unwrap();
+        let n = f.normalized();
+        assert!((n.table()[0] - 0.5).abs() < 1e-12);
+        let g = Factor::new(vec![0], vec![2], vec![2.0, 6.0]).unwrap().normalized();
+        assert!((g.table()[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_of_joint() {
+        let f = joint_ab();
+        let m = f.marginal(1).unwrap();
+        assert_eq!(m.len(), 3);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((m[0] - 0.15).abs() < 1e-12);
+        assert!(f.marginal(9).is_err());
+    }
+
+    #[test]
+    fn uniform_and_scalar_constructors() {
+        let u = Factor::uniform(4, 5);
+        assert_eq!(u.vars(), &[4]);
+        assert!((u.total_mass() - 1.0).abs() < 1e-12);
+        assert!(u.contains(4));
+        assert!(!u.contains(0));
+        assert_eq!(u.cardinality_of(4), Some(5));
+        assert_eq!(u.cardinality_of(1), None);
+        let s = Factor::scalar(3.5);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 1);
+    }
+}

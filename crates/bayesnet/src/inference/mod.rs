@@ -1,0 +1,26 @@
+//! Classical Bayesian-network inference engines.
+//!
+//! The BClean paper's inference stage deliberately avoids full-network
+//! inference: variable elimination and belief propagation are exact but
+//! expensive, Gibbs sampling is cheaper but can propagate errors when the
+//! evidence itself is dirty (§6, §8). BClean instead scores candidates with
+//! the Markov-blanket ("partitioned") score implemented in
+//! [`crate::network::BayesianNetwork::blanket_log_score`].
+//!
+//! This module provides the classical engines the paper argues against so
+//! that the comparison — identical answers on small networks, very different
+//! costs as domains grow — can be reproduced, tested and benchmarked:
+//!
+//! * [`Factor`] — dense potentials with product / sum-out / max-out / reduce;
+//! * [`InferenceEngine::posterior`] — exact variable elimination with a
+//!   min-degree ordering;
+//! * [`InferenceEngine::posterior_gibbs`] — seeded Gibbs sampling;
+//! * [`InferenceEngine::posterior_lbp`] — loopy belief propagation.
+
+mod engine;
+mod factor;
+mod rng;
+
+pub use engine::{argmax_posterior, ApproxConfig, DiscreteDomain, InferenceEngine, InferenceError, Posterior};
+pub use factor::{Factor, FactorError, DEFAULT_MAX_FACTOR_CELLS};
+pub use rng::SplitMix64;

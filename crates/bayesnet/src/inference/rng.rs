@@ -1,0 +1,131 @@
+//! A tiny deterministic PRNG for the sampling-based inference engines.
+//!
+//! The Gibbs sampler only needs a fast, seedable source of uniform numbers;
+//! using a self-contained SplitMix64 keeps `bclean-bayesnet` free of runtime
+//! dependencies and makes every sampling run reproducible from its seed.
+
+/// SplitMix64: a small, high-quality 64-bit PRNG (public-domain algorithm by
+/// Sebastiano Vigna), adequate for Monte-Carlo sampling but not for
+/// cryptography.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Different seeds give independent streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform floating-point number in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform integer in `[0, bound)`. `bound` must be non-zero.
+    pub fn next_usize(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_f64() * bound as f64) as usize % bound
+    }
+
+    /// Sample an index from an (unnormalised) categorical distribution.
+    ///
+    /// Zero or negative weights are treated as zero; if every weight is zero
+    /// the first index is returned.
+    pub fn sample_categorical(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 || weights.is_empty() {
+            return 0;
+        }
+        let mut threshold = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                threshold -= w;
+                if threshold <= 0.0 {
+                    return i;
+                }
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn usize_respects_bound() {
+        let mut rng = SplitMix64::new(99);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let x = rng.next_usize(5);
+            assert!(x < 5);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn f64_mean_is_roughly_half() {
+        let mut rng = SplitMix64::new(123);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn categorical_follows_weights() {
+        let mut rng = SplitMix64::new(2024);
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[rng.sample_categorical(&weights)] += 1;
+        }
+        let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freq[0] - 0.1).abs() < 0.02);
+        assert!((freq[1] - 0.3).abs() < 0.02);
+        assert!((freq[2] - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn categorical_degenerate_inputs() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(rng.sample_categorical(&[]), 0);
+        assert_eq!(rng.sample_categorical(&[0.0, 0.0]), 0);
+        assert_eq!(rng.sample_categorical(&[f64::NAN, 0.0]), 0);
+        assert_eq!(rng.sample_categorical(&[0.0, 5.0]), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # bclean-bayesnet
+//!
+//! Bayesian networks for BClean: DAG structure, conditional probability
+//! tables, automatic structure learning (FDX-style similarity sampling +
+//! graphical lasso + `Θ = (I − B) Ω (I − B)ᵀ` decomposition), a hill-climbing
+//! baseline learner, Markov-blanket partitioning for fast inference, and an
+//! interactive editor for user adjustments of the learned network.
+//!
+//! This crate implements the *construction stage* of the paper (§4) and the
+//! probabilistic machinery used by the inference stage (§5–6); the cleaning
+//! algorithm itself (user constraints, compensatory score, Algorithm 1) lives
+//! in `bclean-core`.
+//!
+//! ```
+//! use bclean_bayesnet::{learn_structure, BayesianNetwork, StructureConfig};
+//! use bclean_data::dataset_from;
+//!
+//! let data = dataset_from(
+//!     &["Zip", "State"],
+//!     &(0..32).map(|i| if i % 2 == 0 { vec!["35150", "CA"] } else { vec!["35960", "KT"] })
+//!         .collect::<Vec<_>>(),
+//! );
+//! let structure = learn_structure(&data, StructureConfig::default());
+//! let bn = BayesianNetwork::learn(&data, structure.dag, 0.1);
+//! assert_eq!(bn.num_nodes(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cpt;
+pub mod edit;
+pub mod graph;
+pub mod inference;
+pub mod network;
+pub mod partition;
+pub mod sim;
+pub mod structure;
+
+pub use cpt::Cpt;
+pub use edit::{EditError, NetworkEdit, NetworkEditor};
+pub use graph::{Dag, GraphError};
+pub use inference::{
+    argmax_posterior, ApproxConfig, DiscreteDomain, Factor, FactorError, InferenceEngine, InferenceError,
+    Posterior, SplitMix64, DEFAULT_MAX_FACTOR_CELLS,
+};
+pub use network::{log_softmax_to_probs, BayesianNetwork, DEFAULT_ALPHA};
+pub use partition::{partition, SubNetwork};
+pub use sim::{edit_similarity, levenshtein, numeric_similarity, value_similarity, value_similarity_typed};
+pub use structure::{
+    autoregression_matrix, bic_score, hill_climb, learn_structure, similarity_samples, threshold_to_dag,
+    FdxConfig, HillClimbConfig, LearnedStructure, StructureConfig,
+};

@@ -1,0 +1,114 @@
+//! Network partitioning for Markov-blanket inference.
+//!
+//! Paper §6.1: instead of running exact inference over the full network, the
+//! network is split into one sub-network per node, containing the node, its
+//! one-hop parents and its one-hop children (`A_joint = A_parent ∪ {A_j} ∪
+//! A_child`). During inference on a node only the factors inside its
+//! sub-network participate, which both speeds up inference and stops repair
+//! errors elsewhere in the network from propagating.
+
+use crate::graph::Dag;
+
+/// The sub-network of one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubNetwork {
+    /// The dividing (inferred) node `A_j`.
+    pub target: usize,
+    /// One-hop parent nodes.
+    pub parents: Vec<usize>,
+    /// One-hop child nodes.
+    pub children: Vec<usize>,
+}
+
+impl SubNetwork {
+    /// All member nodes (`A_joint`), sorted, including the target.
+    pub fn joint(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self
+            .parents
+            .iter()
+            .chain(std::iter::once(&self.target))
+            .chain(self.children.iter())
+            .copied()
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// True when the target has neither parents nor children.
+    pub fn is_isolated(&self) -> bool {
+        self.parents.is_empty() && self.children.is_empty()
+    }
+
+    /// Number of member nodes including the target.
+    pub fn size(&self) -> usize {
+        self.joint().len()
+    }
+}
+
+/// Partition a DAG into one sub-network per node.
+pub fn partition(dag: &Dag) -> Vec<SubNetwork> {
+    (0..dag.num_nodes())
+        .map(|target| SubNetwork { target, parents: dag.parents(target), children: dag.children(target) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 4 isolated
+        let mut g = Dag::new(5);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(1, 3).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g
+    }
+
+    #[test]
+    fn one_subnetwork_per_node() {
+        let subs = partition(&diamond());
+        assert_eq!(subs.len(), 5);
+        for (i, s) in subs.iter().enumerate() {
+            assert_eq!(s.target, i);
+        }
+    }
+
+    #[test]
+    fn joint_sets_match_paper_definition() {
+        let subs = partition(&diamond());
+        assert_eq!(subs[0].joint(), vec![0, 1, 2]);
+        assert_eq!(subs[1].joint(), vec![0, 1, 3]);
+        assert_eq!(subs[3].joint(), vec![1, 2, 3]);
+        assert_eq!(subs[3].parents, vec![1, 2]);
+        assert!(subs[3].children.is_empty());
+    }
+
+    #[test]
+    fn isolated_node_detection() {
+        let subs = partition(&diamond());
+        assert!(subs[4].is_isolated());
+        assert!(!subs[0].is_isolated());
+        assert_eq!(subs[4].size(), 1);
+        assert_eq!(subs[0].size(), 3);
+    }
+
+    #[test]
+    fn subnetworks_may_overlap_without_interference() {
+        let subs = partition(&diamond());
+        // Node 1 appears in sub-networks of 0, 1 and 3.
+        let containing: Vec<usize> = subs
+            .iter()
+            .filter(|s| s.joint().contains(&1))
+            .map(|s| s.target)
+            .collect();
+        assert_eq!(containing, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn empty_graph_partition() {
+        assert!(partition(&Dag::new(0)).is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Greedy hill-climbing structure learning with a BIC score.
+//!
+//! This is the classical score-based learner (MMHC-style greedy search, paper
+//! §4's discussion of alternatives). BClean does not use it for its own
+//! construction — the paper argues such learners converge to local optima and
+//! are brittle on dirty data — but it is kept as a baseline for the
+//! structure-learning ablation bench and for the §7.3.2 experiment where the
+//! automatically learned Flights network is poor until a user repairs it.
+
+use bclean_data::Dataset;
+
+use crate::graph::Dag;
+use crate::network::BayesianNetwork;
+
+/// Configuration for the hill-climbing learner.
+#[derive(Debug, Clone, Copy)]
+pub struct HillClimbConfig {
+    /// Maximum number of greedy moves.
+    pub max_moves: usize,
+    /// Maximum number of parents per node.
+    pub max_parents: usize,
+    /// Laplace smoothing used when scoring candidate structures.
+    pub alpha: f64,
+    /// Minimum BIC improvement to accept a move.
+    pub min_improvement: f64,
+}
+
+impl Default for HillClimbConfig {
+    fn default() -> Self {
+        HillClimbConfig { max_moves: 50, max_parents: 2, alpha: 0.5, min_improvement: 1e-6 }
+    }
+}
+
+/// BIC score of a structure: `log L − 0.5·ln(n)·|params|` (higher is better).
+pub fn bic_score(dataset: &Dataset, dag: &Dag, alpha: f64) -> f64 {
+    let n = dataset.num_rows().max(1) as f64;
+    let bn = BayesianNetwork::learn(dataset, dag.clone(), alpha);
+    bn.log_likelihood(dataset) - 0.5 * n.ln() * bn.num_parameters() as f64
+}
+
+/// One greedy move considered by the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Move {
+    Add(usize, usize),
+    Remove(usize, usize),
+    Reverse(usize, usize),
+}
+
+/// Learn a structure by greedy hill climbing over add/remove/reverse moves.
+pub fn hill_climb(dataset: &Dataset, config: HillClimbConfig) -> Dag {
+    let m = dataset.num_columns();
+    let mut dag = Dag::new(m);
+    if m < 2 || dataset.num_rows() < 2 {
+        return dag;
+    }
+    let mut current_score = bic_score(dataset, &dag, config.alpha);
+    for _ in 0..config.max_moves {
+        let mut best: Option<(f64, Move)> = None;
+        for from in 0..m {
+            for to in 0..m {
+                if from == to {
+                    continue;
+                }
+                let candidate_moves = if dag.has_edge(from, to) {
+                    vec![Move::Remove(from, to), Move::Reverse(from, to)]
+                } else {
+                    vec![Move::Add(from, to)]
+                };
+                for mv in candidate_moves {
+                    if let Some(candidate) = apply_move(&dag, mv, config.max_parents) {
+                        let score = bic_score(dataset, &candidate, config.alpha);
+                        if score > current_score + config.min_improvement
+                            && best.as_ref().map_or(true, |(s, _)| score > *s)
+                        {
+                            best = Some((score, mv));
+                        }
+                    }
+                }
+            }
+        }
+        match best {
+            Some((score, mv)) => {
+                dag = apply_move(&dag, mv, config.max_parents).expect("move was validated");
+                current_score = score;
+            }
+            None => break,
+        }
+    }
+    dag
+}
+
+fn apply_move(dag: &Dag, mv: Move, max_parents: usize) -> Option<Dag> {
+    let mut d = dag.clone();
+    match mv {
+        Move::Add(from, to) => {
+            if d.parents(to).len() >= max_parents {
+                return None;
+            }
+            d.add_edge(from, to).ok()?;
+        }
+        Move::Remove(from, to) => {
+            d.remove_edge(from, to).ok()?;
+        }
+        Move::Reverse(from, to) => {
+            if d.parents(from).len() >= max_parents {
+                return None;
+            }
+            d.remove_edge(from, to).ok()?;
+            d.add_edge(to, from).ok()?;
+        }
+    }
+    Some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::dataset_from;
+
+    fn fd_dataset() -> Dataset {
+        let zips = ["35150", "35960", "36750"];
+        let states = ["CA", "KT", "AL"];
+        let rows: Vec<Vec<&str>> = (0..45).map(|i| vec![zips[i % 3], states[i % 3]]).collect();
+        dataset_from(&["Zip", "State"], &rows)
+    }
+
+    #[test]
+    fn finds_dependency_edge() {
+        let dag = hill_climb(&fd_dataset(), HillClimbConfig::default());
+        assert_eq!(dag.num_edges(), 1);
+        assert!(dag.has_edge(0, 1) || dag.has_edge(1, 0));
+    }
+
+    #[test]
+    fn bic_prefers_true_structure_over_empty() {
+        let data = fd_dataset();
+        let empty = Dag::new(2);
+        let mut fd = Dag::new(2);
+        fd.add_edge(0, 1).unwrap();
+        assert!(bic_score(&data, &fd, 0.5) > bic_score(&data, &empty, 0.5));
+    }
+
+    #[test]
+    fn bic_penalises_spurious_edges() {
+        // Two independent uniform columns: the empty structure should win.
+        let rows: Vec<Vec<String>> = (0..60)
+            .map(|i| vec![format!("a{}", i % 2), format!("b{}", (i / 7) % 3)])
+            .collect();
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+        let data = dataset_from(&["x", "y"], &refs);
+        let empty = Dag::new(2);
+        let mut edge = Dag::new(2);
+        edge.add_edge(0, 1).unwrap();
+        assert!(bic_score(&data, &empty, 0.5) >= bic_score(&data, &edge, 0.5));
+    }
+
+    #[test]
+    fn respects_max_parents() {
+        let rows: Vec<Vec<&str>> = (0..30)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec!["a", "a", "a", "a"]
+                } else {
+                    vec!["b", "b", "b", "b"]
+                }
+            })
+            .collect();
+        let data = dataset_from(&["w", "x", "y", "z"], &rows);
+        let dag = hill_climb(&data, HillClimbConfig { max_parents: 1, ..Default::default() });
+        for node in 0..4 {
+            assert!(dag.parents(node).len() <= 1);
+        }
+        assert!(dag.is_acyclic());
+    }
+
+    #[test]
+    fn trivial_inputs_yield_empty_dag() {
+        let one_col = dataset_from(&["a"], &[vec!["x"], vec!["y"]]);
+        assert_eq!(hill_climb(&one_col, HillClimbConfig::default()).num_edges(), 0);
+        let one_row = dataset_from(&["a", "b"], &[vec!["x", "y"]]);
+        assert_eq!(hill_climb(&one_row, HillClimbConfig::default()).num_edges(), 0);
+    }
+}

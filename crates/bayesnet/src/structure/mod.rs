@@ -1,0 +1,10 @@
+//! Structure learning: FDX-style similarity sampling, graphical-lasso
+//! skeleton construction and a hill-climbing baseline.
+
+pub mod fdx;
+pub mod hill_climbing;
+pub mod skeleton;
+
+pub use fdx::{similarity_samples, FdxConfig};
+pub use hill_climbing::{bic_score, hill_climb, HillClimbConfig};
+pub use skeleton::{autoregression_matrix, learn_structure, threshold_to_dag, LearnedStructure, StructureConfig};

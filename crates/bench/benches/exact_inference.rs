@@ -1,0 +1,123 @@
+//! Classical-inference ablation: BClean's partitioned Markov-blanket scoring
+//! vs. exact variable elimination, Gibbs sampling and loopy belief
+//! propagation for per-cell repair queries (the §6 / §8 motivation for
+//! partitioned inference), plus the raw factor-algebra kernels.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bclean_bayesnet::{ApproxConfig, Factor, InferenceEngine, DEFAULT_MAX_FACTOR_CELLS};
+use bclean_core::{BClean, Variant};
+use bclean_data::Value;
+use bclean_datagen::BenchmarkDataset;
+use bclean_eval::bclean_constraints;
+
+/// Per-cell repair query with each engine on a Hospital-style network.
+fn bench_repair_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair_query_engine");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(10);
+
+    let bench = BenchmarkDataset::Hospital.build_sized(300, 11);
+    let constraints = bclean_constraints(BenchmarkDataset::Hospital);
+    let model = BClean::new(Variant::PartitionedInference.config())
+        .with_constraints(constraints)
+        .fit(&bench.dirty);
+    let network = model.network();
+    let engine = InferenceEngine::new(network, &bench.dirty);
+
+    // Repair the State cell of the first injected error on a low-cardinality
+    // column, so that exact inference stays tractable inside the bench.
+    let err = bench
+        .errors
+        .iter()
+        .find(|e| {
+            let name = &network.attribute_names()[e.at.col];
+            name == "State" || name == "EmergencyService" || name == "City"
+        })
+        .or_else(|| bench.errors.first())
+        .expect("benchmark injects errors");
+    let row = bench.dirty.row(err.at.row).unwrap().to_vec();
+    let col = err.at.col;
+    let candidates: Vec<Value> = engine.domain(col).unwrap().values().to_vec();
+    let evidence: Vec<(usize, Value)> = row
+        .iter()
+        .enumerate()
+        .filter(|(i, v)| *i != col && engine.domain(*i).unwrap().index_of(v).is_some())
+        .map(|(i, v)| (i, v.clone()))
+        .collect();
+
+    group.bench_function("markov_blanket", |b| {
+        b.iter(|| {
+            candidates
+                .iter()
+                .map(|cand| network.blanket_log_score(&row, col, cand))
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+    });
+    group.bench_function("variable_elimination", |b| {
+        b.iter(|| engine.posterior(col, &evidence).unwrap())
+    });
+    group.bench_function("gibbs_500_samples", |b| {
+        b.iter(|| {
+            engine
+                .posterior_gibbs(col, &evidence, ApproxConfig { samples: 500, burn_in: 50, ..Default::default() })
+                .unwrap()
+        })
+    });
+    group.bench_function("loopy_belief_propagation", |b| {
+        b.iter(|| engine.posterior_lbp(col, &evidence, ApproxConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+/// Raw factor-algebra kernels: product and marginalisation at growing widths.
+fn bench_factor_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factor_ops");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+
+    for card in [4usize, 16, 64] {
+        let left = Factor::new(vec![0, 1], vec![card, card], vec![0.5; card * card]).unwrap();
+        let right = Factor::new(vec![1, 2], vec![card, card], vec![0.25; card * card]).unwrap();
+        group.bench_with_input(BenchmarkId::new("product", card), &card, |b, _| {
+            b.iter(|| left.product(&right, DEFAULT_MAX_FACTOR_CELLS).unwrap())
+        });
+        let joint = left.product(&right, DEFAULT_MAX_FACTOR_CELLS).unwrap();
+        group.bench_with_input(BenchmarkId::new("sum_out", card), &card, |b, _| {
+            b.iter(|| joint.sum_out(1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end engine setup cost: building all node factors for one exact query
+/// as the table grows (this is the cost the partitioned variant avoids).
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_inference_scaling");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(10);
+
+    for rows in [100usize, 200, 400] {
+        let bench = BenchmarkDataset::Flights.build_sized(rows, 5);
+        let model = BClean::new(Variant::PartitionedInference.config())
+            .with_constraints(bclean_constraints(BenchmarkDataset::Flights))
+            .fit(&bench.dirty);
+        let network = model.network().clone();
+        let data = bench.dirty.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                let engine = InferenceEngine::new(&network, &data);
+                let row = data.row(0).unwrap();
+                engine.posterior_for_cell(row, 2).map(|p| p.len()).unwrap_or(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair_query, bench_factor_ops, bench_engine_scaling);
+criterion_main!(benches);

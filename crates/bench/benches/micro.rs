@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the hot kernels: edit-distance similarity, regex
+//! matching of user-constraint patterns, CPT learning/lookup, and dataset
+//! generation + error injection.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bclean_bayesnet::{edit_similarity, BayesianNetwork, Dag};
+use bclean_datagen::{BenchmarkDataset, ErrorSpec};
+use bclean_regex::Regex;
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let pairs = [
+        ("315 w hickory st", "315 w hicky st"),
+        ("sylacauga", "sylacooga"),
+        ("voluntary non-profit - private", "voluntary non-profit - church"),
+    ];
+    for (i, (a, b)) in pairs.iter().enumerate() {
+        group.bench_with_input(BenchmarkId::from_parameter(i), &(*a, *b), |bencher, (a, b)| {
+            bencher.iter(|| edit_similarity(a, b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_regex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regex");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let zip = Regex::new("^([1-9][0-9]{4,4})$").expect("valid pattern");
+    let time = Regex::new(
+        r"([1-9]:[0-5][0-9][ap]\.m\.|1[0-2]:[0-5][0-9][ap]\.m\.|0[1-9]:[0-5][0-9][ap]\.m\.)",
+    )
+    .expect("valid pattern");
+    group.bench_function("zip_match", |b| b.iter(|| zip.is_full_match("35150")));
+    group.bench_function("zip_reject", |b| b.iter(|| zip.is_full_match("3x150")));
+    group.bench_function("time_match", |b| b.iter(|| time.is_full_match("12:45p.m.")));
+    group.bench_function("compile_time_pattern", |b| {
+        b.iter(|| Regex::new(r"([1-9]:[0-5][0-9][ap]\.m\.|1[0-2]:[0-5][0-9][ap]\.m\.)").unwrap())
+    });
+    group.finish();
+}
+
+fn bench_cpt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpt");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(20);
+    let data = BenchmarkDataset::Hospital.build_sized(500, 3).dirty;
+    // ProviderNumber -> {HospitalName, City, State, ZipCode}
+    let mut dag = Dag::new(data.num_columns());
+    for to in [1usize, 3, 4, 5] {
+        dag.add_edge(0, to).expect("valid edge");
+    }
+    group.bench_function("learn_parameters", |b| {
+        b.iter(|| BayesianNetwork::learn(&data, dag.clone(), 0.1))
+    });
+    let bn = BayesianNetwork::learn(&data, dag, 0.1);
+    let row = data.row(7).expect("row exists").to_vec();
+    group.bench_function("blanket_score", |b| {
+        b.iter(|| bn.blanket_log_score(&row, 4, &row[4]))
+    });
+    group.bench_function("log_joint", |b| b.iter(|| bn.log_joint(&row)));
+    group.finish();
+}
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(10);
+    group.bench_function("generate_hospital_1000", |b| {
+        b.iter(|| BenchmarkDataset::Hospital.generate_clean(1000, 9))
+    });
+    let clean = BenchmarkDataset::Hospital.generate_clean(1000, 9);
+    group.bench_function("inject_errors_5pct", |b| {
+        b.iter(|| bclean_datagen::inject_errors(&clean, &ErrorSpec::default_mix(0.05), 11))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity, bench_regex, bench_cpt, bench_datagen);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end cleaning runtime (Table 7's execution-time comparison):
+//! BClean variants and every baseline on small instances of the benchmarks.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bclean_core::Variant;
+use bclean_datagen::BenchmarkDataset;
+use bclean_eval::{run_method, Method};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(10);
+    let datasets = [
+        (BenchmarkDataset::Hospital, 300usize),
+        (BenchmarkDataset::Flights, 400),
+        (BenchmarkDataset::Beers, 300),
+    ];
+    let methods = [
+        Method::BClean(Variant::Basic),
+        Method::BClean(Variant::PartitionedInference),
+        Method::BClean(Variant::PartitionedInferencePruning),
+        Method::HoloClean,
+        Method::PClean,
+        Method::RahaBaran,
+        Method::Garf,
+    ];
+    for (dataset, rows) in datasets {
+        let bench_data = dataset.build_sized(rows, 7);
+        for method in methods {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), dataset.name()),
+                &bench_data,
+                |b, data| b.iter(|| run_method(method, dataset, data)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,402 @@
+//! Regenerate every table and figure of the BClean paper's evaluation (§7).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bclean-bench --release --bin experiments -- [EXPERIMENT] [--scale small|default|full]
+//! ```
+//!
+//! where `EXPERIMENT` is one of `table4`, `table5`, `table6`, `table7`,
+//! `table8`, `table9`, `table10`, `fig4a`, `fig4bcd`, `fig4ef`, `fig5`,
+//! `netedit`, or `all` (default). The default scale is `small` so the whole
+//! suite finishes quickly; use `--scale default` to reproduce at the paper's
+//! dataset sizes (see EXPERIMENTS.md).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bclean_bayesnet::NetworkEdit;
+use bclean_bench::{Scale, EXPERIMENT_SEED};
+use bclean_core::{BClean, BCleanConfig, CompensatoryParams, ConstraintKind, Variant};
+use bclean_datagen::{BenchmarkDataset, DirtyDataset, ErrorSpec, ErrorType, SwapMode};
+use bclean_eval::{
+    bclean_constraints, evaluate, format_duration, run_bclean_evaluated, run_method, ErrorTypeRecall,
+    Method, MethodRun, TextTable,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_string();
+    let mut scale = Scale::Small;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                if let Some(s) = iter.next().and_then(|s| Scale::parse(s)) {
+                    scale = s;
+                } else {
+                    eprintln!("unknown scale; expected small|default|full");
+                    std::process::exit(2);
+                }
+            }
+            "help" | "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other => experiment = other.to_string(),
+        }
+    }
+
+    println!("# BClean reproduction — experiment `{experiment}`, scale {scale:?}\n");
+    match experiment.as_str() {
+        "table4" => {
+            tables_4_and_7(scale);
+        }
+        "table5" => table5(scale),
+        "table6" => table6(scale),
+        "table7" => {
+            tables_4_and_7(scale);
+        }
+        "table8" => parameter_sweep(scale, "lambda"),
+        "table9" => parameter_sweep(scale, "beta"),
+        "table10" => parameter_sweep(scale, "tau"),
+        "fig4a" => fig4a(scale),
+        "fig4bcd" => fig4bcd(scale),
+        "fig4ef" => fig4ef(scale),
+        "fig5" => fig5(scale),
+        "netedit" => netedit(scale),
+        "all" => {
+            tables_4_and_7(scale);
+            table5(scale);
+            table6(scale);
+            parameter_sweep(scale, "lambda");
+            parameter_sweep(scale, "beta");
+            parameter_sweep(scale, "tau");
+            fig4a(scale);
+            fig4bcd(scale);
+            fig4ef(scale);
+            fig5(scale);
+            netedit(scale);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            print_help();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "experiments — regenerate the BClean paper's tables and figures\n\n\
+         EXPERIMENTS: table4 table5 table6 table7 table8 table9 table10\n\
+                      fig4a fig4bcd fig4ef fig5 netedit all\n\
+         OPTIONS:     --scale small|default|full   (default: small)"
+    );
+}
+
+fn build(dataset: BenchmarkDataset, scale: Scale) -> DirtyDataset {
+    dataset.build_sized(scale.rows(dataset), EXPERIMENT_SEED)
+}
+
+/// Is this (method, dataset) pair feasible at the given scale? Mirrors the
+/// paper's "out-of-runtime" dashes: the unoptimised BClean variant is skipped
+/// on the largest datasets at default/full scale.
+fn feasible(method: Method, dataset: BenchmarkDataset, scale: Scale) -> bool {
+    if scale == Scale::Small {
+        return true;
+    }
+    match method {
+        Method::BClean(Variant::Basic) | Method::BClean(Variant::NoUserConstraints) => {
+            !matches!(dataset, BenchmarkDataset::Soccer | BenchmarkDataset::Facilities)
+        }
+        _ => true,
+    }
+}
+
+/// Tables 4 (precision / recall / F1) and 7 (execution time), produced in one
+/// pass so every method is run exactly once per dataset.
+fn tables_4_and_7(scale: Scale) {
+    println!("## Table 4 — precision / recall / F1 of data cleaning methods\n");
+    let datasets = BenchmarkDataset::all();
+    let methods = Method::table4_methods();
+    let mut quality = TextTable::new(
+        std::iter::once("Method".to_string())
+            .chain(datasets.iter().map(|d| format!("{} (P/R/F1)", d.name())))
+            .collect::<Vec<_>>(),
+    );
+    let mut runtime = TextTable::new(
+        std::iter::once("Method".to_string())
+            .chain(datasets.iter().map(|d| d.name().to_string()))
+            .collect::<Vec<_>>(),
+    );
+    let mut runs: HashMap<(String, &'static str), MethodRun> = HashMap::new();
+    for &method in &methods {
+        let mut qrow = vec![method.name()];
+        let mut trow = vec![method.name()];
+        for &dataset in &datasets {
+            if !feasible(method, dataset, scale) {
+                qrow.push("-".to_string());
+                trow.push("-".to_string());
+                continue;
+            }
+            let bench = build(dataset, scale);
+            let run = run_method(method, dataset, &bench);
+            qrow.push(run.metrics.triple());
+            trow.push(format_duration(run.exec_time));
+            runs.insert((method.name(), dataset.name()), run);
+        }
+        quality.add_row(qrow);
+        runtime.add_row(trow);
+    }
+    println!("{}", quality.render());
+    println!("## Table 7 — execution time (user time is a human-study metric; see EXPERIMENTS.md)\n");
+    println!("{}", runtime.render());
+}
+
+/// Table 5 — cleaning quality on a sampled Soccer dataset.
+fn table5(scale: Scale) {
+    println!("## Table 5 — precision / recall / F1 on sampled Soccer\n");
+    let rows = match scale {
+        Scale::Small => 1000,
+        Scale::Default => 5000,
+        Scale::Full => 50_000,
+    };
+    let bench = BenchmarkDataset::Soccer.build_sized(rows, EXPERIMENT_SEED + 5);
+    let mut table = TextTable::new(vec!["Method", "P/R/F1"]);
+    for method in [
+        Method::BClean(Variant::PartitionedInference),
+        Method::HoloClean,
+        Method::PClean,
+        Method::RahaBaran,
+    ] {
+        let run = run_method(method, BenchmarkDataset::Soccer, &bench);
+        table.add_row(vec![run.method.clone(), run.metrics.triple()]);
+    }
+    println!("{}", table.render());
+}
+
+/// Table 6 — recall per error type (T, M, I).
+fn table6(scale: Scale) {
+    println!("## Table 6 — recall for different types of errors (T / M / I)\n");
+    let datasets = [BenchmarkDataset::Soccer, BenchmarkDataset::Inpatient, BenchmarkDataset::Facilities];
+    let methods = [
+        Method::BClean(Variant::PartitionedInference),
+        Method::PClean,
+        Method::HoloClean,
+        Method::RahaBaran,
+    ];
+    let mut table = TextTable::new(
+        std::iter::once("Method".to_string())
+            .chain(datasets.iter().map(|d| format!("{} (T/M/I)", d.name())))
+            .collect::<Vec<_>>(),
+    );
+    for &method in &methods {
+        let mut row = vec![method.name()];
+        for &dataset in &datasets {
+            let bench = build(dataset, scale);
+            let run = run_method(method, dataset, &bench);
+            let recalls = ErrorTypeRecall::compute(&bench, &run.cleaned);
+            let fmt = |t: ErrorType| {
+                recalls.recall(t).map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".to_string())
+            };
+            row.push(format!("{}/{}/{}", fmt(ErrorType::Typo), fmt(ErrorType::Missing), fmt(ErrorType::Inconsistency)));
+        }
+        table.add_row(row);
+    }
+    println!("{}", table.render());
+}
+
+/// Tables 8–10 — the λ, β, τ parameter sweeps on Hospital.
+fn parameter_sweep(scale: Scale, which: &str) {
+    let (label, values): (&str, Vec<f64>) = match which {
+        "lambda" => ("Table 8 — varying λ on Hospital (β=2, τ=0.5)", vec![0.0, 1.0, 2.0, 5.0, 10.0, 15.0]),
+        "beta" => ("Table 9 — varying β on Hospital (λ=1, τ=0.5)", vec![0.0, 1.0, 2.0, 10.0, 50.0]),
+        _ => ("Table 10 — varying τ on Hospital (λ=1, β=2)", vec![0.1, 0.3, 0.5, 0.7, 0.9]),
+    };
+    println!("## {label}\n");
+    let bench = build(BenchmarkDataset::Hospital, scale);
+    let constraints = bclean_constraints(BenchmarkDataset::Hospital);
+    let mut table = TextTable::new(vec![which.to_string(), "F1".to_string()]);
+    for &v in &values {
+        let params = match which {
+            "lambda" => CompensatoryParams { lambda: v, ..CompensatoryParams::default() },
+            "beta" => CompensatoryParams { beta: v, ..CompensatoryParams::default() },
+            _ => CompensatoryParams { tau: v, ..CompensatoryParams::default() },
+        };
+        let config = BCleanConfig { params, ..Variant::PartitionedInference.config() };
+        let (metrics, _) = run_bclean_evaluated(config, constraints.clone(), &bench);
+        table.add_row(vec![format!("{v}"), format!("{:.5}", metrics.f1)]);
+    }
+    println!("{}", table.render());
+}
+
+/// Figure 4(a) — distribution of injected error types.
+fn fig4a(scale: Scale) {
+    println!("## Figure 4(a) — error distributions (injected error counts per type)\n");
+    let mut table = TextTable::new(vec!["Dataset", "M", "T", "I", "S"]);
+    for dataset in [BenchmarkDataset::Soccer, BenchmarkDataset::Inpatient, BenchmarkDataset::Facilities] {
+        let bench = build(dataset, scale);
+        let counts = bench.errors_by_type();
+        let get = |t: ErrorType| counts.get(&t).copied().unwrap_or(0).to_string();
+        table.add_row(vec![
+            dataset.name().to_string(),
+            get(ErrorType::Missing),
+            get(ErrorType::Typo),
+            get(ErrorType::Inconsistency),
+            get(ErrorType::Swap),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// Figure 4(b)–(d) — F1 while varying the error ratio from 10% to 70%.
+fn fig4bcd(scale: Scale) {
+    println!("## Figure 4(b)-(d) — F1 vs. error ratio (10%..70%)\n");
+    let datasets = [BenchmarkDataset::Flights, BenchmarkDataset::Inpatient, BenchmarkDataset::Facilities];
+    let methods = [
+        Method::BClean(Variant::PartitionedInference),
+        Method::RahaBaran,
+        Method::HoloClean,
+    ];
+    for dataset in datasets {
+        println!("### {}\n", dataset.name());
+        let mut table = TextTable::new(vec!["Error rate", "BCleanPI", "Raha+Baran", "HoloClean"]);
+        for rate_pct in [10, 30, 50, 70] {
+            let rate = rate_pct as f64 / 100.0;
+            let rows = scale.rows(dataset).min(2000);
+            let bench = dataset.build_with_rate(rows, rate, EXPERIMENT_SEED + rate_pct as u64);
+            let mut row = vec![format!("{rate_pct}%")];
+            for &method in &methods {
+                let run = run_method(method, dataset, &bench);
+                row.push(format!("{:.3}", run.metrics.f1));
+            }
+            table.add_row(row);
+        }
+        println!("{}", table.render());
+    }
+}
+
+/// Figure 4(e)–(f) — recall under swapping-value errors (same / different domain).
+fn fig4ef(scale: Scale) {
+    println!("## Figure 4(e)-(f) — recall under swapping value errors\n");
+    let cases = [
+        (BenchmarkDataset::Inpatient, 0.10),
+        (BenchmarkDataset::Facilities, 0.05),
+    ];
+    let methods = [
+        Method::BClean(Variant::PartitionedInference),
+        Method::PClean,
+        Method::HoloClean,
+        Method::RahaBaran,
+    ];
+    for (dataset, rate) in cases {
+        println!("### {} ({}% swap errors)\n", dataset.name(), (rate * 100.0) as u32);
+        let mut table = TextTable::new(vec!["Method", "Same domain", "Different domain"]);
+        let rows = scale.rows(dataset).min(2000);
+        let clean = dataset.generate_clean(rows, EXPERIMENT_SEED);
+        let same = bclean_datagen::inject_errors(
+            &clean,
+            &ErrorSpec::only(ErrorType::Swap, rate).with_swap_mode(SwapMode::SameAttribute),
+            EXPERIMENT_SEED + 31,
+        );
+        let different = bclean_datagen::inject_errors(
+            &clean,
+            &ErrorSpec::only(ErrorType::Swap, rate).with_swap_mode(SwapMode::DifferentAttribute),
+            EXPERIMENT_SEED + 37,
+        );
+        for &method in &methods {
+            let same_run = run_method(method, dataset, &same);
+            let diff_run = run_method(method, dataset, &different);
+            table.add_row(vec![
+                method.name(),
+                format!("{:.3}", same_run.metrics.recall),
+                format!("{:.3}", diff_run.metrics.recall),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}
+
+/// Figure 5 — effect of incomplete user constraints on precision and recall.
+fn fig5(scale: Scale) {
+    println!("## Figure 5 — effect of incomplete UCs (Com / Max / Min / Nul / Pat / All)\n");
+    let datasets = [BenchmarkDataset::Hospital, BenchmarkDataset::Flights, BenchmarkDataset::Soccer];
+    let ablations: [(&str, Option<ConstraintKind>); 6] = [
+        ("Com", None),
+        ("Max", Some(ConstraintKind::Max)),
+        ("Min", Some(ConstraintKind::Min)),
+        ("Nul", Some(ConstraintKind::NotNull)),
+        ("Pat", Some(ConstraintKind::Pattern)),
+        ("All", None), // handled specially: remove everything
+    ];
+    for dataset in datasets {
+        println!("### {}\n", dataset.name());
+        let rows = scale.rows(dataset).min(3000);
+        let bench = dataset.build_sized(rows, EXPERIMENT_SEED + 53);
+        let full = bclean_constraints(dataset);
+        let mut table = TextTable::new(vec!["UC set", "Precision", "Recall"]);
+        for (label, kind) in ablations {
+            let constraints = match (label, kind) {
+                ("All", _) => bclean_core::ConstraintSet::new(),
+                (_, Some(kind)) => full.without_kind(kind),
+                _ => full.clone(),
+            };
+            let (metrics, _) = run_bclean_evaluated(Variant::PartitionedInference.config(), constraints, &bench);
+            table.add_row(vec![label.to_string(), format!("{:.3}", metrics.precision), format!("{:.3}", metrics.recall)]);
+        }
+        println!("{}", table.render());
+    }
+}
+
+/// §7.3.2 — impact of user network manipulation on Flights.
+fn netedit(scale: Scale) {
+    println!("## §7.3.2 — impact of user network manipulation (Flights)\n");
+    let bench = build(BenchmarkDataset::Flights, scale);
+    let constraints = bclean_constraints(BenchmarkDataset::Flights);
+    // Automatically learned network.
+    let auto_model = BClean::new(Variant::PartitionedInference.config())
+        .with_constraints(constraints.clone())
+        .fit(&bench.dirty);
+    let auto_start = std::time::Instant::now();
+    let auto_result = auto_model.clean(&bench.dirty);
+    let auto_time = auto_start.elapsed();
+    let auto_metrics = evaluate(&bench.dirty, &auto_result.cleaned, &bench.clean).expect("shapes match");
+
+    // User adjustment: make `flight` the parent of the four time attributes.
+    let mut edited_model = BClean::new(Variant::PartitionedInference.config())
+        .with_constraints(constraints)
+        .fit(&bench.dirty);
+    let schema = bench.dirty.schema();
+    let flight = schema.index_of("flight").expect("flight attribute exists");
+    let mut edits = Vec::new();
+    for (from, to) in edited_model.network().dag().edges() {
+        edits.push(NetworkEdit::RemoveEdge { from, to });
+    }
+    for time_attr in ["sched_dep_time", "act_dep_time", "sched_arr_time", "act_arr_time"] {
+        let to = schema.index_of(time_attr).expect("time attribute exists");
+        edits.push(NetworkEdit::AddEdge { from: flight, to });
+    }
+    edited_model.edit_network(&bench.dirty, edits).expect("edits are valid");
+    let edit_start = std::time::Instant::now();
+    let edited_result = edited_model.clean(&bench.dirty);
+    let edit_time: Duration = edit_start.elapsed();
+    let edited_metrics = evaluate(&bench.dirty, &edited_result.cleaned, &bench.clean).expect("shapes match");
+
+    let mut table = TextTable::new(vec!["Network", "Precision", "Recall", "F1", "Exec"]);
+    table.add_row(vec![
+        "Automatic".to_string(),
+        format!("{:.3}", auto_metrics.precision),
+        format!("{:.3}", auto_metrics.recall),
+        format!("{:.3}", auto_metrics.f1),
+        format_duration(auto_time),
+    ]);
+    table.add_row(vec![
+        "User-adjusted".to_string(),
+        format!("{:.3}", edited_metrics.precision),
+        format!("{:.3}", edited_metrics.recall),
+        format!("{:.3}", edited_metrics.f1),
+        format_duration(edit_time),
+    ]);
+    println!("{}", table.render());
+}

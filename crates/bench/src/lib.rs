@@ -1,0 +1,65 @@
+//! # bclean-bench
+//!
+//! The benchmark harness of the BClean reproduction. The `experiments`
+//! binary regenerates every table and figure of the paper's evaluation
+//! (§7) against the synthetic benchmarks; the Criterion benches under
+//! `benches/` measure the performance-sensitive kernels (structure learning,
+//! inference, compensatory-score construction, regex matching).
+//!
+//! Run `cargo run -p bclean-bench --release --bin experiments -- help` for
+//! the list of reproducible experiments.
+
+#![warn(missing_docs)]
+
+use bclean_datagen::BenchmarkDataset;
+
+/// How large the generated benchmarks are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~10% of the paper's row counts; finishes in seconds. Default for CI.
+    Small,
+    /// The paper's row counts (Soccer scaled to 20 000 rows).
+    Default,
+    /// The paper's row counts including the full 200 000-row Soccer table.
+    Full,
+}
+
+impl Scale {
+    /// Parse a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "default" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Number of rows to generate for a dataset at this scale.
+    pub fn rows(&self, dataset: BenchmarkDataset) -> usize {
+        match self {
+            Scale::Small => dataset.small_rows(),
+            Scale::Default => dataset.default_rows(),
+            Scale::Full => dataset.paper_rows(),
+        }
+    }
+}
+
+/// Deterministic seed shared by all experiments so every table is reproducible.
+pub const EXPERIMENT_SEED: u64 = 20240612;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_and_rows() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("nope"), None);
+        assert!(Scale::Small.rows(BenchmarkDataset::Hospital) < Scale::Default.rows(BenchmarkDataset::Hospital));
+        assert_eq!(Scale::Full.rows(BenchmarkDataset::Soccer), 200_000);
+        assert_eq!(Scale::Default.rows(BenchmarkDataset::Soccer), 20_000);
+    }
+}

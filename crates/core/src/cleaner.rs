@@ -1,0 +1,666 @@
+//! The BClean cleaning algorithm (paper Algorithm 1 with the §6 optimisations).
+//!
+//! Usage is a two-step *fit / clean* flow mirroring the paper's construction
+//! and inference stages:
+//!
+//! 1. [`BClean::fit`] learns the Bayesian-network structure from the dirty
+//!    dataset (FDX similarity sampling + graphical lasso), learns the CPTs,
+//!    and builds the compensatory co-occurrence model (Algorithm 2). The
+//!    resulting [`BCleanModel`] can optionally be adjusted through the
+//!    network editor before inference (paper §4's user interaction).
+//! 2. [`BCleanModel::clean`] runs MAP inference over every cell: for each
+//!    candidate value `c` satisfying the user constraints it scores
+//!    `log BN[A_j](c) + log CS[A_j](c)` and keeps the arg-max (Algorithm 1),
+//!    with optional tuple pruning (pre-detection) and domain pruning (§6.2).
+
+use std::time::Instant;
+
+use bclean_bayesnet::{learn_structure, BayesianNetwork, Dag, NetworkEdit, NetworkEditor};
+use bclean_data::{CellRef, Dataset, Domains, Value};
+
+use crate::compensatory::CompensatoryModel;
+use crate::config::BCleanConfig;
+use crate::constraints::ConstraintSet;
+use crate::report::{CleaningResult, CleaningStats, Repair};
+
+/// The BClean system: configuration plus user constraints.
+#[derive(Debug, Clone, Default)]
+pub struct BClean {
+    config: BCleanConfig,
+    constraints: ConstraintSet,
+}
+
+impl BClean {
+    /// Create a cleaner with the given configuration and no constraints.
+    pub fn new(config: BCleanConfig) -> BClean {
+        BClean { config, constraints: ConstraintSet::new() }
+    }
+
+    /// Attach user constraints (builder style).
+    pub fn with_constraints(mut self, constraints: ConstraintSet) -> BClean {
+        self.constraints = constraints;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BCleanConfig {
+        &self.config
+    }
+
+    /// The attached constraints.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Construction stage: learn structure, CPTs and the compensatory model
+    /// from the observed dataset.
+    pub fn fit(&self, dataset: &Dataset) -> BCleanModel {
+        let start = Instant::now();
+        let structure = learn_structure(dataset, self.config.structure);
+        self.fit_with_dag(dataset, structure.dag, start)
+    }
+
+    /// Construction stage with a user-provided (or user-edited) structure.
+    pub fn fit_with_structure(&self, dataset: &Dataset, dag: Dag) -> BCleanModel {
+        self.fit_with_dag(dataset, dag, Instant::now())
+    }
+
+    fn fit_with_dag(&self, dataset: &Dataset, dag: Dag, start: Instant) -> BCleanModel {
+        let network = BayesianNetwork::learn(dataset, dag, self.config.alpha);
+        let constraints = if self.config.use_constraints {
+            self.constraints.clone()
+        } else {
+            ConstraintSet::new()
+        };
+        let compensatory = CompensatoryModel::build(dataset, &constraints, self.config.params);
+        let domains = Domains::compute(dataset);
+        let fd_confidence = fd_confidence_matrix(dataset);
+        BCleanModel {
+            config: self.config.clone(),
+            constraints,
+            network,
+            compensatory,
+            domains,
+            fd_confidence,
+            fit_duration: start.elapsed(),
+        }
+    }
+}
+
+/// Softened-FD confidence matrix: entry `(k, j)` is how reliably attribute `k`
+/// determines attribute `j` (average majority share within `k`-value groups of
+/// size ≥ 2). Used to pick anchor contexts during inference.
+fn fd_confidence_matrix(dataset: &Dataset) -> Vec<Vec<f64>> {
+    use std::collections::HashMap;
+    let m = dataset.num_columns();
+    let mut matrix = vec![vec![0.0; m]; m];
+    for k in 0..m {
+        // Group rows by the value of attribute k.
+        let mut groups: HashMap<&Value, Vec<usize>> = HashMap::new();
+        for (r, row) in dataset.rows().enumerate() {
+            if !row[k].is_null() {
+                groups.entry(&row[k]).or_default().push(r);
+            }
+        }
+        for j in 0..m {
+            if j == k {
+                matrix[k][j] = 1.0;
+                continue;
+            }
+            let mut consistent = 0usize;
+            let mut total = 0usize;
+            for rows in groups.values() {
+                if rows.len() < 2 {
+                    continue;
+                }
+                let mut counts: HashMap<&Value, usize> = HashMap::new();
+                for &r in rows {
+                    let v = dataset.cell(r, j).expect("cell in range");
+                    if !v.is_null() {
+                        *counts.entry(v).or_insert(0) += 1;
+                    }
+                }
+                let group_total: usize = counts.values().sum();
+                consistent += counts.values().copied().max().unwrap_or(0);
+                total += group_total;
+            }
+            matrix[k][j] = if total == 0 { 0.0 } else { consistent as f64 / total as f64 };
+        }
+    }
+    matrix
+}
+
+/// A fitted BClean model, ready to clean datasets that share the training
+/// dataset's schema.
+#[derive(Debug, Clone)]
+pub struct BCleanModel {
+    config: BCleanConfig,
+    constraints: ConstraintSet,
+    network: BayesianNetwork,
+    compensatory: CompensatoryModel,
+    domains: Domains,
+    fd_confidence: Vec<Vec<f64>>,
+    fit_duration: std::time::Duration,
+}
+
+impl BCleanModel {
+    /// The learned Bayesian network.
+    pub fn network(&self) -> &BayesianNetwork {
+        &self.network
+    }
+
+    /// The compensatory model.
+    pub fn compensatory(&self) -> &CompensatoryModel {
+        &self.compensatory
+    }
+
+    /// The configuration used to fit the model.
+    pub fn config(&self) -> &BCleanConfig {
+        &self.config
+    }
+
+    /// Per-attribute observed domains.
+    pub fn domains(&self) -> &Domains {
+        &self.domains
+    }
+
+    /// Apply user edits to the network (paper §4's interaction step) and
+    /// relearn the CPTs affected by the edits.
+    pub fn edit_network(
+        &mut self,
+        dataset: &Dataset,
+        edits: impl IntoIterator<Item = NetworkEdit>,
+    ) -> Result<(), bclean_bayesnet::EditError> {
+        let mut editor = NetworkEditor::new(dataset, &self.network, self.config.alpha);
+        editor.apply_all(edits)?;
+        self.network = editor.finish(&self.network);
+        Ok(())
+    }
+
+    /// Score every candidate repair for one cell, returning `(candidate,
+    /// score)` pairs sorted by decreasing score. The observed value is always
+    /// included (it is the arg-max baseline of Algorithm 1).
+    pub fn score_candidates(&self, dataset: &Dataset, row: usize, col: usize) -> Vec<(Value, f64)> {
+        let row_values = dataset.row(row).expect("row index in range");
+        let original = &row_values[col];
+        let anchor = self.anchor_context(row_values, col);
+        let candidates = self.candidates_for(dataset.schema(), row_values, col, original, anchor);
+        let mut scored: Vec<(Value, f64)> = candidates
+            .into_iter()
+            .map(|c| {
+                let s = self.score(row_values, col, &c);
+                (c, s)
+            })
+            .collect();
+        let original_score = self.score(row_values, col, original);
+        if !scored.iter().any(|(c, _)| c == original) {
+            scored.push((original.clone(), original_score));
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored
+    }
+
+    /// Clean a dataset (inference stage, Algorithm 1).
+    pub fn clean(&self, dataset: &Dataset) -> CleaningResult {
+        let start = Instant::now();
+        let n = dataset.num_rows();
+        let threads = self.config.effective_threads().max(1).min(n.max(1));
+        let mut repairs: Vec<Repair> = Vec::new();
+        let mut stats = CleaningStats::default();
+
+        if threads <= 1 || n < 64 {
+            let (mut r, s) = self.clean_rows(dataset, 0, n);
+            repairs.append(&mut r);
+            stats.merge(&s);
+        } else {
+            let chunk = n.div_ceil(threads);
+            let results = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    if lo >= hi {
+                        continue;
+                    }
+                    handles.push(scope.spawn(move || self.clean_rows(dataset, lo, hi)));
+                }
+                handles.into_iter().map(|h| h.join().expect("cleaning worker panicked")).collect::<Vec<_>>()
+            });
+            for (mut r, s) in results {
+                repairs.append(&mut r);
+                stats.merge(&s);
+            }
+        }
+
+        repairs.sort_by_key(|r| (r.at.row, r.at.col));
+        let mut cleaned = dataset.clone();
+        for repair in &repairs {
+            cleaned
+                .set_cell(repair.at.row, repair.at.col, repair.to.clone())
+                .expect("repair coordinates are valid");
+        }
+        stats.repairs = repairs.len();
+        stats.duration = start.elapsed();
+        stats.fit_duration = self.fit_duration;
+        CleaningResult { cleaned, repairs, stats }
+    }
+
+    /// Clean a contiguous range of rows (one parallel work unit).
+    fn clean_rows(&self, dataset: &Dataset, lo: usize, hi: usize) -> (Vec<Repair>, CleaningStats) {
+        let mut repairs = Vec::new();
+        let mut stats = CleaningStats::default();
+        for row_idx in lo..hi {
+            let row = dataset.row(row_idx).expect("row index in range");
+            for col in 0..dataset.num_columns() {
+                // Pre-detection / tuple pruning (§6.2): skip cells that already
+                // co-occur strongly with the rest of their tuple.
+                if self.config.tuple_pruning
+                    && !row[col].is_null()
+                    && self.compensatory.filter_score(row, col) >= self.config.tau_clean
+                {
+                    stats.cells_skipped += 1;
+                    continue;
+                }
+                stats.cells_examined += 1;
+                if let Some(repair) = self.infer_cell(dataset, row_idx, row, col, &mut stats) {
+                    repairs.push(repair);
+                }
+            }
+        }
+        (repairs, stats)
+    }
+
+    /// Algorithm 1 for one cell: return a repair when some candidate beats the
+    /// observed value.
+    fn infer_cell(
+        &self,
+        dataset: &Dataset,
+        row_idx: usize,
+        row: &[Value],
+        col: usize,
+        stats: &mut CleaningStats,
+    ) -> Option<Repair> {
+        let original = &row[col];
+        let anchor = self.anchor_context(row, col);
+        // A value that violates its own user constraints is known to be wrong
+        // (Eq. 1 restricts the arg-max to UC-satisfying values), so it cannot
+        // defend its cell: the best constraint-satisfying candidate wins.
+        let original_satisfies_uc = !self.config.use_constraints
+            || (self
+                .network
+                .attribute_names()
+                .get(col)
+                .map_or(true, |name| self.constraints.check(name, original))
+                && self.constraints.check_tuple_with(dataset.schema(), row, col, original));
+        let original_score = if original_satisfies_uc {
+            self.score(row, col, original)
+        } else {
+            f64::NEG_INFINITY
+        };
+        let mut best_value: Option<Value> = None;
+        let mut best_score = original_score;
+
+        let base_margin = if anchor.is_some() { self.config.repair_margin } else { self.config.no_anchor_margin };
+        for candidate in self.candidates_for(dataset.schema(), row, col, original, anchor) {
+            if &candidate == original {
+                continue;
+            }
+            stats.candidates_evaluated += 1;
+            let score = self.score(row, col, &candidate);
+            let margin = if best_value.is_none() && original_score.is_finite() {
+                base_margin
+            } else {
+                0.0
+            };
+            if score > best_score + margin {
+                best_score = score;
+                best_value = Some(candidate);
+            }
+        }
+
+        best_value.map(|to| Repair {
+            at: CellRef::new(row_idx, col),
+            attribute: dataset
+                .schema()
+                .attribute(col)
+                .map(|a| a.name.clone())
+                .unwrap_or_default(),
+            from: original.clone(),
+            to,
+            score_gain: if original_score.is_finite() { best_score - original_score } else { f64::INFINITY },
+        })
+    }
+
+    /// The cell's *anchor context*: the most selective other attribute of the
+    /// tuple that (a) reliably determines the cell's attribute (softened-FD
+    /// confidence above the configured threshold) and (b) whose value in this
+    /// tuple is shared by at least one more tuple. Repairs must be
+    /// corroborated by a tuple sharing this value when such an anchor exists.
+    fn anchor_context(&self, row: &[Value], col: usize) -> Option<usize> {
+        if !self.config.anchored_candidates {
+            return None;
+        }
+        let mut best: Option<(usize, usize)> = None;
+        for k in 0..row.len() {
+            if k == col || row[k].is_null() {
+                continue;
+            }
+            if self.fd_confidence[k][col] < self.config.anchor_min_confidence {
+                continue;
+            }
+            let count = self.compensatory.value_count(k, &row[k]);
+            if count < 2 {
+                continue;
+            }
+            if best.map_or(true, |(_, c)| count < c) {
+                best = Some((k, count));
+            }
+        }
+        best.map(|(k, _)| k)
+    }
+
+    /// Candidate generation: domain values, filtered by user constraints
+    /// (Eq. 1's `UC(c) = 1`, both per-attribute and tuple-level rules), by the
+    /// anchor-corroboration requirement, and optionally by domain pruning (§6.2).
+    fn candidates_for(
+        &self,
+        schema: &bclean_data::Schema,
+        row: &[Value],
+        col: usize,
+        original: &Value,
+        anchor: Option<usize>,
+    ) -> Vec<Value> {
+        let domain = self.domains.attribute(col);
+        let schema_check = |v: &Value| {
+            !self.config.use_constraints
+                || (self
+                    .network
+                    .attribute_names()
+                    .get(col)
+                    .map_or(true, |name| self.constraints.check(name, v))
+                    && self.constraints.check_tuple_with(schema, row, col, v))
+        };
+        let anchored = |v: &Value| match anchor {
+            Some(k) => self.compensatory.pair_count(col, v, k, &row[k]) >= 1,
+            None => true,
+        };
+        let mut candidates: Vec<Value> = domain
+            .values()
+            .iter()
+            .filter(|v| schema_check(v) && anchored(v))
+            .cloned()
+            .collect();
+
+        if self.config.domain_pruning && candidates.len() > self.config.domain_top_k {
+            // Treat the cell's sub-network as the semantic context and keep the
+            // TF-IDF top-k candidates.
+            let mut context = self.network.dag().joint_set(col);
+            if context.len() <= 1 {
+                context = (0..row.len()).collect();
+            }
+            let mut scored: Vec<(f64, Value)> = candidates
+                .into_iter()
+                .map(|c| (self.compensatory.tfidf_score(row, col, &c, &context), c))
+                .collect();
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            candidates = scored.into_iter().take(self.config.domain_top_k).map(|(_, c)| c).collect();
+        }
+
+        if candidates.len() > self.config.max_candidates {
+            // Deterministic cap for pathological domains: keep the most frequent values.
+            candidates.sort_by_key(|c| std::cmp::Reverse(domain.count(c)));
+            candidates.truncate(self.config.max_candidates);
+        }
+
+        if !original.is_null() && !candidates.iter().any(|c| c == original) {
+            candidates.push(original.clone());
+        }
+        candidates
+    }
+
+    /// The Algorithm 1 score of one candidate:
+    /// `log BN[A_j](c) + log CS[A_j](c)`.
+    ///
+    /// Nodes without parents are scored with a uniform prior (paper §6.1):
+    /// only the likelihood of their children and the compensatory score
+    /// discriminate between candidates, which prevents the raw value
+    /// frequency from overwriting rare-but-correct values.
+    fn score(&self, row: &[Value], col: usize, candidate: &Value) -> f64 {
+        let has_parents = !self.network.dag().parents(col).is_empty();
+        let bn_score = if self.config.partitioned_inference {
+            if has_parents {
+                self.network.blanket_log_score(row, col, candidate)
+            } else {
+                self.network.children_log_likelihood(row, col, candidate)
+            }
+        } else {
+            // Whole-network scoring: every factor of the joint is evaluated.
+            let joint = self.network.log_joint_with(row, col, candidate);
+            if has_parents {
+                joint
+            } else {
+                // Remove the node's own prior factor (uniform-prior treatment).
+                joint - self.network.cpt(col).marginal_prob(candidate).max(1e-300).ln()
+            }
+        };
+        let comp_score = if self.config.use_compensatory {
+            self.compensatory.log_score(row, col, candidate)
+        } else {
+            0.0
+        };
+        bn_score + comp_score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::constraints::{ConstraintSet, UserConstraint};
+    use bclean_data::dataset_from;
+
+    /// A Customer-like dataset with a Zip->State dependency, one typo, one
+    /// missing value and one inconsistency.
+    fn dirty_dataset() -> Dataset {
+        dataset_from(
+            &["City", "State", "ZipCode"],
+            &[
+                vec!["sylacauga", "CA", "35150"],
+                vec!["sylacauga", "CA", "35150"],
+                vec!["sylacauga", "KT", "35150"],  // inconsistency: should be CA
+                vec!["sylacaugq", "CA", "35150"],  // typo in City
+                vec!["centre", "KT", "35960"],
+                vec!["centre", "KT", "35960"],
+                vec!["centre", "", "35960"],       // missing State
+                vec!["centre", "KT", "35960"],
+                vec!["sylacauga", "CA", "35150"],
+                vec!["sylacauga", "CA", "35150"],
+            ],
+        )
+    }
+
+    fn constraints() -> ConstraintSet {
+        let mut ucs = ConstraintSet::new();
+        ucs.add("ZipCode", UserConstraint::pattern("^[1-9][0-9]{4,4}$").unwrap());
+        ucs.add("State", UserConstraint::MinLength(2));
+        ucs.add("State", UserConstraint::MaxLength(2));
+        ucs.add("State", UserConstraint::NotNull);
+        ucs.add("City", UserConstraint::NotNull);
+        ucs
+    }
+
+    fn clean_with(variant: Variant) -> CleaningResult {
+        let data = dirty_dataset();
+        let cleaner = BClean::new(variant.config()).with_constraints(constraints());
+        let model = cleaner.fit(&data);
+        model.clean(&data)
+    }
+
+    #[test]
+    fn repairs_inconsistent_state() {
+        let result = clean_with(Variant::Basic);
+        assert_eq!(result.cleaned.cell(2, 1).unwrap(), &Value::text("CA"), "repairs: {:?}", result.repairs);
+    }
+
+    #[test]
+    fn repairs_missing_state() {
+        let result = clean_with(Variant::Basic);
+        assert_eq!(result.cleaned.cell(6, 1).unwrap(), &Value::text("KT"));
+        // The repair is recorded with its provenance.
+        let r = result.repairs.iter().find(|r| r.at == CellRef::new(6, 1)).unwrap();
+        assert_eq!(r.attribute, "State");
+        assert_eq!(r.from, Value::Null);
+        assert!(r.score_gain > 0.0);
+    }
+
+    #[test]
+    fn repairs_city_typo() {
+        let result = clean_with(Variant::Basic);
+        assert_eq!(result.cleaned.cell(3, 0).unwrap(), &Value::text("sylacauga"));
+    }
+
+    #[test]
+    fn does_not_break_clean_cells() {
+        let result = clean_with(Variant::Basic);
+        // Every repair must touch one of the three known-dirty cells.
+        for r in &result.repairs {
+            assert!(
+                [(2usize, 1usize), (3, 0), (6, 1)].contains(&(r.at.row, r.at.col)),
+                "unexpected repair {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_variant_matches_basic_on_small_data() {
+        let basic = clean_with(Variant::Basic);
+        let pi = clean_with(Variant::PartitionedInference);
+        assert_eq!(basic.cleaned, pi.cleaned);
+    }
+
+    #[test]
+    fn pruning_variant_still_fixes_errors() {
+        let pip = clean_with(Variant::PartitionedInferencePruning);
+        assert_eq!(pip.cleaned.cell(2, 1).unwrap(), &Value::text("CA"));
+        assert_eq!(pip.cleaned.cell(6, 1).unwrap(), &Value::text("KT"));
+        // Pruning must actually skip some cells.
+        assert!(pip.stats.cells_skipped > 0);
+        assert!(pip.stats.cells_examined < 30);
+    }
+
+    #[test]
+    fn no_uc_variant_runs_without_constraints() {
+        let result = clean_with(Variant::NoUserConstraints);
+        // It still fixes the State inconsistency (driven by the BN + compensatory score).
+        assert_eq!(result.cleaned.cell(2, 1).unwrap(), &Value::text("CA"));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let result = clean_with(Variant::Basic);
+        assert!(result.stats.cells_examined > 0);
+        assert!(result.stats.candidates_evaluated > 0);
+        assert_eq!(result.stats.repairs, result.repairs.len());
+        assert!(result.stats.duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn score_candidates_ranks_truth_first() {
+        let data = dirty_dataset();
+        let model = BClean::new(Variant::Basic.config()).with_constraints(constraints()).fit(&data);
+        let ranked = model.score_candidates(&data, 2, 1);
+        assert_eq!(ranked[0].0, Value::text("CA"));
+        assert!(ranked.len() >= 2);
+        assert!(ranked[0].1 >= ranked[ranked.len() - 1].1);
+    }
+
+    #[test]
+    fn constraints_filter_candidates() {
+        // A candidate violating the UC pattern must never be proposed.
+        let data = dataset_from(
+            &["Zip", "State"],
+            &[
+                vec!["35150", "CA"],
+                vec!["35150", "CA"],
+                vec!["3515", "CA"], // bad zip, satisfies nothing
+                vec!["35960", "KT"],
+                vec!["35960", "KT"],
+            ],
+        );
+        let mut ucs = ConstraintSet::new();
+        ucs.add("Zip", UserConstraint::pattern("^[1-9][0-9]{4,4}$").unwrap());
+        let model = BClean::new(Variant::Basic.config()).with_constraints(ucs).fit(&data);
+        let result = model.clean(&data);
+        // The bad zip is repaired to a value satisfying the pattern.
+        let repaired = result.cleaned.cell(2, 0).unwrap();
+        assert_eq!(repaired, &Value::parse("35150"));
+    }
+
+    #[test]
+    fn edit_network_changes_structure() {
+        let data = dirty_dataset();
+        let mut model = BClean::new(Variant::Basic.config()).with_constraints(constraints()).fit(&data);
+        // Clear whatever was learned automatically, then impose ZipCode -> City.
+        let removals: Vec<NetworkEdit> = model
+            .network()
+            .dag()
+            .edges()
+            .into_iter()
+            .map(|(from, to)| NetworkEdit::RemoveEdge { from, to })
+            .collect();
+        model.edit_network(&data, removals).unwrap();
+        model
+            .edit_network(&data, vec![NetworkEdit::AddEdge { from: 2, to: 0 }])
+            .unwrap();
+        assert_eq!(model.network().dag().num_edges(), 1);
+        assert!(model.network().dag().has_edge(2, 0));
+        // Cleaning still works after the edit.
+        let result = model.clean(&data);
+        assert_eq!(result.cleaned.cell(2, 1).unwrap(), &Value::text("CA"));
+    }
+
+    #[test]
+    fn parallel_and_serial_results_agree() {
+        // Build a dataset large enough to trigger the parallel path.
+        let mut rows = Vec::new();
+        for i in 0..200usize {
+            let (city, state, zip) = if i % 2 == 0 {
+                ("sylacauga", "CA", "35150")
+            } else {
+                ("centre", "KT", "35960")
+            };
+            // Inject an inconsistency every 20 rows.
+            if i % 20 == 5 {
+                rows.push(vec![city.to_string(), "XX".to_string(), zip.to_string()]);
+            } else {
+                rows.push(vec![city.to_string(), state.to_string(), zip.to_string()]);
+            }
+        }
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+        let data = dataset_from(&["City", "State", "ZipCode"], &refs);
+        let serial_model = BClean::new(Variant::PartitionedInference.config().with_threads(1))
+            .with_constraints(constraints())
+            .fit(&data);
+        let parallel_model = BClean::new(Variant::PartitionedInference.config().with_threads(4))
+            .with_constraints(constraints())
+            .fit(&data);
+        let serial = serial_model.clean(&data);
+        let parallel = parallel_model.clean(&data);
+        assert_eq!(serial.cleaned, parallel.cleaned);
+        assert_eq!(serial.repairs.len(), parallel.repairs.len());
+        assert!(serial.repairs.len() >= 10);
+    }
+
+    #[test]
+    fn accessors() {
+        let data = dirty_dataset();
+        let cleaner = BClean::new(Variant::Basic.config()).with_constraints(constraints());
+        assert_eq!(cleaner.constraints().len(), 5);
+        assert!(cleaner.config().use_constraints);
+        let model = cleaner.fit(&data);
+        assert_eq!(model.network().num_nodes(), 3);
+        assert_eq!(model.domains().len(), 3);
+        assert!(model.compensatory().num_rows() == 10);
+        assert!(model.config().use_compensatory);
+    }
+}

@@ -1,0 +1,343 @@
+//! The compensatory scoring model (paper §5, Algorithm 2).
+//!
+//! Bayesian inference on a network learned from dirty data amplifies errors:
+//! `log Pr[c|t]` alone can prefer a frequent-but-wrong repair. The paper
+//! compensates with the second half of Eq. 1, `log Pr[t] − log Pr[t|c]`,
+//! approximated by a correlation score `Score_corr` built from a
+//! co-occurrence dictionary weighted by per-tuple confidence:
+//!
+//! * every tuple gets a confidence `conf(T)` from the user constraints (Eq. 3);
+//! * pairs of attribute values `(c, e)` observed in a high-confidence tuple
+//!   (`conf ≥ τ`) add `+1` to their correlation counter, pairs observed in a
+//!   low-confidence tuple subtract the penalty `β` (Algorithm 2);
+//! * `Score_corr(c, t, A_j) = Σ_{A_k ≠ A_j} corr(c, t[A_k], A_j, A_k)`
+//!   normalised by `|D|` (Eq. 2).
+
+use std::collections::HashMap;
+
+use bclean_data::{Dataset, Value};
+
+use crate::constraints::ConstraintSet;
+
+/// Parameters of the compensatory model (paper defaults: λ=1, β=2, τ=0.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompensatoryParams {
+    /// Penalty weight on UC violations inside the tuple confidence (Eq. 3).
+    pub lambda: f64,
+    /// Penalty subtracted from the correlation counter for low-confidence tuples.
+    pub beta: f64,
+    /// Confidence threshold above which a tuple is considered reliable.
+    pub tau: f64,
+}
+
+impl Default for CompensatoryParams {
+    fn default() -> Self {
+        CompensatoryParams { lambda: 1.0, beta: 2.0, tau: 0.5 }
+    }
+}
+
+/// Key of the co-occurrence dictionary: `(attribute j, value of j, attribute k, value of k)`.
+type PairKey = (usize, Value, usize, Value);
+
+/// The compensatory scoring model: co-occurrence dictionary + value counts.
+#[derive(Debug, Clone)]
+pub struct CompensatoryModel {
+    params: CompensatoryParams,
+    /// Signed co-occurrence counters (Algorithm 2's `corr`).
+    corr: HashMap<PairKey, f64>,
+    /// Raw (unsigned) pair counts, used by tuple pruning's `Filter`.
+    pair_counts: HashMap<PairKey, usize>,
+    /// Per-attribute value counts `count(v)`.
+    value_counts: Vec<HashMap<Value, usize>>,
+    /// Number of tuples |D|.
+    num_rows: usize,
+    /// Number of attributes m.
+    num_cols: usize,
+    /// Mean tuple confidence (diagnostic; reported by the cleaner).
+    mean_confidence: f64,
+}
+
+impl CompensatoryModel {
+    /// Build the model from the observed dataset and the user constraints
+    /// (Algorithm 2). With an empty constraint set every tuple has confidence
+    /// 1, so all pairs count positively — the `BClean-UC` behaviour.
+    pub fn build(dataset: &Dataset, constraints: &ConstraintSet, params: CompensatoryParams) -> CompensatoryModel {
+        let m = dataset.num_columns();
+        let n = dataset.num_rows();
+        let mut corr: HashMap<PairKey, f64> = HashMap::new();
+        let mut pair_counts: HashMap<PairKey, usize> = HashMap::new();
+        let mut value_counts: Vec<HashMap<Value, usize>> = vec![HashMap::new(); m];
+        let mut conf_sum = 0.0;
+
+        for row in dataset.rows() {
+            let conf = constraints.tuple_confidence(dataset.schema(), row, params.lambda);
+            conf_sum += conf;
+            let delta = if conf >= params.tau { 1.0 } else { -params.beta };
+            for i in 0..m {
+                *value_counts[i].entry(row[i].clone()).or_insert(0) += 1;
+                for j in 0..m {
+                    if i == j {
+                        continue;
+                    }
+                    let key = (i, row[i].clone(), j, row[j].clone());
+                    *corr.entry(key.clone()).or_insert(0.0) += delta;
+                    *pair_counts.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+
+        CompensatoryModel {
+            params,
+            corr,
+            pair_counts,
+            value_counts,
+            num_rows: n,
+            num_cols: m,
+            mean_confidence: if n == 0 { 0.0 } else { conf_sum / n as f64 },
+        }
+    }
+
+    /// The parameters the model was built with.
+    pub fn params(&self) -> CompensatoryParams {
+        self.params
+    }
+
+    /// Number of tuples the model was built from.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Mean tuple confidence observed while building the model.
+    pub fn mean_confidence(&self) -> f64 {
+        self.mean_confidence
+    }
+
+    /// `corr(c, e, A_j, A_k)`: signed, |D|-normalised correlation of the value
+    /// pair (paper §5).
+    pub fn corr(&self, col_j: usize, c: &Value, col_k: usize, e: &Value) -> f64 {
+        if self.num_rows == 0 {
+            return 0.0;
+        }
+        self.corr
+            .get(&(col_j, c.clone(), col_k, e.clone()))
+            .map_or(0.0, |v| v / self.num_rows as f64)
+    }
+
+    /// `Score_corr(c, t, A_j)` (Eq. 2): accumulated correlation between the
+    /// candidate `c` for attribute `col` and every other observed value of the
+    /// tuple `row`.
+    ///
+    /// Following the Remarks of §5, each pairwise correlation is weighted by
+    /// the observation count of the context value — i.e. it estimates how
+    /// often `c` appears *among the tuples sharing that context value* rather
+    /// than among all of `D`. This keeps the score scale-free: a candidate
+    /// supported by its determinant values (ZipCode, ProviderNumber, …) beats
+    /// a globally frequent candidate that never co-occurs with them.
+    pub fn score_corr(&self, row: &[Value], col: usize, candidate: &Value) -> f64 {
+        if self.num_rows == 0 {
+            return 0.0;
+        }
+        // Leave-one-out: the tuple being scored always co-occurs with itself,
+        // which would otherwise give the observed (possibly erroneous) value a
+        // spurious unit of support over every alternative candidate.
+        let self_support = if candidate == &row[col] { 1.0 } else { 0.0 };
+        let mut score = 0.0;
+        for k in 0..self.num_cols {
+            if k == col {
+                continue;
+            }
+            let signed = self
+                .corr
+                .get(&(col, candidate.clone(), k, row[k].clone()))
+                .copied()
+                .unwrap_or(0.0)
+                - self_support;
+            let context_count = (self.value_count(k, &row[k]).max(1) as f64 - self_support).max(1.0);
+            score += signed / context_count;
+        }
+        score
+    }
+
+    /// The compensatory score entering Algorithm 1 as `log(CS[A_j](c))`:
+    /// `ln(1 + max(Score_corr, 0))`, so that the term is 0 for uncorrelated
+    /// candidates, positive for well-supported ones and never undefined for
+    /// penalised ones.
+    pub fn log_score(&self, row: &[Value], col: usize, candidate: &Value) -> f64 {
+        (1.0 + self.score_corr(row, col, candidate).max(0.0)).ln()
+    }
+
+    /// Raw co-occurrence count of a value pair, `count(v_j, v_k)`.
+    pub fn pair_count(&self, col_j: usize, v_j: &Value, col_k: usize, v_k: &Value) -> usize {
+        self.pair_counts.get(&(col_j, v_j.clone(), col_k, v_k.clone())).copied().unwrap_or(0)
+    }
+
+    /// Count of a single value in its attribute, `count(v)`.
+    pub fn value_count(&self, col: usize, v: &Value) -> usize {
+        self.value_counts.get(col).and_then(|m| m.get(v)).copied().unwrap_or(0)
+    }
+
+    /// The tuple-pruning filter of §6.2:
+    /// `Filter(T, A_i) = 1/(m−1) · Σ_{j≠i} count(T[A_i], T[A_j]) / count(T[A_j])`.
+    ///
+    /// High values mean the cell co-occurs often with the rest of the tuple
+    /// and can be skipped by pre-detection.
+    pub fn filter_score(&self, row: &[Value], col: usize) -> f64 {
+        if self.num_cols < 2 {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        for j in 0..self.num_cols {
+            if j == col {
+                continue;
+            }
+            let denom = self.value_count(j, &row[j]);
+            if denom > 0 {
+                total += self.pair_count(col, &row[col], j, &row[j]) as f64 / denom as f64;
+            }
+        }
+        total / (self.num_cols - 1) as f64
+    }
+
+    /// Number of sub-contexts (other attributes) in which `candidate` has been
+    /// observed together with the corresponding value of `row`, restricted to
+    /// the attribute subset `context_cols`. This is the `context(v)` term of
+    /// the domain-pruning TF-IDF score (§6.2).
+    pub fn context_support(&self, row: &[Value], col: usize, candidate: &Value, context_cols: &[usize]) -> usize {
+        context_cols
+            .iter()
+            .filter(|&&k| k != col && self.pair_count(col, candidate, k, &row[k]) > 0)
+            .count()
+    }
+
+    /// TF-IDF style domain-pruning score (§6.2):
+    /// `score(v) = context(v) · log(|D| / (1 + count(v, D)))`.
+    pub fn tfidf_score(&self, row: &[Value], col: usize, candidate: &Value, context_cols: &[usize]) -> f64 {
+        let context = self.context_support(row, col, candidate, context_cols) as f64;
+        let count = self.value_count(col, candidate) as f64;
+        let idf = ((self.num_rows as f64) / (1.0 + count)).max(1.0).ln() + 1.0;
+        context * idf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::UserConstraint;
+    use bclean_data::dataset_from;
+
+    fn data() -> Dataset {
+        dataset_from(
+            &["Dept", "City", "State"],
+            &[
+                vec!["400 northwood dr", "centre", "KT"],
+                vec!["400 northwood dr", "centre", "KT"],
+                vec!["400 nprthwood dr", "centre", "KT"], // typo tuple
+                vec!["315 w hickory st", "sylacauga", "CA"],
+                vec!["315 w hickory st", "sylacauga", "CA"],
+            ],
+        )
+    }
+
+    fn spellcheck_constraints() -> ConstraintSet {
+        // A stand-in for the paper's spell-checker UC: flag the known typo.
+        let mut ucs = ConstraintSet::new();
+        ucs.add(
+            "Dept",
+            UserConstraint::custom("spell", |v: &Value| !v.as_text().contains("nprthwood")),
+        );
+        ucs
+    }
+
+    #[test]
+    fn build_without_constraints_counts_all_pairs() {
+        let model = CompensatoryModel::build(&data(), &ConstraintSet::new(), CompensatoryParams::default());
+        assert_eq!(model.num_rows(), 5);
+        assert!((model.mean_confidence() - 1.0).abs() < 1e-12);
+        // "centre" and "KT" co-occur 3 times.
+        assert_eq!(model.pair_count(1, &Value::text("centre"), 2, &Value::text("KT")), 3);
+        assert!((model.corr(1, &Value::text("centre"), 2, &Value::text("KT")) - 0.6).abs() < 1e-12);
+        assert_eq!(model.pair_count(1, &Value::text("centre"), 2, &Value::text("CA")), 0);
+    }
+
+    #[test]
+    fn score_corr_prefers_supported_candidate() {
+        let model = CompensatoryModel::build(&data(), &spellcheck_constraints(), CompensatoryParams { lambda: 0.25, beta: 2.0, tau: 0.75 });
+        // Row with the typo; candidate repairs for Dept.
+        let row = data().row(2).unwrap().to_vec();
+        let good = Value::text("400 northwood dr");
+        let typo = Value::text("400 nprthwood dr");
+        let s_good = model.score_corr(&row, 0, &good);
+        let s_typo = model.score_corr(&row, 0, &typo);
+        assert!(s_good > s_typo, "good {s_good} vs typo {s_typo}");
+        // The typo tuple had low confidence, so its pairs were penalised below zero.
+        assert!(s_typo < 0.0);
+        assert!(model.log_score(&row, 0, &good) > model.log_score(&row, 0, &typo));
+        // log_score never returns NaN/-inf even for penalised candidates.
+        assert!(model.log_score(&row, 0, &typo).is_finite());
+        assert_eq!(model.log_score(&row, 0, &typo), 0.0);
+    }
+
+    #[test]
+    fn confidence_threshold_controls_penalty() {
+        let row = data().row(2).unwrap().to_vec();
+        let strict = CompensatoryParams { lambda: 0.25, beta: 2.0, tau: 0.75 };
+        let strict_model = CompensatoryModel::build(&data(), &spellcheck_constraints(), strict);
+        // Under the strict threshold the typo tuple is penalised below zero.
+        assert!(strict_model.score_corr(&row, 0, &Value::text("400 nprthwood dr")) < 0.0);
+        let relaxed = CompensatoryParams { lambda: 0.1, beta: 2.0, tau: 0.1 };
+        let model = CompensatoryModel::build(&data(), &spellcheck_constraints(), relaxed);
+        // With a low τ the typo tuple counts positively; after leave-one-out its
+        // only support (itself) is removed, so the score is exactly zero rather
+        // than negative.
+        assert!(model.score_corr(&row, 0, &Value::text("400 nprthwood dr")) >= 0.0);
+    }
+
+    #[test]
+    fn filter_score_high_for_consistent_cells() {
+        let model = CompensatoryModel::build(&data(), &ConstraintSet::new(), CompensatoryParams::default());
+        let clean_row = data().row(0).unwrap().to_vec();
+        let typo_row = data().row(2).unwrap().to_vec();
+        let clean = model.filter_score(&clean_row, 0);
+        let typo = model.filter_score(&typo_row, 0);
+        assert!(clean > typo, "clean {clean} vs typo {typo}");
+        assert!(clean > 0.5);
+        assert!((0.0..=1.0).contains(&typo));
+    }
+
+    #[test]
+    fn tfidf_prefers_contextually_supported_rare_values() {
+        let model = CompensatoryModel::build(&data(), &ConstraintSet::new(), CompensatoryParams::default());
+        let row = data().row(2).unwrap().to_vec();
+        let context = vec![1, 2];
+        let good = Value::text("400 northwood dr");
+        let unrelated = Value::text("315 w hickory st");
+        assert!(model.tfidf_score(&row, 0, &good, &context) > model.tfidf_score(&row, 0, &unrelated, &context));
+        assert_eq!(model.context_support(&row, 0, &unrelated, &context), 0);
+        assert_eq!(model.context_support(&row, 0, &good, &context), 2);
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let empty = Dataset::new(bclean_data::Schema::from_names(&["a", "b"]).unwrap());
+        let model = CompensatoryModel::build(&empty, &ConstraintSet::new(), CompensatoryParams::default());
+        assert_eq!(model.num_rows(), 0);
+        assert_eq!(model.corr(0, &Value::text("x"), 1, &Value::text("y")), 0.0);
+        assert_eq!(model.score_corr(&[Value::Null, Value::Null], 0, &Value::text("x")), 0.0);
+        assert_eq!(model.mean_confidence(), 0.0);
+    }
+
+    #[test]
+    fn single_column_filter_is_neutral() {
+        let d = dataset_from(&["only"], &[vec!["x"], vec!["y"]]);
+        let model = CompensatoryModel::build(&d, &ConstraintSet::new(), CompensatoryParams::default());
+        assert_eq!(model.filter_score(&[Value::text("x")], 0), 1.0);
+    }
+
+    #[test]
+    fn params_accessors() {
+        let p = CompensatoryParams { lambda: 0.5, beta: 3.0, tau: 0.8 };
+        let model = CompensatoryModel::build(&data(), &ConstraintSet::new(), p);
+        assert_eq!(model.params(), p);
+        assert_eq!(CompensatoryParams::default().beta, 2.0);
+    }
+}

@@ -1,0 +1,596 @@
+//! User constraints (UCs).
+//!
+//! A user constraint is any predicate over a cell value that returns 1
+//! (satisfied) or 0 (violated) — paper §2. BClean ships the lightweight
+//! constraint forms the paper focuses on (min/max length, min/max numeric
+//! value, non-null, regular expression patterns) plus an escape hatch for
+//! arbitrary user functions, and groups them per attribute into a
+//! [`ConstraintSet`]. The constraint set drives three things:
+//!
+//! * candidate filtering during inference (`UC(c) = 1` in Eq. 1);
+//! * tuple confidence `conf(T)` (Eq. 3) inside the compensatory score;
+//! * the Figure 5 ablation, which removes whole *kinds* of constraints.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use bclean_data::{Dataset, Schema, Value};
+use bclean_regex::Regex;
+use bclean_rules::{Rule, RuleError};
+
+/// The coarse kind of a constraint, used by the UC ablation (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// Maximum length / maximum numeric value.
+    Max,
+    /// Minimum length / minimum numeric value.
+    Min,
+    /// Non-null requirement.
+    NotNull,
+    /// Regular-expression pattern.
+    Pattern,
+    /// An expression-language rule (see `bclean-rules`).
+    Expression,
+    /// Arbitrary user-supplied predicate.
+    Custom,
+}
+
+/// A single user constraint over one attribute's values.
+#[derive(Clone)]
+pub enum UserConstraint {
+    /// Minimum length (in characters) of the textual rendering.
+    MinLength(usize),
+    /// Maximum length (in characters) of the textual rendering.
+    MaxLength(usize),
+    /// Minimum numeric value (non-numeric values violate the constraint).
+    MinValue(f64),
+    /// Maximum numeric value (non-numeric values violate the constraint).
+    MaxValue(f64),
+    /// The value must not be null.
+    NotNull,
+    /// The textual rendering must fully match the pattern.
+    Pattern(Arc<Regex>),
+    /// An arithmetic / boolean expression over the cell value (the paper's
+    /// "arithmetic expression" UC form), e.g. `num(value) >= 0 && len(value) <= 4`.
+    /// The cell is bound to the identifier `value`.
+    Expression(Arc<Rule>),
+    /// An arbitrary user-supplied binary predicate (paper: "any function that
+    /// returns a binary output", e.g. FDs, arithmetic expressions, or even a
+    /// neural network wrapped in a closure).
+    Custom {
+        /// Human-readable label used in reports.
+        label: String,
+        /// The predicate itself.
+        predicate: Arc<dyn Fn(&Value) -> bool + Send + Sync>,
+    },
+}
+
+impl fmt::Debug for UserConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UserConstraint::MinLength(n) => write!(f, "MinLength({n})"),
+            UserConstraint::MaxLength(n) => write!(f, "MaxLength({n})"),
+            UserConstraint::MinValue(v) => write!(f, "MinValue({v})"),
+            UserConstraint::MaxValue(v) => write!(f, "MaxValue({v})"),
+            UserConstraint::NotNull => write!(f, "NotNull"),
+            UserConstraint::Pattern(r) => write!(f, "Pattern({:?})", r.pattern()),
+            UserConstraint::Expression(rule) => write!(f, "Expression({:?})", rule.source()),
+            UserConstraint::Custom { label, .. } => write!(f, "Custom({label})"),
+        }
+    }
+}
+
+impl UserConstraint {
+    /// Build a pattern constraint from a regex string.
+    pub fn pattern(pattern: &str) -> Result<UserConstraint, bclean_regex::Error> {
+        Ok(UserConstraint::Pattern(Arc::new(Regex::new(pattern)?)))
+    }
+
+    /// Build an expression constraint from the `bclean-rules` expression
+    /// language. The cell value is bound to the identifier `value`, e.g.
+    /// `UserConstraint::expression("len(value) == 5 && num(value) >= 10000")`.
+    ///
+    /// The rule must only reference `value`; rules relating several
+    /// attributes belong in [`ConstraintSet::add_row_rule`].
+    pub fn expression(source: &str) -> Result<UserConstraint, RuleError> {
+        let rule = Rule::compile(source)?;
+        Ok(UserConstraint::Expression(Arc::new(rule)))
+    }
+
+    /// Build a custom constraint from a closure.
+    pub fn custom(label: impl Into<String>, predicate: impl Fn(&Value) -> bool + Send + Sync + 'static) -> UserConstraint {
+        UserConstraint::Custom { label: label.into(), predicate: Arc::new(predicate) }
+    }
+
+    /// The constraint's kind (for ablations).
+    pub fn kind(&self) -> ConstraintKind {
+        match self {
+            UserConstraint::MaxLength(_) | UserConstraint::MaxValue(_) => ConstraintKind::Max,
+            UserConstraint::MinLength(_) | UserConstraint::MinValue(_) => ConstraintKind::Min,
+            UserConstraint::NotNull => ConstraintKind::NotNull,
+            UserConstraint::Pattern(_) => ConstraintKind::Pattern,
+            UserConstraint::Expression(_) => ConstraintKind::Expression,
+            UserConstraint::Custom { .. } => ConstraintKind::Custom,
+        }
+    }
+
+    /// Evaluate the constraint: `true` means satisfied (`UC(v) = 1`).
+    ///
+    /// Null values only violate the [`UserConstraint::NotNull`] constraint:
+    /// the remaining constraints describe the *format* of present values.
+    pub fn check(&self, value: &Value) -> bool {
+        match self {
+            UserConstraint::NotNull => !value.is_null(),
+            _ if value.is_null() => true,
+            UserConstraint::MinLength(n) => value.text_len() >= *n,
+            UserConstraint::MaxLength(n) => value.text_len() <= *n,
+            UserConstraint::MinValue(min) => value.as_number().is_some_and(|v| v >= *min),
+            UserConstraint::MaxValue(max) => value.as_number().is_some_and(|v| v <= *max),
+            UserConstraint::Pattern(re) => re.is_full_match(&value.as_text()),
+            UserConstraint::Expression(rule) => rule.check_value(value),
+            UserConstraint::Custom { predicate, .. } => predicate(value),
+        }
+    }
+}
+
+/// All constraints attached to one attribute.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeConstraints {
+    constraints: Vec<UserConstraint>,
+}
+
+impl AttributeConstraints {
+    /// No constraints.
+    pub fn new() -> AttributeConstraints {
+        AttributeConstraints::default()
+    }
+
+    /// Add a constraint (builder style).
+    pub fn with(mut self, constraint: UserConstraint) -> AttributeConstraints {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Add a constraint in place.
+    pub fn push(&mut self, constraint: UserConstraint) {
+        self.constraints.push(constraint);
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[UserConstraint] {
+        &self.constraints
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True when no constraints are attached.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// `UC(value)`: all attached constraints must hold.
+    pub fn check(&self, value: &Value) -> bool {
+        self.constraints.iter().all(|c| c.check(value))
+    }
+}
+
+/// Per-attribute user constraints for a dataset, addressed by attribute name,
+/// plus optional tuple-level ("row") rules relating several attributes.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSet {
+    by_attribute: HashMap<String, AttributeConstraints>,
+    row_rules: Vec<Arc<Rule>>,
+}
+
+impl ConstraintSet {
+    /// An empty constraint set (the `BClean-UC` variant).
+    pub fn new() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// Attach a constraint to an attribute (builder style).
+    pub fn with(mut self, attribute: impl Into<String>, constraint: UserConstraint) -> ConstraintSet {
+        self.add(attribute, constraint);
+        self
+    }
+
+    /// Attach a constraint to an attribute.
+    pub fn add(&mut self, attribute: impl Into<String>, constraint: UserConstraint) {
+        self.by_attribute.entry(attribute.into()).or_default().push(constraint);
+    }
+
+    /// Attach the same constraint to several attributes (the paper's Table 3
+    /// lists patterns that apply to multiple columns).
+    pub fn add_all<S: AsRef<str>>(&mut self, attributes: &[S], constraint: UserConstraint) {
+        for a in attributes {
+            self.add(a.as_ref(), constraint.clone());
+        }
+    }
+
+    /// Attach a tuple-level rule written in the `bclean-rules` expression
+    /// language; identifiers resolve to attribute names, e.g.
+    /// `"num(act_arr_time) >= num(act_dep_time)"`. This is the paper's
+    /// "UC over a tuple" form (§2): it contributes to tuple confidence
+    /// (Eq. 3) and filters repair candidates for the attributes it mentions.
+    pub fn add_row_rule(&mut self, source: &str) -> Result<(), RuleError> {
+        let rule = Rule::compile(source)?;
+        self.row_rules.push(Arc::new(rule));
+        Ok(())
+    }
+
+    /// Builder-style variant of [`ConstraintSet::add_row_rule`].
+    pub fn with_row_rule(mut self, source: &str) -> Result<ConstraintSet, RuleError> {
+        self.add_row_rule(source)?;
+        Ok(self)
+    }
+
+    /// The attached tuple-level rules.
+    pub fn row_rules(&self) -> &[Arc<Rule>] {
+        &self.row_rules
+    }
+
+    /// Number of tuple-level rules.
+    pub fn num_row_rules(&self) -> usize {
+        self.row_rules.len()
+    }
+
+    /// `UC(tuple)`: every tuple-level rule holds for the row.
+    pub fn check_tuple(&self, schema: &Schema, row: &[Value]) -> bool {
+        self.row_rules.iter().all(|rule| rule.check_row(schema, row))
+    }
+
+    /// Number of tuple-level rules the row violates.
+    pub fn count_row_rule_violations(&self, schema: &Schema, row: &[Value]) -> usize {
+        self.row_rules.iter().filter(|rule| !rule.check_row(schema, row)).count()
+    }
+
+    /// Check the tuple-level rules that mention column `col` after
+    /// substituting `candidate` into that column. Rules that do not reference
+    /// the column are skipped (they cannot be fixed by repairing this cell).
+    pub fn check_tuple_with(&self, schema: &Schema, row: &[Value], col: usize, candidate: &Value) -> bool {
+        if self.row_rules.is_empty() {
+            return true;
+        }
+        let col_name = match schema.attribute(col) {
+            Ok(attr) => attr.name.clone(),
+            Err(_) => return true,
+        };
+        let relevant: Vec<&Arc<Rule>> = self
+            .row_rules
+            .iter()
+            .filter(|rule| {
+                rule.referenced_attributes()
+                    .iter()
+                    .any(|name| name.eq_ignore_ascii_case(&col_name))
+            })
+            .collect();
+        if relevant.is_empty() {
+            return true;
+        }
+        let mut substituted = row.to_vec();
+        substituted[col] = candidate.clone();
+        relevant.iter().all(|rule| rule.check_row(schema, &substituted))
+    }
+
+    /// Constraints of one attribute, if any.
+    pub fn attribute(&self, name: &str) -> Option<&AttributeConstraints> {
+        self.by_attribute.get(name)
+    }
+
+    /// Total number of per-attribute constraints (tuple-level rules are
+    /// counted by [`ConstraintSet::num_row_rules`]).
+    pub fn len(&self) -> usize {
+        self.by_attribute.values().map(|c| c.len()).sum()
+    }
+
+    /// True when the set holds no constraints at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0 && self.row_rules.is_empty()
+    }
+
+    /// `UC(value)` for a cell of the named attribute. Unconstrained attributes
+    /// always pass.
+    pub fn check(&self, attribute: &str, value: &Value) -> bool {
+        self.by_attribute.get(attribute).map_or(true, |c| c.check(value))
+    }
+
+    /// `UC` check by column index against a schema.
+    pub fn check_col(&self, schema: &Schema, col: usize, value: &Value) -> bool {
+        match schema.attribute(col) {
+            Ok(attr) => self.check(&attr.name, value),
+            Err(_) => true,
+        }
+    }
+
+    /// Tuple confidence (Eq. 3):
+    /// `conf(T) = max(0, (Σ 1{UC=1} − λ·Σ 1{UC=0}) / |T|)`.
+    ///
+    /// Tuple-level rules participate as additional UC terms: each rule counts
+    /// once and the denominator grows accordingly.
+    pub fn tuple_confidence(&self, schema: &Schema, row: &[Value], lambda: f64) -> f64 {
+        let m = row.len() + self.row_rules.len();
+        if m == 0 {
+            return 0.0;
+        }
+        let mut satisfied = 0usize;
+        let mut violated = 0usize;
+        for (col, value) in row.iter().enumerate() {
+            if self.check_col(schema, col, value) {
+                satisfied += 1;
+            } else {
+                violated += 1;
+            }
+        }
+        for rule in &self.row_rules {
+            if rule.check_row(schema, row) {
+                satisfied += 1;
+            } else {
+                violated += 1;
+            }
+        }
+        ((satisfied as f64 - lambda * violated as f64) / m as f64).max(0.0)
+    }
+
+    /// A copy of the set with every constraint of `kind` removed
+    /// (Figure 5's Max / Min / Nul / Pat ablations). Tuple-level rules are
+    /// kept unless `kind` is [`ConstraintKind::Expression`].
+    pub fn without_kind(&self, kind: ConstraintKind) -> ConstraintSet {
+        let mut out = ConstraintSet::new();
+        for (attr, constraints) in &self.by_attribute {
+            for c in constraints.constraints() {
+                if c.kind() != kind {
+                    out.add(attr.clone(), c.clone());
+                }
+            }
+        }
+        if kind != ConstraintKind::Expression {
+            out.row_rules = self.row_rules.clone();
+        }
+        out
+    }
+
+    /// Fraction of cells in a dataset that satisfy all constraints.
+    pub fn satisfaction_rate(&self, dataset: &Dataset) -> f64 {
+        let total = dataset.num_cells();
+        if total == 0 {
+            return 1.0;
+        }
+        let mut ok = 0usize;
+        for row in dataset.rows() {
+            for (col, value) in row.iter().enumerate() {
+                if self.check_col(dataset.schema(), col, value) {
+                    ok += 1;
+                }
+            }
+        }
+        ok as f64 / total as f64
+    }
+
+    /// Attribute names that carry at least one constraint.
+    pub fn constrained_attributes(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .by_attribute
+            .iter()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(n, _)| n.as_str())
+            .collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::dataset_from;
+
+    #[test]
+    fn length_constraints() {
+        assert!(UserConstraint::MinLength(3).check(&Value::text("abc")));
+        assert!(!UserConstraint::MinLength(4).check(&Value::text("abc")));
+        assert!(UserConstraint::MaxLength(3).check(&Value::text("abc")));
+        assert!(!UserConstraint::MaxLength(2).check(&Value::text("abc")));
+        // Nulls pass length constraints (only NotNull rejects them).
+        assert!(UserConstraint::MinLength(4).check(&Value::Null));
+    }
+
+    #[test]
+    fn value_constraints() {
+        assert!(UserConstraint::MinValue(0.0).check(&Value::Number(1.5)));
+        assert!(!UserConstraint::MinValue(2.0).check(&Value::Number(1.5)));
+        assert!(UserConstraint::MaxValue(2.0).check(&Value::Number(1.5)));
+        assert!(!UserConstraint::MaxValue(1.0).check(&Value::Number(1.5)));
+        // Non-numeric text violates numeric bounds.
+        assert!(!UserConstraint::MinValue(0.0).check(&Value::text("abc")));
+        // Numeric-looking text passes through its numeric view.
+        assert!(UserConstraint::MaxValue(100.0).check(&Value::text("42")));
+    }
+
+    #[test]
+    fn not_null_and_pattern() {
+        assert!(!UserConstraint::NotNull.check(&Value::Null));
+        assert!(UserConstraint::NotNull.check(&Value::text("x")));
+        let zip = UserConstraint::pattern("^[1-9][0-9]{4,4}$").unwrap();
+        assert!(zip.check(&Value::parse("35150")));
+        assert!(!zip.check(&Value::text("3960")));
+        assert!(!zip.check(&Value::text("1xx18")));
+        assert!(UserConstraint::pattern("(").is_err());
+    }
+
+    #[test]
+    fn custom_constraint() {
+        let even = UserConstraint::custom("even", |v: &Value| v.as_number().is_some_and(|n| (n as i64) % 2 == 0));
+        assert!(even.check(&Value::Number(4.0)));
+        assert!(!even.check(&Value::Number(3.0)));
+        assert_eq!(even.kind(), ConstraintKind::Custom);
+        assert!(format!("{even:?}").contains("even"));
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(UserConstraint::MaxLength(1).kind(), ConstraintKind::Max);
+        assert_eq!(UserConstraint::MinValue(0.0).kind(), ConstraintKind::Min);
+        assert_eq!(UserConstraint::NotNull.kind(), ConstraintKind::NotNull);
+        assert_eq!(UserConstraint::pattern("a").unwrap().kind(), ConstraintKind::Pattern);
+    }
+
+    #[test]
+    fn attribute_constraints_all_must_hold() {
+        let c = AttributeConstraints::new()
+            .with(UserConstraint::MinLength(2))
+            .with(UserConstraint::MaxLength(5));
+        assert!(c.check(&Value::text("abc")));
+        assert!(!c.check(&Value::text("a")));
+        assert!(!c.check(&Value::text("abcdef")));
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    fn zip_state_constraints() -> ConstraintSet {
+        let mut ucs = ConstraintSet::new();
+        ucs.add("ZipCode", UserConstraint::pattern("^[1-9][0-9]{4,4}$").unwrap());
+        ucs.add("State", UserConstraint::MinLength(2));
+        ucs.add("State", UserConstraint::MaxLength(2));
+        ucs.add("State", UserConstraint::NotNull);
+        ucs
+    }
+
+    #[test]
+    fn constraint_set_checks_by_name_and_col() {
+        let ucs = zip_state_constraints();
+        assert!(ucs.check("ZipCode", &Value::parse("35150")));
+        assert!(!ucs.check("ZipCode", &Value::text("3960")));
+        assert!(ucs.check("Unconstrained", &Value::text("anything")));
+        let schema = Schema::from_names(&["ZipCode", "State"]).unwrap();
+        assert!(!ucs.check_col(&schema, 1, &Value::text("California")));
+        assert!(ucs.check_col(&schema, 1, &Value::text("CA")));
+        assert!(ucs.check_col(&schema, 99, &Value::text("x")));
+        assert_eq!(ucs.len(), 4);
+        assert!(!ucs.is_empty());
+        assert_eq!(ucs.constrained_attributes(), vec!["State", "ZipCode"]);
+    }
+
+    #[test]
+    fn tuple_confidence_matches_equation_3() {
+        let ucs = zip_state_constraints();
+        let schema = Schema::from_names(&["ZipCode", "State"]).unwrap();
+        let clean = vec![Value::parse("35150"), Value::text("CA")];
+        assert!((ucs.tuple_confidence(&schema, &clean, 1.0) - 1.0).abs() < 1e-12);
+        let one_bad = vec![Value::text("3960"), Value::text("CA")];
+        // (1 − 1·1)/2 = 0
+        assert_eq!(ucs.tuple_confidence(&schema, &one_bad, 1.0), 0.0);
+        // With λ = 0.25: (1 − 0.25)/2 = 0.375
+        assert!((ucs.tuple_confidence(&schema, &one_bad, 0.25) - 0.375).abs() < 1e-12);
+        // Confidence is clamped at zero.
+        let both_bad = vec![Value::text("x"), Value::Null];
+        assert_eq!(ucs.tuple_confidence(&schema, &both_bad, 5.0), 0.0);
+        assert_eq!(ucs.tuple_confidence(&schema, &[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn without_kind_strips_only_that_kind() {
+        let ucs = zip_state_constraints();
+        let no_pat = ucs.without_kind(ConstraintKind::Pattern);
+        assert!(no_pat.check("ZipCode", &Value::text("3960")));
+        assert!(!no_pat.check("State", &Value::text("California")));
+        let no_max = ucs.without_kind(ConstraintKind::Max);
+        assert!(no_max.check("State", &Value::text("California")));
+        assert_eq!(ucs.len(), 4);
+        assert_eq!(no_pat.len(), 3);
+    }
+
+    #[test]
+    fn add_all_and_satisfaction_rate() {
+        let mut ucs = ConstraintSet::new();
+        ucs.add_all(&["a", "b"], UserConstraint::NotNull);
+        let d = dataset_from(&["a", "b"], &[vec!["x", ""], vec!["y", "z"]]);
+        assert!((ucs.satisfaction_rate(&d) - 0.75).abs() < 1e-12);
+        let empty = ConstraintSet::new();
+        assert_eq!(empty.satisfaction_rate(&d), 1.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn expression_constraint_checks_single_values() {
+        let zip = UserConstraint::expression("len(value) == 5 && num(value) >= 10000").unwrap();
+        assert!(zip.check(&Value::parse("35150")));
+        assert!(!zip.check(&Value::text("3960")));
+        assert!(!zip.check(&Value::text("1xx18")));
+        // Nulls only violate NotNull, mirroring the other format constraints.
+        assert!(zip.check(&Value::Null));
+        assert_eq!(zip.kind(), ConstraintKind::Expression);
+        assert!(format!("{zip:?}").contains("len(value)"));
+        assert!(UserConstraint::expression("len(").is_err());
+    }
+
+    #[test]
+    fn expression_constraints_participate_in_the_set() {
+        let mut ucs = ConstraintSet::new();
+        ucs.add("abv", UserConstraint::expression("num(value) >= 0 && num(value) <= 1").unwrap());
+        assert!(ucs.check("abv", &Value::number(0.05)));
+        assert!(!ucs.check("abv", &Value::number(5.0)));
+        // Figure-5 style ablation removes expression constraints as their own kind.
+        let stripped = ucs.without_kind(ConstraintKind::Expression);
+        assert!(stripped.check("abv", &Value::number(5.0)));
+    }
+
+    #[test]
+    fn row_rules_check_tuples() {
+        let schema = Schema::from_names(&["dep", "arr"]).unwrap();
+        let ucs = ConstraintSet::new()
+            .with_row_rule("num(arr) >= num(dep)")
+            .unwrap();
+        assert_eq!(ucs.num_row_rules(), 1);
+        assert!(!ucs.is_empty());
+        assert_eq!(ucs.len(), 0, "row rules are not per-attribute constraints");
+        let good = vec![Value::number(700.0), Value::number(930.0)];
+        let bad = vec![Value::number(930.0), Value::number(700.0)];
+        assert!(ucs.check_tuple(&schema, &good));
+        assert!(!ucs.check_tuple(&schema, &bad));
+        assert_eq!(ucs.count_row_rule_violations(&schema, &bad), 1);
+        assert_eq!(ucs.count_row_rule_violations(&schema, &good), 0);
+        assert!(ConstraintSet::new().with_row_rule("len(").is_err());
+    }
+
+    #[test]
+    fn row_rules_lower_tuple_confidence() {
+        let schema = Schema::from_names(&["dep", "arr"]).unwrap();
+        let ucs = ConstraintSet::new().with_row_rule("num(arr) >= num(dep)").unwrap();
+        let good = vec![Value::number(700.0), Value::number(930.0)];
+        let bad = vec![Value::number(930.0), Value::number(700.0)];
+        // 2 unconstrained cells + 1 satisfied rule over denominator 3.
+        assert!((ucs.tuple_confidence(&schema, &good, 1.0) - 1.0).abs() < 1e-12);
+        // 2 satisfied cells − 1 violated rule over denominator 3 = 1/3.
+        assert!((ucs.tuple_confidence(&schema, &bad, 1.0) - (1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_tuple_with_substitutes_candidates() {
+        let schema = Schema::from_names(&["dep", "arr", "airline"]).unwrap();
+        let ucs = ConstraintSet::new().with_row_rule("num(arr) >= num(dep)").unwrap();
+        let row = vec![Value::number(930.0), Value::number(700.0), Value::text("AA")];
+        // Repairing `arr` with a later time satisfies the relevant rule.
+        assert!(ucs.check_tuple_with(&schema, &row, 1, &Value::number(1000.0)));
+        assert!(!ucs.check_tuple_with(&schema, &row, 1, &Value::number(600.0)));
+        // The airline column is not mentioned by any rule: all candidates pass.
+        assert!(ucs.check_tuple_with(&schema, &row, 2, &Value::text("DL")));
+        // Without rules everything passes.
+        assert!(ConstraintSet::new().check_tuple_with(&schema, &row, 1, &Value::number(1.0)));
+    }
+
+    #[test]
+    fn without_kind_preserves_row_rules() {
+        let mut ucs = ConstraintSet::new().with_row_rule("num(arr) >= num(dep)").unwrap();
+        ucs.add("dep", UserConstraint::NotNull);
+        let no_null = ucs.without_kind(ConstraintKind::NotNull);
+        assert_eq!(no_null.num_row_rules(), 1);
+        assert_eq!(no_null.len(), 0);
+        let no_expr = ucs.without_kind(ConstraintKind::Expression);
+        assert_eq!(no_expr.num_row_rules(), 0);
+        assert_eq!(no_expr.len(), 1);
+    }
+}

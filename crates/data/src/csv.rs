@@ -1,0 +1,242 @@
+//! Minimal CSV reader/writer.
+//!
+//! The benchmark datasets are exchanged as CSV files with a header row. This
+//! module implements the subset of RFC 4180 needed for them: comma
+//! separation, optional double-quote quoting with `""` escapes, and both
+//! `\n` and `\r\n` record terminators. We implement it here rather than pull
+//! in a CSV crate to keep the workspace within the sanctioned dependency set.
+
+use std::fs;
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::error::{DataError, DataResult};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Parse one CSV document (with a header row) into a dataset.
+pub fn parse_csv(input: &str) -> DataResult<Dataset> {
+    let records = parse_records(input)?;
+    let mut iter = records.into_iter();
+    let header = iter
+        .next()
+        .ok_or(DataError::Csv { line: 1, message: "empty document (missing header)".into() })?;
+    let schema = Schema::from_names(&header.fields)?;
+    let mut ds = Dataset::new(schema);
+    for rec in iter {
+        // A blank line is ignored for multi-column schemas (RFC 4180 style);
+        // for single-column schemas it is a legitimate null cell.
+        if ds.num_columns() > 1 && rec.fields.len() == 1 && rec.fields[0].is_empty() {
+            continue;
+        }
+        if rec.fields.len() != ds.num_columns() {
+            return Err(DataError::Csv {
+                line: rec.line,
+                message: format!("expected {} fields, found {}", ds.num_columns(), rec.fields.len()),
+            });
+        }
+        ds.push_row(rec.fields.iter().map(|f| Value::parse(f)).collect())?;
+    }
+    Ok(ds)
+}
+
+/// Serialise a dataset to CSV (header + rows), quoting where required.
+pub fn to_csv(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = dataset.schema().names().iter().map(|n| escape_field(n)).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in dataset.rows() {
+        let fields: Vec<String> = row.iter().map(|v| escape_field(&v.as_text())).collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Read a CSV file from disk.
+pub fn read_csv_file(path: impl AsRef<Path>) -> DataResult<Dataset> {
+    let text = fs::read_to_string(path.as_ref()).map_err(|e| DataError::Csv {
+        line: 0,
+        message: format!("cannot read {}: {e}", path.as_ref().display()),
+    })?;
+    parse_csv(&text)
+}
+
+/// Write a dataset to a CSV file on disk.
+pub fn write_csv_file(dataset: &Dataset, path: impl AsRef<Path>) -> DataResult<()> {
+    fs::write(path.as_ref(), to_csv(dataset)).map_err(|e| DataError::Csv {
+        line: 0,
+        message: format!("cannot write {}: {e}", path.as_ref().display()),
+    })
+}
+
+struct Record {
+    line: usize,
+    fields: Vec<String>,
+}
+
+fn escape_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut s = String::with_capacity(field.len() + 2);
+        s.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                s.push('"');
+            }
+            s.push(c);
+        }
+        s.push('"');
+        s
+    } else {
+        field.to_string()
+    }
+}
+
+fn parse_records(input: &str) -> DataResult<Vec<Record>> {
+    let mut records = Vec::new();
+    let mut fields: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut record_line = 1usize;
+    let mut chars = input.chars().peekable();
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(DataError::Csv { line, message: "unexpected quote inside unquoted field".into() });
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // swallow; the following '\n' terminates the record
+                }
+                '\n' => {
+                    line += 1;
+                    fields.push(std::mem::take(&mut field));
+                    records.push(Record { line: record_line, fields: std::mem::take(&mut fields) });
+                    record_line = line;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv { line, message: "unterminated quoted field".into() });
+    }
+    if saw_any && (!field.is_empty() || !fields.is_empty()) {
+        fields.push(field);
+        records.push(Record { line: record_line, fields });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::dataset_from;
+
+    #[test]
+    fn parse_simple() {
+        let ds = parse_csv("a,b\n1,x\n2,y\n").unwrap();
+        assert_eq!(ds.num_rows(), 2);
+        assert_eq!(ds.schema().names(), vec!["a", "b"]);
+        assert_eq!(ds.cell(0, 0).unwrap(), &Value::Number(1.0));
+        assert_eq!(ds.cell(1, 1).unwrap(), &Value::text("y"));
+    }
+
+    #[test]
+    fn parse_without_trailing_newline() {
+        let ds = parse_csv("a,b\n1,x").unwrap();
+        assert_eq!(ds.num_rows(), 1);
+    }
+
+    #[test]
+    fn parse_crlf() {
+        let ds = parse_csv("a,b\r\n1,x\r\n2,y\r\n").unwrap();
+        assert_eq!(ds.num_rows(), 2);
+        assert_eq!(ds.cell(1, 1).unwrap(), &Value::text("y"));
+    }
+
+    #[test]
+    fn parse_quoted_fields() {
+        let ds = parse_csv("name,addr\n\"Smith, John\",\"12 \"\"main\"\" st\"\n").unwrap();
+        assert_eq!(ds.cell(0, 0).unwrap(), &Value::text("Smith, John"));
+        assert_eq!(ds.cell(0, 1).unwrap(), &Value::text("12 \"main\" st"));
+    }
+
+    #[test]
+    fn parse_quoted_newline() {
+        let ds = parse_csv("a,b\n\"line1\nline2\",x\n").unwrap();
+        assert_eq!(ds.cell(0, 0).unwrap(), &Value::text("line1\nline2"));
+    }
+
+    #[test]
+    fn parse_empty_fields_become_null() {
+        let ds = parse_csv("a,b\n,x\n1,\n").unwrap();
+        assert!(ds.cell(0, 0).unwrap().is_null());
+        assert!(ds.cell(1, 1).unwrap().is_null());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(parse_csv(""), Err(DataError::Csv { .. })));
+        assert!(parse_csv("a,b\n\"unterminated,x\n").is_err());
+        assert!(parse_csv("a,b\n1,2,3\n").is_err());
+        assert!(parse_csv("a,b\nfoo\"bar,x\n").is_err());
+    }
+
+    #[test]
+    fn skip_blank_lines() {
+        let ds = parse_csv("a,b\n1,x\n\n2,y\n").unwrap();
+        assert_eq!(ds.num_rows(), 2);
+    }
+
+    #[test]
+    fn roundtrip_with_quoting() {
+        let ds = dataset_from(
+            &["name", "note"],
+            &[vec!["Smith, John", "says \"hi\""], vec!["Plain", "multi\nline"]],
+        );
+        let text = to_csv(&ds);
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = dataset_from(&["a", "b"], &[vec!["1", "x"], vec!["2", "y"]]);
+        let dir = std::env::temp_dir().join("bclean_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv_file(&ds, &path).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(back, ds);
+        assert!(read_csv_file(dir.join("missing.csv")).is_err());
+    }
+}

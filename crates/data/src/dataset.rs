@@ -1,0 +1,332 @@
+//! The in-memory relational dataset.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DataError, DataResult};
+use crate::schema::{Attribute, Schema};
+use crate::value::Value;
+
+/// Row/column coordinates of a single cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellRef {
+    /// 0-based row index.
+    pub row: usize,
+    /// 0-based column index.
+    pub col: usize,
+}
+
+impl CellRef {
+    /// Construct a cell reference.
+    pub fn new(row: usize, col: usize) -> CellRef {
+        CellRef { row, col }
+    }
+}
+
+/// An observed relational dataset: a schema plus a dense grid of cell values.
+///
+/// This is the `D` of the paper — the dirty observation that BClean cleans —
+/// as well as the representation of cleaned outputs and ground-truth tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with the given schema.
+    pub fn new(schema: Schema) -> Dataset {
+        Dataset { schema, rows: Vec::new() }
+    }
+
+    /// Create an empty dataset, reserving capacity for `rows` tuples.
+    pub fn with_capacity(schema: Schema, rows: usize) -> Dataset {
+        Dataset { schema, rows: Vec::with_capacity(rows) }
+    }
+
+    /// Build a dataset from attribute names and rows of raw strings.
+    ///
+    /// Values are parsed with [`Value::parse`]; this is the most convenient
+    /// constructor for tests and examples.
+    pub fn from_rows<S: AsRef<str>>(names: &[S], raw_rows: &[Vec<&str>]) -> DataResult<Dataset> {
+        let schema = Schema::from_names(names)?;
+        let mut ds = Dataset::with_capacity(schema, raw_rows.len());
+        for row in raw_rows {
+            ds.push_row(row.iter().map(|s| Value::parse(s)).collect())?;
+        }
+        Ok(ds)
+    }
+
+    /// The dataset's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples (rows).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of attributes (columns).
+    pub fn num_columns(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.num_rows() * self.num_columns()
+    }
+
+    /// Is the dataset empty (no rows)?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a tuple. Fails if the arity does not match the schema.
+    pub fn push_row(&mut self, row: Vec<Value>) -> DataResult<()> {
+        if row.len() != self.schema.arity() {
+            return Err(DataError::ArityMismatch { expected: self.schema.arity(), found: row.len() });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The `row`-th tuple.
+    pub fn row(&self, row: usize) -> DataResult<&[Value]> {
+        self.rows
+            .get(row)
+            .map(|r| r.as_slice())
+            .ok_or(DataError::IndexOutOfBounds { index: row, len: self.rows.len(), axis: "row" })
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, row: usize, col: usize) -> DataResult<&Value> {
+        let r = self.row(row)?;
+        r.get(col).ok_or(DataError::IndexOutOfBounds { index: col, len: r.len(), axis: "column" })
+    }
+
+    /// Cell accessor by [`CellRef`].
+    pub fn cell_at(&self, at: CellRef) -> DataResult<&Value> {
+        self.cell(at.row, at.col)
+    }
+
+    /// Mutate a cell in place.
+    pub fn set_cell(&mut self, row: usize, col: usize, value: Value) -> DataResult<()> {
+        let nrows = self.rows.len();
+        let r = self
+            .rows
+            .get_mut(row)
+            .ok_or(DataError::IndexOutOfBounds { index: row, len: nrows, axis: "row" })?;
+        let len = r.len();
+        let slot = r
+            .get_mut(col)
+            .ok_or(DataError::IndexOutOfBounds { index: col, len, axis: "column" })?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Iterate over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+
+    /// All values of column `col`, in row order.
+    pub fn column(&self, col: usize) -> DataResult<Vec<&Value>> {
+        if col >= self.schema.arity() {
+            return Err(DataError::IndexOutOfBounds { index: col, len: self.schema.arity(), axis: "column" });
+        }
+        Ok(self.rows.iter().map(|r| &r[col]).collect())
+    }
+
+    /// Column values by attribute name.
+    pub fn column_by_name(&self, name: &str) -> DataResult<Vec<&Value>> {
+        let idx = self.schema.index_of(name)?;
+        self.column(idx)
+    }
+
+    /// A new dataset containing the first `n` rows (or all rows if fewer).
+    pub fn head(&self, n: usize) -> Dataset {
+        Dataset { schema: self.schema.clone(), rows: self.rows.iter().take(n).cloned().collect() }
+    }
+
+    /// A new dataset containing rows selected by index.
+    pub fn select_rows(&self, indices: &[usize]) -> DataResult<Dataset> {
+        let mut out = Dataset::with_capacity(self.schema.clone(), indices.len());
+        for &i in indices {
+            out.push_row(self.row(i)?.to_vec())?;
+        }
+        Ok(out)
+    }
+
+    /// Verify that two datasets share schema and shape. Used by metrics code.
+    pub fn check_same_shape(&self, other: &Dataset) -> DataResult<()> {
+        if self.schema != other.schema {
+            return Err(DataError::SchemaMismatch("attribute lists differ".into()));
+        }
+        if self.num_rows() != other.num_rows() {
+            return Err(DataError::SchemaMismatch(format!(
+                "row counts differ: {} vs {}",
+                self.num_rows(),
+                other.num_rows()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Count of null cells in the dataset.
+    pub fn null_count(&self) -> usize {
+        self.rows.iter().flat_map(|r| r.iter()).filter(|v| v.is_null()).count()
+    }
+
+    /// Returns the row indices sorted by the textual rendering of column `col`.
+    ///
+    /// This is the sort step of the FDX-style structure learner (Remarks of §4
+    /// in the paper): sorting by each attribute lets the learner compare only
+    /// adjacent tuples instead of all pairs.
+    pub fn argsort_by_column(&self, col: usize) -> DataResult<Vec<usize>> {
+        if col >= self.schema.arity() {
+            return Err(DataError::IndexOutOfBounds { index: col, len: self.schema.arity(), axis: "column" });
+        }
+        let mut idx: Vec<usize> = (0..self.rows.len()).collect();
+        idx.sort_by(|&a, &b| self.rows[a][col].cmp(&self.rows[b][col]));
+        Ok(idx)
+    }
+
+    /// Consume the dataset and return its rows.
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        self.rows
+    }
+
+    /// Build directly from a schema and rows, validating arity.
+    pub fn from_parts(schema: Schema, rows: Vec<Vec<Value>>) -> DataResult<Dataset> {
+        let mut ds = Dataset::with_capacity(schema, rows.len());
+        for row in rows {
+            ds.push_row(row)?;
+        }
+        Ok(ds)
+    }
+}
+
+/// Convenience: build a small dataset literal for tests and examples.
+///
+/// ```
+/// use bclean_data::{dataset_from, Value};
+/// let ds = dataset_from(
+///     &["City", "Zip"],
+///     &[vec!["sylacauga", "35150"], vec!["centre", "35960"]],
+/// );
+/// assert_eq!(ds.num_rows(), 2);
+/// assert_eq!(ds.cell(0, 0).unwrap(), &Value::Text("sylacauga".into()));
+/// ```
+pub fn dataset_from<S: AsRef<str>>(names: &[S], rows: &[Vec<&str>]) -> Dataset {
+    Dataset::from_rows(names, rows).expect("invalid dataset literal")
+}
+
+/// Re-export used by builders that need typed attributes.
+pub fn dataset_with_attrs(attrs: Vec<Attribute>, rows: Vec<Vec<Value>>) -> DataResult<Dataset> {
+    Dataset::from_parts(Schema::new(attrs)?, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        dataset_from(
+            &["Name", "City", "Zip"],
+            &[
+                vec!["Johnny.R", "sylacauga", "35150"],
+                vec!["Henry.P", "centre", "35960"],
+                vec!["Johnny.R", "sylacauga", "35150"],
+            ],
+        )
+    }
+
+    #[test]
+    fn shape() {
+        let ds = sample();
+        assert_eq!(ds.num_rows(), 3);
+        assert_eq!(ds.num_columns(), 3);
+        assert_eq!(ds.num_cells(), 9);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn cell_access_and_mutation() {
+        let mut ds = sample();
+        assert_eq!(ds.cell(1, 1).unwrap().to_string(), "centre");
+        ds.set_cell(1, 1, Value::text("gadsden")).unwrap();
+        assert_eq!(ds.cell(1, 1).unwrap().to_string(), "gadsden");
+        assert!(ds.set_cell(10, 0, Value::Null).is_err());
+        assert!(ds.set_cell(0, 10, Value::Null).is_err());
+        assert!(ds.cell(0, 10).is_err());
+        assert!(ds.cell(10, 0).is_err());
+    }
+
+    #[test]
+    fn cell_ref_access() {
+        let ds = sample();
+        assert_eq!(ds.cell_at(CellRef::new(0, 0)).unwrap().to_string(), "Johnny.R");
+    }
+
+    #[test]
+    fn push_row_arity_check() {
+        let mut ds = sample();
+        assert!(ds.push_row(vec![Value::Null]).is_err());
+        assert!(ds.push_row(vec![Value::Null, Value::Null, Value::Null]).is_ok());
+        assert_eq!(ds.num_rows(), 4);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let ds = sample();
+        let col = ds.column_by_name("City").unwrap();
+        assert_eq!(col.len(), 3);
+        assert_eq!(col[1].to_string(), "centre");
+        assert!(ds.column(9).is_err());
+        assert!(ds.column_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn head_and_select() {
+        let ds = sample();
+        assert_eq!(ds.head(2).num_rows(), 2);
+        assert_eq!(ds.head(99).num_rows(), 3);
+        let sel = ds.select_rows(&[2, 0]).unwrap();
+        assert_eq!(sel.num_rows(), 2);
+        assert_eq!(sel.cell(1, 0).unwrap().to_string(), "Johnny.R");
+        assert!(ds.select_rows(&[7]).is_err());
+    }
+
+    #[test]
+    fn argsort_by_column() {
+        let ds = dataset_from(&["x"], &[vec!["b"], vec!["a"], vec!["c"]]);
+        assert_eq!(ds.argsort_by_column(0).unwrap(), vec![1, 0, 2]);
+        assert!(ds.argsort_by_column(3).is_err());
+    }
+
+    #[test]
+    fn same_shape_check() {
+        let a = sample();
+        let b = sample();
+        assert!(a.check_same_shape(&b).is_ok());
+        let c = a.head(1);
+        assert!(a.check_same_shape(&c).is_err());
+        let d = dataset_from(&["Other"], &[vec!["x"]]);
+        assert!(a.check_same_shape(&d).is_err());
+    }
+
+    #[test]
+    fn null_count() {
+        let ds = dataset_from(&["a", "b"], &[vec!["", "x"], vec!["NULL", ""]]);
+        assert_eq!(ds.null_count(), 3);
+    }
+
+    #[test]
+    fn into_rows_roundtrip() {
+        let ds = sample();
+        let schema = ds.schema().clone();
+        let rows = ds.clone().into_rows();
+        let back = Dataset::from_parts(schema, rows).unwrap();
+        assert_eq!(back, ds);
+    }
+}

@@ -1,0 +1,100 @@
+//! Cell-level dataset comparison.
+//!
+//! Evaluation of a cleaning run needs three tables — the dirty observation,
+//! the system's cleaned output and the ground truth — and reasons about which
+//! cells differ between them. [`diff`] produces the list of changed cells and
+//! [`error_cells`] the set of genuinely erroneous cells (dirty vs. truth).
+
+use std::collections::HashSet;
+
+use crate::dataset::{CellRef, Dataset};
+use crate::error::DataResult;
+use crate::value::Value;
+
+/// A single cell whose value differs between two datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellChange {
+    /// Location of the cell.
+    pub at: CellRef,
+    /// The value in the first (``from``) dataset.
+    pub from: Value,
+    /// The value in the second (``to``) dataset.
+    pub to: Value,
+}
+
+/// All cells whose values differ between `from` and `to`.
+///
+/// The datasets must share schema and row count.
+pub fn diff(from: &Dataset, to: &Dataset) -> DataResult<Vec<CellChange>> {
+    from.check_same_shape(to)?;
+    let mut changes = Vec::new();
+    for (r, (row_a, row_b)) in from.rows().zip(to.rows()).enumerate() {
+        for (c, (a, b)) in row_a.iter().zip(row_b.iter()).enumerate() {
+            if a != b {
+                changes.push(CellChange { at: CellRef::new(r, c), from: a.clone(), to: b.clone() });
+            }
+        }
+    }
+    Ok(changes)
+}
+
+/// The set of cell positions where `dirty` disagrees with `truth`, i.e. the
+/// ground-truth error cells.
+pub fn error_cells(dirty: &Dataset, truth: &Dataset) -> DataResult<HashSet<CellRef>> {
+    Ok(diff(dirty, truth)?.into_iter().map(|c| c.at).collect())
+}
+
+/// Fraction of cells in `dirty` that differ from `truth` (the noise rate).
+pub fn noise_rate(dirty: &Dataset, truth: &Dataset) -> DataResult<f64> {
+    let errors = error_cells(dirty, truth)?.len();
+    let cells = dirty.num_cells();
+    Ok(if cells == 0 { 0.0 } else { errors as f64 / cells as f64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::dataset_from;
+
+    #[test]
+    fn diff_finds_changed_cells() {
+        let a = dataset_from(&["x", "y"], &[vec!["1", "a"], vec!["2", "b"]]);
+        let b = dataset_from(&["x", "y"], &[vec!["1", "a"], vec!["3", "b"]]);
+        let d = diff(&a, &b).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].at, CellRef::new(1, 0));
+        assert_eq!(d[0].from, Value::Number(2.0));
+        assert_eq!(d[0].to, Value::Number(3.0));
+    }
+
+    #[test]
+    fn diff_identical_is_empty() {
+        let a = dataset_from(&["x"], &[vec!["1"]]);
+        assert!(diff(&a, &a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn diff_rejects_shape_mismatch() {
+        let a = dataset_from(&["x"], &[vec!["1"]]);
+        let b = dataset_from(&["x"], &[vec!["1"], vec!["2"]]);
+        assert!(diff(&a, &b).is_err());
+    }
+
+    #[test]
+    fn error_cells_and_noise_rate() {
+        let truth = dataset_from(&["x", "y"], &[vec!["1", "a"], vec!["2", "b"]]);
+        let dirty = dataset_from(&["x", "y"], &[vec!["1", "z"], vec!["9", "b"]]);
+        let errs = error_cells(&dirty, &truth).unwrap();
+        assert_eq!(errs.len(), 2);
+        assert!(errs.contains(&CellRef::new(0, 1)));
+        assert!(errs.contains(&CellRef::new(1, 0)));
+        assert!((noise_rate(&dirty, &truth).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_vs_value_counts_as_change() {
+        let truth = dataset_from(&["x"], &[vec!["a"]]);
+        let dirty = dataset_from(&["x"], &[vec![""]]);
+        assert_eq!(diff(&dirty, &truth).unwrap().len(), 1);
+    }
+}

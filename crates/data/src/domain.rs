@@ -1,0 +1,225 @@
+//! Attribute domains.
+//!
+//! BClean infers a repair for every cell by ranking candidate values drawn
+//! from the *domain* of the cell's attribute — the set of distinct values
+//! observed in that column (paper §2). [`AttributeDomain`] stores those
+//! distinct values together with their observation counts (the value
+//! frequencies used by the compensatory score and by domain pruning), and
+//! [`Domains`] holds one domain per attribute.
+
+use std::collections::HashMap;
+
+use crate::dataset::Dataset;
+use crate::value::Value;
+
+/// The observed domain of one attribute: distinct non-null values and counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeDomain {
+    values: Vec<Value>,
+    counts: HashMap<Value, usize>,
+    null_count: usize,
+    total: usize,
+}
+
+impl AttributeDomain {
+    /// Build the domain of column `col` of `dataset`.
+    pub fn from_column(dataset: &Dataset, col: usize) -> AttributeDomain {
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        let mut null_count = 0usize;
+        let mut total = 0usize;
+        for row in dataset.rows() {
+            total += 1;
+            let v = &row[col];
+            if v.is_null() {
+                null_count += 1;
+            } else {
+                *counts.entry(v.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut values: Vec<Value> = counts.keys().cloned().collect();
+        values.sort();
+        AttributeDomain { values, counts, null_count, total }
+    }
+
+    /// Distinct non-null values, sorted.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of distinct non-null values.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Observation count of `value` (0 if unseen).
+    pub fn count(&self, value: &Value) -> usize {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Relative frequency of `value` among all observations of the column.
+    pub fn frequency(&self, value: &Value) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Number of null observations in the column.
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    /// Number of observations (rows), including nulls.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The most frequent value, if any. Ties broken by value order for
+    /// determinism.
+    pub fn mode(&self) -> Option<&Value> {
+        self.values
+            .iter()
+            .max_by(|a, b| self.count(a).cmp(&self.count(b)).then_with(|| b.cmp(a)))
+    }
+
+    /// Does the domain contain `value`?
+    pub fn contains(&self, value: &Value) -> bool {
+        self.counts.contains_key(value)
+    }
+
+    /// Iterate over `(value, count)` pairs in value order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, usize)> + '_ {
+        self.values.iter().map(move |v| (v, self.count(v)))
+    }
+
+    /// Values whose count is at least `min_count`, in value order.
+    pub fn values_with_min_count(&self, min_count: usize) -> Vec<&Value> {
+        self.values.iter().filter(|v| self.count(v) >= min_count).collect()
+    }
+}
+
+/// Per-attribute domains for an entire dataset.
+#[derive(Debug, Clone)]
+pub struct Domains {
+    domains: Vec<AttributeDomain>,
+}
+
+impl Domains {
+    /// Compute the domain of every attribute of `dataset`.
+    pub fn compute(dataset: &Dataset) -> Domains {
+        let domains = (0..dataset.num_columns())
+            .map(|c| AttributeDomain::from_column(dataset, c))
+            .collect();
+        Domains { domains }
+    }
+
+    /// Domain of attribute `col`.
+    pub fn attribute(&self, col: usize) -> &AttributeDomain {
+        &self.domains[col]
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when there are no attributes (never for valid datasets).
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Iterate over domains in column order.
+    pub fn iter(&self) -> impl Iterator<Item = &AttributeDomain> + '_ {
+        self.domains.iter()
+    }
+
+    /// Total candidate count across attributes (sum of cardinalities).
+    pub fn total_candidates(&self) -> usize {
+        self.domains.iter().map(|d| d.cardinality()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::dataset_from;
+
+    fn ds() -> Dataset {
+        dataset_from(
+            &["City", "State"],
+            &[
+                vec!["sylacauga", "CA"],
+                vec!["sylacauga", "CA"],
+                vec!["centre", "KT"],
+                vec!["", "KT"],
+            ],
+        )
+    }
+
+    #[test]
+    fn domain_counts_and_cardinality() {
+        let d = AttributeDomain::from_column(&ds(), 0);
+        assert_eq!(d.cardinality(), 2);
+        assert_eq!(d.count(&Value::text("sylacauga")), 2);
+        assert_eq!(d.count(&Value::text("centre")), 1);
+        assert_eq!(d.count(&Value::text("unknown")), 0);
+        assert_eq!(d.null_count(), 1);
+        assert_eq!(d.total(), 4);
+    }
+
+    #[test]
+    fn frequency_includes_nulls_in_denominator() {
+        let d = AttributeDomain::from_column(&ds(), 0);
+        assert!((d.frequency(&Value::text("sylacauga")) - 0.5).abs() < 1e-12);
+        assert_eq!(d.frequency(&Value::text("unknown")), 0.0);
+    }
+
+    #[test]
+    fn mode_is_most_frequent() {
+        let d = AttributeDomain::from_column(&ds(), 0);
+        assert_eq!(d.mode().unwrap(), &Value::text("sylacauga"));
+    }
+
+    #[test]
+    fn mode_tie_is_deterministic() {
+        let d = AttributeDomain::from_column(&ds(), 1);
+        // CA and KT both occur twice: the smaller value wins the tie.
+        assert_eq!(d.mode().unwrap(), &Value::text("CA"));
+    }
+
+    #[test]
+    fn values_sorted_and_contains() {
+        let d = AttributeDomain::from_column(&ds(), 1);
+        assert_eq!(d.values(), &[Value::text("CA"), Value::text("KT")]);
+        assert!(d.contains(&Value::text("CA")));
+        assert!(!d.contains(&Value::text("NY")));
+    }
+
+    #[test]
+    fn min_count_filter() {
+        let d = AttributeDomain::from_column(&ds(), 0);
+        assert_eq!(d.values_with_min_count(2), vec![&Value::text("sylacauga")]);
+        assert_eq!(d.values_with_min_count(1).len(), 2);
+        assert!(d.values_with_min_count(3).is_empty());
+    }
+
+    #[test]
+    fn domains_over_all_columns() {
+        let doms = Domains::compute(&ds());
+        assert_eq!(doms.len(), 2);
+        assert!(!doms.is_empty());
+        assert_eq!(doms.attribute(1).cardinality(), 2);
+        assert_eq!(doms.total_candidates(), 4);
+        assert_eq!(doms.iter().count(), 2);
+    }
+
+    #[test]
+    fn empty_dataset_domains() {
+        let empty = Dataset::new(crate::schema::Schema::from_names(&["a"]).unwrap());
+        let d = AttributeDomain::from_column(&empty, 0);
+        assert_eq!(d.cardinality(), 0);
+        assert_eq!(d.mode(), None);
+        assert_eq!(d.frequency(&Value::text("x")), 0.0);
+    }
+}

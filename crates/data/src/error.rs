@@ -1,0 +1,102 @@
+//! Error types for the data layer.
+
+use std::fmt;
+
+/// Errors produced while constructing, mutating or parsing datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A row was supplied with the wrong number of columns.
+    ArityMismatch {
+        /// Number of attributes declared in the schema.
+        expected: usize,
+        /// Number of values in the offending row.
+        found: usize,
+    },
+    /// A requested attribute name does not exist in the schema.
+    UnknownAttribute(String),
+    /// A row or column index is out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+        /// Which axis was indexed ("row" or "column").
+        axis: &'static str,
+    },
+    /// Two attribute names collide in one schema.
+    DuplicateAttribute(String),
+    /// A CSV document could not be parsed.
+    Csv {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Two datasets that must share a schema do not.
+    SchemaMismatch(String),
+    /// An empty schema (zero attributes) was supplied where data is required.
+    EmptySchema,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: schema has {expected} attributes, row has {found}")
+            }
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::IndexOutOfBounds { index, len, axis } => {
+                write!(f, "{axis} index {index} out of bounds (len {len})")
+            }
+            DataError::DuplicateAttribute(name) => write!(f, "duplicate attribute `{name}`"),
+            DataError::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            DataError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            DataError::EmptySchema => write!(f, "schema must contain at least one attribute"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Convenience result alias for the data layer.
+pub type DataResult<T> = Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_arity_mismatch() {
+        let e = DataError::ArityMismatch { expected: 3, found: 5 };
+        assert_eq!(
+            e.to_string(),
+            "row arity mismatch: schema has 3 attributes, row has 5"
+        );
+    }
+
+    #[test]
+    fn display_unknown_attribute() {
+        assert_eq!(
+            DataError::UnknownAttribute("zip".into()).to_string(),
+            "unknown attribute `zip`"
+        );
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = DataError::IndexOutOfBounds { index: 7, len: 3, axis: "row" };
+        assert_eq!(e.to_string(), "row index 7 out of bounds (len 3)");
+    }
+
+    #[test]
+    fn display_csv() {
+        let e = DataError::Csv { line: 2, message: "unterminated quote".into() };
+        assert_eq!(e.to_string(), "CSV parse error at line 2: unterminated quote");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(DataError::EmptySchema);
+        assert!(e.to_string().contains("at least one attribute"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Attribute and schema definitions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DataError, DataResult};
+
+/// The coarse type of an attribute, used to pick similarity functions and
+/// candidate-generation strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Small discrete domain of textual values (e.g. `State`, `InsuranceType`).
+    Categorical,
+    /// Numeric values (e.g. `ounces`, `abv`).
+    Numeric,
+    /// Free-form text with a large domain (e.g. `Address`, `Name`).
+    Text,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Categorical => write!(f, "categorical"),
+            AttrType::Numeric => write!(f, "numeric"),
+            AttrType::Text => write!(f, "text"),
+        }
+    }
+}
+
+/// A named, typed attribute (column) of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Coarse attribute type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Create a new attribute.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Attribute {
+        Attribute { name: name.into(), ty }
+    }
+
+    /// Shorthand for a categorical attribute.
+    pub fn categorical(name: impl Into<String>) -> Attribute {
+        Attribute::new(name, AttrType::Categorical)
+    }
+
+    /// Shorthand for a numeric attribute.
+    pub fn numeric(name: impl Into<String>) -> Attribute {
+        Attribute::new(name, AttrType::Numeric)
+    }
+
+    /// Shorthand for a text attribute.
+    pub fn text(name: impl Into<String>) -> Attribute {
+        Attribute::new(name, AttrType::Text)
+    }
+}
+
+/// The ordered set of attributes of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    #[serde(skip)]
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema from an ordered list of attributes.
+    ///
+    /// Returns an error if the list is empty or contains duplicate names.
+    pub fn new(attributes: Vec<Attribute>) -> DataResult<Schema> {
+        if attributes.is_empty() {
+            return Err(DataError::EmptySchema);
+        }
+        let mut by_name = HashMap::with_capacity(attributes.len());
+        for (i, attr) in attributes.iter().enumerate() {
+            if by_name.insert(attr.name.clone(), i).is_some() {
+                return Err(DataError::DuplicateAttribute(attr.name.clone()));
+            }
+        }
+        Ok(Schema { attributes, by_name })
+    }
+
+    /// Build a schema of categorical attributes from bare names.
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> DataResult<Schema> {
+        Schema::new(names.iter().map(|n| Attribute::categorical(n.as_ref())).collect())
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The attributes, in column order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The attribute at column `idx`.
+    pub fn attribute(&self, idx: usize) -> DataResult<&Attribute> {
+        self.attributes.get(idx).ok_or(DataError::IndexOutOfBounds {
+            index: idx,
+            len: self.attributes.len(),
+            axis: "column",
+        })
+    }
+
+    /// Look up a column index by attribute name.
+    pub fn index_of(&self, name: &str) -> DataResult<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Does the schema contain an attribute with this name?
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attributes.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// Rebuild the name index (needed after deserialisation).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name.clone(), i))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::text("Name"),
+            Attribute::categorical("City"),
+            Attribute::numeric("ZipCode"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn arity_and_names() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.names(), vec!["Name", "City", "ZipCode"]);
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("City").unwrap(), 1);
+        assert!(matches!(s.index_of("Nope"), Err(DataError::UnknownAttribute(_))));
+        assert!(s.contains("ZipCode"));
+        assert!(!s.contains("zipcode"));
+    }
+
+    #[test]
+    fn attribute_by_index() {
+        let s = schema();
+        assert_eq!(s.attribute(2).unwrap().ty, AttrType::Numeric);
+        assert!(s.attribute(3).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_schema() {
+        assert!(matches!(Schema::new(vec![]), Err(DataError::EmptySchema)));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let r = Schema::new(vec![Attribute::text("A"), Attribute::text("A")]);
+        assert!(matches!(r, Err(DataError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn from_names_builds_categorical() {
+        let s = Schema::from_names(&["a", "b"]).unwrap();
+        assert_eq!(s.attribute(0).unwrap().ty, AttrType::Categorical);
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    fn attr_type_display() {
+        assert_eq!(AttrType::Numeric.to_string(), "numeric");
+        assert_eq!(AttrType::Text.to_string(), "text");
+        assert_eq!(AttrType::Categorical.to_string(), "categorical");
+    }
+
+    #[test]
+    fn rebuild_index_after_manual_construction() {
+        let mut s = schema();
+        s.rebuild_index();
+        assert_eq!(s.index_of("Name").unwrap(), 0);
+    }
+}

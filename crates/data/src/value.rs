@@ -1,0 +1,318 @@
+//! Cell values.
+//!
+//! The BClean paper treats a dataset as a relation whose cells hold either
+//! textual values, numeric values or nulls (missing values, written `NULL`).
+//! [`Value`] is the canonical cell representation used throughout the
+//! workspace: it is cheap to clone for short strings, hashable (so it can key
+//! domain/co-occurrence dictionaries) and totally ordered (so domains can be
+//! sorted deterministically).
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+/// A single cell value in a relational dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// A missing value. Rendered as the empty string / `NULL`.
+    Null,
+    /// A textual (categorical or free-form) value.
+    Text(String),
+    /// A numeric value. Never NaN (NaN inputs are normalised to [`Value::Null`]).
+    Number(f64),
+}
+
+impl Value {
+    /// Parse a raw string into a value.
+    ///
+    /// Empty strings and the literals `NULL` / `null` / `NaN` become
+    /// [`Value::Null`]. Strings that parse as finite floating-point numbers
+    /// become [`Value::Number`]; everything else is [`Value::Text`].
+    pub fn parse(raw: &str) -> Value {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("null") || trimmed.eq_ignore_ascii_case("nan") {
+            return Value::Null;
+        }
+        // Only treat as a number when the string round-trips reasonably: this keeps
+        // ZIP codes with leading zeros and identifiers such as "25676x00" textual.
+        if let Ok(n) = trimmed.parse::<f64>() {
+            if n.is_finite() && !has_leading_zero_integer(trimmed) {
+                return Value::Number(n);
+            }
+        }
+        Value::Text(trimmed.to_string())
+    }
+
+    /// Construct a text value.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Construct a numeric value, normalising NaN to null.
+    pub fn number(n: f64) -> Value {
+        if n.is_nan() {
+            Value::Null
+        } else {
+            Value::Number(n)
+        }
+    }
+
+    /// Is this the null value?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The numeric view of this value, if it has one.
+    ///
+    /// Textual values that parse as finite numbers also report a numeric view,
+    /// which lets numeric similarity work on columns loaded as text.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Null => None,
+            Value::Number(n) => Some(*n),
+            Value::Text(s) => s.trim().parse::<f64>().ok().filter(|n| n.is_finite()),
+        }
+    }
+
+    /// The textual rendering of this value. Null renders as the empty string.
+    pub fn as_text(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::Text(s) => Cow::Borrowed(s.as_str()),
+            Value::Number(n) => Cow::Owned(format_number(*n)),
+        }
+    }
+
+    /// Length (in characters) of the textual rendering; 0 for null.
+    pub fn text_len(&self) -> usize {
+        match self {
+            Value::Null => 0,
+            Value::Text(s) => s.chars().count(),
+            Value::Number(n) => format_number(*n).chars().count(),
+        }
+    }
+
+    /// A stable key used for hashing and equality of numbers.
+    fn number_key(n: f64) -> u64 {
+        // Normalise -0.0 to +0.0 so the two hash and compare identically.
+        let n = if n == 0.0 { 0.0 } else { n };
+        n.to_bits()
+    }
+}
+
+/// `0123` style strings are identifiers (ZIP codes etc.), not numbers.
+fn has_leading_zero_integer(s: &str) -> bool {
+    let body = s.strip_prefix(['+', '-']).unwrap_or(s);
+    body.len() > 1 && body.starts_with('0') && !body.contains('.') && body.chars().all(|c| c.is_ascii_digit())
+}
+
+/// Render a number without a trailing `.0` for integral values.
+pub fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Number(a), Value::Number(b)) => Value::number_key(*a) == Value::number_key(*b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Text(s) => {
+                1u8.hash(state);
+                s.hash(state);
+            }
+            Value::Number(n) => {
+                2u8.hash(state);
+                Value::number_key(*n).hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: Null < Number (by value) < Text (lexicographic).
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Number(a), Number(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Number(_), Text(_)) => Ordering::Less,
+            (Text(_), Number(_)) => Ordering::Greater,
+            (Text(a), Text(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Number(n) => write!(f, "{}", format_number(*n)),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::parse(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::parse(&s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::number(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn parse_null_variants() {
+        assert_eq!(Value::parse(""), Value::Null);
+        assert_eq!(Value::parse("  "), Value::Null);
+        assert_eq!(Value::parse("NULL"), Value::Null);
+        assert_eq!(Value::parse("null"), Value::Null);
+        assert_eq!(Value::parse("NaN"), Value::Null);
+    }
+
+    #[test]
+    fn parse_numbers() {
+        assert_eq!(Value::parse("12"), Value::Number(12.0));
+        assert_eq!(Value::parse("12.5"), Value::Number(12.5));
+        assert_eq!(Value::parse("-3"), Value::Number(-3.0));
+        assert_eq!(Value::parse(" 7 "), Value::Number(7.0));
+    }
+
+    #[test]
+    fn parse_preserves_leading_zero_identifiers() {
+        // ZIP-like codes stay textual so they keep their formatting.
+        assert_eq!(Value::parse("03561"), Value::Text("03561".into()));
+        assert_eq!(Value::parse("0"), Value::Number(0.0));
+        assert_eq!(Value::parse("0.5"), Value::Number(0.5));
+    }
+
+    #[test]
+    fn parse_text() {
+        assert_eq!(Value::parse("sylacauga"), Value::Text("sylacauga".into()));
+        assert_eq!(Value::parse("25676x00"), Value::Text("25676x00".into()));
+    }
+
+    #[test]
+    fn numeric_view_of_text() {
+        assert_eq!(Value::Text("35150".into()).as_number(), Some(35150.0));
+        assert_eq!(Value::Text("abc".into()).as_number(), None);
+        assert_eq!(Value::Null.as_number(), None);
+    }
+
+    #[test]
+    fn display_and_text_roundtrip() {
+        assert_eq!(Value::Number(35150.0).to_string(), "35150");
+        assert_eq!(Value::Number(0.125).to_string(), "0.125");
+        assert_eq!(Value::Text("abc".into()).to_string(), "abc");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+
+    #[test]
+    fn text_len() {
+        assert_eq!(Value::Null.text_len(), 0);
+        assert_eq!(Value::Text("héllo".into()).text_len(), 5);
+        assert_eq!(Value::Number(123.0).text_len(), 3);
+    }
+
+    #[test]
+    fn nan_is_null() {
+        assert!(Value::number(f64::NAN).is_null());
+    }
+
+    #[test]
+    fn negative_zero_equals_positive_zero() {
+        assert_eq!(Value::Number(-0.0), Value::Number(0.0));
+        assert_eq!(hash_of(&Value::Number(-0.0)), hash_of(&Value::Number(0.0)));
+    }
+
+    #[test]
+    fn ordering_null_number_text() {
+        let mut v = vec![
+            Value::Text("b".into()),
+            Value::Number(2.0),
+            Value::Null,
+            Value::Text("a".into()),
+            Value::Number(-1.0),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Value::Null,
+                Value::Number(-1.0),
+                Value::Number(2.0),
+                Value::Text("a".into()),
+                Value::Text("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_values_have_equal_hashes() {
+        let a = Value::Text("abc".into());
+        let b = Value::Text("abc".into());
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from("12"), Value::Number(12.0));
+        assert_eq!(Value::from(3i64), Value::Number(3.0));
+        assert_eq!(Value::from(2.5f64), Value::Number(2.5));
+        assert_eq!(Value::from("x".to_string()), Value::Text("x".into()));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the data layer.
+
+use bclean_data::{dataset_from, diff, parse_csv, to_csv, Dataset, Domains, Schema, Value};
+use proptest::prelude::*;
+
+/// Strategy producing "cell-like" strings: no exotic control characters but
+/// including commas, quotes and whitespace, which exercise CSV quoting.
+fn cell_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,12}").unwrap()
+}
+
+fn small_table() -> impl Strategy<Value = (Vec<String>, Vec<Vec<String>>)> {
+    (1usize..5, 1usize..8).prop_flat_map(|(cols, rows)| {
+        let names: Vec<String> = (0..cols).map(|i| format!("col{i}")).collect();
+        let row = proptest::collection::vec(cell_string(), cols);
+        let data = proptest::collection::vec(row, rows);
+        (Just(names), data)
+    })
+}
+
+proptest! {
+    /// CSV serialisation followed by parsing reproduces the dataset exactly.
+    #[test]
+    fn csv_roundtrip((names, rows) in small_table()) {
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+        let ds = dataset_from(&names, &refs);
+        let text = to_csv(&ds);
+        let back = parse_csv(&text).unwrap();
+        prop_assert_eq!(back, ds);
+    }
+
+    /// Value::parse is deterministic and display/parse stabilises after one step.
+    #[test]
+    fn value_parse_display_stable(s in cell_string()) {
+        let v1 = Value::parse(&s);
+        let v2 = Value::parse(&v1.to_string());
+        let v3 = Value::parse(&v2.to_string());
+        prop_assert_eq!(v2, v3);
+    }
+
+    /// Domain counts sum to the number of non-null observations.
+    #[test]
+    fn domain_counts_sum((names, rows) in small_table()) {
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+        let ds = dataset_from(&names, &refs);
+        let domains = Domains::compute(&ds);
+        for col in 0..ds.num_columns() {
+            let d = domains.attribute(col);
+            let total: usize = d.iter().map(|(_, c)| c).sum();
+            prop_assert_eq!(total + d.null_count(), ds.num_rows());
+        }
+    }
+
+    /// A dataset never differs from itself, and diff(a,b) length equals the
+    /// number of coordinate-wise inequalities.
+    #[test]
+    fn diff_self_is_empty((names, rows) in small_table()) {
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+        let ds = dataset_from(&names, &refs);
+        prop_assert!(diff(&ds, &ds).unwrap().is_empty());
+    }
+
+    /// Values sort totally: sorting twice is idempotent and ordering is
+    /// consistent with equality.
+    #[test]
+    fn value_total_order(mut xs in proptest::collection::vec(cell_string(), 0..20)) {
+        let mut values: Vec<Value> = xs.drain(..).map(|s| Value::parse(&s)).collect();
+        values.sort();
+        let once = values.clone();
+        values.sort();
+        prop_assert_eq!(&once, &values);
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// argsort produces a permutation and the permuted column is sorted.
+    #[test]
+    fn argsort_is_sorted_permutation(rows in proptest::collection::vec(cell_string(), 1..20)) {
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| vec![r.as_str()]).collect();
+        let ds = dataset_from(&["a"], &refs);
+        let order = ds.argsort_by_column(0).unwrap();
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..ds.num_rows()).collect::<Vec<_>>());
+        let sorted: Vec<&Value> = order.iter().map(|&i| ds.cell(i, 0).unwrap()).collect();
+        for w in sorted.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}
+
+#[test]
+fn schema_roundtrip_through_dataset_parts() {
+    let schema = Schema::from_names(&["a", "b"]).unwrap();
+    let ds = Dataset::from_parts(schema.clone(), vec![vec![Value::text("x"), Value::Null]]).unwrap();
+    assert_eq!(ds.schema(), &schema);
+}

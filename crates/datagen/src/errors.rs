@@ -1,0 +1,408 @@
+//! Error injection.
+//!
+//! Follows the paper's error-injection protocol (§7.1): typos (T) modify a
+//! random character, missing values (M) blank out a cell, inconsistencies (I)
+//! replace a value with a different value of the same attribute's domain, and
+//! swapping errors (S) exchange values either within one attribute (same
+//! domain) or across two attributes of the same tuple (different domains).
+//! All injection is seeded and therefore reproducible.
+
+use std::collections::HashMap;
+
+use bclean_data::{CellRef, Dataset, Domains, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The error type of one injected error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorType {
+    /// Typo: add / delete / replace a random character.
+    Typo,
+    /// Missing value: the cell becomes null.
+    Missing,
+    /// Inconsistency: the value is replaced by a different value of the same
+    /// attribute domain.
+    Inconsistency,
+    /// Swapping error: two values exchange places.
+    Swap,
+}
+
+impl ErrorType {
+    /// Short code used in figures and tables (T / M / I / S).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ErrorType::Typo => "T",
+            ErrorType::Missing => "M",
+            ErrorType::Inconsistency => "I",
+            ErrorType::Swap => "S",
+        }
+    }
+}
+
+/// How swapping errors pick their partner (Figure 4(e)–(f)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapMode {
+    /// Swap two values of the *same* attribute (same domain) across tuples.
+    SameAttribute,
+    /// Swap two values of *different* attributes within the same tuple.
+    DifferentAttribute,
+}
+
+/// Error-injection specification.
+#[derive(Debug, Clone)]
+pub struct ErrorSpec {
+    /// Fraction of cells to corrupt (0.0 – 1.0).
+    pub rate: f64,
+    /// Error types to draw from (uniformly).
+    pub types: Vec<ErrorType>,
+    /// Swap mode used when [`ErrorType::Swap`] is drawn.
+    pub swap_mode: SwapMode,
+    /// Columns eligible for corruption; `None` means all columns.
+    pub columns: Option<Vec<usize>>,
+}
+
+impl ErrorSpec {
+    /// The paper's default mix (typos, missing values, inconsistencies) at a
+    /// given cell error rate.
+    pub fn default_mix(rate: f64) -> ErrorSpec {
+        ErrorSpec {
+            rate,
+            types: vec![ErrorType::Typo, ErrorType::Missing, ErrorType::Inconsistency],
+            swap_mode: SwapMode::SameAttribute,
+            columns: None,
+        }
+    }
+
+    /// A spec injecting only one error type.
+    pub fn only(error_type: ErrorType, rate: f64) -> ErrorSpec {
+        ErrorSpec { rate, types: vec![error_type], swap_mode: SwapMode::SameAttribute, columns: None }
+    }
+
+    /// Builder-style swap mode override.
+    pub fn with_swap_mode(mut self, mode: SwapMode) -> ErrorSpec {
+        self.swap_mode = mode;
+        self
+    }
+
+    /// Builder-style restriction to specific columns.
+    pub fn with_columns(mut self, columns: Vec<usize>) -> ErrorSpec {
+        self.columns = Some(columns);
+        self
+    }
+}
+
+/// One injected error with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedError {
+    /// The corrupted cell.
+    pub at: CellRef,
+    /// The error type injected.
+    pub error_type: ErrorType,
+    /// The original (clean) value.
+    pub original: Value,
+    /// The corrupted value now in the dirty dataset.
+    pub corrupted: Value,
+}
+
+/// The result of error injection: the dirty dataset plus the ground truth.
+#[derive(Debug, Clone)]
+pub struct DirtyDataset {
+    /// The corrupted dataset handed to the cleaning systems.
+    pub dirty: Dataset,
+    /// The clean ground truth.
+    pub clean: Dataset,
+    /// All injected errors.
+    pub errors: Vec<InjectedError>,
+}
+
+impl DirtyDataset {
+    /// Number of injected errors.
+    pub fn num_errors(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// The realised cell error rate.
+    pub fn error_rate(&self) -> f64 {
+        if self.clean.num_cells() == 0 {
+            0.0
+        } else {
+            self.errors.len() as f64 / self.clean.num_cells() as f64
+        }
+    }
+
+    /// Errors grouped by type (used by Figure 4(a)).
+    pub fn errors_by_type(&self) -> HashMap<ErrorType, usize> {
+        let mut counts = HashMap::new();
+        for e in &self.errors {
+            *counts.entry(e.error_type).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// Inject errors into a clean dataset according to `spec`, using `seed` for
+/// reproducibility.
+pub fn inject_errors(clean: &Dataset, spec: &ErrorSpec, seed: u64) -> DirtyDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dirty = clean.clone();
+    let mut errors: Vec<InjectedError> = Vec::new();
+    let n = clean.num_rows();
+    let m = clean.num_columns();
+    if n == 0 || m == 0 || spec.rate <= 0.0 || spec.types.is_empty() {
+        return DirtyDataset { dirty, clean: clean.clone(), errors };
+    }
+
+    let columns: Vec<usize> = spec.columns.clone().unwrap_or_else(|| (0..m).collect());
+    let eligible_cells = n * columns.len();
+    let target = ((clean.num_cells() as f64 * spec.rate).round() as usize).min(eligible_cells);
+    let domains = Domains::compute(clean);
+
+    // Choose distinct target cells.
+    let mut all_cells: Vec<(usize, usize)> = (0..n).flat_map(|r| columns.iter().map(move |&c| (r, c))).collect();
+    all_cells.shuffle(&mut rng);
+    let mut chosen = 0usize;
+    let mut idx = 0usize;
+
+    while chosen < target && idx < all_cells.len() {
+        let (row, col) = all_cells[idx];
+        idx += 1;
+        let original = clean.cell(row, col).expect("cell in range").clone();
+        // Already corrupted (possible when a swap touched this cell)?
+        if dirty.cell(row, col).expect("cell in range") != &original {
+            continue;
+        }
+        let error_type = *spec.types.choose(&mut rng).expect("non-empty error types");
+        let injected = match error_type {
+            ErrorType::Typo => inject_typo(&mut rng, &original).map(|v| (v, ErrorType::Typo)),
+            ErrorType::Missing => {
+                if original.is_null() {
+                    None
+                } else {
+                    Some((Value::Null, ErrorType::Missing))
+                }
+            }
+            ErrorType::Inconsistency => {
+                inject_inconsistency(&mut rng, &original, domains.attribute(col).values())
+                    .map(|v| (v, ErrorType::Inconsistency))
+            }
+            ErrorType::Swap => {
+                match spec.swap_mode {
+                    SwapMode::SameAttribute => {
+                        // Swap with another row's value in the same column.
+                        let other_row = rng.gen_range(0..n);
+                        let other = clean.cell(other_row, col).expect("cell in range").clone();
+                        if other == original || other.is_null() || original.is_null() {
+                            None
+                        } else {
+                            Some((other, ErrorType::Swap))
+                        }
+                    }
+                    SwapMode::DifferentAttribute => {
+                        // Swap with another column's value in the same row.
+                        let other_col = columns[rng.gen_range(0..columns.len())];
+                        let other = clean.cell(row, other_col).expect("cell in range").clone();
+                        if other_col == col || other == original || other.is_null() || original.is_null() {
+                            None
+                        } else {
+                            Some((other, ErrorType::Swap))
+                        }
+                    }
+                }
+            }
+        };
+        if let Some((corrupted, error_type)) = injected {
+            dirty.set_cell(row, col, corrupted.clone()).expect("cell in range");
+            errors.push(InjectedError { at: CellRef::new(row, col), error_type, original, corrupted });
+            chosen += 1;
+        }
+    }
+
+    DirtyDataset { dirty, clean: clean.clone(), errors }
+}
+
+/// Apply a random single-character edit (add / delete / replace) to a value.
+fn inject_typo(rng: &mut StdRng, original: &Value) -> Option<Value> {
+    let text = original.as_text().to_string();
+    if text.is_empty() {
+        return None;
+    }
+    let chars: Vec<char> = text.chars().collect();
+    let pos = rng.gen_range(0..chars.len());
+    let alphabet = "abcdefghijklmnopqrstuvwxyz0123456789";
+    let random_char = alphabet.chars().nth(rng.gen_range(0..alphabet.len())).unwrap_or('x');
+    let mutated: String = match rng.gen_range(0..3) {
+        0 => {
+            // replace
+            let mut c = chars.clone();
+            c[pos] = random_char;
+            c.into_iter().collect()
+        }
+        1 => {
+            // insert
+            let mut c = chars.clone();
+            c.insert(pos, random_char);
+            c.into_iter().collect()
+        }
+        _ => {
+            // delete (keep at least one character)
+            if chars.len() == 1 {
+                let mut c = chars.clone();
+                c[0] = random_char;
+                c.into_iter().collect()
+            } else {
+                let mut c = chars.clone();
+                c.remove(pos);
+                c.into_iter().collect()
+            }
+        }
+    };
+    if mutated == text {
+        return None;
+    }
+    // Keep typos textual: "3515O" must not silently re-parse as a number.
+    Some(Value::Text(mutated))
+}
+
+/// Replace the value with a different value of the same domain.
+fn inject_inconsistency(rng: &mut StdRng, original: &Value, domain: &[Value]) -> Option<Value> {
+    let alternatives: Vec<&Value> = domain.iter().filter(|v| *v != original).collect();
+    if alternatives.is_empty() {
+        return None;
+    }
+    Some((*alternatives[rng.gen_range(0..alternatives.len())]).clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::dataset_from;
+
+    fn clean() -> Dataset {
+        let rows: Vec<Vec<String>> = (0..50)
+            .map(|i| {
+                vec![
+                    format!("name{}", i % 10),
+                    if i % 2 == 0 { "sylacauga".into() } else { "centre".into() },
+                    if i % 2 == 0 { "35150".into() } else { "35960".into() },
+                ]
+            })
+            .collect();
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+        dataset_from(&["Name", "City", "Zip"], &refs)
+    }
+
+    #[test]
+    fn injects_requested_fraction() {
+        let d = inject_errors(&clean(), &ErrorSpec::default_mix(0.10), 1);
+        let expected = (150.0_f64 * 0.10).round() as usize;
+        assert!(d.num_errors() >= expected - 2 && d.num_errors() <= expected);
+        assert!((d.error_rate() - 0.10).abs() < 0.03);
+        // Every recorded error is a real difference between dirty and clean.
+        for e in &d.errors {
+            assert_ne!(d.dirty.cell_at(e.at).unwrap(), d.clean.cell_at(e.at).unwrap());
+            assert_eq!(d.clean.cell_at(e.at).unwrap(), &e.original);
+            assert_eq!(d.dirty.cell_at(e.at).unwrap(), &e.corrupted);
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let a = inject_errors(&clean(), &ErrorSpec::default_mix(0.2), 99);
+        let b = inject_errors(&clean(), &ErrorSpec::default_mix(0.2), 99);
+        assert_eq!(a.dirty, b.dirty);
+        assert_eq!(a.errors, b.errors);
+        let c = inject_errors(&clean(), &ErrorSpec::default_mix(0.2), 100);
+        assert_ne!(a.dirty, c.dirty);
+    }
+
+    #[test]
+    fn typo_only_produces_textual_changes() {
+        let d = inject_errors(&clean(), &ErrorSpec::only(ErrorType::Typo, 0.15), 3);
+        assert!(d.num_errors() > 0);
+        for e in &d.errors {
+            assert_eq!(e.error_type, ErrorType::Typo);
+            assert!(!e.corrupted.is_null());
+            assert_ne!(e.corrupted, e.original);
+        }
+    }
+
+    #[test]
+    fn missing_only_produces_nulls() {
+        let d = inject_errors(&clean(), &ErrorSpec::only(ErrorType::Missing, 0.1), 4);
+        assert!(d.num_errors() > 0);
+        for e in &d.errors {
+            assert!(e.corrupted.is_null());
+        }
+        assert_eq!(d.errors_by_type().get(&ErrorType::Missing).copied().unwrap_or(0), d.num_errors());
+    }
+
+    #[test]
+    fn inconsistency_stays_in_domain() {
+        let d = inject_errors(&clean(), &ErrorSpec::only(ErrorType::Inconsistency, 0.1), 5);
+        assert!(d.num_errors() > 0);
+        let domains = Domains::compute(&d.clean);
+        for e in &d.errors {
+            assert!(domains.attribute(e.at.col).contains(&e.corrupted), "corrupted {:?}", e.corrupted);
+        }
+    }
+
+    #[test]
+    fn swap_same_attribute_uses_domain_values() {
+        let spec = ErrorSpec::only(ErrorType::Swap, 0.1).with_swap_mode(SwapMode::SameAttribute);
+        let d = inject_errors(&clean(), &spec, 6);
+        assert!(d.num_errors() > 0);
+        let domains = Domains::compute(&d.clean);
+        for e in &d.errors {
+            assert!(domains.attribute(e.at.col).contains(&e.corrupted));
+        }
+    }
+
+    #[test]
+    fn swap_different_attribute_crosses_columns() {
+        let spec = ErrorSpec::only(ErrorType::Swap, 0.1).with_swap_mode(SwapMode::DifferentAttribute);
+        let d = inject_errors(&clean(), &spec, 7);
+        assert!(d.num_errors() > 0);
+        // At least one corrupted value must come from a different column's domain.
+        let domains = Domains::compute(&d.clean);
+        let cross = d
+            .errors
+            .iter()
+            .any(|e| !domains.attribute(e.at.col).contains(&e.corrupted));
+        assert!(cross);
+    }
+
+    #[test]
+    fn column_restriction_respected() {
+        let spec = ErrorSpec::default_mix(0.2).with_columns(vec![1]);
+        let d = inject_errors(&clean(), &spec, 8);
+        assert!(d.num_errors() > 0);
+        assert!(d.errors.iter().all(|e| e.at.col == 1));
+    }
+
+    #[test]
+    fn zero_rate_and_empty_dataset_are_noops() {
+        let d = inject_errors(&clean(), &ErrorSpec::default_mix(0.0), 9);
+        assert_eq!(d.num_errors(), 0);
+        assert_eq!(d.dirty, d.clean);
+        let empty = Dataset::new(bclean_data::Schema::from_names(&["a"]).unwrap());
+        let d = inject_errors(&empty, &ErrorSpec::default_mix(0.5), 9);
+        assert_eq!(d.num_errors(), 0);
+        assert_eq!(d.error_rate(), 0.0);
+    }
+
+    #[test]
+    fn error_type_codes() {
+        assert_eq!(ErrorType::Typo.code(), "T");
+        assert_eq!(ErrorType::Missing.code(), "M");
+        assert_eq!(ErrorType::Inconsistency.code(), "I");
+        assert_eq!(ErrorType::Swap.code(), "S");
+    }
+
+    #[test]
+    fn high_rate_caps_at_eligible_cells() {
+        let d = inject_errors(&clean(), &ErrorSpec::default_mix(1.5), 10);
+        assert!(d.num_errors() <= 150);
+        assert!(d.num_errors() > 100);
+    }
+}

@@ -1,0 +1,149 @@
+//! Beers benchmark generator (2410 × 11 in the paper).
+//!
+//! Each row is one beer; the brewery id determines the brewery name, city and
+//! state; `ounces` and `abv` are the two numerical attributes highlighted by
+//! the paper, whose formats are covered by the `\d+\.\d+|(\d+)` UC.
+
+use bclean_data::{Attribute, Dataset, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::{pick, BEER_STYLES, BREWERY_WORDS, CITIES};
+
+/// Number of distinct breweries in the pool.
+const NUM_BREWERIES: usize = 60;
+
+struct Brewery {
+    id: String,
+    name: String,
+    city: String,
+    state: String,
+}
+
+fn build_breweries(rng: &mut StdRng) -> Vec<Brewery> {
+    (0..NUM_BREWERIES)
+        .map(|i| {
+            let (city, state, _) = *pick(rng, CITIES);
+            Brewery {
+                id: format!("{i}"),
+                name: format!("{} brewing company", BREWERY_WORDS[i % BREWERY_WORDS.len()]),
+                city: city.to_string(),
+                state: state.to_string(),
+            }
+        })
+        .collect()
+}
+
+/// The Beers schema (11 attributes).
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::categorical("id"),
+        Attribute::text("beer_name"),
+        Attribute::categorical("style"),
+        Attribute::numeric("ounces"),
+        Attribute::numeric("abv"),
+        Attribute::numeric("ibu"),
+        Attribute::categorical("brewery_id"),
+        Attribute::text("brewery_name"),
+        Attribute::categorical("city"),
+        Attribute::categorical("state"),
+        Attribute::categorical("availability"),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Generate a clean Beers dataset with `rows` tuples.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let breweries = build_breweries(&mut rng);
+    let adjectives = ["hoppy", "golden", "dark", "wild", "lazy", "rocky", "old", "double", "hazy", "amber"];
+    let nouns = ["trail", "river", "peak", "badger", "owl", "bison", "harvest", "sunset", "canyon", "meadow"];
+    let mut ds = Dataset::with_capacity(schema(), rows);
+    for i in 0..rows {
+        let brewery = &breweries[i % breweries.len()];
+        let style = BEER_STYLES[(i * 3) % BEER_STYLES.len()];
+        let ounces = [12.0, 12.0, 12.0, 16.0, 16.0, 24.0, 32.0][rng.gen_range(0..7)];
+        let abv = (3.5 + rng.gen_range(0..70) as f64 * 0.1) / 100.0;
+        let ibu = 10 + rng.gen_range(0..90);
+        let name = format!("{} {} {}", adjectives[i % 10], nouns[(i / 10) % 10], style.split(' ').last().unwrap_or("ale"));
+        ds.push_row(vec![
+            Value::Text(format!("{}", 1000 + i)),
+            Value::text(name),
+            Value::text(style),
+            Value::Number(ounces),
+            Value::Number((abv * 1000.0).round() / 1000.0),
+            Value::Number(ibu as f64),
+            Value::Text(brewery.id.clone()),
+            Value::text(brewery.name.clone()),
+            Value::text(brewery.city.clone()),
+            Value::text(brewery.state.clone()),
+            Value::text(["year round", "seasonal", "limited"][i % 3]),
+        ])
+        .expect("row arity matches schema");
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate(500, 21);
+        assert_eq!(a.num_rows(), 500);
+        assert_eq!(a.num_columns(), 11);
+        assert_eq!(a, generate(500, 21));
+    }
+
+    #[test]
+    fn brewery_id_determines_brewery_attributes() {
+        let d = generate(800, 1);
+        let mut seen: HashMap<String, Vec<String>> = HashMap::new();
+        for row in d.rows() {
+            let id = row[6].to_string();
+            let dependent: Vec<String> = (7..10).map(|c| row[c].to_string()).collect();
+            let entry = seen.entry(id).or_insert_with(|| dependent.clone());
+            assert_eq!(entry, &dependent, "brewery FD violated");
+        }
+        assert!(seen.len() >= 30);
+    }
+
+    #[test]
+    fn numeric_attributes_are_numbers_in_valid_ranges() {
+        let d = generate(400, 2);
+        for row in d.rows() {
+            let ounces = row[3].as_number().expect("ounces numeric");
+            assert!((12.0..=32.0).contains(&ounces));
+            let abv = row[4].as_number().expect("abv numeric");
+            assert!((0.0..=0.15).contains(&abv));
+            let ibu = row[5].as_number().expect("ibu numeric");
+            assert!((10.0..=100.0).contains(&ibu));
+        }
+    }
+
+    #[test]
+    fn values_match_paper_numeric_pattern() {
+        let re = bclean_regex::Regex::new(r"\d+\.\d+|(\d+)").unwrap();
+        let d = generate(300, 3);
+        for row in d.rows() {
+            assert!(re.is_full_match(&row[3].to_string()), "ounces {}", row[3]);
+            assert!(re.is_full_match(&row[4].to_string()), "abv {}", row[4]);
+        }
+    }
+
+    #[test]
+    fn beer_ids_are_unique() {
+        let d = generate(500, 4);
+        let mut ids = std::collections::HashSet::new();
+        for row in d.rows() {
+            assert!(ids.insert(row[0].to_string()));
+        }
+    }
+
+    #[test]
+    fn no_nulls_in_clean_data() {
+        assert_eq!(generate(200, 5).null_count(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Facilities benchmark generator (7992 × 11 in the paper).
+//!
+//! CMS-style medical-enterprise records: the facility id determines the
+//! facility's name, address, city, state, ZIP code, county and phone number;
+//! the city determines the state; type and ownership are categorical columns
+//! with small domains.
+
+use bclean_data::{Attribute, Dataset, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::{self, pick, CITIES, FACILITY_PREFIXES, FACILITY_SUFFIXES, FACILITY_TYPES, OWNERSHIP};
+
+/// Number of distinct facilities in the pool. Each facility appears in
+/// multiple certification-period rows, giving the duplication the cleaning
+/// algorithms rely on.
+const NUM_FACILITIES: usize = 800;
+
+struct Facility {
+    id: String,
+    name: String,
+    address: String,
+    city: String,
+    state: String,
+    zip: String,
+    county: String,
+    phone: String,
+    facility_type: String,
+    ownership: String,
+}
+
+fn build_facilities(rng: &mut StdRng) -> Vec<Facility> {
+    (0..NUM_FACILITIES)
+        .map(|i| {
+            let (city, state, zip) = *pick(rng, CITIES);
+            Facility {
+                id: format!("F{:05}", 10000 + i),
+                name: format!("{} {}", pick(rng, FACILITY_PREFIXES), pick(rng, FACILITY_SUFFIXES)),
+                address: vocab::street_address(rng),
+                city: city.to_string(),
+                state: state.to_string(),
+                zip: zip.to_string(),
+                county: format!("{} county", city.split_whitespace().next().unwrap_or(city)),
+                phone: vocab::phone_number(rng),
+                facility_type: pick(rng, FACILITY_TYPES).to_string(),
+                ownership: pick(rng, OWNERSHIP).to_string(),
+            }
+        })
+        .collect()
+}
+
+/// The Facilities schema (11 attributes).
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::categorical("FacilityId"),
+        Attribute::text("FacilityName"),
+        Attribute::text("Address"),
+        Attribute::categorical("City"),
+        Attribute::categorical("State"),
+        Attribute::categorical("ZipCode"),
+        Attribute::categorical("County"),
+        Attribute::categorical("Phone"),
+        Attribute::categorical("Type"),
+        Attribute::categorical("Ownership"),
+        Attribute::categorical("CertificationYear"),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Generate a clean Facilities dataset with `rows` tuples.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let facilities = build_facilities(&mut rng);
+    let mut ds = Dataset::with_capacity(schema(), rows);
+    for i in 0..rows {
+        let facility = &facilities[i % facilities.len()];
+        let year = format!("{}", 2010 + (i / facilities.len()) % 10 + (rng.gen_range(0..2)) * 0);
+        ds.push_row(vec![
+            Value::text(facility.id.clone()),
+            Value::text(facility.name.clone()),
+            Value::text(facility.address.clone()),
+            Value::text(facility.city.clone()),
+            Value::text(facility.state.clone()),
+            Value::Text(facility.zip.clone()),
+            Value::text(facility.county.clone()),
+            Value::Text(facility.phone.clone()),
+            Value::text(facility.facility_type.clone()),
+            Value::text(facility.ownership.clone()),
+            Value::Text(year),
+        ])
+        .expect("row arity matches schema");
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate(1000, 41);
+        assert_eq!(a.num_rows(), 1000);
+        assert_eq!(a.num_columns(), 11);
+        assert_eq!(a, generate(1000, 41));
+    }
+
+    #[test]
+    fn facility_id_determines_attributes() {
+        let d = generate(2000, 1);
+        let mut seen: HashMap<String, Vec<String>> = HashMap::new();
+        for row in d.rows() {
+            let id = row[0].to_string();
+            let dependent: Vec<String> = (1..10).map(|c| row[c].to_string()).collect();
+            let entry = seen.entry(id).or_insert_with(|| dependent.clone());
+            assert_eq!(entry, &dependent, "FacilityId FD violated");
+        }
+        assert!(seen.len() >= 500);
+    }
+
+    #[test]
+    fn city_determines_state() {
+        let d = generate(2000, 2);
+        let mut seen: HashMap<String, String> = HashMap::new();
+        for row in d.rows() {
+            let city = row[3].to_string();
+            let state = row[4].to_string();
+            let entry = seen.entry(city).or_insert_with(|| state.clone());
+            assert_eq!(entry, &state, "City -> State FD violated");
+        }
+    }
+
+    #[test]
+    fn facilities_repeat_across_years() {
+        let d = generate(2400, 3);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for row in d.rows() {
+            *counts.entry(row[0].to_string()).or_insert(0) += 1;
+        }
+        assert!(counts.values().any(|&c| c >= 3));
+    }
+
+    #[test]
+    fn categorical_domains_are_small() {
+        let d = generate(1500, 4);
+        let domains = bclean_data::Domains::compute(&d);
+        assert!(domains.attribute(8).cardinality() <= 8); // Type
+        assert!(domains.attribute(9).cardinality() <= 6); // Ownership
+    }
+
+    #[test]
+    fn no_nulls_in_clean_data() {
+        assert_eq!(generate(500, 5).null_count(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Hospital benchmark generator (1000 × 15 in the paper).
+//!
+//! Schema and dependency structure follow the HoloClean/Raha Hospital
+//! benchmark: a provider number functionally determines the hospital's name,
+//! address, city, state, ZIP code, county and phone number; the measure code
+//! determines the measure name and condition; and `(State, MeasureCode)`
+//! determines the state average. Heavy value duplication across rows gives
+//! the strong relational context the paper highlights for this dataset.
+
+use bclean_data::{AttrType, Attribute, Dataset, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::{self, pick, CITIES, CONDITIONS, FACILITY_PREFIXES, FACILITY_SUFFIXES, MEASURES, OWNERSHIP};
+
+/// Number of distinct hospitals in the pool.
+const NUM_HOSPITALS: usize = 60;
+
+struct HospitalEntity {
+    provider_number: String,
+    name: String,
+    address: String,
+    city: String,
+    state: String,
+    zip: String,
+    county: String,
+    phone: String,
+    hospital_type: String,
+    owner: String,
+    emergency: String,
+}
+
+fn build_hospitals(rng: &mut StdRng) -> Vec<HospitalEntity> {
+    // Restrict to a pool of cities whose states host several hospitals each,
+    // like the real CMS Hospital benchmark: per-state values (State, StateAvg)
+    // must be shared by multiple providers to be learnable.
+    let city_pool = &CITIES[..26];
+    (0..NUM_HOSPITALS)
+        .map(|i| {
+            let (city, state, zip) = *pick(rng, city_pool);
+            HospitalEntity {
+                provider_number: format!("{}", 10001 + i),
+                name: format!("{} {}", pick(rng, FACILITY_PREFIXES), pick(rng, FACILITY_SUFFIXES)),
+                address: vocab::street_address(rng),
+                city: city.to_string(),
+                state: state.to_string(),
+                zip: zip.to_string(),
+                county: format!("{} county", city.split_whitespace().next().unwrap_or(city)),
+                phone: vocab::phone_number(rng),
+                hospital_type: "acute care hospitals".to_string(),
+                owner: pick(rng, OWNERSHIP).to_string(),
+                emergency: if rng.gen_bool(0.8) { "yes" } else { "no" }.to_string(),
+            }
+        })
+        .collect()
+}
+
+/// The Hospital schema (15 attributes).
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::categorical("ProviderNumber"),
+        Attribute::text("HospitalName"),
+        Attribute::text("Address"),
+        Attribute::categorical("City"),
+        Attribute::categorical("State"),
+        Attribute::categorical("ZipCode"),
+        Attribute::categorical("CountyName"),
+        Attribute::categorical("PhoneNumber"),
+        Attribute::categorical("HospitalType"),
+        Attribute::categorical("HospitalOwner"),
+        Attribute::categorical("EmergencyService"),
+        Attribute::categorical("Condition"),
+        Attribute::categorical("MeasureCode"),
+        Attribute::text("MeasureName"),
+        Attribute::categorical("StateAvg"),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Generate a clean Hospital dataset with `rows` tuples.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hospitals = build_hospitals(&mut rng);
+    let mut ds = Dataset::with_capacity(schema(), rows);
+    for i in 0..rows {
+        let hospital = &hospitals[(i / MEASURES.len()) % hospitals.len()];
+        let (code, measure_name, condition_idx) = MEASURES[i % MEASURES.len()];
+        // State average is a deterministic function of (state, measure code).
+        let avg = 50 + (fxhash(hospital.state.as_bytes()) ^ fxhash(code.as_bytes())) % 50;
+        let state_avg = format!("{}_{}_{avg}%", hospital.state.to_lowercase(), code);
+        ds.push_row(vec![
+            Value::Text(hospital.provider_number.clone()),
+            Value::text(hospital.name.clone()),
+            Value::text(hospital.address.clone()),
+            Value::text(hospital.city.clone()),
+            Value::text(hospital.state.clone()),
+            Value::Text(hospital.zip.clone()),
+            Value::text(hospital.county.clone()),
+            Value::Text(hospital.phone.clone()),
+            Value::text(hospital.hospital_type.clone()),
+            Value::text(hospital.owner.clone()),
+            Value::text(hospital.emergency.clone()),
+            Value::text(CONDITIONS[condition_idx]),
+            Value::text(code),
+            Value::text(measure_name),
+            Value::text(state_avg),
+        ])
+        .expect("row arity matches schema");
+    }
+    ds
+}
+
+/// Tiny deterministic string hash (FNV-style) used to derive stable per-key numbers.
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Verify that an attribute type matters for similarity handling downstream.
+pub fn attr_types() -> Vec<AttrType> {
+    schema().attributes().iter().map(|a| a.ty).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate(200, 7);
+        assert_eq!(a.num_rows(), 200);
+        assert_eq!(a.num_columns(), 15);
+        let b = generate(200, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, generate(200, 8));
+    }
+
+    #[test]
+    fn provider_number_determines_hospital_attributes() {
+        let d = generate(500, 1);
+        let mut seen: HashMap<String, Vec<String>> = HashMap::new();
+        for row in d.rows() {
+            let key = row[0].to_string();
+            let dependent: Vec<String> = (1..8).map(|c| row[c].to_string()).collect();
+            let entry = seen.entry(key).or_insert_with(|| dependent.clone());
+            assert_eq!(entry, &dependent, "ProviderNumber FD violated");
+        }
+        assert!(seen.len() > 10);
+    }
+
+    #[test]
+    fn measure_code_determines_name_and_condition() {
+        let d = generate(400, 2);
+        let mut seen: HashMap<String, (String, String)> = HashMap::new();
+        for row in d.rows() {
+            let code = row[12].to_string();
+            let pair = (row[11].to_string(), row[13].to_string());
+            let entry = seen.entry(code).or_insert_with(|| pair.clone());
+            assert_eq!(entry, &pair, "MeasureCode FD violated");
+        }
+    }
+
+    #[test]
+    fn zip_determines_state() {
+        let d = generate(600, 3);
+        let mut seen: HashMap<String, String> = HashMap::new();
+        for row in d.rows() {
+            let zip = row[5].to_string();
+            let state = row[4].to_string();
+            let entry = seen.entry(zip).or_insert_with(|| state.clone());
+            assert_eq!(entry, &state, "Zip -> State FD violated");
+        }
+    }
+
+    #[test]
+    fn zipcodes_match_paper_constraint() {
+        let d = generate(300, 4);
+        for row in d.rows() {
+            let zip = row[5].to_string();
+            assert_eq!(zip.len(), 5);
+            assert!(zip.chars().all(|c| c.is_ascii_digit()));
+        }
+        // Phone numbers are ten digits.
+        for row in d.rows() {
+            assert_eq!(row[7].to_string().len(), 10);
+        }
+    }
+
+    #[test]
+    fn no_nulls_in_clean_data() {
+        assert_eq!(generate(300, 5).null_count(), 0);
+    }
+
+    #[test]
+    fn attr_types_exported() {
+        assert_eq!(attr_types().len(), 15);
+    }
+}

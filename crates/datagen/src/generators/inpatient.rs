@@ -1,0 +1,140 @@
+//! Inpatient benchmark generator (4017 × 11 in the paper).
+//!
+//! CMS-style inpatient charge records: a provider id determines the provider
+//! name, address, city, state, ZIP code and county; the DRG code determines
+//! the DRG definition; discharges and average charges are numeric columns.
+
+use bclean_data::{Attribute, Dataset, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::{self, pick, CITIES, DRG_CODES, FACILITY_PREFIXES, FACILITY_SUFFIXES};
+
+/// Number of distinct providers in the pool.
+const NUM_PROVIDERS: usize = 90;
+
+struct Provider {
+    id: String,
+    name: String,
+    address: String,
+    city: String,
+    state: String,
+    zip: String,
+    county: String,
+}
+
+fn build_providers(rng: &mut StdRng) -> Vec<Provider> {
+    (0..NUM_PROVIDERS)
+        .map(|i| {
+            let (city, state, zip) = *pick(rng, CITIES);
+            Provider {
+                id: format!("{}", 50001 + i),
+                name: format!("{} {}", pick(rng, FACILITY_PREFIXES), pick(rng, FACILITY_SUFFIXES)),
+                address: vocab::street_address(rng),
+                city: city.to_string(),
+                state: state.to_string(),
+                zip: zip.to_string(),
+                county: format!("{} county", city.split_whitespace().next().unwrap_or(city)),
+            }
+        })
+        .collect()
+}
+
+/// The Inpatient schema (11 attributes).
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::categorical("ProviderId"),
+        Attribute::text("ProviderName"),
+        Attribute::text("Address"),
+        Attribute::categorical("City"),
+        Attribute::categorical("State"),
+        Attribute::categorical("ZipCode"),
+        Attribute::categorical("County"),
+        Attribute::categorical("DRGCode"),
+        Attribute::text("DRGDefinition"),
+        Attribute::numeric("Discharges"),
+        Attribute::numeric("AverageCharges"),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Generate a clean Inpatient dataset with `rows` tuples.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let providers = build_providers(&mut rng);
+    let mut ds = Dataset::with_capacity(schema(), rows);
+    for i in 0..rows {
+        let provider = &providers[(i / DRG_CODES.len()) % providers.len()];
+        let (code, definition) = DRG_CODES[i % DRG_CODES.len()];
+        let discharges = 11 + rng.gen_range(0..200);
+        let charges = 4000 + rng.gen_range(0..90000);
+        ds.push_row(vec![
+            Value::Text(provider.id.clone()),
+            Value::text(provider.name.clone()),
+            Value::text(provider.address.clone()),
+            Value::text(provider.city.clone()),
+            Value::text(provider.state.clone()),
+            Value::Text(provider.zip.clone()),
+            Value::text(provider.county.clone()),
+            Value::Text(code.to_string()),
+            Value::text(definition),
+            Value::Number(discharges as f64),
+            Value::Number(charges as f64),
+        ])
+        .expect("row arity matches schema");
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate(800, 31);
+        assert_eq!(a.num_rows(), 800);
+        assert_eq!(a.num_columns(), 11);
+        assert_eq!(a, generate(800, 31));
+    }
+
+    #[test]
+    fn provider_id_determines_location() {
+        let d = generate(1000, 1);
+        let mut seen: HashMap<String, Vec<String>> = HashMap::new();
+        for row in d.rows() {
+            let id = row[0].to_string();
+            let dependent: Vec<String> = (1..7).map(|c| row[c].to_string()).collect();
+            let entry = seen.entry(id).or_insert_with(|| dependent.clone());
+            assert_eq!(entry, &dependent, "ProviderId FD violated");
+        }
+    }
+
+    #[test]
+    fn drg_code_determines_definition() {
+        let d = generate(1000, 2);
+        let mut seen: HashMap<String, String> = HashMap::new();
+        for row in d.rows() {
+            let code = row[7].to_string();
+            let def = row[8].to_string();
+            let entry = seen.entry(code).or_insert_with(|| def.clone());
+            assert_eq!(entry, &def, "DRG FD violated");
+        }
+        assert!(seen.len() >= 40);
+    }
+
+    #[test]
+    fn numeric_columns_have_positive_values() {
+        let d = generate(400, 3);
+        for row in d.rows() {
+            assert!(row[9].as_number().unwrap() > 0.0);
+            assert!(row[10].as_number().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn no_nulls_in_clean_data() {
+        assert_eq!(generate(300, 4).null_count(), 0);
+    }
+}

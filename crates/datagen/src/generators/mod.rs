@@ -1,0 +1,8 @@
+//! Clean dataset generators, one per benchmark of the paper's Table 2.
+
+pub mod beers;
+pub mod facilities;
+pub mod flights;
+pub mod hospital;
+pub mod inpatient;
+pub mod soccer;

@@ -1,0 +1,426 @@
+//! Shared vocabularies for the synthetic benchmark generators.
+//!
+//! The real benchmark datasets (Hospital, Flights, Soccer, Beers, Inpatient,
+//! Facilities) are not redistributable, so the generators synthesise tables
+//! with the same schemas, cardinalities and inter-attribute dependencies.
+//! The vocabularies below provide realistic-looking value pools; the key
+//! property is not the spelling of the values but the *functional structure*
+//! between them (city → state → zip, code → description, …), which is what
+//! every cleaning algorithm in the evaluation exploits.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// US-style city/state/zip triples. Each city determines its state and zip
+/// prefix, giving the generators a built-in `City → State` and
+/// `ZipCode → City, State` dependency.
+pub const CITIES: &[(&str, &str, &str)] = &[
+    ("sylacauga", "AL", "35150"),
+    ("centre", "AL", "35960"),
+    ("birmingham", "AL", "35233"),
+    ("dothan", "AL", "36301"),
+    ("gadsden", "AL", "35901"),
+    ("sheffield", "AL", "35660"),
+    ("boaz", "AL", "35957"),
+    ("florence", "AL", "35630"),
+    ("phoenix", "AZ", "85006"),
+    ("tucson", "AZ", "85713"),
+    ("mesa", "AZ", "85202"),
+    ("little rock", "AR", "72205"),
+    ("fort smith", "AR", "72901"),
+    ("los angeles", "CA", "90033"),
+    ("san diego", "CA", "92103"),
+    ("sacramento", "CA", "95817"),
+    ("fresno", "CA", "93701"),
+    ("denver", "CO", "80204"),
+    ("aurora", "CO", "80012"),
+    ("hartford", "CT", "06102"),
+    ("wilmington", "DE", "19801"),
+    ("miami", "FL", "33125"),
+    ("tampa", "FL", "33606"),
+    ("orlando", "FL", "32806"),
+    ("atlanta", "GA", "30303"),
+    ("savannah", "GA", "31404"),
+    ("boise", "ID", "83702"),
+    ("chicago", "IL", "60612"),
+    ("peoria", "IL", "61636"),
+    ("indianapolis", "IN", "46202"),
+    ("des moines", "IA", "50314"),
+    ("wichita", "KS", "67214"),
+    ("louisville", "KY", "40202"),
+    ("lexington", "KY", "40508"),
+    ("new orleans", "LA", "70112"),
+    ("baton rouge", "LA", "70808"),
+    ("portland", "ME", "04102"),
+    ("baltimore", "MD", "21201"),
+    ("boston", "MA", "02114"),
+    ("worcester", "MA", "01608"),
+    ("detroit", "MI", "48201"),
+    ("grand rapids", "MI", "49503"),
+    ("minneapolis", "MN", "55415"),
+    ("jackson", "MS", "39216"),
+    ("kansas city", "MO", "64108"),
+    ("st louis", "MO", "63110"),
+    ("billings", "MT", "59101"),
+    ("omaha", "NE", "68105"),
+    ("las vegas", "NV", "89102"),
+    ("reno", "NV", "89502"),
+    ("manchester", "NH", "03103"),
+    ("newark", "NJ", "07102"),
+    ("albuquerque", "NM", "87102"),
+    ("new york", "NY", "10016"),
+    ("buffalo", "NY", "14203"),
+    ("rochester", "NY", "14621"),
+    ("charlotte", "NC", "28203"),
+    ("raleigh", "NC", "27610"),
+    ("fargo", "ND", "58122"),
+    ("columbus", "OH", "43210"),
+    ("cleveland", "OH", "44109"),
+    ("oklahoma city", "OK", "73104"),
+    ("tulsa", "OK", "74104"),
+    ("salem", "OR", "97301"),
+    ("philadelphia", "PA", "19104"),
+    ("pittsburgh", "PA", "15213"),
+    ("providence", "RI", "02903"),
+    ("charleston", "SC", "29403"),
+    ("sioux falls", "SD", "57105"),
+    ("memphis", "TN", "38104"),
+    ("nashville", "TN", "37203"),
+    ("houston", "TX", "77030"),
+    ("dallas", "TX", "75235"),
+    ("austin", "TX", "78705"),
+    ("el paso", "TX", "79902"),
+    ("salt lake city", "UT", "84132"),
+    ("burlington", "VT", "05401"),
+    ("richmond", "VA", "23219"),
+    ("norfolk", "VA", "23507"),
+    ("seattle", "WA", "98104"),
+    ("spokane", "WA", "99204"),
+    ("charleston wv", "WV", "25301"),
+    ("milwaukee", "WI", "53215"),
+    ("madison", "WI", "53715"),
+    ("cheyenne", "WY", "82001"),
+];
+
+/// Common first names used for people-like attributes.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
+    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
+    "charles", "karen", "christopher", "nancy", "daniel", "lisa", "matthew", "betty", "anthony",
+    "margaret", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul", "emily",
+    "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy", "kevin", "carol", "brian",
+    "amanda", "george", "melissa", "edward", "deborah",
+];
+
+/// Common last names used for people-like attributes.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
+    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
+    "rivera", "campbell", "mitchell", "carter", "roberts",
+];
+
+/// Street suffixes for address generation.
+pub const STREET_SUFFIXES: &[&str] = &["st", "ave", "dr", "rd", "blvd", "ln", "way", "ct"];
+
+/// Street base names.
+pub const STREET_NAMES: &[&str] = &[
+    "hickory", "northwood", "main", "oak", "maple", "cedar", "pine", "elm", "washington",
+    "lake", "hill", "park", "sunset", "river", "spring", "church", "walnut", "chestnut",
+    "highland", "jackson", "franklin", "jefferson", "madison", "adams", "lincoln",
+];
+
+/// Hospital / facility name fragments.
+pub const FACILITY_PREFIXES: &[&str] = &[
+    "marshall", "eliza coffee", "mizell", "crenshaw", "st vincents", "dale", "cherokee",
+    "baptist", "community", "mercy", "providence", "riverside", "lakeview", "northside",
+    "southeast", "university", "memorial", "regional", "county", "general",
+];
+
+/// Hospital / facility name suffixes.
+pub const FACILITY_SUFFIXES: &[&str] = &[
+    "medical center", "memorial hospital", "community hospital", "regional medical center",
+    "health center", "general hospital", "medical clinic", "care center",
+];
+
+/// Clinical conditions (Hospital dataset).
+pub const CONDITIONS: &[&str] = &[
+    "heart attack", "heart failure", "pneumonia", "surgical infection prevention",
+    "childrens asthma care", "stroke care", "blood clot prevention",
+];
+
+/// Measure codes and names (Hospital dataset); the code determines the name
+/// and the condition index.
+pub const MEASURES: &[(&str, &str, usize)] = &[
+    ("ami-1", "aspirin at arrival", 0),
+    ("ami-2", "aspirin at discharge", 0),
+    ("ami-3", "ace inhibitor for lvsd", 0),
+    ("ami-4", "adult smoking cessation advice", 0),
+    ("ami-5", "beta blocker at discharge", 0),
+    ("hf-1", "discharge instructions", 1),
+    ("hf-2", "evaluation of lvs function", 1),
+    ("hf-3", "ace inhibitor or arb for lvsd", 1),
+    ("hf-4", "adult smoking cessation counseling", 1),
+    ("pn-2", "pneumococcal vaccination", 2),
+    ("pn-3b", "blood culture before antibiotic", 2),
+    ("pn-4", "smoking cessation advice pneumonia", 2),
+    ("pn-5c", "initial antibiotic within 6 hours", 2),
+    ("pn-6", "appropriate initial antibiotic", 2),
+    ("pn-7", "influenza vaccination", 2),
+    ("scip-inf-1", "antibiotic within one hour", 3),
+    ("scip-inf-2", "appropriate prophylactic antibiotic", 3),
+    ("scip-inf-3", "antibiotic discontinued 24 hours", 3),
+    ("scip-card-2", "beta blocker perioperative", 3),
+    ("cac-1", "relievers for inpatient asthma", 4),
+];
+
+/// Hospital ownership types.
+pub const OWNERSHIP: &[&str] = &[
+    "government - federal", "government - state", "government - local",
+    "voluntary non-profit - private", "voluntary non-profit - church", "proprietary",
+];
+
+/// Airline codes for the Flights dataset.
+pub const AIRLINES: &[&str] = &["AA", "UA", "DL", "WN", "B6", "AS", "NK", "F9", "HA", "VX"];
+
+/// Flight data sources (websites) for the Flights dataset.
+pub const FLIGHT_SOURCES: &[&str] = &[
+    "aa", "airtravelcenter", "allegiantair", "boston", "businesstravellogue", "CO",
+    "dfw", "den", "flightarrival", "flightaware", "flightexplorer", "flights", "flightstats",
+    "flightview", "flightwise", "flylouisville", "foxbusiness", "gofox", "helloflight",
+    "iad", "ifly", "mco", "mia", "myrateplan", "mytripandmore", "orbitz", "ord", "panynj",
+    "phl", "quicktrip", "sfo", "travelocity", "usatoday", "weather", "world-flight-tracker",
+    "wunderground", "yahoo",
+];
+
+/// Soccer clubs and their leagues (club determines league).
+pub const CLUBS: &[(&str, &str)] = &[
+    ("arsenal", "premier league"),
+    ("chelsea", "premier league"),
+    ("liverpool", "premier league"),
+    ("manchester united", "premier league"),
+    ("manchester city", "premier league"),
+    ("tottenham", "premier league"),
+    ("everton", "premier league"),
+    ("real madrid", "la liga"),
+    ("barcelona", "la liga"),
+    ("atletico madrid", "la liga"),
+    ("sevilla", "la liga"),
+    ("valencia", "la liga"),
+    ("villarreal", "la liga"),
+    ("bayern munich", "bundesliga"),
+    ("borussia dortmund", "bundesliga"),
+    ("rb leipzig", "bundesliga"),
+    ("bayer leverkusen", "bundesliga"),
+    ("schalke 04", "bundesliga"),
+    ("juventus", "serie a"),
+    ("ac milan", "serie a"),
+    ("inter milan", "serie a"),
+    ("napoli", "serie a"),
+    ("roma", "serie a"),
+    ("lazio", "serie a"),
+    ("psg", "ligue 1"),
+    ("marseille", "ligue 1"),
+    ("lyon", "ligue 1"),
+    ("monaco", "ligue 1"),
+    ("lille", "ligue 1"),
+    ("ajax", "eredivisie"),
+    ("psv", "eredivisie"),
+    ("feyenoord", "eredivisie"),
+    ("porto", "primeira liga"),
+    ("benfica", "primeira liga"),
+    ("sporting cp", "primeira liga"),
+];
+
+/// European birthplace cities and their countries (city determines country).
+pub const EURO_CITIES: &[(&str, &str)] = &[
+    ("london", "england"),
+    ("manchester", "england"),
+    ("liverpool", "england"),
+    ("birmingham", "england"),
+    ("madrid", "spain"),
+    ("barcelona", "spain"),
+    ("seville", "spain"),
+    ("valencia", "spain"),
+    ("munich", "germany"),
+    ("dortmund", "germany"),
+    ("berlin", "germany"),
+    ("hamburg", "germany"),
+    ("turin", "italy"),
+    ("milan", "italy"),
+    ("naples", "italy"),
+    ("rome", "italy"),
+    ("paris", "france"),
+    ("marseille", "france"),
+    ("lyon", "france"),
+    ("lille", "france"),
+    ("amsterdam", "netherlands"),
+    ("rotterdam", "netherlands"),
+    ("eindhoven", "netherlands"),
+    ("lisbon", "portugal"),
+    ("porto", "portugal"),
+    ("sao paulo", "brazil"),
+    ("rio de janeiro", "brazil"),
+    ("buenos aires", "argentina"),
+    ("rosario", "argentina"),
+    ("montevideo", "uruguay"),
+];
+
+/// Soccer positions.
+pub const POSITIONS: &[&str] = &[
+    "goalkeeper", "centre back", "left back", "right back", "defensive midfield",
+    "central midfield", "attacking midfield", "left wing", "right wing", "centre forward",
+];
+
+/// Beer styles (Beers dataset).
+pub const BEER_STYLES: &[&str] = &[
+    "american ipa", "american pale ale", "american amber ale", "american blonde ale",
+    "american double ipa", "american porter", "american stout", "fruit beer", "hefeweizen",
+    "kolsch", "saison", "witbier", "oatmeal stout", "scotch ale", "cream ale", "pilsner",
+    "american brown ale", "rye beer", "winter warmer", "english brown ale",
+];
+
+/// Brewery name fragments (Beers dataset).
+pub const BREWERY_WORDS: &[&str] = &[
+    "devils backbone", "oskar blues", "cigar city", "sun king", "tallgrass", "against the grain",
+    "boulevard", "odell", "upslope", "renegade", "crazy mountain", "ska", "great divide",
+    "surly", "summit", "indeed", "fulton", "bauhaus", "bent paddle", "castle danger",
+    "lakefront", "new glarus", "capital", "ale asylum", "karben4", "central waters",
+];
+
+/// DRG (diagnosis related group) codes and definitions (Inpatient dataset).
+pub const DRG_CODES: &[(&str, &str)] = &[
+    ("039", "extracranial procedures w/o cc/mcc"),
+    ("057", "degenerative nervous system disorders w/o mcc"),
+    ("064", "intracranial hemorrhage w mcc"),
+    ("065", "intracranial hemorrhage w cc"),
+    ("066", "intracranial hemorrhage w/o cc/mcc"),
+    ("069", "transient ischemia"),
+    ("074", "cranial peripheral nerve disorders w/o mcc"),
+    ("101", "seizures w/o mcc"),
+    ("149", "dysequilibrium"),
+    ("176", "pulmonary embolism w/o mcc"),
+    ("177", "respiratory infections w mcc"),
+    ("178", "respiratory infections w cc"),
+    ("189", "pulmonary edema and respiratory failure"),
+    ("190", "chronic obstructive pulmonary disease w mcc"),
+    ("191", "chronic obstructive pulmonary disease w cc"),
+    ("192", "chronic obstructive pulmonary disease w/o cc/mcc"),
+    ("193", "simple pneumonia w mcc"),
+    ("194", "simple pneumonia w cc"),
+    ("195", "simple pneumonia w/o cc/mcc"),
+    ("202", "bronchitis and asthma w cc/mcc"),
+    ("203", "bronchitis and asthma w/o cc/mcc"),
+    ("208", "respiratory system diagnosis w ventilator support <96 hours"),
+    ("243", "permanent cardiac pacemaker implant w cc"),
+    ("247", "percutaneous cardiovascular procedure w drug-eluting stent"),
+    ("280", "acute myocardial infarction w mcc"),
+    ("281", "acute myocardial infarction w cc"),
+    ("282", "acute myocardial infarction w/o cc/mcc"),
+    ("291", "heart failure and shock w mcc"),
+    ("292", "heart failure and shock w cc"),
+    ("293", "heart failure and shock w/o cc/mcc"),
+    ("300", "peripheral vascular disorders w cc"),
+    ("308", "cardiac arrhythmia w mcc"),
+    ("309", "cardiac arrhythmia w cc"),
+    ("310", "cardiac arrhythmia w/o cc/mcc"),
+    ("312", "syncope and collapse"),
+    ("313", "chest pain"),
+    ("330", "major small and large bowel procedures w cc"),
+    ("372", "major gastrointestinal disorders w cc"),
+    ("378", "gi hemorrhage w cc"),
+    ("389", "gi obstruction w cc"),
+    ("390", "gi obstruction w/o cc/mcc"),
+    ("392", "esophagitis gastroenteritis w/o mcc"),
+    ("394", "other digestive system diagnoses w cc"),
+    ("418", "laparoscopic cholecystectomy w/o cde w cc"),
+    ("439", "disorders of pancreas except malignancy w cc"),
+    ("460", "spinal fusion except cervical w/o mcc"),
+    ("470", "major joint replacement of lower extremity w/o mcc"),
+    ("473", "cervical spinal fusion w/o cc/mcc"),
+    ("480", "hip and femur procedures except major joint w mcc"),
+    ("481", "hip and femur procedures except major joint w cc"),
+];
+
+/// Facility types (Facilities dataset).
+pub const FACILITY_TYPES: &[&str] = &[
+    "hospital", "nursing home", "rural health clinic", "home health agency", "hospice",
+    "dialysis facility", "ambulatory surgical center", "rehabilitation facility",
+];
+
+/// Pick a uniformly random element of a slice.
+pub fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// Build a person name like `james.smith` from the vocabularies.
+pub fn person_name(rng: &mut StdRng) -> String {
+    format!("{}.{}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+}
+
+/// Build a street address like `315 w hickory st`.
+pub fn street_address(rng: &mut StdRng) -> String {
+    let number = rng.gen_range(100..999);
+    let direction = ["", "n ", "s ", "e ", "w "][rng.gen_range(0..5)];
+    format!("{number} {direction}{} {}", pick(rng, STREET_NAMES), pick(rng, STREET_SUFFIXES))
+}
+
+/// Build a 10-digit phone number with a deterministic area code per index.
+pub fn phone_number(rng: &mut StdRng) -> String {
+    format!("{}{:03}{:04}", rng.gen_range(201..990), rng.gen_range(200..999), rng.gen_range(0..10000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vocabularies_are_nonempty_and_consistent() {
+        assert!(CITIES.len() >= 50);
+        assert!(MEASURES.iter().all(|(_, _, cond)| *cond < CONDITIONS.len()));
+        assert!(CLUBS.len() >= 30);
+        assert!(DRG_CODES.len() >= 40);
+        assert!(FLIGHT_SOURCES.len() >= 30);
+    }
+
+    #[test]
+    fn city_zip_codes_are_five_digits() {
+        for (_, state, zip) in CITIES {
+            assert_eq!(zip.len(), 5, "zip {zip}");
+            assert_eq!(state.len(), 2);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(person_name(&mut a), person_name(&mut b));
+        assert_eq!(street_address(&mut a), street_address(&mut b));
+        assert_eq!(phone_number(&mut a), phone_number(&mut b));
+    }
+
+    #[test]
+    fn generated_strings_have_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let name = person_name(&mut rng);
+        assert!(name.contains('.'));
+        let addr = street_address(&mut rng);
+        assert!(addr.split_whitespace().count() >= 3);
+        let phone = phone_number(&mut rng);
+        assert_eq!(phone.len(), 10);
+        assert!(phone.chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn pick_covers_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let items = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(items.contains(pick(&mut rng, &items)));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for dataset generation and error injection.
+
+use bclean_data::error_cells;
+use bclean_datagen::{inject_errors, BenchmarkDataset, ErrorSpec, ErrorType, SwapMode};
+use proptest::prelude::*;
+
+fn any_dataset() -> impl Strategy<Value = BenchmarkDataset> {
+    prop_oneof![
+        Just(BenchmarkDataset::Hospital),
+        Just(BenchmarkDataset::Flights),
+        Just(BenchmarkDataset::Soccer),
+        Just(BenchmarkDataset::Beers),
+        Just(BenchmarkDataset::Inpatient),
+        Just(BenchmarkDataset::Facilities),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The injected-error ledger exactly matches the dirty-vs-clean cell diff.
+    #[test]
+    fn error_ledger_matches_diff(ds in any_dataset(), seed in 0u64..1000, rate in 0.01f64..0.4) {
+        let clean = ds.generate_clean(120, seed);
+        let dirty = inject_errors(&clean, &ErrorSpec { rate, types: ds.error_types(), ..ErrorSpec::default_mix(rate) }, seed + 1);
+        let diff = error_cells(&dirty.dirty, &dirty.clean).unwrap();
+        let ledger: std::collections::HashSet<_> = dirty.errors.iter().map(|e| e.at).collect();
+        prop_assert_eq!(diff, ledger);
+    }
+
+    /// Generators are deterministic in the seed and clean data has no nulls.
+    #[test]
+    fn generators_deterministic_and_complete(ds in any_dataset(), seed in 0u64..500) {
+        let a = ds.generate_clean(80, seed);
+        let b = ds.generate_clean(80, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.null_count(), 0);
+        prop_assert_eq!(a.num_columns(), ds.num_columns());
+    }
+
+    /// The realised error rate tracks the requested rate within tolerance.
+    #[test]
+    fn realised_rate_tracks_request(ds in any_dataset(), rate in 0.05f64..0.5, seed in 0u64..200) {
+        let clean = ds.generate_clean(150, seed);
+        let spec = ErrorSpec { rate, types: ds.error_types(), ..ErrorSpec::default_mix(rate) };
+        let dirty = inject_errors(&clean, &spec, seed);
+        // Typo/swap injections can fail on some cells, so allow a downward gap.
+        prop_assert!(dirty.error_rate() <= rate + 0.01);
+        prop_assert!(dirty.error_rate() >= rate * 0.5);
+    }
+
+    /// Missing-only injection only creates nulls; typo-only never creates nulls.
+    #[test]
+    fn error_types_behave(seed in 0u64..200) {
+        let clean = BenchmarkDataset::Hospital.generate_clean(100, seed);
+        let missing = inject_errors(&clean, &ErrorSpec::only(ErrorType::Missing, 0.1), seed);
+        prop_assert!(missing.errors.iter().all(|e| e.corrupted.is_null()));
+        let typo = inject_errors(&clean, &ErrorSpec::only(ErrorType::Typo, 0.1), seed);
+        prop_assert!(typo.errors.iter().all(|e| !e.corrupted.is_null() && e.corrupted != e.original));
+        let swap = inject_errors(
+            &clean,
+            &ErrorSpec::only(ErrorType::Swap, 0.05).with_swap_mode(SwapMode::SameAttribute),
+            seed,
+        );
+        prop_assert!(swap.errors.iter().all(|e| e.error_type == ErrorType::Swap));
+    }
+}

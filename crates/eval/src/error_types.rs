@@ -1,0 +1,111 @@
+//! Per-error-type recall (paper Table 6 and Figure 4(e)–(f)).
+
+use std::collections::HashMap;
+
+use bclean_data::Dataset;
+use bclean_datagen::{DirtyDataset, ErrorType};
+
+/// Recall broken down by injected error type.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorTypeRecall {
+    per_type: HashMap<ErrorType, (usize, usize)>,
+}
+
+impl ErrorTypeRecall {
+    /// Compute per-type recall of a cleaning run over an error-injected
+    /// benchmark: for each injected error, did the cleaned cell recover the
+    /// ground-truth value?
+    pub fn compute(bench: &DirtyDataset, cleaned: &Dataset) -> ErrorTypeRecall {
+        let mut per_type: HashMap<ErrorType, (usize, usize)> = HashMap::new();
+        for error in &bench.errors {
+            let entry = per_type.entry(error.error_type).or_insert((0, 0));
+            entry.1 += 1;
+            let repaired = cleaned.cell_at(error.at).map(|v| v == &error.original).unwrap_or(false);
+            if repaired {
+                entry.0 += 1;
+            }
+        }
+        ErrorTypeRecall { per_type }
+    }
+
+    /// Recall for one error type (`None` when no error of that type was injected).
+    pub fn recall(&self, error_type: ErrorType) -> Option<f64> {
+        self.per_type.get(&error_type).map(|(fixed, total)| {
+            if *total == 0 {
+                0.0
+            } else {
+                *fixed as f64 / *total as f64
+            }
+        })
+    }
+
+    /// Number of injected errors of one type.
+    pub fn total(&self, error_type: ErrorType) -> usize {
+        self.per_type.get(&error_type).map(|(_, t)| *t).unwrap_or(0)
+    }
+
+    /// All `(type, recall)` pairs, sorted by error-type code for stable output.
+    pub fn all(&self) -> Vec<(ErrorType, f64)> {
+        let mut out: Vec<(ErrorType, f64)> = self
+            .per_type
+            .iter()
+            .map(|(t, (fixed, total))| (*t, if *total == 0 { 0.0 } else { *fixed as f64 / *total as f64 }))
+            .collect();
+        out.sort_by_key(|(t, _)| t.code());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::dataset_from;
+    use bclean_datagen::{inject_errors, ErrorSpec};
+
+    fn bench() -> DirtyDataset {
+        let rows: Vec<Vec<String>> = (0..40)
+            .map(|i| vec![format!("v{}", i % 4), format!("w{}", i % 4)])
+            .collect();
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+        let clean = dataset_from(&["a", "b"], &refs);
+        inject_errors(&clean, &ErrorSpec::default_mix(0.2), 3)
+    }
+
+    #[test]
+    fn perfect_cleaning_has_recall_one_everywhere() {
+        let b = bench();
+        let r = ErrorTypeRecall::compute(&b, &b.clean);
+        for (_, recall) in r.all() {
+            assert!((recall - 1.0).abs() < 1e-12);
+        }
+        assert!(!r.all().is_empty());
+    }
+
+    #[test]
+    fn no_cleaning_has_recall_zero() {
+        let b = bench();
+        let r = ErrorTypeRecall::compute(&b, &b.dirty);
+        for (_, recall) in r.all() {
+            assert_eq!(recall, 0.0);
+        }
+    }
+
+    #[test]
+    fn partial_cleaning_counts_per_type() {
+        let b = bench();
+        // Repair only the missing-value errors.
+        let mut cleaned = b.dirty.clone();
+        for e in &b.errors {
+            if e.error_type == ErrorType::Missing {
+                cleaned.set_cell(e.at.row, e.at.col, e.original.clone()).unwrap();
+            }
+        }
+        let r = ErrorTypeRecall::compute(&b, &cleaned);
+        assert_eq!(r.recall(ErrorType::Missing), Some(1.0));
+        if r.total(ErrorType::Typo) > 0 {
+            assert_eq!(r.recall(ErrorType::Typo), Some(0.0));
+        }
+        assert_eq!(r.recall(ErrorType::Swap), None);
+        assert_eq!(r.total(ErrorType::Swap), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The experiment harness: run any evaluated method on any benchmark.
+
+use std::time::{Duration, Instant};
+
+use bclean_baselines::{Cleaner, GarfLite, HoloCleanLite, PCleanLite, RahaBaranLite};
+use bclean_core::{BClean, BCleanConfig, ConstraintSet, Variant};
+use bclean_data::Dataset;
+use bclean_datagen::{BenchmarkDataset, DirtyDataset};
+
+use crate::inputs;
+use crate::metrics::{evaluate, Metrics};
+
+/// A method evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// One of the four BClean variants.
+    BClean(Variant),
+    /// PClean-lite with the per-dataset hand-written model.
+    PClean,
+    /// HoloClean-lite with the per-dataset denial constraints.
+    HoloClean,
+    /// Raha+Baran-lite with 20+20 labelled tuples.
+    RahaBaran,
+    /// Garf-lite (no user input).
+    Garf,
+}
+
+impl Method {
+    /// The methods of Table 4, in the paper's row order.
+    pub fn table4_methods() -> Vec<Method> {
+        vec![
+            Method::BClean(Variant::NoUserConstraints),
+            Method::BClean(Variant::Basic),
+            Method::BClean(Variant::PartitionedInference),
+            Method::BClean(Variant::PartitionedInferencePruning),
+            Method::PClean,
+            Method::HoloClean,
+            Method::RahaBaran,
+            Method::Garf,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Method::BClean(v) => v.name().to_string(),
+            Method::PClean => "PClean".to_string(),
+            Method::HoloClean => "HoloClean".to_string(),
+            Method::RahaBaran => "Raha+Baran".to_string(),
+            Method::Garf => "Garf".to_string(),
+        }
+    }
+}
+
+/// The outcome of running one method on one benchmark.
+#[derive(Debug, Clone)]
+pub struct MethodRun {
+    /// Method display name.
+    pub method: String,
+    /// Cleaning-quality metrics against ground truth.
+    pub metrics: Metrics,
+    /// Wall-clock execution time (model fitting + cleaning).
+    pub exec_time: Duration,
+    /// The cleaned dataset (kept for error-type breakdowns).
+    pub cleaned: Dataset,
+}
+
+/// Run one method on a benchmark, using the per-dataset expert inputs from
+/// [`crate::inputs`].
+pub fn run_method(method: Method, dataset: BenchmarkDataset, bench: &DirtyDataset) -> MethodRun {
+    let start = Instant::now();
+    let cleaned = match method {
+        Method::BClean(variant) => {
+            let constraints = inputs::bclean_constraints(dataset);
+            run_bclean(variant.config(), constraints, bench)
+        }
+        Method::PClean => PCleanLite::new(inputs::pclean_model(dataset)).clean(&bench.dirty),
+        Method::HoloClean => HoloCleanLite::new(inputs::holoclean_constraints(dataset)).clean(&bench.dirty),
+        Method::RahaBaran => {
+            // 20 tuples labelled for detection + 20 for correction (paper setup).
+            let labels = inputs::raha_labels(bench, 40);
+            RahaBaranLite::new(labels).clean(&bench.dirty)
+        }
+        Method::Garf => GarfLite::new().clean(&bench.dirty),
+    };
+    let exec_time = start.elapsed();
+    let metrics = evaluate(&bench.dirty, &cleaned, &bench.clean).expect("benchmark datasets share shape");
+    MethodRun { method: method.name(), metrics, exec_time, cleaned }
+}
+
+/// Run BClean with an explicit configuration and constraint set (used by the
+/// parameter sweeps of Tables 8–10 and the UC ablation of Figure 5).
+pub fn run_bclean(config: BCleanConfig, constraints: ConstraintSet, bench: &DirtyDataset) -> Dataset {
+    let model = BClean::new(config).with_constraints(constraints).fit(&bench.dirty);
+    model.clean(&bench.dirty).cleaned
+}
+
+/// Convenience: run BClean with a config/constraints pair and evaluate it.
+pub fn run_bclean_evaluated(config: BCleanConfig, constraints: ConstraintSet, bench: &DirtyDataset) -> (Metrics, Duration) {
+    let start = Instant::now();
+    let cleaned = run_bclean(config, constraints, bench);
+    let elapsed = start.elapsed();
+    (evaluate(&bench.dirty, &cleaned, &bench.clean).expect("benchmark datasets share shape"), elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_baselines::NoOpCleaner;
+
+    fn small_hospital() -> DirtyDataset {
+        BenchmarkDataset::Hospital.build_sized(240, 17)
+    }
+
+    #[test]
+    fn table4_method_list_matches_paper() {
+        let methods = Method::table4_methods();
+        assert_eq!(methods.len(), 8);
+        assert_eq!(methods[0].name(), "BClean-UC");
+        assert_eq!(methods[4].name(), "PClean");
+        assert_eq!(methods[7].name(), "Garf");
+    }
+
+    #[test]
+    fn bclean_pi_beats_noop_and_reaches_reasonable_f1() {
+        let bench = small_hospital();
+        let run = run_method(Method::BClean(Variant::PartitionedInference), BenchmarkDataset::Hospital, &bench);
+        let noop = evaluate(&bench.dirty, &NoOpCleaner.clean(&bench.dirty), &bench.clean).unwrap();
+        assert!(run.metrics.f1 > noop.f1);
+        assert!(run.metrics.f1 > 0.5, "BCleanPI F1 too low: {:?}", run.metrics);
+        assert!(run.metrics.precision > 0.5);
+        assert!(run.exec_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn every_method_runs_on_a_small_benchmark() {
+        let bench = BenchmarkDataset::Beers.build_sized(150, 23);
+        for method in Method::table4_methods() {
+            let run = run_method(method, BenchmarkDataset::Beers, &bench);
+            assert!(run.metrics.precision >= 0.0 && run.metrics.precision <= 1.0);
+            assert!(run.metrics.recall >= 0.0 && run.metrics.recall <= 1.0);
+            assert_eq!(run.cleaned.num_rows(), bench.dirty.num_rows());
+        }
+    }
+
+    #[test]
+    fn holoclean_is_high_precision_on_hospital() {
+        let bench = small_hospital();
+        let run = run_method(Method::HoloClean, BenchmarkDataset::Hospital, &bench);
+        assert!(run.metrics.precision > 0.6, "{:?}", run.metrics);
+    }
+
+    #[test]
+    fn parameter_sweep_entry_point_works() {
+        let bench = BenchmarkDataset::Hospital.build_sized(150, 29);
+        let constraints = inputs::bclean_constraints(BenchmarkDataset::Hospital);
+        let (metrics, _) = run_bclean_evaluated(Variant::PartitionedInference.config(), constraints, &bench);
+        assert!(metrics.f1 > 0.3, "{metrics:?}");
+    }
+}

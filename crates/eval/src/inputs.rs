@@ -1,0 +1,282 @@
+//! Per-dataset expert inputs for every evaluated system.
+//!
+//! The paper's experiments give each system the prior knowledge it was
+//! designed for (Table 2, "Prior Knowledge"): BClean gets lightweight user
+//! constraints (Table 3), HoloClean gets denial constraints authored by an
+//! expert, PClean gets a hand-written generative model, and Raha+Baran gets
+//! ~20 labelled tuples. This module encodes those inputs for the six
+//! synthetic benchmarks so the harness can assemble any method on any
+//! dataset.
+
+use bclean_baselines::{AttributeModel, FunctionalDependency, LabelledCell, PCleanModel};
+use bclean_core::{ConstraintSet, UserConstraint};
+use bclean_data::CellRef;
+use bclean_datagen::{BenchmarkDataset, DirtyDataset};
+
+/// The BClean user constraints of Table 3 for one benchmark.
+pub fn bclean_constraints(dataset: BenchmarkDataset) -> ConstraintSet {
+    let mut ucs = ConstraintSet::new();
+    match dataset {
+        BenchmarkDataset::Hospital => {
+            ucs.add("ZipCode", UserConstraint::pattern("^([1-9][0-9]{4,4}|0[1-9][0-9]{3,3})$").expect("valid pattern"));
+            ucs.add("ProviderNumber", UserConstraint::pattern("^([1-9][0-9]{4,4})$").expect("valid pattern"));
+            ucs.add("PhoneNumber", UserConstraint::pattern("^([1-9][0-9]{9,9})$").expect("valid pattern"));
+            ucs.add("State", UserConstraint::MaxLength(2));
+            ucs.add("State", UserConstraint::MinLength(2));
+            for attr in ["HospitalName", "City", "CountyName", "Condition", "MeasureCode", "MeasureName", "Address", "StateAvg"] {
+                ucs.add(attr, UserConstraint::NotNull);
+                ucs.add(attr, UserConstraint::MinLength(2));
+                ucs.add(attr, UserConstraint::MaxLength(64));
+            }
+        }
+        BenchmarkDataset::Flights => {
+            let time = UserConstraint::pattern(
+                r"([1-9]:[0-5][0-9][ap]\.m\.|1[0-2]:[0-5][0-9][ap]\.m\.|0[1-9]:[0-5][0-9][ap]\.m\.)",
+            )
+            .expect("valid pattern");
+            for attr in ["sched_dep_time", "act_dep_time", "sched_arr_time", "act_arr_time"] {
+                ucs.add(attr, time.clone());
+                ucs.add(attr, UserConstraint::NotNull);
+            }
+            ucs.add("src", UserConstraint::NotNull);
+            ucs.add("flight", UserConstraint::NotNull);
+            ucs.add("flight", UserConstraint::MinLength(5));
+        }
+        BenchmarkDataset::Soccer => {
+            ucs.add("birthyear", UserConstraint::pattern("([1][9][6-9][0-9])").expect("valid pattern"));
+            ucs.add("season", UserConstraint::pattern("([2][0][0-9][0-9])").expect("valid pattern"));
+            for attr in ["name", "birthplace", "country", "club", "league", "position"] {
+                ucs.add(attr, UserConstraint::NotNull);
+                ucs.add(attr, UserConstraint::MinLength(2));
+                ucs.add(attr, UserConstraint::MaxLength(40));
+            }
+        }
+        BenchmarkDataset::Beers => {
+            let number = UserConstraint::pattern(r"\d+\.\d+|(\d+)").expect("valid pattern");
+            ucs.add("ounces", number.clone());
+            ucs.add("abv", number);
+            for attr in ["beer_name", "style", "brewery_name", "city", "state"] {
+                ucs.add(attr, UserConstraint::NotNull);
+                ucs.add(attr, UserConstraint::MinLength(2));
+                ucs.add(attr, UserConstraint::MaxLength(64));
+            }
+            ucs.add("state", UserConstraint::MaxLength(2));
+        }
+        BenchmarkDataset::Inpatient => {
+            // Table 3 lists no patterns for Inpatient; length/not-null UCs only.
+            for attr in ["ProviderId", "ProviderName", "City", "State", "ZipCode", "County", "DRGCode", "DRGDefinition"] {
+                ucs.add(attr, UserConstraint::NotNull);
+            }
+            ucs.add("State", UserConstraint::MaxLength(2));
+            ucs.add("ZipCode", UserConstraint::MinLength(5));
+            ucs.add("ZipCode", UserConstraint::MaxLength(5));
+        }
+        BenchmarkDataset::Facilities => {
+            for attr in ["FacilityId", "FacilityName", "City", "State", "ZipCode", "County", "Phone", "Type", "Ownership"] {
+                ucs.add(attr, UserConstraint::NotNull);
+            }
+            ucs.add("State", UserConstraint::MaxLength(2));
+            ucs.add("ZipCode", UserConstraint::MinLength(5));
+            ucs.add("ZipCode", UserConstraint::MaxLength(5));
+        }
+    }
+    ucs
+}
+
+/// The denial constraints (as FDs) an expert would hand to HoloClean.
+pub fn holoclean_constraints(dataset: BenchmarkDataset) -> Vec<FunctionalDependency> {
+    match dataset {
+        BenchmarkDataset::Hospital => vec![
+            FunctionalDependency::new(vec!["ProviderNumber"], "HospitalName"),
+            FunctionalDependency::new(vec!["ProviderNumber"], "Address"),
+            FunctionalDependency::new(vec!["ProviderNumber"], "City"),
+            FunctionalDependency::new(vec!["ProviderNumber"], "State"),
+            FunctionalDependency::new(vec!["ProviderNumber"], "ZipCode"),
+            FunctionalDependency::new(vec!["ProviderNumber"], "CountyName"),
+            FunctionalDependency::new(vec!["ProviderNumber"], "PhoneNumber"),
+            FunctionalDependency::new(vec!["ZipCode"], "State"),
+            FunctionalDependency::new(vec!["ZipCode"], "City"),
+            FunctionalDependency::new(vec!["MeasureCode"], "MeasureName"),
+            FunctionalDependency::new(vec!["MeasureCode"], "Condition"),
+            FunctionalDependency::new(vec!["City"], "CountyName"),
+            FunctionalDependency::new(vec!["State", "MeasureCode"], "StateAvg"),
+        ],
+        BenchmarkDataset::Flights => vec![
+            FunctionalDependency::new(vec!["flight"], "sched_dep_time"),
+            FunctionalDependency::new(vec!["flight"], "act_dep_time"),
+            FunctionalDependency::new(vec!["flight"], "sched_arr_time"),
+            FunctionalDependency::new(vec!["flight"], "act_arr_time"),
+        ],
+        BenchmarkDataset::Soccer => vec![
+            FunctionalDependency::new(vec!["club"], "league"),
+            FunctionalDependency::new(vec!["birthplace"], "country"),
+            FunctionalDependency::new(vec!["name"], "birthyear"),
+            FunctionalDependency::new(vec!["name"], "birthplace"),
+        ],
+        BenchmarkDataset::Beers => vec![
+            FunctionalDependency::new(vec!["brewery_id"], "brewery_name"),
+            FunctionalDependency::new(vec!["brewery_id"], "city"),
+            FunctionalDependency::new(vec!["brewery_id"], "state"),
+            FunctionalDependency::new(vec!["city"], "state"),
+            FunctionalDependency::new(vec!["id"], "beer_name"),
+            FunctionalDependency::new(vec!["id"], "style"),
+        ],
+        BenchmarkDataset::Inpatient => vec![
+            FunctionalDependency::new(vec!["ProviderId"], "ProviderName"),
+            FunctionalDependency::new(vec!["ProviderId"], "ZipCode"),
+            FunctionalDependency::new(vec!["DRGCode"], "DRGDefinition"),
+        ],
+        BenchmarkDataset::Facilities => vec![
+            FunctionalDependency::new(vec!["FacilityId"], "FacilityName"),
+            FunctionalDependency::new(vec!["FacilityId"], "Address"),
+            FunctionalDependency::new(vec!["FacilityId"], "City"),
+            FunctionalDependency::new(vec!["FacilityId"], "State"),
+            FunctionalDependency::new(vec!["FacilityId"], "ZipCode"),
+            FunctionalDependency::new(vec!["FacilityId"], "Phone"),
+            FunctionalDependency::new(vec!["City"], "State"),
+            FunctionalDependency::new(vec!["ZipCode"], "City"),
+        ],
+    }
+}
+
+/// The hand-written PClean-lite model for one benchmark. The Flights and
+/// Hospital models are carefully specified (that is where PClean shines in
+/// Table 4); the Soccer model is deliberately coarse, reflecting the paper's
+/// observation that experts could not describe that domain well.
+pub fn pclean_model(dataset: BenchmarkDataset) -> PCleanModel {
+    match dataset {
+        BenchmarkDataset::Hospital => PCleanModel::new()
+            .with(AttributeModel::independent("ProviderNumber"))
+            .with(AttributeModel::dependent("HospitalName", vec!["ProviderNumber"]))
+            .with(AttributeModel::dependent("Address", vec!["ProviderNumber"]))
+            .with(AttributeModel::dependent("City", vec!["ProviderNumber"]))
+            .with(AttributeModel::dependent("State", vec!["ProviderNumber"]))
+            .with(AttributeModel::dependent("ZipCode", vec!["ProviderNumber"]))
+            .with(AttributeModel::dependent("CountyName", vec!["ProviderNumber"]))
+            .with(AttributeModel::dependent("PhoneNumber", vec!["ProviderNumber"]))
+            .with(AttributeModel::dependent("MeasureName", vec!["MeasureCode"]))
+            .with(AttributeModel::dependent("Condition", vec!["MeasureCode"]))
+            .with(AttributeModel::dependent("StateAvg", vec!["State", "MeasureCode"]))
+            .with(AttributeModel::independent("HospitalType"))
+            .with(AttributeModel::independent("EmergencyService")),
+        BenchmarkDataset::Flights => PCleanModel::new()
+            .with(AttributeModel::independent("flight"))
+            .with(AttributeModel::dependent("sched_dep_time", vec!["flight"]))
+            .with(AttributeModel::dependent("act_dep_time", vec!["flight"]))
+            .with(AttributeModel::dependent("sched_arr_time", vec!["flight"]))
+            .with(AttributeModel::dependent("act_arr_time", vec!["flight"])),
+        BenchmarkDataset::Soccer => {
+            // The "expert" cannot articulate the player-level dependencies and
+            // falls back to marginal priors for the noisy text columns, which
+            // over-corrects rare-but-correct values.
+            PCleanModel::new()
+                .with(AttributeModel::independent("name"))
+                .with(AttributeModel::independent("birthyear"))
+                .with(AttributeModel::independent("birthplace"))
+                .with(AttributeModel::independent("country"))
+                .with(AttributeModel::independent("club"))
+                .with(AttributeModel::independent("league"))
+        }
+        BenchmarkDataset::Beers => PCleanModel::new()
+            .with(AttributeModel::independent("brewery_id"))
+            .with(AttributeModel::dependent("brewery_name", vec!["brewery_id"]))
+            .with(AttributeModel::dependent("city", vec!["brewery_id"]))
+            .with(AttributeModel::dependent("state", vec!["brewery_id"]))
+            .with(AttributeModel::independent("style"))
+            .with(AttributeModel::independent("ounces"))
+            .with(AttributeModel::independent("abv")),
+        BenchmarkDataset::Inpatient => PCleanModel::new()
+            .with(AttributeModel::independent("ProviderId"))
+            .with(AttributeModel::dependent("ProviderName", vec!["ProviderId"]))
+            .with(AttributeModel::dependent("City", vec!["ProviderId"]))
+            .with(AttributeModel::dependent("State", vec!["ProviderId"]))
+            .with(AttributeModel::dependent("ZipCode", vec!["ProviderId"]))
+            .with(AttributeModel::dependent("DRGDefinition", vec!["DRGCode"])),
+        BenchmarkDataset::Facilities => PCleanModel::new()
+            .with(AttributeModel::independent("FacilityId"))
+            .with(AttributeModel::dependent("FacilityName", vec!["FacilityId"]))
+            .with(AttributeModel::dependent("City", vec!["FacilityId"]))
+            .with(AttributeModel::dependent("State", vec!["FacilityId"]))
+            .with(AttributeModel::dependent("ZipCode", vec!["FacilityId"])),
+    }
+}
+
+/// Labels for Raha+Baran: the ground-truth error flags of the cells of the
+/// first `num_tuples` tuples (the stand-in for the user labelling 20 tuples
+/// for detection plus 20 for correction).
+pub fn raha_labels(bench: &DirtyDataset, num_tuples: usize) -> Vec<LabelledCell> {
+    let rows = bench.dirty.num_rows().min(num_tuples);
+    let mut labels = Vec::new();
+    for r in 0..rows {
+        for c in 0..bench.dirty.num_columns() {
+            let dirty_cell = bench.dirty.cell(r, c).expect("cell in range");
+            let clean_cell = bench.clean.cell(r, c).expect("cell in range");
+            labels.push(LabelledCell { at: CellRef::new(r, c), is_error: dirty_cell != clean_cell });
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::Value;
+
+    #[test]
+    fn every_dataset_has_constraints_and_inputs() {
+        for ds in BenchmarkDataset::all() {
+            let ucs = bclean_constraints(ds);
+            assert!(!ucs.is_empty(), "{} has no UCs", ds.name());
+            assert!(!holoclean_constraints(ds).is_empty());
+            assert!(!pclean_model(ds).is_empty());
+        }
+    }
+
+    #[test]
+    fn constraints_accept_clean_data() {
+        // Clean generated data should overwhelmingly satisfy its own UCs.
+        for ds in BenchmarkDataset::all() {
+            let clean = ds.generate_clean(120, 5);
+            let ucs = bclean_constraints(ds);
+            let rate = ucs.satisfaction_rate(&clean);
+            assert!(rate > 0.97, "{}: clean satisfaction rate {rate}", ds.name());
+        }
+    }
+
+    #[test]
+    fn constraints_reject_obvious_garbage() {
+        let ucs = bclean_constraints(BenchmarkDataset::Hospital);
+        assert!(!ucs.check("ZipCode", &Value::text("3x150")));
+        assert!(!ucs.check("State", &Value::text("California")));
+        assert!(ucs.check("State", &Value::text("AL")));
+        let flights = bclean_constraints(BenchmarkDataset::Flights);
+        assert!(!flights.check("sched_dep_time", &Value::text("7:21am")));
+        assert!(flights.check("sched_dep_time", &Value::text("7:21a.m.")));
+    }
+
+    #[test]
+    fn holoclean_constraints_resolve_against_generated_schemas() {
+        for ds in BenchmarkDataset::all() {
+            let clean = ds.generate_clean(30, 1);
+            for fd in holoclean_constraints(ds) {
+                assert!(
+                    fd.resolve(&clean).is_some(),
+                    "{}: constraint {:?} does not resolve",
+                    ds.name(),
+                    fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raha_labels_match_ground_truth() {
+        let bench = BenchmarkDataset::Hospital.build_sized(100, 11);
+        let labels = raha_labels(&bench, 20);
+        assert_eq!(labels.len(), 20 * bench.dirty.num_columns());
+        for label in &labels {
+            let is_error = bench.dirty.cell_at(label.at).unwrap() != bench.clean.cell_at(label.at).unwrap();
+            assert_eq!(label.is_error, is_error);
+        }
+    }
+}

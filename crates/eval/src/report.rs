@@ -1,0 +1,109 @@
+//! Plain-text table rendering for the experiment binary.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row. Shorter rows are padded with empty cells.
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<width$}", width = w))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let separator: String = format!(
+            "|{}|",
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        );
+        let _ = writeln!(out, "{}", render_row(&self.headers, &widths));
+        let _ = writeln!(out, "{separator}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a duration the way the paper's Table 7 does (`25s`, `1m40s`, `7h41m`).
+pub fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs();
+    if secs >= 3600 {
+        format!("{}h{}m", secs / 3600, (secs % 3600) / 60)
+    } else if secs >= 60 {
+        format!("{}m{}s", secs / 60, secs % 60)
+    } else if secs > 0 {
+        format!("{}s", secs)
+    } else {
+        format!("{}ms", d.as_millis())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Method", "F1"]);
+        t.add_row(vec!["BClean", "0.976"]);
+        t.add_row(vec!["HoloClean-with-long-name", "0.626"]);
+        let rendered = t.render();
+        assert!(rendered.contains("| Method"));
+        assert!(rendered.contains("| BClean "));
+        assert!(rendered.lines().count() >= 4);
+        assert_eq!(t.num_rows(), 2);
+        // All lines have equal width.
+        let widths: Vec<usize> = rendered.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["1"]);
+        let rendered = t.render();
+        assert!(rendered.lines().count() == 3);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_millis(250)), "250ms");
+        assert_eq!(format_duration(Duration::from_secs(25)), "25s");
+        assert_eq!(format_duration(Duration::from_secs(100)), "1m40s");
+        assert_eq!(format_duration(Duration::from_secs(7 * 3600 + 41 * 60)), "7h41m");
+    }
+}

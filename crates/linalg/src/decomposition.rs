@@ -1,0 +1,321 @@
+//! Matrix decompositions: Cholesky, LDLᵀ and LU with partial pivoting.
+//!
+//! The structure learner needs (a) a positive-definite solve inside the
+//! graphical lasso, and (b) an LDLᵀ factorisation of the inverse covariance
+//! matrix under a chosen attribute ordering — that factorisation yields the
+//! autoregression matrix `B` of the linear model `Θ = (I − B) Ω (I − B)ᵀ`
+//! used by FDX-style Bayesian-network skeleton construction (paper §4).
+
+use crate::matrix::{LinalgError, LinalgResult, Matrix};
+
+/// Cholesky factorisation of a symmetric positive-definite matrix:
+/// returns lower-triangular `L` with `A = L Lᵀ`.
+pub fn cholesky(a: &Matrix) -> LinalgResult<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare);
+    }
+    let n = a.nrows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::Singular);
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// LDLᵀ factorisation of a symmetric matrix: `A = L D Lᵀ` with `L` unit lower
+/// triangular and `D` diagonal (returned as a vector).
+pub fn ldl(a: &Matrix) -> LinalgResult<(Matrix, Vec<f64>)> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare);
+    }
+    let n = a.nrows();
+    let mut l = Matrix::identity(n);
+    let mut d = vec![0.0; n];
+    for j in 0..n {
+        let mut dj = a.get(j, j);
+        for k in 0..j {
+            dj -= l.get(j, k) * l.get(j, k) * d[k];
+        }
+        if dj.abs() < 1e-12 {
+            return Err(LinalgError::Singular);
+        }
+        d[j] = dj;
+        for i in (j + 1)..n {
+            let mut v = a.get(i, j);
+            for k in 0..j {
+                v -= l.get(i, k) * l.get(j, k) * d[k];
+            }
+            l.set(i, j, v / dj);
+        }
+    }
+    Ok((l, d))
+}
+
+/// Solve `L x = b` for lower-triangular `L`.
+pub fn forward_substitute(l: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
+    let n = l.nrows();
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch { op: "forward_substitute", lhs: l.shape(), rhs: (b.len(), 1) });
+    }
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= l.get(i, j) * x[j];
+        }
+        let d = l.get(i, i);
+        if d.abs() < 1e-300 {
+            return Err(LinalgError::Singular);
+        }
+        x[i] = sum / d;
+    }
+    Ok(x)
+}
+
+/// Solve `U x = b` for upper-triangular `U`.
+pub fn back_substitute(u: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
+    let n = u.nrows();
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch { op: "back_substitute", lhs: u.shape(), rhs: (b.len(), 1) });
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in (i + 1)..n {
+            sum -= u.get(i, j) * x[j];
+        }
+        let d = u.get(i, i);
+        if d.abs() < 1e-300 {
+            return Err(LinalgError::Singular);
+        }
+        x[i] = sum / d;
+    }
+    Ok(x)
+}
+
+/// Solve the SPD system `A x = b` via Cholesky.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
+    let l = cholesky(a)?;
+    let y = forward_substitute(&l, b)?;
+    back_substitute(&l.transpose(), &y)
+}
+
+/// LU decomposition with partial pivoting: returns `(lu, perm, sign)` where
+/// `lu` packs `L` (unit lower) and `U`, and `perm` is the row permutation.
+pub fn lu_decompose(a: &Matrix) -> LinalgResult<(Matrix, Vec<usize>, f64)> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare);
+    }
+    let n = a.nrows();
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+    for k in 0..n {
+        // Pivot selection.
+        let mut p = k;
+        let mut max = lu.get(k, k).abs();
+        for i in (k + 1)..n {
+            if lu.get(i, k).abs() > max {
+                max = lu.get(i, k).abs();
+                p = i;
+            }
+        }
+        if max < 1e-12 {
+            return Err(LinalgError::Singular);
+        }
+        if p != k {
+            for j in 0..n {
+                let tmp = lu.get(k, j);
+                lu.set(k, j, lu.get(p, j));
+                lu.set(p, j, tmp);
+            }
+            perm.swap(k, p);
+            sign = -sign;
+        }
+        for i in (k + 1)..n {
+            let factor = lu.get(i, k) / lu.get(k, k);
+            lu.set(i, k, factor);
+            for j in (k + 1)..n {
+                let v = lu.get(i, j) - factor * lu.get(k, j);
+                lu.set(i, j, v);
+            }
+        }
+    }
+    Ok((lu, perm, sign))
+}
+
+/// Solve `A x = b` for general square `A` via LU.
+pub fn solve(a: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
+    let (lu, perm, _) = lu_decompose(a)?;
+    let n = a.nrows();
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch { op: "solve", lhs: a.shape(), rhs: (b.len(), 1) });
+    }
+    // Apply permutation.
+    let pb: Vec<f64> = perm.iter().map(|&i| b[i]).collect();
+    // Forward substitution with unit lower triangle packed in `lu`.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = pb[i];
+        for j in 0..i {
+            sum -= lu.get(i, j) * y[j];
+        }
+        y[i] = sum;
+    }
+    // Back substitution with U.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for j in (i + 1)..n {
+            sum -= lu.get(i, j) * x[j];
+        }
+        x[i] = sum / lu.get(i, i);
+    }
+    Ok(x)
+}
+
+/// Matrix inverse via LU decomposition.
+pub fn invert(a: &Matrix) -> LinalgResult<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare);
+    }
+    let n = a.nrows();
+    let mut inv = Matrix::zeros(n, n);
+    for c in 0..n {
+        let mut e = vec![0.0; n];
+        e[c] = 1.0;
+        let x = solve(a, &e)?;
+        for r in 0..n {
+            inv.set(r, c, x[r]);
+        }
+    }
+    Ok(inv)
+}
+
+/// Determinant via LU decomposition.
+pub fn determinant(a: &Matrix) -> LinalgResult<f64> {
+    match lu_decompose(a) {
+        Ok((lu, _, sign)) => Ok(sign * lu.diagonal().iter().product::<f64>()),
+        Err(LinalgError::Singular) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[Vec<f64>]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    fn spd3() -> Matrix {
+        m(&[vec![4.0, 2.0, 0.6], vec![2.0, 3.0, 0.4], vec![0.6, 0.4, 2.0]])
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        assert!(recon.max_abs_diff(&a).unwrap() < 1e-10);
+        // L is lower triangular.
+        assert_eq!(l.get(0, 1), 0.0);
+        assert_eq!(l.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let a = m(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // indefinite
+        assert!(matches!(cholesky(&a), Err(LinalgError::Singular)));
+        assert!(cholesky(&m(&[vec![1.0, 2.0]])).is_err());
+    }
+
+    #[test]
+    fn ldl_reconstructs() {
+        let a = spd3();
+        let (l, d) = ldl(&a).unwrap();
+        let recon = l.matmul(&Matrix::diag(&d)).unwrap().matmul(&l.transpose()).unwrap();
+        assert!(recon.max_abs_diff(&a).unwrap() < 1e-10);
+        // Unit diagonal.
+        for i in 0..3 {
+            assert!((l.get(i, i) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn triangular_solves() {
+        let l = m(&[vec![2.0, 0.0], vec![1.0, 3.0]]);
+        let x = forward_substitute(&l, &[2.0, 7.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+        let u = l.transpose();
+        let x = back_substitute(&u, &[4.0, 3.0]).unwrap();
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        assert!(forward_substitute(&l, &[1.0]).is_err());
+        assert!(back_substitute(&u, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_spd_roundtrip() {
+        let a = spd3();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = solve_spd(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_solve_and_invert() {
+        let a = m(&[vec![0.0, 2.0, 1.0], vec![1.0, -2.0, -3.0], vec![-1.0, 1.0, 2.0]]);
+        let b = vec![-8.0, 0.0, 3.0];
+        let x = solve(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-9);
+        }
+        let inv = invert(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrices_rejected() {
+        let s = m(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(invert(&s), Err(LinalgError::Singular)));
+        assert_eq!(determinant(&s).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn determinant_values() {
+        let a = m(&[vec![3.0, 8.0], vec![4.0, 6.0]]);
+        assert!((determinant(&a).unwrap() - (-14.0)).abs() < 1e-10);
+        assert!((determinant(&Matrix::identity(4)).unwrap() - 1.0).abs() < 1e-12);
+        // Permutation matrix has determinant -1 (odd swap).
+        let p = m(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!((determinant(&p).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_dimension_checks() {
+        let a = spd3();
+        assert!(solve(&a, &[1.0]).is_err());
+        assert!(solve_spd(&a, &[1.0, 2.0, 3.0]).is_ok());
+        assert!(lu_decompose(&m(&[vec![1.0, 2.0]])).is_err());
+        assert!(determinant(&m(&[vec![1.0, 2.0]])).is_err());
+    }
+}

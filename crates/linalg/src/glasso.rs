@@ -1,0 +1,249 @@
+//! Graphical lasso: sparse inverse-covariance estimation.
+//!
+//! BClean's structure learner (paper §4, following FDX) feeds the
+//! attribute-similarity sample matrix into the graphical lasso to obtain a
+//! sparse estimate of the inverse covariance matrix `Θ = Σ⁻¹`. The non-zero
+//! pattern of `Θ` encodes conditional dependencies between attributes, which
+//! after decomposition become the edges of the Bayesian-network skeleton.
+//!
+//! The implementation is the block coordinate-descent algorithm of Friedman,
+//! Hastie & Tibshirani (2008): each column of the working covariance `W` is
+//! updated by solving an ℓ₁-penalised quadratic sub-problem.
+
+use crate::decomposition::invert;
+use crate::matrix::{LinalgError, LinalgResult, Matrix};
+use crate::regression::{lasso_covariance, CdConfig};
+
+/// Configuration for [`graphical_lasso`].
+#[derive(Debug, Clone, Copy)]
+pub struct GlassoConfig {
+    /// ℓ₁ penalty `ρ` on off-diagonal entries of the precision matrix.
+    pub rho: f64,
+    /// Maximum outer iterations (full sweeps over all columns).
+    pub max_iter: usize,
+    /// Convergence tolerance on the working covariance matrix.
+    pub tol: f64,
+    /// Inner coordinate-descent configuration.
+    pub inner: CdConfig,
+}
+
+impl Default for GlassoConfig {
+    fn default() -> Self {
+        GlassoConfig { rho: 0.1, max_iter: 100, tol: 1e-4, inner: CdConfig::default() }
+    }
+}
+
+/// Result of a graphical-lasso run.
+#[derive(Debug, Clone)]
+pub struct GlassoResult {
+    /// Estimated covariance matrix `W ≈ Σ`.
+    pub covariance: Matrix,
+    /// Estimated sparse precision matrix `Θ ≈ Σ⁻¹`.
+    pub precision: Matrix,
+    /// Number of outer iterations executed.
+    pub iterations: usize,
+    /// Whether the outer loop converged within `max_iter`.
+    pub converged: bool,
+}
+
+/// Estimate a sparse precision matrix from an empirical covariance matrix.
+pub fn graphical_lasso(emp_cov: &Matrix, cfg: GlassoConfig) -> LinalgResult<GlassoResult> {
+    if !emp_cov.is_square() {
+        return Err(LinalgError::NotSquare);
+    }
+    if !emp_cov.is_symmetric(1e-8) {
+        return Err(LinalgError::InvalidInput("covariance matrix must be symmetric".into()));
+    }
+    let p = emp_cov.nrows();
+    if p == 0 {
+        return Err(LinalgError::InvalidInput("empty covariance matrix".into()));
+    }
+    if p == 1 {
+        let var = emp_cov.get(0, 0).max(1e-12);
+        let mut w = Matrix::zeros(1, 1);
+        w.set(0, 0, var + cfg.rho);
+        let mut theta = Matrix::zeros(1, 1);
+        theta.set(0, 0, 1.0 / (var + cfg.rho));
+        return Ok(GlassoResult { covariance: w, precision: theta, iterations: 0, converged: true });
+    }
+
+    // Working covariance: W = S + rho * I.
+    let mut w = emp_cov.clone();
+    for i in 0..p {
+        let v = w.get(i, i) + cfg.rho;
+        w.set(i, i, v);
+    }
+    // Per-column lasso coefficients, retained to reconstruct Θ at the end.
+    let mut betas: Vec<Vec<f64>> = vec![vec![0.0; p - 1]; p];
+
+    let mut iterations = 0;
+    let mut converged = false;
+    for _iter in 0..cfg.max_iter {
+        iterations += 1;
+        let w_old = w.clone();
+        for j in 0..p {
+            // Partition: V = W_{11} (without row/col j), s12 = S[, j] without row j.
+            let v = w.minor(j, j);
+            let s12: Vec<f64> = (0..p).filter(|&k| k != j).map(|k| emp_cov.get(k, j)).collect();
+            let beta = lasso_covariance(&v, &s12, cfg.rho, cfg.inner)?;
+            // w12 = V * beta.
+            let w12 = v.matvec(&beta)?;
+            let mut idx = 0;
+            for k in 0..p {
+                if k == j {
+                    continue;
+                }
+                w.set(k, j, w12[idx]);
+                w.set(j, k, w12[idx]);
+                idx += 1;
+            }
+            betas[j] = beta;
+        }
+        if w.max_abs_diff(&w_old)? < cfg.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    // Recover Θ from the final betas: θ_jj = 1 / (w_jj − w12ᵀ β), θ_12 = −β θ_jj.
+    let mut theta = Matrix::zeros(p, p);
+    for j in 0..p {
+        let beta = &betas[j];
+        let mut w12_dot_beta = 0.0;
+        let mut idx = 0;
+        for k in 0..p {
+            if k == j {
+                continue;
+            }
+            w12_dot_beta += w.get(k, j) * beta[idx];
+            idx += 1;
+        }
+        let denom = w.get(j, j) - w12_dot_beta;
+        let theta_jj = if denom.abs() < 1e-12 { 1e12 } else { 1.0 / denom };
+        theta.set(j, j, theta_jj);
+        let mut idx = 0;
+        for k in 0..p {
+            if k == j {
+                continue;
+            }
+            let v = -beta[idx] * theta_jj;
+            // Symmetrise by averaging the two estimates.
+            let prev = theta.get(k, j);
+            let avg = if prev != 0.0 { (prev + v) / 2.0 } else { v };
+            theta.set(k, j, avg);
+            theta.set(j, k, avg);
+            idx += 1;
+        }
+    }
+
+    Ok(GlassoResult { covariance: w, precision: theta, iterations, converged })
+}
+
+/// Direct (unpenalised) precision estimate: invert the covariance after
+/// adding a small ridge. Used as a fall-back and in tests.
+pub fn ridge_precision(emp_cov: &Matrix, ridge: f64) -> LinalgResult<Matrix> {
+    if !emp_cov.is_square() {
+        return Err(LinalgError::NotSquare);
+    }
+    let p = emp_cov.nrows();
+    let mut a = emp_cov.clone();
+    for i in 0..p {
+        let v = a.get(i, i) + ridge;
+        a.set(i, i, v);
+    }
+    invert(&a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A well-conditioned covariance with one strong dependency (0↔1) and one
+    /// independent variable (2).
+    fn toy_cov() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 0.8, 0.05],
+            vec![0.8, 1.0, 0.02],
+            vec![0.05, 0.02, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_covariance_gives_diagonal_precision() {
+        let res = graphical_lasso(&Matrix::identity(4), GlassoConfig::default()).unwrap();
+        assert!(res.converged);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(res.precision.get(i, j).abs() < 1e-6, "off-diagonal not zero");
+                } else {
+                    assert!(res.precision.get(i, j) > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strong_dependency_survives_penalty() {
+        let res = graphical_lasso(&toy_cov(), GlassoConfig { rho: 0.05, ..Default::default() }).unwrap();
+        // The (0,1) partial correlation is strong, the (0,2)/(1,2) ones are weak.
+        assert!(res.precision.get(0, 1).abs() > 0.1);
+        assert!(res.precision.get(0, 2).abs() < 0.1);
+        assert!(res.precision.get(1, 2).abs() < 0.1);
+    }
+
+    #[test]
+    fn large_penalty_kills_all_edges() {
+        let res = graphical_lasso(&toy_cov(), GlassoConfig { rho: 10.0, ..Default::default() }).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert!(res.precision.get(i, j).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn precision_is_symmetric_and_psd_diagonal() {
+        let res = graphical_lasso(&toy_cov(), GlassoConfig::default()).unwrap();
+        assert!(res.precision.is_symmetric(1e-9));
+        for i in 0..3 {
+            assert!(res.precision.get(i, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_penalty_approximates_inverse() {
+        let cov = toy_cov();
+        let res = graphical_lasso(&cov, GlassoConfig { rho: 1e-6, max_iter: 400, tol: 1e-8, ..Default::default() }).unwrap();
+        let inv = ridge_precision(&cov, 1e-6).unwrap();
+        assert!(res.precision.max_abs_diff(&inv).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn one_by_one_covariance() {
+        let cov = Matrix::from_rows(&[vec![2.0]]).unwrap();
+        let res = graphical_lasso(&cov, GlassoConfig::default()).unwrap();
+        assert!(res.precision.get(0, 0) > 0.0);
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let rect = Matrix::zeros(2, 3);
+        assert!(graphical_lasso(&rect, GlassoConfig::default()).is_err());
+        let asym = Matrix::from_rows(&[vec![1.0, 0.5], vec![0.1, 1.0]]).unwrap();
+        assert!(graphical_lasso(&asym, GlassoConfig::default()).is_err());
+        assert!(ridge_precision(&rect, 0.1).is_err());
+    }
+
+    #[test]
+    fn ridge_precision_inverts() {
+        let cov = toy_cov();
+        let prec = ridge_precision(&cov, 0.0).unwrap();
+        let prod = cov.matmul(&prec).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-8);
+    }
+}

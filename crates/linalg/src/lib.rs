@@ -1,0 +1,40 @@
+//! # bclean-linalg
+//!
+//! Self-contained dense linear algebra for BClean's Bayesian-network
+//! structure learner: matrices, Cholesky/LDLᵀ/LU decompositions, ordinary
+//! least squares, lasso coordinate descent and the graphical lasso
+//! (sparse inverse-covariance estimation).
+//!
+//! The paper's construction stage (§4) computes pairwise attribute
+//! similarities per tuple, treats them as samples of a multivariate Gaussian,
+//! estimates the inverse covariance matrix `Θ` with the graphical lasso and
+//! decomposes `Θ = (I − B) Ω (I − B)ᵀ` to obtain the weighted adjacency
+//! matrix `B` of the network skeleton. Everything needed for that pipeline
+//! lives here; the decomposition itself is driven from `bclean-bayesnet`.
+//!
+//! ```
+//! use bclean_linalg::{graphical_lasso, GlassoConfig, Matrix};
+//!
+//! let cov = Matrix::from_rows(&[
+//!     vec![1.0, 0.8, 0.0],
+//!     vec![0.8, 1.0, 0.0],
+//!     vec![0.0, 0.0, 1.0],
+//! ]).unwrap();
+//! let result = graphical_lasso(&cov, GlassoConfig { rho: 0.05, ..Default::default() }).unwrap();
+//! assert!(result.precision.get(0, 1).abs() > 0.1);   // dependency kept
+//! assert!(result.precision.get(0, 2).abs() < 1e-6);  // independence kept
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod decomposition;
+pub mod glasso;
+pub mod matrix;
+pub mod regression;
+pub mod stats;
+
+pub use decomposition::{back_substitute, cholesky, determinant, forward_substitute, invert, ldl, lu_decompose, solve, solve_spd};
+pub use glasso::{graphical_lasso, ridge_precision, GlassoConfig, GlassoResult};
+pub use matrix::{LinalgError, LinalgResult, Matrix};
+pub use regression::{lasso, lasso_covariance, ols, soft_threshold, CdConfig};
+pub use stats::{column_means, correlation_matrix, covariance_matrix, mean, pearson, standardize_columns, std_dev, variance};

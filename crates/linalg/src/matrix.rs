@@ -1,0 +1,421 @@
+//! Dense row-major matrices over `f64`.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// Errors from matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible.
+    DimensionMismatch {
+        /// Description of the operation.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or not positive definite) where invertibility
+    /// is required.
+    Singular,
+    /// A square matrix was required.
+    NotSquare,
+    /// Input data is empty or malformed.
+    InvalidInput(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => {
+                write!(f, "dimension mismatch in {op}: {}x{} vs {}x{}", lhs.0, lhs.1, rhs.0, rhs.1)
+            }
+            LinalgError::Singular => write!(f, "matrix is singular or not positive definite"),
+            LinalgError::NotSquare => write!(f, "operation requires a square matrix"),
+            LinalgError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Result alias for linear algebra operations.
+pub type LinalgResult<T> = Result<T, LinalgError>;
+
+/// A dense, row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Diagonal matrix from a vector.
+    pub fn diag(values: &[f64]) -> Matrix {
+        let mut m = Matrix::zeros(values.len(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Build from nested rows. All rows must have equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> LinalgResult<Matrix> {
+        if rows.is_empty() {
+            return Err(LinalgError::InvalidInput("no rows".into()));
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(LinalgError::InvalidInput("empty rows".into()));
+        }
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(LinalgError::InvalidInput("ragged rows".into()));
+        }
+        let data = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Is the matrix square?
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` into a vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// The main diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self.get(r, c);
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> LinalgResult<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch { op: "matmul", lhs: self.shape(), rhs: other.shape() });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[f64]) -> LinalgResult<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch { op: "matvec", lhs: self.shape(), rhs: (v.len(), 1) });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Element-wise addition.
+    pub fn add_matrix(&self, other: &Matrix) -> LinalgResult<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch { op: "add", lhs: self.shape(), rhs: other.shape() });
+        }
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub_matrix(&self, other: &Matrix) -> LinalgResult<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch { op: "sub", lhs: self.shape(), rhs: other.shape() });
+        }
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|v| v * s).collect() }
+    }
+
+    /// Maximum absolute element difference to another matrix of the same shape.
+    pub fn max_abs_diff(&self, other: &Matrix) -> LinalgResult<f64> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch { op: "max_abs_diff", lhs: self.shape(), rhs: other.shape() });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Is the matrix symmetric within `tol`?
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Delete row `r` and column `c`, returning the minor matrix.
+    pub fn minor(&self, r: usize, c: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows - 1, self.cols - 1);
+        let mut oi = 0;
+        for i in 0..self.rows {
+            if i == r {
+                continue;
+            }
+            let mut oj = 0;
+            for j in 0..self.cols {
+                if j == c {
+                    continue;
+                }
+                out[(oi, oj)] = self.get(i, j);
+                oj += 1;
+            }
+            oi += 1;
+        }
+        out
+    }
+
+    /// Raw data, row-major.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.add_matrix(rhs).expect("shape mismatch in +")
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.sub_matrix(rhs).expect("shape mismatch in -")
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs).expect("shape mismatch in *")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            let row: Vec<String> = self.row(r).iter().map(|v| format!("{v:>10.4}")).collect();
+            writeln!(f, "[{}]", row.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[Vec<f64>]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let a = m(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.shape(), (2, 2));
+        assert_eq!(a.get(0, 1), 2.0);
+        assert_eq!(a[(1, 0)], 3.0);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.col(0), vec![1.0, 3.0]);
+        assert_eq!(a.diagonal(), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![]]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn identity_and_diag() {
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 2), 0.0);
+        let d = Matrix::diag(&[2.0, 5.0]);
+        assert_eq!(d.get(1, 1), 5.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let a = m(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = m(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, m(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+        assert_eq!(&a * &Matrix::identity(2), a);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = m(&[vec![1.0, 2.0]]);
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matvec() {
+        let a = m(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = m(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = m(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert_eq!(&a + &b, m(&[vec![2.0, 3.0], vec![4.0, 5.0]]));
+        assert_eq!(&a - &b, m(&[vec![0.0, 1.0], vec![2.0, 3.0]]));
+        assert_eq!(a.scale(2.0), m(&[vec![2.0, 4.0], vec![6.0, 8.0]]));
+        assert!(a.add_matrix(&Matrix::identity(3)).is_err());
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = m(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        assert!(s.is_symmetric(1e-12));
+        let ns = m(&[vec![2.0, 1.0], vec![0.0, 2.0]]);
+        assert!(!ns.is_symmetric(1e-12));
+        assert!(!m(&[vec![1.0, 2.0]]).is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn minor_removes_row_and_col() {
+        let a = m(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]]);
+        let mm = a.minor(1, 0);
+        assert_eq!(mm, m(&[vec![2.0, 3.0], vec![8.0, 9.0]]));
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let a = m(&[vec![3.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        let b = m(&[vec![3.0, 6.0]]);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 2.0);
+        assert!(a.max_abs_diff(&Matrix::identity(2)).is_err());
+    }
+
+    #[test]
+    fn display_smoke() {
+        let a = Matrix::identity(2);
+        let s = a.to_string();
+        assert!(s.contains("1.0000"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(LinalgError::Singular.to_string().contains("singular"));
+        assert!(LinalgError::NotSquare.to_string().contains("square"));
+        let e = LinalgError::DimensionMismatch { op: "matmul", lhs: (1, 2), rhs: (3, 4) };
+        assert!(e.to_string().contains("matmul"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Ordinary least squares and ℓ₁-penalised (lasso) regression.
+//!
+//! The graphical lasso's inner loop solves an ℓ₁-penalised quadratic problem
+//! per column; we implement it with cyclic coordinate descent and the
+//! soft-thresholding operator.
+
+use crate::decomposition::solve;
+use crate::matrix::{LinalgError, LinalgResult, Matrix};
+
+/// Soft-thresholding operator `S(x, t) = sign(x)·max(|x| − t, 0)`.
+pub fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+/// Ordinary least squares: find `beta` minimising `‖y − X beta‖²` via the
+/// normal equations (with a tiny ridge term for numerical stability).
+pub fn ols(x: &Matrix, y: &[f64]) -> LinalgResult<Vec<f64>> {
+    if x.nrows() != y.len() {
+        return Err(LinalgError::DimensionMismatch { op: "ols", lhs: x.shape(), rhs: (y.len(), 1) });
+    }
+    let xt = x.transpose();
+    let mut xtx = xt.matmul(x)?;
+    for i in 0..xtx.nrows() {
+        let v = xtx.get(i, i) + 1e-10;
+        xtx.set(i, i, v);
+    }
+    let xty = xt.matvec(y)?;
+    solve(&xtx, &xty)
+}
+
+/// Configuration for coordinate-descent solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct CdConfig {
+    /// Maximum number of full passes over the coordinates.
+    pub max_iter: usize,
+    /// Convergence tolerance on the max coefficient change per pass.
+    pub tol: f64,
+}
+
+impl Default for CdConfig {
+    fn default() -> Self {
+        CdConfig { max_iter: 200, tol: 1e-6 }
+    }
+}
+
+/// Lasso regression on raw data: minimise
+/// `1/(2n)·‖y − X beta‖² + lambda·‖beta‖₁` with cyclic coordinate descent.
+pub fn lasso(x: &Matrix, y: &[f64], lambda: f64, cfg: CdConfig) -> LinalgResult<Vec<f64>> {
+    if x.nrows() != y.len() {
+        return Err(LinalgError::DimensionMismatch { op: "lasso", lhs: x.shape(), rhs: (y.len(), 1) });
+    }
+    let n = x.nrows() as f64;
+    let p = x.ncols();
+    let mut beta = vec![0.0; p];
+    // Precompute column norms.
+    let col_sq: Vec<f64> = (0..p).map(|j| x.col(j).iter().map(|v| v * v).sum::<f64>() / n).collect();
+    let mut residual: Vec<f64> = y.to_vec();
+    for _ in 0..cfg.max_iter {
+        let mut max_delta: f64 = 0.0;
+        for j in 0..p {
+            if col_sq[j] < 1e-12 {
+                continue;
+            }
+            let xj = x.col(j);
+            // rho_j = (1/n) Σ x_ij (residual_i + x_ij beta_j)
+            let mut rho = 0.0;
+            for i in 0..x.nrows() {
+                rho += xj[i] * (residual[i] + xj[i] * beta[j]);
+            }
+            rho /= n;
+            let new_beta = soft_threshold(rho, lambda) / col_sq[j];
+            let delta = new_beta - beta[j];
+            if delta != 0.0 {
+                for i in 0..x.nrows() {
+                    residual[i] -= xj[i] * delta;
+                }
+                beta[j] = new_beta;
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        if max_delta < cfg.tol {
+            break;
+        }
+    }
+    Ok(beta)
+}
+
+/// Lasso in "covariance form": minimise
+/// `1/2·βᵀ V β − sᵀ β + lambda·‖β‖₁` given a PSD matrix `V` and vector `s`.
+///
+/// This is the sub-problem solved for each column inside the graphical lasso
+/// (Friedman, Hastie & Tibshirani 2008).
+pub fn lasso_covariance(v: &Matrix, s: &[f64], lambda: f64, cfg: CdConfig) -> LinalgResult<Vec<f64>> {
+    if !v.is_square() {
+        return Err(LinalgError::NotSquare);
+    }
+    let p = v.nrows();
+    if s.len() != p {
+        return Err(LinalgError::DimensionMismatch { op: "lasso_covariance", lhs: v.shape(), rhs: (s.len(), 1) });
+    }
+    let mut beta = vec![0.0; p];
+    for _ in 0..cfg.max_iter {
+        let mut max_delta: f64 = 0.0;
+        for j in 0..p {
+            let vjj = v.get(j, j);
+            if vjj < 1e-12 {
+                continue;
+            }
+            let mut grad = s[j];
+            for k in 0..p {
+                if k != j {
+                    grad -= v.get(j, k) * beta[k];
+                }
+            }
+            let new_beta = soft_threshold(grad, lambda) / vjj;
+            let delta = new_beta - beta[j];
+            if delta.abs() > 0.0 {
+                beta[j] = new_beta;
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        if max_delta < cfg.tol {
+            break;
+        }
+    }
+    Ok(beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(1.0, 0.0), 1.0);
+    }
+
+    fn design() -> (Matrix, Vec<f64>) {
+        // y = 2*x1 - 3*x2 (no noise)
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let x1 = (i as f64) / 5.0;
+                let x2 = ((i * 7 % 13) as f64) / 3.0;
+                vec![x1, x2]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 3.0 * r[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn ols_recovers_exact_coefficients() {
+        let (x, y) = design();
+        let beta = ols(&x, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-6);
+        assert!((beta[1] + 3.0).abs() < 1e-6);
+        assert!(ols(&x, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn lasso_with_zero_penalty_matches_ols() {
+        let (x, y) = design();
+        let beta = lasso(&x, &y, 0.0, CdConfig::default()).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-3);
+        assert!((beta[1] + 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lasso_large_penalty_zeroes_coefficients() {
+        let (x, y) = design();
+        let beta = lasso(&x, &y, 1e6, CdConfig::default()).unwrap();
+        assert!(beta.iter().all(|b| *b == 0.0));
+        assert!(lasso(&x, &[1.0], 0.1, CdConfig::default()).is_err());
+    }
+
+    #[test]
+    fn lasso_shrinks_irrelevant_feature() {
+        // y depends only on x1; x2 is noise-free but irrelevant.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 7) as f64, ((i * 3) % 5) as f64])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| 1.5 * r[0]).collect();
+        let beta = lasso(&x, &y, 0.5, CdConfig::default()).unwrap();
+        assert!(beta[0] > 0.5);
+        assert!(beta[1].abs() < 0.2);
+    }
+
+    #[test]
+    fn lasso_covariance_solves_quadratic() {
+        // With lambda=0 the solution of 1/2 b'Vb - s'b is V^{-1} s.
+        let v = Matrix::from_rows(&[vec![2.0, 0.3], vec![0.3, 1.0]]).unwrap();
+        let s = vec![1.0, 0.5];
+        let beta = lasso_covariance(&v, &s, 0.0, CdConfig { max_iter: 2000, tol: 1e-10 }).unwrap();
+        let expected = crate::decomposition::solve(&v, &s).unwrap();
+        assert!((beta[0] - expected[0]).abs() < 1e-6);
+        assert!((beta[1] - expected[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lasso_covariance_penalty_sparsifies() {
+        let v = Matrix::from_rows(&[vec![1.0, 0.1], vec![0.1, 1.0]]).unwrap();
+        let s = vec![0.05, 0.9];
+        let beta = lasso_covariance(&v, &s, 0.2, CdConfig::default()).unwrap();
+        assert_eq!(beta[0], 0.0);
+        assert!(beta[1] > 0.0);
+        assert!(lasso_covariance(&v, &[1.0], 0.1, CdConfig::default()).is_err());
+        let rect = Matrix::zeros(2, 3);
+        assert!(lasso_covariance(&rect, &[1.0, 1.0], 0.1, CdConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Summary statistics, standardisation and covariance estimation.
+//!
+//! The FDX-style structure learner treats per-tuple attribute-similarity
+//! vectors as draws from a multivariate Gaussian; this module provides the
+//! empirical moments of that sample matrix (paper §4).
+
+use crate::matrix::{LinalgError, LinalgResult, Matrix};
+
+/// Arithmetic mean of a slice; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance of a slice; 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Standard deviation (population).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation of two equally-long slices. Returns 0 when either
+/// side has no variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> LinalgResult<f64> {
+    if xs.len() != ys.len() {
+        return Err(LinalgError::DimensionMismatch { op: "pearson", lhs: (xs.len(), 1), rhs: (ys.len(), 1) });
+    }
+    if xs.len() < 2 {
+        return Ok(0.0);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Column means of a samples-by-features matrix.
+pub fn column_means(samples: &Matrix) -> Vec<f64> {
+    (0..samples.ncols()).map(|c| mean(&samples.col(c))).collect()
+}
+
+/// Standardise columns to zero mean and unit variance. Columns with zero
+/// variance are centred only.
+pub fn standardize_columns(samples: &Matrix) -> Matrix {
+    let mut out = samples.clone();
+    for c in 0..samples.ncols() {
+        let col = samples.col(c);
+        let m = mean(&col);
+        let s = std_dev(&col);
+        for r in 0..samples.nrows() {
+            let v = samples.get(r, c) - m;
+            out.set(r, c, if s > 1e-12 { v / s } else { v });
+        }
+    }
+    out
+}
+
+/// Empirical covariance matrix of a samples-by-features matrix
+/// (rows = observations). Uses the population (1/n) normaliser.
+pub fn covariance_matrix(samples: &Matrix) -> LinalgResult<Matrix> {
+    let n = samples.nrows();
+    let p = samples.ncols();
+    if n == 0 || p == 0 {
+        return Err(LinalgError::InvalidInput("empty sample matrix".into()));
+    }
+    let means = column_means(samples);
+    let mut cov = Matrix::zeros(p, p);
+    for i in 0..p {
+        for j in i..p {
+            let mut s = 0.0;
+            for r in 0..n {
+                s += (samples.get(r, i) - means[i]) * (samples.get(r, j) - means[j]);
+            }
+            let v = s / n as f64;
+            cov.set(i, j, v);
+            cov.set(j, i, v);
+        }
+    }
+    Ok(cov)
+}
+
+/// Correlation matrix (covariance normalised by standard deviations).
+pub fn correlation_matrix(samples: &Matrix) -> LinalgResult<Matrix> {
+    let cov = covariance_matrix(samples)?;
+    let p = cov.nrows();
+    let sd: Vec<f64> = (0..p).map(|i| cov.get(i, i).max(0.0).sqrt()).collect();
+    let mut corr = Matrix::identity(p);
+    for i in 0..p {
+        for j in 0..p {
+            if i != j {
+                let denom = sd[i] * sd[j];
+                corr.set(i, j, if denom > 1e-12 { cov.get(i, j) / denom } else { 0.0 });
+            }
+        }
+    }
+    Ok(corr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[1.0, 1.0, 1.0, 1.0]).unwrap(), 0.0);
+        assert!(pearson(&x, &[1.0]).is_err());
+        assert_eq!(pearson(&[1.0], &[1.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn standardize_gives_zero_mean_unit_variance() {
+        let samples = Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 10.0], vec![3.0, 10.0]]).unwrap();
+        let z = standardize_columns(&samples);
+        let c0 = z.col(0);
+        assert!(mean(&c0).abs() < 1e-12);
+        assert!((variance(&c0) - 1.0).abs() < 1e-9);
+        // Constant column stays centred at zero without dividing by zero.
+        assert!(z.col(1).iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn covariance_matrix_matches_hand_computation() {
+        let samples =
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let cov = covariance_matrix(&samples).unwrap();
+        assert!((cov.get(0, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cov.get(0, 1) - 4.0 / 3.0).abs() < 1e-12);
+        assert!(cov.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn correlation_matrix_diag_ones() {
+        let samples =
+            Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 3.0], vec![3.0, 1.0], vec![4.0, 0.0]]).unwrap();
+        let corr = correlation_matrix(&samples).unwrap();
+        assert!((corr.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!(corr.get(0, 1) < 0.0);
+        assert!(corr.get(0, 1) >= -1.0 - 1e-12);
+    }
+
+    #[test]
+    fn covariance_rejects_empty() {
+        let empty = Matrix::zeros(0, 0);
+        assert!(covariance_matrix(&empty).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the linear algebra kernel.
+
+use bclean_linalg::{
+    cholesky, correlation_matrix, covariance_matrix, determinant, graphical_lasso, invert, ldl,
+    solve, solve_spd, standardize_columns, GlassoConfig, Matrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random matrix with entries in [-5, 5].
+fn random_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, cols), rows)
+        .prop_map(|rows| Matrix::from_rows(&rows).unwrap())
+}
+
+/// Strategy: a random symmetric positive-definite matrix A = MᵀM + n·I.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    random_matrix(n, n).prop_map(move |m| {
+        let mtm = m.transpose().matmul(&m).unwrap();
+        let mut a = mtm;
+        for i in 0..n {
+            let v = a.get(i, i) + n as f64;
+            a.set(i, i, v);
+        }
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (Aᵀ)ᵀ = A and (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn transpose_identities(a in random_matrix(3, 4), b in random_matrix(4, 2)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let ab_t = a.matmul(&b).unwrap().transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(ab_t.max_abs_diff(&bt_at).unwrap() < 1e-9);
+    }
+
+    /// A·I = I·A = A.
+    #[test]
+    fn identity_is_neutral(a in random_matrix(4, 4)) {
+        let i = Matrix::identity(4);
+        prop_assert!(a.matmul(&i).unwrap().max_abs_diff(&a).unwrap() < 1e-12);
+        prop_assert!(i.matmul(&a).unwrap().max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    /// Cholesky of an SPD matrix reconstructs it, and its determinant is the
+    /// squared product of the diagonal of L.
+    #[test]
+    fn cholesky_roundtrip(a in spd_matrix(4)) {
+        let l = cholesky(&a).unwrap();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        prop_assert!(recon.max_abs_diff(&a).unwrap() < 1e-6);
+        let det_from_l: f64 = l.diagonal().iter().map(|d| d * d).product();
+        let det = determinant(&a).unwrap();
+        prop_assert!((det_from_l - det).abs() / det.abs().max(1.0) < 1e-6);
+    }
+
+    /// LDLᵀ of an SPD matrix reconstructs it with positive D.
+    #[test]
+    fn ldl_roundtrip(a in spd_matrix(4)) {
+        let (l, d) = ldl(&a).unwrap();
+        prop_assert!(d.iter().all(|&x| x > 0.0));
+        let recon = l.matmul(&Matrix::diag(&d)).unwrap().matmul(&l.transpose()).unwrap();
+        prop_assert!(recon.max_abs_diff(&a).unwrap() < 1e-6);
+    }
+
+    /// Solving A x = b and multiplying back recovers b (SPD and general LU paths).
+    #[test]
+    fn solve_roundtrip(a in spd_matrix(4), b in proptest::collection::vec(-5.0f64..5.0, 4)) {
+        let x = solve_spd(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (u, v) in ax.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+        let x2 = solve(&a, &b).unwrap();
+        let ax2 = a.matvec(&x2).unwrap();
+        for (u, v) in ax2.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    /// A · A⁻¹ = I for SPD matrices.
+    #[test]
+    fn inverse_roundtrip(a in spd_matrix(3)) {
+        let inv = invert(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-6);
+    }
+
+    /// Covariance matrices are symmetric with non-negative diagonal, and
+    /// correlation entries lie in [-1, 1].
+    #[test]
+    fn covariance_properties(samples in random_matrix(12, 4)) {
+        let cov = covariance_matrix(&samples).unwrap();
+        prop_assert!(cov.is_symmetric(1e-9));
+        for i in 0..4 {
+            prop_assert!(cov.get(i, i) >= -1e-12);
+        }
+        let corr = correlation_matrix(&samples).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!(corr.get(i, j) <= 1.0 + 1e-9 && corr.get(i, j) >= -1.0 - 1e-9);
+            }
+        }
+    }
+
+    /// Standardised columns have (near) zero mean.
+    #[test]
+    fn standardize_zero_mean(samples in random_matrix(10, 3)) {
+        let z = standardize_columns(&samples);
+        for c in 0..3 {
+            let m = bclean_linalg::mean(&z.col(c));
+            prop_assert!(m.abs() < 1e-9);
+        }
+    }
+
+    /// The graphical lasso always returns a symmetric precision matrix with a
+    /// positive diagonal, and a larger penalty never creates more non-zeros.
+    #[test]
+    fn glasso_penalty_monotone_sparsity(samples in random_matrix(24, 4)) {
+        let cov = covariance_matrix(&samples).unwrap();
+        let small = graphical_lasso(&cov, GlassoConfig { rho: 0.01, ..Default::default() }).unwrap();
+        let large = graphical_lasso(&cov, GlassoConfig { rho: 1.0, ..Default::default() }).unwrap();
+        prop_assert!(small.precision.is_symmetric(1e-6));
+        prop_assert!(large.precision.is_symmetric(1e-6));
+        let nnz = |m: &Matrix| {
+            let mut count = 0;
+            for i in 0..m.nrows() {
+                for j in 0..m.ncols() {
+                    if i != j && m.get(i, j).abs() > 1e-8 {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        };
+        prop_assert!(nnz(&large.precision) <= nnz(&small.precision));
+        for i in 0..4 {
+            prop_assert!(small.precision.get(i, i) > 0.0);
+            prop_assert!(large.precision.get(i, i) > 0.0);
+        }
+    }
+}

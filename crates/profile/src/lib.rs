@@ -1,0 +1,41 @@
+//! # bclean-profile
+//!
+//! Dataset profiling, outlier screening and automatic user-constraint
+//! suggestion for BClean.
+//!
+//! The BClean paper's central usability claim is that a handful of lightweight
+//! user constraints (Table 3) is enough to reach state-of-the-art cleaning
+//! quality. This crate shortens the path to those constraints:
+//!
+//! * [`DatasetProfile`] summarises every column (role, null rate, distinct
+//!   counts, length and numeric ranges, top values);
+//! * [`find_outliers`] flags suspicious cells (numeric spread, length and
+//!   rare-value outliers) so the user can eyeball data quality;
+//! * [`suggest_constraints`] drafts a [`bclean_core::ConstraintSet`] —
+//!   non-null requirements, length/numeric bounds and format patterns inferred
+//!   from the dominant value shapes — that the user only needs to review.
+//!
+//! ```
+//! use bclean_profile::{suggest_constraints, SuggestConfig};
+//! use bclean_data::{dataset_from, Value};
+//!
+//! let rows: Vec<Vec<&str>> = (0..30)
+//!     .map(|i| if i % 2 == 0 { vec!["35150", "CA"] } else { vec!["35960", "KT"] })
+//!     .collect();
+//! let dirty = dataset_from(&["zip", "state"], &rows);
+//! let (constraints, suggestions) = suggest_constraints(&dirty, SuggestConfig::default());
+//! assert!(!constraints.check("zip", &Value::text("3515x")));
+//! assert!(!suggestions.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod outliers;
+pub mod patterns;
+pub mod stats;
+pub mod suggest;
+
+pub use outliers::{find_outliers, Outlier, OutlierConfig, OutlierKind};
+pub use patterns::{infer_pattern, InferredPattern, Shape};
+pub use stats::{ColumnProfile, ColumnRole, DatasetProfile};
+pub use suggest::{suggest_constraints, suggestions_report, SuggestConfig, Suggestion};

@@ -1,0 +1,225 @@
+//! Lightweight outlier screening.
+//!
+//! These detectors do not repair anything — they surface suspicious cells so
+//! a user can (a) eyeball the data quality before cleaning and (b) judge
+//! whether the automatically suggested constraints are reasonable. The same
+//! signal classes (frequency, numeric spread, length) appear inside the
+//! Raha-style baseline; here they are exposed as a user-facing report.
+
+use bclean_data::{CellRef, Dataset, Value};
+
+use crate::stats::{ColumnProfile, ColumnRole};
+
+/// Why a cell was flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutlierKind {
+    /// The numeric value is far from the column mean (robust z-score).
+    NumericSpread,
+    /// The value's length is far outside the column's typical lengths.
+    Length,
+    /// The value occurs much less often than the column's common values.
+    RareValue,
+}
+
+/// A flagged cell.
+#[derive(Debug, Clone)]
+pub struct Outlier {
+    /// The flagged cell.
+    pub at: CellRef,
+    /// The attribute name.
+    pub attribute: String,
+    /// The offending value.
+    pub value: Value,
+    /// Why it was flagged.
+    pub kind: OutlierKind,
+    /// A unitless severity score; larger is more suspicious.
+    pub severity: f64,
+}
+
+/// Configuration for [`find_outliers`].
+#[derive(Debug, Clone, Copy)]
+pub struct OutlierConfig {
+    /// Robust z-score threshold for numeric outliers.
+    pub z_threshold: f64,
+    /// Multiple of the typical length beyond which a value is flagged.
+    pub length_factor: f64,
+    /// A value is "rare" when it appears at most this many times while the
+    /// column mode appears at least `rare_mode_ratio` times more often.
+    pub rare_max_count: usize,
+    /// See [`OutlierConfig::rare_max_count`].
+    pub rare_mode_ratio: usize,
+}
+
+impl Default for OutlierConfig {
+    fn default() -> OutlierConfig {
+        OutlierConfig { z_threshold: 4.0, length_factor: 2.0, rare_max_count: 1, rare_mode_ratio: 20 }
+    }
+}
+
+/// Scan a dataset for suspicious cells.
+pub fn find_outliers(dataset: &Dataset, config: OutlierConfig) -> Vec<Outlier> {
+    let mut out = Vec::new();
+    for col in 0..dataset.num_columns() {
+        let profile = ColumnProfile::from_column(dataset, col);
+        flag_column(dataset, &profile, config, &mut out);
+    }
+    out.sort_by(|a, b| b.severity.partial_cmp(&a.severity).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+fn flag_column(dataset: &Dataset, profile: &ColumnProfile, config: OutlierConfig, out: &mut Vec<Outlier>) {
+    let col = profile.column;
+
+    // Numeric spread outliers, using a robust (median / MAD) z-score so a
+    // single wild value cannot mask another.
+    if profile.role == ColumnRole::Numeric {
+        let mut numbers: Vec<f64> = dataset
+            .rows()
+            .filter_map(|row| row[col].as_number())
+            .collect();
+        if numbers.len() >= 8 {
+            numbers.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let median = numbers[numbers.len() / 2];
+            let mut deviations: Vec<f64> = numbers.iter().map(|n| (n - median).abs()).collect();
+            deviations.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let mad = deviations[deviations.len() / 2];
+            if mad > 0.0 {
+                for (r, row) in dataset.rows().enumerate() {
+                    if let Some(n) = row[col].as_number() {
+                        let z = 0.6745 * (n - median).abs() / mad;
+                        if z >= config.z_threshold {
+                            out.push(Outlier {
+                                at: CellRef::new(r, col),
+                                attribute: profile.name.clone(),
+                                value: row[col].clone(),
+                                kind: OutlierKind::NumericSpread,
+                                severity: z,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Length outliers for textual columns with a stable typical length.
+    if matches!(profile.role, ColumnRole::Text | ColumnRole::Categorical) && profile.max_len > 0 {
+        let typical = typical_length(dataset, col);
+        if typical > 0.0 {
+            for (r, row) in dataset.rows().enumerate() {
+                let v = &row[col];
+                if v.is_null() {
+                    continue;
+                }
+                let len = v.text_len() as f64;
+                if len > typical * config.length_factor || len * config.length_factor < typical {
+                    let severity = if len > typical { len / typical } else { typical / len.max(1.0) };
+                    out.push(Outlier {
+                        at: CellRef::new(r, col),
+                        attribute: profile.name.clone(),
+                        value: v.clone(),
+                        kind: OutlierKind::Length,
+                        severity,
+                    });
+                }
+            }
+        }
+    }
+
+    // Rare-value outliers for categorical columns dominated by a few values.
+    if profile.role == ColumnRole::Categorical {
+        if let Some((_, mode_count)) = profile.top_values.first() {
+            if *mode_count >= config.rare_mode_ratio {
+                for (r, row) in dataset.rows().enumerate() {
+                    let v = &row[col];
+                    if v.is_null() {
+                        continue;
+                    }
+                    let count = dataset
+                        .column(col)
+                        .map(|vs| vs.iter().filter(|x| **x == v).count())
+                        .unwrap_or(0);
+                    if count <= config.rare_max_count {
+                        out.push(Outlier {
+                            at: CellRef::new(r, col),
+                            attribute: profile.name.clone(),
+                            value: v.clone(),
+                            kind: OutlierKind::RareValue,
+                            severity: *mode_count as f64 / count.max(1) as f64,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Median length of the column's non-null values.
+fn typical_length(dataset: &Dataset, col: usize) -> f64 {
+    let mut lengths: Vec<usize> = dataset
+        .rows()
+        .map(|row| &row[col])
+        .filter(|v| !v.is_null())
+        .map(|v| v.text_len())
+        .collect();
+    if lengths.is_empty() {
+        return 0.0;
+    }
+    lengths.sort_unstable();
+    lengths[lengths.len() / 2] as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::dataset_from;
+
+    #[test]
+    fn numeric_spread_outlier_is_flagged() {
+        let mut rows: Vec<Vec<&str>> = (0..30).map(|_| vec!["10.0"]).collect();
+        rows.extend((0..30).map(|_| vec!["12.0"]));
+        rows.push(vec!["9999.0"]);
+        let data = dataset_from(&["score"], &rows);
+        let outliers = find_outliers(&data, OutlierConfig::default());
+        assert!(outliers.iter().any(|o| o.kind == OutlierKind::NumericSpread && o.value == Value::number(9999.0)));
+    }
+
+    #[test]
+    fn length_outlier_is_flagged() {
+        let mut rows: Vec<Vec<&str>> = (0..40).map(|i| if i % 2 == 0 { vec!["mercy hospital"] } else { vec!["st vincent clinic"] }).collect();
+        rows.push(vec!["x"]);
+        let data = dataset_from(&["name"], &rows);
+        let outliers = find_outliers(&data, OutlierConfig::default());
+        assert!(outliers.iter().any(|o| o.kind == OutlierKind::Length && o.value == Value::text("x")));
+    }
+
+    #[test]
+    fn rare_value_outlier_is_flagged() {
+        let mut rows: Vec<Vec<&str>> = (0..50).map(|i| if i % 2 == 0 { vec!["CA"] } else { vec!["KT"] }).collect();
+        rows.push(vec!["C_"]);
+        let data = dataset_from(&["state"], &rows);
+        let outliers = find_outliers(&data, OutlierConfig::default());
+        assert!(outliers.iter().any(|o| o.kind == OutlierKind::RareValue && o.value == Value::text("C_")));
+    }
+
+    #[test]
+    fn clean_uniform_data_produces_no_outliers() {
+        let rows: Vec<Vec<&str>> = (0..40).map(|i| if i % 2 == 0 { vec!["35150", "CA"] } else { vec!["35960", "KT"] }).collect();
+        let data = dataset_from(&["zip", "state"], &rows);
+        let outliers = find_outliers(&data, OutlierConfig::default());
+        assert!(outliers.is_empty(), "unexpected outliers: {outliers:?}");
+    }
+
+    #[test]
+    fn outliers_are_sorted_by_severity() {
+        let mut rows: Vec<Vec<&str>> = (0..30).map(|_| vec!["10.0"]).collect();
+        rows.extend((0..30).map(|_| vec!["12.0"]));
+        rows.push(vec!["500.0"]);
+        rows.push(vec!["99999.0"]);
+        let data = dataset_from(&["score"], &rows);
+        let outliers = find_outliers(&data, OutlierConfig::default());
+        assert!(outliers.len() >= 2);
+        assert!(outliers[0].severity >= outliers[1].severity);
+        assert_eq!(outliers[0].value, Value::number(99999.0));
+    }
+}

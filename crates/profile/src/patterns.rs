@@ -1,0 +1,332 @@
+//! Value-shape (pattern) inference.
+//!
+//! BClean's most influential user constraints are the regular-expression
+//! patterns (Figure 5). Writing them still takes an expert a moment, so this
+//! module infers candidate patterns from the observed values: every value is
+//! abstracted into a *shape* (runs of digits, letters and literal separators),
+//! the dominant shapes are generalised, and — when they cover enough of the
+//! column — rendered as a regular expression compatible with `bclean-regex`.
+
+use std::collections::HashMap;
+
+use bclean_data::Value;
+use bclean_regex::Regex;
+
+/// One token of a value shape: a character class with a repetition count.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ShapeToken {
+    /// `count` consecutive ASCII digits.
+    Digits(usize),
+    /// `count` consecutive ASCII letters.
+    Letters(usize),
+    /// A literal separator character (`-`, `.`, `:`, `/`, space, …).
+    Literal(char),
+}
+
+/// The abstract shape of one value (sequence of tokens).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<ShapeToken>);
+
+impl Shape {
+    /// Abstract a single value into its shape.
+    pub fn of(value: &Value) -> Option<Shape> {
+        if value.is_null() {
+            return None;
+        }
+        let text = value.as_text();
+        if text.is_empty() || text.chars().count() > 64 {
+            return None;
+        }
+        let mut tokens: Vec<ShapeToken> = Vec::new();
+        for c in text.chars() {
+            let next = if c.is_ascii_digit() {
+                ShapeToken::Digits(1)
+            } else if c.is_ascii_alphabetic() {
+                ShapeToken::Letters(1)
+            } else {
+                ShapeToken::Literal(c)
+            };
+            match (tokens.last_mut(), &next) {
+                (Some(ShapeToken::Digits(n)), ShapeToken::Digits(_)) => *n += 1,
+                (Some(ShapeToken::Letters(n)), ShapeToken::Letters(_)) => *n += 1,
+                _ => tokens.push(next),
+            }
+        }
+        Some(Shape(tokens))
+    }
+
+    /// Render the shape as a regular expression with exact repetition counts.
+    pub fn to_regex(&self) -> String {
+        let mut out = String::new();
+        for token in &self.0 {
+            match token {
+                ShapeToken::Digits(n) => {
+                    out.push_str("[0-9]");
+                    if *n > 1 {
+                        out.push_str(&format!("{{{n}}}"));
+                    }
+                }
+                ShapeToken::Letters(n) => {
+                    out.push_str("[a-zA-Z]");
+                    if *n > 1 {
+                        out.push_str(&format!("{{{n}}}"));
+                    }
+                }
+                ShapeToken::Literal(c) => {
+                    if "\\.[]{}()*+?|^$".contains(*c) {
+                        out.push('\\');
+                    }
+                    out.push(*c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Merge two shapes that differ only in repetition counts, producing a
+    /// shape whose counts are ranges. Returns `None` when the token structures
+    /// differ.
+    fn merge_counts(&self, other: &Shape) -> Option<MergedShape> {
+        if self.0.len() != other.0.len() {
+            return None;
+        }
+        let mut tokens = Vec::with_capacity(self.0.len());
+        for (a, b) in self.0.iter().zip(&other.0) {
+            let merged = match (a, b) {
+                (ShapeToken::Digits(x), ShapeToken::Digits(y)) => MergedToken::Digits(*x.min(y), *x.max(y)),
+                (ShapeToken::Letters(x), ShapeToken::Letters(y)) => MergedToken::Letters(*x.min(y), *x.max(y)),
+                (ShapeToken::Literal(x), ShapeToken::Literal(y)) if x == y => MergedToken::Literal(*x),
+                _ => return None,
+            };
+            tokens.push(merged);
+        }
+        Some(MergedShape(tokens))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum MergedToken {
+    Digits(usize, usize),
+    Letters(usize, usize),
+    Literal(char),
+}
+
+/// A shape whose repetition counts are ranges (the generalisation of several
+/// concrete shapes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedShape(Vec<MergedToken>);
+
+impl MergedShape {
+    fn widen(&mut self, shape: &Shape) -> bool {
+        if self.0.len() != shape.0.len() {
+            return false;
+        }
+        let compatible = self.0.iter().zip(&shape.0).all(|(m, t)| {
+            matches!(
+                (m, t),
+                (MergedToken::Digits(..), ShapeToken::Digits(_))
+                    | (MergedToken::Letters(..), ShapeToken::Letters(_))
+            ) || matches!((m, t), (MergedToken::Literal(a), ShapeToken::Literal(b)) if a == b)
+        });
+        if !compatible {
+            return false;
+        }
+        for (m, t) in self.0.iter_mut().zip(&shape.0) {
+            match (m, t) {
+                (MergedToken::Digits(lo, hi), ShapeToken::Digits(n)) => {
+                    *lo = (*lo).min(*n);
+                    *hi = (*hi).max(*n);
+                }
+                (MergedToken::Letters(lo, hi), ShapeToken::Letters(n)) => {
+                    *lo = (*lo).min(*n);
+                    *hi = (*hi).max(*n);
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Render as a regular expression with `{lo,hi}` bounded repeats.
+    pub fn to_regex(&self) -> String {
+        let mut out = String::new();
+        for token in &self.0 {
+            match token {
+                MergedToken::Digits(lo, hi) => {
+                    out.push_str("[0-9]");
+                    push_bounds(&mut out, *lo, *hi);
+                }
+                MergedToken::Letters(lo, hi) => {
+                    out.push_str("[a-zA-Z]");
+                    push_bounds(&mut out, *lo, *hi);
+                }
+                MergedToken::Literal(c) => {
+                    if "\\.[]{}()*+?|^$".contains(*c) {
+                        out.push('\\');
+                    }
+                    out.push(*c);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn push_bounds(out: &mut String, lo: usize, hi: usize) {
+    if lo == hi {
+        if lo > 1 {
+            out.push_str(&format!("{{{lo}}}"));
+        }
+    } else {
+        out.push_str(&format!("{{{lo},{hi}}}"));
+    }
+}
+
+/// The result of pattern inference for one column.
+#[derive(Debug, Clone)]
+pub struct InferredPattern {
+    /// The inferred regular expression.
+    pub regex: String,
+    /// Fraction of non-null values the pattern matches.
+    pub coverage: f64,
+    /// Number of non-null values inspected.
+    pub support: usize,
+}
+
+/// Infer a pattern for a column of values.
+///
+/// The dominant shapes are merged (counts widened into ranges) as long as the
+/// combined coverage keeps growing; the final pattern is returned only when it
+/// matches at least `min_coverage` of the non-null values and is validated
+/// against the `bclean-regex` engine.
+pub fn infer_pattern(values: &[&Value], min_coverage: f64) -> Option<InferredPattern> {
+    let shapes: Vec<Shape> = values.iter().filter_map(|v| Shape::of(v)).collect();
+    if shapes.is_empty() {
+        return None;
+    }
+    let support = shapes.len();
+
+    // Count identical shapes.
+    let mut counts: HashMap<&Shape, usize> = HashMap::new();
+    for shape in &shapes {
+        *counts.entry(shape).or_insert(0) += 1;
+    }
+    let mut ranked: Vec<(&Shape, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.to_regex().cmp(&b.0.to_regex())));
+
+    // Start from the dominant shape and widen it with structurally compatible
+    // shapes, tracking how many values the merged shape explains. Shapes seen
+    // only once or twice in a large column are likely errors, so they are not
+    // allowed to widen the pattern (otherwise the typos we want to catch would
+    // be folded into the constraint).
+    let (seed, mut covered) = ranked[0];
+    let mut merged = seed.merge_counts(seed).expect("identical shapes always merge");
+    for (shape, count) in ranked.iter().skip(1) {
+        let frequent_enough = count * 20 >= support || *count >= 3;
+        if frequent_enough && merged.widen(shape) {
+            covered += count;
+        }
+    }
+
+    let coverage = covered as f64 / support as f64;
+    if coverage < min_coverage {
+        return None;
+    }
+    let regex = merged.to_regex();
+    // Validate against the production engine; skip patterns it cannot compile.
+    let compiled = Regex::new(&regex).ok()?;
+    // Sanity check on a few values the pattern is supposed to cover.
+    let ok = values
+        .iter()
+        .filter(|v| !v.is_null())
+        .take(16)
+        .filter(|v| compiled.is_full_match(&v.as_text()))
+        .count();
+    if ok == 0 {
+        return None;
+    }
+    Some(InferredPattern { regex, coverage, support })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(raw: &[&str]) -> Vec<Value> {
+        raw.iter().map(|s| Value::parse(s)).collect()
+    }
+
+    fn refs(values: &[Value]) -> Vec<&Value> {
+        values.iter().collect()
+    }
+
+    #[test]
+    fn shape_abstraction() {
+        let shape = Shape::of(&Value::text("35150")).unwrap();
+        assert_eq!(shape.to_regex(), "[0-9]{5}");
+        let shape = Shape::of(&Value::text("AL-35150")).unwrap();
+        assert_eq!(shape.to_regex(), "[a-zA-Z]{2}-[0-9]{5}");
+        let shape = Shape::of(&Value::text("7:10a.m.")).unwrap();
+        assert_eq!(shape.to_regex(), "[0-9]:[0-9]{2}[a-zA-Z]\\.[a-zA-Z]\\.");
+        assert!(Shape::of(&Value::Null).is_none());
+        assert!(Shape::of(&Value::text("")).is_none());
+    }
+
+    #[test]
+    fn uniform_zip_codes_give_exact_pattern() {
+        let values = vals(&["35150", "35960", "80204", "06510"]);
+        let pattern = infer_pattern(&refs(&values), 0.8).unwrap();
+        assert_eq!(pattern.regex, "[0-9]{5}");
+        assert_eq!(pattern.coverage, 1.0);
+        assert_eq!(pattern.support, 4);
+        let re = Regex::new(&pattern.regex).unwrap();
+        assert!(re.is_full_match("12345"));
+        assert!(!re.is_full_match("1234"));
+        assert!(!re.is_full_match("1234x"));
+    }
+
+    #[test]
+    fn variable_length_values_get_bounded_repeats() {
+        let values = vals(&["abc", "abcd", "ab", "xyz", "wxyz"]);
+        let pattern = infer_pattern(&refs(&values), 0.8).unwrap();
+        assert_eq!(pattern.regex, "[a-zA-Z]{2,4}");
+        let re = Regex::new(&pattern.regex).unwrap();
+        assert!(re.is_full_match("abc"));
+        assert!(!re.is_full_match("a"));
+        assert!(!re.is_full_match("abcde"));
+    }
+
+    #[test]
+    fn mixed_structures_lower_coverage() {
+        let values = vals(&["35150", "35960", "hello world", "n/a", "x-1"]);
+        // Dominant shape only covers 2/5 of the values.
+        assert!(infer_pattern(&refs(&values), 0.8).is_none());
+        let pattern = infer_pattern(&refs(&values), 0.3).unwrap();
+        assert_eq!(pattern.regex, "[0-9]{5}");
+        assert!((pattern.coverage - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatted_codes_keep_literal_separators() {
+        let values = vals(&["12-345", "99-001", "42-777"]);
+        let pattern = infer_pattern(&refs(&values), 0.9).unwrap();
+        assert_eq!(pattern.regex, "[0-9]{2}-[0-9]{3}");
+        let re = Regex::new(&pattern.regex).unwrap();
+        assert!(re.is_full_match("10-203"));
+        assert!(!re.is_full_match("102-03"));
+    }
+
+    #[test]
+    fn nulls_and_empty_input_are_handled() {
+        let values = vec![Value::Null, Value::Null];
+        assert!(infer_pattern(&refs(&values), 0.5).is_none());
+        assert!(infer_pattern(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn long_values_are_skipped() {
+        let long = "x".repeat(100);
+        let values = vec![Value::text(long.clone()), Value::text(long)];
+        assert!(infer_pattern(&refs(&values), 0.5).is_none());
+    }
+}

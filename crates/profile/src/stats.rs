@@ -1,0 +1,285 @@
+//! Per-column statistics.
+
+use std::collections::HashMap;
+
+use bclean_data::{Dataset, Value};
+
+/// The inferred role of a column, used to pick which constraints make sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnRole {
+    /// Every non-null value has a numeric view.
+    Numeric,
+    /// Few distinct values relative to the row count (codes, categories).
+    Categorical,
+    /// Many distinct textual values (names, addresses, free text).
+    Text,
+    /// The column holds no non-null values at all.
+    Empty,
+}
+
+/// Summary statistics of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnProfile {
+    /// The attribute name.
+    pub name: String,
+    /// Column index in the dataset.
+    pub column: usize,
+    /// Inferred role.
+    pub role: ColumnRole,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of null cells.
+    pub nulls: usize,
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Shortest textual rendering among non-null values.
+    pub min_len: usize,
+    /// Longest textual rendering among non-null values.
+    pub max_len: usize,
+    /// Minimum numeric view (numeric columns only).
+    pub min_value: Option<f64>,
+    /// Maximum numeric view (numeric columns only).
+    pub max_value: Option<f64>,
+    /// Mean of the numeric views (numeric columns only).
+    pub mean: Option<f64>,
+    /// Standard deviation of the numeric views (numeric columns only).
+    pub std_dev: Option<f64>,
+    /// True when every non-null value of a numeric column is an integer.
+    pub integral: bool,
+    /// The most frequent non-null values with their counts, most frequent first.
+    pub top_values: Vec<(Value, usize)>,
+}
+
+impl ColumnProfile {
+    /// Fraction of cells that are null.
+    pub fn null_rate(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.rows as f64
+        }
+    }
+
+    /// Fraction of non-null cells holding a distinct value (1.0 = key-like).
+    pub fn uniqueness(&self) -> f64 {
+        let non_null = self.rows - self.nulls;
+        if non_null == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / non_null as f64
+        }
+    }
+
+    /// Profile one column of a dataset.
+    pub fn from_column(dataset: &Dataset, column: usize) -> ColumnProfile {
+        let name = dataset
+            .schema()
+            .attribute(column)
+            .map(|a| a.name.clone())
+            .unwrap_or_else(|_| format!("col{column}"));
+        let rows = dataset.num_rows();
+        let mut nulls = 0usize;
+        let mut counts: HashMap<&Value, usize> = HashMap::new();
+        let mut min_len = usize::MAX;
+        let mut max_len = 0usize;
+        let mut numeric: Vec<f64> = Vec::new();
+        let mut non_numeric_present = false;
+
+        for row in dataset.rows() {
+            let v = &row[column];
+            if v.is_null() {
+                nulls += 1;
+                continue;
+            }
+            *counts.entry(v).or_insert(0) += 1;
+            let len = v.text_len();
+            min_len = min_len.min(len);
+            max_len = max_len.max(len);
+            match v.as_number() {
+                Some(n) => numeric.push(n),
+                None => non_numeric_present = true,
+            }
+        }
+
+        let distinct = counts.len();
+        let non_null = rows - nulls;
+        let role = if non_null == 0 {
+            ColumnRole::Empty
+        } else if !non_numeric_present && !numeric.is_empty() {
+            ColumnRole::Numeric
+        } else if distinct * 20 <= non_null.max(1) || (distinct <= 12 && (distinct as f64) < 0.6 * non_null as f64) {
+            ColumnRole::Categorical
+        } else {
+            ColumnRole::Text
+        };
+
+        let integral = !numeric.is_empty() && !non_numeric_present && numeric.iter().all(|n| n.fract() == 0.0);
+        let (min_value, max_value, mean, std_dev) = if numeric.is_empty() || non_numeric_present {
+            (None, None, None, None)
+        } else {
+            let min = numeric.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = numeric.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mean = numeric.iter().sum::<f64>() / numeric.len() as f64;
+            let var = numeric.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / numeric.len() as f64;
+            (Some(min), Some(max), Some(mean), Some(var.sqrt()))
+        };
+
+        let mut top_values: Vec<(Value, usize)> = counts.into_iter().map(|(v, c)| (v.clone(), c)).collect();
+        top_values.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        top_values.truncate(10);
+
+        ColumnProfile {
+            name,
+            column,
+            role,
+            rows,
+            nulls,
+            distinct,
+            min_len: if min_len == usize::MAX { 0 } else { min_len },
+            max_len,
+            min_value,
+            max_value,
+            mean,
+            std_dev,
+            integral,
+            top_values,
+        }
+    }
+}
+
+/// A whole-dataset profile: one [`ColumnProfile`] per attribute.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    columns: Vec<ColumnProfile>,
+    rows: usize,
+}
+
+impl DatasetProfile {
+    /// Profile every column of a dataset.
+    pub fn profile(dataset: &Dataset) -> DatasetProfile {
+        let columns = (0..dataset.num_columns())
+            .map(|c| ColumnProfile::from_column(dataset, c))
+            .collect();
+        DatasetProfile { columns, rows: dataset.num_rows() }
+    }
+
+    /// Per-column profiles, in schema order.
+    pub fn columns(&self) -> &[ColumnProfile] {
+        &self.columns
+    }
+
+    /// The profile of a column by name (case-insensitive).
+    pub fn column(&self, name: &str) -> Option<&ColumnProfile> {
+        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Number of profiled rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// A compact human-readable summary table.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:<12} {:>8} {:>8} {:>9} {:>9}\n",
+            "column", "role", "distinct", "nulls", "min_len", "max_len"
+        ));
+        for c in &self.columns {
+            out.push_str(&format!(
+                "{:<22} {:<12} {:>8} {:>8} {:>9} {:>9}\n",
+                c.name,
+                format!("{:?}", c.role),
+                c.distinct,
+                c.nulls,
+                c.min_len,
+                c.max_len
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::dataset_from;
+
+    fn sample() -> Dataset {
+        dataset_from(
+            &["zip", "state", "name", "score", "empty"],
+            &[
+                vec!["35150", "CA", "mercy hospital", "3.5", ""],
+                vec!["35150", "CA", "st vincent", "4.0", ""],
+                vec!["35960", "KT", "cherokee medical", "2.5", ""],
+                vec!["35960", "KT", "north shore clinic", "", ""],
+                vec!["35960", "KT", "eastern regional", "5.0", ""],
+            ],
+        )
+    }
+
+    #[test]
+    fn roles_are_inferred() {
+        let profile = DatasetProfile::profile(&sample());
+        assert_eq!(profile.column("zip").unwrap().role, ColumnRole::Numeric);
+        assert_eq!(profile.column("state").unwrap().role, ColumnRole::Categorical);
+        assert_eq!(profile.column("name").unwrap().role, ColumnRole::Text);
+        assert_eq!(profile.column("score").unwrap().role, ColumnRole::Numeric);
+        assert_eq!(profile.column("empty").unwrap().role, ColumnRole::Empty);
+    }
+
+    #[test]
+    fn basic_counts() {
+        let profile = DatasetProfile::profile(&sample());
+        let zip = profile.column("zip").unwrap();
+        assert_eq!(zip.rows, 5);
+        assert_eq!(zip.nulls, 0);
+        assert_eq!(zip.distinct, 2);
+        assert_eq!(zip.min_len, 5);
+        assert_eq!(zip.max_len, 5);
+        assert_eq!(zip.min_value, Some(35150.0));
+        assert_eq!(zip.max_value, Some(35960.0));
+        assert!(zip.integral);
+        let score = profile.column("score").unwrap();
+        assert!(!score.integral);
+        assert_eq!(score.nulls, 1);
+        assert!((score.null_rate() - 0.2).abs() < 1e-12);
+        assert!(score.std_dev.unwrap() > 0.0);
+        let empty = profile.column("empty").unwrap();
+        assert_eq!(empty.nulls, 5);
+        assert_eq!(empty.distinct, 0);
+        assert_eq!(empty.min_len, 0);
+    }
+
+    #[test]
+    fn uniqueness_and_top_values() {
+        let profile = DatasetProfile::profile(&sample());
+        let name = profile.column("name").unwrap();
+        assert!((name.uniqueness() - 1.0).abs() < 1e-12);
+        let state = profile.column("state").unwrap();
+        assert_eq!(state.top_values[0].0, Value::text("KT"));
+        assert_eq!(state.top_values[0].1, 3);
+        assert!(state.uniqueness() < 0.5);
+    }
+
+    #[test]
+    fn summary_mentions_every_column() {
+        let profile = DatasetProfile::profile(&sample());
+        let text = profile.summary();
+        for col in ["zip", "state", "name", "score", "empty"] {
+            assert!(text.contains(col), "summary missing {col}:\n{text}");
+        }
+        assert_eq!(profile.num_rows(), 5);
+        assert!(profile.column("missing").is_none());
+    }
+
+    #[test]
+    fn empty_dataset_profile() {
+        let data = dataset_from(&["a"], &[]);
+        let profile = DatasetProfile::profile(&data);
+        let col = &profile.columns()[0];
+        assert_eq!(col.role, ColumnRole::Empty);
+        assert_eq!(col.null_rate(), 0.0);
+        assert_eq!(col.uniqueness(), 0.0);
+    }
+}

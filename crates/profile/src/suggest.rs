@@ -1,0 +1,270 @@
+//! Automatic user-constraint suggestion.
+//!
+//! The paper's usability argument is that BClean only needs a handful of
+//! lightweight constraints (Table 3) rather than PPL programs or labelled
+//! tuples. This module goes one step further and *drafts* those constraints
+//! from the dirty data itself: length bounds, numeric ranges, non-null
+//! requirements and format patterns, each emitted only when the observed data
+//! supports it overwhelmingly (so that the errors themselves do not end up
+//! encoded in a constraint). The user reviews the draft — the same
+//! lightweight interaction the paper assumes — instead of writing it from
+//! scratch.
+
+use bclean_core::{ConstraintSet, UserConstraint};
+use bclean_data::Dataset;
+
+use crate::patterns::infer_pattern;
+use crate::stats::{ColumnRole, DatasetProfile};
+
+/// Tuning knobs for [`suggest_constraints`].
+#[derive(Debug, Clone, Copy)]
+pub struct SuggestConfig {
+    /// Emit a `NotNull` constraint when the column's null rate is at most this.
+    pub max_null_rate_for_not_null: f64,
+    /// Emit a pattern only when it covers at least this fraction of values.
+    pub min_pattern_coverage: f64,
+    /// Slack added to length bounds (characters).
+    pub length_slack: usize,
+    /// Relative slack added to numeric ranges (fraction of the observed range).
+    pub numeric_slack: f64,
+    /// Skip pattern inference for columns with more distinct values than this
+    /// times the row count (free-text columns rarely follow one format).
+    pub max_pattern_uniqueness: f64,
+}
+
+impl Default for SuggestConfig {
+    fn default() -> SuggestConfig {
+        SuggestConfig {
+            max_null_rate_for_not_null: 0.02,
+            min_pattern_coverage: 0.9,
+            length_slack: 2,
+            numeric_slack: 0.25,
+            max_pattern_uniqueness: 0.98,
+        }
+    }
+}
+
+/// One suggested constraint with its provenance, for display to the user.
+#[derive(Debug, Clone)]
+pub struct Suggestion {
+    /// The attribute the constraint applies to.
+    pub attribute: String,
+    /// The constraint itself.
+    pub constraint: UserConstraint,
+    /// A one-line justification derived from the profile.
+    pub rationale: String,
+}
+
+/// Draft a [`ConstraintSet`] from the observed (possibly dirty) dataset.
+///
+/// The suggestions are deliberately conservative: bounds get slack, patterns
+/// need high coverage, and key-like free-text columns are left unconstrained.
+pub fn suggest_constraints(dataset: &Dataset, config: SuggestConfig) -> (ConstraintSet, Vec<Suggestion>) {
+    let profile = DatasetProfile::profile(dataset);
+    let mut set = ConstraintSet::new();
+    let mut suggestions = Vec::new();
+
+    for col in profile.columns() {
+        if col.role == ColumnRole::Empty {
+            continue;
+        }
+
+        // Non-null requirement.
+        if col.null_rate() <= config.max_null_rate_for_not_null {
+            push(&mut set, &mut suggestions, &col.name, UserConstraint::NotNull, format!(
+                "only {:.1}% of values are missing",
+                col.null_rate() * 100.0
+            ));
+        }
+
+        // A numeric column whose values are all fixed-width integers is a
+        // *code* (ZIP, provider number, phone): a format pattern describes it
+        // better than a numeric range, which would outlaw codes from unseen
+        // regions.
+        let code_like = col.role == ColumnRole::Numeric && col.integral && col.min_len == col.max_len;
+
+        match col.role {
+            ColumnRole::Numeric => {
+                if !code_like {
+                    if let (Some(min), Some(max)) = (col.min_value, col.max_value) {
+                        let span = (max - min).abs().max(1.0);
+                        let lo = min - span * config.numeric_slack;
+                        let hi = max + span * config.numeric_slack;
+                        push(&mut set, &mut suggestions, &col.name, UserConstraint::MinValue(lo), format!(
+                            "observed minimum {min}, with {:.0}% slack",
+                            config.numeric_slack * 100.0
+                        ));
+                        push(&mut set, &mut suggestions, &col.name, UserConstraint::MaxValue(hi), format!(
+                            "observed maximum {max}, with {:.0}% slack",
+                            config.numeric_slack * 100.0
+                        ));
+                    }
+                }
+            }
+            ColumnRole::Categorical | ColumnRole::Text => {
+                // Length bounds with slack.
+                if col.max_len > 0 {
+                    let min_len = col.min_len.saturating_sub(config.length_slack);
+                    let max_len = col.max_len + config.length_slack;
+                    if min_len > 0 {
+                        push(&mut set, &mut suggestions, &col.name, UserConstraint::MinLength(min_len), format!(
+                            "shortest observed value has {} characters",
+                            col.min_len
+                        ));
+                    }
+                    push(&mut set, &mut suggestions, &col.name, UserConstraint::MaxLength(max_len), format!(
+                        "longest observed value has {} characters",
+                        col.max_len
+                    ));
+                }
+            }
+            ColumnRole::Empty => {}
+        }
+
+        // Format pattern, when the column is format-like rather than free text
+        // or a numeric measurement.
+        let pattern_eligible = match col.role {
+            ColumnRole::Numeric => code_like,
+            ColumnRole::Categorical | ColumnRole::Text => col.uniqueness() <= config.max_pattern_uniqueness,
+            ColumnRole::Empty => false,
+        };
+        if pattern_eligible {
+            if let Ok(values) = dataset.column(col.column) {
+                if let Some(pattern) = infer_pattern(&values, config.min_pattern_coverage) {
+                    if let Ok(constraint) = UserConstraint::pattern(&pattern.regex) {
+                        push(&mut set, &mut suggestions, &col.name, constraint, format!(
+                            "{:.0}% of values match the shape {}",
+                            pattern.coverage * 100.0,
+                            pattern.regex
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    (set, suggestions)
+}
+
+fn push(
+    set: &mut ConstraintSet,
+    suggestions: &mut Vec<Suggestion>,
+    attribute: &str,
+    constraint: UserConstraint,
+    rationale: String,
+) {
+    set.add(attribute, constraint.clone());
+    suggestions.push(Suggestion { attribute: attribute.to_string(), constraint, rationale });
+}
+
+/// Render suggestions as a short human-readable report.
+pub fn suggestions_report(suggestions: &[Suggestion]) -> String {
+    let mut out = String::new();
+    for s in suggestions {
+        out.push_str(&format!("{:<22} {:<32} # {}\n", s.attribute, format!("{:?}", s.constraint), s.rationale));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::{dataset_from, Value};
+
+    fn hospital_like() -> Dataset {
+        let rows: Vec<Vec<&str>> = (0..50)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec!["35150", "CA", "mercy hospital", "3.5"]
+                } else {
+                    vec!["35960", "KT", "cherokee regional medical", "4.5"]
+                }
+            })
+            .collect();
+        dataset_from(&["zip", "state", "name", "score"], &rows)
+    }
+
+    #[test]
+    fn suggests_patterns_lengths_and_ranges() {
+        let (set, suggestions) = suggest_constraints(&hospital_like(), SuggestConfig::default());
+        assert!(!set.is_empty());
+        assert!(!suggestions.is_empty());
+        // ZIP gets a 5-digit pattern that rejects a typo.
+        assert!(set.check("zip", &Value::parse("80204")));
+        assert!(!set.check("zip", &Value::text("3515x")));
+        assert!(!set.check("zip", &Value::text("351504")));
+        // State length bounds reject a spelled-out state.
+        assert!(set.check("state", &Value::text("CA")));
+        assert!(!set.check("state", &Value::text("California")));
+        // Numeric range rejects wild scores but keeps slack around the observed range.
+        assert!(set.check("score", &Value::number(4.0)));
+        assert!(!set.check("score", &Value::number(500.0)));
+        assert!(set.check("score", &Value::number(3.4)));
+        // Every suggestion names an existing attribute and has a rationale.
+        for s in &suggestions {
+            assert!(["zip", "state", "name", "score"].contains(&s.attribute.as_str()));
+            assert!(!s.rationale.is_empty());
+        }
+    }
+
+    #[test]
+    fn dirty_values_do_not_destroy_suggestions() {
+        // 4% typos in the zip column: pattern coverage stays above 90%.
+        let mut rows: Vec<Vec<&str>> = (0..48).map(|_| vec!["35150"]).collect();
+        rows.push(vec!["3515x"]);
+        rows.push(vec!["351"]);
+        let data = dataset_from(&["zip"], &rows);
+        let (set, _) = suggest_constraints(&data, SuggestConfig::default());
+        assert!(!set.check("zip", &Value::text("3515x")));
+        assert!(set.check("zip", &Value::parse("35960")));
+    }
+
+    #[test]
+    fn sparse_columns_do_not_get_not_null() {
+        let rows: Vec<Vec<&str>> = (0..20).map(|i| if i % 2 == 0 { vec!["x", ""] } else { vec!["y", "z"] }).collect();
+        let data = dataset_from(&["a", "b"], &rows);
+        let (set, suggestions) = suggest_constraints(&data, SuggestConfig::default());
+        // Column b is null half the time: no NotNull suggestion for it.
+        assert!(set.check("b", &Value::Null));
+        assert!(suggestions.iter().all(|s| !(s.attribute == "b" && matches!(s.constraint, UserConstraint::NotNull))));
+        // Column a is never null.
+        assert!(!set.check("a", &Value::Null));
+    }
+
+    #[test]
+    fn empty_columns_are_skipped_entirely() {
+        let data = dataset_from(&["a"], &[vec![""], vec![""]]);
+        let (set, suggestions) = suggest_constraints(&data, SuggestConfig::default());
+        assert!(set.is_empty());
+        assert!(suggestions.is_empty());
+    }
+
+    #[test]
+    fn report_lists_every_suggestion() {
+        let (_, suggestions) = suggest_constraints(&hospital_like(), SuggestConfig::default());
+        let report = suggestions_report(&suggestions);
+        assert_eq!(report.lines().count(), suggestions.len());
+        assert!(report.contains("zip"));
+    }
+
+    #[test]
+    fn suggested_constraints_improve_cleaning_on_a_small_table() {
+        use bclean_core::{BClean, Variant};
+        // Zip -> State with one format-breaking typo.
+        let mut rows: Vec<Vec<&str>> = (0..40)
+            .map(|i| if i % 2 == 0 { vec!["35150", "CA"] } else { vec!["35960", "KT"] })
+            .collect();
+        rows[5][0] = "3596x";
+        let dirty = dataset_from(&["zip", "state"], &rows);
+        let (set, _) = suggest_constraints(&dirty, SuggestConfig::default());
+        let model = BClean::new(Variant::PartitionedInference.config())
+            .with_constraints(set)
+            .fit(&dirty);
+        let result = model.clean(&dirty);
+        assert!(
+            result.repairs.iter().any(|r| r.at.row == 5 && r.at.col == 0 && r.to == Value::parse("35960")),
+            "suggested pattern should force the typo to be repaired: {:?}",
+            result.repairs
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for profiling, pattern inference and constraint
+//! suggestion.
+
+use bclean_data::{dataset_from, Dataset, Value};
+use bclean_profile::{
+    find_outliers, infer_pattern, suggest_constraints, DatasetProfile, OutlierConfig, SuggestConfig,
+};
+use bclean_regex::Regex;
+use proptest::prelude::*;
+
+/// Random tables with a mix of numeric codes, categories and free text.
+fn table_strategy() -> impl Strategy<Value = Vec<(usize, usize, String)>> {
+    proptest::collection::vec(
+        (0usize..5, 0usize..3, "[a-z ]{0,12}"),
+        5..60,
+    )
+}
+
+fn build_dataset(rows: &[(usize, usize, String)]) -> Dataset {
+    let raw: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(code, cat, text)| vec![format!("{:05}", 10000 + code * 111), format!("c{cat}"), text.clone()])
+        .collect();
+    let refs: Vec<Vec<&str>> = raw.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+    dataset_from(&["code", "category", "note"], &refs)
+}
+
+proptest! {
+    /// Column profiles satisfy their basic numeric invariants.
+    #[test]
+    fn profile_invariants(rows in table_strategy()) {
+        let data = build_dataset(&rows);
+        let profile = DatasetProfile::profile(&data);
+        prop_assert_eq!(profile.num_rows(), data.num_rows());
+        for col in profile.columns() {
+            prop_assert_eq!(col.rows, data.num_rows());
+            prop_assert!(col.nulls <= col.rows);
+            prop_assert!(col.distinct <= col.rows - col.nulls);
+            prop_assert!(col.min_len <= col.max_len);
+            prop_assert!((0.0..=1.0).contains(&col.null_rate()));
+            prop_assert!((0.0..=1.0).contains(&col.uniqueness()));
+            if let (Some(min), Some(max)) = (col.min_value, col.max_value) {
+                prop_assert!(min <= max);
+            }
+        }
+    }
+
+    /// Any inferred pattern compiles on the production regex engine, reports
+    /// coverage in (0, 1], and matches at least one observed value.
+    #[test]
+    fn inferred_patterns_are_wellformed(rows in table_strategy(), coverage in 0.3f64..0.95) {
+        let data = build_dataset(&rows);
+        for col in 0..data.num_columns() {
+            let values = data.column(col).unwrap();
+            if let Some(pattern) = infer_pattern(&values, coverage) {
+                prop_assert!(pattern.coverage > 0.0 && pattern.coverage <= 1.0 + 1e-12);
+                prop_assert!(pattern.coverage >= coverage - 1e-12);
+                prop_assert!(pattern.support > 0);
+                let re = Regex::new(&pattern.regex).expect("inferred pattern must compile");
+                let matched = values.iter().filter(|v| !v.is_null()).any(|v| re.is_full_match(&v.as_text()));
+                prop_assert!(matched, "pattern {} matches nothing", pattern.regex);
+            }
+        }
+    }
+
+    /// Suggested constraints accept the overwhelming majority of the values
+    /// they were drafted from (they must not encode the data away).
+    #[test]
+    fn suggestions_accept_most_observed_values(rows in table_strategy()) {
+        let data = build_dataset(&rows);
+        let (set, suggestions) = suggest_constraints(&data, SuggestConfig::default());
+        let rate = set.satisfaction_rate(&data);
+        prop_assert!(rate >= 0.75, "satisfaction rate {rate} too low for {} suggestions", suggestions.len());
+        // Every suggestion refers to an attribute of the schema.
+        for s in &suggestions {
+            prop_assert!(data.schema().names().iter().any(|n| n.eq_ignore_ascii_case(&s.attribute)));
+        }
+    }
+
+    /// Outlier screening never flags more cells than exist and never panics,
+    /// and severities are positive and sorted.
+    #[test]
+    fn outlier_screening_is_bounded(rows in table_strategy()) {
+        let data = build_dataset(&rows);
+        let outliers = find_outliers(&data, OutlierConfig::default());
+        prop_assert!(outliers.len() <= data.num_cells());
+        for pair in outliers.windows(2) {
+            prop_assert!(pair[0].severity >= pair[1].severity);
+        }
+        for o in &outliers {
+            prop_assert!(o.severity > 0.0);
+            prop_assert!(o.at.row < data.num_rows());
+            prop_assert!(o.at.col < data.num_columns());
+            prop_assert!(!o.value.is_null() || o.value == Value::Null);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Regular-expression abstract syntax tree.
+
+use std::fmt;
+
+/// A set of character ranges, possibly negated — `[a-z0-9_]`, `[^,]`, `\d`, …
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    /// When true, the class matches characters *not* covered by `ranges`.
+    pub negated: bool,
+    /// Inclusive character ranges.
+    pub ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    /// Empty (match nothing) class.
+    pub fn new(negated: bool) -> CharClass {
+        CharClass { negated, ranges: Vec::new() }
+    }
+
+    /// Add a single character.
+    pub fn push_char(&mut self, c: char) {
+        self.ranges.push((c, c));
+    }
+
+    /// Add an inclusive range.
+    pub fn push_range(&mut self, lo: char, hi: char) {
+        self.ranges.push((lo, hi));
+    }
+
+    /// `\d`: ASCII digits.
+    pub fn digit() -> CharClass {
+        CharClass { negated: false, ranges: vec![('0', '9')] }
+    }
+
+    /// `\w`: word characters.
+    pub fn word() -> CharClass {
+        CharClass { negated: false, ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')] }
+    }
+
+    /// `\s`: whitespace.
+    pub fn space() -> CharClass {
+        CharClass { negated: false, ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')] }
+    }
+
+    /// `.`: any character except newline.
+    pub fn any() -> CharClass {
+        CharClass { negated: true, ranges: vec![('\n', '\n')] }
+    }
+
+    /// The negation of this class.
+    pub fn negate(mut self) -> CharClass {
+        self.negated = !self.negated;
+        self
+    }
+
+    /// Extend with another class's ranges (the other class must not be negated).
+    pub fn extend(&mut self, other: &CharClass) {
+        debug_assert!(!other.negated, "cannot merge a negated class into a class body");
+        self.ranges.extend_from_slice(&other.ranges);
+    }
+
+    /// Does the class match character `c`?
+    pub fn matches(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+}
+
+/// A parsed regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// A character class (including `.`).
+    Class(CharClass),
+    /// Concatenation of sub-expressions.
+    Concat(Vec<Ast>),
+    /// Alternation (`a|b|c`).
+    Alternate(Vec<Ast>),
+    /// Bounded or unbounded repetition of a sub-expression.
+    Repeat {
+        /// Repeated node.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions; `None` means unbounded.
+        max: Option<u32>,
+    },
+    /// A parenthesised group.
+    Group(Box<Ast>),
+    /// `^` start-of-input assertion.
+    StartAnchor,
+    /// `$` end-of-input assertion.
+    EndAnchor,
+}
+
+impl Ast {
+    /// Number of AST nodes (used to bound pathological patterns in tests).
+    pub fn size(&self) -> usize {
+        match self {
+            Ast::Empty | Ast::Literal(_) | Ast::Class(_) | Ast::StartAnchor | Ast::EndAnchor => 1,
+            Ast::Concat(xs) | Ast::Alternate(xs) => 1 + xs.iter().map(Ast::size).sum::<usize>(),
+            Ast::Repeat { node, .. } => 1 + node.size(),
+            Ast::Group(node) => 1 + node.size(),
+        }
+    }
+}
+
+impl fmt::Display for Ast {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ast::Empty => Ok(()),
+            Ast::Literal(c) => write!(f, "{c}"),
+            Ast::Class(_) => write!(f, "[class]"),
+            Ast::Concat(xs) => {
+                for x in xs {
+                    write!(f, "{x}")?;
+                }
+                Ok(())
+            }
+            Ast::Alternate(xs) => {
+                let parts: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+                write!(f, "({})", parts.join("|"))
+            }
+            Ast::Repeat { node, min, max } => match max {
+                Some(max) => write!(f, "{node}{{{min},{max}}}"),
+                None => write!(f, "{node}{{{min},}}"),
+            },
+            Ast::Group(node) => write!(f, "({node})"),
+            Ast::StartAnchor => write!(f, "^"),
+            Ast::EndAnchor => write!(f, "$"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_class_matches() {
+        let d = CharClass::digit();
+        assert!(d.matches('0'));
+        assert!(d.matches('9'));
+        assert!(!d.matches('a'));
+    }
+
+    #[test]
+    fn negated_class() {
+        let not_digit = CharClass::digit().negate();
+        assert!(!not_digit.matches('5'));
+        assert!(not_digit.matches('x'));
+    }
+
+    #[test]
+    fn any_class_excludes_newline() {
+        let any = CharClass::any();
+        assert!(any.matches('x'));
+        assert!(any.matches(' '));
+        assert!(!any.matches('\n'));
+    }
+
+    #[test]
+    fn word_and_space() {
+        assert!(CharClass::word().matches('_'));
+        assert!(CharClass::word().matches('Z'));
+        assert!(!CharClass::word().matches('-'));
+        assert!(CharClass::space().matches('\t'));
+        assert!(!CharClass::space().matches('x'));
+    }
+
+    #[test]
+    fn class_extend_and_push() {
+        let mut c = CharClass::new(false);
+        c.push_char('-');
+        c.push_range('a', 'c');
+        c.extend(&CharClass::digit());
+        assert!(c.matches('-'));
+        assert!(c.matches('b'));
+        assert!(c.matches('7'));
+        assert!(!c.matches('z'));
+    }
+
+    #[test]
+    fn ast_size() {
+        let ast = Ast::Concat(vec![
+            Ast::Literal('a'),
+            Ast::Repeat { node: Box::new(Ast::Class(CharClass::digit())), min: 1, max: None },
+        ]);
+        assert_eq!(ast.size(), 4);
+    }
+
+    #[test]
+    fn ast_display_roundtrip_smoke() {
+        let ast = Ast::Alternate(vec![Ast::Literal('a'), Ast::Literal('b')]);
+        assert_eq!(ast.to_string(), "(a|b)");
+    }
+}

@@ -1,0 +1,32 @@
+//! # bclean-regex
+//!
+//! A small, dependency-free regular expression engine used to evaluate the
+//! *pattern* user constraints of BClean (Table 3 of the paper: ZIP codes,
+//! phone numbers, flight times, years, decimal numbers).
+//!
+//! The engine parses a practical regex dialect (literals, escapes, character
+//! classes, groups, alternation, `* + ?` and `{m,n}` repetition, `^`/`$`
+//! anchors) into an AST, compiles it to a Thompson NFA and matches with a
+//! Pike-style virtual machine — linear time in the input, with no
+//! backtracking blow-up, which matters because constraints are checked
+//! against every candidate repair value.
+//!
+//! ```
+//! use bclean_regex::Regex;
+//!
+//! let zip = Regex::new("^([1-9][0-9]{4,4})$").unwrap();
+//! assert!(zip.is_full_match("35150"));
+//! assert!(!zip.is_full_match("3960"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod matcher;
+pub mod nfa;
+pub mod parser;
+
+pub use ast::{Ast, CharClass};
+pub use matcher::{Error, Regex};
+pub use nfa::{compile, Nfa};
+pub use parser::{parse, ParseError};

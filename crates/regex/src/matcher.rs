@@ -1,0 +1,329 @@
+//! The public [`Regex`] type and its Pike-VM matcher.
+//!
+//! Matching runs the Thompson NFA breadth-first over the input with a thread
+//! list per position, giving linear-time matching in `O(pattern × input)`
+//! without backtracking blow-ups — important because user-constraint patterns
+//! are evaluated against every candidate value during cleaning.
+
+use std::fmt;
+
+use crate::ast::Ast;
+use crate::nfa::{compile, Assertion, CompileError, Nfa, State};
+use crate::parser::{parse, ParseError};
+
+/// Errors creating a [`Regex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The pattern has a syntax error.
+    Parse(ParseError),
+    /// The pattern could not be compiled to an NFA.
+    Compile(CompileError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Self {
+        Error::Compile(e)
+    }
+}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    nfa: Nfa,
+}
+
+impl Regex {
+    /// Compile `pattern`.
+    pub fn new(pattern: &str) -> Result<Regex, Error> {
+        let ast = parse(pattern)?;
+        let nfa = compile(&ast)?;
+        Ok(Regex { pattern: pattern.to_string(), nfa })
+    }
+
+    /// The original pattern string.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// The parsed AST (mainly for testing and diagnostics).
+    pub fn ast(&self) -> Ast {
+        parse(&self.pattern).expect("pattern was validated at construction")
+    }
+
+    /// Does the pattern match a substring of `input` (unanchored search)?
+    pub fn is_match(&self, input: &str) -> bool {
+        self.find(input).is_some()
+    }
+
+    /// Does the pattern match the *entire* input?
+    ///
+    /// This is the semantics used by BClean user constraints: a candidate
+    /// value satisfies a pattern UC only when the whole value conforms.
+    pub fn is_full_match(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        self.run(&chars, 0, true).is_some()
+    }
+
+    /// Find the leftmost match, returning `(start, end)` character offsets.
+    pub fn find(&self, input: &str) -> Option<(usize, usize)> {
+        let chars: Vec<char> = input.chars().collect();
+        for start in 0..=chars.len() {
+            if let Some(end) = self.run(&chars, start, false) {
+                return Some((start, end));
+            }
+        }
+        None
+    }
+
+    /// Run the Pike VM from `start`. Returns the end offset of a match.
+    /// With `full`, only a match consuming the entire remaining input counts.
+    fn run(&self, chars: &[char], start: usize, full: bool) -> Option<usize> {
+        let nstates = self.nfa.states.len();
+        let mut current: Vec<usize> = Vec::with_capacity(nstates);
+        let mut next: Vec<usize> = Vec::with_capacity(nstates);
+        let mut on_current = vec![false; nstates];
+        let mut on_next = vec![false; nstates];
+        let mut best_end: Option<usize> = None;
+
+        add_thread(&self.nfa, self.nfa.start, start, chars.len(), &mut current, &mut on_current);
+
+        let mut pos = start;
+        loop {
+            // Check for accepting threads at this position.
+            if current.iter().any(|&s| matches!(self.nfa.states[s], State::Match)) {
+                if full {
+                    if pos == chars.len() {
+                        return Some(pos);
+                    }
+                } else {
+                    best_end = Some(best_end.map_or(pos, |b: usize| b.max(pos)));
+                }
+            }
+            if pos >= chars.len() || current.is_empty() {
+                break;
+            }
+            let c = chars[pos];
+            next.clear();
+            on_next.iter_mut().for_each(|b| *b = false);
+            for &s in &current {
+                if let State::Char { class, next: nxt } = &self.nfa.states[s] {
+                    if class.matches(c) {
+                        add_thread(&self.nfa, *nxt, pos + 1, chars.len(), &mut next, &mut on_next);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            std::mem::swap(&mut on_current, &mut on_next);
+            pos += 1;
+        }
+        best_end
+    }
+}
+
+/// ε-closure insertion: follow splits and satisfied assertions.
+fn add_thread(nfa: &Nfa, state: usize, pos: usize, len: usize, list: &mut Vec<usize>, on_list: &mut [bool]) {
+    if on_list[state] {
+        return;
+    }
+    on_list[state] = true;
+    match &nfa.states[state] {
+        State::Split(a, b) => {
+            add_thread(nfa, *a, pos, len, list, on_list);
+            add_thread(nfa, *b, pos, len, list, on_list);
+        }
+        State::Assert { kind, next } => {
+            let ok = match kind {
+                Assertion::Start => pos == 0,
+                Assertion::End => pos == len,
+            };
+            if ok {
+                add_thread(nfa, *next, pos, len, list, on_list);
+            }
+        }
+        State::Char { .. } | State::Match => list.push(state),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap()
+    }
+
+    #[test]
+    fn literal_match() {
+        let r = re("abc");
+        assert!(r.is_full_match("abc"));
+        assert!(!r.is_full_match("abcd"));
+        assert!(!r.is_full_match("ab"));
+        assert!(r.is_match("xxabcxx"));
+        assert!(!r.is_match("axbxc"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        let r = re("");
+        assert!(r.is_full_match(""));
+        assert!(!r.is_full_match("a"));
+        assert!(r.is_match("anything"));
+    }
+
+    #[test]
+    fn star_plus_question() {
+        assert!(re("a*").is_full_match(""));
+        assert!(re("a*").is_full_match("aaaa"));
+        assert!(!re("a+").is_full_match(""));
+        assert!(re("a+").is_full_match("aaa"));
+        assert!(re("colou?r").is_full_match("color"));
+        assert!(re("colou?r").is_full_match("colour"));
+        assert!(!re("colou?r").is_full_match("colouur"));
+    }
+
+    #[test]
+    fn bounded_repeats() {
+        let r = re("[0-9]{5}");
+        assert!(r.is_full_match("35150"));
+        assert!(!r.is_full_match("3515"));
+        assert!(!r.is_full_match("351500"));
+        let r = re("a{2,4}");
+        assert!(!r.is_full_match("a"));
+        assert!(r.is_full_match("aa"));
+        assert!(r.is_full_match("aaaa"));
+        assert!(!r.is_full_match("aaaaa"));
+        let r = re("a{2,}");
+        assert!(r.is_full_match("aaaaaaa"));
+        assert!(!r.is_full_match("a"));
+    }
+
+    #[test]
+    fn alternation() {
+        let r = re("cat|dog|bird");
+        assert!(r.is_full_match("dog"));
+        assert!(r.is_full_match("bird"));
+        assert!(!r.is_full_match("dogg"));
+    }
+
+    #[test]
+    fn classes_and_dot() {
+        assert!(re(r"\d+").is_full_match("123"));
+        assert!(!re(r"\d+").is_full_match("12a"));
+        assert!(re(r"\w+").is_full_match("abc_123"));
+        assert!(re(".").is_full_match("x"));
+        assert!(!re(".").is_full_match("\n"));
+        assert!(re("[^,]+").is_full_match("no commas here"));
+        assert!(!re("[^,]+").is_full_match("a,b"));
+    }
+
+    #[test]
+    fn anchors_in_search() {
+        let r = re("^abc");
+        assert!(r.is_match("abcdef"));
+        assert!(!r.is_match("xabc"));
+        let r = re("xyz$");
+        assert!(r.is_match("wxyz"));
+        assert!(!r.is_match("xyzw"));
+        let r = re("^only$");
+        assert!(r.is_match("only"));
+        assert!(!r.is_match("the only one"));
+    }
+
+    #[test]
+    fn find_leftmost_longest_end() {
+        let r = re("a+");
+        assert_eq!(r.find("xxaaayy"), Some((2, 5)));
+        assert_eq!(r.find("bbb"), None);
+        assert_eq!(re("b").find("abc"), Some((1, 2)));
+    }
+
+    #[test]
+    fn zipcode_pattern_from_paper() {
+        // Hospital UC: five-digit number not starting with 0.
+        let r = re("^([1-9][0-9]{4,4})$");
+        assert!(r.is_full_match("35150"));
+        assert!(!r.is_full_match("03515"));
+        assert!(!r.is_full_match("3515"));
+        assert!(!r.is_full_match("351501"));
+        assert!(!r.is_full_match("3x150"));
+    }
+
+    #[test]
+    fn flight_time_pattern_from_paper() {
+        let r = re(r"([1-9]:[0-5][0-9][ap]\.m\.|1[0-2]:[0-5][0-9][ap]\.m\.|0[1-9]:[0-5][0-9][ap]\.m\.)");
+        assert!(r.is_full_match("7:10a.m."));
+        assert!(r.is_full_match("12:45p.m."));
+        assert!(r.is_full_match("09:05a.m."));
+        assert!(!r.is_full_match("7:21am"));
+        assert!(!r.is_full_match("13:00p.m."));
+    }
+
+    #[test]
+    fn beers_numeric_pattern_from_paper() {
+        let r = re(r"\d+\.\d+|(\d+)");
+        assert!(r.is_full_match("12"));
+        assert!(r.is_full_match("0.05"));
+        assert!(!r.is_full_match("12 oz"));
+        assert!(!r.is_full_match(""));
+    }
+
+    #[test]
+    fn year_patterns_from_paper() {
+        let birth = re("([1][9][6-9][0-9])");
+        assert!(birth.is_full_match("1975"));
+        assert!(!birth.is_full_match("1959"));
+        assert!(!birth.is_full_match("2001"));
+        let season = re("([2][0][0-9][0-9])");
+        assert!(season.is_full_match("2014"));
+        assert!(!season.is_full_match("1999"));
+    }
+
+    #[test]
+    fn unicode_input_is_handled() {
+        let r = re("é+");
+        assert!(r.is_full_match("ééé"));
+        assert!(!r.is_full_match("ee"));
+        assert!(re(".").is_full_match("é"));
+    }
+
+    #[test]
+    fn invalid_pattern_errors() {
+        assert!(Regex::new("(").is_err());
+        assert!(Regex::new("a{9999}").is_err());
+        let err = Regex::new("(").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn pattern_accessors() {
+        let r = re("ab*");
+        assert_eq!(r.pattern(), "ab*");
+        assert_eq!(r.ast().size(), 4);
+    }
+
+    #[test]
+    fn no_catastrophic_backtracking() {
+        // Classic pathological case for backtracking engines; the Pike VM is linear.
+        let r = re("(a+)+$");
+        let input = "a".repeat(64) + "b";
+        assert!(!r.is_match(&input));
+    }
+}

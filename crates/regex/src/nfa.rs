@@ -1,0 +1,289 @@
+//! Thompson NFA construction.
+//!
+//! The AST is compiled into a non-deterministic finite automaton with
+//! ε-transitions represented by `Split` states and zero-width assertions
+//! represented by `Assert` states. Bounded repetitions `{m,n}` are expanded by
+//! duplication, capped at [`MAX_REPEAT`] to bound automaton size.
+
+use crate::ast::{Ast, CharClass};
+
+/// Maximum bound accepted in `{m,n}` repetitions.
+pub const MAX_REPEAT: u32 = 256;
+
+/// A zero-width assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assertion {
+    /// `^` — only matches at the start of the input.
+    Start,
+    /// `$` — only matches at the end of the input.
+    End,
+}
+
+/// One NFA state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum State {
+    /// Consume one character matching the class, then go to `next`.
+    Char {
+        /// Character set accepted by this state.
+        class: CharClass,
+        /// Successor state index.
+        next: usize,
+    },
+    /// ε-split to both successors.
+    Split(usize, usize),
+    /// Zero-width assertion; on success continue at `next`.
+    Assert {
+        /// Which assertion to test.
+        kind: Assertion,
+        /// Successor state index.
+        next: usize,
+    },
+    /// Accepting state.
+    Match,
+}
+
+/// A compiled NFA. `start` is the entry state index.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// The state table.
+    pub states: Vec<State>,
+    /// Entry state.
+    pub start: usize,
+}
+
+/// Errors raised during compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A `{m,n}` bound exceeded [`MAX_REPEAT`].
+    RepeatTooLarge(u32),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::RepeatTooLarge(n) => {
+                write!(f, "repetition bound {n} exceeds the maximum of {MAX_REPEAT}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compile an AST into an NFA.
+pub fn compile(ast: &Ast) -> Result<Nfa, CompileError> {
+    let mut builder = Builder { states: Vec::new() };
+    let frag = builder.compile(ast)?;
+    let match_state = builder.push(State::Match);
+    builder.patch(&frag.outs, match_state);
+    Ok(Nfa { states: builder.states, start: frag.start })
+}
+
+/// A dangling out-edge of a fragment: (state index, which slot).
+#[derive(Debug, Clone, Copy)]
+struct Out {
+    state: usize,
+    slot: u8,
+}
+
+struct Fragment {
+    start: usize,
+    outs: Vec<Out>,
+}
+
+struct Builder {
+    states: Vec<State>,
+}
+
+impl Builder {
+    fn push(&mut self, state: State) -> usize {
+        self.states.push(state);
+        self.states.len() - 1
+    }
+
+    fn patch(&mut self, outs: &[Out], target: usize) {
+        for out in outs {
+            match &mut self.states[out.state] {
+                State::Char { next, .. } | State::Assert { next, .. } => *next = target,
+                State::Split(a, b) => {
+                    if out.slot == 0 {
+                        *a = target;
+                    } else {
+                        *b = target;
+                    }
+                }
+                State::Match => unreachable!("match states have no out-edges"),
+            }
+        }
+    }
+
+    fn compile(&mut self, ast: &Ast) -> Result<Fragment, CompileError> {
+        match ast {
+            Ast::Empty => {
+                // An ε-fragment: a split whose both edges dangle to the same target.
+                let s = self.push(State::Split(usize::MAX, usize::MAX));
+                Ok(Fragment { start: s, outs: vec![Out { state: s, slot: 0 }, Out { state: s, slot: 1 }] })
+            }
+            Ast::Literal(c) => {
+                let mut class = CharClass::new(false);
+                class.push_char(*c);
+                let s = self.push(State::Char { class, next: usize::MAX });
+                Ok(Fragment { start: s, outs: vec![Out { state: s, slot: 0 }] })
+            }
+            Ast::Class(class) => {
+                let s = self.push(State::Char { class: class.clone(), next: usize::MAX });
+                Ok(Fragment { start: s, outs: vec![Out { state: s, slot: 0 }] })
+            }
+            Ast::StartAnchor => {
+                let s = self.push(State::Assert { kind: Assertion::Start, next: usize::MAX });
+                Ok(Fragment { start: s, outs: vec![Out { state: s, slot: 0 }] })
+            }
+            Ast::EndAnchor => {
+                let s = self.push(State::Assert { kind: Assertion::End, next: usize::MAX });
+                Ok(Fragment { start: s, outs: vec![Out { state: s, slot: 0 }] })
+            }
+            Ast::Group(inner) => self.compile(inner),
+            Ast::Concat(items) => {
+                let mut iter = items.iter();
+                let first = match iter.next() {
+                    Some(f) => self.compile(f)?,
+                    None => return self.compile(&Ast::Empty),
+                };
+                let mut outs = first.outs;
+                for item in iter {
+                    let frag = self.compile(item)?;
+                    self.patch(&outs, frag.start);
+                    outs = frag.outs;
+                }
+                Ok(Fragment { start: first.start, outs })
+            }
+            Ast::Alternate(branches) => {
+                let frags: Vec<Fragment> =
+                    branches.iter().map(|b| self.compile(b)).collect::<Result<_, _>>()?;
+                let mut outs = Vec::new();
+                let mut start = None;
+                // Chain splits right-to-left.
+                let mut prev_start: Option<usize> = None;
+                for frag in frags.into_iter().rev() {
+                    outs.extend(frag.outs);
+                    match prev_start {
+                        None => prev_start = Some(frag.start),
+                        Some(rhs) => {
+                            let split = self.push(State::Split(frag.start, rhs));
+                            prev_start = Some(split);
+                        }
+                    }
+                    start = prev_start;
+                }
+                Ok(Fragment { start: start.expect("alternation has at least one branch"), outs })
+            }
+            Ast::Repeat { node, min, max } => self.compile_repeat(node, *min, *max),
+        }
+    }
+
+    fn compile_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) -> Result<Fragment, CompileError> {
+        if min > MAX_REPEAT || max.is_some_and(|m| m > MAX_REPEAT) {
+            return Err(CompileError::RepeatTooLarge(max.unwrap_or(min)));
+        }
+        match (min, max) {
+            // `e*`
+            (0, None) => {
+                let frag = self.compile(node)?;
+                let split = self.push(State::Split(frag.start, usize::MAX));
+                self.patch(&frag.outs, split);
+                Ok(Fragment { start: split, outs: vec![Out { state: split, slot: 1 }] })
+            }
+            // `e+` = e e*
+            (1, None) => {
+                let frag = self.compile(node)?;
+                let split = self.push(State::Split(frag.start, usize::MAX));
+                self.patch(&frag.outs, split);
+                Ok(Fragment { start: frag.start, outs: vec![Out { state: split, slot: 1 }] })
+            }
+            // `e{min,}` = e^min e*
+            (min, None) => {
+                let required = Ast::Repeat { node: Box::new(node.clone()), min, max: Some(min) };
+                let star = Ast::Repeat { node: Box::new(node.clone()), min: 0, max: None };
+                self.compile(&Ast::Concat(vec![required, star]))
+            }
+            // `e{min,max}` = e^min (e?)^(max-min)
+            (min, Some(max)) => {
+                let mut parts: Vec<Ast> = Vec::new();
+                for _ in 0..min {
+                    parts.push(node.clone());
+                }
+                for _ in min..max {
+                    parts.push(Ast::Repeat { node: Box::new(node.clone()), min: 0, max: Some(1) });
+                }
+                if parts.is_empty() {
+                    return self.compile(&Ast::Empty);
+                }
+                if min == 0 && max == 1 {
+                    // `e?`
+                    let frag = self.compile(node)?;
+                    let split = self.push(State::Split(frag.start, usize::MAX));
+                    let mut outs = frag.outs;
+                    outs.push(Out { state: split, slot: 1 });
+                    return Ok(Fragment { start: split, outs });
+                }
+                self.compile(&Ast::Concat(parts))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn nfa(pattern: &str) -> Nfa {
+        compile(&parse(pattern).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn literal_produces_char_and_match() {
+        let n = nfa("a");
+        assert_eq!(n.states.len(), 2);
+        assert!(matches!(n.states[n.start], State::Char { .. }));
+        assert!(n.states.iter().any(|s| matches!(s, State::Match)));
+    }
+
+    #[test]
+    fn star_produces_split() {
+        let n = nfa("a*");
+        assert!(n.states.iter().any(|s| matches!(s, State::Split(_, _))));
+    }
+
+    #[test]
+    fn all_next_pointers_are_patched() {
+        for pattern in ["a", "ab|cd", "a*b+c?", "(ab){2,4}", "^x$", "[a-z]{3}", "", "a{0,2}"] {
+            let n = nfa(pattern);
+            for state in &n.states {
+                match state {
+                    State::Char { next, .. } | State::Assert { next, .. } => {
+                        assert!(*next < n.states.len(), "dangling next in {pattern}");
+                    }
+                    State::Split(a, b) => {
+                        assert!(*a < n.states.len() && *b < n.states.len(), "dangling split in {pattern}");
+                    }
+                    State::Match => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_bound_checked() {
+        let ast = parse("a{1,999}").unwrap();
+        assert!(matches!(compile(&ast), Err(CompileError::RepeatTooLarge(999))));
+        assert!(CompileError::RepeatTooLarge(999).to_string().contains("999"));
+    }
+
+    #[test]
+    fn bounded_repeat_expands() {
+        let n3 = nfa("a{3}");
+        let n1 = nfa("a");
+        assert!(n3.states.len() > n1.states.len());
+    }
+}

@@ -1,0 +1,429 @@
+//! Recursive-descent parser for the supported regex dialect.
+//!
+//! Supported syntax (sufficient for every user constraint in Table 3 of the
+//! paper): literals, `\`-escapes (`\d \D \w \W \s \S` and escaped
+//! metacharacters), `.`, character classes `[...]` / `[^...]` with ranges,
+//! groups `(...)`, alternation `|`, the quantifiers `* + ?` and bounded
+//! repetition `{n}`, `{n,}`, `{n,m}` (whitespace inside braces is tolerated,
+//! as in the paper's `[0-9]{4, 4}`), and the anchors `^` / `$`.
+
+use std::fmt;
+
+use crate::ast::{Ast, CharClass};
+
+/// A regex syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the pattern where the error was detected.
+    pub position: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at offset {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse `pattern` into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    let ast = p.parse_alternation()?;
+    if p.pos != p.chars.len() {
+        return Err(p.error("unexpected trailing characters (unbalanced `)`?)"));
+    }
+    Ok(ast)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError { position: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.eat('|') {
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Ast::Alternate(branches) })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, ParseError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().unwrap(),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, ParseError> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                let save = self.pos;
+                match self.parse_braced_repeat() {
+                    Some(bounds) => bounds,
+                    None => {
+                        // Not a repetition (`{` used literally); restore.
+                        self.pos = save;
+                        return Ok(atom);
+                    }
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::StartAnchor | Ast::EndAnchor | Ast::Empty) {
+            return Err(self.error("quantifier applied to an anchor or empty expression"));
+        }
+        if let Some(max) = max {
+            if max < min {
+                return Err(self.error("repetition maximum is smaller than minimum"));
+            }
+        }
+        Ok(Ast::Repeat { node: Box::new(atom), min, max })
+    }
+
+    /// Parses `{n}`, `{n,}`, `{n,m}` (with optional spaces). Returns `None` if
+    /// the brace content is not a valid repetition, in which case the brace is
+    /// treated as a literal character by the caller.
+    fn parse_braced_repeat(&mut self) -> Option<(u32, Option<u32>)> {
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.bump();
+        self.skip_spaces();
+        let min = self.parse_number()?;
+        self.skip_spaces();
+        let result = if self.eat('}') {
+            (min, Some(min))
+        } else if self.eat(',') {
+            self.skip_spaces();
+            if self.eat('}') {
+                (min, None)
+            } else {
+                let max = self.parse_number()?;
+                self.skip_spaces();
+                if !self.eat('}') {
+                    return None;
+                }
+                (min, Some(max))
+            }
+        } else {
+            return None;
+        };
+        Some(result)
+    }
+
+    fn skip_spaces(&mut self) {
+        while self.peek() == Some(' ') {
+            self.bump();
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return None;
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        s.parse().ok()
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, ParseError> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.parse_alternation()?;
+                if !self.eat(')') {
+                    return Err(self.error("missing closing `)`"));
+                }
+                Ok(Ast::Group(Box::new(inner)))
+            }
+            Some('[') => {
+                self.bump();
+                self.parse_class().map(Ast::Class)
+            }
+            Some('.') => {
+                self.bump();
+                Ok(Ast::Class(CharClass::any()))
+            }
+            Some('^') => {
+                self.bump();
+                Ok(Ast::StartAnchor)
+            }
+            Some('$') => {
+                self.bump();
+                Ok(Ast::EndAnchor)
+            }
+            Some('\\') => {
+                self.bump();
+                self.parse_escape()
+            }
+            Some('*') | Some('+') | Some('?') => Err(self.error("quantifier with nothing to repeat")),
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Literal(c))
+            }
+            None => Ok(Ast::Empty),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, ParseError> {
+        let c = self.bump().ok_or_else(|| self.error("dangling escape at end of pattern"))?;
+        Ok(match c {
+            'd' => Ast::Class(CharClass::digit()),
+            'D' => Ast::Class(CharClass::digit().negate()),
+            'w' => Ast::Class(CharClass::word()),
+            'W' => Ast::Class(CharClass::word().negate()),
+            's' => Ast::Class(CharClass::space()),
+            'S' => Ast::Class(CharClass::space().negate()),
+            'n' => Ast::Literal('\n'),
+            't' => Ast::Literal('\t'),
+            'r' => Ast::Literal('\r'),
+            other => Ast::Literal(other),
+        })
+    }
+
+    fn parse_class(&mut self) -> Result<CharClass, ParseError> {
+        let negated = self.eat('^');
+        let mut class = CharClass::new(negated);
+        let mut first = true;
+        loop {
+            let c = self.bump().ok_or_else(|| self.error("unterminated character class"))?;
+            match c {
+                ']' if !first => break,
+                '\\' => {
+                    let e = self.bump().ok_or_else(|| self.error("dangling escape in character class"))?;
+                    match e {
+                        'd' => class.extend(&CharClass::digit()),
+                        'w' => class.extend(&CharClass::word()),
+                        's' => class.extend(&CharClass::space()),
+                        'n' => class.push_char('\n'),
+                        't' => class.push_char('\t'),
+                        'r' => class.push_char('\r'),
+                        other => class.push_char(other),
+                    }
+                }
+                lo => {
+                    // Possible range `lo-hi` (a trailing `-` is a literal).
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1).copied().map_or(false, |h| h != ']') {
+                        self.bump(); // '-'
+                        let hi = self.bump().ok_or_else(|| self.error("unterminated character range"))?;
+                        if hi < lo {
+                            return Err(self.error("invalid character range (end before start)"));
+                        }
+                        class.push_range(lo, hi);
+                    } else {
+                        class.push_char(lo);
+                    }
+                }
+            }
+            first = false;
+        }
+        Ok(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_literal_concat() {
+        let ast = parse("abc").unwrap();
+        assert_eq!(ast, Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b'), Ast::Literal('c')]));
+    }
+
+    #[test]
+    fn parse_empty_pattern() {
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+    }
+
+    #[test]
+    fn parse_alternation_and_groups() {
+        let ast = parse("a|bc").unwrap();
+        match ast {
+            Ast::Alternate(branches) => assert_eq!(branches.len(), 2),
+            other => panic!("expected alternation, got {other:?}"),
+        }
+        assert!(matches!(parse("(ab)+").unwrap(), Ast::Repeat { .. }));
+    }
+
+    #[test]
+    fn parse_quantifiers() {
+        assert!(matches!(parse("a*").unwrap(), Ast::Repeat { min: 0, max: None, .. }));
+        assert!(matches!(parse("a+").unwrap(), Ast::Repeat { min: 1, max: None, .. }));
+        assert!(matches!(parse("a?").unwrap(), Ast::Repeat { min: 0, max: Some(1), .. }));
+    }
+
+    #[test]
+    fn parse_braced_repeats() {
+        assert!(matches!(parse("a{3}").unwrap(), Ast::Repeat { min: 3, max: Some(3), .. }));
+        assert!(matches!(parse("a{2,}").unwrap(), Ast::Repeat { min: 2, max: None, .. }));
+        assert!(matches!(parse("a{2,5}").unwrap(), Ast::Repeat { min: 2, max: Some(5), .. }));
+        // The paper writes `{4, 4}` with an interior space.
+        assert!(matches!(parse("[0-9]{4, 4}").unwrap(), Ast::Repeat { min: 4, max: Some(4), .. }));
+    }
+
+    #[test]
+    fn brace_not_a_repeat_is_literal() {
+        let ast = parse("a{x}").unwrap();
+        // `{`, `x`, `}` are literals.
+        assert_eq!(ast.size(), 5);
+    }
+
+    #[test]
+    fn parse_classes() {
+        let ast = parse("[a-z0-9_]").unwrap();
+        match ast {
+            Ast::Class(c) => {
+                assert!(c.matches('m'));
+                assert!(c.matches('5'));
+                assert!(c.matches('_'));
+                assert!(!c.matches('A'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_negated_class_and_leading_bracket() {
+        match parse("[^,]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.matches('x'));
+                assert!(!c.matches(','));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A `]` immediately after `[` is a literal member.
+        match parse("[]a]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.matches(']'));
+                assert!(c.matches('a'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_class_with_escapes_and_trailing_dash() {
+        match parse(r"[\d\-]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.matches('3'));
+                assert!(c.matches('-'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse("[a-]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.matches('a'));
+                assert!(c.matches('-'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_escapes() {
+        assert_eq!(parse(r"\.").unwrap(), Ast::Literal('.'));
+        assert_eq!(parse(r"\\").unwrap(), Ast::Literal('\\'));
+        assert!(matches!(parse(r"\d").unwrap(), Ast::Class(_)));
+        assert!(matches!(parse(r"\S").unwrap(), Ast::Class(_)));
+    }
+
+    #[test]
+    fn parse_anchors() {
+        let ast = parse("^abc$").unwrap();
+        match ast {
+            Ast::Concat(items) => {
+                assert_eq!(items[0], Ast::StartAnchor);
+                assert_eq!(items[4], Ast::EndAnchor);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("(ab").is_err());
+        assert!(parse("ab)").is_err());
+        assert!(parse("[abc").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse(r"abc\").is_err());
+        assert!(parse("a{5,2}").is_err());
+        assert!(parse("[z-a]").is_err());
+        assert!(parse("^*").is_err());
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let err = parse("(ab").unwrap_err();
+        assert!(err.to_string().contains("missing closing"));
+    }
+
+    #[test]
+    fn parse_paper_patterns() {
+        // Every pattern from Table 3 of the paper must at least parse.
+        let patterns = [
+            r"^([1-9][0-9]{4,4})$",
+            r"^([1-9][0-9]{9,9})$",
+            r"([1-9]:[0-5][0-9][ap]\.m\.|1[0-2]:[0-5][0-9][ap]\.m\.|0[1-9]:[0-5][0-9][ap]\.m\.)",
+            r"([1][9][6-9][0-9])",
+            r"([2][0][0-9][0-9])",
+            r"\d+\.\d+|(\d+)",
+        ];
+        for p in patterns {
+            assert!(parse(p).is_ok(), "pattern failed to parse: {p}");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Abstract syntax tree of the constraint-expression language.
+
+use std::fmt;
+
+/// A literal value appearing in an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A numeric literal.
+    Number(f64),
+    /// A string literal.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+` (numeric addition or string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Less,
+    /// `<=`
+    LessEq,
+    /// `>`
+    Greater,
+    /// `>=`
+    GreaterEq,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Rem => "%",
+            BinaryOp::Eq => "==",
+            BinaryOp::NotEq => "!=",
+            BinaryOp::Less => "<",
+            BinaryOp::LessEq => "<=",
+            BinaryOp::Greater => ">",
+            BinaryOp::GreaterEq => ">=",
+            BinaryOp::And => "&&",
+            BinaryOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical negation `!`.
+    Not,
+    /// Numeric negation `-`.
+    Neg,
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Literal),
+    /// A reference to an attribute of the tuple being checked (or the
+    /// pseudo-attribute `value` for single-cell rules).
+    Ident(String),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A call to one of the built-in functions, e.g. `len(ZipCode)`.
+    Call {
+        /// Lower-cased function name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Every identifier referenced by the expression, in first-appearance order.
+    pub fn identifiers(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_identifiers(&mut out);
+        out
+    }
+
+    fn collect_identifiers<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Ident(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            Expr::Unary { expr, .. } => expr.collect_identifiers(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_identifiers(out);
+                rhs.collect_identifiers(out);
+            }
+            Expr::Call { args, .. } => {
+                for arg in args {
+                    arg.collect_identifiers(out);
+                }
+            }
+        }
+    }
+
+    /// Every string literal used as the pattern argument of `matches(...)`.
+    /// These are pre-compiled once when the rule is compiled.
+    pub fn regex_patterns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_patterns(&mut out);
+        out
+    }
+
+    fn collect_patterns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Literal(_) | Expr::Ident(_) => {}
+            Expr::Unary { expr, .. } => expr.collect_patterns(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_patterns(out);
+                rhs.collect_patterns(out);
+            }
+            Expr::Call { name, args } => {
+                if name == "matches" && args.len() == 2 {
+                    if let Expr::Literal(Literal::Str(pattern)) = &args[1] {
+                        if !out.contains(&pattern.as_str()) {
+                            out.push(pattern);
+                        }
+                    }
+                }
+                for arg in args {
+                    arg.collect_patterns(out);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree (used to bound rule complexity in tests).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Literal(_) | Expr::Ident(_) => 1,
+            Expr::Unary { expr, .. } => 1 + expr.size(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.size() + rhs.size(),
+            Expr::Call { args, .. } => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(Literal::Number(n)) => write!(f, "{n}"),
+            Expr::Literal(Literal::Str(s)) => write!(f, "{s:?}"),
+            Expr::Literal(Literal::Bool(b)) => write!(f, "{b}"),
+            Expr::Literal(Literal::Null) => write!(f, "null"),
+            Expr::Ident(name) => write!(f, "{name}"),
+            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "!({expr})"),
+            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "-({expr})"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{arg}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Expr {
+        // len(ZipCode) == 5 && num(abv) <= 20
+        Expr::Binary {
+            op: BinaryOp::And,
+            lhs: Box::new(Expr::Binary {
+                op: BinaryOp::Eq,
+                lhs: Box::new(Expr::Call {
+                    name: "len".into(),
+                    args: vec![Expr::Ident("ZipCode".into())],
+                }),
+                rhs: Box::new(Expr::Literal(Literal::Number(5.0))),
+            }),
+            rhs: Box::new(Expr::Binary {
+                op: BinaryOp::LessEq,
+                lhs: Box::new(Expr::Call { name: "num".into(), args: vec![Expr::Ident("abv".into())] }),
+                rhs: Box::new(Expr::Literal(Literal::Number(20.0))),
+            }),
+        }
+    }
+
+    #[test]
+    fn identifiers_are_collected_once() {
+        let expr = Expr::Binary {
+            op: BinaryOp::Or,
+            lhs: Box::new(Expr::Ident("a".into())),
+            rhs: Box::new(Expr::Binary {
+                op: BinaryOp::Eq,
+                lhs: Box::new(Expr::Ident("a".into())),
+                rhs: Box::new(Expr::Ident("b".into())),
+            }),
+        };
+        assert_eq!(expr.identifiers(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn regex_patterns_are_collected() {
+        let expr = Expr::Call {
+            name: "matches".into(),
+            args: vec![Expr::Ident("Zip".into()), Expr::Literal(Literal::Str("[0-9]{5}".into()))],
+        };
+        assert_eq!(expr.regex_patterns(), vec!["[0-9]{5}"]);
+        assert!(sample().regex_patterns().is_empty());
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Expr::Ident("x".into()).size(), 1);
+        assert_eq!(sample().size(), 9);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let printed = sample().to_string();
+        assert!(printed.contains("len(ZipCode)"));
+        assert!(printed.contains("&&"));
+        assert!(printed.contains("<="));
+    }
+}

@@ -1,0 +1,607 @@
+//! Evaluation of constraint expressions against cell values and tuples.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bclean_data::{Schema, Value};
+use bclean_regex::Regex;
+
+use crate::ast::{BinaryOp, Expr, Literal, UnaryOp};
+use crate::parser::{parse, ParseError};
+
+/// The result of evaluating an expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprValue {
+    /// A number.
+    Number(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// Null / missing.
+    Null,
+}
+
+impl ExprValue {
+    /// Truthiness used by the boolean connectives and by rule checking:
+    /// `false`, `0`, the empty string and `null` are falsy, everything else
+    /// is truthy.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            ExprValue::Bool(b) => *b,
+            ExprValue::Number(n) => *n != 0.0,
+            ExprValue::Str(s) => !s.is_empty(),
+            ExprValue::Null => false,
+        }
+    }
+
+    /// Numeric view, if one exists.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            ExprValue::Number(n) => Some(*n),
+            ExprValue::Str(s) => s.trim().parse::<f64>().ok().filter(|n| n.is_finite()),
+            ExprValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            ExprValue::Null => None,
+        }
+    }
+
+    /// Textual view. Null renders as the empty string.
+    pub fn as_text(&self) -> String {
+        match self {
+            ExprValue::Number(n) => bclean_data::format_number(*n),
+            ExprValue::Str(s) => s.clone(),
+            ExprValue::Bool(b) => b.to_string(),
+            ExprValue::Null => String::new(),
+        }
+    }
+
+    /// Convert a dataset cell value into an expression value.
+    pub fn from_cell(value: &Value) -> ExprValue {
+        match value {
+            Value::Null => ExprValue::Null,
+            Value::Number(n) => ExprValue::Number(*n),
+            Value::Text(s) => ExprValue::Str(s.clone()),
+        }
+    }
+}
+
+/// An error produced while compiling or evaluating a rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleError {
+    /// The source did not parse.
+    Parse(ParseError),
+    /// A `matches(...)` pattern did not compile.
+    Regex {
+        /// The offending pattern.
+        pattern: String,
+        /// The regex engine's message.
+        message: String,
+    },
+    /// A call to an unknown function.
+    UnknownFunction(String),
+    /// A call with the wrong number of arguments.
+    Arity {
+        /// The function name.
+        function: String,
+        /// The expected argument count.
+        expected: usize,
+        /// The supplied argument count.
+        actual: usize,
+    },
+    /// The second argument of `matches(...)` must be a string literal so the
+    /// pattern can be pre-compiled.
+    NonLiteralPattern,
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::Parse(err) => write!(f, "{err}"),
+            RuleError::Regex { pattern, message } => write!(f, "invalid pattern {pattern:?}: {message}"),
+            RuleError::UnknownFunction(name) => write!(f, "unknown function {name:?}"),
+            RuleError::Arity { function, expected, actual } => {
+                write!(f, "{function}() takes {expected} argument(s), got {actual}")
+            }
+            RuleError::NonLiteralPattern => {
+                write!(f, "the pattern argument of matches() must be a string literal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+impl From<ParseError> for RuleError {
+    fn from(err: ParseError) -> RuleError {
+        RuleError::Parse(err)
+    }
+}
+
+/// Built-in function names and their arities, used for compile-time validation.
+const FUNCTIONS: &[(&str, usize)] = &[
+    ("len", 1),
+    ("lower", 1),
+    ("upper", 1),
+    ("trim", 1),
+    ("abs", 1),
+    ("floor", 1),
+    ("ceil", 1),
+    ("round", 1),
+    ("num", 1),
+    ("is_null", 1),
+    ("is_number", 1),
+    ("starts_with", 2),
+    ("ends_with", 2),
+    ("contains", 2),
+    ("matches", 2),
+    ("min", 2),
+    ("max", 2),
+    ("if", 3),
+];
+
+/// A compiled, reusable rule: a parsed expression plus pre-compiled regexes.
+///
+/// Rules are evaluated against either a single cell value (the identifier
+/// `value`) or a whole tuple (identifiers are attribute names, resolved
+/// case-insensitively against the schema).
+#[derive(Debug, Clone)]
+pub struct Rule {
+    source: String,
+    expr: Expr,
+    regexes: HashMap<String, Regex>,
+}
+
+impl Rule {
+    /// Compile a rule from its source text.
+    pub fn compile(source: &str) -> Result<Rule, RuleError> {
+        let expr = parse(source)?;
+        validate_calls(&expr)?;
+        let mut regexes = HashMap::new();
+        for pattern in expr.regex_patterns() {
+            let regex = Regex::new(pattern).map_err(|err| RuleError::Regex {
+                pattern: pattern.to_string(),
+                message: err.to_string(),
+            })?;
+            regexes.insert(pattern.to_string(), regex);
+        }
+        Ok(Rule { source: source.to_string(), expr, regexes })
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parsed expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The attribute names referenced by the rule (including `value`, if used).
+    pub fn referenced_attributes(&self) -> Vec<&str> {
+        self.expr.identifiers()
+    }
+
+    /// True when the rule only references the pseudo-attribute `value` (and
+    /// can therefore be attached to a single column).
+    pub fn is_single_value(&self) -> bool {
+        self.expr.identifiers().iter().all(|name| name.eq_ignore_ascii_case("value"))
+    }
+
+    /// Evaluate the rule against a single cell value bound to `value`.
+    pub fn eval_value(&self, value: &Value) -> ExprValue {
+        self.eval_with(&|name| {
+            if name.eq_ignore_ascii_case("value") {
+                Some(ExprValue::from_cell(value))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// `UC(value)`: the rule holds for a single cell value.
+    pub fn check_value(&self, value: &Value) -> bool {
+        self.eval_value(value).is_truthy()
+    }
+
+    /// Evaluate the rule against a whole tuple. Identifiers resolve to the
+    /// tuple's attribute values (case-insensitive); `value` is not bound.
+    pub fn eval_row(&self, schema: &Schema, row: &[Value]) -> ExprValue {
+        self.eval_with(&|name| {
+            schema
+                .names()
+                .iter()
+                .position(|attr| attr.eq_ignore_ascii_case(name))
+                .and_then(|col| row.get(col))
+                .map(ExprValue::from_cell)
+        })
+    }
+
+    /// `UC(tuple)`: the rule holds for a whole tuple.
+    pub fn check_row(&self, schema: &Schema, row: &[Value]) -> bool {
+        self.eval_row(schema, row).is_truthy()
+    }
+
+    /// Evaluate with an arbitrary identifier resolver. Unresolved identifiers
+    /// evaluate to [`ExprValue::Null`].
+    pub fn eval_with(&self, resolver: &dyn Fn(&str) -> Option<ExprValue>) -> ExprValue {
+        eval_expr(&self.expr, resolver, &self.regexes)
+    }
+}
+
+fn validate_calls(expr: &Expr) -> Result<(), RuleError> {
+    match expr {
+        Expr::Literal(_) | Expr::Ident(_) => Ok(()),
+        Expr::Unary { expr, .. } => validate_calls(expr),
+        Expr::Binary { lhs, rhs, .. } => {
+            validate_calls(lhs)?;
+            validate_calls(rhs)
+        }
+        Expr::Call { name, args } => {
+            let spec = FUNCTIONS.iter().find(|(n, _)| n == name);
+            match spec {
+                None => return Err(RuleError::UnknownFunction(name.clone())),
+                Some((_, arity)) if *arity != args.len() => {
+                    return Err(RuleError::Arity { function: name.clone(), expected: *arity, actual: args.len() })
+                }
+                _ => {}
+            }
+            if name == "matches" && !matches!(args[1], Expr::Literal(Literal::Str(_))) {
+                return Err(RuleError::NonLiteralPattern);
+            }
+            for arg in args {
+                validate_calls(arg)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn eval_expr(
+    expr: &Expr,
+    resolver: &dyn Fn(&str) -> Option<ExprValue>,
+    regexes: &HashMap<String, Regex>,
+) -> ExprValue {
+    match expr {
+        Expr::Literal(Literal::Number(n)) => ExprValue::Number(*n),
+        Expr::Literal(Literal::Str(s)) => ExprValue::Str(s.clone()),
+        Expr::Literal(Literal::Bool(b)) => ExprValue::Bool(*b),
+        Expr::Literal(Literal::Null) => ExprValue::Null,
+        Expr::Ident(name) => resolver(name).unwrap_or(ExprValue::Null),
+        Expr::Unary { op: UnaryOp::Not, expr } => {
+            ExprValue::Bool(!eval_expr(expr, resolver, regexes).is_truthy())
+        }
+        Expr::Unary { op: UnaryOp::Neg, expr } => match eval_expr(expr, resolver, regexes).as_number() {
+            Some(n) => ExprValue::Number(-n),
+            None => ExprValue::Null,
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            // Short-circuit the boolean connectives.
+            match op {
+                BinaryOp::And => {
+                    let left = eval_expr(lhs, resolver, regexes);
+                    if !left.is_truthy() {
+                        return ExprValue::Bool(false);
+                    }
+                    return ExprValue::Bool(eval_expr(rhs, resolver, regexes).is_truthy());
+                }
+                BinaryOp::Or => {
+                    let left = eval_expr(lhs, resolver, regexes);
+                    if left.is_truthy() {
+                        return ExprValue::Bool(true);
+                    }
+                    return ExprValue::Bool(eval_expr(rhs, resolver, regexes).is_truthy());
+                }
+                _ => {}
+            }
+            let left = eval_expr(lhs, resolver, regexes);
+            let right = eval_expr(rhs, resolver, regexes);
+            eval_binary(*op, &left, &right)
+        }
+        Expr::Call { name, args } => {
+            let values: Vec<ExprValue> = args.iter().map(|arg| eval_expr(arg, resolver, regexes)).collect();
+            eval_call(name, args, &values, regexes)
+        }
+    }
+}
+
+fn eval_binary(op: BinaryOp, left: &ExprValue, right: &ExprValue) -> ExprValue {
+    match op {
+        BinaryOp::Add => match (left.as_number(), right.as_number()) {
+            (Some(a), Some(b)) => ExprValue::Number(a + b),
+            _ => {
+                if matches!(left, ExprValue::Null) || matches!(right, ExprValue::Null) {
+                    ExprValue::Null
+                } else {
+                    ExprValue::Str(format!("{}{}", left.as_text(), right.as_text()))
+                }
+            }
+        },
+        BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Rem => {
+            match (left.as_number(), right.as_number()) {
+                (Some(a), Some(b)) => {
+                    let result = match op {
+                        BinaryOp::Sub => a - b,
+                        BinaryOp::Mul => a * b,
+                        BinaryOp::Div => {
+                            if b == 0.0 {
+                                return ExprValue::Null;
+                            }
+                            a / b
+                        }
+                        BinaryOp::Rem => {
+                            if b == 0.0 {
+                                return ExprValue::Null;
+                            }
+                            a % b
+                        }
+                        _ => unreachable!(),
+                    };
+                    ExprValue::Number(result)
+                }
+                _ => ExprValue::Null,
+            }
+        }
+        BinaryOp::Eq => ExprValue::Bool(values_equal(left, right)),
+        BinaryOp::NotEq => ExprValue::Bool(!values_equal(left, right)),
+        BinaryOp::Less | BinaryOp::LessEq | BinaryOp::Greater | BinaryOp::GreaterEq => {
+            let ordering = compare(left, right);
+            match ordering {
+                None => ExprValue::Bool(false),
+                Some(ord) => {
+                    let holds = match op {
+                        BinaryOp::Less => ord.is_lt(),
+                        BinaryOp::LessEq => ord.is_le(),
+                        BinaryOp::Greater => ord.is_gt(),
+                        BinaryOp::GreaterEq => ord.is_ge(),
+                        _ => unreachable!(),
+                    };
+                    ExprValue::Bool(holds)
+                }
+            }
+        }
+        BinaryOp::And | BinaryOp::Or => unreachable!("handled by the caller"),
+    }
+}
+
+fn values_equal(left: &ExprValue, right: &ExprValue) -> bool {
+    match (left, right) {
+        (ExprValue::Null, ExprValue::Null) => true,
+        (ExprValue::Null, _) | (_, ExprValue::Null) => false,
+        _ => match (left.as_number(), right.as_number()) {
+            (Some(a), Some(b)) => (a - b).abs() <= f64::EPSILON * a.abs().max(b.abs()).max(1.0),
+            _ => left.as_text() == right.as_text(),
+        },
+    }
+}
+
+fn compare(left: &ExprValue, right: &ExprValue) -> Option<std::cmp::Ordering> {
+    if matches!(left, ExprValue::Null) || matches!(right, ExprValue::Null) {
+        return None;
+    }
+    match (left.as_number(), right.as_number()) {
+        (Some(a), Some(b)) => a.partial_cmp(&b),
+        _ => Some(left.as_text().cmp(&right.as_text())),
+    }
+}
+
+fn eval_call(name: &str, args: &[Expr], values: &[ExprValue], regexes: &HashMap<String, Regex>) -> ExprValue {
+    match name {
+        "len" => ExprValue::Number(values[0].as_text().chars().count() as f64),
+        "lower" => ExprValue::Str(values[0].as_text().to_lowercase()),
+        "upper" => ExprValue::Str(values[0].as_text().to_uppercase()),
+        "trim" => ExprValue::Str(values[0].as_text().trim().to_string()),
+        "abs" => values[0].as_number().map(|n| ExprValue::Number(n.abs())).unwrap_or(ExprValue::Null),
+        "floor" => values[0].as_number().map(|n| ExprValue::Number(n.floor())).unwrap_or(ExprValue::Null),
+        "ceil" => values[0].as_number().map(|n| ExprValue::Number(n.ceil())).unwrap_or(ExprValue::Null),
+        "round" => values[0].as_number().map(|n| ExprValue::Number(n.round())).unwrap_or(ExprValue::Null),
+        "num" => values[0].as_number().map(ExprValue::Number).unwrap_or(ExprValue::Null),
+        "is_null" => ExprValue::Bool(matches!(values[0], ExprValue::Null)),
+        "is_number" => ExprValue::Bool(values[0].as_number().is_some()),
+        "starts_with" => ExprValue::Bool(values[0].as_text().starts_with(&values[1].as_text())),
+        "ends_with" => ExprValue::Bool(values[0].as_text().ends_with(&values[1].as_text())),
+        "contains" => ExprValue::Bool(values[0].as_text().contains(&values[1].as_text())),
+        "matches" => {
+            let pattern = match &args[1] {
+                Expr::Literal(Literal::Str(p)) => p,
+                _ => return ExprValue::Bool(false),
+            };
+            match regexes.get(pattern) {
+                Some(regex) => ExprValue::Bool(regex.is_full_match(&values[0].as_text())),
+                None => ExprValue::Bool(false),
+            }
+        }
+        "min" => match (values[0].as_number(), values[1].as_number()) {
+            (Some(a), Some(b)) => ExprValue::Number(a.min(b)),
+            _ => ExprValue::Null,
+        },
+        "max" => match (values[0].as_number(), values[1].as_number()) {
+            (Some(a), Some(b)) => ExprValue::Number(a.max(b)),
+            _ => ExprValue::Null,
+        },
+        "if" => {
+            if values[0].is_truthy() {
+                values[1].clone()
+            } else {
+                values[2].clone()
+            }
+        }
+        // Unknown functions are rejected at compile time.
+        _ => ExprValue::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::dataset_from;
+
+    fn check(source: &str, value: &Value) -> bool {
+        Rule::compile(source).unwrap().check_value(value)
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        assert!(check("1 + 2 * 3 == 7", &Value::Null));
+        assert!(check("(1 + 2) * 3 == 9", &Value::Null));
+        assert!(check("10 / 4 == 2.5", &Value::Null));
+        assert!(check("10 % 3 == 1", &Value::Null));
+        assert!(check("2 - 5 == -3", &Value::Null));
+        assert!(!check("1 > 2", &Value::Null));
+        assert!(check("2 >= 2 && 2 <= 2 && 1 < 2 && 3 > 2", &Value::Null));
+    }
+
+    #[test]
+    fn division_by_zero_is_null_and_falsy() {
+        assert!(!check("1 / 0 > 0", &Value::Null));
+        assert!(!check("5 % 0 > 0", &Value::Null));
+        assert!(check("is_null(1 / 0)", &Value::Null));
+        assert!(check("is_null(5 % 0)", &Value::Null));
+    }
+
+    #[test]
+    fn value_identifier_binds_the_cell() {
+        let v = Value::parse("35150");
+        assert!(check("len(value) == 5", &v));
+        assert!(check("num(value) >= 10000 && num(value) <= 99999", &v));
+        assert!(check("value == 35150", &v));
+        assert!(!check("value == 99999", &v));
+    }
+
+    #[test]
+    fn string_functions() {
+        let v = Value::text("Sylacauga");
+        assert!(check("lower(value) == 'sylacauga'", &v));
+        assert!(check("upper(value) == 'SYLACAUGA'", &v));
+        assert!(check("starts_with(value, 'Syl')", &v));
+        assert!(check("ends_with(value, 'gauga') == false", &v));
+        assert!(check("contains(lower(value), 'caug')", &v));
+        assert!(check("trim('  x  ') == 'x'", &Value::Null));
+        assert!(check("len(value) == 9", &v));
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert!(check("abs(-3) == 3", &Value::Null));
+        assert!(check("floor(2.7) == 2 && ceil(2.1) == 3 && round(2.5) == 3", &Value::Null));
+        assert!(check("min(3, 5) == 3 && max(3, 5) == 5", &Value::Null));
+        assert!(check("is_number(value)", &Value::number(12.0)));
+        assert!(!check("is_number(value)", &Value::text("abc")));
+    }
+
+    #[test]
+    fn null_handling() {
+        assert!(check("is_null(value)", &Value::Null));
+        assert!(!check("is_null(value)", &Value::text("x")));
+        assert!(check("value == null", &Value::Null));
+        assert!(!check("value == null", &Value::text("x")));
+        // Comparisons against null are false; arithmetic with null is null.
+        assert!(!check("value > 3", &Value::Null));
+        assert!(check("is_null(value + 1)", &Value::Null));
+    }
+
+    #[test]
+    fn regex_matching() {
+        let rule = Rule::compile("matches(value, '[1-9][0-9]{4}')").unwrap();
+        assert!(rule.check_value(&Value::parse("35150")));
+        assert!(!rule.check_value(&Value::text("3515")));
+        assert!(!rule.check_value(&Value::text("3515x")));
+        // Null matches nothing but also violates nothing unless required.
+        assert!(!rule.check_value(&Value::Null));
+    }
+
+    #[test]
+    fn string_concatenation_with_plus() {
+        assert!(check("'a' + 'b' == 'ab'", &Value::Null));
+        assert!(check("value + '!' == 'hi!'", &Value::text("hi")));
+    }
+
+    #[test]
+    fn if_function_selects_branch() {
+        assert!(check("if(len(value) == 5, true, false)", &Value::parse("35150")));
+        assert!(check("if(is_null(value), 1, 0) == 0", &Value::text("x")));
+    }
+
+    #[test]
+    fn truthiness_rules() {
+        assert!(check("1", &Value::Null));
+        assert!(!check("0", &Value::Null));
+        assert!(check("'non-empty'", &Value::Null));
+        assert!(!check("''", &Value::Null));
+        assert!(!check("null", &Value::Null));
+        assert!(check("!null", &Value::Null));
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // The right operand would be null-ish, but short-circuiting skips it.
+        assert!(check("true || (1 / 0 == 1)", &Value::Null));
+        assert!(!check("false && (1 / 0 == 1)", &Value::Null));
+    }
+
+    #[test]
+    fn row_rules_resolve_attributes() {
+        let data = dataset_from(
+            &["ounces", "abv", "brewery"],
+            &[vec!["12", "0.05", "pinhole"], vec!["12", "-1", "pinhole"]],
+        );
+        let rule = Rule::compile("num(abv) >= 0 && num(abv) <= 1 && num(ounces) > 0").unwrap();
+        assert!(rule.check_row(data.schema(), data.row(0).unwrap()));
+        assert!(!rule.check_row(data.schema(), data.row(1).unwrap()));
+        assert_eq!(rule.referenced_attributes(), vec!["abv", "ounces"]);
+        assert!(!rule.is_single_value());
+    }
+
+    #[test]
+    fn attribute_resolution_is_case_insensitive() {
+        let data = dataset_from(&["ZipCode"], &[vec!["35150"]]);
+        let rule = Rule::compile("len(zipcode) == 5").unwrap();
+        assert!(rule.check_row(data.schema(), data.row(0).unwrap()));
+    }
+
+    #[test]
+    fn unresolved_identifiers_evaluate_to_null() {
+        let data = dataset_from(&["a"], &[vec!["1"]]);
+        let rule = Rule::compile("is_null(missing_column)").unwrap();
+        assert!(rule.check_row(data.schema(), data.row(0).unwrap()));
+    }
+
+    #[test]
+    fn single_value_detection() {
+        assert!(Rule::compile("len(value) <= 5").unwrap().is_single_value());
+        assert!(Rule::compile("1 == 1").unwrap().is_single_value());
+        assert!(!Rule::compile("a == b").unwrap().is_single_value());
+    }
+
+    #[test]
+    fn compile_time_validation() {
+        assert!(matches!(Rule::compile("foo(1)"), Err(RuleError::UnknownFunction(_))));
+        assert!(matches!(
+            Rule::compile("len(1, 2)"),
+            Err(RuleError::Arity { expected: 1, actual: 2, .. })
+        ));
+        assert!(matches!(Rule::compile("matches(value, a)"), Err(RuleError::NonLiteralPattern)));
+        assert!(matches!(Rule::compile("1 +"), Err(RuleError::Parse(_))));
+        assert!(matches!(Rule::compile("matches(value, '[')"), Err(RuleError::Regex { .. })));
+    }
+
+    #[test]
+    fn rule_exposes_source_and_expr() {
+        let rule = Rule::compile("len(value) == 5").unwrap();
+        assert_eq!(rule.source(), "len(value) == 5");
+        assert_eq!(rule.expr().size(), 4);
+    }
+
+    #[test]
+    fn numeric_equality_uses_tolerance() {
+        assert!(check("0.1 + 0.2 == 0.3", &Value::Null));
+        assert!(check("1e9 + 1 != 1e9", &Value::Null));
+    }
+
+    #[test]
+    fn mixed_type_comparison_falls_back_to_text() {
+        assert!(check("'abc' < 'abd'", &Value::Null));
+        assert!(check("'10' == 10", &Value::Null));
+        assert!(check("'b' > 'a'", &Value::Null));
+    }
+}

@@ -1,0 +1,58 @@
+//! # bclean-rules
+//!
+//! An expression language for BClean user constraints.
+//!
+//! The BClean paper defines a user constraint (UC) as *any* function with a
+//! binary output over a cell, a tuple or a dataset (§2) and explicitly lists
+//! arithmetic expressions and dependency rules as admissible forms beyond the
+//! simple length / null / pattern constraints. This crate provides that
+//! richer form: a small, safe expression language with
+//!
+//! * arithmetic (`+ - * / %`), comparisons and boolean connectives,
+//! * string helpers (`len`, `lower`, `upper`, `trim`, `starts_with`,
+//!   `ends_with`, `contains`),
+//! * numeric helpers (`num`, `abs`, `floor`, `ceil`, `round`, `min`, `max`),
+//! * null handling (`is_null`, `is_number`, the `null` literal),
+//! * full-match regular expressions via `matches(x, "pattern")` (compiled
+//!   once, using the `bclean-regex` engine), and
+//! * a conditional `if(cond, a, b)`.
+//!
+//! Rules are compiled once into a [`Rule`] and then checked against either a
+//! single cell (the pseudo-attribute `value`) or a whole tuple (identifiers
+//! resolve to attribute names):
+//!
+//! ```
+//! use bclean_rules::Rule;
+//! use bclean_data::{dataset_from, Value};
+//!
+//! // A single-cell rule, attachable to one column:
+//! let zip = Rule::compile("matches(value, '[1-9][0-9]{4}') && len(value) == 5").unwrap();
+//! assert!(zip.check_value(&Value::parse("35150")));
+//! assert!(!zip.check_value(&Value::text("3515x")));
+//!
+//! // A tuple-level rule relating two attributes:
+//! let data = dataset_from(&["ounces", "abv"], &[vec!["12", "0.05"], vec!["0", "0.05"]]);
+//! let positive = Rule::compile("num(ounces) > 0 && num(abv) >= 0 && num(abv) <= 1").unwrap();
+//! assert!(positive.check_row(data.schema(), data.row(0).unwrap()));
+//! assert!(!positive.check_row(data.schema(), data.row(1).unwrap()));
+//! ```
+//!
+//! `bclean-core` integrates this crate as [`UserConstraint::expression`] for
+//! per-attribute rules and as row rules inside its `ConstraintSet`, so that
+//! expression constraints participate in candidate filtering and in the
+//! tuple-confidence term of the compensatory score exactly like the built-in
+//! constraint forms.
+//!
+//! [`UserConstraint::expression`]: https://docs.rs/bclean-core
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod token;
+
+pub use ast::{BinaryOp, Expr, Literal, UnaryOp};
+pub use eval::{ExprValue, Rule, RuleError};
+pub use parser::{parse, ParseError};
+pub use token::{tokenize, LexError, Token, TokenKind};

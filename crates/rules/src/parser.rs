@@ -1,0 +1,380 @@
+//! Recursive-descent parser for the constraint-expression language.
+//!
+//! Grammar (highest precedence last):
+//!
+//! ```text
+//! expr        := or_expr
+//! or_expr     := and_expr ( "||" and_expr )*
+//! and_expr    := cmp_expr ( "&&" cmp_expr )*
+//! cmp_expr    := add_expr ( ("==" | "!=" | "<" | "<=" | ">" | ">=") add_expr )?
+//! add_expr    := mul_expr ( ("+" | "-") mul_expr )*
+//! mul_expr    := unary_expr ( ("*" | "/" | "%") unary_expr )*
+//! unary_expr  := ("!" | "-")* primary
+//! primary     := NUMBER | STRING | "true" | "false" | "null"
+//!              | IDENT "(" args ")" | IDENT | "(" expr ")"
+//! ```
+
+use std::fmt;
+
+use crate::ast::{BinaryOp, Expr, Literal, UnaryOp};
+use crate::token::{tokenize, LexError, Token, TokenKind};
+
+/// An error produced while parsing an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The lexer rejected the source.
+    Lex(LexError),
+    /// The parser found an unexpected token.
+    Unexpected {
+        /// Description of what was found.
+        found: String,
+        /// Description of what was expected.
+        expected: String,
+        /// Byte offset of the offending token (source length for end-of-input).
+        offset: usize,
+    },
+    /// The source was empty.
+    Empty,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(err) => write!(f, "{err}"),
+            ParseError::Unexpected { found, expected, offset } => {
+                write!(f, "parse error at offset {offset}: expected {expected}, found {found}")
+            }
+            ParseError::Empty => write!(f, "empty expression"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(err: LexError) -> ParseError {
+        ParseError::Lex(err)
+    }
+}
+
+/// Parse an expression source string into an AST.
+pub fn parse(source: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(source)?;
+    if tokens.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let mut parser = Parser { tokens, pos: 0, source_len: source.len() };
+    let expr = parser.or_expr()?;
+    if let Some(token) = parser.peek() {
+        return Err(ParseError::Unexpected {
+            found: token.kind.to_string(),
+            expected: "end of expression".to_string(),
+            offset: token.offset,
+        });
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    source_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek().map(|t| &t.kind) == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("'{kind}'")))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        match self.peek() {
+            Some(token) => ParseError::Unexpected {
+                found: token.kind.to_string(),
+                expected: expected.to_string(),
+                offset: token.offset,
+            },
+            None => ParseError::Unexpected {
+                found: "end of expression".to_string(),
+                expected: expected.to_string(),
+                offset: self.source_len,
+            },
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinaryOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary { op: BinaryOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().map(|t| &t.kind) {
+            Some(TokenKind::EqEq) => Some(BinaryOp::Eq),
+            Some(TokenKind::NotEq) => Some(BinaryOp::NotEq),
+            Some(TokenKind::Less) => Some(BinaryOp::Less),
+            Some(TokenKind::LessEq) => Some(BinaryOp::LessEq),
+            Some(TokenKind::Greater) => Some(BinaryOp::Greater),
+            Some(TokenKind::GreaterEq) => Some(BinaryOp::GreaterEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            return Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Plus) => BinaryOp::Add,
+                Some(TokenKind::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Star) => BinaryOp::Mul,
+                Some(TokenKind::Slash) => BinaryOp::Div,
+                Some(TokenKind::Percent) => BinaryOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::Bang) {
+            let expr = self.unary_expr()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(expr) });
+        }
+        if self.eat(&TokenKind::Minus) {
+            let expr = self.unary_expr()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(expr) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let token = match self.advance() {
+            Some(token) => token,
+            None => return Err(self.unexpected("an expression")),
+        };
+        match token.kind {
+            TokenKind::Number(n) => Ok(Expr::Literal(Literal::Number(n))),
+            TokenKind::Str(s) => Ok(Expr::Literal(Literal::Str(s))),
+            TokenKind::LeftParen => {
+                let expr = self.or_expr()?;
+                self.expect(TokenKind::RightParen)?;
+                Ok(expr)
+            }
+            TokenKind::Ident(name) => {
+                match name.to_ascii_lowercase().as_str() {
+                    "true" => return Ok(Expr::Literal(Literal::Bool(true))),
+                    "false" => return Ok(Expr::Literal(Literal::Bool(false))),
+                    "null" => return Ok(Expr::Literal(Literal::Null)),
+                    _ => {}
+                }
+                if self.eat(&TokenKind::LeftParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RightParen) {
+                        loop {
+                            args.push(self.or_expr()?);
+                            if self.eat(&TokenKind::Comma) {
+                                continue;
+                            }
+                            self.expect(TokenKind::RightParen)?;
+                            break;
+                        }
+                    }
+                    Ok(Expr::Call { name: name.to_ascii_lowercase(), args })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            other => {
+                self.pos -= 1;
+                let _ = other;
+                Err(self.unexpected("a literal, identifier, function call or '('"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literals() {
+        assert_eq!(parse("42").unwrap(), Expr::Literal(Literal::Number(42.0)));
+        assert_eq!(parse("'abc'").unwrap(), Expr::Literal(Literal::Str("abc".into())));
+        assert_eq!(parse("true").unwrap(), Expr::Literal(Literal::Bool(true)));
+        assert_eq!(parse("FALSE").unwrap(), Expr::Literal(Literal::Bool(false)));
+        assert_eq!(parse("null").unwrap(), Expr::Literal(Literal::Null));
+    }
+
+    #[test]
+    fn parses_identifier_and_call() {
+        assert_eq!(parse("ZipCode").unwrap(), Expr::Ident("ZipCode".into()));
+        assert_eq!(
+            parse("len(ZipCode)").unwrap(),
+            Expr::Call { name: "len".into(), args: vec![Expr::Ident("ZipCode".into())] }
+        );
+        assert_eq!(parse("now()").unwrap(), Expr::Call { name: "now".into(), args: vec![] });
+    }
+
+    #[test]
+    fn call_names_are_lowercased() {
+        assert_eq!(
+            parse("LEN(x)").unwrap(),
+            Expr::Call { name: "len".into(), args: vec![Expr::Ident("x".into())] }
+        );
+    }
+
+    #[test]
+    fn precedence_and_before_or() {
+        // a || b && c  ==  a || (b && c)
+        let expr = parse("a || b && c").unwrap();
+        match expr {
+            Expr::Binary { op: BinaryOp::Or, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_arithmetic_before_comparison() {
+        // a + b * c == d  ==  (a + (b * c)) == d
+        let expr = parse("a + b * c == d").unwrap();
+        match expr {
+            Expr::Binary { op: BinaryOp::Eq, lhs, .. } => match *lhs {
+                Expr::Binary { op: BinaryOp::Add, rhs, .. } => {
+                    assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_unary_operators() {
+        assert_eq!(
+            parse("!a").unwrap(),
+            Expr::Unary { op: UnaryOp::Not, expr: Box::new(Expr::Ident("a".into())) }
+        );
+        assert_eq!(
+            parse("-3").unwrap(),
+            Expr::Unary { op: UnaryOp::Neg, expr: Box::new(Expr::Literal(Literal::Number(3.0))) }
+        );
+        assert_eq!(
+            parse("not a").unwrap(),
+            Expr::Unary { op: UnaryOp::Not, expr: Box::new(Expr::Ident("a".into())) }
+        );
+    }
+
+    #[test]
+    fn parses_parentheses() {
+        // (a || b) && c
+        let expr = parse("(a || b) && c").unwrap();
+        match expr {
+            Expr::Binary { op: BinaryOp::And, lhs, .. } => {
+                assert!(matches!(*lhs, Expr::Binary { op: BinaryOp::Or, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_argument_calls() {
+        let expr = parse("matches(ZipCode, '[0-9]{5}')").unwrap();
+        match expr {
+            Expr::Call { name, args } => {
+                assert_eq!(name, "matches");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keyword_connectives_parse_like_symbols() {
+        assert_eq!(parse("a and b or c").unwrap(), parse("a && b || c").unwrap());
+    }
+
+    #[test]
+    fn reports_errors_with_positions() {
+        assert_eq!(parse(""), Err(ParseError::Empty));
+        assert!(matches!(parse("1 +"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse("(1 + 2"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse("len(a"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse("1 2"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse("== 3"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse("a @ b"), Err(ParseError::Lex(_))));
+    }
+
+    #[test]
+    fn chained_comparisons_are_rejected() {
+        // Comparison is non-associative in this grammar.
+        assert!(parse("1 < 2 < 3").is_err());
+    }
+
+    #[test]
+    fn deeply_nested_expression_parses() {
+        let source = "((((((1 + 2) * 3) - 4) / 5) % 6) >= 0) && !(len(a) == 0 || a != 'x')";
+        assert!(parse(source).is_ok());
+    }
+}

@@ -1,0 +1,367 @@
+//! Lexer for the BClean constraint-expression language.
+//!
+//! The language is a small, side-effect-free expression grammar used to
+//! express the "arithmetic expression" form of user constraints the paper
+//! allows (§2): comparisons, boolean connectives, arithmetic, string and
+//! regex helpers over the attributes of a tuple (or the single pseudo
+//! attribute `value` when a rule is attached to one column).
+
+use std::fmt;
+
+/// A lexical token together with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind / payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token in the source string.
+    pub offset: usize,
+}
+
+/// The kinds of tokens the expression language understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A numeric literal (always lexed as `f64`).
+    Number(f64),
+    /// A string literal (single or double quoted).
+    Str(String),
+    /// An identifier: attribute name, function name, `true`, `false`, `null`.
+    Ident(String),
+    /// `(`
+    LeftParen,
+    /// `)`
+    RightParen,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Less,
+    /// `<=`
+    LessEq,
+    /// `>`
+    Greater,
+    /// `>=`
+    GreaterEq,
+    /// `&&` (or the keyword `and`)
+    AndAnd,
+    /// `||` (or the keyword `or`)
+    OrOr,
+    /// `!` (or the keyword `not`)
+    Bang,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::LeftParen => write!(f, "("),
+            TokenKind::RightParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::NotEq => write!(f, "!="),
+            TokenKind::Less => write!(f, "<"),
+            TokenKind::LessEq => write!(f, "<="),
+            TokenKind::Greater => write!(f, ">"),
+            TokenKind::GreaterEq => write!(f, ">="),
+            TokenKind::AndAnd => write!(f, "&&"),
+            TokenKind::OrOr => write!(f, "||"),
+            TokenKind::Bang => write!(f, "!"),
+        }
+    }
+}
+
+/// An error produced while lexing an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the offending character.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenise an expression source string.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LeftParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RightParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: i });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: i });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: i });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, offset: i });
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::EqEq, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected '==' (single '=' is not assignment)".into(), offset: i });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Bang, offset: i });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::LessEq, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Less, offset: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::GreaterEq, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Greater, offset: i });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token { kind: TokenKind::AndAnd, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected '&&'".into(), offset: i });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token { kind: TokenKind::OrOr, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected '||'".into(), offset: i });
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut out = String::new();
+                let mut closed = false;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch == '\\' && i + 1 < bytes.len() {
+                        let escaped = bytes[i + 1] as char;
+                        out.push(match escaped {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                        i += 2;
+                        continue;
+                    }
+                    if ch == quote {
+                        closed = true;
+                        i += 1;
+                        break;
+                    }
+                    out.push(ch);
+                    i += 1;
+                }
+                if !closed {
+                    return Err(LexError { message: "unterminated string literal".into(), offset: start });
+                }
+                tokens.push(Token { kind: TokenKind::Str(out), offset: start });
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len() && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E')
+                    || (i < bytes.len()
+                        && matches!(bytes[i] as char, '+' | '-')
+                        && i > start
+                        && matches!(bytes[i - 1] as char, 'e' | 'E'))
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let value: f64 = text.parse().map_err(|_| LexError {
+                    message: format!("invalid numeric literal {text:?}"),
+                    offset: start,
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(value), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let kind = match word.to_ascii_lowercase().as_str() {
+                    "and" => TokenKind::AndAnd,
+                    "or" => TokenKind::OrOr,
+                    "not" => TokenKind::Bang,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            other => {
+                return Err(LexError { message: format!("unexpected character {other:?}"), offset: i });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators_and_parens() {
+        assert_eq!(
+            kinds("( ) , + - * / % == != < <= > >= && || !"),
+            vec![
+                TokenKind::LeftParen,
+                TokenKind::RightParen,
+                TokenKind::Comma,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Less,
+                TokenKind::LessEq,
+                TokenKind::Greater,
+                TokenKind::GreaterEq,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Bang,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("3"), vec![TokenKind::Number(3.0)]);
+        assert_eq!(kinds("3.5"), vec![TokenKind::Number(3.5)]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Number(1000.0)]);
+        assert_eq!(kinds("2.5e-2"), vec![TokenKind::Number(0.025)]);
+        assert!(tokenize("1.2.3").is_err());
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(kinds("\"abc\""), vec![TokenKind::Str("abc".into())]);
+        assert_eq!(kinds("'x y'"), vec![TokenKind::Str("x y".into())]);
+        assert_eq!(kinds(r#""a\"b""#), vec![TokenKind::Str("a\"b".into())]);
+        assert_eq!(kinds(r#""a\nb""#), vec![TokenKind::Str("a\nb".into())]);
+        assert!(tokenize("\"open").is_err());
+    }
+
+    #[test]
+    fn lexes_identifiers_and_keywords() {
+        assert_eq!(
+            kinds("ZipCode and value or not abv_2"),
+            vec![
+                TokenKind::Ident("ZipCode".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("value".into()),
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Ident("abv_2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifier_may_contain_dots() {
+        assert_eq!(kinds("t.ZipCode"), vec![TokenKind::Ident("t.ZipCode".into())]);
+    }
+
+    #[test]
+    fn reports_offsets() {
+        let tokens = tokenize("a == 12").unwrap();
+        assert_eq!(tokens[0].offset, 0);
+        assert_eq!(tokens[1].offset, 2);
+        assert_eq!(tokens[2].offset, 5);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("a # b").is_err());
+        assert!(tokenize("a = b").is_err());
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("a | b").is_err());
+    }
+
+    #[test]
+    fn empty_source_is_no_tokens() {
+        assert!(tokenize("   \t\n ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the constraint-expression language.
+//!
+//! The central oracle is the pretty-printer: `Display` emits fully
+//! parenthesised source, so parsing it back must reproduce the exact AST.
+//! Further properties check that compilation and evaluation never panic and
+//! behave deterministically for arbitrary inputs.
+
+use bclean_data::Value;
+use bclean_rules::{parse, BinaryOp, Expr, Literal, Rule, UnaryOp};
+use proptest::prelude::*;
+
+/// Identifiers that cannot collide with keywords or literals.
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("avoid keywords", |s| {
+        !matches!(s.as_str(), "true" | "false" | "null" | "and" | "or" | "not")
+    })
+}
+
+/// String literals restricted to characters whose Rust debug-escape form the
+/// lexer understands verbatim.
+fn string_literal_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 _.-]{0,8}".prop_map(|s| s)
+}
+
+fn literal_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0.0f64..1e6).prop_map(|n| Expr::Literal(Literal::Number((n * 100.0).round() / 100.0))),
+        string_literal_strategy().prop_map(|s| Expr::Literal(Literal::Str(s))),
+        any::<bool>().prop_map(|b| Expr::Literal(Literal::Bool(b))),
+        Just(Expr::Literal(Literal::Null)),
+    ]
+}
+
+fn binary_op_strategy() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Rem),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Less),
+        Just(BinaryOp::LessEq),
+        Just(BinaryOp::Greater),
+        Just(BinaryOp::GreaterEq),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Or),
+    ]
+}
+
+/// Random well-formed expressions using only known functions with correct
+/// arities (so `Rule::compile` must accept them).
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal_strategy(), ident_strategy().prop_map(Expr::Ident)];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), prop_oneof![Just(UnaryOp::Not), Just(UnaryOp::Neg)])
+                .prop_map(|(expr, op)| Expr::Unary { op, expr: Box::new(expr) }),
+            (inner.clone(), inner.clone(), binary_op_strategy())
+                .prop_map(|(lhs, rhs, op)| Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }),
+            (prop_oneof![Just("len"), Just("num"), Just("abs"), Just("lower"), Just("is_null")], inner.clone())
+                .prop_map(|(name, arg)| Expr::Call { name: name.to_string(), args: vec![arg] }),
+            (prop_oneof![Just("contains"), Just("starts_with"), Just("min")], inner.clone(), inner.clone())
+                .prop_map(|(name, a, b)| Expr::Call { name: name.to_string(), args: vec![a, b] }),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| Expr::Call { name: "if".to_string(), args: vec![c, a, b] }),
+        ]
+    })
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-1e6f64..1e6).prop_map(Value::number),
+        "[a-zA-Z0-9 ]{0,10}".prop_map(Value::text),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The pretty-printer emits fully parenthesised source, so a
+    /// print → parse round trip must reproduce the exact AST.
+    #[test]
+    fn display_parse_round_trip(expr in expr_strategy()) {
+        let printed = expr.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(reparsed, expr);
+    }
+
+    /// Every generated expression compiles as a rule, and evaluating it
+    /// against arbitrary cell values never panics and is deterministic.
+    #[test]
+    fn compile_and_eval_never_panic(expr in expr_strategy(), value in value_strategy()) {
+        let rule = Rule::compile(&expr.to_string()).expect("generated expressions use valid functions");
+        let first = rule.check_value(&value);
+        let second = rule.check_value(&value);
+        prop_assert_eq!(first, second);
+        // Row evaluation against an empty resolver is also total.
+        let row_result = rule.eval_with(&|_| None);
+        prop_assert_eq!(row_result.is_truthy(), rule.eval_with(&|_| None).is_truthy());
+    }
+
+    /// Numeric comparison operators agree with the native f64 ordering.
+    #[test]
+    fn numeric_comparisons_match_f64(a in -1e5f64..1e5, b in -1e5f64..1e5) {
+        // Format with enough precision to round-trip.
+        let source_lt = format!("({a:.6}) < ({b:.6})");
+        let source_ge = format!("({a:.6}) >= ({b:.6})");
+        let a6: f64 = format!("{a:.6}").parse().unwrap();
+        let b6: f64 = format!("{b:.6}").parse().unwrap();
+        let lt = Rule::compile(&source_lt).unwrap().check_value(&Value::Null);
+        let ge = Rule::compile(&source_ge).unwrap().check_value(&Value::Null);
+        prop_assert_eq!(lt, a6 < b6);
+        prop_assert_eq!(ge, a6 >= b6);
+        prop_assert_ne!(lt, ge);
+    }
+
+    /// Arithmetic on literals matches native arithmetic (away from division
+    /// by zero and the float-equality tolerance).
+    #[test]
+    fn arithmetic_matches_native(a in -1e4f64..1e4, b in 1.0f64..1e4) {
+        let sum = format!("({a:.3}) + ({b:.3}) >= ({a:.3})");
+        prop_assert!(Rule::compile(&sum).unwrap().check_value(&Value::Null));
+        let ratio = format!("(({a:.3}) * ({b:.3})) / ({b:.3})");
+        let rule = Rule::compile(&format!("abs({ratio} - ({a:.3})) < 0.001")).unwrap();
+        prop_assert!(rule.check_value(&Value::Null));
+    }
+
+    /// De Morgan: `!(p && q)` ⇔ `!p || !q` for arbitrary truthy/falsy leaves.
+    #[test]
+    fn de_morgan_holds(p in any::<bool>(), q in any::<bool>(), value in value_strategy()) {
+        let lhs = format!("!({p} && {q})");
+        let rhs = format!("!{p} || !{q}");
+        let l = Rule::compile(&lhs).unwrap().check_value(&value);
+        let r = Rule::compile(&rhs).unwrap().check_value(&value);
+        prop_assert_eq!(l, r);
+    }
+
+    /// `len(value)` equals the character count of the cell's textual rendering.
+    #[test]
+    fn len_matches_char_count(value in value_strategy()) {
+        let rule = Rule::compile("len(value)").unwrap();
+        let expected = value.as_text().chars().count() as f64;
+        match rule.eval_value(&value) {
+            bclean_rules::ExprValue::Number(n) => prop_assert!((n - expected).abs() < 1e-9),
+            other => prop_assert!(false, "unexpected result {other:?}"),
+        }
+    }
+
+    /// Single-value rules never claim to reference other attributes.
+    #[test]
+    fn referenced_attributes_are_consistent(expr in expr_strategy()) {
+        let rule = Rule::compile(&expr.to_string()).unwrap();
+        let refs = rule.referenced_attributes();
+        prop_assert_eq!(refs.len(), expr.identifiers().len());
+        let single = rule.is_single_value();
+        let only_value = refs.iter().all(|r| r.eq_ignore_ascii_case("value"));
+        prop_assert_eq!(single, only_value);
+    }
+}

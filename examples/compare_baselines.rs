@@ -1,0 +1,44 @@
+//! Compare BClean against every baseline system on one benchmark —
+//! a single-dataset slice of the paper's Table 4 (quality) and Table 7
+//! (execution time).
+//!
+//! Run with: `cargo run --release --example compare_baselines [dataset]`
+//! where `dataset` is one of hospital, flights, soccer, beers, inpatient,
+//! facilities (default: beers).
+
+use bclean::eval::{format_duration, run_method, Method, TextTable};
+use bclean::prelude::*;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "beers".to_string());
+    let dataset = match which.to_lowercase().as_str() {
+        "hospital" => BenchmarkDataset::Hospital,
+        "flights" => BenchmarkDataset::Flights,
+        "soccer" => BenchmarkDataset::Soccer,
+        "inpatient" => BenchmarkDataset::Inpatient,
+        "facilities" => BenchmarkDataset::Facilities,
+        _ => BenchmarkDataset::Beers,
+    };
+    let rows = dataset.default_rows().min(2000);
+    let bench = dataset.build_sized(rows, 99);
+    println!(
+        "{}: {} rows, {} injected errors ({:.1}% of cells)\n",
+        dataset.name(),
+        rows,
+        bench.num_errors(),
+        bench.error_rate() * 100.0
+    );
+
+    let mut table = TextTable::new(vec!["Method", "Precision", "Recall", "F1", "Exec time"]);
+    for method in Method::table4_methods() {
+        let run = run_method(method, dataset, &bench);
+        table.add_row(vec![
+            run.method.clone(),
+            format!("{:.3}", run.metrics.precision),
+            format!("{:.3}", run.metrics.recall),
+            format!("{:.3}", run.metrics.f1),
+            format_duration(run.exec_time),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,46 @@
+//! The Flights scenario: a high-noise dataset where the *pattern* user
+//! constraints (flight times like `7:10a.m.`) do most of the heavy lifting.
+//! Compares cleaning with the full constraint set, without pattern
+//! constraints and without any constraints — a miniature of Figure 5.
+//!
+//! Run with: `cargo run --release --example flights_constraints`
+
+use bclean::core::ConstraintKind;
+use bclean::eval::{bclean_constraints, evaluate};
+use bclean::prelude::*;
+
+fn main() {
+    let bench = BenchmarkDataset::Flights.build_sized(1200, 7);
+    println!(
+        "Flights benchmark: {} rows, {:.0}% of cells corrupted (typos and missing values)",
+        bench.dirty.num_rows(),
+        bench.error_rate() * 100.0
+    );
+
+    let full = bclean_constraints(BenchmarkDataset::Flights);
+    let without_patterns = full.without_kind(ConstraintKind::Pattern);
+    let none = ConstraintSet::new();
+
+    for (label, constraints) in [
+        ("complete UCs", full),
+        ("without pattern UCs", without_patterns),
+        ("no UCs at all", none),
+    ] {
+        let model = BClean::new(Variant::PartitionedInference.config())
+            .with_constraints(constraints)
+            .fit(&bench.dirty);
+        let result = model.clean(&bench.dirty);
+        let metrics = evaluate(&bench.dirty, &result.cleaned, &bench.clean).expect("shapes match");
+        println!(
+            "  {label:<22} precision={:.3} recall={:.3} F1={:.3} ({} repairs)",
+            metrics.precision,
+            metrics.recall,
+            metrics.f1,
+            result.repairs.len()
+        );
+    }
+
+    println!("\nThe pattern constraint rejects malformed times such as \"7:21am\" before");
+    println!("inference even begins, which is exactly the behaviour the paper reports in");
+    println!("its user-constraint ablation (Figure 5).");
+}
