@@ -20,8 +20,8 @@ use bclean_bench::{Scale, EXPERIMENT_SEED};
 use bclean_core::{BClean, BCleanConfig, CompensatoryParams, ConstraintKind, Variant};
 use bclean_datagen::{BenchmarkDataset, DirtyDataset, ErrorSpec, ErrorType, SwapMode};
 use bclean_eval::{
-    bclean_constraints, evaluate, format_duration, run_bclean_evaluated, run_method, ErrorTypeRecall,
-    Method, MethodRun, TextTable,
+    bclean_constraints, evaluate, format_duration, run_bclean_evaluated, run_method, run_methods,
+    ErrorTypeRecall, Method, MethodRun, TextTable,
 };
 
 fn main() {
@@ -130,27 +130,55 @@ fn tables_4_and_7(scale: Scale) {
             .chain(datasets.iter().map(|d| d.name().to_string()))
             .collect::<Vec<_>>(),
     );
+    // Per-dataset fan-out through the shared parallel executor: all feasible
+    // methods of one benchmark run as one slate. Timing fidelity for Table 7
+    // wants un-contended runs, so the slate is sequential (threads = 1) at
+    // the paper's scales; the CI smoke scale trades timing fidelity for
+    // wall-clock, capped at a few slate workers because each BClean run
+    // spawns its own cleaner pool inside clean().
+    let slate_threads = if scale == Scale::Small {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
+    } else {
+        1
+    };
     let mut runs: HashMap<(String, &'static str), MethodRun> = HashMap::new();
+    for &dataset in &datasets {
+        let feasible_methods: Vec<Method> =
+            methods.iter().copied().filter(|&m| feasible(m, dataset, scale)).collect();
+        if feasible_methods.is_empty() {
+            continue;
+        }
+        let bench = build(dataset, scale);
+        for run in run_methods(&feasible_methods, dataset, &bench, slate_threads) {
+            runs.insert((run.method.clone(), dataset.name()), run);
+        }
+    }
     for &method in &methods {
         let mut qrow = vec![method.name()];
         let mut trow = vec![method.name()];
         for &dataset in &datasets {
-            if !feasible(method, dataset, scale) {
-                qrow.push("-".to_string());
-                trow.push("-".to_string());
-                continue;
+            match runs.get(&(method.name(), dataset.name())) {
+                Some(run) => {
+                    qrow.push(run.metrics.triple());
+                    trow.push(format_duration(run.exec_time));
+                }
+                None => {
+                    qrow.push("-".to_string());
+                    trow.push("-".to_string());
+                }
             }
-            let bench = build(dataset, scale);
-            let run = run_method(method, dataset, &bench);
-            qrow.push(run.metrics.triple());
-            trow.push(format_duration(run.exec_time));
-            runs.insert((method.name(), dataset.name()), run);
         }
         quality.add_row(qrow);
         runtime.add_row(trow);
     }
     println!("{}", quality.render());
     println!("## Table 7 — execution time (user time is a human-study metric; see EXPERIMENTS.md)\n");
+    if slate_threads > 1 {
+        println!(
+            "(smoke scale: methods ran {slate_threads} at a time, so times include contention; \
+             use --scale default for comparable timings)\n"
+        );
+    }
     println!("{}", runtime.render());
 }
 

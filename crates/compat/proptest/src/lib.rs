@@ -1,0 +1,824 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace builds without network access, so the real crates.io
+//! `proptest` is unavailable. This crate implements the subset of its API the
+//! workspace's property tests use — the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `prop_filter` / `prop_recursive`, ranges and string
+//! literals as strategies, [`Just`], `any::<T>()`, `collection::vec`,
+//! `string::string_regex`, `char::range`, `prop_oneof!`, and the `proptest!`
+//! / `prop_assert*!` macros — as a *generation-only* property test runner:
+//!
+//! * cases are generated from a SplitMix64 RNG seeded from the test name, so
+//!   every run explores the same deterministic sequence;
+//! * failures panic with the case number (no shrinking — rerun under real
+//!   proptest for a minimal counterexample);
+//! * the default case count is 64 (real proptest: 256) to keep CI fast;
+//!   `ProptestConfig::with_cases` overrides it as usual.
+
+pub mod test_runner {
+    //! Runner configuration and RNG (subset of `proptest::test_runner`).
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` generated cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic SplitMix64 RNG used by all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a test name (FNV-1a hash).
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut hash = 0xcbf29ce484222325u64;
+            for byte in name.bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `usize` in `[0, bound)`.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "empty choice");
+            (((self.next_u64() as u128).wrapping_mul(bound as u128)) >> 64) as usize
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators (subset of `proptest::strategy`).
+
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A generator of values of one type. Unlike real proptest there is no
+    /// value tree and no shrinking: `generate` directly yields a value.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy derived from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Discard generated values failing the predicate (bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence, f }
+        }
+
+        /// Recursive strategies: `f` maps a strategy for the inner levels to a
+        /// strategy for one level up; generation expands a random number of
+        /// levels up to `depth`. `desired_size` / `expected_branch_size` are
+        /// accepted for signature compatibility and ignored.
+        fn prop_recursive<S2, F>(self, depth: u32, _desired_size: u32, _expected_branch_size: u32, f: F) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        {
+            Recursive {
+                base: BoxedStrategy::new(self),
+                depth,
+                expand: Arc::new(move |inner| BoxedStrategy::new(f(inner))),
+            }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(self)
+        }
+    }
+
+    trait DynStrategy<V> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A cheaply clonable, type-erased strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+    impl<V> BoxedStrategy<V> {
+        /// Erase a concrete strategy.
+        pub fn new<S: Strategy<Value = V> + 'static>(strategy: S) -> BoxedStrategy<V> {
+            BoxedStrategy(Arc::new(strategy))
+        }
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let value = self.inner.generate(rng);
+                if (self.f)(&value) {
+                    return value;
+                }
+            }
+            panic!("prop_filter gave up after 1000 rejections: {}", self.whence);
+        }
+    }
+
+    /// See [`Strategy::prop_recursive`].
+    #[derive(Clone)]
+    pub struct Recursive<V> {
+        base: BoxedStrategy<V>,
+        depth: u32,
+        expand: Arc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+    }
+
+    impl<V> Strategy for Recursive<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let levels = rng.below(self.depth as usize + 1) as u32;
+            let mut strategy = self.base.clone();
+            for _ in 0..levels {
+                strategy = (self.expand)(strategy);
+            }
+            strategy.generate(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        alternatives: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A uniform union over the given strategies; must be non-empty.
+        pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { alternatives }
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union { alternatives: self.alternatives.clone() }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let pick = rng.below(self.alternatives.len());
+            self.alternatives[pick].generate(rng)
+        }
+    }
+
+    /// Numbers that half-open / inclusive ranges can generate.
+    pub trait RangeValue: Copy + PartialOrd {
+        /// Uniform sample from `[low, high)`.
+        fn sample(rng: &mut TestRng, low: Self, high: Self) -> Self;
+
+        /// The next value up (for inclusive upper bounds); saturating.
+        fn successor(self) -> Self;
+    }
+
+    macro_rules! impl_range_value_int {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn sample(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    assert!(low < high, "empty range strategy");
+                    let span = (high as i128 - low as i128) as u128;
+                    let hi = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                    (low as i128 + hi as i128) as $t
+                }
+
+                fn successor(self) -> Self {
+                    self.saturating_add(1)
+                }
+            }
+        )*};
+    }
+
+    impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_value_float {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn sample(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    assert!(low < high, "empty range strategy");
+                    low + rng.unit_f64() as $t * (high - low)
+                }
+
+                fn successor(self) -> Self {
+                    self
+                }
+            }
+        )*};
+    }
+
+    impl_range_value_float!(f32, f64);
+
+    impl<T: RangeValue> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: RangeValue> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample(rng, *self.start(), self.end().successor())
+        }
+    }
+
+    /// String literals are regex strategies, as in real proptest.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::compile_regex(self)
+                .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+                .generate(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_for_tuple {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_strategy_for_tuple! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+
+    /// Types with a canonical strategy (`any::<T>()`).
+    pub trait ArbitraryValue: Sized {
+        /// Generate an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64() * 2e6 - 1e6
+        }
+    }
+
+    impl ArbitraryValue for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or('a')
+        }
+    }
+
+    /// The canonical strategy of a type (see [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset of `proptest::collection`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible element counts for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange { min: exact, max_exclusive: exact + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> SizeRange {
+            SizeRange { min: range.start, max_exclusive: range.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *range.start(), max_exclusive: range.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.max_exclusive > self.size.min, "empty vec size range");
+            let span = self.size.max_exclusive - self.size.min;
+            let len = self.size.min + rng.below(span.max(1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! String strategies (subset of `proptest::string`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Error for unsupported / malformed patterns.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One term of the supported pattern language: a set of admissible
+    /// characters plus a repetition count range.
+    #[derive(Debug, Clone)]
+    struct Term {
+        choices: Vec<char>,
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    /// Strategy generating strings matching a simple regex: concatenations of
+    /// literal characters and `[...]` classes, each with an optional `*`,
+    /// `+`, `?`, `{n}`, `{m,}` or `{m,n}` quantifier. Groups and alternation
+    /// are not supported (the workspace's tests don't use them).
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        terms: Vec<Term>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for term in &self.terms {
+                let span = term.max_inclusive - term.min + 1;
+                let count = term.min + rng.below(span);
+                for _ in 0..count {
+                    out.push(term.choices[rng.below(term.choices.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Compile `pattern` into a generator strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        compile_regex(pattern)
+    }
+
+    pub(crate) fn compile_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut terms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| Error("unterminated character class".into()))?;
+                    let class: Vec<char> = chars[i + 1..i + 1 + close].to_vec();
+                    i += close + 2;
+                    expand_class(&class)?
+                }
+                '(' | ')' | '|' | '^' | '$' => {
+                    return Err(Error(format!("unsupported construct {:?} (stub supports literals, classes and quantifiers only)", chars[i])));
+                }
+                '\\' => {
+                    i += 1;
+                    let escaped = *chars.get(i).ok_or_else(|| Error("dangling escape".into()))?;
+                    i += 1;
+                    match escaped {
+                        'd' => ('0'..='9').collect(),
+                        'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(std::iter::once('_')).collect(),
+                        's' => vec![' ', '\t'],
+                        other => vec![other],
+                    }
+                }
+                '.' => {
+                    i += 1;
+                    (' '..='~').collect()
+                }
+                literal => {
+                    i += 1;
+                    vec![literal]
+                }
+            };
+            let (min, max_inclusive) = parse_quantifier(&chars, &mut i)?;
+            terms.push(Term { choices, min, max_inclusive });
+        }
+        Ok(RegexGeneratorStrategy { terms })
+    }
+
+    /// Expand a class body (between `[` and `]`) into its member characters.
+    fn expand_class(class: &[char]) -> Result<Vec<char>, Error> {
+        if class.first() == Some(&'^') {
+            let excluded = expand_class(&class[1..])?;
+            return Ok((' '..='~').filter(|c| !excluded.contains(c)).collect());
+        }
+        let mut choices = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if class[i] == '\\' {
+                i += 1;
+                if i < class.len() {
+                    choices.push(class[i]);
+                    i += 1;
+                }
+            } else if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i], class[i + 2]);
+                if lo > hi {
+                    return Err(Error(format!("inverted class range {lo}-{hi}")));
+                }
+                choices.extend(lo..=hi);
+                i += 3;
+            } else {
+                choices.push(class[i]);
+                i += 1;
+            }
+        }
+        if choices.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok(choices)
+    }
+
+    /// Parse an optional quantifier at `*i`, advancing past it.
+    fn parse_quantifier(chars: &[char], i: &mut usize) -> Result<(usize, usize), Error> {
+        const UNBOUNDED_CAP: usize = 8;
+        match chars.get(*i) {
+            Some('*') => {
+                *i += 1;
+                Ok((0, UNBOUNDED_CAP))
+            }
+            Some('+') => {
+                *i += 1;
+                Ok((1, UNBOUNDED_CAP))
+            }
+            Some('?') => {
+                *i += 1;
+                Ok((0, 1))
+            }
+            Some('{') => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error("unterminated quantifier".into()))?;
+                let body: String = chars[*i + 1..*i + close].iter().collect();
+                *i += close + 1;
+                let parse = |s: &str| s.trim().parse::<usize>().map_err(|_| Error(format!("bad quantifier {body:?}")));
+                if let Some((lo, hi)) = body.split_once(',') {
+                    let min = parse(lo)?;
+                    let max = if hi.trim().is_empty() { min + UNBOUNDED_CAP } else { parse(hi)? };
+                    Ok((min, max))
+                } else {
+                    let exact = parse(&body)?;
+                    Ok((exact, exact))
+                }
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+}
+
+pub mod char {
+    //! Character strategies (subset of `proptest::char`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Uniform choice from an inclusive scalar-value range.
+    #[derive(Debug, Clone)]
+    pub struct CharRange {
+        low: u32,
+        high: u32,
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+
+        fn generate(&self, rng: &mut TestRng) -> char {
+            for _ in 0..64 {
+                let v = self.low + rng.below((self.high - self.low + 1) as usize) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+            char::from_u32(self.low).expect("range start is a valid char")
+        }
+    }
+
+    /// All characters in `[low, high]`, mirroring `proptest::char::range`.
+    pub fn range(low: char, high: char) -> CharRange {
+        assert!(low <= high, "inverted char range");
+        CharRange { low: low as u32, high: high as u32 }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies, mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::BoxedStrategy::new($strategy)),+
+        ])
+    };
+}
+
+/// Assert inside a property (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests, mirroring `proptest::proptest!`. Each test runs
+/// `config.cases` deterministic generated cases; a failing case panics with
+/// its index.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let run = || {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                };
+                if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                    eprintln!("proptest stub: case {case} of {} failed (no shrinking available)", config.cases);
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_literals_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("smoke");
+        for _ in 0..500 {
+            let v = Strategy::generate(&(3usize..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let s = Strategy::generate(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_and_combinators_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let strategy = prop_oneof![
+            (0usize..3).prop_map(|n| n * 2),
+            Just(99usize),
+        ]
+        .prop_filter("nonzero", |v| *v != 0);
+        for _ in 0..200 {
+            let v = Strategy::generate(&strategy, &mut rng);
+            assert!(v == 2 || v == 4 || v == 99);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn the_macro_itself_works(xs in crate::collection::vec(0u8..10, 1..5), flag in any::<bool>()) {
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            prop_assert_eq!(flag, flag);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for `rand` (0.8 API subset).
+//!
+//! The workspace builds without network access, so the real crates.io `rand`
+//! is unavailable. This crate implements exactly the surface the `datagen`
+//! crate uses — `StdRng::seed_from_u64`, `Rng::gen_range` over half-open
+//! integer/float ranges, `Rng::gen_bool`, and `SliceRandom::{choose,
+//! shuffle}` — on top of a SplitMix64 core. Generation is fully
+//! deterministic per seed, which is what the seeded benchmark generators
+//! need; the streams differ from upstream `StdRng` (ChaCha12), so absolute
+//! generated values are stable *within* this workspace only.
+
+use std::ops::Range;
+
+/// Core random-number source (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A seedable RNG (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed type (fixed-size byte array for `StdRng`).
+    type Seed;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it to a full state.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that `gen_range` can sample uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Sample uniformly from `[low, high)`. Panics if the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Multiply-shift maps 64 random bits onto [0, span) with
+                // negligible bias for the small spans used here.
+                let hi = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (low as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Convenience sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard RNG of this stand-in: SplitMix64 (Steele et al.), a
+    /// fast, well-distributed 64-bit generator with a one-word state.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&seed[..8]);
+            StdRng { state: u64::from_le_bytes(word) }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+/// Sequence-related helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection and shuffling over slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// A uniformly random element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..i + 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5..23i32);
+            assert!((5..23).contains(&v));
+            let f = rng.gen_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [1, 2, 3, 4];
+        assert!(items.choose(&mut rng).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        assert_ne!(v, (0..50).collect::<Vec<u32>>());
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+}

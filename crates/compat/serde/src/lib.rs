@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds without network access, so the real crates.io `serde`
+//! is unavailable. Nothing in this repository actually serialises through
+//! serde yet — the `#[derive(Serialize, Deserialize)]` annotations only
+//! declare intent — so this crate supplies the two trait names as markers
+//! with blanket implementations, and re-exports no-op derive macros from the
+//! sibling `serde_derive` stub. Swapping back to real serde is a
+//! two-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; every type implements it.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; every sized type
+/// implements it.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The `serde::de` module surface used by generic bounds.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// The `serde::ser` module surface used by generic bounds.
+pub mod ser {
+    pub use crate::Serialize;
+}

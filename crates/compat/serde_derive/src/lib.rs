@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds without network access, so the real crates.io
+//! `serde_derive` is unavailable. The sibling `crates/compat/serde` crate
+//! provides blanket implementations of its marker traits for every type,
+//! which means these derives only need to (a) exist so `#[derive(Serialize,
+//! Deserialize)]` resolves and (b) register the `#[serde(...)]` helper
+//! attribute so field annotations like `#[serde(skip)]` parse. They expand
+//! to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` (the blanket impl in `serde` already covers
+/// the type).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` (the blanket impl in `serde` already
+/// covers the type).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -21,6 +21,7 @@ use bclean_data::{CellRef, Dataset, Domains, Value};
 use crate::compensatory::CompensatoryModel;
 use crate::config::BCleanConfig;
 use crate::constraints::ConstraintSet;
+use crate::exec::{merge_cleaning_batches, ParallelExecutor};
 use crate::report::{CleaningResult, CleaningStats, Repair};
 
 /// The BClean system: configuration plus user constraints.
@@ -200,39 +201,19 @@ impl BCleanModel {
         scored
     }
 
-    /// Clean a dataset (inference stage, Algorithm 1).
+    /// Clean a dataset (inference stage, Algorithm 1). Row ranges are
+    /// processed through the shared [`ParallelExecutor`], whose ordered merge
+    /// makes the result identical for every thread count.
     pub fn clean(&self, dataset: &Dataset) -> CleaningResult {
         let start = Instant::now();
         let n = dataset.num_rows();
-        let threads = self.config.effective_threads().max(1).min(n.max(1));
-        let mut repairs: Vec<Repair> = Vec::new();
-        let mut stats = CleaningStats::default();
-
-        if threads <= 1 || n < 64 {
-            let (mut r, s) = self.clean_rows(dataset, 0, n);
-            repairs.append(&mut r);
-            stats.merge(&s);
-        } else {
-            let chunk = n.div_ceil(threads);
-            let results = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n);
-                    if lo >= hi {
-                        continue;
-                    }
-                    handles.push(scope.spawn(move || self.clean_rows(dataset, lo, hi)));
-                }
-                handles.into_iter().map(|h| h.join().expect("cleaning worker panicked")).collect::<Vec<_>>()
-            });
-            for (mut r, s) in results {
-                repairs.append(&mut r);
-                stats.merge(&s);
-            }
-        }
-
-        repairs.sort_by_key(|r| (r.at.row, r.at.col));
+        let executor = ParallelExecutor::for_config(&self.config, n);
+        let batches = executor.execute(n, |rows| self.clean_rows(dataset, rows.start, rows.end));
+        let (repairs, mut stats) = merge_cleaning_batches(batches);
+        debug_assert!(
+            repairs.windows(2).all(|w| (w[0].at.row, w[0].at.col) < (w[1].at.row, w[1].at.col)),
+            "ordered block merge must yield (row, col)-sorted repairs"
+        );
         let mut cleaned = dataset.clone();
         for repair in &repairs {
             cleaned

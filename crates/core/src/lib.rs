@@ -44,12 +44,14 @@ pub mod cleaner;
 pub mod compensatory;
 pub mod config;
 pub mod constraints;
+pub mod exec;
 pub mod report;
 
 pub use cleaner::{BClean, BCleanModel};
 pub use compensatory::{CompensatoryModel, CompensatoryParams};
 pub use config::{BCleanConfig, Variant};
 pub use constraints::{AttributeConstraints, ConstraintKind, ConstraintSet, UserConstraint};
+pub use exec::ParallelExecutor;
 pub use report::{CleaningResult, CleaningStats, Repair};
 
 // Re-export the pieces of the substrate crates that appear in this crate's

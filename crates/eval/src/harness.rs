@@ -3,7 +3,7 @@
 use std::time::{Duration, Instant};
 
 use bclean_baselines::{Cleaner, GarfLite, HoloCleanLite, PCleanLite, RahaBaranLite};
-use bclean_core::{BClean, BCleanConfig, ConstraintSet, Variant};
+use bclean_core::{BClean, BCleanConfig, ConstraintSet, ParallelExecutor, Variant};
 use bclean_data::Dataset;
 use bclean_datagen::{BenchmarkDataset, DirtyDataset};
 
@@ -88,6 +88,19 @@ pub fn run_method(method: Method, dataset: BenchmarkDataset, bench: &DirtyDatase
     MethodRun { method: method.name(), metrics, exec_time, cleaned }
 }
 
+/// Run a slate of methods on one benchmark, one method per work unit, through
+/// the workspace's shared [`ParallelExecutor`]. Results come back in the
+/// order of `methods` regardless of scheduling, so callers can zip them.
+///
+/// Each method run is itself deterministic, so the output is identical to
+/// calling [`run_method`] in a loop; only wall-clock changes. Because
+/// concurrent runs contend for cores, per-run `exec_time` is only meaningful
+/// with `threads == 1` — use that for timing tables, and more threads for
+/// quality sweeps.
+pub fn run_methods(methods: &[Method], dataset: BenchmarkDataset, bench: &DirtyDataset, threads: usize) -> Vec<MethodRun> {
+    ParallelExecutor::new(threads).map(methods.len(), |i| run_method(methods[i], dataset, bench))
+}
+
 /// Run BClean with an explicit configuration and constraint set (used by the
 /// parameter sweeps of Tables 8–10 and the UC ablation of Figure 5).
 pub fn run_bclean(config: BCleanConfig, constraints: ConstraintSet, bench: &DirtyDataset) -> Dataset {
@@ -140,6 +153,20 @@ mod tests {
             assert!(run.metrics.precision >= 0.0 && run.metrics.precision <= 1.0);
             assert!(run.metrics.recall >= 0.0 && run.metrics.recall <= 1.0);
             assert_eq!(run.cleaned.num_rows(), bench.dirty.num_rows());
+        }
+    }
+
+    #[test]
+    fn run_methods_matches_sequential_runs() {
+        let bench = BenchmarkDataset::Beers.build_sized(120, 11);
+        let methods = [Method::BClean(Variant::PartitionedInference), Method::HoloClean, Method::Garf];
+        let parallel = run_methods(&methods, BenchmarkDataset::Beers, &bench, 3);
+        assert_eq!(parallel.len(), methods.len());
+        for (method, run) in methods.iter().zip(&parallel) {
+            let sequential = run_method(*method, BenchmarkDataset::Beers, &bench);
+            assert_eq!(run.method, sequential.method);
+            assert_eq!(run.metrics.f1, sequential.metrics.f1);
+            assert_eq!(run.cleaned, sequential.cleaned);
         }
     }
 
