@@ -67,10 +67,8 @@ impl FunctionalDependency {
         if at.col != rhs_col {
             return None;
         }
-        let key: Vec<Value> = lhs_cols
-            .iter()
-            .map(|&c| dataset.cell(at.row, c).expect("cell in range").clone())
-            .collect();
+        let key: Vec<Value> =
+            lhs_cols.iter().map(|&c| dataset.cell(at.row, c).expect("cell in range").clone()).collect();
         let groups = group_by(dataset, &lhs_cols);
         let rows = groups.get(&key)?;
         if rows.len() < min_support {
@@ -105,10 +103,7 @@ fn majority_value(dataset: &Dataset, rows: &[usize], col: usize) -> Option<Value
             *counts.entry(v.clone()).or_insert(0) += 1;
         }
     }
-    counts
-        .into_iter()
-        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
-        .map(|(v, _)| v)
+    counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0))).map(|(v, _)| v)
 }
 
 /// Mine approximate FDs `A → B` (single-attribute determinants) from possibly
@@ -224,14 +219,7 @@ mod tests {
         // A noisy dependency: 2/3 consistency should fail at 0.9 confidence.
         let d = dataset_from(
             &["A", "B"],
-            &[
-                vec!["x", "1"],
-                vec!["x", "1"],
-                vec!["x", "2"],
-                vec!["y", "3"],
-                vec!["y", "4"],
-                vec!["y", "3"],
-            ],
+            &[vec!["x", "1"], vec!["x", "1"], vec!["x", "2"], vec!["y", "3"], vec!["y", "4"], vec!["y", "3"]],
         );
         let strict = discover_fds(&d, 0.95);
         assert!(!strict.iter().any(|fd| fd.lhs == vec!["A".to_string()] && fd.rhs == "B"));

@@ -148,11 +148,11 @@ mod tests {
                 vec!["35150", "CA", "a"],
                 vec!["35150", "CA", "b"],
                 vec!["35150", "CA", "c"],
-                vec!["35150", "KT", "d"],  // rule violation
+                vec!["35150", "KT", "d"], // rule violation
                 vec!["35960", "KT", "e"],
                 vec!["35960", "KT", "f"],
                 vec!["35960", "KT", "g"],
-                vec!["35960", "", "h"],    // missing dependent
+                vec!["35960", "", "h"], // missing dependent
             ],
         )
     }
@@ -161,7 +161,9 @@ mod tests {
     fn mines_high_confidence_rules() {
         let rules = GarfLite::new().mine_rules(&dirty());
         // 35960 -> KT has 3/3 non-null confidence; 35150 -> CA has 3/4 = 0.75 < 0.9.
-        assert!(rules.iter().any(|r| r.lhs_value == Value::parse("35960") && r.rhs_value == Value::text("KT")));
+        assert!(rules
+            .iter()
+            .any(|r| r.lhs_value == Value::parse("35960") && r.rhs_value == Value::text("KT")));
         assert!(!rules.iter().any(|r| r.lhs_value == Value::parse("35150") && r.rhs_col == 1));
         for r in &rules {
             assert!(r.confidence >= 0.9);

@@ -125,7 +125,7 @@ impl HoloCleanLite {
             if candidate == observed {
                 score += self.config.minimality_weight;
             }
-            if best.as_ref().map_or(true, |(s, _)| score > *s) {
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
                 best = Some((score, candidate.clone()));
             }
         }
@@ -139,7 +139,13 @@ impl HoloCleanLite {
 }
 
 /// Fraction of rows holding `candidate` in `col_a` that also hold `value` in `col_b`.
-fn co_occurrence_fraction(dataset: &Dataset, col_a: usize, candidate: &Value, col_b: usize, value: &Value) -> f64 {
+fn co_occurrence_fraction(
+    dataset: &Dataset,
+    col_a: usize,
+    candidate: &Value,
+    col_b: usize,
+    value: &Value,
+) -> f64 {
     let mut with_candidate = 0usize;
     let mut both = 0usize;
     for row in dataset.rows() {
@@ -193,7 +199,7 @@ mod tests {
                 vec!["35150", "KT", "sylacauga"], // FD violation
                 vec!["35960", "KT", "centre"],
                 vec!["35960", "KT", "centre"],
-                vec!["35960", "", "centre"],      // missing value
+                vec!["35960", "", "centre"], // missing value
             ],
         )
     }
@@ -226,11 +232,7 @@ mod tests {
         // A typo in City that no constraint covers for its determinant group size 1.
         let d = dataset_from(
             &["Zip", "State", "Note"],
-            &[
-                vec!["35150", "CA", "ok"],
-                vec!["35150", "CA", "typoo"],
-                vec!["35960", "KT", "ok"],
-            ],
+            &[vec!["35150", "CA", "ok"], vec!["35150", "CA", "typoo"], vec!["35960", "KT", "ok"]],
         );
         let hc = HoloCleanLite::new(vec![FunctionalDependency::new(vec!["Zip"], "State")]);
         let cleaned = hc.clean(&d);

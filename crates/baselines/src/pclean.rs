@@ -41,7 +41,12 @@ impl AttributeModel {
     /// probability is deliberately generous (the "expert" knows the data is
     /// noisy), which is what lets the per-cell MAP flip obvious typos.
     pub fn independent(attribute: impl Into<String>) -> AttributeModel {
-        AttributeModel { attribute: attribute.into(), parents: Vec::new(), typo_probability: 0.3, missing_probability: 0.05 }
+        AttributeModel {
+            attribute: attribute.into(),
+            parents: Vec::new(),
+            typo_probability: 0.3,
+            missing_probability: 0.05,
+        }
     }
 
     /// A model whose value is determined by parent attributes. Dependent
@@ -119,21 +124,12 @@ impl PCleanLite {
         }
     }
 
-    fn clean_column(
-        &self,
-        dirty: &Dataset,
-        domains: &Domains,
-        spec: &AttributeModel,
-        cleaned: &mut Dataset,
-    ) {
+    fn clean_column(&self, dirty: &Dataset, domains: &Domains, spec: &AttributeModel, cleaned: &mut Dataset) {
         let Ok(col) = dirty.schema().index_of(&spec.attribute) else {
             return;
         };
-        let parent_cols: Vec<usize> = spec
-            .parents
-            .iter()
-            .filter_map(|p| dirty.schema().index_of(p).ok())
-            .collect();
+        let parent_cols: Vec<usize> =
+            spec.parents.iter().filter_map(|p| dirty.schema().index_of(p).ok()).collect();
         let domain = domains.attribute(col);
         let total = domain.total().max(1) as f64;
 
@@ -181,7 +177,7 @@ impl PCleanLite {
                 }
                 let likelihood = Self::observation_likelihood(spec, observed, candidate);
                 let score = prior * likelihood;
-                if best.as_ref().map_or(true, |(s, _)| score > *s) {
+                if best.as_ref().is_none_or(|(s, _)| score > *s) {
                     best = Some((score, candidate.clone()));
                 }
             }
@@ -239,11 +235,11 @@ mod tests {
                 vec!["35150", "CA"],
                 vec!["35150", "CA"],
                 vec!["35150", "CA"],
-                vec!["35150", "KT"],   // inconsistency
-                vec!["3515o", "CA"],   // typo in Zip
+                vec!["35150", "KT"], // inconsistency
+                vec!["3515o", "CA"], // typo in Zip
                 vec!["35960", "KT"],
                 vec!["35960", "KT"],
-                vec!["35960", ""],     // missing State
+                vec!["35960", ""], // missing State
                 vec!["35960", "KT"],
             ],
         )

@@ -160,7 +160,8 @@ impl RahaBaranLite {
             }
             let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
             let recall = if tp + fne > 0.0 { tp / (tp + fne) } else { 0.0 };
-            let f1 = if precision + recall > 0.0 { 2.0 * precision * recall / (precision + recall) } else { 0.0 };
+            let f1 =
+                if precision + recall > 0.0 { 2.0 * precision * recall / (precision + recall) } else { 0.0 };
             if f1 > best.1 {
                 best = (threshold, f1);
             }
@@ -176,7 +177,13 @@ impl RahaBaranLite {
     }
 
     /// Baran-lite correction for one detected cell.
-    fn correct_cell(&self, dirty: &Dataset, domains: &Domains, fds: &[FunctionalDependency], at: CellRef) -> Option<Value> {
+    fn correct_cell(
+        &self,
+        dirty: &Dataset,
+        domains: &Domains,
+        fds: &[FunctionalDependency],
+        at: CellRef,
+    ) -> Option<Value> {
         let row = dirty.row(at.row).expect("row in range");
         let observed = &row[at.col];
         let mut candidate_votes: HashMap<Value, f64> = HashMap::new();
@@ -192,7 +199,9 @@ impl RahaBaranLite {
                     *counts.entry(other[at.col].clone()).or_insert(0) += 1;
                 }
             }
-            if let Some((value, count)) = counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0))) {
+            if let Some((value, count)) =
+                counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            {
                 if count >= self.config.min_support {
                     *candidate_votes.entry(value).or_insert(0.0) += 1.0;
                 }
@@ -209,9 +218,9 @@ impl RahaBaranLite {
             *candidate_votes.entry(mode.clone()).or_insert(0.0) += 0.5;
         }
 
-        let (value, _) = candidate_votes
-            .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| b.0.cmp(&a.0)))?;
+        let (value, _) = candidate_votes.into_iter().max_by(|a, b| {
+            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| b.0.cmp(&a.0))
+        })?;
         if &value == observed {
             None
         } else {
@@ -268,11 +277,11 @@ mod tests {
                 vec!["35150", "CA", "sylacauga"],
                 vec!["35150", "CA", "sylacauga"],
                 vec!["35150", "CA", "sylacauga"],
-                vec!["35150", "KT", "sylacauga"],  // inconsistency
+                vec!["35150", "KT", "sylacauga"], // inconsistency
                 vec!["35960", "KT", "centre"],
                 vec!["35960", "KT", "centre"],
-                vec!["35960", "KT", "centrq"],     // typo
-                vec!["35960", "", "centre"],       // missing
+                vec!["35960", "KT", "centrq"], // typo
+                vec!["35960", "", "centre"],   // missing
                 vec!["35960", "KT", "centre"],
                 vec!["35150", "CA", "sylacauga"],
             ],
@@ -312,8 +321,10 @@ mod tests {
     #[test]
     fn undetected_errors_are_never_repaired() {
         // Error propagation: make detection miss everything by demanding 4 votes.
-        let system = RahaBaranLite::new(vec![LabelledCell { at: CellRef::new(0, 0), is_error: false }])
-            .with_config(RahaBaranConfig { rare_max: 0, frequent_min: 1000, fd_confidence: 1.1, ..Default::default() });
+        let system =
+            RahaBaranLite::new(vec![LabelledCell { at: CellRef::new(0, 0), is_error: false }]).with_config(
+                RahaBaranConfig { rare_max: 0, frequent_min: 1000, fd_confidence: 1.1, ..Default::default() },
+            );
         let cleaned = system.clean(&dirty());
         // The typo survives because no detector fires.
         assert_eq!(cleaned.cell(6, 2).unwrap(), &Value::text("centrq"));

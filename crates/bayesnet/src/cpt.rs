@@ -16,14 +16,17 @@ pub struct Cpt {
     node: usize,
     parents: Vec<usize>,
     /// parent assignment -> (value counts, total count)
-    table: HashMap<Vec<Value>, (HashMap<Value, usize>, usize)>,
+    ///
+    /// `pub(crate)` so [`crate::compiled::CompiledCpt`] can flatten the
+    /// learned counts into dense code-indexed tables.
+    pub(crate) table: HashMap<Vec<Value>, (HashMap<Value, usize>, usize)>,
     /// marginal value counts (used for parentless nodes and unseen parents)
-    marginal: HashMap<Value, usize>,
-    marginal_total: usize,
+    pub(crate) marginal: HashMap<Value, usize>,
+    pub(crate) marginal_total: usize,
     /// number of distinct values of the node's attribute (for smoothing)
     domain_size: usize,
     /// Laplace smoothing constant
-    alpha: f64,
+    pub(crate) alpha: f64,
 }
 
 impl Cpt {

@@ -33,8 +33,12 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::NodeOutOfRange { node, len } => write!(f, "node {node} out of range (graph has {len} nodes)"),
-            GraphError::WouldCreateCycle { from, to } => write!(f, "edge {from} -> {to} would create a cycle"),
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range (graph has {len} nodes)")
+            }
+            GraphError::WouldCreateCycle { from, to } => {
+                write!(f, "edge {from} -> {to} would create a cycle")
+            }
             GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
         }
     }
@@ -122,9 +126,7 @@ impl Dag {
 
     /// Nodes with no parents and no children.
     pub fn isolated_nodes(&self) -> Vec<usize> {
-        (0..self.num_nodes)
-            .filter(|&n| self.parents[n].is_empty() && self.children[n].is_empty())
-            .collect()
+        (0..self.num_nodes).filter(|&n| self.parents[n].is_empty() && self.children[n].is_empty()).collect()
     }
 
     /// The Markov blanket of a node: its parents, children, and the other
@@ -188,8 +190,7 @@ impl Dag {
     /// acyclic by construction.
     pub fn topological_order(&self) -> Vec<usize> {
         let mut indegree: Vec<usize> = (0..self.num_nodes).map(|n| self.parents[n].len()).collect();
-        let mut queue: VecDeque<usize> =
-            (0..self.num_nodes).filter(|&n| indegree[n] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..self.num_nodes).filter(|&n| indegree[n] == 0).collect();
         let mut order = Vec::with_capacity(self.num_nodes);
         while let Some(n) = queue.pop_front() {
             order.push(n);

@@ -149,10 +149,8 @@ impl<'a> InferenceEngine<'a> {
         );
         let domains = (0..network.num_nodes())
             .map(|col| {
-                let values: Vec<Value> = dataset
-                    .column(col)
-                    .map(|vs| vs.into_iter().cloned().collect())
-                    .unwrap_or_default();
+                let values: Vec<Value> =
+                    dataset.column(col).map(|vs| vs.into_iter().cloned().collect()).unwrap_or_default();
                 DiscreteDomain::from_values(values)
             })
             .collect();
@@ -212,10 +210,8 @@ impl<'a> InferenceEngine<'a> {
         // Walk every joint assignment of the scope and fill in
         // Pr[node = v | parents = u] from the CPT.
         let node_pos = scope.binary_search(&node).expect("node is in its own scope");
-        let parent_pos: Vec<usize> = parents
-            .iter()
-            .map(|p| scope.binary_search(p).expect("parent is in the scope"))
-            .collect();
+        let parent_pos: Vec<usize> =
+            parents.iter().map(|p| scope.binary_search(p).expect("parent is in the scope")).collect();
         let mut assignment = vec![0usize; scope.len()];
         for (flat, slot) in table.iter_mut().enumerate() {
             let mut rem = flat;
@@ -259,9 +255,8 @@ impl<'a> InferenceEngine<'a> {
         }
 
         // Variables still to eliminate: everything except the query and evidence.
-        let mut to_eliminate: Vec<usize> = (0..self.network.num_nodes())
-            .filter(|v| *v != query && !evidence_map.contains_key(v))
-            .collect();
+        let mut to_eliminate: Vec<usize> =
+            (0..self.network.num_nodes()).filter(|v| *v != query && !evidence_map.contains_key(v)).collect();
 
         while !to_eliminate.is_empty() {
             // Min-degree heuristic: eliminate the variable involved with the
@@ -307,12 +302,7 @@ impl<'a> InferenceEngine<'a> {
             let card = self.domains[query].cardinality().max(1);
             vec![1.0 / card as f64; card]
         };
-        Ok(self.domains[query]
-            .values()
-            .iter()
-            .cloned()
-            .zip(probs)
-            .collect())
+        Ok(self.domains[query].values().iter().cloned().zip(probs).collect())
     }
 
     /// Exact posterior for repairing a dataset cell: every other attribute of
@@ -328,7 +318,11 @@ impl<'a> InferenceEngine<'a> {
     }
 
     /// The most probable value of `query` given `evidence` under exact inference.
-    pub fn map_value(&self, query: usize, evidence: &[(usize, Value)]) -> Result<Option<Value>, InferenceError> {
+    pub fn map_value(
+        &self,
+        query: usize,
+        evidence: &[(usize, Value)],
+    ) -> Result<Option<Value>, InferenceError> {
         let posterior = self.posterior(query, evidence)?;
         Ok(posterior
             .into_iter()
@@ -370,11 +364,8 @@ impl<'a> InferenceEngine<'a> {
         let query_card = self.domains[query].cardinality().max(1);
         let mut counts = vec![0usize; query_card];
         let total_sweeps = config.burn_in + config.samples;
-        let mut row_values: Vec<Value> = state
-            .iter()
-            .enumerate()
-            .map(|(v, &idx)| self.domain_value(v, idx))
-            .collect();
+        let mut row_values: Vec<Value> =
+            state.iter().enumerate().map(|(v, &idx)| self.domain_value(v, idx)).collect();
 
         for sweep in 0..total_sweeps {
             for &var in &unknowns {
@@ -494,12 +485,8 @@ impl<'a> InferenceEngine<'a> {
             let mut new_var_to_factor: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
             for &v in &free_vars {
                 let card = var_card[&v];
-                let incident: Vec<usize> = factors
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, f)| f.contains(v))
-                    .map(|(fi, _)| fi)
-                    .collect();
+                let incident: Vec<usize> =
+                    factors.iter().enumerate().filter(|(_, f)| f.contains(v)).map(|(fi, _)| fi).collect();
                 for &target_factor in &incident {
                     let mut message = vec![1.0f64; card];
                     for &other_factor in &incident {
@@ -554,19 +541,13 @@ impl<'a> InferenceEngine<'a> {
     }
 
     fn domain_value(&self, var: usize, idx: usize) -> Value {
-        self.domains[var]
-            .values()
-            .get(idx)
-            .cloned()
-            .unwrap_or(Value::Null)
+        self.domains[var].values().get(idx).cloned().unwrap_or(Value::Null)
     }
 }
 
 /// Pick the most probable entry of a posterior.
 pub fn argmax_posterior(posterior: &[(Value, f64)]) -> Option<&(Value, f64)> {
-    posterior
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    posterior.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
 }
 
 #[cfg(test)]
@@ -577,15 +558,16 @@ mod tests {
 
     fn zip_state_city() -> (Dataset, BayesianNetwork) {
         // Zip -> State, Zip -> City (a small tree).
-        let rows: Vec<Vec<&str>> = (0..40)
-            .map(|i| {
-                if i % 2 == 0 {
-                    vec!["35150", "CA", "sylacauga"]
-                } else {
-                    vec!["35960", "KT", "centre"]
-                }
-            })
-            .collect();
+        let rows: Vec<Vec<&str>> =
+            (0..40)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        vec!["35150", "CA", "sylacauga"]
+                    } else {
+                        vec!["35960", "KT", "centre"]
+                    }
+                })
+                .collect();
         let data = dataset_from(&["Zip", "State", "City"], &rows);
         let mut dag = Dag::new(3);
         dag.add_edge(0, 1).unwrap();
@@ -598,9 +580,8 @@ mod tests {
     fn exact_posterior_recovers_fd_partner() {
         let (data, bn) = zip_state_city();
         let engine = InferenceEngine::new(&bn, &data);
-        let posterior = engine
-            .posterior(1, &[(0, Value::parse("35150")), (2, Value::text("sylacauga"))])
-            .unwrap();
+        let posterior =
+            engine.posterior(1, &[(0, Value::parse("35150")), (2, Value::text("sylacauga"))]).unwrap();
         let best = argmax_posterior(&posterior).unwrap();
         assert_eq!(best.0, Value::text("CA"));
         assert!(best.1 > 0.9);
@@ -613,9 +594,7 @@ mod tests {
         let (data, bn) = zip_state_city();
         let engine = InferenceEngine::new(&bn, &data);
         // Infer Zip given State and City.
-        let posterior = engine
-            .posterior(0, &[(1, Value::text("KT")), (2, Value::text("centre"))])
-            .unwrap();
+        let posterior = engine.posterior(0, &[(1, Value::text("KT")), (2, Value::text("centre"))]).unwrap();
         let best = argmax_posterior(&posterior).unwrap();
         assert_eq!(best.0, Value::parse("35960"));
     }
@@ -719,9 +698,7 @@ mod tests {
     fn lbp_infers_parent_from_child() {
         let (data, bn) = zip_state_city();
         let engine = InferenceEngine::new(&bn, &data);
-        let lbp = engine
-            .posterior_lbp(0, &[(1, Value::text("CA"))], ApproxConfig::default())
-            .unwrap();
+        let lbp = engine.posterior_lbp(0, &[(1, Value::text("CA"))], ApproxConfig::default()).unwrap();
         assert_eq!(argmax_posterior(&lbp).unwrap().0, Value::parse("35150"));
     }
 

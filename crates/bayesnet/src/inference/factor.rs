@@ -90,7 +90,7 @@ impl Factor {
                 )));
             }
         }
-        if cards.iter().any(|&c| c == 0) {
+        if cards.contains(&0) {
             return Err(FactorError::InconsistentScope("zero cardinality".to_string()));
         }
         let expected = cards.iter().product::<usize>();
@@ -399,12 +399,7 @@ mod tests {
 
     fn joint_ab() -> Factor {
         // P(A, B) with A in {0,1}, B in {0,1,2}.
-        Factor::new(
-            vec![0, 1],
-            vec![2, 3],
-            vec![0.1, 0.2, 0.1, 0.05, 0.25, 0.3],
-        )
-        .unwrap()
+        Factor::new(vec![0, 1], vec![2, 3], vec![0.1, 0.2, 0.1, 0.05, 0.25, 0.3]).unwrap()
     }
 
     #[test]
@@ -482,12 +477,8 @@ mod tests {
     fn product_over_shared_variable() {
         // P(A) * P(B|A) == P(A, B)
         let p_a = Factor::new(vec![0], vec![2], vec![0.4, 0.6]).unwrap();
-        let p_b_given_a = Factor::new(
-            vec![0, 1],
-            vec![2, 3],
-            vec![0.25, 0.5, 0.25, 1.0 / 12.0, 5.0 / 12.0, 0.5],
-        )
-        .unwrap();
+        let p_b_given_a =
+            Factor::new(vec![0, 1], vec![2, 3], vec![0.25, 0.5, 0.25, 1.0 / 12.0, 5.0 / 12.0, 0.5]).unwrap();
         let joint = p_a.product(&p_b_given_a, DEFAULT_MAX_FACTOR_CELLS).unwrap();
         assert_eq!(joint.vars(), &[0, 1]);
         assert!((joint.value_at(&[0, 1]) - 0.4 * 0.5).abs() < 1e-12);

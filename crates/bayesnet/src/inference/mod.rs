@@ -21,6 +21,8 @@ mod engine;
 mod factor;
 mod rng;
 
-pub use engine::{argmax_posterior, ApproxConfig, DiscreteDomain, InferenceEngine, InferenceError, Posterior};
+pub use engine::{
+    argmax_posterior, ApproxConfig, DiscreteDomain, InferenceEngine, InferenceError, Posterior,
+};
 pub use factor::{Factor, FactorError, DEFAULT_MAX_FACTOR_CELLS};
 pub use rng::SplitMix64;

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod cpt;
 pub mod edit;
 pub mod graph;
@@ -36,6 +37,7 @@ pub mod partition;
 pub mod sim;
 pub mod structure;
 
+pub use compiled::{CompiledCpt, CompiledNetwork};
 pub use cpt::Cpt;
 pub use edit::{EditError, NetworkEdit, NetworkEditor};
 pub use graph::{Dag, GraphError};

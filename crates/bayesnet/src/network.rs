@@ -24,9 +24,8 @@ impl BayesianNetwork {
             dataset.num_columns(),
             "DAG node count must match the dataset's attribute count"
         );
-        let cpts = (0..dag.num_nodes())
-            .map(|node| Cpt::learn(dataset, node, &dag.parents(node), alpha))
-            .collect();
+        let cpts =
+            (0..dag.num_nodes()).map(|node| Cpt::learn(dataset, node, &dag.parents(node), alpha)).collect();
         let attribute_names = dataset.schema().names().iter().map(|s| s.to_string()).collect();
         BayesianNetwork { dag, cpts, attribute_names }
     }
@@ -86,10 +85,8 @@ impl BayesianNetwork {
         };
         for child in self.dag.children(node) {
             let parents = self.dag.parents(child);
-            let parent_values: Vec<Value> = parents
-                .iter()
-                .map(|&p| if p == node { candidate.clone() } else { row[p].clone() })
-                .collect();
+            let parent_values: Vec<Value> =
+                parents.iter().map(|&p| if p == node { candidate.clone() } else { row[p].clone() }).collect();
             score += self.cpts[child].prob(&row[child], &parent_values).max(1e-300).ln();
         }
         score
@@ -105,10 +102,8 @@ impl BayesianNetwork {
         let mut score = 0.0;
         for child in self.dag.children(node) {
             let parents = self.dag.parents(child);
-            let parent_values: Vec<Value> = parents
-                .iter()
-                .map(|&p| if p == node { candidate.clone() } else { row[p].clone() })
-                .collect();
+            let parent_values: Vec<Value> =
+                parents.iter().map(|&p| if p == node { candidate.clone() } else { row[p].clone() }).collect();
             score += self.cpts[child].prob(&row[child], &parent_values).max(1e-300).ln();
         }
         score

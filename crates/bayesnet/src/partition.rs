@@ -99,11 +99,8 @@ mod tests {
     fn subnetworks_may_overlap_without_interference() {
         let subs = partition(&diamond());
         // Node 1 appears in sub-networks of 0, 1 and 3.
-        let containing: Vec<usize> = subs
-            .iter()
-            .filter(|s| s.joint().contains(&1))
-            .map(|s| s.target)
-            .collect();
+        let containing: Vec<usize> =
+            subs.iter().filter(|s| s.joint().contains(&1)).map(|s| s.target).collect();
         assert_eq!(containing, vec![0, 1, 3]);
     }
 

@@ -170,12 +170,7 @@ mod tests {
 
     #[test]
     fn similarities_stay_in_unit_interval() {
-        let pairs = [
-            ("", "abcdef"),
-            ("a", "aaaaaaaaaa"),
-            ("25676x00", "25676000"),
-            ("KT", "CA"),
-        ];
+        let pairs = [("", "abcdef"), ("a", "aaaaaaaaaa"), ("25676x00", "25676000"), ("KT", "CA")];
         for (a, b) in pairs {
             let s = edit_similarity(a, b);
             assert!((0.0..=1.0).contains(&s), "{a} vs {b} -> {s}");

@@ -40,14 +40,10 @@ pub fn similarity_samples(dataset: &Dataset, config: FdxConfig) -> Option<Matrix
     if n < 2 || m == 0 {
         return None;
     }
-    let types: Vec<_> = (0..m)
-        .map(|c| dataset.schema().attribute(c).expect("column in range").ty)
-        .collect();
+    let types: Vec<_> = (0..m).map(|c| dataset.schema().attribute(c).expect("column in range").ty).collect();
     let mut rows: Vec<Vec<f64>> = Vec::new();
     for sort_attr in 0..m {
-        let order = dataset
-            .argsort_by_column(sort_attr)
-            .expect("sort attribute index is in range");
+        let order = dataset.argsort_by_column(sort_attr).expect("sort attribute index is in range");
         let pairs = n - 1;
         // Evenly subsample adjacent pairs if there are too many.
         let step = if pairs > config.max_pairs_per_attribute {

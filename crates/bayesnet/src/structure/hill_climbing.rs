@@ -70,7 +70,7 @@ pub fn hill_climb(dataset: &Dataset, config: HillClimbConfig) -> Dag {
                     if let Some(candidate) = apply_move(&dag, mv, config.max_parents) {
                         let score = bic_score(dataset, &candidate, config.alpha);
                         if score > current_score + config.min_improvement
-                            && best.as_ref().map_or(true, |(s, _)| score > *s)
+                            && best.as_ref().is_none_or(|(s, _)| score > *s)
                         {
                             best = Some((score, mv));
                         }
@@ -143,9 +143,8 @@ mod tests {
     #[test]
     fn bic_penalises_spurious_edges() {
         // Two independent uniform columns: the empty structure should win.
-        let rows: Vec<Vec<String>> = (0..60)
-            .map(|i| vec![format!("a{}", i % 2), format!("b{}", (i / 7) % 3)])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            (0..60).map(|i| vec![format!("a{}", i % 2), format!("b{}", (i / 7) % 3)]).collect();
         let refs: Vec<Vec<&str>> = rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
         let data = dataset_from(&["x", "y"], &refs);
         let empty = Dag::new(2);
@@ -157,13 +156,7 @@ mod tests {
     #[test]
     fn respects_max_parents() {
         let rows: Vec<Vec<&str>> = (0..30)
-            .map(|i| {
-                if i % 2 == 0 {
-                    vec!["a", "a", "a", "a"]
-                } else {
-                    vec!["b", "b", "b", "b"]
-                }
-            })
+            .map(|i| if i % 2 == 0 { vec!["a", "a", "a", "a"] } else { vec!["b", "b", "b", "b"] })
             .collect();
         let data = dataset_from(&["w", "x", "y", "z"], &rows);
         let dag = hill_climb(&data, HillClimbConfig { max_parents: 1, ..Default::default() });

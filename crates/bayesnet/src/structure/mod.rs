@@ -7,4 +7,6 @@ pub mod skeleton;
 
 pub use fdx::{similarity_samples, FdxConfig};
 pub use hill_climbing::{bic_score, hill_climb, HillClimbConfig};
-pub use skeleton::{autoregression_matrix, learn_structure, threshold_to_dag, LearnedStructure, StructureConfig};
+pub use skeleton::{
+    autoregression_matrix, learn_structure, threshold_to_dag, LearnedStructure, StructureConfig,
+};

@@ -100,11 +100,7 @@ pub fn learn_structure(dataset: &Dataset, config: StructureConfig) -> LearnedStr
     let domains = Domains::compute(dataset);
     let mut ordering: Vec<usize> = (0..m).collect();
     ordering.sort_by(|&a, &b| {
-        domains
-            .attribute(b)
-            .cardinality()
-            .cmp(&domains.attribute(a).cardinality())
-            .then(a.cmp(&b))
+        domains.attribute(b).cardinality().cmp(&domains.attribute(a).cardinality()).then(a.cmp(&b))
     });
 
     let weights = autoregression_matrix(&precision, &ordering);
@@ -330,13 +326,7 @@ mod tests {
     fn max_parents_respected() {
         // Fully correlated attributes: every column equals every other.
         let rows: Vec<Vec<&str>> = (0..40)
-            .map(|i| {
-                if i % 2 == 0 {
-                    vec!["a", "a", "a", "a"]
-                } else {
-                    vec!["b", "b", "b", "b"]
-                }
-            })
+            .map(|i| if i % 2 == 0 { vec!["a", "a", "a", "a"] } else { vec!["b", "b", "b", "b"] })
             .collect();
         let d = dataset_from(&["w", "x", "y", "z"], &rows);
         let cfg = StructureConfig { max_parents: 1, weight_threshold: 0.01, ..Default::default() };

@@ -1,8 +1,8 @@
 //! Property-based tests for the Bayesian network crate.
 
 use bclean_bayesnet::{
-    edit_similarity, learn_structure, levenshtein, numeric_similarity, partition, BayesianNetwork,
-    Dag, StructureConfig,
+    edit_similarity, learn_structure, levenshtein, numeric_similarity, partition, BayesianNetwork, Dag,
+    StructureConfig,
 };
 use bclean_data::{dataset_from, Value};
 use proptest::prelude::*;

@@ -22,9 +22,8 @@ fn bench_repair_query(c: &mut Criterion) {
 
     let bench = BenchmarkDataset::Hospital.build_sized(300, 11);
     let constraints = bclean_constraints(BenchmarkDataset::Hospital);
-    let model = BClean::new(Variant::PartitionedInference.config())
-        .with_constraints(constraints)
-        .fit(&bench.dirty);
+    let model =
+        BClean::new(Variant::PartitionedInference.config()).with_constraints(constraints).fit(&bench.dirty);
     let network = model.network();
     let engine = InferenceEngine::new(network, &bench.dirty);
 
@@ -57,13 +56,15 @@ fn bench_repair_query(c: &mut Criterion) {
                 .fold(f64::NEG_INFINITY, f64::max)
         })
     });
-    group.bench_function("variable_elimination", |b| {
-        b.iter(|| engine.posterior(col, &evidence).unwrap())
-    });
+    group.bench_function("variable_elimination", |b| b.iter(|| engine.posterior(col, &evidence).unwrap()));
     group.bench_function("gibbs_500_samples", |b| {
         b.iter(|| {
             engine
-                .posterior_gibbs(col, &evidence, ApproxConfig { samples: 500, burn_in: 50, ..Default::default() })
+                .posterior_gibbs(
+                    col,
+                    &evidence,
+                    ApproxConfig { samples: 500, burn_in: 50, ..Default::default() },
+                )
                 .unwrap()
         })
     });

@@ -3,8 +3,8 @@
 //! the pruning strategies on end-to-end cleaning — the §6 optimisation
 //! ablations called out in DESIGN.md.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 use bclean_core::{BClean, BCleanConfig, CompensatoryModel, CompensatoryParams, ConstraintSet, Variant};
 use bclean_datagen::BenchmarkDataset;
@@ -19,16 +19,11 @@ fn bench_candidate_scoring(c: &mut Criterion) {
     let model = BClean::new(Variant::PartitionedInference.config())
         .with_constraints(constraints.clone())
         .fit(&bench_data.dirty);
-    let full_model = BClean::new(Variant::Basic.config())
-        .with_constraints(constraints)
-        .fit(&bench_data.dirty);
+    let full_model =
+        BClean::new(Variant::Basic.config()).with_constraints(constraints).fit(&bench_data.dirty);
     // Score every candidate of one cell repeatedly.
-    group.bench_function("markov_blanket", |b| {
-        b.iter(|| model.score_candidates(&bench_data.dirty, 3, 4))
-    });
-    group.bench_function("full_joint", |b| {
-        b.iter(|| full_model.score_candidates(&bench_data.dirty, 3, 4))
-    });
+    group.bench_function("markov_blanket", |b| b.iter(|| model.score_candidates(&bench_data.dirty, 3, 4)));
+    group.bench_function("full_joint", |b| b.iter(|| full_model.score_candidates(&bench_data.dirty, 3, 4)));
     group.finish();
 }
 

@@ -2,8 +2,8 @@
 //! matching of user-constraint patterns, CPT learning/lookup, and dataset
 //! generation + error injection.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 use bclean_bayesnet::{edit_similarity, BayesianNetwork, Dag};
 use bclean_datagen::{BenchmarkDataset, ErrorSpec};
@@ -31,10 +31,9 @@ fn bench_regex(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_millis(900));
     let zip = Regex::new("^([1-9][0-9]{4,4})$").expect("valid pattern");
-    let time = Regex::new(
-        r"([1-9]:[0-5][0-9][ap]\.m\.|1[0-2]:[0-5][0-9][ap]\.m\.|0[1-9]:[0-5][0-9][ap]\.m\.)",
-    )
-    .expect("valid pattern");
+    let time =
+        Regex::new(r"([1-9]:[0-5][0-9][ap]\.m\.|1[0-2]:[0-5][0-9][ap]\.m\.|0[1-9]:[0-5][0-9][ap]\.m\.)")
+            .expect("valid pattern");
     group.bench_function("zip_match", |b| b.iter(|| zip.is_full_match("35150")));
     group.bench_function("zip_reject", |b| b.iter(|| zip.is_full_match("3x150")));
     group.bench_function("time_match", |b| b.iter(|| time.is_full_match("12:45p.m.")));
@@ -55,14 +54,10 @@ fn bench_cpt(c: &mut Criterion) {
     for to in [1usize, 3, 4, 5] {
         dag.add_edge(0, to).expect("valid edge");
     }
-    group.bench_function("learn_parameters", |b| {
-        b.iter(|| BayesianNetwork::learn(&data, dag.clone(), 0.1))
-    });
+    group.bench_function("learn_parameters", |b| b.iter(|| BayesianNetwork::learn(&data, dag.clone(), 0.1)));
     let bn = BayesianNetwork::learn(&data, dag, 0.1);
     let row = data.row(7).expect("row exists").to_vec();
-    group.bench_function("blanket_score", |b| {
-        b.iter(|| bn.blanket_log_score(&row, 4, &row[4]))
-    });
+    group.bench_function("blanket_score", |b| b.iter(|| bn.blanket_log_score(&row, 4, &row[4])));
     group.bench_function("log_joint", |b| b.iter(|| bn.log_joint(&row)));
     group.finish();
 }

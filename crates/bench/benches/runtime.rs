@@ -1,8 +1,8 @@
 //! End-to-end cleaning runtime (Table 7's execution-time comparison):
 //! BClean variants and every baseline on small instances of the benchmarks.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 use bclean_core::Variant;
 use bclean_datagen::BenchmarkDataset;

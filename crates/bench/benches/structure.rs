@@ -3,10 +3,12 @@
 //! its own. This is the ablation of the §4 design choice called out in
 //! DESIGN.md.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
-use bclean_bayesnet::{hill_climb, learn_structure, similarity_samples, FdxConfig, HillClimbConfig, StructureConfig};
+use bclean_bayesnet::{
+    hill_climb, learn_structure, similarity_samples, FdxConfig, HillClimbConfig, StructureConfig,
+};
 use bclean_datagen::BenchmarkDataset;
 use bclean_linalg::{correlation_matrix, graphical_lasso, GlassoConfig};
 

@@ -65,6 +65,7 @@ fn main() {
         "fig4ef" => fig4ef(scale),
         "fig5" => fig5(scale),
         "netedit" => netedit(scale),
+        "bench_clean" => bench_clean(scale),
         "all" => {
             tables_4_and_7(scale);
             table5(scale);
@@ -77,6 +78,7 @@ fn main() {
             fig4ef(scale);
             fig5(scale);
             netedit(scale);
+            bench_clean(scale);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -90,8 +92,10 @@ fn print_help() {
     println!(
         "experiments — regenerate the BClean paper's tables and figures\n\n\
          EXPERIMENTS: table4 table5 table6 table7 table8 table9 table10\n\
-                      fig4a fig4bcd fig4ef fig5 netedit all\n\
-         OPTIONS:     --scale small|default|full   (default: small)"
+                      fig4a fig4bcd fig4ef fig5 netedit bench_clean all\n\
+         OPTIONS:     --scale small|default|full   (default: small)\n\n\
+         bench_clean additionally writes BENCH_clean.json (machine-readable\n\
+         cleaning-throughput trajectory: encoded engine vs Value-path baseline)."
     );
 }
 
@@ -192,12 +196,9 @@ fn table5(scale: Scale) {
     };
     let bench = BenchmarkDataset::Soccer.build_sized(rows, EXPERIMENT_SEED + 5);
     let mut table = TextTable::new(vec!["Method", "P/R/F1"]);
-    for method in [
-        Method::BClean(Variant::PartitionedInference),
-        Method::HoloClean,
-        Method::PClean,
-        Method::RahaBaran,
-    ] {
+    for method in
+        [Method::BClean(Variant::PartitionedInference), Method::HoloClean, Method::PClean, Method::RahaBaran]
+    {
         let run = run_method(method, BenchmarkDataset::Soccer, &bench);
         table.add_row(vec![run.method.clone(), run.metrics.triple()]);
     }
@@ -208,12 +209,8 @@ fn table5(scale: Scale) {
 fn table6(scale: Scale) {
     println!("## Table 6 — recall for different types of errors (T / M / I)\n");
     let datasets = [BenchmarkDataset::Soccer, BenchmarkDataset::Inpatient, BenchmarkDataset::Facilities];
-    let methods = [
-        Method::BClean(Variant::PartitionedInference),
-        Method::PClean,
-        Method::HoloClean,
-        Method::RahaBaran,
-    ];
+    let methods =
+        [Method::BClean(Variant::PartitionedInference), Method::PClean, Method::HoloClean, Method::RahaBaran];
     let mut table = TextTable::new(
         std::iter::once("Method".to_string())
             .chain(datasets.iter().map(|d| format!("{} (T/M/I)", d.name())))
@@ -228,7 +225,12 @@ fn table6(scale: Scale) {
             let fmt = |t: ErrorType| {
                 recalls.recall(t).map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".to_string())
             };
-            row.push(format!("{}/{}/{}", fmt(ErrorType::Typo), fmt(ErrorType::Missing), fmt(ErrorType::Inconsistency)));
+            row.push(format!(
+                "{}/{}/{}",
+                fmt(ErrorType::Typo),
+                fmt(ErrorType::Missing),
+                fmt(ErrorType::Inconsistency)
+            ));
         }
         table.add_row(row);
     }
@@ -282,11 +284,7 @@ fn fig4a(scale: Scale) {
 fn fig4bcd(scale: Scale) {
     println!("## Figure 4(b)-(d) — F1 vs. error ratio (10%..70%)\n");
     let datasets = [BenchmarkDataset::Flights, BenchmarkDataset::Inpatient, BenchmarkDataset::Facilities];
-    let methods = [
-        Method::BClean(Variant::PartitionedInference),
-        Method::RahaBaran,
-        Method::HoloClean,
-    ];
+    let methods = [Method::BClean(Variant::PartitionedInference), Method::RahaBaran, Method::HoloClean];
     for dataset in datasets {
         println!("### {}\n", dataset.name());
         let mut table = TextTable::new(vec!["Error rate", "BCleanPI", "Raha+Baran", "HoloClean"]);
@@ -308,16 +306,9 @@ fn fig4bcd(scale: Scale) {
 /// Figure 4(e)–(f) — recall under swapping-value errors (same / different domain).
 fn fig4ef(scale: Scale) {
     println!("## Figure 4(e)-(f) — recall under swapping value errors\n");
-    let cases = [
-        (BenchmarkDataset::Inpatient, 0.10),
-        (BenchmarkDataset::Facilities, 0.05),
-    ];
-    let methods = [
-        Method::BClean(Variant::PartitionedInference),
-        Method::PClean,
-        Method::HoloClean,
-        Method::RahaBaran,
-    ];
+    let cases = [(BenchmarkDataset::Inpatient, 0.10), (BenchmarkDataset::Facilities, 0.05)];
+    let methods =
+        [Method::BClean(Variant::PartitionedInference), Method::PClean, Method::HoloClean, Method::RahaBaran];
     for (dataset, rate) in cases {
         println!("### {} ({}% swap errors)\n", dataset.name(), (rate * 100.0) as u32);
         let mut table = TextTable::new(vec!["Method", "Same domain", "Different domain"]);
@@ -370,10 +361,113 @@ fn fig5(scale: Scale) {
                 (_, Some(kind)) => full.without_kind(kind),
                 _ => full.clone(),
             };
-            let (metrics, _) = run_bclean_evaluated(Variant::PartitionedInference.config(), constraints, &bench);
-            table.add_row(vec![label.to_string(), format!("{:.3}", metrics.precision), format!("{:.3}", metrics.recall)]);
+            let (metrics, _) =
+                run_bclean_evaluated(Variant::PartitionedInference.config(), constraints, &bench);
+            table.add_row(vec![
+                label.to_string(),
+                format!("{:.3}", metrics.precision),
+                format!("{:.3}", metrics.recall),
+            ]);
         }
         println!("{}", table.render());
+    }
+}
+
+/// Cleaning-throughput benchmark: the dictionary-encoded engine
+/// (`BCleanModel::clean`) against the retained `Value`-path baseline
+/// (`BCleanModel::clean_reference`) on the Hospital workload, one BClean
+/// variant per row. Besides the stdout table, the measurements are written
+/// to `BENCH_clean.json` so the performance trajectory is machine-readable
+/// and tracked across PRs.
+fn bench_clean(scale: Scale) {
+    println!("## BENCH_clean — encoded engine vs Value-path baseline (Hospital)\n");
+    let total_start = std::time::Instant::now();
+    let rows = scale.rows(BenchmarkDataset::Hospital);
+    let bench = BenchmarkDataset::Hospital.build_sized(rows, EXPERIMENT_SEED);
+    let constraints = bclean_constraints(BenchmarkDataset::Hospital);
+    let cols = bench.dirty.num_columns();
+    let iters = 3usize;
+
+    let mut table =
+        TextTable::new(vec!["Variant", "Engine", "Fit", "Clean (best)", "Rows/s", "Repairs", "Speedup"]);
+    let mut runs_json: Vec<String> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for variant in Variant::all() {
+        // threads = 1 for timing fidelity: the point is engine throughput,
+        // not pool scaling (the executor is shared by both engines anyway).
+        let model = BClean::new(variant.config().with_threads(1))
+            .with_constraints(constraints.clone())
+            .fit(&bench.dirty);
+        let mut per_engine: Vec<(&str, f64, usize, Duration)> = Vec::new();
+        for engine in ["encoded", "reference"] {
+            let mut best = f64::INFINITY;
+            let mut repairs = 0usize;
+            let mut fit_time = Duration::ZERO;
+            for _ in 0..iters {
+                let start = std::time::Instant::now();
+                let result = if engine == "encoded" {
+                    model.clean(&bench.dirty)
+                } else {
+                    model.clean_reference(&bench.dirty)
+                };
+                best = best.min(start.elapsed().as_secs_f64());
+                repairs = result.repairs.len();
+                fit_time = result.stats.fit_duration;
+            }
+            per_engine.push((engine, best, repairs, fit_time));
+        }
+        let encoded = per_engine[0];
+        let reference = per_engine[1];
+        let speedup = reference.1 / encoded.1.max(1e-12);
+        speedups.push((variant.name().to_string(), speedup));
+        for (engine, best, repairs, fit_time) in &per_engine {
+            let rows_per_sec = rows as f64 / best.max(1e-12);
+            table.add_row(vec![
+                variant.name().to_string(),
+                engine.to_string(),
+                format_duration(*fit_time),
+                format!("{:.4}s", best),
+                format!("{rows_per_sec:.0}"),
+                repairs.to_string(),
+                if *engine == "encoded" { format!("{speedup:.2}x") } else { "1.00x".to_string() },
+            ]);
+            runs_json.push(format!(
+                "    {{\"variant\": \"{}\", \"engine\": \"{}\", \"fit_seconds\": {:.6}, \
+                 \"clean_seconds\": {:.6}, \"rows_per_sec\": {:.2}, \"cells_per_sec\": {:.2}, \
+                 \"repairs\": {}}}",
+                variant.name(),
+                engine,
+                fit_time.as_secs_f64(),
+                best,
+                rows_per_sec,
+                (rows * cols) as f64 / best.max(1e-12),
+                repairs
+            ));
+        }
+    }
+    println!("{}", table.render());
+
+    let min_speedup = speedups.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+    let speedup_json: Vec<String> =
+        speedups.iter().map(|(name, s)| format!("    \"{name}\": {s:.3}")).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"Hospital\",\n  \"scale\": \"{:?}\",\n  \"rows\": {},\n  \
+         \"columns\": {},\n  \"cells\": {},\n  \"threads\": 1,\n  \"clean_iters\": {},\n  \
+         \"runs\": [\n{}\n  ],\n  \"speedup_encoded_vs_reference\": {{\n{}\n  }},\n  \
+         \"min_speedup\": {:.3},\n  \"total_wall_seconds\": {:.3}\n}}\n",
+        scale,
+        rows,
+        cols,
+        rows * cols,
+        iters,
+        runs_json.join(",\n"),
+        speedup_json.join(",\n"),
+        min_speedup,
+        total_start.elapsed().as_secs_f64(),
+    );
+    match std::fs::write("BENCH_clean.json", &json) {
+        Ok(()) => println!("wrote BENCH_clean.json (min speedup {min_speedup:.2}x)\n"),
+        Err(e) => eprintln!("could not write BENCH_clean.json: {e}"),
     }
 }
 
@@ -392,9 +486,8 @@ fn netedit(scale: Scale) {
     let auto_metrics = evaluate(&bench.dirty, &auto_result.cleaned, &bench.clean).expect("shapes match");
 
     // User adjustment: make `flight` the parent of the four time attributes.
-    let mut edited_model = BClean::new(Variant::PartitionedInference.config())
-        .with_constraints(constraints)
-        .fit(&bench.dirty);
+    let mut edited_model =
+        BClean::new(Variant::PartitionedInference.config()).with_constraints(constraints).fit(&bench.dirty);
     let schema = bench.dirty.schema();
     let flight = schema.index_of("flight").expect("flight attribute exists");
     let mut edits = Vec::new();

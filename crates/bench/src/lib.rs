@@ -58,7 +58,9 @@ mod tests {
         assert_eq!(Scale::parse("default"), Some(Scale::Default));
         assert_eq!(Scale::parse("full"), Some(Scale::Full));
         assert_eq!(Scale::parse("nope"), None);
-        assert!(Scale::Small.rows(BenchmarkDataset::Hospital) < Scale::Default.rows(BenchmarkDataset::Hospital));
+        assert!(
+            Scale::Small.rows(BenchmarkDataset::Hospital) < Scale::Default.rows(BenchmarkDataset::Hospital)
+        );
         assert_eq!(Scale::Full.rows(BenchmarkDataset::Soccer), 200_000);
         assert_eq!(Scale::Default.rows(BenchmarkDataset::Soccer), 20_000);
     }

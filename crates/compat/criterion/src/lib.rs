@@ -94,7 +94,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark a closure over a borrowed input.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -162,7 +167,13 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, warm_up: Duration, measurement: Duration, mut f: F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) {
     // Warm-up phase: keep running single iterations until the budget is spent,
     // and use the observed per-iteration time to size the samples.
     let warm_start = Instant::now();
@@ -247,7 +258,10 @@ mod tests {
     fn bench_function_runs_the_closure() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("smoke");
-        group.sample_size(2).warm_up_time(Duration::from_millis(1)).measurement_time(Duration::from_millis(2));
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
         let mut ran = false;
         group.bench_function("noop", |b| {
             b.iter(|| 1 + 1);

@@ -122,7 +122,13 @@ pub mod strategy {
         /// strategy for one level up; generation expands a random number of
         /// levels up to `depth`. `desired_size` / `expected_branch_size` are
         /// accepted for signature compatibility and ignored.
-        fn prop_recursive<S2, F>(self, depth: u32, _desired_size: u32, _expected_branch_size: u32, f: F) -> Recursive<Self::Value>
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> Recursive<Self::Value>
         where
             Self: Sized + 'static,
             S2: Strategy<Value = Self::Value> + 'static,
@@ -574,7 +580,10 @@ pub mod string {
                     expand_class(&class)?
                 }
                 '(' | ')' | '|' | '^' | '$' => {
-                    return Err(Error(format!("unsupported construct {:?} (stub supports literals, classes and quantifiers only)", chars[i])));
+                    return Err(Error(format!(
+                        "unsupported construct {:?} (stub supports literals, classes and quantifiers only)",
+                        chars[i]
+                    )));
                 }
                 '\\' => {
                     i += 1;
@@ -582,7 +591,11 @@ pub mod string {
                     i += 1;
                     match escaped {
                         'd' => ('0'..='9').collect(),
-                        'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(std::iter::once('_')).collect(),
+                        'w' => ('a'..='z')
+                            .chain('A'..='Z')
+                            .chain('0'..='9')
+                            .chain(std::iter::once('_'))
+                            .collect(),
                         's' => vec![' ', '\t'],
                         other => vec![other],
                     }
@@ -658,7 +671,9 @@ pub mod string {
                     .ok_or_else(|| Error("unterminated quantifier".into()))?;
                 let body: String = chars[*i + 1..*i + close].iter().collect();
                 *i += close + 1;
-                let parse = |s: &str| s.trim().parse::<usize>().map_err(|_| Error(format!("bad quantifier {body:?}")));
+                let parse = |s: &str| {
+                    s.trim().parse::<usize>().map_err(|_| Error(format!("bad quantifier {body:?}")))
+                };
                 if let Some((lo, hi)) = body.split_once(',') {
                     let min = parse(lo)?;
                     let max = if hi.trim().is_empty() { min + UNBOUNDED_CAP } else { parse(hi)? };
@@ -801,11 +816,8 @@ mod tests {
     #[test]
     fn oneof_and_combinators_compose() {
         let mut rng = TestRng::deterministic("compose");
-        let strategy = prop_oneof![
-            (0usize..3).prop_map(|n| n * 2),
-            Just(99usize),
-        ]
-        .prop_filter("nonzero", |v| *v != 0);
+        let strategy =
+            prop_oneof![(0usize..3).prop_map(|n| n * 2), Just(99usize),].prop_filter("nonzero", |v| *v != 0);
         for _ in 0..200 {
             let v = Strategy::generate(&strategy, &mut rng);
             assert!(v == 2 || v == 4 || v == 99);

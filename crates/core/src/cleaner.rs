@@ -12,11 +12,28 @@
 //!    candidate value `c` satisfying the user constraints it scores
 //!    `log BN[A_j](c) + log CS[A_j](c)` and keeps the arg-max (Algorithm 1),
 //!    with optional tuple pruning (pre-detection) and domain pruning (§6.2).
+//!
+//! # The dictionary-encoded scoring engine
+//!
+//! Fitting dictionary-encodes the dataset ([`bclean_data::encoded`]) and
+//! compiles every model into code-indexed form: the learned CPTs become a
+//! [`CompiledNetwork`] of dense log-probability tables, the compensatory
+//! dictionary becomes code-pair counters, and the per-attribute user
+//! constraints are pre-evaluated over each attribute's domain. Inference
+//! then runs entirely over `u32` code rows — candidate generation, anchor
+//! selection, pruning filters and scoring perform no `Value` hashing and no
+//! `Value` cloning; values are only decoded when a [`Repair`] is emitted.
+//! The compiled path is bit-identical to the original `Value`-keyed scoring,
+//! which survives as [`BCleanModel::clean_reference`] (see
+//! [`crate::reference`]) and serves as its equivalence oracle and
+//! performance baseline.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use bclean_bayesnet::{learn_structure, BayesianNetwork, Dag, NetworkEdit, NetworkEditor};
-use bclean_data::{CellRef, Dataset, Domains, Value};
+use bclean_bayesnet::{learn_structure, BayesianNetwork, CompiledNetwork, Dag, NetworkEdit, NetworkEditor};
+use bclean_data::{CellRef, ColumnDict, Dataset, Domains, EncodedDataset, Schema, Value};
+use bclean_rules::Rule;
 
 use crate::compensatory::CompensatoryModel;
 use crate::config::BCleanConfig;
@@ -68,24 +85,55 @@ impl BClean {
 
     fn fit_with_dag(&self, dataset: &Dataset, dag: Dag, start: Instant) -> BCleanModel {
         let network = BayesianNetwork::learn(dataset, dag, self.config.alpha);
-        let constraints = if self.config.use_constraints {
-            self.constraints.clone()
-        } else {
-            ConstraintSet::new()
-        };
-        let compensatory = CompensatoryModel::build(dataset, &constraints, self.config.params);
+        let constraints =
+            if self.config.use_constraints { self.constraints.clone() } else { ConstraintSet::new() };
+        // Dictionary-encode once; every compiled model below shares the
+        // resulting code space (see the code-order invariant in
+        // `bclean_data::encoded`).
+        let encoded = EncodedDataset::from_dataset(dataset);
+        let compiled = CompiledNetwork::compile(&network, encoded.dicts());
+        let attr_uc_ok = attr_uc_table(&network, encoded.dicts(), &constraints, self.config.use_constraints);
+        let compensatory =
+            CompensatoryModel::build_encoded(dataset, &encoded, &constraints, self.config.params);
         let domains = Domains::compute(dataset);
         let fd_confidence = fd_confidence_matrix(dataset);
         BCleanModel {
             config: self.config.clone(),
             constraints,
             network,
+            compiled,
             compensatory,
             domains,
             fd_confidence,
+            attr_uc_ok,
             fit_duration: start.elapsed(),
         }
     }
+}
+
+/// Pre-evaluate the per-attribute user constraints over every code of every
+/// column (domain values plus null): `table[col][code]` is `UC(decode(code))`.
+/// Evaluating regex/length/predicate constraints once per domain value
+/// instead of once per candidate per cell removes them from the hot loop.
+fn attr_uc_table(
+    network: &BayesianNetwork,
+    dicts: &[ColumnDict],
+    constraints: &ConstraintSet,
+    use_constraints: bool,
+) -> Vec<Vec<bool>> {
+    if !use_constraints {
+        return Vec::new();
+    }
+    dicts
+        .iter()
+        .enumerate()
+        .map(|(col, dict)| {
+            let name = network.attribute_names().get(col);
+            (0..dict.code_space() as u32)
+                .map(|code| name.is_none_or(|n| constraints.check(n, dict.decode(code))))
+                .collect()
+        })
+        .collect()
 }
 
 /// Softened-FD confidence matrix: entry `(k, j)` is how reliably attribute `k`
@@ -103,9 +151,9 @@ fn fd_confidence_matrix(dataset: &Dataset) -> Vec<Vec<f64>> {
                 groups.entry(&row[k]).or_default().push(r);
             }
         }
-        for j in 0..m {
+        for (j, slot) in matrix[k].iter_mut().enumerate() {
             if j == k {
-                matrix[k][j] = 1.0;
+                *slot = 1.0;
                 continue;
             }
             let mut consistent = 0usize;
@@ -125,7 +173,7 @@ fn fd_confidence_matrix(dataset: &Dataset) -> Vec<Vec<f64>> {
                 consistent += counts.values().copied().max().unwrap_or(0);
                 total += group_total;
             }
-            matrix[k][j] = if total == 0 { 0.0 } else { consistent as f64 / total as f64 };
+            *slot = if total == 0 { 0.0 } else { consistent as f64 / total as f64 };
         }
     }
     matrix
@@ -133,15 +181,23 @@ fn fd_confidence_matrix(dataset: &Dataset) -> Vec<Vec<f64>> {
 
 /// A fitted BClean model, ready to clean datasets that share the training
 /// dataset's schema.
+///
+/// Fields are crate-visible so the retained `Value`-path oracle
+/// ([`crate::reference`]) can score through the same fitted state.
 #[derive(Debug, Clone)]
 pub struct BCleanModel {
-    config: BCleanConfig,
-    constraints: ConstraintSet,
-    network: BayesianNetwork,
-    compensatory: CompensatoryModel,
-    domains: Domains,
-    fd_confidence: Vec<Vec<f64>>,
-    fit_duration: std::time::Duration,
+    pub(crate) config: BCleanConfig,
+    pub(crate) constraints: ConstraintSet,
+    pub(crate) network: BayesianNetwork,
+    /// Code-indexed compilation of `network` (shared dictionary order).
+    pub(crate) compiled: CompiledNetwork,
+    pub(crate) compensatory: CompensatoryModel,
+    pub(crate) domains: Domains,
+    pub(crate) fd_confidence: Vec<Vec<f64>>,
+    /// `attr_uc_ok[col][code]`: pre-evaluated per-attribute constraint
+    /// verdicts over the column's code space (empty when constraints are off).
+    pub(crate) attr_uc_ok: Vec<Vec<bool>>,
+    pub(crate) fit_duration: std::time::Duration,
 }
 
 impl BCleanModel {
@@ -165,6 +221,11 @@ impl BCleanModel {
         &self.domains
     }
 
+    /// The per-attribute dictionaries defining the model's code space.
+    pub fn dicts(&self) -> &[ColumnDict] {
+        self.compensatory.dicts()
+    }
+
     /// Apply user edits to the network (paper §4's interaction step) and
     /// relearn the CPTs affected by the edits.
     pub fn edit_network(
@@ -175,6 +236,7 @@ impl BCleanModel {
         let mut editor = NetworkEditor::new(dataset, &self.network, self.config.alpha);
         editor.apply_all(edits)?;
         self.network = editor.finish(&self.network);
+        self.compiled = CompiledNetwork::compile(&self.network, self.compensatory.dicts());
         Ok(())
     }
 
@@ -183,17 +245,36 @@ impl BCleanModel {
     /// included (it is the arg-max baseline of Algorithm 1).
     pub fn score_candidates(&self, dataset: &Dataset, row: usize, col: usize) -> Vec<(Value, f64)> {
         let row_values = dataset.row(row).expect("row index in range");
+        let dicts = self.compensatory.dicts();
+        let row_codes: Vec<u32> = row_values.iter().zip(dicts).map(|(v, d)| d.encode_lossy(v)).collect();
         let original = &row_values[col];
-        let anchor = self.anchor_context(row_values, col);
-        let candidates = self.candidates_for(dataset.schema(), row_values, col, original, anchor);
+        let original_code = row_codes[col];
+        let anchor = self.anchor_context_codes(&row_codes, col);
+        let rules = self.relevant_rules(dataset.schema(), col);
+        let mut candidates = Vec::new();
+        let mut scratch = Vec::new();
+        self.candidate_codes(
+            dataset.schema(),
+            row_values,
+            &row_codes,
+            col,
+            original_code,
+            anchor,
+            &rules,
+            &mut candidates,
+            &mut scratch,
+        );
+        let dict = &dicts[col];
         let mut scored: Vec<(Value, f64)> = candidates
-            .into_iter()
-            .map(|c| {
-                let s = self.score(row_values, col, &c);
-                (c, s)
+            .iter()
+            .map(|&c| {
+                // The pushed original may be outside the dictionary; decode
+                // everything else from the shared code order.
+                let value = if c == original_code { original.clone() } else { dict.decode(c).clone() };
+                (value, self.score_codes(&row_codes, col, c))
             })
             .collect();
-        let original_score = self.score(row_values, col, original);
+        let original_score = self.score_codes(&row_codes, col, original_code);
         if !scored.iter().any(|(c, _)| c == original) {
             scored.push((original.clone(), original_score));
         }
@@ -204,11 +285,27 @@ impl BCleanModel {
     /// Clean a dataset (inference stage, Algorithm 1). Row ranges are
     /// processed through the shared [`ParallelExecutor`], whose ordered merge
     /// makes the result identical for every thread count.
+    ///
+    /// The dataset is dictionary-encoded against the model's fit-time
+    /// [`ColumnDict`]s up front (values the model never observed map to
+    /// per-column unseen sentinels that score through the same fallbacks as
+    /// the `Value` path); all per-cell inference below runs over `u32` codes.
     pub fn clean(&self, dataset: &Dataset) -> CleaningResult {
         let start = Instant::now();
         let n = dataset.num_rows();
+        let m = dataset.num_columns();
+        let dicts = self.compensatory.dicts();
+        // Row-major encode: the only Value hashing of the whole run.
+        let mut codes: Vec<u32> = Vec::with_capacity(n * m);
+        for row in dataset.rows() {
+            for (col, value) in row.iter().enumerate() {
+                codes.push(dicts[col].encode_lossy(value));
+            }
+        }
+        let rules_by_col = self.rules_by_col(dataset.schema());
         let executor = ParallelExecutor::for_config(&self.config, n);
-        let batches = executor.execute(n, |rows| self.clean_rows(dataset, rows.start, rows.end));
+        let batches =
+            executor.execute(n, |rows| self.clean_rows(dataset, &codes, &rules_by_col, rows.start, rows.end));
         let (repairs, mut stats) = merge_cleaning_batches(batches);
         debug_assert!(
             repairs.windows(2).all(|w| (w[0].at.row, w[0].at.col) < (w[1].at.row, w[1].at.col)),
@@ -226,24 +323,46 @@ impl BCleanModel {
         CleaningResult { cleaned, repairs, stats }
     }
 
-    /// Clean a contiguous range of rows (one parallel work unit).
-    fn clean_rows(&self, dataset: &Dataset, lo: usize, hi: usize) -> (Vec<Repair>, CleaningStats) {
+    /// Clean a contiguous range of rows (one parallel work unit) over the
+    /// row-major code matrix.
+    fn clean_rows(
+        &self,
+        dataset: &Dataset,
+        codes: &[u32],
+        rules_by_col: &[Vec<Arc<Rule>>],
+        lo: usize,
+        hi: usize,
+    ) -> (Vec<Repair>, CleaningStats) {
+        let m = dataset.num_columns();
         let mut repairs = Vec::new();
         let mut stats = CleaningStats::default();
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut scratch: Vec<Value> = Vec::new();
         for row_idx in lo..hi {
             let row = dataset.row(row_idx).expect("row index in range");
-            for col in 0..dataset.num_columns() {
+            let row_codes = &codes[row_idx * m..(row_idx + 1) * m];
+            for col in 0..m {
                 // Pre-detection / tuple pruning (§6.2): skip cells that already
                 // co-occur strongly with the rest of their tuple.
                 if self.config.tuple_pruning
                     && !row[col].is_null()
-                    && self.compensatory.filter_score(row, col) >= self.config.tau_clean
+                    && self.compensatory.filter_score_codes(row_codes, col) >= self.config.tau_clean
                 {
                     stats.cells_skipped += 1;
                     continue;
                 }
                 stats.cells_examined += 1;
-                if let Some(repair) = self.infer_cell(dataset, row_idx, row, col, &mut stats) {
+                if let Some(repair) = self.infer_cell_codes(
+                    dataset,
+                    row_idx,
+                    row,
+                    row_codes,
+                    col,
+                    &rules_by_col[col],
+                    &mut candidates,
+                    &mut scratch,
+                    &mut stats,
+                ) {
                     repairs.push(repair);
                 }
             }
@@ -251,181 +370,248 @@ impl BCleanModel {
         (repairs, stats)
     }
 
-    /// Algorithm 1 for one cell: return a repair when some candidate beats the
-    /// observed value.
-    fn infer_cell(
+    /// Algorithm 1 for one cell over dictionary codes: return a repair when
+    /// some candidate beats the observed value. Values are only touched for
+    /// tuple-rule checks (columns referenced by row rules) and when the
+    /// winning candidate is decoded into the emitted [`Repair`].
+    #[allow(clippy::too_many_arguments)]
+    fn infer_cell_codes(
         &self,
         dataset: &Dataset,
         row_idx: usize,
         row: &[Value],
+        row_codes: &[u32],
         col: usize,
+        rules: &[Arc<Rule>],
+        candidates: &mut Vec<u32>,
+        scratch: &mut Vec<Value>,
         stats: &mut CleaningStats,
     ) -> Option<Repair> {
         let original = &row[col];
-        let anchor = self.anchor_context(row, col);
+        let original_code = row_codes[col];
+        let anchor = self.anchor_context_codes(row_codes, col);
         // A value that violates its own user constraints is known to be wrong
         // (Eq. 1 restricts the arg-max to UC-satisfying values), so it cannot
         // defend its cell: the best constraint-satisfying candidate wins.
         let original_satisfies_uc = !self.config.use_constraints
-            || (self
-                .network
-                .attribute_names()
-                .get(col)
-                .map_or(true, |name| self.constraints.check(name, original))
-                && self.constraints.check_tuple_with(dataset.schema(), row, col, original));
+            || (self.attr_ok(col, original_code, original)
+                && (rules.is_empty() || rules.iter().all(|r| r.check_row(dataset.schema(), row))));
         let original_score = if original_satisfies_uc {
-            self.score(row, col, original)
+            self.score_codes(row_codes, col, original_code)
         } else {
             f64::NEG_INFINITY
         };
-        let mut best_value: Option<Value> = None;
+        let mut best_code: Option<u32> = None;
         let mut best_score = original_score;
 
-        let base_margin = if anchor.is_some() { self.config.repair_margin } else { self.config.no_anchor_margin };
-        for candidate in self.candidates_for(dataset.schema(), row, col, original, anchor) {
-            if &candidate == original {
+        let base_margin =
+            if anchor.is_some() { self.config.repair_margin } else { self.config.no_anchor_margin };
+        self.candidate_codes(
+            dataset.schema(),
+            row,
+            row_codes,
+            col,
+            original_code,
+            anchor,
+            rules,
+            candidates,
+            scratch,
+        );
+        for &candidate in candidates.iter() {
+            if candidate == original_code {
                 continue;
             }
             stats.candidates_evaluated += 1;
-            let score = self.score(row, col, &candidate);
-            let margin = if best_value.is_none() && original_score.is_finite() {
-                base_margin
-            } else {
-                0.0
-            };
+            let score = self.score_codes(row_codes, col, candidate);
+            let margin = if best_code.is_none() && original_score.is_finite() { base_margin } else { 0.0 };
             if score > best_score + margin {
                 best_score = score;
-                best_value = Some(candidate);
+                best_code = Some(candidate);
             }
         }
 
-        best_value.map(|to| Repair {
+        best_code.map(|code| Repair {
             at: CellRef::new(row_idx, col),
-            attribute: dataset
-                .schema()
-                .attribute(col)
-                .map(|a| a.name.clone())
-                .unwrap_or_default(),
+            attribute: dataset.schema().attribute(col).map(|a| a.name.clone()).unwrap_or_default(),
             from: original.clone(),
-            to,
+            to: self.compensatory.dicts()[col].decode(code).clone(),
             score_gain: if original_score.is_finite() { best_score - original_score } else { f64::INFINITY },
         })
     }
 
-    /// The cell's *anchor context*: the most selective other attribute of the
-    /// tuple that (a) reliably determines the cell's attribute (softened-FD
-    /// confidence above the configured threshold) and (b) whose value in this
-    /// tuple is shared by at least one more tuple. Repairs must be
-    /// corroborated by a tuple sharing this value when such an anchor exists.
-    fn anchor_context(&self, row: &[Value], col: usize) -> Option<usize> {
+    /// Per-attribute `UC(value)` verdict for one code, using the
+    /// pre-evaluated table and falling back to a direct check for values
+    /// outside the model's dictionaries.
+    #[inline]
+    fn attr_ok(&self, col: usize, code: u32, value: &Value) -> bool {
+        if let Some(flags) = self.attr_uc_ok.get(col) {
+            if let Some(&ok) = flags.get(code as usize) {
+                return ok;
+            }
+        }
+        self.network.attribute_names().get(col).is_none_or(|name| self.constraints.check(name, value))
+    }
+
+    /// The tuple-level rules relevant to one column of `schema`: the rules
+    /// whose referenced attributes include the column's name.
+    fn relevant_rules(&self, schema: &Schema, col: usize) -> Vec<Arc<Rule>> {
+        if !self.config.use_constraints || self.constraints.row_rules().is_empty() {
+            return Vec::new();
+        }
+        match schema.attribute(col) {
+            Ok(attr) => self
+                .constraints
+                .row_rules()
+                .iter()
+                .filter(|rule| {
+                    rule.referenced_attributes().iter().any(|name| name.eq_ignore_ascii_case(&attr.name))
+                })
+                .cloned()
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// [`BCleanModel::relevant_rules`] for every column, resolved once per
+    /// cleaning run instead of once per candidate.
+    fn rules_by_col(&self, schema: &Schema) -> Vec<Vec<Arc<Rule>>> {
+        (0..schema.arity()).map(|col| self.relevant_rules(schema, col)).collect()
+    }
+
+    /// The cell's *anchor context* over codes: the most selective other
+    /// attribute of the tuple that (a) reliably determines the cell's
+    /// attribute (softened-FD confidence above the configured threshold) and
+    /// (b) whose value in this tuple is shared by at least one more tuple.
+    /// Repairs must be corroborated by a tuple sharing this value when such
+    /// an anchor exists.
+    fn anchor_context_codes(&self, row_codes: &[u32], col: usize) -> Option<usize> {
         if !self.config.anchored_candidates {
             return None;
         }
+        let dicts = self.compensatory.dicts();
         let mut best: Option<(usize, usize)> = None;
-        for k in 0..row.len() {
-            if k == col || row[k].is_null() {
+        for (k, &code) in row_codes.iter().enumerate() {
+            if k == col || code == dicts[k].null_code() {
                 continue;
             }
             if self.fd_confidence[k][col] < self.config.anchor_min_confidence {
                 continue;
             }
-            let count = self.compensatory.value_count(k, &row[k]);
+            let count = self.compensatory.value_count_code(k, code);
             if count < 2 {
                 continue;
             }
-            if best.map_or(true, |(_, c)| count < c) {
+            if best.is_none_or(|(_, c)| count < c) {
                 best = Some((k, count));
             }
         }
         best.map(|(k, _)| k)
     }
 
-    /// Candidate generation: domain values, filtered by user constraints
-    /// (Eq. 1's `UC(c) = 1`, both per-attribute and tuple-level rules), by the
-    /// anchor-corroboration requirement, and optionally by domain pruning (§6.2).
-    fn candidates_for(
+    /// Candidate generation over codes: the column's domain codes, filtered
+    /// by the pre-evaluated per-attribute constraints, by the tuple-level
+    /// rules relevant to the column (Eq. 1's `UC(c) = 1`), by the
+    /// anchor-corroboration requirement, and optionally by domain pruning
+    /// (§6.2). The observed value's code is appended when absent.
+    #[allow(clippy::too_many_arguments)]
+    fn candidate_codes(
         &self,
-        schema: &bclean_data::Schema,
+        schema: &Schema,
         row: &[Value],
+        row_codes: &[u32],
         col: usize,
-        original: &Value,
+        original_code: u32,
         anchor: Option<usize>,
-    ) -> Vec<Value> {
-        let domain = self.domains.attribute(col);
-        let schema_check = |v: &Value| {
-            !self.config.use_constraints
-                || (self
-                    .network
-                    .attribute_names()
-                    .get(col)
-                    .map_or(true, |name| self.constraints.check(name, v))
-                    && self.constraints.check_tuple_with(schema, row, col, v))
-        };
-        let anchored = |v: &Value| match anchor {
-            Some(k) => self.compensatory.pair_count(col, v, k, &row[k]) >= 1,
-            None => true,
-        };
-        let mut candidates: Vec<Value> = domain
-            .values()
-            .iter()
-            .filter(|v| schema_check(v) && anchored(v))
-            .cloned()
-            .collect();
+        rules: &[Arc<Rule>],
+        out: &mut Vec<u32>,
+        scratch: &mut Vec<Value>,
+    ) {
+        let dict = &self.compensatory.dicts()[col];
+        let card = dict.cardinality() as u32;
+        let check_rules = self.config.use_constraints && !rules.is_empty();
+        if check_rules {
+            // Tuple rules are arbitrary value expressions: candidates are
+            // substituted into a scratch copy of the row, cloned once per
+            // cell (only slot `col` changes between candidates).
+            scratch.clear();
+            scratch.extend_from_slice(row);
+        }
+        out.clear();
+        for code in 0..card {
+            if self.config.use_constraints {
+                if !self.attr_uc_ok[col][code as usize] {
+                    continue;
+                }
+                if check_rules {
+                    scratch[col] = dict.decode(code).clone();
+                    if !rules.iter().all(|r| r.check_row(schema, scratch)) {
+                        continue;
+                    }
+                }
+            }
+            if let Some(k) = anchor {
+                if self.compensatory.pair_count_codes(col, code, k, row_codes[k]) < 1 {
+                    continue;
+                }
+            }
+            out.push(code);
+        }
 
-        if self.config.domain_pruning && candidates.len() > self.config.domain_top_k {
+        if self.config.domain_pruning && out.len() > self.config.domain_top_k {
             // Treat the cell's sub-network as the semantic context and keep the
             // TF-IDF top-k candidates.
             let mut context = self.network.dag().joint_set(col);
             if context.len() <= 1 {
                 context = (0..row.len()).collect();
             }
-            let mut scored: Vec<(f64, Value)> = candidates
-                .into_iter()
-                .map(|c| (self.compensatory.tfidf_score(row, col, &c, &context), c))
+            let mut scored: Vec<(f64, u32)> = out
+                .iter()
+                .map(|&c| (self.compensatory.tfidf_score_codes(row_codes, col, c, &context), c))
                 .collect();
             scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-            candidates = scored.into_iter().take(self.config.domain_top_k).map(|(_, c)| c).collect();
+            out.clear();
+            out.extend(scored.into_iter().take(self.config.domain_top_k).map(|(_, c)| c));
         }
 
-        if candidates.len() > self.config.max_candidates {
+        if out.len() > self.config.max_candidates {
             // Deterministic cap for pathological domains: keep the most frequent values.
-            candidates.sort_by_key(|c| std::cmp::Reverse(domain.count(c)));
-            candidates.truncate(self.config.max_candidates);
+            out.sort_by_key(|&c| std::cmp::Reverse(self.compensatory.value_count_code(col, c)));
+            out.truncate(self.config.max_candidates);
         }
 
-        if !original.is_null() && !candidates.iter().any(|c| c == original) {
-            candidates.push(original.clone());
+        if !row[col].is_null() && !out.contains(&original_code) {
+            out.push(original_code);
         }
-        candidates
     }
 
-    /// The Algorithm 1 score of one candidate:
-    /// `log BN[A_j](c) + log CS[A_j](c)`.
+    /// The Algorithm 1 score of one candidate code:
+    /// `log BN[A_j](c) + log CS[A_j](c)`, evaluated entirely through the
+    /// compiled (code-indexed) models.
     ///
     /// Nodes without parents are scored with a uniform prior (paper §6.1):
     /// only the likelihood of their children and the compensatory score
     /// discriminate between candidates, which prevents the raw value
     /// frequency from overwriting rare-but-correct values.
-    fn score(&self, row: &[Value], col: usize, candidate: &Value) -> f64 {
-        let has_parents = !self.network.dag().parents(col).is_empty();
+    fn score_codes(&self, row_codes: &[u32], col: usize, candidate: u32) -> f64 {
+        let has_parents = self.compiled.has_parents(col);
         let bn_score = if self.config.partitioned_inference {
             if has_parents {
-                self.network.blanket_log_score(row, col, candidate)
+                self.compiled.blanket_log_score(row_codes, col, candidate)
             } else {
-                self.network.children_log_likelihood(row, col, candidate)
+                self.compiled.children_log_likelihood(row_codes, col, candidate)
             }
         } else {
             // Whole-network scoring: every factor of the joint is evaluated.
-            let joint = self.network.log_joint_with(row, col, candidate);
+            let joint = self.compiled.log_joint_with(row_codes, col, candidate);
             if has_parents {
                 joint
             } else {
                 // Remove the node's own prior factor (uniform-prior treatment).
-                joint - self.network.cpt(col).marginal_prob(candidate).max(1e-300).ln()
+                joint - self.compiled.log_marginal(col, candidate)
             }
         };
         let comp_score = if self.config.use_compensatory {
-            self.compensatory.log_score(row, col, candidate)
+            self.compensatory.log_score_codes(row_codes, col, candidate)
         } else {
             0.0
         };
@@ -448,11 +634,11 @@ mod tests {
             &[
                 vec!["sylacauga", "CA", "35150"],
                 vec!["sylacauga", "CA", "35150"],
-                vec!["sylacauga", "KT", "35150"],  // inconsistency: should be CA
-                vec!["sylacaugq", "CA", "35150"],  // typo in City
+                vec!["sylacauga", "KT", "35150"], // inconsistency: should be CA
+                vec!["sylacaugq", "CA", "35150"], // typo in City
                 vec!["centre", "KT", "35960"],
                 vec!["centre", "KT", "35960"],
-                vec!["centre", "", "35960"],       // missing State
+                vec!["centre", "", "35960"], // missing State
                 vec!["centre", "KT", "35960"],
                 vec!["sylacauga", "CA", "35150"],
                 vec!["sylacauga", "CA", "35150"],
@@ -590,9 +776,7 @@ mod tests {
             .map(|(from, to)| NetworkEdit::RemoveEdge { from, to })
             .collect();
         model.edit_network(&data, removals).unwrap();
-        model
-            .edit_network(&data, vec![NetworkEdit::AddEdge { from: 2, to: 0 }])
-            .unwrap();
+        model.edit_network(&data, vec![NetworkEdit::AddEdge { from: 2, to: 0 }]).unwrap();
         assert_eq!(model.network().dag().num_edges(), 1);
         assert!(model.network().dag().has_edge(2, 0));
         // Cleaning still works after the edit.
@@ -605,11 +789,8 @@ mod tests {
         // Build a dataset large enough to trigger the parallel path.
         let mut rows = Vec::new();
         for i in 0..200usize {
-            let (city, state, zip) = if i % 2 == 0 {
-                ("sylacauga", "CA", "35150")
-            } else {
-                ("centre", "KT", "35960")
-            };
+            let (city, state, zip) =
+                if i % 2 == 0 { ("sylacauga", "CA", "35150") } else { ("centre", "KT", "35960") };
             // Inject an inconsistency every 20 rows.
             if i % 20 == 5 {
                 rows.push(vec![city.to_string(), "XX".to_string(), zip.to_string()]);
@@ -643,5 +824,49 @@ mod tests {
         assert_eq!(model.domains().len(), 3);
         assert!(model.compensatory().num_rows() == 10);
         assert!(model.config().use_compensatory);
+        assert_eq!(model.dicts().len(), 3);
+    }
+
+    /// Cleaning a dataset containing values the model never saw must not
+    /// panic and must leave well-supported cells intact.
+    #[test]
+    fn cleaning_unseen_values_is_safe() {
+        let data = dirty_dataset();
+        let model =
+            BClean::new(Variant::PartitionedInference.config()).with_constraints(constraints()).fit(&data);
+        let other = dataset_from(
+            &["City", "State", "ZipCode"],
+            &[
+                vec!["gadsden", "ZZ", "99999"], // entirely unseen tuple
+                vec!["sylacauga", "CA", "35150"],
+            ],
+        );
+        let result = model.clean(&other);
+        assert_eq!(result.cleaned.num_rows(), 2);
+        assert_eq!(result.cleaned.cell(1, 0).unwrap(), &Value::text("sylacauga"));
+    }
+
+    /// Tuple-level rules keep filtering candidates on the encoded path.
+    #[test]
+    fn row_rules_filter_candidates() {
+        let data = dataset_from(
+            &["lo", "hi"],
+            &[
+                vec!["1", "5"],
+                vec!["1", "5"],
+                vec!["1", "5"],
+                vec!["2", "6"],
+                vec!["2", "6"],
+                vec!["6", "2"], // violates lo <= hi
+            ],
+        );
+        let ucs = ConstraintSet::new().with_row_rule("num(lo) <= num(hi)").unwrap();
+        let model = BClean::new(Variant::Basic.config()).with_constraints(ucs).fit(&data);
+        let result = model.clean(&data);
+        for row in result.cleaned.rows() {
+            let lo = row[0].as_number().unwrap();
+            let hi = row[1].as_number().unwrap();
+            assert!(lo <= hi, "row rule violated after cleaning: {lo} > {hi}");
+        }
     }
 }

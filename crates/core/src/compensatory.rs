@@ -12,10 +12,21 @@
 //!   low-confidence tuple subtract the penalty `β` (Algorithm 2);
 //! * `Score_corr(c, t, A_j) = Σ_{A_k ≠ A_j} corr(c, t[A_k], A_j, A_k)`
 //!   normalised by `|D|` (Eq. 2).
+//!
+//! # Storage
+//!
+//! The model is *dictionary-compiled*: every attribute value is translated
+//! to its `u32` code (see [`bclean_data::encoded`]) while the model is built,
+//! and all counters are stored per ordered column pair as either a dense
+//! `cardinality × cardinality` matrix (small domains) or a
+//! `HashMap<(u32, u32), _>` (large domains). The inference hot loop queries
+//! the `*_codes` methods with pre-encoded rows and never hashes or clones a
+//! [`Value`]; the `Value`-typed methods remain as a thin facade that encodes
+//! through the stored [`ColumnDict`]s before delegating.
 
 use std::collections::HashMap;
 
-use bclean_data::{Dataset, Value};
+use bclean_data::{ColumnDict, Dataset, EncodedDataset, Value};
 
 use crate::constraints::ConstraintSet;
 
@@ -36,19 +47,86 @@ impl Default for CompensatoryParams {
     }
 }
 
-/// Key of the co-occurrence dictionary: `(attribute j, value of j, attribute k, value of k)`.
-type PairKey = (usize, Value, usize, Value);
+/// Signed correlation plus raw co-occurrence count of one code pair. Built
+/// once per pair per tuple (the pre-refactor model constructed — and hashed —
+/// every `(usize, Value, usize, Value)` key twice).
+#[derive(Debug, Clone, Copy, Default)]
+struct PairEntry {
+    corr: f64,
+    count: u32,
+}
 
-/// The compensatory scoring model: co-occurrence dictionary + value counts.
+/// Dense pair tables above this cell count switch to the hash-map layout.
+const DENSE_PAIR_CELL_CAP: usize = 1 << 14;
+
+/// Co-occurrence counters of one ordered column pair `(j, k)`, indexed by the
+/// columns' dictionary codes (null codes included; unseen codes always miss).
+#[derive(Debug, Clone)]
+enum PairStore {
+    /// Placeholder for the diagonal `(j, j)` slots, which are never counted.
+    Empty,
+    /// Dense `code_space(j) × code_space(k)` matrix.
+    Dense { cols: usize, cells: Vec<PairEntry> },
+    /// Sparse map over observed code pairs.
+    Map(HashMap<(u32, u32), PairEntry>),
+}
+
+impl PairStore {
+    fn with_spaces(rows: usize, cols: usize) -> PairStore {
+        if rows.saturating_mul(cols) <= DENSE_PAIR_CELL_CAP {
+            PairStore::Dense { cols, cells: vec![PairEntry::default(); rows * cols] }
+        } else {
+            PairStore::Map(HashMap::new())
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, a: u32, b: u32, delta: f64) {
+        match self {
+            PairStore::Empty => unreachable!("diagonal pair stores are never updated"),
+            PairStore::Dense { cols, cells } => {
+                let entry = &mut cells[a as usize * *cols + b as usize];
+                entry.corr += delta;
+                entry.count += 1;
+            }
+            PairStore::Map(map) => {
+                let entry = map.entry((a, b)).or_default();
+                entry.corr += delta;
+                entry.count += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, a: u32, b: u32) -> PairEntry {
+        match self {
+            PairStore::Empty => PairEntry::default(),
+            PairStore::Dense { cols, cells } => {
+                let (a, b) = (a as usize, b as usize);
+                if b < *cols && a.saturating_mul(*cols) + b < cells.len() {
+                    cells[a * *cols + b]
+                } else {
+                    PairEntry::default()
+                }
+            }
+            PairStore::Map(map) => map.get(&(a, b)).copied().unwrap_or_default(),
+        }
+    }
+}
+
+/// The compensatory scoring model: code-indexed co-occurrence tables plus
+/// per-attribute value counts, with the fitting dataset's [`ColumnDict`]s
+/// retained so `Value`-typed callers (and the cleaner, when it encodes a
+/// dataset for inference) share the model's code space.
 #[derive(Debug, Clone)]
 pub struct CompensatoryModel {
     params: CompensatoryParams,
-    /// Signed co-occurrence counters (Algorithm 2's `corr`).
-    corr: HashMap<PairKey, f64>,
-    /// Raw (unsigned) pair counts, used by tuple pruning's `Filter`.
-    pair_counts: HashMap<PairKey, usize>,
-    /// Per-attribute value counts `count(v)`.
-    value_counts: Vec<HashMap<Value, usize>>,
+    /// The per-attribute dictionaries the model was compiled with.
+    dicts: Vec<ColumnDict>,
+    /// Pair stores, addressed `pairs[j * m + k]` for the ordered pair (j, k).
+    pairs: Vec<PairStore>,
+    /// Per-attribute code-indexed value counts (null code included).
+    value_counts: Vec<Vec<u32>>,
     /// Number of tuples |D|.
     num_rows: usize,
     /// Number of attributes m.
@@ -61,35 +139,70 @@ impl CompensatoryModel {
     /// Build the model from the observed dataset and the user constraints
     /// (Algorithm 2). With an empty constraint set every tuple has confidence
     /// 1, so all pairs count positively — the `BClean-UC` behaviour.
-    pub fn build(dataset: &Dataset, constraints: &ConstraintSet, params: CompensatoryParams) -> CompensatoryModel {
-        let m = dataset.num_columns();
-        let n = dataset.num_rows();
-        let mut corr: HashMap<PairKey, f64> = HashMap::new();
-        let mut pair_counts: HashMap<PairKey, usize> = HashMap::new();
-        let mut value_counts: Vec<HashMap<Value, usize>> = vec![HashMap::new(); m];
+    pub fn build(
+        dataset: &Dataset,
+        constraints: &ConstraintSet,
+        params: CompensatoryParams,
+    ) -> CompensatoryModel {
+        let encoded = EncodedDataset::from_dataset(dataset);
+        CompensatoryModel::build_encoded(dataset, &encoded, constraints, params)
+    }
+
+    /// Build from a dataset that has already been dictionary-encoded (the
+    /// fit pipeline encodes once and shares the result). `encoded` must be
+    /// the encoding of `dataset`; tuple confidences still need the `Value`
+    /// rows because user constraints are arbitrary value predicates.
+    pub fn build_encoded(
+        dataset: &Dataset,
+        encoded: &EncodedDataset,
+        constraints: &ConstraintSet,
+        params: CompensatoryParams,
+    ) -> CompensatoryModel {
+        let m = encoded.num_columns();
+        let n = encoded.num_rows();
+        assert_eq!(n, dataset.num_rows(), "encoded dataset must match the value dataset");
+        let spaces: Vec<usize> = encoded.dicts().iter().map(|d| d.code_space()).collect();
+        for (col, &space) in spaces.iter().enumerate() {
+            assert!(
+                encoded.column(col).iter().all(|&code| (code as usize) < space),
+                "column {col} contains codes outside its own dictionary: the model must be \
+                 built from an encoding of the fitting dataset (EncodedDataset::from_dataset), \
+                 not a lossy re-encoding against foreign dictionaries"
+            );
+        }
+        let mut pairs: Vec<PairStore> = Vec::with_capacity(m * m);
+        for j in 0..m {
+            for k in 0..m {
+                pairs.push(if j == k {
+                    PairStore::Empty
+                } else {
+                    PairStore::with_spaces(spaces[j], spaces[k])
+                });
+            }
+        }
+        let mut value_counts: Vec<Vec<u32>> = spaces.iter().map(|&s| vec![0u32; s]).collect();
         let mut conf_sum = 0.0;
 
-        for row in dataset.rows() {
+        for (r, row) in dataset.rows().enumerate() {
             let conf = constraints.tuple_confidence(dataset.schema(), row, params.lambda);
             conf_sum += conf;
             let delta = if conf >= params.tau { 1.0 } else { -params.beta };
             for i in 0..m {
-                *value_counts[i].entry(row[i].clone()).or_insert(0) += 1;
+                let a = encoded.code(r, i);
+                value_counts[i][a as usize] += 1;
                 for j in 0..m {
                     if i == j {
                         continue;
                     }
-                    let key = (i, row[i].clone(), j, row[j].clone());
-                    *corr.entry(key.clone()).or_insert(0.0) += delta;
-                    *pair_counts.entry(key).or_insert(0) += 1;
+                    pairs[i * m + j].add(a, encoded.code(r, j), delta);
                 }
             }
         }
 
         CompensatoryModel {
             params,
-            corr,
-            pair_counts,
+            dicts: encoded.dicts().to_vec(),
+            pairs,
             value_counts,
             num_rows: n,
             num_cols: m,
@@ -112,15 +225,46 @@ impl CompensatoryModel {
         self.mean_confidence
     }
 
+    /// The dictionaries the model's code space is defined by, in column
+    /// order. The cleaner encodes datasets against these before inference.
+    pub fn dicts(&self) -> &[ColumnDict] {
+        &self.dicts
+    }
+
+    /// Encode a full `Value` row into this model's code space (unseen values
+    /// map to the per-column unseen sentinel).
+    fn encode_row(&self, row: &[Value]) -> Vec<u32> {
+        row.iter().zip(&self.dicts).map(|(v, d)| d.encode_lossy(v)).collect()
+    }
+
+    #[inline]
+    fn pair(&self, col_j: usize, col_k: usize) -> &PairStore {
+        &self.pairs[col_j * self.num_cols + col_k]
+    }
+
     /// `corr(c, e, A_j, A_k)`: signed, |D|-normalised correlation of the value
     /// pair (paper §5).
     pub fn corr(&self, col_j: usize, c: &Value, col_k: usize, e: &Value) -> f64 {
+        self.corr_codes(col_j, self.dicts[col_j].encode_lossy(c), col_k, self.dicts[col_k].encode_lossy(e))
+    }
+
+    /// Code-space [`CompensatoryModel::corr`].
+    pub fn corr_codes(&self, col_j: usize, c: u32, col_k: usize, e: u32) -> f64 {
         if self.num_rows == 0 {
             return 0.0;
         }
-        self.corr
-            .get(&(col_j, c.clone(), col_k, e.clone()))
-            .map_or(0.0, |v| v / self.num_rows as f64)
+        let entry = self.pair(col_j, col_k).get(c, e);
+        if entry.count == 0 && entry.corr == 0.0 {
+            0.0
+        } else {
+            entry.corr / self.num_rows as f64
+        }
+    }
+
+    /// Raw (unnormalised) signed correlation counter of a code pair.
+    #[inline]
+    fn raw_corr(&self, col_j: usize, c: u32, col_k: usize, e: u32) -> f64 {
+        self.pair(col_j, col_k).get(c, e).corr
     }
 
     /// `Score_corr(c, t, A_j)` (Eq. 2): accumulated correlation between the
@@ -134,25 +278,41 @@ impl CompensatoryModel {
     /// supported by its determinant values (ZipCode, ProviderNumber, …) beats
     /// a globally frequent candidate that never co-occurs with them.
     pub fn score_corr(&self, row: &[Value], col: usize, candidate: &Value) -> f64 {
+        self.score_corr_codes(&self.encode_row(row), col, self.encode_candidate(row, col, candidate))
+    }
+
+    /// Encode a candidate for the self-support comparison inside
+    /// [`CompensatoryModel::score_corr_codes`]. Out-of-dictionary values all
+    /// share one lossy sentinel, so two *different* unseen values (the
+    /// observed cell and the candidate) would otherwise alias and wrongly
+    /// trigger the leave-one-out subtraction; give the candidate a sentinel
+    /// of its own unless it genuinely equals the observed value.
+    fn encode_candidate(&self, row: &[Value], col: usize, candidate: &Value) -> u32 {
+        let dict = &self.dicts[col];
+        match dict.encode(candidate) {
+            Some(code) => code,
+            None if candidate == &row[col] => dict.unseen_code(),
+            None => dict.unseen_code() + 1,
+        }
+    }
+
+    /// Code-space [`CompensatoryModel::score_corr`]: the steady-state scoring
+    /// entry point — integer lookups only, no `Value` hashing or cloning.
+    pub fn score_corr_codes(&self, codes: &[u32], col: usize, candidate: u32) -> f64 {
         if self.num_rows == 0 {
             return 0.0;
         }
         // Leave-one-out: the tuple being scored always co-occurs with itself,
         // which would otherwise give the observed (possibly erroneous) value a
         // spurious unit of support over every alternative candidate.
-        let self_support = if candidate == &row[col] { 1.0 } else { 0.0 };
+        let self_support = if candidate == codes[col] { 1.0 } else { 0.0 };
         let mut score = 0.0;
-        for k in 0..self.num_cols {
+        for (k, &code) in codes.iter().enumerate().take(self.num_cols) {
             if k == col {
                 continue;
             }
-            let signed = self
-                .corr
-                .get(&(col, candidate.clone(), k, row[k].clone()))
-                .copied()
-                .unwrap_or(0.0)
-                - self_support;
-            let context_count = (self.value_count(k, &row[k]).max(1) as f64 - self_support).max(1.0);
+            let signed = self.raw_corr(col, candidate, k, code) - self_support;
+            let context_count = (self.value_count_code(k, code).max(1) as f64 - self_support).max(1.0);
             score += signed / context_count;
         }
         score
@@ -163,17 +323,44 @@ impl CompensatoryModel {
     /// candidates, positive for well-supported ones and never undefined for
     /// penalised ones.
     pub fn log_score(&self, row: &[Value], col: usize, candidate: &Value) -> f64 {
-        (1.0 + self.score_corr(row, col, candidate).max(0.0)).ln()
+        let codes = self.encode_row(row);
+        let candidate = self.encode_candidate(row, col, candidate);
+        (1.0 + self.score_corr_codes(&codes, col, candidate).max(0.0)).ln()
+    }
+
+    /// Code-space [`CompensatoryModel::log_score`].
+    pub fn log_score_codes(&self, codes: &[u32], col: usize, candidate: u32) -> f64 {
+        (1.0 + self.score_corr_codes(codes, col, candidate).max(0.0)).ln()
     }
 
     /// Raw co-occurrence count of a value pair, `count(v_j, v_k)`.
     pub fn pair_count(&self, col_j: usize, v_j: &Value, col_k: usize, v_k: &Value) -> usize {
-        self.pair_counts.get(&(col_j, v_j.clone(), col_k, v_k.clone())).copied().unwrap_or(0)
+        self.pair_count_codes(
+            col_j,
+            self.dicts[col_j].encode_lossy(v_j),
+            col_k,
+            self.dicts[col_k].encode_lossy(v_k),
+        )
+    }
+
+    /// Code-space [`CompensatoryModel::pair_count`].
+    #[inline]
+    pub fn pair_count_codes(&self, col_j: usize, c: u32, col_k: usize, e: u32) -> usize {
+        self.pair(col_j, col_k).get(c, e).count as usize
     }
 
     /// Count of a single value in its attribute, `count(v)`.
     pub fn value_count(&self, col: usize, v: &Value) -> usize {
-        self.value_counts.get(col).and_then(|m| m.get(v)).copied().unwrap_or(0)
+        match self.dicts.get(col) {
+            Some(dict) => self.value_count_code(col, dict.encode_lossy(v)),
+            None => 0,
+        }
+    }
+
+    /// Code-space [`CompensatoryModel::value_count`]. Unseen codes count 0.
+    #[inline]
+    pub fn value_count_code(&self, col: usize, code: u32) -> usize {
+        self.value_counts.get(col).and_then(|counts| counts.get(code as usize)).copied().unwrap_or(0) as usize
     }
 
     /// The tuple-pruning filter of §6.2:
@@ -182,6 +369,11 @@ impl CompensatoryModel {
     /// High values mean the cell co-occurs often with the rest of the tuple
     /// and can be skipped by pre-detection.
     pub fn filter_score(&self, row: &[Value], col: usize) -> f64 {
+        self.filter_score_codes(&self.encode_row(row), col)
+    }
+
+    /// Code-space [`CompensatoryModel::filter_score`].
+    pub fn filter_score_codes(&self, codes: &[u32], col: usize) -> f64 {
         if self.num_cols < 2 {
             return 1.0;
         }
@@ -190,9 +382,9 @@ impl CompensatoryModel {
             if j == col {
                 continue;
             }
-            let denom = self.value_count(j, &row[j]);
+            let denom = self.value_count_code(j, codes[j]);
             if denom > 0 {
-                total += self.pair_count(col, &row[col], j, &row[j]) as f64 / denom as f64;
+                total += self.pair_count_codes(col, codes[col], j, codes[j]) as f64 / denom as f64;
             }
         }
         total / (self.num_cols - 1) as f64
@@ -202,18 +394,56 @@ impl CompensatoryModel {
     /// observed together with the corresponding value of `row`, restricted to
     /// the attribute subset `context_cols`. This is the `context(v)` term of
     /// the domain-pruning TF-IDF score (§6.2).
-    pub fn context_support(&self, row: &[Value], col: usize, candidate: &Value, context_cols: &[usize]) -> usize {
+    pub fn context_support(
+        &self,
+        row: &[Value],
+        col: usize,
+        candidate: &Value,
+        context_cols: &[usize],
+    ) -> usize {
+        self.context_support_codes(
+            &self.encode_row(row),
+            col,
+            self.dicts[col].encode_lossy(candidate),
+            context_cols,
+        )
+    }
+
+    /// Code-space [`CompensatoryModel::context_support`].
+    pub fn context_support_codes(
+        &self,
+        codes: &[u32],
+        col: usize,
+        candidate: u32,
+        context_cols: &[usize],
+    ) -> usize {
         context_cols
             .iter()
-            .filter(|&&k| k != col && self.pair_count(col, candidate, k, &row[k]) > 0)
+            .filter(|&&k| k != col && self.pair_count_codes(col, candidate, k, codes[k]) > 0)
             .count()
     }
 
     /// TF-IDF style domain-pruning score (§6.2):
     /// `score(v) = context(v) · log(|D| / (1 + count(v, D)))`.
     pub fn tfidf_score(&self, row: &[Value], col: usize, candidate: &Value, context_cols: &[usize]) -> f64 {
-        let context = self.context_support(row, col, candidate, context_cols) as f64;
-        let count = self.value_count(col, candidate) as f64;
+        self.tfidf_score_codes(
+            &self.encode_row(row),
+            col,
+            self.dicts[col].encode_lossy(candidate),
+            context_cols,
+        )
+    }
+
+    /// Code-space [`CompensatoryModel::tfidf_score`].
+    pub fn tfidf_score_codes(
+        &self,
+        codes: &[u32],
+        col: usize,
+        candidate: u32,
+        context_cols: &[usize],
+    ) -> f64 {
+        let context = self.context_support_codes(codes, col, candidate, context_cols) as f64;
+        let count = self.value_count_code(col, candidate) as f64;
         let idf = ((self.num_rows as f64) / (1.0 + count)).max(1.0).ln() + 1.0;
         context * idf
     }
@@ -241,10 +471,7 @@ mod tests {
     fn spellcheck_constraints() -> ConstraintSet {
         // A stand-in for the paper's spell-checker UC: flag the known typo.
         let mut ucs = ConstraintSet::new();
-        ucs.add(
-            "Dept",
-            UserConstraint::custom("spell", |v: &Value| !v.as_text().contains("nprthwood")),
-        );
+        ucs.add("Dept", UserConstraint::custom("spell", |v: &Value| !v.as_text().contains("nprthwood")));
         ucs
     }
 
@@ -261,7 +488,11 @@ mod tests {
 
     #[test]
     fn score_corr_prefers_supported_candidate() {
-        let model = CompensatoryModel::build(&data(), &spellcheck_constraints(), CompensatoryParams { lambda: 0.25, beta: 2.0, tau: 0.75 });
+        let model = CompensatoryModel::build(
+            &data(),
+            &spellcheck_constraints(),
+            CompensatoryParams { lambda: 0.25, beta: 2.0, tau: 0.75 },
+        );
         // Row with the typo; candidate repairs for Dept.
         let row = data().row(2).unwrap().to_vec();
         let good = Value::text("400 northwood dr");
@@ -311,7 +542,9 @@ mod tests {
         let context = vec![1, 2];
         let good = Value::text("400 northwood dr");
         let unrelated = Value::text("315 w hickory st");
-        assert!(model.tfidf_score(&row, 0, &good, &context) > model.tfidf_score(&row, 0, &unrelated, &context));
+        assert!(
+            model.tfidf_score(&row, 0, &good, &context) > model.tfidf_score(&row, 0, &unrelated, &context)
+        );
         assert_eq!(model.context_support(&row, 0, &unrelated, &context), 0);
         assert_eq!(model.context_support(&row, 0, &good, &context), 2);
     }
@@ -339,5 +572,74 @@ mod tests {
         let model = CompensatoryModel::build(&data(), &ConstraintSet::new(), p);
         assert_eq!(model.params(), p);
         assert_eq!(CompensatoryParams::default().beta, 2.0);
+    }
+
+    /// Value-facade methods and code-space methods must agree exactly, for
+    /// observed values, nulls, and values outside the dictionaries.
+    #[test]
+    fn value_facade_matches_code_space() {
+        let d = dataset_from(&["a", "b"], &[vec!["x", "1"], vec!["x", "1"], vec!["y", "2"], vec!["", "2"]]);
+        let model = CompensatoryModel::build(&d, &ConstraintSet::new(), CompensatoryParams::default());
+        let probes =
+            [Value::text("x"), Value::text("y"), Value::Null, Value::text("unseen"), Value::parse("1")];
+        for row in d.rows() {
+            let codes: Vec<u32> =
+                row.iter().zip(model.dicts()).map(|(v, dict)| dict.encode_lossy(v)).collect();
+            for col in 0..2 {
+                assert_eq!(
+                    model.filter_score(row, col).to_bits(),
+                    model.filter_score_codes(&codes, col).to_bits()
+                );
+                for probe in &probes {
+                    let code = model.dicts()[col].encode_lossy(probe);
+                    assert_eq!(
+                        model.score_corr(row, col, probe).to_bits(),
+                        model.score_corr_codes(&codes, col, code).to_bits()
+                    );
+                    assert_eq!(
+                        model.log_score(row, col, probe).to_bits(),
+                        model.log_score_codes(&codes, col, code).to_bits()
+                    );
+                    assert_eq!(model.value_count(col, probe), model.value_count_code(col, code));
+                    assert_eq!(
+                        model.tfidf_score(row, col, probe, &[0, 1]).to_bits(),
+                        model.tfidf_score_codes(&codes, col, code, &[0, 1]).to_bits()
+                    );
+                }
+            }
+        }
+        // Unseen codes (and out-of-range columns) behave like absent values.
+        assert_eq!(model.value_count(5, &Value::text("x")), 0);
+        assert_eq!(model.pair_count(0, &Value::text("zz"), 1, &Value::text("1")), 0);
+    }
+
+    /// Two *different* out-of-dictionary values (the observed cell and the
+    /// candidate) must not alias onto the same unseen sentinel: the
+    /// leave-one-out self-support only applies when the candidate really
+    /// equals the observed value.
+    #[test]
+    fn distinct_unseen_values_do_not_alias_in_score_corr() {
+        let d = dataset_from(&["a", "b"], &[vec!["x", "1"], vec!["x", "1"], vec!["y", "2"]]);
+        let model = CompensatoryModel::build(&d, &ConstraintSet::new(), CompensatoryParams::default());
+        let row = [Value::text("zzz"), Value::parse("1")];
+        // Candidate "yyy" != observed "zzz": no self-support, score is 0.
+        assert_eq!(model.score_corr(&row, 0, &Value::text("yyy")), 0.0);
+        // Candidate equal to the unseen observed value: self-support applies.
+        let with_self = model.score_corr(&row, 0, &Value::text("zzz"));
+        assert!(with_self < 0.0, "self-support must be subtracted, got {with_self}");
+    }
+
+    /// Large domains use the sparse map layout; counts must not change.
+    #[test]
+    fn sparse_pair_layout_counts_match() {
+        let rows: Vec<Vec<String>> = (0..300).map(|i| vec![format!("a{i}"), format!("b{}", i % 3)]).collect();
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+        let d = dataset_from(&["big", "small"], &refs);
+        let model = CompensatoryModel::build(&d, &ConstraintSet::new(), CompensatoryParams::default());
+        // big × big pair space is 301², above the dense cap → Map layout.
+        assert_eq!(model.pair_count(0, &Value::text("a7"), 1, &Value::text("b1")), 1);
+        assert_eq!(model.pair_count(1, &Value::text("b0"), 0, &Value::text("a0")), 1);
+        assert_eq!(model.value_count(0, &Value::text("a299")), 1);
+        assert_eq!(model.value_count(1, &Value::text("b0")), 100);
     }
 }

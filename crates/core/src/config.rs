@@ -43,7 +43,9 @@ impl Variant {
         match self {
             Variant::Basic => BCleanConfig::default(),
             Variant::NoUserConstraints => BCleanConfig { use_constraints: false, ..BCleanConfig::default() },
-            Variant::PartitionedInference => BCleanConfig { partitioned_inference: true, ..BCleanConfig::default() },
+            Variant::PartitionedInference => {
+                BCleanConfig { partitioned_inference: true, ..BCleanConfig::default() }
+            }
             Variant::PartitionedInferencePruning => BCleanConfig {
                 partitioned_inference: true,
                 tuple_pruning: true,

@@ -99,7 +99,10 @@ impl UserConstraint {
     }
 
     /// Build a custom constraint from a closure.
-    pub fn custom(label: impl Into<String>, predicate: impl Fn(&Value) -> bool + Send + Sync + 'static) -> UserConstraint {
+    pub fn custom(
+        label: impl Into<String>,
+        predicate: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) -> UserConstraint {
         UserConstraint::Custom { label: label.into(), predicate: Arc::new(predicate) }
     }
 
@@ -263,9 +266,7 @@ impl ConstraintSet {
             .row_rules
             .iter()
             .filter(|rule| {
-                rule.referenced_attributes()
-                    .iter()
-                    .any(|name| name.eq_ignore_ascii_case(&col_name))
+                rule.referenced_attributes().iter().any(|name| name.eq_ignore_ascii_case(&col_name))
             })
             .collect();
         if relevant.is_empty() {
@@ -295,7 +296,7 @@ impl ConstraintSet {
     /// `UC(value)` for a cell of the named attribute. Unconstrained attributes
     /// always pass.
     pub fn check(&self, attribute: &str, value: &Value) -> bool {
-        self.by_attribute.get(attribute).map_or(true, |c| c.check(value))
+        self.by_attribute.get(attribute).is_none_or(|c| c.check(value))
     }
 
     /// `UC` check by column index against a schema.
@@ -372,12 +373,8 @@ impl ConstraintSet {
 
     /// Attribute names that carry at least one constraint.
     pub fn constrained_attributes(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self
-            .by_attribute
-            .iter()
-            .filter(|(_, c)| !c.is_empty())
-            .map(|(n, _)| n.as_str())
-            .collect();
+        let mut names: Vec<&str> =
+            self.by_attribute.iter().filter(|(_, c)| !c.is_empty()).map(|(n, _)| n.as_str()).collect();
         names.sort_unstable();
         names
     }
@@ -423,7 +420,8 @@ mod tests {
 
     #[test]
     fn custom_constraint() {
-        let even = UserConstraint::custom("even", |v: &Value| v.as_number().is_some_and(|n| (n as i64) % 2 == 0));
+        let even =
+            UserConstraint::custom("even", |v: &Value| v.as_number().is_some_and(|n| (n as i64) % 2 == 0));
         assert!(even.check(&Value::Number(4.0)));
         assert!(!even.check(&Value::Number(3.0)));
         assert_eq!(even.kind(), ConstraintKind::Custom);
@@ -440,9 +438,8 @@ mod tests {
 
     #[test]
     fn attribute_constraints_all_must_hold() {
-        let c = AttributeConstraints::new()
-            .with(UserConstraint::MinLength(2))
-            .with(UserConstraint::MaxLength(5));
+        let c =
+            AttributeConstraints::new().with(UserConstraint::MinLength(2)).with(UserConstraint::MaxLength(5));
         assert!(c.check(&Value::text("abc")));
         assert!(!c.check(&Value::text("a")));
         assert!(!c.check(&Value::text("abcdef")));
@@ -541,9 +538,7 @@ mod tests {
     #[test]
     fn row_rules_check_tuples() {
         let schema = Schema::from_names(&["dep", "arr"]).unwrap();
-        let ucs = ConstraintSet::new()
-            .with_row_rule("num(arr) >= num(dep)")
-            .unwrap();
+        let ucs = ConstraintSet::new().with_row_rule("num(arr) >= num(dep)").unwrap();
         assert_eq!(ucs.num_row_rules(), 1);
         assert!(!ucs.is_empty());
         assert_eq!(ucs.len(), 0, "row rules are not per-attribute constraints");

@@ -131,8 +131,7 @@ impl ParallelExecutor {
         F: Fn(usize) -> T + Sync,
         T: Send,
     {
-        ParallelExecutor { threads: self.threads, block_size: 1 }
-            .execute(items, |range| f(range.start))
+        ParallelExecutor { threads: self.threads, block_size: 1 }.execute(items, |range| f(range.start))
     }
 }
 

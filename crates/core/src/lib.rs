@@ -45,6 +45,7 @@ pub mod compensatory;
 pub mod config;
 pub mod constraints;
 pub mod exec;
+pub mod reference;
 pub mod report;
 
 pub use cleaner::{BClean, BCleanModel};

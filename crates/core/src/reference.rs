@@ -1,0 +1,256 @@
+//! The pre-compilation `Value`-keyed scoring path, retained as an oracle.
+//!
+//! [`BCleanModel::clean`] runs Algorithm 1 over dictionary codes through the
+//! compiled models ([`bclean_bayesnet::CompiledNetwork`] + the code-indexed
+//! compensatory tables). This module keeps the original implementation —
+//! every score computed by hashing `Value`s through the uncompiled
+//! [`bclean_bayesnet::BayesianNetwork`] and the `Value` facade of the
+//! compensatory model — wired to the same fitted state, for two purposes:
+//!
+//! * **equivalence testing**: the encoded engine must produce byte-identical
+//!   repairs (`tests/encoded_equivalence.rs` checks every variant and thread
+//!   count against [`BCleanModel::clean_reference`]);
+//! * **benchmarking**: the speedup of the compiled engine is measured against
+//!   this path (`BENCH_clean.json`, `benches/encoded.rs`).
+//!
+//! It is *not* part of the supported cleaning API and carries the allocation
+//! and hashing costs the compiled engine was built to retire.
+
+use std::time::Instant;
+
+use bclean_data::{CellRef, Dataset, Value};
+
+use crate::cleaner::BCleanModel;
+use crate::exec::{merge_cleaning_batches, ParallelExecutor};
+use crate::report::{CleaningResult, CleaningStats, Repair};
+
+impl BCleanModel {
+    /// Clean a dataset through the original `Value`-keyed scoring path.
+    ///
+    /// Produces exactly the repairs, statistics and cleaned dataset of
+    /// [`BCleanModel::clean`], at pre-compilation speed. Kept as the
+    /// equivalence oracle and performance baseline of the encoded engine.
+    pub fn clean_reference(&self, dataset: &Dataset) -> CleaningResult {
+        let start = Instant::now();
+        let n = dataset.num_rows();
+        let executor = ParallelExecutor::for_config(&self.config, n);
+        let batches = executor.execute(n, |rows| self.clean_rows_value(dataset, rows.start, rows.end));
+        let (repairs, mut stats) = merge_cleaning_batches(batches);
+        let mut cleaned = dataset.clone();
+        for repair in &repairs {
+            cleaned
+                .set_cell(repair.at.row, repair.at.col, repair.to.clone())
+                .expect("repair coordinates are valid");
+        }
+        stats.repairs = repairs.len();
+        stats.duration = start.elapsed();
+        stats.fit_duration = self.fit_duration;
+        CleaningResult { cleaned, repairs, stats }
+    }
+
+    /// Clean a contiguous range of rows (one parallel work unit).
+    fn clean_rows_value(&self, dataset: &Dataset, lo: usize, hi: usize) -> (Vec<Repair>, CleaningStats) {
+        let mut repairs = Vec::new();
+        let mut stats = CleaningStats::default();
+        for row_idx in lo..hi {
+            let row = dataset.row(row_idx).expect("row index in range");
+            for col in 0..dataset.num_columns() {
+                if self.config.tuple_pruning
+                    && !row[col].is_null()
+                    && self.compensatory.filter_score(row, col) >= self.config.tau_clean
+                {
+                    stats.cells_skipped += 1;
+                    continue;
+                }
+                stats.cells_examined += 1;
+                if let Some(repair) = self.infer_cell_value(dataset, row_idx, row, col, &mut stats) {
+                    repairs.push(repair);
+                }
+            }
+        }
+        (repairs, stats)
+    }
+
+    /// Algorithm 1 for one cell, over `Value`s.
+    fn infer_cell_value(
+        &self,
+        dataset: &Dataset,
+        row_idx: usize,
+        row: &[Value],
+        col: usize,
+        stats: &mut CleaningStats,
+    ) -> Option<Repair> {
+        let original = &row[col];
+        let anchor = self.anchor_context_value(row, col);
+        let original_satisfies_uc = !self.config.use_constraints
+            || (self
+                .network
+                .attribute_names()
+                .get(col)
+                .is_none_or(|name| self.constraints.check(name, original))
+                && self.constraints.check_tuple_with(dataset.schema(), row, col, original));
+        let original_score =
+            if original_satisfies_uc { self.score_value(row, col, original) } else { f64::NEG_INFINITY };
+        let mut best_value: Option<Value> = None;
+        let mut best_score = original_score;
+
+        let base_margin =
+            if anchor.is_some() { self.config.repair_margin } else { self.config.no_anchor_margin };
+        for candidate in self.candidates_for_value(dataset.schema(), row, col, original, anchor) {
+            if &candidate == original {
+                continue;
+            }
+            stats.candidates_evaluated += 1;
+            let score = self.score_value(row, col, &candidate);
+            let margin = if best_value.is_none() && original_score.is_finite() { base_margin } else { 0.0 };
+            if score > best_score + margin {
+                best_score = score;
+                best_value = Some(candidate);
+            }
+        }
+
+        best_value.map(|to| Repair {
+            at: CellRef::new(row_idx, col),
+            attribute: dataset.schema().attribute(col).map(|a| a.name.clone()).unwrap_or_default(),
+            from: original.clone(),
+            to,
+            score_gain: if original_score.is_finite() { best_score - original_score } else { f64::INFINITY },
+        })
+    }
+
+    /// The cell's anchor context (see the encoded twin for the definition).
+    fn anchor_context_value(&self, row: &[Value], col: usize) -> Option<usize> {
+        if !self.config.anchored_candidates {
+            return None;
+        }
+        let mut best: Option<(usize, usize)> = None;
+        for (k, value) in row.iter().enumerate() {
+            if k == col || value.is_null() {
+                continue;
+            }
+            if self.fd_confidence[k][col] < self.config.anchor_min_confidence {
+                continue;
+            }
+            let count = self.compensatory.value_count(k, value);
+            if count < 2 {
+                continue;
+            }
+            if best.is_none_or(|(_, c)| count < c) {
+                best = Some((k, count));
+            }
+        }
+        best.map(|(k, _)| k)
+    }
+
+    /// Candidate generation over `Value`s (see the encoded twin).
+    fn candidates_for_value(
+        &self,
+        schema: &bclean_data::Schema,
+        row: &[Value],
+        col: usize,
+        original: &Value,
+        anchor: Option<usize>,
+    ) -> Vec<Value> {
+        let domain = self.domains.attribute(col);
+        let schema_check = |v: &Value| {
+            !self.config.use_constraints
+                || (self
+                    .network
+                    .attribute_names()
+                    .get(col)
+                    .is_none_or(|name| self.constraints.check(name, v))
+                    && self.constraints.check_tuple_with(schema, row, col, v))
+        };
+        let anchored = |v: &Value| match anchor {
+            Some(k) => self.compensatory.pair_count(col, v, k, &row[k]) >= 1,
+            None => true,
+        };
+        let mut candidates: Vec<Value> =
+            domain.values().iter().filter(|v| schema_check(v) && anchored(v)).cloned().collect();
+
+        if self.config.domain_pruning && candidates.len() > self.config.domain_top_k {
+            let mut context = self.network.dag().joint_set(col);
+            if context.len() <= 1 {
+                context = (0..row.len()).collect();
+            }
+            let mut scored: Vec<(f64, Value)> = candidates
+                .into_iter()
+                .map(|c| (self.compensatory.tfidf_score(row, col, &c, &context), c))
+                .collect();
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            candidates = scored.into_iter().take(self.config.domain_top_k).map(|(_, c)| c).collect();
+        }
+
+        if candidates.len() > self.config.max_candidates {
+            candidates.sort_by_key(|c| std::cmp::Reverse(domain.count(c)));
+            candidates.truncate(self.config.max_candidates);
+        }
+
+        if !original.is_null() && !candidates.iter().any(|c| c == original) {
+            candidates.push(original.clone());
+        }
+        candidates
+    }
+
+    /// The Algorithm 1 score of one candidate over `Value`s (see the encoded
+    /// twin for the scoring rationale).
+    fn score_value(&self, row: &[Value], col: usize, candidate: &Value) -> f64 {
+        let has_parents = !self.network.dag().parents(col).is_empty();
+        let bn_score = if self.config.partitioned_inference {
+            if has_parents {
+                self.network.blanket_log_score(row, col, candidate)
+            } else {
+                self.network.children_log_likelihood(row, col, candidate)
+            }
+        } else {
+            let joint = self.network.log_joint_with(row, col, candidate);
+            if has_parents {
+                joint
+            } else {
+                joint - self.network.cpt(col).marginal_prob(candidate).max(1e-300).ln()
+            }
+        };
+        let comp_score =
+            if self.config.use_compensatory { self.compensatory.log_score(row, col, candidate) } else { 0.0 };
+        bn_score + comp_score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cleaner::BClean;
+    use crate::config::Variant;
+    use crate::constraints::{ConstraintSet, UserConstraint};
+    use bclean_data::dataset_from;
+
+    /// The compiled engine and the reference path must agree repair-for-repair
+    /// (the large-fixture equivalence lives in `tests/encoded_equivalence.rs`).
+    #[test]
+    fn reference_path_matches_compiled_engine() {
+        let data = dataset_from(
+            &["City", "State", "ZipCode"],
+            &[
+                vec!["sylacauga", "CA", "35150"],
+                vec!["sylacauga", "CA", "35150"],
+                vec!["sylacauga", "KT", "35150"],
+                vec!["sylacaugq", "CA", "35150"],
+                vec!["centre", "KT", "35960"],
+                vec!["centre", "KT", "35960"],
+                vec!["centre", "", "35960"],
+                vec!["centre", "KT", "35960"],
+            ],
+        );
+        let mut ucs = ConstraintSet::new();
+        ucs.add("ZipCode", UserConstraint::pattern("^[1-9][0-9]{4,4}$").unwrap());
+        ucs.add("State", UserConstraint::NotNull);
+        for variant in Variant::all() {
+            let model = BClean::new(variant.config()).with_constraints(ucs.clone()).fit(&data);
+            let compiled = model.clean(&data);
+            let reference = model.clean_reference(&data);
+            assert_eq!(compiled.repairs, reference.repairs, "variant {variant:?}");
+            assert_eq!(compiled.cleaned, reference.cleaned, "variant {variant:?}");
+            assert_eq!(compiled.stats.cells_examined, reference.stats.cells_examined);
+            assert_eq!(compiled.stats.candidates_evaluated, reference.stats.candidates_evaluated);
+        }
+    }
+}

@@ -119,9 +119,21 @@ mod tests {
 
     #[test]
     fn stats_repair_rate_and_merge() {
-        let mut a = CleaningStats { cells_examined: 10, repairs: 2, cells_skipped: 1, candidates_evaluated: 50, ..Default::default() };
+        let mut a = CleaningStats {
+            cells_examined: 10,
+            repairs: 2,
+            cells_skipped: 1,
+            candidates_evaluated: 50,
+            ..Default::default()
+        };
         assert!((a.repair_rate() - 0.2).abs() < 1e-12);
-        let b = CleaningStats { cells_examined: 5, repairs: 1, cells_skipped: 2, candidates_evaluated: 20, ..Default::default() };
+        let b = CleaningStats {
+            cells_examined: 5,
+            repairs: 1,
+            cells_skipped: 2,
+            candidates_evaluated: 20,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.cells_examined, 15);
         assert_eq!(a.repairs, 3);

@@ -1,7 +1,9 @@
 //! Property-based tests for the BClean cleaner: structural invariants that
 //! must hold for any input data, any corruption and any variant.
 
-use bclean_core::{BClean, BCleanConfig, CompensatoryModel, CompensatoryParams, ConstraintSet, UserConstraint, Variant};
+use bclean_core::{
+    BClean, BCleanConfig, CompensatoryModel, CompensatoryParams, ConstraintSet, UserConstraint, Variant,
+};
 use bclean_data::{dataset_from, Dataset, Value};
 use proptest::prelude::*;
 
@@ -46,8 +48,8 @@ fn build(rows: &[(usize, usize)], corruptions: &[Corruption]) -> Dataset {
     for c in corruptions {
         let cell = &mut refs[c.row][c.col.min(2)];
         match c.kind {
-            0 => cell.push('x'),            // typo
-            1 => cell.clear(),              // missing value
+            0 => cell.push('x'),             // typo
+            1 => cell.clear(),               // missing value
             _ => *cell = "ZZ99".to_string(), // out-of-domain junk
         }
     }

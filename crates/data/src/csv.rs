@@ -18,9 +18,8 @@ use crate::value::Value;
 pub fn parse_csv(input: &str) -> DataResult<Dataset> {
     let records = parse_records(input)?;
     let mut iter = records.into_iter();
-    let header = iter
-        .next()
-        .ok_or(DataError::Csv { line: 1, message: "empty document (missing header)".into() })?;
+    let header =
+        iter.next().ok_or(DataError::Csv { line: 1, message: "empty document (missing header)".into() })?;
     let schema = Schema::from_names(&header.fields)?;
     let mut ds = Dataset::new(schema);
     for rec in iter {
@@ -127,7 +126,10 @@ fn parse_records(input: &str) -> DataResult<Vec<Record>> {
                     if field.is_empty() {
                         in_quotes = true;
                     } else {
-                        return Err(DataError::Csv { line, message: "unexpected quote inside unquoted field".into() });
+                        return Err(DataError::Csv {
+                            line,
+                            message: "unexpected quote inside unquoted field".into(),
+                        });
                     }
                 }
                 ',' => {

@@ -92,10 +92,11 @@ impl Dataset {
 
     /// The `row`-th tuple.
     pub fn row(&self, row: usize) -> DataResult<&[Value]> {
-        self.rows
-            .get(row)
-            .map(|r| r.as_slice())
-            .ok_or(DataError::IndexOutOfBounds { index: row, len: self.rows.len(), axis: "row" })
+        self.rows.get(row).map(|r| r.as_slice()).ok_or(DataError::IndexOutOfBounds {
+            index: row,
+            len: self.rows.len(),
+            axis: "row",
+        })
     }
 
     /// Cell accessor.
@@ -112,14 +113,13 @@ impl Dataset {
     /// Mutate a cell in place.
     pub fn set_cell(&mut self, row: usize, col: usize, value: Value) -> DataResult<()> {
         let nrows = self.rows.len();
-        let r = self
-            .rows
-            .get_mut(row)
-            .ok_or(DataError::IndexOutOfBounds { index: row, len: nrows, axis: "row" })?;
+        let r = self.rows.get_mut(row).ok_or(DataError::IndexOutOfBounds {
+            index: row,
+            len: nrows,
+            axis: "row",
+        })?;
         let len = r.len();
-        let slot = r
-            .get_mut(col)
-            .ok_or(DataError::IndexOutOfBounds { index: col, len, axis: "column" })?;
+        let slot = r.get_mut(col).ok_or(DataError::IndexOutOfBounds { index: col, len, axis: "column" })?;
         *slot = value;
         Ok(())
     }

@@ -78,9 +78,7 @@ impl AttributeDomain {
     /// The most frequent value, if any. Ties broken by value order for
     /// determinism.
     pub fn mode(&self) -> Option<&Value> {
-        self.values
-            .iter()
-            .max_by(|a, b| self.count(a).cmp(&self.count(b)).then_with(|| b.cmp(a)))
+        self.values.iter().max_by(|a, b| self.count(a).cmp(&self.count(b)).then_with(|| b.cmp(a)))
     }
 
     /// Does the domain contain `value`?
@@ -108,9 +106,7 @@ pub struct Domains {
 impl Domains {
     /// Compute the domain of every attribute of `dataset`.
     pub fn compute(dataset: &Dataset) -> Domains {
-        let domains = (0..dataset.num_columns())
-            .map(|c| AttributeDomain::from_column(dataset, c))
-            .collect();
+        let domains = (0..dataset.num_columns()).map(|c| AttributeDomain::from_column(dataset, c)).collect();
         Domains { domains }
     }
 
@@ -148,12 +144,7 @@ mod tests {
     fn ds() -> Dataset {
         dataset_from(
             &["City", "State"],
-            &[
-                vec!["sylacauga", "CA"],
-                vec!["sylacauga", "CA"],
-                vec!["centre", "KT"],
-                vec!["", "KT"],
-            ],
+            &[vec!["sylacauga", "CA"], vec!["sylacauga", "CA"], vec!["centre", "KT"], vec!["", "KT"]],
         )
     }
 

@@ -1,0 +1,308 @@
+//! Dictionary encoding of datasets: per-attribute [`ColumnDict`]s mapping
+//! `Value ↔ u32` codes, and a columnar [`EncodedDataset`] built once from a
+//! [`Dataset`].
+//!
+//! BClean's inference stage scores millions of `(row, column, candidate)`
+//! combinations; doing that over heap-allocated [`Value`]s means hashing and
+//! cloning strings in the innermost loop. Dictionary encoding compiles every
+//! attribute's observed domain into dense integer codes so all downstream
+//! models (CPTs, co-occurrence counters, candidate sets) can be indexed by
+//! `u32` instead of keyed by `Value`.
+//!
+//! # The code-order invariant
+//!
+//! Codes `0..cardinality` enumerate the column's **distinct non-null values
+//! in sorted [`Value`] order** — the exact order produced by
+//! [`crate::domain::AttributeDomain::values`] and by `bclean-bayesnet`'s
+//! `DiscreteDomain`. Code `i` therefore always denotes `values()[i]` in any
+//! of those structures, which lets compiled models share candidate indices
+//! without translation tables. Two sentinel codes extend the space:
+//!
+//! * [`ColumnDict::null_code`] (`= cardinality`) encodes [`Value::Null`];
+//! * [`ColumnDict::unseen_code`] (`= cardinality + 1`) is returned by
+//!   [`ColumnDict::encode_lossy`] for values outside the dictionary (they can
+//!   occur when a model encodes a dataset other than the one it was fit on).
+//!
+//! ```
+//! use bclean_data::{dataset_from, EncodedDataset, Value};
+//!
+//! let d = dataset_from(&["City"], &[vec!["b"], vec!["a"], vec![""], vec!["b"]]);
+//! let e = EncodedDataset::from_dataset(&d);
+//! let dict = e.dict(0);
+//! assert_eq!(dict.values(), &[Value::text("a"), Value::text("b")]); // sorted
+//! assert_eq!(e.column(0), &[1, 0, dict.null_code(), 1]);
+//! assert_eq!(e.decode_cell(3, 0), &Value::text("b"));
+//! ```
+
+use std::collections::HashMap;
+
+use crate::dataset::Dataset;
+use crate::value::Value;
+
+/// The shared null value returned by [`ColumnDict::decode`] for sentinel codes.
+const NULL: Value = Value::Null;
+
+/// A per-attribute dictionary assigning dense `u32` codes to the distinct
+/// non-null values of one column, in sorted order (see the module docs for
+/// the code-order invariant).
+#[derive(Debug, Clone, Default)]
+pub struct ColumnDict {
+    values: Vec<Value>,
+    index: HashMap<Value, u32>,
+}
+
+impl ColumnDict {
+    /// Build a dictionary from any collection of values. Nulls are dropped,
+    /// duplicates collapse, and the remaining values are sorted so codes
+    /// follow the shared domain order.
+    pub fn from_values<'a>(values: impl IntoIterator<Item = &'a Value>) -> ColumnDict {
+        let mut distinct: Vec<Value> = values.into_iter().filter(|v| !v.is_null()).cloned().collect();
+        distinct.sort();
+        distinct.dedup();
+        let index = distinct.iter().enumerate().map(|(i, v)| (v.clone(), i as u32)).collect();
+        ColumnDict { values: distinct, index }
+    }
+
+    /// Build the dictionary of column `col` of `dataset`.
+    pub fn from_column(dataset: &Dataset, col: usize) -> ColumnDict {
+        ColumnDict::from_values(dataset.rows().map(|row| &row[col]))
+    }
+
+    /// The distinct non-null values, in code order (sorted).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of distinct non-null values.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The code reserved for [`Value::Null`]: one past the last value code.
+    pub fn null_code(&self) -> u32 {
+        self.values.len() as u32
+    }
+
+    /// The sentinel code for values outside the dictionary: one past
+    /// [`ColumnDict::null_code`]. Only produced by
+    /// [`ColumnDict::encode_lossy`]; never a decodable code.
+    pub fn unseen_code(&self) -> u32 {
+        self.values.len() as u32 + 1
+    }
+
+    /// Number of *decodable* codes: the values plus the null code.
+    pub fn code_space(&self) -> usize {
+        self.values.len() + 1
+    }
+
+    /// Encode a value. Nulls map to [`ColumnDict::null_code`]; values outside
+    /// the dictionary return `None`.
+    pub fn encode(&self, value: &Value) -> Option<u32> {
+        if value.is_null() {
+            Some(self.null_code())
+        } else {
+            self.index.get(value).copied()
+        }
+    }
+
+    /// Encode a value, mapping anything outside the dictionary to
+    /// [`ColumnDict::unseen_code`]. This is the total encoding used when a
+    /// fitted model scores a dataset containing values it never observed.
+    pub fn encode_lossy(&self, value: &Value) -> u32 {
+        self.encode(value).unwrap_or_else(|| self.unseen_code())
+    }
+
+    /// Decode a code back to its value. The null code (and, defensively, any
+    /// out-of-range code) decodes to [`Value::Null`].
+    pub fn decode(&self, code: u32) -> &Value {
+        self.values.get(code as usize).unwrap_or(&NULL)
+    }
+
+    /// Does this code denote a concrete (non-null, in-dictionary) value?
+    pub fn is_value_code(&self, code: u32) -> bool {
+        (code as usize) < self.values.len()
+    }
+}
+
+/// A dictionary-encoded dataset: one [`ColumnDict`] per attribute plus
+/// columnar `Vec<u32>` code storage. Built once from a [`Dataset`]; cell
+/// `(r, c)` of the encoded form always decodes to cell `(r, c)` of the
+/// source (see the round-trip property tests).
+#[derive(Debug, Clone)]
+pub struct EncodedDataset {
+    dicts: Vec<ColumnDict>,
+    columns: Vec<Vec<u32>>,
+    num_rows: usize,
+}
+
+impl EncodedDataset {
+    /// Encode a dataset with dictionaries built from its own columns. Every
+    /// cell is representable, so no code is [`ColumnDict::unseen_code`].
+    pub fn from_dataset(dataset: &Dataset) -> EncodedDataset {
+        let dicts: Vec<ColumnDict> =
+            (0..dataset.num_columns()).map(|c| ColumnDict::from_column(dataset, c)).collect();
+        EncodedDataset::encode_with(dicts, dataset)
+    }
+
+    /// Encode a dataset against pre-built dictionaries (typically the ones a
+    /// model was fit with). Values absent from a dictionary encode to that
+    /// column's [`ColumnDict::unseen_code`].
+    pub fn encode_with(dicts: Vec<ColumnDict>, dataset: &Dataset) -> EncodedDataset {
+        let num_rows = dataset.num_rows();
+        let mut columns: Vec<Vec<u32>> = dicts.iter().map(|_| Vec::with_capacity(num_rows)).collect();
+        for row in dataset.rows() {
+            for (col, value) in row.iter().enumerate() {
+                columns[col].push(dicts[col].encode_lossy(value));
+            }
+        }
+        EncodedDataset { dicts, columns, num_rows }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns (attributes).
+    pub fn num_columns(&self) -> usize {
+        self.dicts.len()
+    }
+
+    /// The per-attribute dictionaries, in column order.
+    pub fn dicts(&self) -> &[ColumnDict] {
+        &self.dicts
+    }
+
+    /// The dictionary of one column.
+    pub fn dict(&self, col: usize) -> &ColumnDict {
+        &self.dicts[col]
+    }
+
+    /// The codes of one column, in row order.
+    pub fn column(&self, col: usize) -> &[u32] {
+        &self.columns[col]
+    }
+
+    /// The code of one cell.
+    pub fn code(&self, row: usize, col: usize) -> u32 {
+        self.columns[col][row]
+    }
+
+    /// Gather one row's codes into `buf` (length must equal the column count).
+    pub fn copy_row_into(&self, row: usize, buf: &mut [u32]) {
+        debug_assert_eq!(buf.len(), self.columns.len());
+        for (slot, column) in buf.iter_mut().zip(&self.columns) {
+            *slot = column[row];
+        }
+    }
+
+    /// The codes of one row, gathered into a fresh vector.
+    pub fn row_codes(&self, row: usize) -> Vec<u32> {
+        self.columns.iter().map(|column| column[row]).collect()
+    }
+
+    /// Iterate over rows as code vectors, in row order.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<u32>> + '_ {
+        (0..self.num_rows).map(|r| self.row_codes(r))
+    }
+
+    /// Decode one cell back to its value.
+    pub fn decode_cell(&self, row: usize, col: usize) -> &Value {
+        self.dicts[col].decode(self.columns[col][row])
+    }
+
+    /// Consume the encoded dataset, keeping only the dictionaries. Models
+    /// that compile their own code-indexed tables use this to retain the
+    /// encoding without the per-cell codes.
+    pub fn into_dicts(self) -> Vec<ColumnDict> {
+        self.dicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::dataset_from;
+    use crate::domain::AttributeDomain;
+
+    fn sample() -> Dataset {
+        dataset_from(
+            &["City", "Zip"],
+            &[vec!["sylacauga", "35150"], vec!["centre", "35960"], vec!["", "35150"], vec!["sylacauga", ""]],
+        )
+    }
+
+    #[test]
+    fn codes_follow_sorted_domain_order() {
+        let ds = sample();
+        let encoded = EncodedDataset::from_dataset(&ds);
+        let dict = encoded.dict(0);
+        // Same order as AttributeDomain::values (the shared invariant).
+        let domain = AttributeDomain::from_column(&ds, 0);
+        assert_eq!(dict.values(), domain.values());
+        assert_eq!(dict.encode(&Value::text("centre")), Some(0));
+        assert_eq!(dict.encode(&Value::text("sylacauga")), Some(1));
+    }
+
+    #[test]
+    fn roundtrip_matches_source_cells() {
+        let ds = sample();
+        let encoded = EncodedDataset::from_dataset(&ds);
+        assert_eq!(encoded.num_rows(), ds.num_rows());
+        assert_eq!(encoded.num_columns(), ds.num_columns());
+        for (r, row) in ds.rows().enumerate() {
+            for (c, value) in row.iter().enumerate() {
+                assert_eq!(encoded.decode_cell(r, c), value, "cell ({r}, {c})");
+            }
+        }
+    }
+
+    #[test]
+    fn null_has_its_own_code() {
+        let ds = sample();
+        let encoded = EncodedDataset::from_dataset(&ds);
+        let dict = encoded.dict(0);
+        assert_eq!(dict.encode(&Value::Null), Some(dict.null_code()));
+        assert_eq!(encoded.code(2, 0), dict.null_code());
+        assert_eq!(dict.decode(dict.null_code()), &Value::Null);
+        assert!(!dict.is_value_code(dict.null_code()));
+        assert!(dict.is_value_code(0));
+    }
+
+    #[test]
+    fn unseen_values_are_lossy_encoded() {
+        let ds = sample();
+        let encoded = EncodedDataset::from_dataset(&ds);
+        let dict = encoded.dict(0);
+        assert_eq!(dict.encode(&Value::text("gadsden")), None);
+        assert_eq!(dict.encode_lossy(&Value::text("gadsden")), dict.unseen_code());
+        assert_eq!(dict.unseen_code(), dict.null_code() + 1);
+        // Encoding another dataset against these dictionaries marks unseen cells.
+        let other = dataset_from(&["City", "Zip"], &[vec!["gadsden", "35150"]]);
+        let view = EncodedDataset::encode_with(encoded.dicts().to_vec(), &other);
+        assert_eq!(view.code(0, 0), dict.unseen_code());
+        assert_eq!(view.code(0, 1), view.dict(1).encode(&Value::parse("35150")).unwrap());
+    }
+
+    #[test]
+    fn row_gather_and_iteration() {
+        let ds = sample();
+        let encoded = EncodedDataset::from_dataset(&ds);
+        let mut buf = vec![0u32; 2];
+        encoded.copy_row_into(1, &mut buf);
+        assert_eq!(buf, encoded.row_codes(1));
+        assert_eq!(encoded.rows().count(), 4);
+        let dicts = encoded.clone().into_dicts();
+        assert_eq!(dicts.len(), 2);
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let ds = Dataset::new(crate::schema::Schema::from_names(&["a"]).unwrap());
+        let encoded = EncodedDataset::from_dataset(&ds);
+        assert_eq!(encoded.num_rows(), 0);
+        assert_eq!(encoded.dict(0).cardinality(), 0);
+        assert_eq!(encoded.dict(0).null_code(), 0);
+        assert_eq!(encoded.rows().count(), 0);
+    }
+}

@@ -68,18 +68,12 @@ mod tests {
     #[test]
     fn display_arity_mismatch() {
         let e = DataError::ArityMismatch { expected: 3, found: 5 };
-        assert_eq!(
-            e.to_string(),
-            "row arity mismatch: schema has 3 attributes, row has 5"
-        );
+        assert_eq!(e.to_string(), "row arity mismatch: schema has 3 attributes, row has 5");
     }
 
     #[test]
     fn display_unknown_attribute() {
-        assert_eq!(
-            DataError::UnknownAttribute("zip".into()).to_string(),
-            "unknown attribute `zip`"
-        );
+        assert_eq!(DataError::UnknownAttribute("zip".into()).to_string(), "unknown attribute `zip`");
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod csv;
 pub mod dataset;
 pub mod diff;
 pub mod domain;
+pub mod encoded;
 pub mod error;
 pub mod schema;
 pub mod value;
@@ -38,6 +39,7 @@ pub use csv::{parse_csv, read_csv_file, to_csv, write_csv_file};
 pub use dataset::{dataset_from, dataset_with_attrs, CellRef, Dataset};
 pub use diff::{diff, error_cells, noise_rate, CellChange};
 pub use domain::{AttributeDomain, Domains};
+pub use encoded::{ColumnDict, EncodedDataset};
 pub use error::{DataError, DataResult};
 pub use schema::{AttrType, Attribute, Schema};
 pub use value::{format_number, Value};

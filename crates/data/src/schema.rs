@@ -111,10 +111,7 @@ impl Schema {
 
     /// Look up a column index by attribute name.
     pub fn index_of(&self, name: &str) -> DataResult<usize> {
-        self.by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+        self.by_name.get(name).copied().ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
     }
 
     /// Does the schema contain an attribute with this name?
@@ -129,12 +126,7 @@ impl Schema {
 
     /// Rebuild the name index (needed after deserialisation).
     pub fn rebuild_index(&mut self) {
-        self.by_name = self
-            .attributes
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (a.name.clone(), i))
-            .collect();
+        self.by_name = self.attributes.iter().enumerate().map(|(i, a)| (a.name.clone(), i)).collect();
     }
 }
 

@@ -159,7 +159,8 @@ pub fn inject_errors(clean: &Dataset, spec: &ErrorSpec, seed: u64) -> DirtyDatas
     let domains = Domains::compute(clean);
 
     // Choose distinct target cells.
-    let mut all_cells: Vec<(usize, usize)> = (0..n).flat_map(|r| columns.iter().map(move |&c| (r, c))).collect();
+    let mut all_cells: Vec<(usize, usize)> =
+        (0..n).flat_map(|r| columns.iter().map(move |&c| (r, c))).collect();
     all_cells.shuffle(&mut rng);
     let mut chosen = 0usize;
     let mut idx = 0usize;
@@ -365,10 +366,7 @@ mod tests {
         assert!(d.num_errors() > 0);
         // At least one corrupted value must come from a different column's domain.
         let domains = Domains::compute(&d.clean);
-        let cross = d
-            .errors
-            .iter()
-            .any(|e| !domains.attribute(e.at.col).contains(&e.corrupted));
+        let cross = d.errors.iter().any(|e| !domains.attribute(e.at.col).contains(&e.corrupted));
         assert!(cross);
     }
 

@@ -65,7 +65,12 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         let ounces = [12.0, 12.0, 12.0, 16.0, 16.0, 24.0, 32.0][rng.gen_range(0..7)];
         let abv = (3.5 + rng.gen_range(0..70) as f64 * 0.1) / 100.0;
         let ibu = 10 + rng.gen_range(0..90);
-        let name = format!("{} {} {}", adjectives[i % 10], nouns[(i / 10) % 10], style.split(' ').last().unwrap_or("ale"));
+        let name = format!(
+            "{} {} {}",
+            adjectives[i % 10],
+            nouns[(i / 10) % 10],
+            style.split(' ').next_back().unwrap_or("ale")
+        );
         ds.push_row(vec![
             Value::Text(format!("{}", 1000 + i)),
             Value::text(name),

@@ -52,7 +52,10 @@ fn build_flights(rng: &mut StdRng) -> Vec<Flight> {
                 id: format!("{airline}-{number}-{from}-{to}"),
                 sched_dep: format_time(dep_hour, dep_min),
                 act_dep: format_time((act_dep_total / 60) % 24, act_dep_total % 60),
-                sched_arr: format_time(((dep_hour * 60 + dep_min + duration_min) / 60) % 24, (dep_min + duration_min) % 60),
+                sched_arr: format_time(
+                    ((dep_hour * 60 + dep_min + duration_min) / 60) % 24,
+                    (dep_min + duration_min) % 60,
+                ),
                 act_arr: format_time((arr_total / 60) % 24, arr_total % 60),
             }
         })
@@ -148,10 +151,7 @@ mod tests {
         let d = generate(400, 3);
         let mut sources_per_flight: HashMap<String, std::collections::HashSet<String>> = HashMap::new();
         for row in d.rows() {
-            sources_per_flight
-                .entry(row[1].to_string())
-                .or_default()
-                .insert(row[0].to_string());
+            sources_per_flight.entry(row[1].to_string()).or_default().insert(row[0].to_string());
         }
         assert!(sources_per_flight.values().any(|s| s.len() >= 3));
     }

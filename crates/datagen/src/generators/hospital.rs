@@ -11,7 +11,9 @@ use bclean_data::{AttrType, Attribute, Dataset, Schema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::vocab::{self, pick, CITIES, CONDITIONS, FACILITY_PREFIXES, FACILITY_SUFFIXES, MEASURES, OWNERSHIP};
+use crate::vocab::{
+    self, pick, CITIES, CONDITIONS, FACILITY_PREFIXES, FACILITY_SUFFIXES, MEASURES, OWNERSHIP,
+};
 
 /// Number of distinct hospitals in the pool.
 const NUM_HOSPITALS: usize = 60;

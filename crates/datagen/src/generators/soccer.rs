@@ -70,7 +70,7 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         let season_idx = (i / players.len()) % 8;
         let season = format!("{}", 2008 + season_idx);
         // Club changes at most once mid-career, deterministically per player.
-        let club_phase = usize::from(season_idx >= 4 && p_idx % 3 == 0);
+        let club_phase = usize::from(season_idx >= 4 && p_idx.is_multiple_of(3));
         // 11 is coprime with the club-pool size, so the assignment covers every club.
         let (club, league) = CLUBS[(p_idx * 11 + club_phase * 13) % CLUBS.len()];
         let jersey = format!("{}", 1 + (p_idx * 17 + club_phase) % 30);

@@ -96,12 +96,9 @@ impl BenchmarkDataset {
     pub fn error_types(&self) -> Vec<ErrorType> {
         match self {
             BenchmarkDataset::Flights => vec![ErrorType::Typo, ErrorType::Missing],
-            BenchmarkDataset::Inpatient | BenchmarkDataset::Facilities => vec![
-                ErrorType::Typo,
-                ErrorType::Missing,
-                ErrorType::Inconsistency,
-                ErrorType::Swap,
-            ],
+            BenchmarkDataset::Inpatient | BenchmarkDataset::Facilities => {
+                vec![ErrorType::Typo, ErrorType::Missing, ErrorType::Inconsistency, ErrorType::Swap]
+            }
             _ => vec![ErrorType::Typo, ErrorType::Missing, ErrorType::Inconsistency],
         }
     }
@@ -132,7 +129,11 @@ impl BenchmarkDataset {
 
     /// The default error specification of this benchmark.
     pub fn default_error_spec(&self) -> ErrorSpec {
-        ErrorSpec { rate: self.noise_rate(), types: self.error_types(), ..ErrorSpec::default_mix(self.noise_rate()) }
+        ErrorSpec {
+            rate: self.noise_rate(),
+            types: self.error_types(),
+            ..ErrorSpec::default_mix(self.noise_rate())
+        }
     }
 
     /// Build the default dirty/clean benchmark pair at the default size.

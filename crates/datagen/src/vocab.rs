@@ -104,22 +104,110 @@ pub const CITIES: &[(&str, &str, &str)] = &[
 
 /// Common first names used for people-like attributes.
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
-    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
-    "charles", "karen", "christopher", "nancy", "daniel", "lisa", "matthew", "betty", "anthony",
-    "margaret", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul", "emily",
-    "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy", "kevin", "carol", "brian",
-    "amanda", "george", "melissa", "edward", "deborah",
+    "james",
+    "mary",
+    "john",
+    "patricia",
+    "robert",
+    "jennifer",
+    "michael",
+    "linda",
+    "william",
+    "elizabeth",
+    "david",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "christopher",
+    "nancy",
+    "daniel",
+    "lisa",
+    "matthew",
+    "betty",
+    "anthony",
+    "margaret",
+    "mark",
+    "sandra",
+    "donald",
+    "ashley",
+    "steven",
+    "kimberly",
+    "paul",
+    "emily",
+    "andrew",
+    "donna",
+    "joshua",
+    "michelle",
+    "kenneth",
+    "dorothy",
+    "kevin",
+    "carol",
+    "brian",
+    "amanda",
+    "george",
+    "melissa",
+    "edward",
+    "deborah",
 ];
 
 /// Common last names used for people-like attributes.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
-    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
-    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
-    "rivera", "campbell", "mitchell", "carter", "roberts",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
+    "green",
+    "adams",
+    "nelson",
+    "baker",
+    "hall",
+    "rivera",
+    "campbell",
+    "mitchell",
+    "carter",
+    "roberts",
 ];
 
 /// Street suffixes for address generation.
@@ -127,28 +215,78 @@ pub const STREET_SUFFIXES: &[&str] = &["st", "ave", "dr", "rd", "blvd", "ln", "w
 
 /// Street base names.
 pub const STREET_NAMES: &[&str] = &[
-    "hickory", "northwood", "main", "oak", "maple", "cedar", "pine", "elm", "washington",
-    "lake", "hill", "park", "sunset", "river", "spring", "church", "walnut", "chestnut",
-    "highland", "jackson", "franklin", "jefferson", "madison", "adams", "lincoln",
+    "hickory",
+    "northwood",
+    "main",
+    "oak",
+    "maple",
+    "cedar",
+    "pine",
+    "elm",
+    "washington",
+    "lake",
+    "hill",
+    "park",
+    "sunset",
+    "river",
+    "spring",
+    "church",
+    "walnut",
+    "chestnut",
+    "highland",
+    "jackson",
+    "franklin",
+    "jefferson",
+    "madison",
+    "adams",
+    "lincoln",
 ];
 
 /// Hospital / facility name fragments.
 pub const FACILITY_PREFIXES: &[&str] = &[
-    "marshall", "eliza coffee", "mizell", "crenshaw", "st vincents", "dale", "cherokee",
-    "baptist", "community", "mercy", "providence", "riverside", "lakeview", "northside",
-    "southeast", "university", "memorial", "regional", "county", "general",
+    "marshall",
+    "eliza coffee",
+    "mizell",
+    "crenshaw",
+    "st vincents",
+    "dale",
+    "cherokee",
+    "baptist",
+    "community",
+    "mercy",
+    "providence",
+    "riverside",
+    "lakeview",
+    "northside",
+    "southeast",
+    "university",
+    "memorial",
+    "regional",
+    "county",
+    "general",
 ];
 
 /// Hospital / facility name suffixes.
 pub const FACILITY_SUFFIXES: &[&str] = &[
-    "medical center", "memorial hospital", "community hospital", "regional medical center",
-    "health center", "general hospital", "medical clinic", "care center",
+    "medical center",
+    "memorial hospital",
+    "community hospital",
+    "regional medical center",
+    "health center",
+    "general hospital",
+    "medical clinic",
+    "care center",
 ];
 
 /// Clinical conditions (Hospital dataset).
 pub const CONDITIONS: &[&str] = &[
-    "heart attack", "heart failure", "pneumonia", "surgical infection prevention",
-    "childrens asthma care", "stroke care", "blood clot prevention",
+    "heart attack",
+    "heart failure",
+    "pneumonia",
+    "surgical infection prevention",
+    "childrens asthma care",
+    "stroke care",
+    "blood clot prevention",
 ];
 
 /// Measure codes and names (Hospital dataset); the code determines the name
@@ -178,8 +316,12 @@ pub const MEASURES: &[(&str, &str, usize)] = &[
 
 /// Hospital ownership types.
 pub const OWNERSHIP: &[&str] = &[
-    "government - federal", "government - state", "government - local",
-    "voluntary non-profit - private", "voluntary non-profit - church", "proprietary",
+    "government - federal",
+    "government - state",
+    "government - local",
+    "voluntary non-profit - private",
+    "voluntary non-profit - church",
+    "proprietary",
 ];
 
 /// Airline codes for the Flights dataset.
@@ -187,12 +329,43 @@ pub const AIRLINES: &[&str] = &["AA", "UA", "DL", "WN", "B6", "AS", "NK", "F9", 
 
 /// Flight data sources (websites) for the Flights dataset.
 pub const FLIGHT_SOURCES: &[&str] = &[
-    "aa", "airtravelcenter", "allegiantair", "boston", "businesstravellogue", "CO",
-    "dfw", "den", "flightarrival", "flightaware", "flightexplorer", "flights", "flightstats",
-    "flightview", "flightwise", "flylouisville", "foxbusiness", "gofox", "helloflight",
-    "iad", "ifly", "mco", "mia", "myrateplan", "mytripandmore", "orbitz", "ord", "panynj",
-    "phl", "quicktrip", "sfo", "travelocity", "usatoday", "weather", "world-flight-tracker",
-    "wunderground", "yahoo",
+    "aa",
+    "airtravelcenter",
+    "allegiantair",
+    "boston",
+    "businesstravellogue",
+    "CO",
+    "dfw",
+    "den",
+    "flightarrival",
+    "flightaware",
+    "flightexplorer",
+    "flights",
+    "flightstats",
+    "flightview",
+    "flightwise",
+    "flylouisville",
+    "foxbusiness",
+    "gofox",
+    "helloflight",
+    "iad",
+    "ifly",
+    "mco",
+    "mia",
+    "myrateplan",
+    "mytripandmore",
+    "orbitz",
+    "ord",
+    "panynj",
+    "phl",
+    "quicktrip",
+    "sfo",
+    "travelocity",
+    "usatoday",
+    "weather",
+    "world-flight-tracker",
+    "wunderground",
+    "yahoo",
 ];
 
 /// Soccer clubs and their leagues (club determines league).
@@ -270,24 +443,70 @@ pub const EURO_CITIES: &[(&str, &str)] = &[
 
 /// Soccer positions.
 pub const POSITIONS: &[&str] = &[
-    "goalkeeper", "centre back", "left back", "right back", "defensive midfield",
-    "central midfield", "attacking midfield", "left wing", "right wing", "centre forward",
+    "goalkeeper",
+    "centre back",
+    "left back",
+    "right back",
+    "defensive midfield",
+    "central midfield",
+    "attacking midfield",
+    "left wing",
+    "right wing",
+    "centre forward",
 ];
 
 /// Beer styles (Beers dataset).
 pub const BEER_STYLES: &[&str] = &[
-    "american ipa", "american pale ale", "american amber ale", "american blonde ale",
-    "american double ipa", "american porter", "american stout", "fruit beer", "hefeweizen",
-    "kolsch", "saison", "witbier", "oatmeal stout", "scotch ale", "cream ale", "pilsner",
-    "american brown ale", "rye beer", "winter warmer", "english brown ale",
+    "american ipa",
+    "american pale ale",
+    "american amber ale",
+    "american blonde ale",
+    "american double ipa",
+    "american porter",
+    "american stout",
+    "fruit beer",
+    "hefeweizen",
+    "kolsch",
+    "saison",
+    "witbier",
+    "oatmeal stout",
+    "scotch ale",
+    "cream ale",
+    "pilsner",
+    "american brown ale",
+    "rye beer",
+    "winter warmer",
+    "english brown ale",
 ];
 
 /// Brewery name fragments (Beers dataset).
 pub const BREWERY_WORDS: &[&str] = &[
-    "devils backbone", "oskar blues", "cigar city", "sun king", "tallgrass", "against the grain",
-    "boulevard", "odell", "upslope", "renegade", "crazy mountain", "ska", "great divide",
-    "surly", "summit", "indeed", "fulton", "bauhaus", "bent paddle", "castle danger",
-    "lakefront", "new glarus", "capital", "ale asylum", "karben4", "central waters",
+    "devils backbone",
+    "oskar blues",
+    "cigar city",
+    "sun king",
+    "tallgrass",
+    "against the grain",
+    "boulevard",
+    "odell",
+    "upslope",
+    "renegade",
+    "crazy mountain",
+    "ska",
+    "great divide",
+    "surly",
+    "summit",
+    "indeed",
+    "fulton",
+    "bauhaus",
+    "bent paddle",
+    "castle danger",
+    "lakefront",
+    "new glarus",
+    "capital",
+    "ale asylum",
+    "karben4",
+    "central waters",
 ];
 
 /// DRG (diagnosis related group) codes and definitions (Inpatient dataset).
@@ -346,8 +565,14 @@ pub const DRG_CODES: &[(&str, &str)] = &[
 
 /// Facility types (Facilities dataset).
 pub const FACILITY_TYPES: &[&str] = &[
-    "hospital", "nursing home", "rural health clinic", "home health agency", "hospice",
-    "dialysis facility", "ambulatory surgical center", "rehabilitation facility",
+    "hospital",
+    "nursing home",
+    "rural health clinic",
+    "home health agency",
+    "hospice",
+    "dialysis facility",
+    "ambulatory surgical center",
+    "rehabilitation facility",
 ];
 
 /// Pick a uniformly random element of a slice.

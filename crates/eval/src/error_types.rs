@@ -30,13 +30,15 @@ impl ErrorTypeRecall {
 
     /// Recall for one error type (`None` when no error of that type was injected).
     pub fn recall(&self, error_type: ErrorType) -> Option<f64> {
-        self.per_type.get(&error_type).map(|(fixed, total)| {
-            if *total == 0 {
-                0.0
-            } else {
-                *fixed as f64 / *total as f64
-            }
-        })
+        self.per_type.get(&error_type).map(
+            |(fixed, total)| {
+                if *total == 0 {
+                    0.0
+                } else {
+                    *fixed as f64 / *total as f64
+                }
+            },
+        )
     }
 
     /// Number of injected errors of one type.
@@ -63,9 +65,8 @@ mod tests {
     use bclean_datagen::{inject_errors, ErrorSpec};
 
     fn bench() -> DirtyDataset {
-        let rows: Vec<Vec<String>> = (0..40)
-            .map(|i| vec![format!("v{}", i % 4), format!("w{}", i % 4)])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            (0..40).map(|i| vec![format!("v{}", i % 4), format!("w{}", i % 4)]).collect();
         let refs: Vec<Vec<&str>> = rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
         let clean = dataset_from(&["a", "b"], &refs);
         inject_errors(&clean, &ErrorSpec::default_mix(0.2), 3)

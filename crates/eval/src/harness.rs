@@ -97,7 +97,12 @@ pub fn run_method(method: Method, dataset: BenchmarkDataset, bench: &DirtyDatase
 /// concurrent runs contend for cores, per-run `exec_time` is only meaningful
 /// with `threads == 1` — use that for timing tables, and more threads for
 /// quality sweeps.
-pub fn run_methods(methods: &[Method], dataset: BenchmarkDataset, bench: &DirtyDataset, threads: usize) -> Vec<MethodRun> {
+pub fn run_methods(
+    methods: &[Method],
+    dataset: BenchmarkDataset,
+    bench: &DirtyDataset,
+    threads: usize,
+) -> Vec<MethodRun> {
     ParallelExecutor::new(threads).map(methods.len(), |i| run_method(methods[i], dataset, bench))
 }
 
@@ -109,7 +114,11 @@ pub fn run_bclean(config: BCleanConfig, constraints: ConstraintSet, bench: &Dirt
 }
 
 /// Convenience: run BClean with a config/constraints pair and evaluate it.
-pub fn run_bclean_evaluated(config: BCleanConfig, constraints: ConstraintSet, bench: &DirtyDataset) -> (Metrics, Duration) {
+pub fn run_bclean_evaluated(
+    config: BCleanConfig,
+    constraints: ConstraintSet,
+    bench: &DirtyDataset,
+) -> (Metrics, Duration) {
     let start = Instant::now();
     let cleaned = run_bclean(config, constraints, bench);
     let elapsed = start.elapsed();
@@ -137,7 +146,8 @@ mod tests {
     #[test]
     fn bclean_pi_beats_noop_and_reaches_reasonable_f1() {
         let bench = small_hospital();
-        let run = run_method(Method::BClean(Variant::PartitionedInference), BenchmarkDataset::Hospital, &bench);
+        let run =
+            run_method(Method::BClean(Variant::PartitionedInference), BenchmarkDataset::Hospital, &bench);
         let noop = evaluate(&bench.dirty, &NoOpCleaner.clean(&bench.dirty), &bench.clean).unwrap();
         assert!(run.metrics.f1 > noop.f1);
         assert!(run.metrics.f1 > 0.5, "BCleanPI F1 too low: {:?}", run.metrics);

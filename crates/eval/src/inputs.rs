@@ -18,12 +18,24 @@ pub fn bclean_constraints(dataset: BenchmarkDataset) -> ConstraintSet {
     let mut ucs = ConstraintSet::new();
     match dataset {
         BenchmarkDataset::Hospital => {
-            ucs.add("ZipCode", UserConstraint::pattern("^([1-9][0-9]{4,4}|0[1-9][0-9]{3,3})$").expect("valid pattern"));
+            ucs.add(
+                "ZipCode",
+                UserConstraint::pattern("^([1-9][0-9]{4,4}|0[1-9][0-9]{3,3})$").expect("valid pattern"),
+            );
             ucs.add("ProviderNumber", UserConstraint::pattern("^([1-9][0-9]{4,4})$").expect("valid pattern"));
             ucs.add("PhoneNumber", UserConstraint::pattern("^([1-9][0-9]{9,9})$").expect("valid pattern"));
             ucs.add("State", UserConstraint::MaxLength(2));
             ucs.add("State", UserConstraint::MinLength(2));
-            for attr in ["HospitalName", "City", "CountyName", "Condition", "MeasureCode", "MeasureName", "Address", "StateAvg"] {
+            for attr in [
+                "HospitalName",
+                "City",
+                "CountyName",
+                "Condition",
+                "MeasureCode",
+                "MeasureName",
+                "Address",
+                "StateAvg",
+            ] {
                 ucs.add(attr, UserConstraint::NotNull);
                 ucs.add(attr, UserConstraint::MinLength(2));
                 ucs.add(attr, UserConstraint::MaxLength(64));
@@ -64,7 +76,16 @@ pub fn bclean_constraints(dataset: BenchmarkDataset) -> ConstraintSet {
         }
         BenchmarkDataset::Inpatient => {
             // Table 3 lists no patterns for Inpatient; length/not-null UCs only.
-            for attr in ["ProviderId", "ProviderName", "City", "State", "ZipCode", "County", "DRGCode", "DRGDefinition"] {
+            for attr in [
+                "ProviderId",
+                "ProviderName",
+                "City",
+                "State",
+                "ZipCode",
+                "County",
+                "DRGCode",
+                "DRGDefinition",
+            ] {
                 ucs.add(attr, UserConstraint::NotNull);
             }
             ucs.add("State", UserConstraint::MaxLength(2));
@@ -72,7 +93,17 @@ pub fn bclean_constraints(dataset: BenchmarkDataset) -> ConstraintSet {
             ucs.add("ZipCode", UserConstraint::MaxLength(5));
         }
         BenchmarkDataset::Facilities => {
-            for attr in ["FacilityId", "FacilityName", "City", "State", "ZipCode", "County", "Phone", "Type", "Ownership"] {
+            for attr in [
+                "FacilityId",
+                "FacilityName",
+                "City",
+                "State",
+                "ZipCode",
+                "County",
+                "Phone",
+                "Type",
+                "Ownership",
+            ] {
                 ucs.add(attr, UserConstraint::NotNull);
             }
             ucs.add("State", UserConstraint::MaxLength(2));
@@ -259,12 +290,7 @@ mod tests {
         for ds in BenchmarkDataset::all() {
             let clean = ds.generate_clean(30, 1);
             for fd in holoclean_constraints(ds) {
-                assert!(
-                    fd.resolve(&clean).is_some(),
-                    "{}: constraint {:?} does not resolve",
-                    ds.name(),
-                    fd
-                );
+                assert!(fd.resolve(&clean).is_some(), "{}: constraint {:?} does not resolve", ds.name(), fd);
             }
         }
     }

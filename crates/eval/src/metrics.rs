@@ -32,7 +32,8 @@ impl Metrics {
     pub fn from_counts(correct: usize, modified: usize, errors: usize) -> Metrics {
         let precision = if modified == 0 { 0.0 } else { correct as f64 / modified as f64 };
         let recall = if errors == 0 { 0.0 } else { correct as f64 / errors as f64 };
-        let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+        let f1 =
+            if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
         Metrics { precision, recall, f1, modified, correct, errors }
     }
 

@@ -38,17 +38,12 @@ impl TextTable {
         }
         let mut out = String::new();
         let render_row = |cells: &[String], widths: &[usize]| -> String {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<width$}", width = w))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:<width$}", width = w)).collect();
             format!("| {} |", padded.join(" | "))
         };
-        let separator: String = format!(
-            "|{}|",
-            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-        );
+        let separator: String =
+            format!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
         let _ = writeln!(out, "{}", render_row(&self.headers, &widths));
         let _ = writeln!(out, "{separator}");
         for row in &self.rows {

@@ -68,7 +68,11 @@ pub fn ldl(a: &Matrix) -> LinalgResult<(Matrix, Vec<f64>)> {
 pub fn forward_substitute(l: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
     let n = l.nrows();
     if b.len() != n {
-        return Err(LinalgError::DimensionMismatch { op: "forward_substitute", lhs: l.shape(), rhs: (b.len(), 1) });
+        return Err(LinalgError::DimensionMismatch {
+            op: "forward_substitute",
+            lhs: l.shape(),
+            rhs: (b.len(), 1),
+        });
     }
     let mut x = vec![0.0; n];
     for i in 0..n {
@@ -89,7 +93,11 @@ pub fn forward_substitute(l: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
 pub fn back_substitute(u: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
     let n = u.nrows();
     if b.len() != n {
-        return Err(LinalgError::DimensionMismatch { op: "back_substitute", lhs: u.shape(), rhs: (b.len(), 1) });
+        return Err(LinalgError::DimensionMismatch {
+            op: "back_substitute",
+            lhs: u.shape(),
+            rhs: (b.len(), 1),
+        });
     }
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {

@@ -161,12 +161,7 @@ mod tests {
     /// A well-conditioned covariance with one strong dependency (0↔1) and one
     /// independent variable (2).
     fn toy_cov() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 0.8, 0.05],
-            vec![0.8, 1.0, 0.02],
-            vec![0.05, 0.02, 1.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![1.0, 0.8, 0.05], vec![0.8, 1.0, 0.02], vec![0.05, 0.02, 1.0]]).unwrap()
     }
 
     #[test]
@@ -217,7 +212,9 @@ mod tests {
     #[test]
     fn zero_penalty_approximates_inverse() {
         let cov = toy_cov();
-        let res = graphical_lasso(&cov, GlassoConfig { rho: 1e-6, max_iter: 400, tol: 1e-8, ..Default::default() }).unwrap();
+        let res =
+            graphical_lasso(&cov, GlassoConfig { rho: 1e-6, max_iter: 400, tol: 1e-8, ..Default::default() })
+                .unwrap();
         let inv = ridge_precision(&cov, 1e-6).unwrap();
         assert!(res.precision.max_abs_diff(&inv).unwrap() < 0.05);
     }

@@ -26,6 +26,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Triangular solves, coordinate descent and pivoted eliminations index
+// several matrices/vectors by the same loop variable; explicit index loops
+// are the established idiom for these kernels.
+#![allow(clippy::needless_range_loop)]
 
 pub mod decomposition;
 pub mod glasso;
@@ -33,8 +37,13 @@ pub mod matrix;
 pub mod regression;
 pub mod stats;
 
-pub use decomposition::{back_substitute, cholesky, determinant, forward_substitute, invert, ldl, lu_decompose, solve, solve_spd};
+pub use decomposition::{
+    back_substitute, cholesky, determinant, forward_substitute, invert, ldl, lu_decompose, solve, solve_spd,
+};
 pub use glasso::{graphical_lasso, ridge_precision, GlassoConfig, GlassoResult};
 pub use matrix::{LinalgError, LinalgResult, Matrix};
 pub use regression::{lasso, lasso_covariance, ols, soft_threshold, CdConfig};
-pub use stats::{column_means, correlation_matrix, covariance_matrix, mean, pearson, standardize_columns, std_dev, variance};
+pub use stats::{
+    column_means, correlation_matrix, covariance_matrix, mean, pearson, standardize_columns, std_dev,
+    variance,
+};

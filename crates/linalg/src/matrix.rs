@@ -149,7 +149,11 @@ impl Matrix {
     /// Matrix product `self * other`.
     pub fn matmul(&self, other: &Matrix) -> LinalgResult<Matrix> {
         if self.cols != other.rows {
-            return Err(LinalgError::DimensionMismatch { op: "matmul", lhs: self.shape(), rhs: other.shape() });
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
@@ -169,11 +173,13 @@ impl Matrix {
     /// Matrix-vector product.
     pub fn matvec(&self, v: &[f64]) -> LinalgResult<Vec<f64>> {
         if self.cols != v.len() {
-            return Err(LinalgError::DimensionMismatch { op: "matvec", lhs: self.shape(), rhs: (v.len(), 1) });
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
         }
-        Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Element-wise addition.
@@ -202,14 +208,13 @@ impl Matrix {
     /// Maximum absolute element difference to another matrix of the same shape.
     pub fn max_abs_diff(&self, other: &Matrix) -> LinalgResult<f64> {
         if self.shape() != other.shape() {
-            return Err(LinalgError::DimensionMismatch { op: "max_abs_diff", lhs: self.shape(), rhs: other.shape() });
+            return Err(LinalgError::DimensionMismatch {
+                op: "max_abs_diff",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max))
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max))
     }
 
     /// Frobenius norm.

@@ -102,7 +102,11 @@ pub fn lasso_covariance(v: &Matrix, s: &[f64], lambda: f64, cfg: CdConfig) -> Li
     }
     let p = v.nrows();
     if s.len() != p {
-        return Err(LinalgError::DimensionMismatch { op: "lasso_covariance", lhs: v.shape(), rhs: (s.len(), 1) });
+        return Err(LinalgError::DimensionMismatch {
+            op: "lasso_covariance",
+            lhs: v.shape(),
+            rhs: (s.len(), 1),
+        });
     }
     let mut beta = vec![0.0; p];
     for _ in 0..cfg.max_iter {
@@ -187,9 +191,7 @@ mod tests {
     #[test]
     fn lasso_shrinks_irrelevant_feature() {
         // y depends only on x1; x2 is noise-free but irrelevant.
-        let rows: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![(i % 7) as f64, ((i * 3) % 5) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 7) as f64, ((i * 3) % 5) as f64]).collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let y: Vec<f64> = rows.iter().map(|r| 1.5 * r[0]).collect();
         let beta = lasso(&x, &y, 0.5, CdConfig::default()).unwrap();

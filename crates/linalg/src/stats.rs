@@ -154,8 +154,7 @@ mod tests {
 
     #[test]
     fn covariance_matrix_matches_hand_computation() {
-        let samples =
-            Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let samples = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         let cov = covariance_matrix(&samples).unwrap();
         assert!((cov.get(0, 0) - 2.0 / 3.0).abs() < 1e-12);
         assert!((cov.get(0, 1) - 4.0 / 3.0).abs() < 1e-12);

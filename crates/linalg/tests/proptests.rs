@@ -1,8 +1,8 @@
 //! Property-based tests for the linear algebra kernel.
 
 use bclean_linalg::{
-    cholesky, correlation_matrix, covariance_matrix, determinant, graphical_lasso, invert, ldl,
-    solve, solve_spd, standardize_columns, GlassoConfig, Matrix,
+    cholesky, correlation_matrix, covariance_matrix, determinant, graphical_lasso, invert, ldl, solve,
+    solve_spd, standardize_columns, GlassoConfig, Matrix,
 };
 use proptest::prelude::*;
 

@@ -73,10 +73,7 @@ fn flag_column(dataset: &Dataset, profile: &ColumnProfile, config: OutlierConfig
     // Numeric spread outliers, using a robust (median / MAD) z-score so a
     // single wild value cannot mask another.
     if profile.role == ColumnRole::Numeric {
-        let mut numbers: Vec<f64> = dataset
-            .rows()
-            .filter_map(|row| row[col].as_number())
-            .collect();
+        let mut numbers: Vec<f64> = dataset.rows().filter_map(|row| row[col].as_number()).collect();
         if numbers.len() >= 8 {
             numbers.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let median = numbers[numbers.len() / 2];
@@ -135,10 +132,8 @@ fn flag_column(dataset: &Dataset, profile: &ColumnProfile, config: OutlierConfig
                     if v.is_null() {
                         continue;
                     }
-                    let count = dataset
-                        .column(col)
-                        .map(|vs| vs.iter().filter(|x| **x == v).count())
-                        .unwrap_or(0);
+                    let count =
+                        dataset.column(col).map(|vs| vs.iter().filter(|x| **x == v).count()).unwrap_or(0);
                     if count <= config.rare_max_count {
                         out.push(Outlier {
                             at: CellRef::new(r, col),
@@ -156,12 +151,8 @@ fn flag_column(dataset: &Dataset, profile: &ColumnProfile, config: OutlierConfig
 
 /// Median length of the column's non-null values.
 fn typical_length(dataset: &Dataset, col: usize) -> f64 {
-    let mut lengths: Vec<usize> = dataset
-        .rows()
-        .map(|row| &row[col])
-        .filter(|v| !v.is_null())
-        .map(|v| v.text_len())
-        .collect();
+    let mut lengths: Vec<usize> =
+        dataset.rows().map(|row| &row[col]).filter(|v| !v.is_null()).map(|v| v.text_len()).collect();
     if lengths.is_empty() {
         return 0.0;
     }
@@ -181,12 +172,16 @@ mod tests {
         rows.push(vec!["9999.0"]);
         let data = dataset_from(&["score"], &rows);
         let outliers = find_outliers(&data, OutlierConfig::default());
-        assert!(outliers.iter().any(|o| o.kind == OutlierKind::NumericSpread && o.value == Value::number(9999.0)));
+        assert!(outliers
+            .iter()
+            .any(|o| o.kind == OutlierKind::NumericSpread && o.value == Value::number(9999.0)));
     }
 
     #[test]
     fn length_outlier_is_flagged() {
-        let mut rows: Vec<Vec<&str>> = (0..40).map(|i| if i % 2 == 0 { vec!["mercy hospital"] } else { vec!["st vincent clinic"] }).collect();
+        let mut rows: Vec<Vec<&str>> = (0..40)
+            .map(|i| if i % 2 == 0 { vec!["mercy hospital"] } else { vec!["st vincent clinic"] })
+            .collect();
         rows.push(vec!["x"]);
         let data = dataset_from(&["name"], &rows);
         let outliers = find_outliers(&data, OutlierConfig::default());
@@ -195,7 +190,8 @@ mod tests {
 
     #[test]
     fn rare_value_outlier_is_flagged() {
-        let mut rows: Vec<Vec<&str>> = (0..50).map(|i| if i % 2 == 0 { vec!["CA"] } else { vec!["KT"] }).collect();
+        let mut rows: Vec<Vec<&str>> =
+            (0..50).map(|i| if i % 2 == 0 { vec!["CA"] } else { vec!["KT"] }).collect();
         rows.push(vec!["C_"]);
         let data = dataset_from(&["state"], &rows);
         let outliers = find_outliers(&data, OutlierConfig::default());
@@ -204,7 +200,8 @@ mod tests {
 
     #[test]
     fn clean_uniform_data_produces_no_outliers() {
-        let rows: Vec<Vec<&str>> = (0..40).map(|i| if i % 2 == 0 { vec!["35150", "CA"] } else { vec!["35960", "KT"] }).collect();
+        let rows: Vec<Vec<&str>> =
+            (0..40).map(|i| if i % 2 == 0 { vec!["35150", "CA"] } else { vec!["35960", "KT"] }).collect();
         let data = dataset_from(&["zip", "state"], &rows);
         let outliers = find_outliers(&data, OutlierConfig::default());
         assert!(outliers.is_empty(), "unexpected outliers: {outliers:?}");

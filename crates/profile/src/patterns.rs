@@ -94,7 +94,9 @@ impl Shape {
         for (a, b) in self.0.iter().zip(&other.0) {
             let merged = match (a, b) {
                 (ShapeToken::Digits(x), ShapeToken::Digits(y)) => MergedToken::Digits(*x.min(y), *x.max(y)),
-                (ShapeToken::Letters(x), ShapeToken::Letters(y)) => MergedToken::Letters(*x.min(y), *x.max(y)),
+                (ShapeToken::Letters(x), ShapeToken::Letters(y)) => {
+                    MergedToken::Letters(*x.min(y), *x.max(y))
+                }
                 (ShapeToken::Literal(x), ShapeToken::Literal(y)) if x == y => MergedToken::Literal(*x),
                 _ => return None,
             };

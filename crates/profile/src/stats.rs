@@ -107,13 +107,16 @@ impl ColumnProfile {
             ColumnRole::Empty
         } else if !non_numeric_present && !numeric.is_empty() {
             ColumnRole::Numeric
-        } else if distinct * 20 <= non_null.max(1) || (distinct <= 12 && (distinct as f64) < 0.6 * non_null as f64) {
+        } else if distinct * 20 <= non_null.max(1)
+            || (distinct <= 12 && (distinct as f64) < 0.6 * non_null as f64)
+        {
             ColumnRole::Categorical
         } else {
             ColumnRole::Text
         };
 
-        let integral = !numeric.is_empty() && !non_numeric_present && numeric.iter().all(|n| n.fract() == 0.0);
+        let integral =
+            !numeric.is_empty() && !non_numeric_present && numeric.iter().all(|n| n.fract() == 0.0);
         let (min_value, max_value, mean, std_dev) = if numeric.is_empty() || non_numeric_present {
             (None, None, None, None)
         } else {
@@ -157,9 +160,7 @@ pub struct DatasetProfile {
 impl DatasetProfile {
     /// Profile every column of a dataset.
     pub fn profile(dataset: &Dataset) -> DatasetProfile {
-        let columns = (0..dataset.num_columns())
-            .map(|c| ColumnProfile::from_column(dataset, c))
-            .collect();
+        let columns = (0..dataset.num_columns()).map(|c| ColumnProfile::from_column(dataset, c)).collect();
         DatasetProfile { columns, rows: dataset.num_rows() }
     }
 

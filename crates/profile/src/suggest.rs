@@ -71,10 +71,13 @@ pub fn suggest_constraints(dataset: &Dataset, config: SuggestConfig) -> (Constra
 
         // Non-null requirement.
         if col.null_rate() <= config.max_null_rate_for_not_null {
-            push(&mut set, &mut suggestions, &col.name, UserConstraint::NotNull, format!(
-                "only {:.1}% of values are missing",
-                col.null_rate() * 100.0
-            ));
+            push(
+                &mut set,
+                &mut suggestions,
+                &col.name,
+                UserConstraint::NotNull,
+                format!("only {:.1}% of values are missing", col.null_rate() * 100.0),
+            );
         }
 
         // A numeric column whose values are all fixed-width integers is a
@@ -90,14 +93,26 @@ pub fn suggest_constraints(dataset: &Dataset, config: SuggestConfig) -> (Constra
                         let span = (max - min).abs().max(1.0);
                         let lo = min - span * config.numeric_slack;
                         let hi = max + span * config.numeric_slack;
-                        push(&mut set, &mut suggestions, &col.name, UserConstraint::MinValue(lo), format!(
-                            "observed minimum {min}, with {:.0}% slack",
-                            config.numeric_slack * 100.0
-                        ));
-                        push(&mut set, &mut suggestions, &col.name, UserConstraint::MaxValue(hi), format!(
-                            "observed maximum {max}, with {:.0}% slack",
-                            config.numeric_slack * 100.0
-                        ));
+                        push(
+                            &mut set,
+                            &mut suggestions,
+                            &col.name,
+                            UserConstraint::MinValue(lo),
+                            format!(
+                                "observed minimum {min}, with {:.0}% slack",
+                                config.numeric_slack * 100.0
+                            ),
+                        );
+                        push(
+                            &mut set,
+                            &mut suggestions,
+                            &col.name,
+                            UserConstraint::MaxValue(hi),
+                            format!(
+                                "observed maximum {max}, with {:.0}% slack",
+                                config.numeric_slack * 100.0
+                            ),
+                        );
                     }
                 }
             }
@@ -107,15 +122,21 @@ pub fn suggest_constraints(dataset: &Dataset, config: SuggestConfig) -> (Constra
                     let min_len = col.min_len.saturating_sub(config.length_slack);
                     let max_len = col.max_len + config.length_slack;
                     if min_len > 0 {
-                        push(&mut set, &mut suggestions, &col.name, UserConstraint::MinLength(min_len), format!(
-                            "shortest observed value has {} characters",
-                            col.min_len
-                        ));
+                        push(
+                            &mut set,
+                            &mut suggestions,
+                            &col.name,
+                            UserConstraint::MinLength(min_len),
+                            format!("shortest observed value has {} characters", col.min_len),
+                        );
                     }
-                    push(&mut set, &mut suggestions, &col.name, UserConstraint::MaxLength(max_len), format!(
-                        "longest observed value has {} characters",
-                        col.max_len
-                    ));
+                    push(
+                        &mut set,
+                        &mut suggestions,
+                        &col.name,
+                        UserConstraint::MaxLength(max_len),
+                        format!("longest observed value has {} characters", col.max_len),
+                    );
                 }
             }
             ColumnRole::Empty => {}
@@ -132,11 +153,17 @@ pub fn suggest_constraints(dataset: &Dataset, config: SuggestConfig) -> (Constra
             if let Ok(values) = dataset.column(col.column) {
                 if let Some(pattern) = infer_pattern(&values, config.min_pattern_coverage) {
                     if let Ok(constraint) = UserConstraint::pattern(&pattern.regex) {
-                        push(&mut set, &mut suggestions, &col.name, constraint, format!(
-                            "{:.0}% of values match the shape {}",
-                            pattern.coverage * 100.0,
-                            pattern.regex
-                        ));
+                        push(
+                            &mut set,
+                            &mut suggestions,
+                            &col.name,
+                            constraint,
+                            format!(
+                                "{:.0}% of values match the shape {}",
+                                pattern.coverage * 100.0,
+                                pattern.regex
+                            ),
+                        );
                     }
                 }
             }
@@ -161,7 +188,12 @@ fn push(
 pub fn suggestions_report(suggestions: &[Suggestion]) -> String {
     let mut out = String::new();
     for s in suggestions {
-        out.push_str(&format!("{:<22} {:<32} # {}\n", s.attribute, format!("{:?}", s.constraint), s.rationale));
+        out.push_str(&format!(
+            "{:<22} {:<32} # {}\n",
+            s.attribute,
+            format!("{:?}", s.constraint),
+            s.rationale
+        ));
     }
     out
 }
@@ -221,12 +253,15 @@ mod tests {
 
     #[test]
     fn sparse_columns_do_not_get_not_null() {
-        let rows: Vec<Vec<&str>> = (0..20).map(|i| if i % 2 == 0 { vec!["x", ""] } else { vec!["y", "z"] }).collect();
+        let rows: Vec<Vec<&str>> =
+            (0..20).map(|i| if i % 2 == 0 { vec!["x", ""] } else { vec!["y", "z"] }).collect();
         let data = dataset_from(&["a", "b"], &rows);
         let (set, suggestions) = suggest_constraints(&data, SuggestConfig::default());
         // Column b is null half the time: no NotNull suggestion for it.
         assert!(set.check("b", &Value::Null));
-        assert!(suggestions.iter().all(|s| !(s.attribute == "b" && matches!(s.constraint, UserConstraint::NotNull))));
+        assert!(suggestions
+            .iter()
+            .all(|s| !(s.attribute == "b" && matches!(s.constraint, UserConstraint::NotNull))));
         // Column a is never null.
         assert!(!set.check("a", &Value::Null));
     }
@@ -251,15 +286,12 @@ mod tests {
     fn suggested_constraints_improve_cleaning_on_a_small_table() {
         use bclean_core::{BClean, Variant};
         // Zip -> State with one format-breaking typo.
-        let mut rows: Vec<Vec<&str>> = (0..40)
-            .map(|i| if i % 2 == 0 { vec!["35150", "CA"] } else { vec!["35960", "KT"] })
-            .collect();
+        let mut rows: Vec<Vec<&str>> =
+            (0..40).map(|i| if i % 2 == 0 { vec!["35150", "CA"] } else { vec!["35960", "KT"] }).collect();
         rows[5][0] = "3596x";
         let dirty = dataset_from(&["zip", "state"], &rows);
         let (set, _) = suggest_constraints(&dirty, SuggestConfig::default());
-        let model = BClean::new(Variant::PartitionedInference.config())
-            .with_constraints(set)
-            .fit(&dirty);
+        let model = BClean::new(Variant::PartitionedInference.config()).with_constraints(set).fit(&dirty);
         let result = model.clean(&dirty);
         assert!(
             result.repairs.iter().any(|r| r.at.row == 5 && r.at.col == 0 && r.to == Value::parse("35960")),

@@ -10,10 +10,7 @@ use proptest::prelude::*;
 
 /// Random tables with a mix of numeric codes, categories and free text.
 fn table_strategy() -> impl Strategy<Value = Vec<(usize, usize, String)>> {
-    proptest::collection::vec(
-        (0usize..5, 0usize..3, "[a-z ]{0,12}"),
-        5..60,
-    )
+    proptest::collection::vec((0usize..5, 0usize..3, "[a-z ]{0,12}"), 5..60)
 }
 
 fn build_dataset(rows: &[(usize, usize, String)]) -> Dataset {

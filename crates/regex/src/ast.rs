@@ -39,7 +39,10 @@ impl CharClass {
 
     /// `\s`: whitespace.
     pub fn space() -> CharClass {
-        CharClass { negated: false, ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')] }
+        CharClass {
+            negated: false,
+            ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')],
+        }
     }
 
     /// `.`: any character except newline.

@@ -256,7 +256,9 @@ impl Parser {
                 }
                 lo => {
                     // Possible range `lo-hi` (a trailing `-` is a literal).
-                    if self.peek() == Some('-') && self.chars.get(self.pos + 1).copied().map_or(false, |h| h != ']') {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied().is_some_and(|h| h != ']')
+                    {
                         self.bump(); // '-'
                         let hi = self.bump().ok_or_else(|| self.error("unterminated character range"))?;
                         if hi < lo {

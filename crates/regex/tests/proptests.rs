@@ -27,7 +27,9 @@ fn oracle_full_match(ast: &Ast, input: &[char]) -> bool {
                 ) -> bool {
                     match items.split_first() {
                         None => k(pos),
-                        Some((head, rest)) => go(head, input, pos, total, &mut |p| chain(rest, input, p, total, k)),
+                        Some((head, rest)) => {
+                            go(head, input, pos, total, &mut |p| chain(rest, input, p, total, k))
+                        }
                     }
                 }
                 chain(items, input, pos, total, k)

@@ -215,10 +215,7 @@ mod tests {
             op: BinaryOp::And,
             lhs: Box::new(Expr::Binary {
                 op: BinaryOp::Eq,
-                lhs: Box::new(Expr::Call {
-                    name: "len".into(),
-                    args: vec![Expr::Ident("ZipCode".into())],
-                }),
+                lhs: Box::new(Expr::Call { name: "len".into(), args: vec![Expr::Ident("ZipCode".into())] }),
                 rhs: Box::new(Expr::Literal(Literal::Number(5.0))),
             }),
             rhs: Box::new(Expr::Binary {

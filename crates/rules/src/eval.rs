@@ -158,10 +158,8 @@ impl Rule {
         validate_calls(&expr)?;
         let mut regexes = HashMap::new();
         for pattern in expr.regex_patterns() {
-            let regex = Regex::new(pattern).map_err(|err| RuleError::Regex {
-                pattern: pattern.to_string(),
-                message: err.to_string(),
-            })?;
+            let regex = Regex::new(pattern)
+                .map_err(|err| RuleError::Regex { pattern: pattern.to_string(), message: err.to_string() })?;
             regexes.insert(pattern.to_string(), regex);
         }
         Ok(Rule { source: source.to_string(), expr, regexes })
@@ -242,7 +240,11 @@ fn validate_calls(expr: &Expr) -> Result<(), RuleError> {
             match spec {
                 None => return Err(RuleError::UnknownFunction(name.clone())),
                 Some((_, arity)) if *arity != args.len() => {
-                    return Err(RuleError::Arity { function: name.clone(), expected: *arity, actual: args.len() })
+                    return Err(RuleError::Arity {
+                        function: name.clone(),
+                        expected: *arity,
+                        actual: args.len(),
+                    })
                 }
                 _ => {}
             }
@@ -576,10 +578,7 @@ mod tests {
     #[test]
     fn compile_time_validation() {
         assert!(matches!(Rule::compile("foo(1)"), Err(RuleError::UnknownFunction(_))));
-        assert!(matches!(
-            Rule::compile("len(1, 2)"),
-            Err(RuleError::Arity { expected: 1, actual: 2, .. })
-        ));
+        assert!(matches!(Rule::compile("len(1, 2)"), Err(RuleError::Arity { expected: 1, actual: 2, .. })));
         assert!(matches!(Rule::compile("matches(value, a)"), Err(RuleError::NonLiteralPattern)));
         assert!(matches!(Rule::compile("1 +"), Err(RuleError::Parse(_))));
         assert!(matches!(Rule::compile("matches(value, '[')"), Err(RuleError::Regex { .. })));

@@ -154,7 +154,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                     tokens.push(Token { kind: TokenKind::EqEq, offset: i });
                     i += 2;
                 } else {
-                    return Err(LexError { message: "expected '==' (single '=' is not assignment)".into(), offset: i });
+                    return Err(LexError {
+                        message: "expected '==' (single '=' is not assignment)".into(),
+                        offset: i,
+                    });
                 }
             }
             '!' => {

@@ -57,9 +57,15 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
         prop_oneof![
             (inner.clone(), prop_oneof![Just(UnaryOp::Not), Just(UnaryOp::Neg)])
                 .prop_map(|(expr, op)| Expr::Unary { op, expr: Box::new(expr) }),
-            (inner.clone(), inner.clone(), binary_op_strategy())
-                .prop_map(|(lhs, rhs, op)| Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }),
-            (prop_oneof![Just("len"), Just("num"), Just("abs"), Just("lower"), Just("is_null")], inner.clone())
+            (inner.clone(), inner.clone(), binary_op_strategy()).prop_map(|(lhs, rhs, op)| Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs)
+            }),
+            (
+                prop_oneof![Just("len"), Just("num"), Just("abs"), Just("lower"), Just("is_null")],
+                inner.clone()
+            )
                 .prop_map(|(name, arg)| Expr::Call { name: name.to_string(), args: vec![arg] }),
             (prop_oneof![Just("contains"), Just("starts_with"), Just("min")], inner.clone(), inner.clone())
                 .prop_map(|(name, a, b)| Expr::Call { name: name.to_string(), args: vec![a, b] }),

@@ -12,7 +12,9 @@
 //! Run with: `cargo run --release --example constraint_suggestion`
 
 use bclean::prelude::*;
-use bclean::profile::{find_outliers, suggest_constraints, suggestions_report, DatasetProfile, OutlierConfig, SuggestConfig};
+use bclean::profile::{
+    find_outliers, suggest_constraints, suggestions_report, DatasetProfile, OutlierConfig, SuggestConfig,
+};
 
 fn main() {
     let bench = BenchmarkDataset::Hospital.build_sized(400, 23);

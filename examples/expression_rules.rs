@@ -40,10 +40,7 @@ fn main() {
 
     let mut constraints = ConstraintSet::new();
     // Per-attribute expression rules (the cell is bound to `value`).
-    constraints.add(
-        "ZipCode",
-        UserConstraint::expression("len(value) == 5 && is_number(value)").unwrap(),
-    );
+    constraints.add("ZipCode", UserConstraint::expression("len(value) == 5 && is_number(value)").unwrap());
     constraints.add("InsuranceCode", UserConstraint::expression("len(value) == 13").unwrap());
     constraints.add("State", UserConstraint::expression("len(value) == 2 && upper(value) == value").unwrap());
     // A tuple-level rule relating two attributes of the same row.
@@ -60,9 +57,7 @@ fn main() {
         println!("  row {i}: conf = {conf:.2}  tuple rules satisfied = {tuple_ok}");
     }
 
-    let model = BClean::new(Variant::PartitionedInference.config())
-        .with_constraints(constraints)
-        .fit(&dirty);
+    let model = BClean::new(Variant::PartitionedInference.config()).with_constraints(constraints).fit(&dirty);
     let result = model.clean(&dirty);
 
     println!("\nRepairs ({}):", result.repairs.len());
@@ -86,9 +81,8 @@ fn main() {
     beer_ucs.add("ounces", UserConstraint::expression("num(value) > 0 && num(value) <= 128").unwrap());
     beer_ucs.add("abv", UserConstraint::expression("num(value) >= 0 && num(value) < 1").unwrap());
 
-    let model = BClean::new(Variant::PartitionedInference.config())
-        .with_constraints(beer_ucs)
-        .fit(&bench.dirty);
+    let model =
+        BClean::new(Variant::PartitionedInference.config()).with_constraints(beer_ucs).fit(&bench.dirty);
     let result = model.clean(&bench.dirty);
     let metrics = bclean::eval::evaluate(&bench.dirty, &result.cleaned, &bench.clean).unwrap();
     println!(

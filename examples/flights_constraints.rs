@@ -21,11 +21,9 @@ fn main() {
     let without_patterns = full.without_kind(ConstraintKind::Pattern);
     let none = ConstraintSet::new();
 
-    for (label, constraints) in [
-        ("complete UCs", full),
-        ("without pattern UCs", without_patterns),
-        ("no UCs at all", none),
-    ] {
+    for (label, constraints) in
+        [("complete UCs", full), ("without pattern UCs", without_patterns), ("no UCs at all", none)]
+    {
         let model = BClean::new(Variant::PartitionedInference.config())
             .with_constraints(constraints)
             .fit(&bench.dirty);

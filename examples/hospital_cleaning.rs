@@ -23,9 +23,8 @@ fn main() {
     println!("User constraints on: {:?}", constraints.constrained_attributes());
 
     // Fit and clean with the partitioned-inference variant.
-    let model = BClean::new(Variant::PartitionedInference.config())
-        .with_constraints(constraints)
-        .fit(&bench.dirty);
+    let model =
+        BClean::new(Variant::PartitionedInference.config()).with_constraints(constraints).fit(&bench.dirty);
     let result = model.clean(&bench.dirty);
 
     let metrics = evaluate(&bench.dirty, &result.cleaned, &bench.clean).expect("shapes match");

@@ -21,9 +21,8 @@ fn main() {
     // engine has real evidence to work with.
     let bench = BenchmarkDataset::Hospital.build_sized(300, 11);
     let constraints = bclean::eval::bclean_constraints(BenchmarkDataset::Hospital);
-    let model = BClean::new(Variant::PartitionedInference.config())
-        .with_constraints(constraints)
-        .fit(&bench.dirty);
+    let model =
+        BClean::new(Variant::PartitionedInference.config()).with_constraints(constraints).fit(&bench.dirty);
 
     let network = model.network();
     let engine = InferenceEngine::new(network, &bench.dirty);
@@ -33,14 +32,15 @@ fn main() {
     // whose ground truth we know.
     let sample: Vec<_> = bench.errors.iter().take(12).collect();
     println!("{} injected errors, inspecting {}", bench.errors.len(), sample.len());
-    println!(
-        "\n{:<22} {:<14} {:<14} {:<14} {:<14}",
-        "cell", "blanket", "variable-elim", "gibbs", "loopy-bp"
-    );
+    println!("\n{:<22} {:<14} {:<14} {:<14} {:<14}", "cell", "blanket", "variable-elim", "gibbs", "loopy-bp");
 
     let mut agree_exact = 0usize;
-    let (mut t_blanket, mut t_exact, mut t_gibbs, mut t_lbp) =
-        (std::time::Duration::ZERO, std::time::Duration::ZERO, std::time::Duration::ZERO, std::time::Duration::ZERO);
+    let (mut t_blanket, mut t_exact, mut t_gibbs, mut t_lbp) = (
+        std::time::Duration::ZERO,
+        std::time::Duration::ZERO,
+        std::time::Duration::ZERO,
+        std::time::Duration::ZERO,
+    );
 
     for err in &sample {
         let row_idx = err.at.row;

@@ -13,9 +13,8 @@ fn main() {
     let constraints = bclean_constraints(BenchmarkDataset::Flights);
 
     // Automatic construction.
-    let mut model = BClean::new(Variant::PartitionedInference.config())
-        .with_constraints(constraints)
-        .fit(&bench.dirty);
+    let mut model =
+        BClean::new(Variant::PartitionedInference.config()).with_constraints(constraints).fit(&bench.dirty);
 
     let names: Vec<String> = model.network().attribute_names().to_vec();
     println!("Automatically learned network:");

@@ -31,9 +31,7 @@ fn main() {
 
     // Construction stage: learn the Bayesian network and the compensatory
     // model from the observed data, then run MAP inference per cell.
-    let model = BClean::new(Variant::PartitionedInference.config())
-        .with_constraints(constraints)
-        .fit(&dirty);
+    let model = BClean::new(Variant::PartitionedInference.config()).with_constraints(constraints).fit(&dirty);
 
     println!("Learned network edges:");
     let names = model.network().attribute_names();

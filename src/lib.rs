@@ -50,10 +50,12 @@ pub mod prelude {
     pub use bclean_baselines::{Cleaner, GarfLite, HoloCleanLite, PCleanLite, RahaBaranLite};
     pub use bclean_bayesnet::{BayesianNetwork, Dag, NetworkEdit, StructureConfig};
     pub use bclean_core::{
-        BClean, BCleanConfig, BCleanModel, CleaningResult, CompensatoryParams, ConstraintSet,
-        UserConstraint, Variant,
+        BClean, BCleanConfig, BCleanModel, CleaningResult, CompensatoryParams, ConstraintSet, UserConstraint,
+        Variant,
     };
-    pub use bclean_data::{dataset_from, CellRef, Dataset, Domains, Schema, Value};
+    pub use bclean_data::{
+        dataset_from, CellRef, ColumnDict, Dataset, Domains, EncodedDataset, Schema, Value,
+    };
     pub use bclean_datagen::{BenchmarkDataset, DirtyDataset, ErrorSpec, ErrorType};
     pub use bclean_eval::{evaluate, Method, Metrics};
     pub use bclean_rules::Rule;

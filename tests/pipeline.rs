@@ -34,7 +34,8 @@ fn bclean_improves_every_benchmark_over_doing_nothing() {
 #[test]
 fn bclean_beats_every_baseline_on_hospital() {
     let bench = BenchmarkDataset::Hospital.build_sized(500, 7);
-    let bclean = run_method(Method::BClean(Variant::PartitionedInference), BenchmarkDataset::Hospital, &bench);
+    let bclean =
+        run_method(Method::BClean(Variant::PartitionedInference), BenchmarkDataset::Hospital, &bench);
     for baseline in [Method::HoloClean, Method::RahaBaran, Method::Garf] {
         let run = run_method(baseline, BenchmarkDataset::Hospital, &bench);
         // Raha+Baran-lite receives perfect labels for 40 tuples, so on this
@@ -57,8 +58,14 @@ fn variants_agree_on_quality_within_tolerance() {
     let bench = small(BenchmarkDataset::Hospital);
     let basic = run_method(Method::BClean(Variant::Basic), BenchmarkDataset::Hospital, &bench);
     let pi = run_method(Method::BClean(Variant::PartitionedInference), BenchmarkDataset::Hospital, &bench);
-    let pip = run_method(Method::BClean(Variant::PartitionedInferencePruning), BenchmarkDataset::Hospital, &bench);
-    assert!((basic.metrics.f1 - pi.metrics.f1).abs() < 0.1, "basic {:?} vs PI {:?}", basic.metrics, pi.metrics);
+    let pip =
+        run_method(Method::BClean(Variant::PartitionedInferencePruning), BenchmarkDataset::Hospital, &bench);
+    assert!(
+        (basic.metrics.f1 - pi.metrics.f1).abs() < 0.1,
+        "basic {:?} vs PI {:?}",
+        basic.metrics,
+        pi.metrics
+    );
     assert!(pi.metrics.f1 - pip.metrics.f1 < 0.2, "PIP dropped too much: {:?}", pip.metrics);
 }
 
@@ -82,17 +89,10 @@ fn uc_ablation_hurts_flights() {
         .with_constraints(full)
         .fit(&bench.dirty)
         .clean(&bench.dirty);
-    let without_ucs = BClean::new(Variant::NoUserConstraints.config())
-        .fit(&bench.dirty)
-        .clean(&bench.dirty);
+    let without_ucs = BClean::new(Variant::NoUserConstraints.config()).fit(&bench.dirty).clean(&bench.dirty);
     let m_with = evaluate(&bench.dirty, &with_ucs.cleaned, &bench.clean).unwrap();
     let m_without = evaluate(&bench.dirty, &without_ucs.cleaned, &bench.clean).unwrap();
-    assert!(
-        m_with.f1 >= m_without.f1,
-        "UCs should not hurt: with {:?} vs without {:?}",
-        m_with,
-        m_without
-    );
+    assert!(m_with.f1 >= m_without.f1, "UCs should not hurt: with {:?} vs without {:?}", m_with, m_without);
 }
 
 #[test]
@@ -118,7 +118,8 @@ fn cleaned_dataset_preserves_shape_and_only_touches_reported_cells() {
 #[test]
 fn csv_roundtrip_of_cleaned_output() {
     let bench = small(BenchmarkDataset::Soccer);
-    let run = run_method(Method::BClean(Variant::PartitionedInferencePruning), BenchmarkDataset::Soccer, &bench);
+    let run =
+        run_method(Method::BClean(Variant::PartitionedInferencePruning), BenchmarkDataset::Soccer, &bench);
     let csv = bclean::data::to_csv(&run.cleaned);
     let parsed = bclean::data::parse_csv(&csv).unwrap();
     assert_eq!(parsed.num_rows(), run.cleaned.num_rows());
@@ -142,12 +143,9 @@ fn every_baseline_runs_on_every_benchmark() {
 fn swap_errors_are_partially_recovered_by_bclean() {
     // Figure 4(e): BClean handles swapping errors better than chance.
     let clean = BenchmarkDataset::Inpatient.generate_clean(400, 3);
-    let swapped = bclean::datagen::inject_errors(
-        &clean,
-        &ErrorSpec::only(ErrorType::Swap, 0.08),
-        5,
-    );
-    let run = run_method(Method::BClean(Variant::PartitionedInference), BenchmarkDataset::Inpatient, &swapped);
+    let swapped = bclean::datagen::inject_errors(&clean, &ErrorSpec::only(ErrorType::Swap, 0.08), 5);
+    let run =
+        run_method(Method::BClean(Variant::PartitionedInference), BenchmarkDataset::Inpatient, &swapped);
     assert!(run.metrics.recall > 0.2, "swap recall {:.3}", run.metrics.recall);
 }
 
@@ -179,10 +177,7 @@ fn expression_constraints_match_builtin_constraints_on_hospital() {
     let builtin = bclean_constraints(BenchmarkDataset::Hospital);
 
     let mut expressions = bclean_constraints(BenchmarkDataset::Hospital);
-    expressions.add(
-        "ZipCode",
-        UserConstraint::expression("len(value) == 5 && is_number(value)").unwrap(),
-    );
+    expressions.add("ZipCode", UserConstraint::expression("len(value) == 5 && is_number(value)").unwrap());
     expressions.add("State", UserConstraint::expression("len(value) == 2").unwrap());
 
     let base = BClean::new(Variant::PartitionedInference.config())
@@ -224,9 +219,7 @@ fn row_rules_repair_cross_attribute_violations() {
     let dirty = dataset_from(&["City", "State", "ZipCode", "InsuranceCode"], &rows);
 
     let without_rule = ConstraintSet::new();
-    let with_rule = ConstraintSet::new()
-        .with_row_rule("ends_with(InsuranceCode, ZipCode)")
-        .unwrap();
+    let with_rule = ConstraintSet::new().with_row_rule("ends_with(InsuranceCode, ZipCode)").unwrap();
 
     let plain = BClean::new(Variant::PartitionedInference.config())
         .with_constraints(without_rule)
@@ -295,15 +288,13 @@ fn gibbs_sampling_recovers_fd_partner_in_pipeline_network() {
     use bclean::bayesnet::{argmax_posterior, ApproxConfig, InferenceEngine};
 
     // Zip -> State FD table with one corrupted State cell.
-    let rows: Vec<Vec<&str>> = (0..60)
-        .map(|i| if i % 2 == 0 { vec!["35150", "CA"] } else { vec!["35960", "KT"] })
-        .collect();
+    let rows: Vec<Vec<&str>> =
+        (0..60).map(|i| if i % 2 == 0 { vec!["35150", "CA"] } else { vec!["35960", "KT"] }).collect();
     let dirty = dataset_from(&["ZipCode", "State"], &rows);
     let model = BClean::new(Variant::PartitionedInference.config()).fit(&dirty);
     let engine = InferenceEngine::new(model.network(), &dirty);
 
-    let posterior = engine
-        .posterior_gibbs(1, &[(0, Value::parse("35150"))], ApproxConfig::default())
-        .unwrap();
+    let posterior =
+        engine.posterior_gibbs(1, &[(0, Value::parse("35150"))], ApproxConfig::default()).unwrap();
     assert_eq!(argmax_posterior(&posterior).unwrap().0, Value::text("CA"));
 }
