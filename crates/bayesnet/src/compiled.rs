@@ -38,13 +38,17 @@ use std::collections::HashMap;
 
 use bclean_data::{ColumnDict, Value};
 
+use crate::counts::{config_space, CountLayout, NodeCounts};
 use crate::cpt::Cpt;
+use crate::graph::Dag;
 use crate::network::BayesianNetwork;
 
 /// Maximum number of `f64` cells a dense table may occupy (8 MiB). Tables
 /// whose full mixed-radix configuration space would exceed this use the
-/// sparse observed-configuration layout instead.
-const DENSE_CELL_CAP: u128 = 1 << 20;
+/// sparse observed-configuration layout instead. The budget is the
+/// workspace-wide [`bclean_data::DENSE_CELL_CAP`], shared with
+/// [`crate::counts`] so the counting and compiled layouts always agree.
+pub(crate) const DENSE_CELL_CAP: u128 = bclean_data::DENSE_CELL_CAP;
 
 /// Sentinel for "no parent override" in the internal scoring calls.
 const NO_OVERRIDE: usize = usize::MAX;
@@ -89,20 +93,7 @@ impl CompiledCpt {
         let node_dict = &dicts[cpt.node()];
         let value_space = node_dict.cardinality() + 2;
         let parents = cpt.parents().to_vec();
-        let radices: Vec<u32> = parents.iter().map(|&p| dicts[p].code_space() as u32).collect();
-        let mut strides = vec![0u128; radices.len()];
-        let mut total_configs: u128 = 1;
-        let mut overflow = false;
-        for (i, &radix) in radices.iter().enumerate() {
-            strides[i] = total_configs;
-            match total_configs.checked_mul(radix.max(1) as u128) {
-                Some(t) => total_configs = t,
-                None => {
-                    overflow = true;
-                    break;
-                }
-            }
-        }
+        let (radices, strides, total_configs, overflow) = config_space(&parents, dicts);
 
         // Replicates Cpt::marginal_prob bit-for-bit, then floors + logs the
         // way every scoring caller does (`.max(1e-300).ln()`).
@@ -167,6 +158,87 @@ impl CompiledCpt {
         }
     }
 
+    /// Build the compiled table **directly** from code-space sufficient
+    /// statistics ([`NodeCounts`]) — the fast fit path, which never
+    /// materialises a `Value`-keyed table. Produces exactly the scores of
+    /// [`CompiledCpt::compile`] applied to the equivalent [`Cpt`]: the same
+    /// integer counts enter the same floating-point expressions.
+    pub fn from_counts(counts: &NodeCounts, alpha: f64) -> CompiledCpt {
+        // Row width adds the zero-count slot to the node's decodable codes.
+        let value_space = counts.value_slots + 1;
+        // Distinct observed values of the node (nulls are ordinary
+        // observations), exactly `Cpt::domain_size`.
+        let domain_size = counts.marginal.iter().filter(|&&c| c > 0).count().max(1);
+        let slot_count = |table: &[u32], slot: usize| -> f64 {
+            if slot < counts.value_slots {
+                table[slot] as f64
+            } else {
+                0.0
+            }
+        };
+
+        let marginal_denom = counts.total as f64 + alpha * domain_size as f64;
+        let marginal: Vec<f64> = (0..value_space)
+            .map(|slot| {
+                let count = slot_count(&counts.marginal, slot);
+                let p = if marginal_denom <= 0.0 {
+                    1.0 / domain_size as f64
+                } else {
+                    (count + alpha) / marginal_denom
+                };
+                p.max(1e-300).ln()
+            })
+            .collect();
+
+        let mut rows: Vec<f64> = Vec::new();
+        let mut sparse: HashMap<u128, usize> = HashMap::new();
+        let fill_row = |rows: &mut Vec<f64>, offset: usize, table: &[u32], total: u32| {
+            let denom = total as f64 + alpha * domain_size as f64;
+            for slot in 0..value_space {
+                rows[offset + slot] = ((slot_count(table, slot) + alpha) / denom).max(1e-300).ln();
+            }
+        };
+        if counts.parents.is_empty() {
+            // Parentless nodes score through the marginal row; keep the same
+            // single-row layout `compile` produces.
+            rows.extend_from_slice(&marginal);
+        } else {
+            match &counts.layout {
+                CountLayout::Dense { counts: tables, totals } => {
+                    rows.reserve(totals.len() * value_space);
+                    for _ in 0..totals.len() {
+                        rows.extend_from_slice(&marginal);
+                    }
+                    for (config, &total) in totals.iter().enumerate() {
+                        if total == 0 {
+                            continue;
+                        }
+                        let table = &tables[config * counts.value_slots..(config + 1) * counts.value_slots];
+                        fill_row(&mut rows, config * value_space, table, total);
+                    }
+                }
+                CountLayout::Sparse(map) => {
+                    for (&index, (table, total)) in map {
+                        let offset = rows.len();
+                        rows.resize(offset + value_space, 0.0);
+                        sparse.insert(index, offset);
+                        fill_row(&mut rows, offset, table, *total);
+                    }
+                }
+            }
+        }
+
+        CompiledCpt {
+            parents: counts.parents.clone(),
+            radices: counts.radices.clone(),
+            strides: counts.strides.clone(),
+            value_space,
+            marginal,
+            rows,
+            layout: if counts.dense { CptLayout::Dense } else { CptLayout::Sparse(sparse) },
+        }
+    }
+
     /// Clamp a value code onto its row slot: dictionary codes map to
     /// themselves, the null code to the null slot, anything beyond (unseen
     /// codes) to the zero-count slot.
@@ -207,6 +279,13 @@ impl CompiledCpt {
             },
         };
         self.rows[offset + self.slot(value)]
+    }
+
+    /// Crate-internal scoring entry without a parent override, used by the
+    /// equivalence tests of [`crate::counts`].
+    #[cfg(test)]
+    pub(crate) fn log_prob_plain(&self, codes: &[u32], value: u32) -> f64 {
+        self.log_prob(codes, value, NO_OVERRIDE, 0)
     }
 }
 
@@ -256,8 +335,18 @@ impl CompiledNetwork {
     pub fn compile(network: &BayesianNetwork, dicts: &[ColumnDict]) -> CompiledNetwork {
         assert_eq!(network.num_nodes(), dicts.len(), "network node count must match the dictionary count");
         let nodes = (0..network.num_nodes()).map(|n| CompiledCpt::compile(network.cpt(n), dicts)).collect();
-        let parents = (0..network.num_nodes()).map(|n| network.dag().parents(n)).collect();
-        let children = (0..network.num_nodes()).map(|n| network.dag().children(n)).collect();
+        CompiledNetwork::from_parts(nodes, network.dag())
+    }
+
+    /// Assemble a network from per-node compiled tables and the DAG they
+    /// were learned against. This is how the code-space fit path builds the
+    /// network: each [`CompiledCpt`] comes straight from
+    /// [`CompiledCpt::from_counts`] (possibly accumulated in parallel), no
+    /// `Value`-space [`BayesianNetwork`] required.
+    pub fn from_parts(nodes: Vec<CompiledCpt>, dag: &Dag) -> CompiledNetwork {
+        assert_eq!(nodes.len(), dag.num_nodes(), "one compiled CPT per DAG node");
+        let parents = (0..dag.num_nodes()).map(|n| dag.parents(n)).collect();
+        let children = (0..dag.num_nodes()).map(|n| dag.children(n)).collect();
         CompiledNetwork { nodes, parents, children }
     }
 

@@ -1,0 +1,391 @@
+//! Code-space sufficient statistics for CPT estimation.
+//!
+//! [`crate::Cpt::learn`] tallies `HashMap<Vec<Value>, …>` tables by cloning
+//! and hashing every parent value of every row — heap traffic that makes
+//! parameter estimation the slowest part of model fitting. [`NodeCounts`]
+//! accumulates the same counts over an [`EncodedDataset`]: the node's value
+//! distribution per parent configuration, where configurations are
+//! mixed-radix indices over the parents' dictionary code spaces (the exact
+//! addressing [`crate::CompiledCpt`] uses at scoring time). One pass over
+//! the code columns yields
+//!
+//! * a [`CompiledCpt`] built **directly** from the dense counts — no
+//!   learn-in-`Value`-space-then-compile detour — via
+//!   [`CompiledCpt::from_counts`], and
+//! * a [`Cpt`] facade materialised by decoding the counts back through the
+//!   dictionaries ([`NodeCounts::to_cpt`]), count-for-count identical to
+//!   [`Cpt::learn`] on the source dataset, so the `Value`-typed API
+//!   (network editing, the reference scoring oracle) keeps working.
+//!
+//! Per-node accumulation is independent, which is what lets the fit
+//! pipeline in `bclean-core` spread nodes across its `ParallelExecutor`.
+
+use std::collections::HashMap;
+
+use bclean_data::{ColumnDict, EncodedDataset, Value};
+
+use crate::compiled::{CompiledCpt, CompiledNetwork};
+use crate::cpt::Cpt;
+use crate::graph::Dag;
+use crate::network::BayesianNetwork;
+
+/// How the per-configuration counts are stored.
+#[derive(Debug, Clone)]
+pub(crate) enum CountLayout {
+    /// Every mixed-radix configuration has a slot row (`value_slots` wide)
+    /// plus a total; the configuration space fits the dense budget.
+    Dense { counts: Vec<u32>, totals: Vec<u32> },
+    /// Only observed configurations are stored.
+    Sparse(HashMap<u128, (Vec<u32>, u32)>),
+}
+
+/// Code-indexed sufficient statistics of one node: marginal value counts
+/// plus per-parent-configuration value counts.
+#[derive(Debug, Clone)]
+pub struct NodeCounts {
+    pub(crate) node: usize,
+    pub(crate) parents: Vec<usize>,
+    /// Parent code spaces (`cardinality + 1`, nulls included).
+    pub(crate) radices: Vec<u32>,
+    /// Mixed-radix strides matching `radices`.
+    pub(crate) strides: Vec<u128>,
+    /// Node code space: `cardinality + 1` (value codes plus the null slot).
+    pub(crate) value_slots: usize,
+    /// Marginal value counts, indexed by node code.
+    pub(crate) marginal: Vec<u32>,
+    /// Number of rows observed.
+    pub(crate) total: usize,
+    /// Whether the *compiled* table will use the dense layout (the decision
+    /// is shared with [`CompiledCpt`] so both layouts always agree).
+    pub(crate) dense: bool,
+    pub(crate) layout: CountLayout,
+}
+
+impl NodeCounts {
+    /// Accumulate the statistics of `node` given `parents` in one pass over
+    /// the encoded columns. The dataset must be encoded against its own
+    /// dictionaries (every code in range), as produced by
+    /// [`EncodedDataset::from_dataset`].
+    pub fn accumulate(encoded: &EncodedDataset, node: usize, parents: &[usize]) -> NodeCounts {
+        let dicts = encoded.dicts();
+        let value_slots = dicts[node].code_space();
+        let (radices, strides, total_configs, overflow) = config_space(parents, dicts);
+        // Same dense criterion as the compiled table (which has two extra
+        // slots per row: the null slot is part of `value_slots` here, the
+        // zero-count slot never holds a count).
+        let dense = !overflow
+            && total_configs.saturating_mul(value_slots as u128 + 1) <= crate::compiled::DENSE_CELL_CAP;
+
+        let mut marginal = vec![0u32; value_slots];
+        let node_codes = encoded.column(node);
+        for &code in node_codes {
+            marginal[code as usize] += 1;
+        }
+
+        let layout = if parents.is_empty() {
+            CountLayout::Dense { counts: Vec::new(), totals: Vec::new() }
+        } else if dense {
+            let configs = total_configs as usize;
+            let mut counts = vec![0u32; configs * value_slots];
+            let mut totals = vec![0u32; configs];
+            for (row, &code) in node_codes.iter().enumerate() {
+                let mut index = 0usize;
+                for (i, &p) in parents.iter().enumerate() {
+                    index += encoded.code(row, p) as usize * strides[i] as usize;
+                }
+                counts[index * value_slots + code as usize] += 1;
+                totals[index] += 1;
+            }
+            CountLayout::Dense { counts, totals }
+        } else {
+            let mut map: HashMap<u128, (Vec<u32>, u32)> = HashMap::new();
+            for (row, &code) in node_codes.iter().enumerate() {
+                let mut index: u128 = 0;
+                for (i, &p) in parents.iter().enumerate() {
+                    index += encoded.code(row, p) as u128 * strides[i];
+                }
+                let entry = map.entry(index).or_insert_with(|| (vec![0u32; value_slots], 0));
+                entry.0[code as usize] += 1;
+                entry.1 += 1;
+            }
+            CountLayout::Sparse(map)
+        };
+
+        NodeCounts {
+            node,
+            parents: parents.to_vec(),
+            radices,
+            strides,
+            value_slots,
+            marginal,
+            total: node_codes.len(),
+            dense,
+            layout,
+        }
+    }
+
+    /// The node these statistics describe.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Materialise the `Value`-keyed [`Cpt`] facade by decoding the counts
+    /// through the dictionaries. Produces exactly the table [`Cpt::learn`]
+    /// builds from the source dataset: same configurations, same counts,
+    /// same marginal, same domain size.
+    pub fn to_cpt(&self, dicts: &[ColumnDict], alpha: f64) -> Cpt {
+        let node_dict = &dicts[self.node];
+        let decode = |code: usize| -> Value { node_dict.decode(code as u32).clone() };
+        let marginal: HashMap<Value, usize> = self
+            .marginal
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(code, &count)| (decode(code), count as usize))
+            .collect();
+
+        let mut table: HashMap<Vec<Value>, (HashMap<Value, usize>, usize)> = HashMap::new();
+        let mut insert_config = |index: u128, counts: &[u32], total: u32| {
+            if total == 0 {
+                return;
+            }
+            let key: Vec<Value> = self
+                .parents
+                .iter()
+                .zip(&self.strides)
+                .zip(&self.radices)
+                .map(|((&p, &stride), &radix)| {
+                    let code = (index / stride) % radix as u128;
+                    dicts[p].decode(code as u32).clone()
+                })
+                .collect();
+            let values: HashMap<Value, usize> = counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &count)| count > 0)
+                .map(|(code, &count)| (decode(code), count as usize))
+                .collect();
+            table.insert(key, (values, total as usize));
+        };
+        match &self.layout {
+            CountLayout::Dense { counts, totals } => {
+                for (config, &total) in totals.iter().enumerate() {
+                    insert_config(
+                        config as u128,
+                        &counts[config * self.value_slots..(config + 1) * self.value_slots],
+                        total,
+                    );
+                }
+            }
+            CountLayout::Sparse(map) => {
+                for (&index, (counts, total)) in map {
+                    insert_config(index, counts, *total);
+                }
+            }
+        }
+        Cpt::from_parts(self.node, self.parents.clone(), table, marginal, self.total, alpha)
+    }
+
+    /// Build both models from the statistics: the compiled code-space table
+    /// the scoring hot path consumes, and the `Value` facade for editing and
+    /// the reference oracle.
+    pub fn into_models(self, dicts: &[ColumnDict], alpha: f64) -> (Cpt, CompiledCpt) {
+        let cpt = self.to_cpt(dicts, alpha);
+        let compiled = CompiledCpt::from_counts(&self, alpha);
+        (cpt, compiled)
+    }
+}
+
+/// Mixed-radix addressing of a parent set over the dictionaries: radices,
+/// strides, total configuration count and an overflow flag (shared between
+/// the counting and compiled layers so their layout decisions agree).
+pub(crate) fn config_space(parents: &[usize], dicts: &[ColumnDict]) -> (Vec<u32>, Vec<u128>, u128, bool) {
+    let radices: Vec<u32> = parents.iter().map(|&p| dicts[p].code_space() as u32).collect();
+    let mut strides = vec![0u128; radices.len()];
+    let mut total_configs: u128 = 1;
+    let mut overflow = false;
+    for (i, &radix) in radices.iter().enumerate() {
+        strides[i] = total_configs;
+        match total_configs.checked_mul(radix.max(1) as u128) {
+            Some(t) => total_configs = t,
+            None => {
+                overflow = true;
+                break;
+            }
+        }
+    }
+    (radices, strides, total_configs, overflow)
+}
+
+/// Learn the network parameters of `dag` in code space: one
+/// [`NodeCounts`] pass per node, yielding the [`BayesianNetwork`] facade and
+/// its [`CompiledNetwork`] in one step. The serial convenience wrapper —
+/// `bclean-core` runs the same per-node accumulation through its
+/// `ParallelExecutor`.
+pub fn learn_models(
+    encoded: &EncodedDataset,
+    dag: Dag,
+    alpha: f64,
+    attribute_names: Vec<String>,
+) -> (BayesianNetwork, CompiledNetwork) {
+    assert_eq!(
+        dag.num_nodes(),
+        encoded.num_columns(),
+        "DAG node count must match the dataset's attribute count"
+    );
+    let (cpts, compiled): (Vec<Cpt>, Vec<CompiledCpt>) = (0..dag.num_nodes())
+        .map(|node| {
+            NodeCounts::accumulate(encoded, node, &dag.parents(node)).into_models(encoded.dicts(), alpha)
+        })
+        .unzip();
+    let compiled = CompiledNetwork::from_parts(compiled, &dag);
+    (BayesianNetwork::from_parts(dag, cpts, attribute_names), compiled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_data::{dataset_from, Dataset};
+
+    fn fixture() -> Dataset {
+        dataset_from(
+            &["Zip", "State", "City"],
+            &[
+                vec!["35150", "CA", "sylacauga"],
+                vec!["35150", "CA", "sylacauga"],
+                vec!["35150", "KT", "sylacauga"],
+                vec!["35960", "KT", "centre"],
+                vec!["35960", "", "centre"],
+                vec!["", "KT", "centre"],
+            ],
+        )
+    }
+
+    /// The materialised `Cpt` must match `Cpt::learn` probability-for-
+    /// probability (and therefore count-for-count) over every value and
+    /// parent configuration, including nulls.
+    #[test]
+    fn materialised_cpt_matches_value_learning() {
+        let data = fixture();
+        let encoded = EncodedDataset::from_dataset(&data);
+        for (node, parents) in [(1usize, vec![0usize]), (0, vec![]), (2, vec![0, 1])] {
+            let learned = Cpt::learn(&data, node, &parents, 0.1);
+            let counted = NodeCounts::accumulate(&encoded, node, &parents).to_cpt(encoded.dicts(), 0.1);
+            assert_eq!(learned.node(), counted.node());
+            assert_eq!(learned.parents(), counted.parents());
+            assert_eq!(learned.num_parent_configs(), counted.num_parent_configs());
+            assert_eq!(learned.domain_size(), counted.domain_size());
+            assert_eq!(learned.num_parameters(), counted.num_parameters());
+            let mut probes: Vec<Value> = encoded.dict(node).values().to_vec();
+            probes.push(Value::Null);
+            probes.push(Value::text("zz-unseen"));
+            for row in data.rows() {
+                let config: Vec<Value> = parents.iter().map(|&p| row[p].clone()).collect();
+                for v in &probes {
+                    assert_eq!(
+                        learned.prob(v, &config).to_bits(),
+                        counted.prob(v, &config).to_bits(),
+                        "node {node} value {v} config {config:?}"
+                    );
+                    assert_eq!(learned.marginal_prob(v).to_bits(), counted.marginal_prob(v).to_bits());
+                }
+                assert_eq!(learned.argmax(&config), counted.argmax(&config));
+            }
+            assert_eq!(learned.support(), counted.support());
+        }
+    }
+
+    /// The compiled table built straight from counts must score exactly like
+    /// the compiled table flattened from a `Value`-learned CPT.
+    #[test]
+    fn compiled_from_counts_matches_compiled_from_cpt() {
+        let data = fixture();
+        let encoded = EncodedDataset::from_dataset(&data);
+        for (node, parents) in [(1usize, vec![0usize]), (0, vec![]), (2, vec![0, 1])] {
+            let via_values = CompiledCpt::compile(&Cpt::learn(&data, node, &parents, 0.1), encoded.dicts());
+            let via_counts = CompiledCpt::from_counts(&NodeCounts::accumulate(&encoded, node, &parents), 0.1);
+            let dict = encoded.dict(node);
+            for r in 0..data.num_rows() {
+                let codes = encoded.row_codes(r);
+                for code in 0..=dict.unseen_code() {
+                    assert_eq!(
+                        via_values.log_prob_plain(&codes, code).to_bits(),
+                        via_counts.log_prob_plain(&codes, code).to_bits(),
+                        "node {node} row {r} code {code}"
+                    );
+                    assert_eq!(
+                        via_values.log_marginal(code).to_bits(),
+                        via_counts.log_marginal(code).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whole-network construction: `learn_models` must agree with
+    /// `BayesianNetwork::learn` + `CompiledNetwork::compile`.
+    #[test]
+    fn learn_models_matches_two_step_construction() {
+        let data = fixture();
+        let encoded = EncodedDataset::from_dataset(&data);
+        let mut dag = Dag::new(3);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        let names: Vec<String> = data.schema().names().iter().map(|s| s.to_string()).collect();
+        let reference = BayesianNetwork::learn(&data, dag.clone(), 0.1);
+        let reference_compiled = CompiledNetwork::compile(&reference, encoded.dicts());
+        let (network, compiled) = learn_models(&encoded, dag, 0.1, names);
+        assert_eq!(network.attribute_names(), reference.attribute_names());
+        assert_eq!(network.num_parameters(), reference.num_parameters());
+        for r in 0..data.num_rows() {
+            let codes = encoded.row_codes(r);
+            let row = data.row(r).unwrap();
+            for col in 0..3 {
+                for code in 0..=encoded.dict(col).unseen_code() {
+                    assert_eq!(
+                        reference_compiled.blanket_log_score(&codes, col, code).to_bits(),
+                        compiled.blanket_log_score(&codes, col, code).to_bits()
+                    );
+                    assert_eq!(
+                        reference_compiled.log_joint_with(&codes, col, code).to_bits(),
+                        compiled.log_joint_with(&codes, col, code).to_bits()
+                    );
+                }
+            }
+            assert_eq!(network.log_joint(row).to_bits(), reference.log_joint(row).to_bits());
+        }
+    }
+
+    /// Large parent spaces must take the sparse counting layout and still
+    /// reproduce the `Value`-learned tables.
+    #[test]
+    fn sparse_counting_layout_matches() {
+        // Two high-cardinality parents: 601 × 601 configurations over the
+        // child's 4 row slots exceed the dense budget.
+        let rows: Vec<Vec<String>> = (0..600)
+            .map(|i| vec![format!("k{i:03}"), format!("b{i:03}"), if i % 2 == 0 { "x" } else { "y" }.into()])
+            .collect();
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+        let data = dataset_from(&["a", "b", "c"], &refs);
+        let encoded = EncodedDataset::from_dataset(&data);
+        let counts = NodeCounts::accumulate(&encoded, 2, &[0, 1]);
+        assert!(!counts.dense, "601 × 601 parent configs must overflow the dense budget");
+        let learned = Cpt::learn(&data, 2, &[0, 1], 0.5);
+        let counted = counts.to_cpt(encoded.dicts(), 0.5);
+        assert_eq!(learned.num_parent_configs(), counted.num_parent_configs());
+        let config = vec![Value::text("k007"), Value::text("b007")];
+        for v in [Value::text("x"), Value::text("y"), Value::Null] {
+            assert_eq!(learned.prob(&v, &config).to_bits(), counted.prob(&v, &config).to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let empty = Dataset::new(bclean_data::Schema::from_names(&["a", "b"]).unwrap());
+        let encoded = EncodedDataset::from_dataset(&empty);
+        let (cpt, compiled) = NodeCounts::accumulate(&encoded, 0, &[1]).into_models(encoded.dicts(), 1.0);
+        let p = cpt.prob(&Value::text("x"), &[Value::text("y")]);
+        assert!(p > 0.0 && p <= 1.0);
+        assert!(compiled.log_marginal(0).is_finite());
+    }
+}

@@ -50,6 +50,22 @@ impl Cpt {
         Cpt { node, parents: parents.to_vec(), table, marginal, marginal_total, domain_size, alpha }
     }
 
+    /// Assemble a CPT from pre-tallied counts (the code-space counting path,
+    /// see [`crate::counts::NodeCounts::to_cpt`]). `marginal_total` is the
+    /// number of rows observed; the domain size is derived from the marginal
+    /// exactly like [`Cpt::learn`] does.
+    pub(crate) fn from_parts(
+        node: usize,
+        parents: Vec<usize>,
+        table: HashMap<Vec<Value>, (HashMap<Value, usize>, usize)>,
+        marginal: HashMap<Value, usize>,
+        marginal_total: usize,
+        alpha: f64,
+    ) -> Cpt {
+        let domain_size = marginal.len().max(1);
+        Cpt { node, parents, table, marginal, marginal_total, domain_size, alpha }
+    }
+
     /// The node this table belongs to.
     pub fn node(&self) -> usize {
         self.node

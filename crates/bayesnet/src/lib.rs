@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod compiled;
+pub mod counts;
 pub mod cpt;
 pub mod edit;
 pub mod graph;
@@ -38,6 +39,7 @@ pub mod sim;
 pub mod structure;
 
 pub use compiled::{CompiledCpt, CompiledNetwork};
+pub use counts::{learn_models, NodeCounts};
 pub use cpt::Cpt;
 pub use edit::{EditError, NetworkEdit, NetworkEditor};
 pub use graph::{Dag, GraphError};
@@ -49,6 +51,7 @@ pub use network::{log_softmax_to_probs, BayesianNetwork, DEFAULT_ALPHA};
 pub use partition::{partition, SubNetwork};
 pub use sim::{edit_similarity, levenshtein, numeric_similarity, value_similarity, value_similarity_typed};
 pub use structure::{
-    autoregression_matrix, bic_score, hill_climb, learn_structure, similarity_samples, threshold_to_dag,
-    FdxConfig, HillClimbConfig, LearnedStructure, StructureConfig,
+    autoregression_matrix, bic_score, hill_climb, learn_structure, learn_structure_encoded,
+    similarity_samples, similarity_samples_encoded, threshold_to_dag, FdxConfig, HillClimbConfig,
+    LearnedStructure, StructureConfig,
 };

@@ -30,6 +30,16 @@ impl BayesianNetwork {
         BayesianNetwork { dag, cpts, attribute_names }
     }
 
+    /// Assemble a network from an existing structure and per-node CPTs (the
+    /// code-space fit path materialises its CPTs from [`crate::counts`] and
+    /// binds them here without re-reading the dataset).
+    pub fn from_parts(dag: Dag, cpts: Vec<Cpt>, attribute_names: Vec<String>) -> BayesianNetwork {
+        assert_eq!(dag.num_nodes(), cpts.len(), "one CPT per DAG node");
+        assert_eq!(dag.num_nodes(), attribute_names.len(), "one attribute name per DAG node");
+        debug_assert!(cpts.iter().enumerate().all(|(i, c)| c.node() == i), "CPTs must be in node order");
+        BayesianNetwork { dag, cpts, attribute_names }
+    }
+
     /// The network structure.
     pub fn dag(&self) -> &Dag {
         &self.dag

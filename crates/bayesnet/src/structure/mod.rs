@@ -5,8 +5,9 @@ pub mod fdx;
 pub mod hill_climbing;
 pub mod skeleton;
 
-pub use fdx::{similarity_samples, FdxConfig};
+pub use fdx::{similarity_samples, similarity_samples_encoded, FdxConfig};
 pub use hill_climbing::{bic_score, hill_climb, HillClimbConfig};
 pub use skeleton::{
-    autoregression_matrix, learn_structure, threshold_to_dag, LearnedStructure, StructureConfig,
+    autoregression_matrix, learn_structure, learn_structure_encoded, threshold_to_dag, LearnedStructure,
+    StructureConfig,
 };

@@ -18,11 +18,11 @@
 //! always repair a wrong orientation through the network editor, exactly as
 //! the paper's user-interaction step does.
 
-use bclean_data::{Dataset, Domains};
+use bclean_data::{mode_share, AttrType, Dataset, Domains, EncodedDataset, PairCounts};
 use bclean_linalg::{correlation_matrix, graphical_lasso, ldl, GlassoConfig, Matrix};
 
 use crate::graph::Dag;
-use crate::structure::fdx::{similarity_samples, FdxConfig};
+use crate::structure::fdx::{similarity_samples, similarity_samples_encoded, FdxConfig};
 
 /// Configuration for structure learning.
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +107,69 @@ pub fn learn_structure(dataset: &Dataset, config: StructureConfig) -> LearnedStr
     let mut dag = threshold_to_dag(&weights, config.weight_threshold, config.max_parents);
     prune_low_lift_edges(dataset, &mut dag, config.min_fd_lift);
     LearnedStructure { dag, weights, precision, ordering }
+}
+
+/// Code-space [`learn_structure`]: the identical pipeline over a
+/// dictionary-encoded dataset. Sampling runs through the memoised
+/// [`similarity_samples_encoded`], the cardinality ordering reads the
+/// dictionaries directly, and the low-lift edge pruning replaces its
+/// `Value` hash-map groupings with dense [`PairCounts`] contingency tables —
+/// every step reproduces its `Value`-path twin bit-for-bit, so the learned
+/// structure is the same [`LearnedStructure`].
+///
+/// `types` are the schema attribute types in column order (the encoding
+/// itself carries no schema).
+pub fn learn_structure_encoded(
+    encoded: &EncodedDataset,
+    types: &[AttrType],
+    config: StructureConfig,
+) -> LearnedStructure {
+    let m = encoded.num_columns();
+    let empty = || LearnedStructure {
+        dag: Dag::new(m),
+        weights: Matrix::zeros(m, m),
+        precision: Matrix::identity(m.max(1)),
+        ordering: (0..m).collect(),
+    };
+
+    let Some(samples) = similarity_samples_encoded(encoded, types, config.fdx) else {
+        return empty();
+    };
+    let Ok(cov) = correlation_matrix(&samples) else {
+        return empty();
+    };
+    let Ok(glasso_result) = graphical_lasso(&cov, config.glasso) else {
+        return empty();
+    };
+    let precision = glasso_result.precision;
+
+    // Higher observed cardinality first — the dictionaries already know the
+    // distinct-value counts, so no domain pass is needed.
+    let mut ordering: Vec<usize> = (0..m).collect();
+    ordering
+        .sort_by(|&a, &b| encoded.dict(b).cardinality().cmp(&encoded.dict(a).cardinality()).then(a.cmp(&b)));
+
+    let weights = autoregression_matrix(&precision, &ordering);
+    let mut dag = threshold_to_dag(&weights, config.weight_threshold, config.max_parents);
+    prune_low_lift_edges_encoded(encoded, &mut dag, config.min_fd_lift);
+    LearnedStructure { dag, weights, precision, ordering }
+}
+
+/// Code-space [`prune_low_lift_edges`]: softened-FD confidence from a
+/// [`PairCounts`] contingency table per surviving edge, marginal mode share
+/// from the column code counts — the same integer ratios the `Value`
+/// groupings produce.
+fn prune_low_lift_edges_encoded(encoded: &EncodedDataset, dag: &mut Dag, min_lift: f64) {
+    if encoded.num_rows() == 0 || min_lift <= 0.0 {
+        return;
+    }
+    for (from, to) in dag.edges() {
+        let conf = PairCounts::from_encoded(encoded, from, to).fd_confidence();
+        let baseline = mode_share(encoded, to);
+        if conf < baseline + min_lift && conf < 0.999 {
+            let _ = dag.remove_edge(from, to);
+        }
+    }
 }
 
 /// Remove edges whose determinant does not actually make the dependent more
@@ -347,6 +410,48 @@ mod tests {
         assert!(dag.has_edge(1, 2));
         assert!(!dag.has_edge(2, 0));
         assert!(dag.is_acyclic());
+    }
+
+    /// The encoded learner must reproduce the `Value`-path structure
+    /// exactly: same DAG, same weights, same precision, same ordering.
+    #[test]
+    fn encoded_structure_matches_value_structure() {
+        let mut noisy_rows = Vec::new();
+        let zips = ["35150", "35960", "36750", ""];
+        let states = ["CA", "KT", "AL", "KT"];
+        for i in 0..80usize {
+            let z = i % 4;
+            noisy_rows.push(vec![zips[z], states[z], if i % 5 == 0 { "" } else { "n" }]);
+        }
+        let noisy = dataset_from(
+            &["Zip", "State", "Noise"],
+            &noisy_rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>(),
+        );
+        for dataset in [&fd_dataset(), &noisy] {
+            let types: Vec<_> =
+                (0..dataset.num_columns()).map(|c| dataset.schema().attribute(c).unwrap().ty).collect();
+            let encoded = EncodedDataset::from_dataset(dataset);
+            let reference = learn_structure(dataset, StructureConfig::default());
+            let fast = learn_structure_encoded(&encoded, &types, StructureConfig::default());
+            assert_eq!(reference.dag.edges(), fast.dag.edges());
+            assert_eq!(reference.ordering, fast.ordering);
+            for i in 0..dataset.num_columns() {
+                for j in 0..dataset.num_columns() {
+                    assert_eq!(reference.weights.get(i, j).to_bits(), fast.weights.get(i, j).to_bits());
+                    assert_eq!(reference.precision.get(i, j).to_bits(), fast.precision.get(i, j).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_structure_empty_inputs() {
+        let tiny = dataset_from(&["a", "b"], &[vec!["1", "2"]]);
+        let types: Vec<_> = (0..2).map(|c| tiny.schema().attribute(c).unwrap().ty).collect();
+        let encoded = EncodedDataset::from_dataset(&tiny);
+        let s = learn_structure_encoded(&encoded, &types, StructureConfig::default());
+        assert_eq!(s.dag.num_edges(), 0);
+        assert_eq!(s.ordering, vec![0, 1]);
     }
 
     #[test]

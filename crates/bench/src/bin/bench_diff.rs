@@ -1,0 +1,203 @@
+//! Diff two `BENCH_*.json` snapshots and (optionally) gate on regressions.
+//!
+//! ```text
+//! cargo run -p bclean-bench --bin bench_diff -- <baseline.json> <candidate.json> \
+//!     [--gate <frac>] [--floor <abs>] [--summary <path>]
+//! ```
+//!
+//! Both files must carry the `speedup_encoded_vs_reference` object the
+//! `experiments` binary writes (`bench_clean` / `bench_fit`). The tool
+//! prints a per-variant markdown table of the encoded-vs-reference speedups
+//! and their deltas; with `--summary` the same table is appended to a file
+//! (CI passes `$GITHUB_STEP_SUMMARY`).
+//!
+//! With `--gate <frac>` the run becomes the CI perf-regression gate: every
+//! variant's candidate speedup must reach `max(floor, frac × baseline)`,
+//! where `baseline` is the committed snapshot's speedup (the thresholds
+//! therefore live in the committed `BENCH_*.json`, not in CI config) and
+//! `floor` (`--floor`, default 1.2) is the absolute backstop under which the
+//! encoded engine would be barely faster than the `Value` path. Any variant
+//! below its threshold fails the process with exit code 1.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use bclean_bench::json::Json;
+
+/// Default fraction of the committed speedup a fresh run must retain when
+/// `--gate` is passed without a value. CI runners are noisy and the small
+/// scale amplifies constant costs, so the gate fires on collapses (an
+/// accidental `Value`-path fallback, a quadratic slip), not on jitter.
+const DEFAULT_GATE_FRAC: f64 = 0.35;
+
+/// Default absolute speedup backstop for gating.
+const DEFAULT_FLOOR: f64 = 1.2;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut gate: Option<f64> = None;
+    let mut floor = DEFAULT_FLOOR;
+    let mut summary_path: Option<String> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--gate" => {
+                // FRAC is optional: only consume the lookahead when it
+                // actually parses as a number, so `--gate a.json b.json`
+                // keeps both file operands.
+                gate = Some(match iter.peek().and_then(|v| v.parse::<f64>().ok()) {
+                    Some(frac) => {
+                        iter.next();
+                        frac
+                    }
+                    None => DEFAULT_GATE_FRAC,
+                });
+            }
+            "--floor" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) => floor = f,
+                None => return usage("--floor expects a number"),
+            },
+            "--summary" => match iter.next() {
+                Some(path) => summary_path = Some(path.clone()),
+                None => return usage("--summary expects a path"),
+            },
+            "help" | "--help" | "-h" => {
+                return usage("");
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    let [baseline_path, candidate_path] = files.as_slice() else {
+        return usage("expected exactly two snapshot files");
+    };
+
+    let baseline = match load_speedups(baseline_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("{baseline_path}: {e}")),
+    };
+    let candidate = match load_speedups(candidate_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("{candidate_path}: {e}")),
+    };
+
+    let mut table = String::new();
+    let _ = writeln!(table, "### bench_diff — `{baseline_path}` → `{candidate_path}`\n");
+    let header = if gate.is_some() {
+        "| Variant | Baseline | Candidate | Delta | Threshold | Status |\n|---|---|---|---|---|---|"
+    } else {
+        "| Variant | Baseline | Candidate | Delta |\n|---|---|---|---|"
+    };
+    let _ = writeln!(table, "{header}");
+
+    let mut failures = 0usize;
+    for (variant, base) in &baseline {
+        let Some(cand) = candidate.iter().find(|(v, _)| v == variant).map(|(_, s)| *s) else {
+            let _ = writeln!(table, "| {variant} | {base:.2}x | *missing* | — |{}", gate_cols(gate, None));
+            failures += 1;
+            continue;
+        };
+        let delta_pct = (cand / base - 1.0) * 100.0;
+        match gate {
+            None => {
+                let _ = writeln!(table, "| {variant} | {base:.2}x | {cand:.2}x | {delta_pct:+.1}% |");
+            }
+            Some(frac) => {
+                let threshold = (frac * base).max(floor);
+                let ok = cand >= threshold;
+                if !ok {
+                    failures += 1;
+                }
+                let _ = writeln!(
+                    table,
+                    "| {variant} | {base:.2}x | {cand:.2}x | {delta_pct:+.1}% | ≥ {threshold:.2}x | {} |",
+                    if ok { "✅ pass" } else { "❌ FAIL" }
+                );
+            }
+        }
+    }
+    for (variant, cand) in &candidate {
+        if !baseline.iter().any(|(v, _)| v == variant) {
+            let _ = writeln!(table, "| {variant} | *new* | {cand:.2}x | — |{}", gate_cols(gate, Some(true)));
+        }
+    }
+
+    println!("{table}");
+    if let Some(path) = summary_path {
+        if let Err(e) = append_to(&path, &table) {
+            eprintln!("could not append summary to {path}: {e}");
+        }
+    }
+
+    match (gate, failures) {
+        (None, _) => ExitCode::SUCCESS,
+        (Some(_), 0) => {
+            println!("perf gate: all variants within thresholds");
+            ExitCode::SUCCESS
+        }
+        (Some(_), n) => {
+            eprintln!("perf gate: {n} variant(s) regressed below their speedup threshold");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The trailing gate columns for rows that never evaluate a threshold.
+fn gate_cols(gate: Option<f64>, pass: Option<bool>) -> &'static str {
+    match (gate, pass) {
+        (None, _) => "",
+        (Some(_), Some(true)) => " — | ✅ pass |",
+        (Some(_), _) => " — | ❌ FAIL |",
+    }
+}
+
+/// Read the per-variant `speedup_encoded_vs_reference` map of one snapshot,
+/// in file order.
+fn load_speedups(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let json = Json::parse(&text)?;
+    let members = json
+        .get("speedup_encoded_vs_reference")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| "missing `speedup_encoded_vs_reference` object".to_string())?;
+    let mut speedups = Vec::with_capacity(members.len());
+    for (variant, value) in members {
+        let speedup = value.as_f64().ok_or_else(|| format!("speedup of `{variant}` is not a number"))?;
+        speedups.push((variant.clone(), speedup));
+    }
+    if speedups.is_empty() {
+        return Err("empty `speedup_encoded_vs_reference` object".to_string());
+    }
+    Ok(speedups)
+}
+
+fn append_to(path: &str, text: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(file, "{text}")
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("bench_diff: {error}\n");
+    }
+    println!(
+        "bench_diff — compare two BENCH_*.json snapshots\n\n\
+         USAGE: bench_diff <baseline.json> <candidate.json> [OPTIONS]\n\n\
+         OPTIONS:\n\
+         \x20 --gate [FRAC]     fail (exit 1) when a variant's candidate speedup drops\n\
+         \x20                   below max(floor, FRAC x baseline)  (FRAC default {DEFAULT_GATE_FRAC})\n\
+         \x20 --floor ABS       absolute speedup backstop for --gate (default {DEFAULT_FLOOR})\n\
+         \x20 --summary PATH    append the markdown table to PATH (e.g. $GITHUB_STEP_SUMMARY)"
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("bench_diff: {message}");
+    ExitCode::FAILURE
+}

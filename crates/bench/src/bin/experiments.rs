@@ -66,6 +66,7 @@ fn main() {
         "fig5" => fig5(scale),
         "netedit" => netedit(scale),
         "bench_clean" => bench_clean(scale),
+        "bench_fit" => bench_fit(scale),
         "all" => {
             tables_4_and_7(scale);
             table5(scale);
@@ -79,6 +80,7 @@ fn main() {
             fig5(scale);
             netedit(scale);
             bench_clean(scale);
+            bench_fit(scale);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -92,10 +94,12 @@ fn print_help() {
     println!(
         "experiments — regenerate the BClean paper's tables and figures\n\n\
          EXPERIMENTS: table4 table5 table6 table7 table8 table9 table10\n\
-                      fig4a fig4bcd fig4ef fig5 netedit bench_clean all\n\
+                      fig4a fig4bcd fig4ef fig5 netedit bench_clean bench_fit all\n\
          OPTIONS:     --scale small|default|full   (default: small)\n\n\
-         bench_clean additionally writes BENCH_clean.json (machine-readable\n\
-         cleaning-throughput trajectory: encoded engine vs Value-path baseline)."
+         bench_clean / bench_fit additionally write BENCH_clean.json /\n\
+         BENCH_fit.json (machine-readable performance trajectories of the\n\
+         code-space engines vs the retained Value-path baselines); diff two\n\
+         snapshots with `cargo run -p bclean-bench --bin bench_diff`."
     );
 }
 
@@ -468,6 +472,110 @@ fn bench_clean(scale: Scale) {
     match std::fs::write("BENCH_clean.json", &json) {
         Ok(()) => println!("wrote BENCH_clean.json (min speedup {min_speedup:.2}x)\n"),
         Err(e) => eprintln!("could not write BENCH_clean.json: {e}"),
+    }
+}
+
+/// Model-fitting benchmark: the code-space fit pipeline (`BClean::fit` —
+/// encoded structure learning, direct-to-compiled CPT counting, parallel
+/// compensatory build) against the retained `Value`-path construction
+/// (`BClean::fit_reference`) on the Hospital workload, one BClean variant
+/// per row. Besides the stdout table, the measurements are written to
+/// `BENCH_fit.json` so the fit-performance trajectory is machine-readable
+/// and tracked across PRs (same schema family as `BENCH_clean.json`; the CI
+/// perf gate compares fresh runs against the committed snapshot via
+/// `bench_diff`).
+fn bench_fit(scale: Scale) {
+    println!("## BENCH_fit — code-space fit vs Value-path construction (Hospital)\n");
+    let total_start = std::time::Instant::now();
+    let rows = scale.rows(BenchmarkDataset::Hospital);
+    let bench = BenchmarkDataset::Hospital.build_sized(rows, EXPERIMENT_SEED);
+    let constraints = bclean_constraints(BenchmarkDataset::Hospital);
+    let cols = bench.dirty.num_columns();
+    let iters = 3usize;
+
+    let mut table =
+        TextTable::new(vec!["Variant", "Engine", "Fit (best)", "Rows/s", "Edges", "Repairs", "Speedup"]);
+    let mut runs_json: Vec<String> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for variant in Variant::all() {
+        // threads = 1 for timing fidelity: the point is the code-space
+        // engine's single-thread throughput, not pool scaling (both paths
+        // share the executor and parallelise identically).
+        let cleaner = BClean::new(variant.config().with_threads(1)).with_constraints(constraints.clone());
+        let mut per_engine: Vec<(&str, f64, usize, usize)> = Vec::new();
+        for engine in ["encoded", "reference"] {
+            let mut best = f64::INFINITY;
+            let mut model = None;
+            for _ in 0..iters {
+                let start = std::time::Instant::now();
+                model = Some(if engine == "encoded" {
+                    cleaner.fit(&bench.dirty)
+                } else {
+                    cleaner.fit_reference(&bench.dirty)
+                });
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            let model = model.expect("at least one fit iteration ran");
+            let edges = model.network().dag().num_edges();
+            // Downstream sanity (outside the timing loop): the fitted model
+            // must clean identically regardless of which fit path built it.
+            let repairs = model.clean(&bench.dirty).repairs.len();
+            per_engine.push((engine, best, edges, repairs));
+        }
+        let encoded = per_engine[0];
+        let reference = per_engine[1];
+        assert_eq!(
+            encoded.3, reference.3,
+            "fit and fit_reference must produce models with identical repairs"
+        );
+        let speedup = reference.1 / encoded.1.max(1e-12);
+        speedups.push((variant.name().to_string(), speedup));
+        for (engine, best, edges, repairs) in &per_engine {
+            let rows_per_sec = rows as f64 / best.max(1e-12);
+            table.add_row(vec![
+                variant.name().to_string(),
+                engine.to_string(),
+                format!("{:.4}s", best),
+                format!("{rows_per_sec:.0}"),
+                edges.to_string(),
+                repairs.to_string(),
+                if *engine == "encoded" { format!("{speedup:.2}x") } else { "1.00x".to_string() },
+            ]);
+            runs_json.push(format!(
+                "    {{\"variant\": \"{}\", \"engine\": \"{}\", \"fit_seconds\": {:.6}, \
+                 \"rows_per_sec\": {:.2}, \"structure_edges\": {}, \"repairs\": {}}}",
+                variant.name(),
+                engine,
+                best,
+                rows_per_sec,
+                edges,
+                repairs
+            ));
+        }
+    }
+    println!("{}", table.render());
+
+    let min_speedup = speedups.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+    let speedup_json: Vec<String> =
+        speedups.iter().map(|(name, s)| format!("    \"{name}\": {s:.3}")).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"Hospital\",\n  \"scale\": \"{:?}\",\n  \"rows\": {},\n  \
+         \"columns\": {},\n  \"cells\": {},\n  \"threads\": 1,\n  \"fit_iters\": {},\n  \
+         \"runs\": [\n{}\n  ],\n  \"speedup_encoded_vs_reference\": {{\n{}\n  }},\n  \
+         \"min_speedup\": {:.3},\n  \"total_wall_seconds\": {:.3}\n}}\n",
+        scale,
+        rows,
+        cols,
+        rows * cols,
+        iters,
+        runs_json.join(",\n"),
+        speedup_json.join(",\n"),
+        min_speedup,
+        total_start.elapsed().as_secs_f64(),
+    );
+    match std::fs::write("BENCH_fit.json", &json) {
+        Ok(()) => println!("wrote BENCH_fit.json (min speedup {min_speedup:.2}x)\n"),
+        Err(e) => eprintln!("could not write BENCH_fit.json: {e}"),
     }
 }
 

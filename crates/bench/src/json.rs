@@ -1,0 +1,329 @@
+//! A minimal JSON reader for the committed `BENCH_*.json` snapshots.
+//!
+//! The workspace builds offline (no `serde_json`), and the only JSON this
+//! crate consumes is the benchmark snapshots it writes itself — flat objects
+//! of numbers, strings and one level of nesting. This recursive-descent
+//! parser covers the full JSON grammar anyway (objects, arrays, strings
+//! with escapes, numbers, booleans, null) so the comparator keeps working
+//! as the snapshot schema grows. Object member order is preserved, which
+//! keeps `bench_diff` tables in the writer's variant order.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source member order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a JSON document. Returns a message with a byte offset on error;
+    /// trailing non-whitespace input is an error.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (None on non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", byte as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len() && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "non-utf8 number".to_string())?;
+    text.parse::<f64>().map(Json::Num).map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        if (0xD800..=0xDBFF).contains(&code)
+                            && bytes.get(*pos + 1) == Some(&b'\\')
+                            && bytes.get(*pos + 2) == Some(&b'u')
+                        {
+                            // UTF-16 surrogate pair (RFC 8259 §7): combine
+                            // the high half with the following \u escape.
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if (0xDC00..=0xDFFF).contains(&low) {
+                                let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(scalar).unwrap_or('\u{fffd}'));
+                                *pos += 6;
+                            } else {
+                                // Unpaired high surrogate followed by an
+                                // ordinary escape: replace it, leave the
+                                // next escape to the loop.
+                                out.push('\u{fffd}');
+                            }
+                        } else {
+                            // Lone surrogates are not scalar values; replace.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                    }
+                    other => return Err(format!("invalid escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy a full UTF-8 scalar (the input is a &str, so byte
+                // boundaries are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "non-utf8".to_string())?;
+                let ch = rest.chars().next().expect("non-empty by construction");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+/// Read the four hex digits of a `\u` escape starting at `start`.
+fn parse_hex4(bytes: &[u8], start: usize) -> Result<u32, String> {
+    let hex = bytes
+        .get(start..start + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or_else(|| "truncated \\u escape".to_string())?;
+    u32::from_str_radix(hex, 16).map_err(|_| format!("invalid \\u escape `{hex}`"))
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bench_snapshot_shape() {
+        let doc = r#"{
+  "benchmark": "Hospital",
+  "rows": 1000,
+  "runs": [
+    {"variant": "BClean", "engine": "encoded", "fit_seconds": 0.1234}
+  ],
+  "speedup_encoded_vs_reference": {
+    "BClean-UC": 8.382,
+    "BClean": 8.634
+  },
+  "min_speedup": 7.632
+}"#;
+        let json = Json::parse(doc).unwrap();
+        assert_eq!(json.get("benchmark").and_then(Json::as_str), Some("Hospital"));
+        assert_eq!(json.get("rows").and_then(Json::as_f64), Some(1000.0));
+        let speedups = json.get("speedup_encoded_vs_reference").and_then(Json::as_obj).unwrap();
+        assert_eq!(speedups.len(), 2);
+        assert_eq!(speedups[0].0, "BClean-UC"); // member order preserved
+        assert_eq!(speedups[0].1.as_f64(), Some(8.382));
+        let runs = json.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs[0].get("engine").and_then(Json::as_str), Some("encoded"));
+        assert_eq!(runs[0].get("fit_seconds").and_then(Json::as_f64), Some(0.1234));
+    }
+
+    #[test]
+    fn parses_scalars_arrays_and_escapes() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(Json::parse("[1, 2, 3]").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
+        assert_eq!(Json::parse(r#""a\"b\\c\ndAé""#).unwrap(), Json::Str("a\"b\\c\ndAé".to_string()));
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs() {
+        // U+1F600 encoded per RFC 8259 as a UTF-16 surrogate pair, and as a
+        // raw scalar.
+        assert_eq!(Json::parse("\"\\ud83d\\ude00\"").unwrap(), Json::Str("😀".to_string()));
+        assert_eq!(Json::parse("\"a\\ud83d\\ude00b\"").unwrap(), Json::Str("a😀b".to_string()));
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".to_string()));
+        // Lone or mispaired surrogates degrade to replacement characters
+        // instead of corrupting neighbouring escapes.
+        assert_eq!(Json::parse(r#""\ud83d""#).unwrap(), Json::Str("\u{fffd}".to_string()));
+        assert_eq!(Json::parse(r#""\ud83d\n""#).unwrap(), Json::Str("\u{fffd}\n".to_string()));
+        assert_eq!(Json::parse(r#""\ud83dA""#).unwrap(), Json::Str("\u{fffd}A".to_string()));
+        assert!(Json::parse(r#""\ud83d\u00""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn accessors_are_type_safe() {
+        let json = Json::parse("{\"x\": 1}").unwrap();
+        assert!(json.get("y").is_none());
+        assert!(json.get("x").unwrap().as_str().is_none());
+        assert!(json.as_f64().is_none());
+        assert!(Json::Num(1.0).get("x").is_none());
+    }
+}

@@ -11,6 +11,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use bclean_datagen::BenchmarkDataset;
 
 /// How large the generated benchmarks are.

@@ -13,26 +13,33 @@
 //!    `log BN[A_j](c) + log CS[A_j](c)` and keeps the arg-max (Algorithm 1),
 //!    with optional tuple pruning (pre-detection) and domain pruning (§6.2).
 //!
-//! # The dictionary-encoded scoring engine
+//! # The dictionary-encoded engine
 //!
-//! Fitting dictionary-encodes the dataset ([`bclean_data::encoded`]) and
-//! compiles every model into code-indexed form: the learned CPTs become a
-//! [`CompiledNetwork`] of dense log-probability tables, the compensatory
-//! dictionary becomes code-pair counters, and the per-attribute user
-//! constraints are pre-evaluated over each attribute's domain. Inference
-//! then runs entirely over `u32` code rows — candidate generation, anchor
-//! selection, pruning filters and scoring perform no `Value` hashing and no
-//! `Value` cloning; values are only decoded when a [`Repair`] is emitted.
-//! The compiled path is bit-identical to the original `Value`-keyed scoring,
-//! which survives as [`BCleanModel::clean_reference`] (see
-//! [`crate::reference`]) and serves as its equivalence oracle and
-//! performance baseline.
+//! Both stages run in code space. Fitting dictionary-encodes the dataset
+//! ([`bclean_data::encoded`]) once and then never hashes a `Value` again:
+//! structure learning samples similarities through memoised code pairs and
+//! prunes edges with dense contingency tables, CPT estimation accumulates
+//! mixed-radix [`NodeCounts`] per node (fanned out over the shared
+//! [`ParallelExecutor`]) and builds the [`CompiledNetwork`] directly from
+//! those counts, the compensatory dictionary builds its code-pair counters
+//! in parallel, and the per-attribute user constraints are pre-evaluated
+//! over each attribute's domain. Inference then runs entirely over `u32`
+//! code rows — candidate generation, anchor selection, pruning filters and
+//! scoring perform no `Value` hashing and no `Value` cloning; values are
+//! only decoded when a [`Repair`] is emitted. Both paths are equivalent to
+//! the original `Value`-keyed implementations, which survive as
+//! [`BClean::fit_reference`] and [`BCleanModel::clean_reference`] (see
+//! [`crate::reference`]) and serve as equivalence oracles and performance
+//! baselines (`BENCH_fit.json`, `BENCH_clean.json`).
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use bclean_bayesnet::{learn_structure, BayesianNetwork, CompiledNetwork, Dag, NetworkEdit, NetworkEditor};
-use bclean_data::{CellRef, ColumnDict, Dataset, Domains, EncodedDataset, Schema, Value};
+use bclean_bayesnet::{
+    learn_structure_encoded, BayesianNetwork, CompiledCpt, CompiledNetwork, Cpt, Dag, NetworkEdit,
+    NetworkEditor, NodeCounts,
+};
+use bclean_data::{AttrType, CellRef, ColumnDict, Dataset, Domains, EncodedDataset, Schema, Value};
 use bclean_rules::Rule;
 
 use crate::compensatory::CompensatoryModel;
@@ -72,31 +79,73 @@ impl BClean {
 
     /// Construction stage: learn structure, CPTs and the compensatory model
     /// from the observed dataset.
+    ///
+    /// Runs entirely through the code-space fit pipeline: the dataset is
+    /// dictionary-encoded once, structure learning and every statistic below
+    /// it count dense `u32` codes, and per-node/per-column work spreads
+    /// across the shared [`ParallelExecutor`]. The pre-refactor `Value`-path
+    /// construction survives as [`BClean::fit_reference`] (see
+    /// [`crate::reference`]) and produces the same model.
     pub fn fit(&self, dataset: &Dataset) -> BCleanModel {
         let start = Instant::now();
-        let structure = learn_structure(dataset, self.config.structure);
-        self.fit_with_dag(dataset, structure.dag, start)
+        let encoded = EncodedDataset::from_dataset(dataset);
+        let types: Vec<AttrType> = (0..dataset.num_columns())
+            .map(|c| dataset.schema().attribute(c).expect("column in range").ty)
+            .collect();
+        let structure = learn_structure_encoded(&encoded, &types, self.config.structure);
+        self.fit_encoded(dataset, encoded, structure.dag, start)
     }
 
     /// Construction stage with a user-provided (or user-edited) structure.
     pub fn fit_with_structure(&self, dataset: &Dataset, dag: Dag) -> BCleanModel {
-        self.fit_with_dag(dataset, dag, Instant::now())
+        self.fit_encoded(dataset, EncodedDataset::from_dataset(dataset), dag, Instant::now())
     }
 
-    fn fit_with_dag(&self, dataset: &Dataset, dag: Dag, start: Instant) -> BCleanModel {
-        let network = BayesianNetwork::learn(dataset, dag, self.config.alpha);
+    /// The code-space construction stage shared by [`BClean::fit`] and
+    /// [`BClean::fit_with_structure`]: given the encoding of `dataset` and a
+    /// structure, estimate every model over dictionary codes.
+    ///
+    /// Parameter estimation accumulates each node's [`NodeCounts`] — one
+    /// independent pass per node, fanned out through the executor — and
+    /// builds the [`CompiledNetwork`] *directly* from those counts; the
+    /// `Value`-keyed [`BayesianNetwork`] facade (network editing, the
+    /// reference oracle) is materialised from the same counts instead of
+    /// re-reading the dataset. The compensatory model builds in parallel,
+    /// and the anchor-selection FD-confidence matrix is derived from its
+    /// co-occurrence counters rather than re-grouping the `Value` rows.
+    fn fit_encoded(
+        &self,
+        dataset: &Dataset,
+        encoded: EncodedDataset,
+        dag: Dag,
+        start: Instant,
+    ) -> BCleanModel {
+        let m = dataset.num_columns();
+        assert_eq!(dag.num_nodes(), m, "DAG node count must match the dataset's attribute count");
+        let executor = ParallelExecutor::for_config(&self.config, m);
+        let per_node: Vec<(Cpt, CompiledCpt)> = executor.map(m, |node| {
+            NodeCounts::accumulate(&encoded, node, &dag.parents(node))
+                .into_models(encoded.dicts(), self.config.alpha)
+        });
+        let (cpts, compiled_cpts): (Vec<Cpt>, Vec<CompiledCpt>) = per_node.into_iter().unzip();
+        let compiled = CompiledNetwork::from_parts(compiled_cpts, &dag);
+        let names: Vec<String> = dataset.schema().names().iter().map(|s| s.to_string()).collect();
+        let network = BayesianNetwork::from_parts(dag, cpts, names);
+
         let constraints =
             if self.config.use_constraints { self.constraints.clone() } else { ConstraintSet::new() };
-        // Dictionary-encode once; every compiled model below shares the
-        // resulting code space (see the code-order invariant in
-        // `bclean_data::encoded`).
-        let encoded = EncodedDataset::from_dataset(dataset);
-        let compiled = CompiledNetwork::compile(&network, encoded.dicts());
-        let attr_uc_ok = attr_uc_table(&network, encoded.dicts(), &constraints, self.config.use_constraints);
-        let compensatory =
-            CompensatoryModel::build_encoded(dataset, &encoded, &constraints, self.config.params);
-        let domains = Domains::compute(dataset);
-        let fd_confidence = fd_confidence_matrix(dataset);
+        let attr_uc_ok =
+            attr_uc_table(&network, encoded.dicts(), &constraints, self.config.use_constraints, &executor);
+        let row_executor = ParallelExecutor::for_config(&self.config, dataset.num_rows());
+        let compensatory = CompensatoryModel::build_parallel(
+            dataset,
+            &encoded,
+            &constraints,
+            self.config.params,
+            &row_executor,
+        );
+        let domains = Domains::from_encoded(&encoded);
+        let fd_confidence = compensatory.fd_confidence_matrix();
         BCleanModel {
             config: self.config.clone(),
             constraints,
@@ -114,69 +163,26 @@ impl BClean {
 /// Pre-evaluate the per-attribute user constraints over every code of every
 /// column (domain values plus null): `table[col][code]` is `UC(decode(code))`.
 /// Evaluating regex/length/predicate constraints once per domain value
-/// instead of once per candidate per cell removes them from the hot loop.
-fn attr_uc_table(
+/// instead of once per candidate per cell removes them from the hot loop;
+/// columns are independent, so they fan out across the executor (results
+/// return in column order — the table is identical for every thread count).
+pub(crate) fn attr_uc_table(
     network: &BayesianNetwork,
     dicts: &[ColumnDict],
     constraints: &ConstraintSet,
     use_constraints: bool,
+    executor: &ParallelExecutor,
 ) -> Vec<Vec<bool>> {
     if !use_constraints {
         return Vec::new();
     }
-    dicts
-        .iter()
-        .enumerate()
-        .map(|(col, dict)| {
-            let name = network.attribute_names().get(col);
-            (0..dict.code_space() as u32)
-                .map(|code| name.is_none_or(|n| constraints.check(n, dict.decode(code))))
-                .collect()
-        })
-        .collect()
-}
-
-/// Softened-FD confidence matrix: entry `(k, j)` is how reliably attribute `k`
-/// determines attribute `j` (average majority share within `k`-value groups of
-/// size ≥ 2). Used to pick anchor contexts during inference.
-fn fd_confidence_matrix(dataset: &Dataset) -> Vec<Vec<f64>> {
-    use std::collections::HashMap;
-    let m = dataset.num_columns();
-    let mut matrix = vec![vec![0.0; m]; m];
-    for k in 0..m {
-        // Group rows by the value of attribute k.
-        let mut groups: HashMap<&Value, Vec<usize>> = HashMap::new();
-        for (r, row) in dataset.rows().enumerate() {
-            if !row[k].is_null() {
-                groups.entry(&row[k]).or_default().push(r);
-            }
-        }
-        for (j, slot) in matrix[k].iter_mut().enumerate() {
-            if j == k {
-                *slot = 1.0;
-                continue;
-            }
-            let mut consistent = 0usize;
-            let mut total = 0usize;
-            for rows in groups.values() {
-                if rows.len() < 2 {
-                    continue;
-                }
-                let mut counts: HashMap<&Value, usize> = HashMap::new();
-                for &r in rows {
-                    let v = dataset.cell(r, j).expect("cell in range");
-                    if !v.is_null() {
-                        *counts.entry(v).or_insert(0) += 1;
-                    }
-                }
-                let group_total: usize = counts.values().sum();
-                consistent += counts.values().copied().max().unwrap_or(0);
-                total += group_total;
-            }
-            *slot = if total == 0 { 0.0 } else { consistent as f64 / total as f64 };
-        }
-    }
-    matrix
+    executor.map(dicts.len(), |col| {
+        let dict = &dicts[col];
+        let name = network.attribute_names().get(col);
+        (0..dict.code_space() as u32)
+            .map(|code| name.is_none_or(|n| constraints.check(n, dict.decode(code))))
+            .collect()
+    })
 }
 
 /// A fitted BClean model, ready to clean datasets that share the training

@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use bclean_data::{ColumnDict, Dataset, EncodedDataset, Value};
 
 use crate::constraints::ConstraintSet;
+use crate::exec::ParallelExecutor;
 
 /// Parameters of the compensatory model (paper defaults: λ=1, β=2, τ=0.5).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -210,6 +211,88 @@ impl CompensatoryModel {
         }
     }
 
+    /// Parallel [`CompensatoryModel::build_encoded`]: the fit-pipeline entry
+    /// point, spreading Algorithm 2 across the shared [`ParallelExecutor`]
+    /// in two stages while producing a **bit-identical** model for every
+    /// thread count (including the serial builder's):
+    ///
+    /// 1. tuple confidences (Eq. 3 — the per-row user-constraint sweep, the
+    ///    expensive `Value`-touching part) run over row blocks, merged in
+    ///    block order, and are summed in row order exactly like the serial
+    ///    pass;
+    /// 2. each *target column* builds its own value counts and its ordered
+    ///    pair stores against every other column. A given `(j, k)` counter
+    ///    is owned by exactly one worker and accumulates in row order, so
+    ///    even the signed `f64` correlations add in the serial order.
+    pub fn build_parallel(
+        dataset: &Dataset,
+        encoded: &EncodedDataset,
+        constraints: &ConstraintSet,
+        params: CompensatoryParams,
+        executor: &ParallelExecutor,
+    ) -> CompensatoryModel {
+        let m = encoded.num_columns();
+        let n = encoded.num_rows();
+        assert_eq!(n, dataset.num_rows(), "encoded dataset must match the value dataset");
+        let spaces: Vec<usize> = encoded.dicts().iter().map(|d| d.code_space()).collect();
+        for (col, &space) in spaces.iter().enumerate() {
+            assert!(
+                encoded.column(col).iter().all(|&code| (code as usize) < space),
+                "column {col} contains codes outside its own dictionary: the model must be \
+                 built from an encoding of the fitting dataset (EncodedDataset::from_dataset), \
+                 not a lossy re-encoding against foreign dictionaries"
+            );
+        }
+
+        let schema = dataset.schema();
+        let confidences: Vec<f64> = executor
+            .execute(n, |rows| {
+                rows.map(|r| {
+                    constraints.tuple_confidence(schema, dataset.row(r).expect("row in range"), params.lambda)
+                })
+                .collect::<Vec<f64>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let conf_sum: f64 = confidences.iter().sum();
+        let deltas: Vec<f64> =
+            confidences.iter().map(|&c| if c >= params.tau { 1.0 } else { -params.beta }).collect();
+
+        let per_column: Vec<(Vec<u32>, Vec<PairStore>)> = executor.map(m, |i| {
+            let mut value_counts = vec![0u32; spaces[i]];
+            let mut stores: Vec<PairStore> = (0..m)
+                .map(|j| if i == j { PairStore::Empty } else { PairStore::with_spaces(spaces[i], spaces[j]) })
+                .collect();
+            for (r, &a) in encoded.column(i).iter().enumerate() {
+                value_counts[a as usize] += 1;
+                let delta = deltas[r];
+                for (j, store) in stores.iter_mut().enumerate() {
+                    if j != i {
+                        store.add(a, encoded.code(r, j), delta);
+                    }
+                }
+            }
+            (value_counts, stores)
+        });
+        let mut pairs: Vec<PairStore> = Vec::with_capacity(m * m);
+        let mut value_counts: Vec<Vec<u32>> = Vec::with_capacity(m);
+        for (counts, stores) in per_column {
+            value_counts.push(counts);
+            pairs.extend(stores);
+        }
+
+        CompensatoryModel {
+            params,
+            dicts: encoded.dicts().to_vec(),
+            pairs,
+            value_counts,
+            num_rows: n,
+            num_cols: m,
+            mean_confidence: if n == 0 { 0.0 } else { conf_sum / n as f64 },
+        }
+    }
+
     /// The parameters the model was built with.
     pub fn params(&self) -> CompensatoryParams {
         self.params
@@ -235,6 +318,69 @@ impl CompensatoryModel {
     /// map to the per-column unseen sentinel).
     fn encode_row(&self, row: &[Value]) -> Vec<u32> {
         row.iter().zip(&self.dicts).map(|(v, d)| d.encode_lossy(v)).collect()
+    }
+
+    /// Softened-FD confidence matrix derived from the model's own
+    /// co-occurrence counters: entry `(k, j)` is how reliably attribute `k`
+    /// determines attribute `j` — the average majority share of `j`-values
+    /// within groups of tuples sharing a `k`-value observed at least twice.
+    ///
+    /// The raw pair counts (`PairEntry::count`) tally every row regardless
+    /// of tuple confidence, so this is exactly the statistic the cleaner's
+    /// anchor selection needs; computing it here reuses the counters the
+    /// build pass already accumulated instead of re-grouping the `Value`
+    /// rows, and reproduces the hash-map grouping bit-for-bit (both reduce
+    /// to the same integer ratios).
+    pub fn fd_confidence_matrix(&self) -> Vec<Vec<f64>> {
+        let m = self.num_cols;
+        let mut matrix = vec![vec![0.0; m]; m];
+        for (k, matrix_row) in matrix.iter_mut().enumerate() {
+            let card_k = self.dicts[k].cardinality();
+            for (j, matrix_slot) in matrix_row.iter_mut().enumerate() {
+                if j == k {
+                    *matrix_slot = 1.0;
+                    continue;
+                }
+                let card_j = self.dicts[j].cardinality();
+                // Per k-value-code `(group_total, majority)` over the value
+                // codes of j (nulls on either side are excluded, exactly
+                // like the Value-space grouping).
+                let mut stats = vec![(0u64, 0u32); card_k];
+                match self.pair(k, j) {
+                    PairStore::Empty => {}
+                    PairStore::Dense { cols, cells } => {
+                        for (a, slot) in stats.iter_mut().enumerate() {
+                            for entry in &cells[a * cols..a * cols + card_j] {
+                                slot.0 += entry.count as u64;
+                                slot.1 = slot.1.max(entry.count);
+                            }
+                        }
+                    }
+                    PairStore::Map(map) => {
+                        for (&(a, b), entry) in map {
+                            if (a as usize) < card_k && (b as usize) < card_j {
+                                let slot = &mut stats[a as usize];
+                                slot.0 += entry.count as u64;
+                                slot.1 = slot.1.max(entry.count);
+                            }
+                        }
+                    }
+                }
+                let mut consistent = 0u64;
+                let mut total = 0u64;
+                for (a, &(group_total, majority)) in stats.iter().enumerate() {
+                    // Group size is the number of rows carrying this k-value
+                    // (rows with a null j still count towards the size).
+                    if self.value_counts[k][a] < 2 {
+                        continue;
+                    }
+                    consistent += majority as u64;
+                    total += group_total;
+                }
+                *matrix_slot = if total == 0 { 0.0 } else { consistent as f64 / total as f64 };
+            }
+        }
+        matrix
     }
 
     #[inline]
@@ -627,6 +773,116 @@ mod tests {
         // Candidate equal to the unseen observed value: self-support applies.
         let with_self = model.score_corr(&row, 0, &Value::text("zzz"));
         assert!(with_self < 0.0, "self-support must be subtracted, got {with_self}");
+    }
+
+    /// The parallel builder must produce a bit-identical model for every
+    /// thread count — including non-integral β, where the signed correlation
+    /// sums are sensitive to accumulation order (each `(j, k)` counter is
+    /// owned by one worker and fills in row order, so the order never
+    /// changes).
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let d = data();
+        let encoded = EncodedDataset::from_dataset(&d);
+        for params in
+            [CompensatoryParams::default(), CompensatoryParams { lambda: 0.25, beta: 0.3, tau: 0.75 }]
+        {
+            let serial = CompensatoryModel::build_encoded(&d, &encoded, &spellcheck_constraints(), params);
+            for threads in [1usize, 2, 8] {
+                let executor = crate::exec::ParallelExecutor::new(threads).with_block_size(2);
+                let parallel = CompensatoryModel::build_parallel(
+                    &d,
+                    &encoded,
+                    &spellcheck_constraints(),
+                    params,
+                    &executor,
+                );
+                assert_eq!(serial.mean_confidence().to_bits(), parallel.mean_confidence().to_bits());
+                assert_eq!(serial.num_rows(), parallel.num_rows());
+                for (r, row) in d.rows().enumerate() {
+                    let codes: Vec<u32> =
+                        row.iter().zip(serial.dicts()).map(|(v, dict)| dict.encode_lossy(v)).collect();
+                    for col in 0..d.num_columns() {
+                        assert_eq!(
+                            serial.filter_score_codes(&codes, col).to_bits(),
+                            parallel.filter_score_codes(&codes, col).to_bits(),
+                            "filter row {r} col {col} threads {threads}"
+                        );
+                        for candidate in 0..=serial.dicts()[col].unseen_code() {
+                            assert_eq!(
+                                serial.score_corr_codes(&codes, col, candidate).to_bits(),
+                                parallel.score_corr_codes(&codes, col, candidate).to_bits(),
+                                "score row {r} col {col} cand {candidate} threads {threads}"
+                            );
+                            assert_eq!(
+                                serial.value_count_code(col, candidate),
+                                parallel.value_count_code(col, candidate)
+                            );
+                        }
+                    }
+                }
+                assert_eq!(
+                    serial.fd_confidence_matrix(),
+                    parallel.fd_confidence_matrix(),
+                    "threads {threads}"
+                );
+            }
+        }
+    }
+
+    /// The counter-derived FD-confidence matrix must reproduce the
+    /// `Value`-grouping statistic exactly (nulls excluded from majority
+    /// counts, groups sized by the determinant value's total occurrences).
+    #[test]
+    fn fd_confidence_matrix_matches_value_grouping() {
+        let d = dataset_from(
+            &["Zip", "State", "City"],
+            &[
+                vec!["35150", "CA", "sylacauga"],
+                vec!["35150", "CA", "sylacauga"],
+                vec!["35150", "KT", "sylacauga"],
+                vec!["35960", "KT", ""],
+                vec!["35960", "", "centre"],
+                vec!["", "KT", "centre"],
+                vec!["36000", "AL", "gadsden"], // singleton group: ignored
+            ],
+        );
+        let model = CompensatoryModel::build(&d, &ConstraintSet::new(), CompensatoryParams::default());
+        let matrix = model.fd_confidence_matrix();
+        // Value-space grouping (the reference implementation).
+        let m = d.num_columns();
+        for k in 0..m {
+            let mut groups: HashMap<&Value, Vec<usize>> = HashMap::new();
+            for (r, row) in d.rows().enumerate() {
+                if !row[k].is_null() {
+                    groups.entry(&row[k]).or_default().push(r);
+                }
+            }
+            for (j, &actual) in matrix[k].iter().enumerate() {
+                if j == k {
+                    assert_eq!(actual, 1.0);
+                    continue;
+                }
+                let mut consistent = 0usize;
+                let mut total = 0usize;
+                for rows in groups.values() {
+                    if rows.len() < 2 {
+                        continue;
+                    }
+                    let mut counts: HashMap<&Value, usize> = HashMap::new();
+                    for &r in rows {
+                        let v = d.cell(r, j).unwrap();
+                        if !v.is_null() {
+                            *counts.entry(v).or_insert(0) += 1;
+                        }
+                    }
+                    consistent += counts.values().copied().max().unwrap_or(0);
+                    total += counts.values().sum::<usize>();
+                }
+                let expected = if total == 0 { 0.0 } else { consistent as f64 / total as f64 };
+                assert_eq!(actual.to_bits(), expected.to_bits(), "pair ({k}, {j})");
+            }
+        }
     }
 
     /// Large domains use the sparse map layout; counts must not change.

@@ -1,28 +1,129 @@
-//! The pre-compilation `Value`-keyed scoring path, retained as an oracle.
+//! The pre-compilation `Value`-keyed fit and scoring paths, retained as
+//! oracles.
 //!
+//! [`BClean::fit`] constructs every model in code space and
 //! [`BCleanModel::clean`] runs Algorithm 1 over dictionary codes through the
 //! compiled models ([`bclean_bayesnet::CompiledNetwork`] + the code-indexed
-//! compensatory tables). This module keeps the original implementation —
-//! every score computed by hashing `Value`s through the uncompiled
-//! [`bclean_bayesnet::BayesianNetwork`] and the `Value` facade of the
-//! compensatory model — wired to the same fitted state, for two purposes:
+//! compensatory tables). This module keeps the original implementations —
+//! construction that learns `HashMap<Value, _>` tallies and then compiles
+//! them ([`BClean::fit_reference`]), and scoring that hashes `Value`s
+//! through the uncompiled [`bclean_bayesnet::BayesianNetwork`]
+//! ([`BCleanModel::clean_reference`]) — for two purposes:
 //!
-//! * **equivalence testing**: the encoded engine must produce byte-identical
-//!   repairs (`tests/encoded_equivalence.rs` checks every variant and thread
-//!   count against [`BCleanModel::clean_reference`]);
-//! * **benchmarking**: the speedup of the compiled engine is measured against
-//!   this path (`BENCH_clean.json`, `benches/encoded.rs`).
+//! * **equivalence testing**: the encoded engine must produce the same
+//!   models and byte-identical repairs (`tests/encoded_equivalence.rs` and
+//!   `tests/fit_equivalence.rs` check every variant and thread count);
+//! * **benchmarking**: the speedups of the code-space fit and clean paths
+//!   are measured against these (`BENCH_fit.json`, `BENCH_clean.json`,
+//!   `benches/encoded.rs`).
 //!
-//! It is *not* part of the supported cleaning API and carries the allocation
-//! and hashing costs the compiled engine was built to retire.
+//! Neither is part of the supported API; both carry the allocation and
+//! hashing costs the code-space engine was built to retire.
 
 use std::time::Instant;
 
-use bclean_data::{CellRef, Dataset, Value};
+use bclean_bayesnet::{learn_structure, BayesianNetwork, CompiledNetwork, Dag};
+use bclean_data::{CellRef, Dataset, Domains, EncodedDataset, Value};
 
-use crate::cleaner::BCleanModel;
+use crate::cleaner::{attr_uc_table, BClean, BCleanModel};
+use crate::compensatory::CompensatoryModel;
+use crate::constraints::ConstraintSet;
 use crate::exec::{merge_cleaning_batches, ParallelExecutor};
 use crate::report::{CleaningResult, CleaningStats, Repair};
+
+impl BClean {
+    /// Construction through the original `Value`-keyed path: structure
+    /// learning groups `Value`s, CPTs are learned into `HashMap<Value, _>`
+    /// tables and then compiled, the compensatory model builds serially and
+    /// the FD-confidence matrix re-groups the rows. Produces the same fitted
+    /// model as [`BClean::fit`], at pre-refactor speed. Kept as the
+    /// equivalence oracle and performance baseline of the code-space fit
+    /// pipeline.
+    pub fn fit_reference(&self, dataset: &Dataset) -> BCleanModel {
+        let start = Instant::now();
+        let structure = learn_structure(dataset, self.config().structure);
+        self.fit_reference_with_dag(dataset, structure.dag, start)
+    }
+
+    /// The pre-refactor construction stage (see [`BClean::fit_reference`]).
+    fn fit_reference_with_dag(&self, dataset: &Dataset, dag: Dag, start: Instant) -> BCleanModel {
+        let config = self.config().clone();
+        let network = BayesianNetwork::learn(dataset, dag, config.alpha);
+        let constraints =
+            if config.use_constraints { self.constraints().clone() } else { ConstraintSet::new() };
+        // Dictionary-encode once; the compiled models share the resulting
+        // code space (see the code-order invariant in `bclean_data::encoded`).
+        let encoded = EncodedDataset::from_dataset(dataset);
+        let compiled = CompiledNetwork::compile(&network, encoded.dicts());
+        let attr_uc_ok = attr_uc_table(
+            &network,
+            encoded.dicts(),
+            &constraints,
+            config.use_constraints,
+            &ParallelExecutor::new(1),
+        );
+        let compensatory = CompensatoryModel::build_encoded(dataset, &encoded, &constraints, config.params);
+        let domains = Domains::compute(dataset);
+        let fd_confidence = fd_confidence_matrix(dataset);
+        BCleanModel {
+            config,
+            constraints,
+            network,
+            compiled,
+            compensatory,
+            domains,
+            fd_confidence,
+            attr_uc_ok,
+            fit_duration: start.elapsed(),
+        }
+    }
+}
+
+/// Softened-FD confidence matrix over `Value` rows: entry `(k, j)` is how
+/// reliably attribute `k` determines attribute `j` (average majority share
+/// within `k`-value groups of size ≥ 2). The code-space fit derives the same
+/// matrix from the compensatory model's co-occurrence counters
+/// ([`CompensatoryModel::fd_confidence_matrix`]); this grouping
+/// implementation is kept for the reference fit.
+fn fd_confidence_matrix(dataset: &Dataset) -> Vec<Vec<f64>> {
+    use std::collections::HashMap;
+    let m = dataset.num_columns();
+    let mut matrix = vec![vec![0.0; m]; m];
+    for k in 0..m {
+        // Group rows by the value of attribute k.
+        let mut groups: HashMap<&Value, Vec<usize>> = HashMap::new();
+        for (r, row) in dataset.rows().enumerate() {
+            if !row[k].is_null() {
+                groups.entry(&row[k]).or_default().push(r);
+            }
+        }
+        for (j, slot) in matrix[k].iter_mut().enumerate() {
+            if j == k {
+                *slot = 1.0;
+                continue;
+            }
+            let mut consistent = 0usize;
+            let mut total = 0usize;
+            for rows in groups.values() {
+                if rows.len() < 2 {
+                    continue;
+                }
+                let mut counts: HashMap<&Value, usize> = HashMap::new();
+                for &r in rows {
+                    let v = dataset.cell(r, j).expect("cell in range");
+                    if !v.is_null() {
+                        *counts.entry(v).or_insert(0) += 1;
+                    }
+                }
+                let group_total: usize = counts.values().sum();
+                consistent += counts.values().copied().max().unwrap_or(0);
+                total += group_total;
+            }
+            *slot = if total == 0 { 0.0 } else { consistent as f64 / total as f64 };
+        }
+    }
+    matrix
+}
 
 impl BCleanModel {
     /// Clean a dataset through the original `Value`-keyed scoring path.

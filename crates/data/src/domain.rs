@@ -9,7 +9,9 @@
 
 use std::collections::HashMap;
 
+use crate::cooc::column_code_counts;
 use crate::dataset::Dataset;
+use crate::encoded::EncodedDataset;
 use crate::value::Value;
 
 /// The observed domain of one attribute: distinct non-null values and counts.
@@ -39,6 +41,27 @@ impl AttributeDomain {
         let mut values: Vec<Value> = counts.keys().cloned().collect();
         values.sort();
         AttributeDomain { values, counts, null_count, total }
+    }
+
+    /// Build the domain of column `col` from its dictionary encoding: the
+    /// dictionary already holds the distinct values in sorted order, so only
+    /// the per-code counts need tallying — no `Value` hashing. Produces a
+    /// domain equal to [`AttributeDomain::from_column`] on the source dataset.
+    pub fn from_encoded(encoded: &EncodedDataset, col: usize) -> AttributeDomain {
+        let dict = encoded.dict(col);
+        let code_counts = column_code_counts(encoded, col);
+        let counts: HashMap<Value, usize> = dict
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(code, value)| (value.clone(), code_counts[code] as usize))
+            .collect();
+        AttributeDomain {
+            values: dict.values().to_vec(),
+            counts,
+            null_count: code_counts[dict.null_code() as usize] as usize,
+            total: encoded.num_rows(),
+        }
     }
 
     /// Distinct non-null values, sorted.
@@ -107,6 +130,14 @@ impl Domains {
     /// Compute the domain of every attribute of `dataset`.
     pub fn compute(dataset: &Dataset) -> Domains {
         let domains = (0..dataset.num_columns()).map(|c| AttributeDomain::from_column(dataset, c)).collect();
+        Domains { domains }
+    }
+
+    /// Compute every domain from a dictionary-encoded dataset (see
+    /// [`AttributeDomain::from_encoded`]); equal to [`Domains::compute`] on
+    /// the source dataset.
+    pub fn from_encoded(encoded: &EncodedDataset) -> Domains {
+        let domains = (0..encoded.num_columns()).map(|c| AttributeDomain::from_encoded(encoded, c)).collect();
         Domains { domains }
     }
 
@@ -203,6 +234,24 @@ mod tests {
         assert_eq!(doms.attribute(1).cardinality(), 2);
         assert_eq!(doms.total_candidates(), 4);
         assert_eq!(doms.iter().count(), 2);
+    }
+
+    /// `from_encoded` must equal `from_column` field-for-field (the derived
+    /// `PartialEq` covers values, counts, null count and total).
+    #[test]
+    fn encoded_domains_equal_value_domains() {
+        let data = ds();
+        let encoded = EncodedDataset::from_dataset(&data);
+        for col in 0..data.num_columns() {
+            assert_eq!(
+                AttributeDomain::from_encoded(&encoded, col),
+                AttributeDomain::from_column(&data, col),
+                "column {col}"
+            );
+        }
+        let all = Domains::from_encoded(&encoded);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all.attribute(0), &AttributeDomain::from_column(&data, 0));
     }
 
     #[test]

@@ -211,6 +211,43 @@ impl EncodedDataset {
         self.dicts[col].decode(self.columns[col][row])
     }
 
+    /// Row indices sorted by the values of one column — the code-space twin
+    /// of `Dataset::argsort_by_column`, producing the **identical**
+    /// permutation: a stable counting sort over codes remapped so that the
+    /// null code (numerically the largest) sorts first, matching
+    /// `Value::Null < any value` in the `Value` order. Runs in
+    /// `O(rows + cardinality)` with no `Value` comparisons.
+    pub fn argsort_by_column(&self, col: usize) -> Vec<usize> {
+        let dict = &self.dicts[col];
+        let null_code = dict.null_code();
+        // Sort key: null first, then the value codes in their (sorted) order.
+        // Unseen codes cannot occur in a dataset encoded against its own
+        // dictionaries, but clamp them after everything else defensively.
+        let space = dict.code_space() + 1;
+        let key = |code: u32| {
+            if code == null_code {
+                0usize
+            } else {
+                (code as usize + 1).min(space - 1)
+            }
+        };
+        let codes = &self.columns[col];
+        let mut histogram = vec![0usize; space + 1];
+        for &code in codes {
+            histogram[key(code) + 1] += 1;
+        }
+        for slot in 1..=space {
+            histogram[slot] += histogram[slot - 1];
+        }
+        let mut order = vec![0usize; codes.len()];
+        for (row, &code) in codes.iter().enumerate() {
+            let bucket = &mut histogram[key(code)];
+            order[*bucket] = row;
+            *bucket += 1;
+        }
+        order
+    }
+
     /// Consume the encoded dataset, keeping only the dictionaries. Models
     /// that compile their own code-indexed tables use this to retain the
     /// encoding without the per-cell codes.
@@ -304,5 +341,31 @@ mod tests {
         assert_eq!(encoded.dict(0).cardinality(), 0);
         assert_eq!(encoded.dict(0).null_code(), 0);
         assert_eq!(encoded.rows().count(), 0);
+        assert!(encoded.argsort_by_column(0).is_empty());
+    }
+
+    /// The counting-sort argsort must reproduce `Dataset::argsort_by_column`
+    /// exactly: same value order (nulls first) and same stable tie-breaking.
+    #[test]
+    fn argsort_matches_dataset_argsort() {
+        let ds = dataset_from(
+            &["v"],
+            &[
+                vec!["b"],
+                vec![""],
+                vec!["a"],
+                vec!["b"], // duplicate: stability puts row 0 before row 3
+                vec![""],
+                vec!["c"],
+            ],
+        );
+        let encoded = EncodedDataset::from_dataset(&ds);
+        assert_eq!(encoded.argsort_by_column(0), ds.argsort_by_column(0).unwrap());
+        assert_eq!(encoded.argsort_by_column(0), vec![1, 4, 2, 0, 3, 5]);
+        let mixed = sample();
+        let encoded = EncodedDataset::from_dataset(&mixed);
+        for col in 0..mixed.num_columns() {
+            assert_eq!(encoded.argsort_by_column(col), mixed.argsort_by_column(col).unwrap());
+        }
     }
 }

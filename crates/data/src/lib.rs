@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cooc;
 pub mod csv;
 pub mod dataset;
 pub mod diff;
@@ -35,6 +36,7 @@ pub mod error;
 pub mod schema;
 pub mod value;
 
+pub use cooc::{column_code_counts, mode_share, PairCounts, DENSE_CELL_CAP};
 pub use csv::{parse_csv, read_csv_file, to_csv, write_csv_file};
 pub use dataset::{dataset_from, dataset_with_attrs, CellRef, Dataset};
 pub use diff::{diff, error_cells, noise_rate, CellChange};
