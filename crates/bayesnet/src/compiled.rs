@@ -289,12 +289,16 @@ impl CompiledCpt {
     }
 }
 
-/// Count of the value denoted by `slot` in a `Value`-keyed count map.
+/// Count of the value denoted by `slot` in a `Value`-keyed count map. Slots
+/// are dictionary codes (plus the trailing zero-count slot), so the mapping
+/// goes through the dictionary's own layout: the null code may trail the
+/// values (fresh dictionaries) or sit frozen mid-space (appended ones).
 fn slot_count(counts: &HashMap<Value, usize>, dict: &ColumnDict, slot: usize) -> usize {
-    if slot < dict.cardinality() {
-        counts.get(&dict.values()[slot]).copied().unwrap_or(0)
-    } else if slot == dict.cardinality() {
+    let code = slot as u32;
+    if code == dict.null_code() {
         counts.get(&Value::Null).copied().unwrap_or(0)
+    } else if dict.is_value_code(code) {
+        counts.get(&dict.values()[slot]).copied().unwrap_or(0)
     } else {
         0
     }
@@ -353,6 +357,12 @@ impl CompiledNetwork {
     /// Number of nodes (attributes).
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// One node's compiled table (incremental recompiles clone unchanged
+    /// nodes from a previous compilation through this).
+    pub fn node(&self, node: usize) -> &CompiledCpt {
+        &self.nodes[node]
     }
 
     /// Does `node` have parents in the DAG?
@@ -527,6 +537,58 @@ mod tests {
             dense.log_prob(&unseen_parent, 0, NO_OVERRIDE, 0).to_bits(),
             sparse.log_prob(&unseen_parent, 0, NO_OVERRIDE, 0).to_bits()
         );
+    }
+
+    /// Compiling a `Value`-learned CPT against *appended* dictionaries
+    /// (frozen null code mid-space, new values at the tail) must score every
+    /// value exactly like compiling against freshly sorted dictionaries of
+    /// the same data — the layout `edit_network` hits for models that came
+    /// out of a streaming session.
+    #[test]
+    fn compile_handles_appended_dictionary_layout() {
+        let first = dataset_from(
+            &["Zip", "State", "Other"],
+            &[vec!["35150", "CA", "a"], vec!["35150", "CA", "b"], vec!["35960", "KT", "a"]],
+        );
+        let batch = dataset_from(
+            &["Zip", "State", "Other"],
+            &[vec!["35150", "AL", "a"], vec!["", "KT", "c"], vec!["36000", "CA", "b"]],
+        );
+        let mut combined = first.clone();
+        for row in batch.rows() {
+            combined.push_row(row.to_vec()).unwrap();
+        }
+        let mut appended = EncodedDataset::from_dataset(&first);
+        appended.append_batch(&batch);
+        let fresh = EncodedDataset::from_dataset(&combined);
+        let mut dag = Dag::new(3);
+        dag.add_edge(0, 1).unwrap();
+        let bn = BayesianNetwork::learn(&combined, dag, 0.1);
+        let via_fresh = CompiledNetwork::compile(&bn, fresh.dicts());
+        let via_appended = CompiledNetwork::compile(&bn, appended.dicts());
+        for (r, row) in combined.rows().enumerate() {
+            let fresh_codes = fresh.row_codes(r);
+            let appended_codes: Vec<u32> =
+                row.iter().zip(appended.dicts()).map(|(v, d)| d.encode(v).unwrap()).collect();
+            for col in 0..3 {
+                let mut probes: Vec<Value> = fresh.dict(col).values().to_vec();
+                probes.push(Value::Null);
+                for value in &probes {
+                    let f = fresh.dict(col).encode(value).unwrap();
+                    let a = appended.dict(col).encode(value).unwrap();
+                    assert_eq!(
+                        via_fresh.blanket_log_score(&fresh_codes, col, f).to_bits(),
+                        via_appended.blanket_log_score(&appended_codes, col, a).to_bits(),
+                        "blanket row {r} col {col} value {value}"
+                    );
+                    assert_eq!(
+                        via_fresh.log_marginal(col, f).to_bits(),
+                        via_appended.log_marginal(col, a).to_bits(),
+                        "marginal col {col} value {value}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -129,6 +129,132 @@ impl NodeCounts {
         self.node
     }
 
+    /// The node's parent set, as counted.
+    pub fn parents(&self) -> &[usize] {
+        &self.parents
+    }
+
+    /// Number of rows absorbed into the counts.
+    pub fn rows_absorbed(&self) -> usize {
+        self.total
+    }
+
+    /// Grow the counts to the dictionaries' current code spaces after a
+    /// batch append. Appends only ever add codes at the tail of a column's
+    /// code space, so existing counts keep their (decomposed) coordinates:
+    /// the marginal extends with zero slots, every stored configuration row
+    /// widens, and parent configurations are re-addressed from the old
+    /// mixed-radix strides to the new ones. The dense/sparse decision is
+    /// re-evaluated with the shared criterion, so the layout always matches
+    /// what a fresh [`NodeCounts::accumulate`] over the grown dictionaries
+    /// would choose. Returns `true` when anything changed.
+    pub fn ensure_code_spaces(&mut self, dicts: &[ColumnDict]) -> bool {
+        let new_slots = dicts[self.node].code_space();
+        let (new_radices, new_strides, total_configs, overflow) = config_space(&self.parents, dicts);
+        if new_slots == self.value_slots && new_radices == self.radices {
+            return false;
+        }
+        debug_assert!(
+            new_slots >= self.value_slots && new_radices.iter().zip(&self.radices).all(|(n, o)| n >= o),
+            "code spaces never shrink"
+        );
+        let new_dense = !overflow
+            && total_configs.saturating_mul(new_slots as u128 + 1) <= crate::compiled::DENSE_CELL_CAP;
+        self.marginal.resize(new_slots, 0);
+
+        if !self.parents.is_empty() {
+            let old_radices = self.radices.clone();
+            let old_strides = self.strides.clone();
+            let remap = |old_index: u128| -> u128 {
+                let mut index = 0u128;
+                for i in 0..old_radices.len() {
+                    let code = (old_index / old_strides[i]) % old_radices[i] as u128;
+                    index += code * new_strides[i];
+                }
+                index
+            };
+            // Collect the observed configurations of the old layout, then
+            // re-address them into the new one.
+            let observed: Vec<(u128, Vec<u32>, u32)> = match &self.layout {
+                CountLayout::Dense { counts, totals } => totals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &total)| total > 0)
+                    .map(|(config, &total)| {
+                        let mut row =
+                            counts[config * self.value_slots..(config + 1) * self.value_slots].to_vec();
+                        row.resize(new_slots, 0);
+                        (remap(config as u128), row, total)
+                    })
+                    .collect(),
+                CountLayout::Sparse(map) => map
+                    .iter()
+                    .map(|(&index, (row, total))| {
+                        let mut row = row.clone();
+                        row.resize(new_slots, 0);
+                        (remap(index), row, *total)
+                    })
+                    .collect(),
+            };
+            self.layout = if new_dense {
+                let configs = total_configs as usize;
+                let mut counts = vec![0u32; configs * new_slots];
+                let mut totals = vec![0u32; configs];
+                for (index, row, total) in observed {
+                    let config = index as usize;
+                    counts[config * new_slots..(config + 1) * new_slots].copy_from_slice(&row);
+                    totals[config] = total;
+                }
+                CountLayout::Dense { counts, totals }
+            } else {
+                CountLayout::Sparse(
+                    observed.into_iter().map(|(index, row, total)| (index, (row, total))).collect(),
+                )
+            };
+        }
+
+        self.radices = new_radices;
+        self.strides = new_strides;
+        self.value_slots = new_slots;
+        self.dense = new_dense;
+        true
+    }
+
+    /// Absorb a row range (typically a freshly appended batch) into the
+    /// counts, growing them first if the dictionaries gained codes since the
+    /// counts were built. Counts are integers, so accumulating `0..n` in any
+    /// batch split equals [`NodeCounts::accumulate`] over all of `encoded`.
+    pub fn absorb(&mut self, encoded: &EncodedDataset, rows: std::ops::Range<usize>) {
+        self.ensure_code_spaces(encoded.dicts());
+        let node_codes = &encoded.column(self.node)[rows.clone()];
+        for &code in node_codes {
+            self.marginal[code as usize] += 1;
+        }
+        if !self.parents.is_empty() {
+            let slots = self.value_slots;
+            for (offset, &code) in node_codes.iter().enumerate() {
+                let row = rows.start + offset;
+                let mut index: u128 = 0;
+                for (i, &p) in self.parents.iter().enumerate() {
+                    index += encoded.code(row, p) as u128 * self.strides[i];
+                }
+                match &mut self.layout {
+                    CountLayout::Dense { counts, totals } => {
+                        let config = index as usize;
+                        counts[config * slots + code as usize] += 1;
+                        totals[config] += 1;
+                    }
+                    CountLayout::Sparse(map) => {
+                        let entry = map.entry(index).or_insert_with(|| (vec![0u32; slots], 0));
+                        entry.0[code as usize] += 1;
+                        entry.1 += 1;
+                    }
+                }
+            }
+        }
+        self.total += rows.len();
+    }
+
     /// Materialise the `Value`-keyed [`Cpt`] facade by decoding the counts
     /// through the dictionaries. Produces exactly the table [`Cpt::learn`]
     /// builds from the source dataset: same configurations, same counts,
@@ -377,6 +503,86 @@ mod tests {
         for v in [Value::text("x"), Value::text("y"), Value::Null] {
             assert_eq!(learned.prob(&v, &config).to_bits(), counted.prob(&v, &config).to_bits());
         }
+    }
+
+    /// Absorbing appended batches (with dictionary growth forcing marginal,
+    /// row and mixed-radix re-addressing) must reproduce a one-shot
+    /// accumulate over the concatenated data: the materialised `Cpt` and the
+    /// compiled scores are compared through values, which is exactly the
+    /// invariant the streaming refit relies on.
+    #[test]
+    fn absorbed_batches_match_one_shot_accumulate() {
+        let first = fixture();
+        let batch = dataset_from(
+            &["Zip", "State", "City"],
+            &[
+                vec!["35150", "AL", "gadsden"],   // new State + new City
+                vec!["99999", "CA", "sylacauga"], // new Zip
+                vec!["", "", "centre"],
+            ],
+        );
+        let mut combined = first.clone();
+        for row in batch.rows() {
+            combined.push_row(row.to_vec()).unwrap();
+        }
+        let streaming = EncodedDataset::from_dataset(&first);
+        let oneshot_encoded = EncodedDataset::from_dataset(&combined);
+        for (node, parents) in [(1usize, vec![0usize]), (0, vec![]), (2, vec![0, 1])] {
+            let mut counts = NodeCounts::accumulate(&streaming, node, &parents);
+            let mut grown = streaming.clone();
+            let report = grown.append_batch(&batch);
+            counts.absorb(&grown, report.rows.clone());
+            assert_eq!(counts.rows_absorbed(), combined.num_rows());
+            let reference = NodeCounts::accumulate(&oneshot_encoded, node, &parents);
+            // Value-facade CPTs must be probability-identical.
+            let streamed_cpt = counts.to_cpt(grown.dicts(), 0.1);
+            let reference_cpt = reference.to_cpt(oneshot_encoded.dicts(), 0.1);
+            assert_eq!(streamed_cpt.num_parent_configs(), reference_cpt.num_parent_configs());
+            assert_eq!(streamed_cpt.domain_size(), reference_cpt.domain_size());
+            let mut probes: Vec<Value> = oneshot_encoded.dict(node).values().to_vec();
+            probes.push(Value::Null);
+            for row in combined.rows() {
+                let config: Vec<Value> = parents.iter().map(|&p| row[p].clone()).collect();
+                for v in &probes {
+                    assert_eq!(
+                        streamed_cpt.prob(v, &config).to_bits(),
+                        reference_cpt.prob(v, &config).to_bits(),
+                        "node {node} value {v} config {config:?}"
+                    );
+                    assert_eq!(
+                        streamed_cpt.marginal_prob(v).to_bits(),
+                        reference_cpt.marginal_prob(v).to_bits()
+                    );
+                }
+            }
+            // Compiled scores must agree through the respective code spaces.
+            let streamed_compiled = CompiledCpt::from_counts(&counts, 0.1);
+            let reference_compiled = CompiledCpt::from_counts(&reference, 0.1);
+            for (r, row) in combined.rows().enumerate() {
+                let s_codes: Vec<u32> =
+                    row.iter().zip(grown.dicts()).map(|(v, d)| d.encode(v).unwrap()).collect();
+                let o_codes = oneshot_encoded.row_codes(r);
+                for v in &probes {
+                    let s = grown.dict(node).encode(v).unwrap();
+                    let o = oneshot_encoded.dict(node).encode(v).unwrap();
+                    assert_eq!(
+                        streamed_compiled.log_prob_plain(&s_codes, s).to_bits(),
+                        reference_compiled.log_prob_plain(&o_codes, o).to_bits(),
+                        "compiled node {node} row {r} value {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A no-growth absorb must leave the layout untouched and just add rows.
+    #[test]
+    fn ensure_code_spaces_is_a_noop_without_growth() {
+        let data = fixture();
+        let encoded = EncodedDataset::from_dataset(&data);
+        let mut counts = NodeCounts::accumulate(&encoded, 1, &[0]);
+        assert!(!counts.ensure_code_spaces(encoded.dicts()));
+        assert_eq!(counts.parents(), &[0]);
     }
 
     #[test]

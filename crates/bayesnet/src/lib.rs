@@ -52,6 +52,7 @@ pub use partition::{partition, SubNetwork};
 pub use sim::{edit_similarity, levenshtein, numeric_similarity, value_similarity, value_similarity_typed};
 pub use structure::{
     autoregression_matrix, bic_score, hill_climb, learn_structure, learn_structure_encoded,
-    similarity_samples, similarity_samples_encoded, threshold_to_dag, FdxConfig, HillClimbConfig,
-    LearnedStructure, StructureConfig,
+    learn_structure_encoded_cached, similarity_samples, similarity_samples_encoded,
+    similarity_samples_encoded_cached, threshold_to_dag, FdxConfig, HillClimbConfig, LearnedStructure,
+    StructureCaches, StructureConfig,
 };

@@ -12,11 +12,133 @@
 //! graphical lasso.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use bclean_data::{AttrType, Dataset, EncodedDataset};
 use bclean_linalg::Matrix;
 
 use crate::sim::value_similarity_typed;
+
+/// Minimal multiplicative hasher for small fixed-width keys (code pairs).
+/// The similarity caches are lookup-only — their iteration order is never
+/// observed — so a fast deterministic hash is safe and removes the SipHash
+/// cost from the structure-relearn hot loop.
+#[derive(Debug, Default, Clone)]
+pub struct CodePairHasher(u64);
+
+impl Hasher for CodePairHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.write_u64(byte as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut x = self.0 ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        self.0 = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    }
+}
+
+/// Dense similarity memos above this cell count (`code_space²`) fall back
+/// to the hash-map layout (8 MiB of `f64` cells per column at the cap).
+const DENSE_SIM_CELL_CAP: usize = 1 << 20;
+
+/// A per-column `(code, code) → similarity` memo (see
+/// [`similarity_samples_encoded_cached`]): a dense `code_space²` matrix
+/// (NaN = not yet computed) for small domains — one load per probe on the
+/// sampling hot loop — or a hash map for large ones. Codes are stable
+/// across dictionary appends, so entries stay valid as the encoding grows;
+/// the dense matrix reindexes itself when the code space does.
+#[derive(Debug, Clone, Default)]
+pub struct SimilarityCache {
+    /// Code space the dense matrix is laid out for.
+    space: usize,
+    dense: Option<Vec<f64>>,
+    map: HashMap<(u32, u32), f64, BuildHasherDefault<CodePairHasher>>,
+}
+
+impl SimilarityCache {
+    /// Lay the cache out for the column's current code space (reindexing
+    /// dense entries after a dictionary append). Called once per sampling
+    /// pass, not per probe.
+    fn ensure_space(&mut self, space: usize) {
+        if space == self.space {
+            return;
+        }
+        let dense_fits = space.saturating_mul(space) <= DENSE_SIM_CELL_CAP;
+        match (&mut self.dense, dense_fits) {
+            (Some(old), true) => {
+                let mut grown = vec![f64::NAN; space * space];
+                for a in 0..self.space {
+                    grown[a * space..a * space + self.space]
+                        .copy_from_slice(&old[a * self.space..(a + 1) * self.space]);
+                }
+                self.dense = Some(grown);
+            }
+            (Some(old), false) => {
+                // Outgrew the dense budget: spill to the map.
+                for a in 0..self.space {
+                    for b in 0..self.space {
+                        let sim = old[a * self.space + b];
+                        if !sim.is_nan() {
+                            self.map.insert((a as u32, b as u32), sim);
+                        }
+                    }
+                }
+                self.dense = None;
+            }
+            (None, true) if self.map.is_empty() => {
+                self.dense = Some(vec![f64::NAN; space * space]);
+            }
+            // A map that already has entries stays a map: the layouts answer
+            // identically, so there is nothing to gain from migrating back.
+            (None, _) => {}
+        }
+        self.space = space;
+    }
+
+    /// The memoised similarity of a code pair, computing (and storing) it on
+    /// first sight.
+    #[inline]
+    fn get_or_insert_with(&mut self, pair: (u32, u32), compute: impl FnOnce() -> f64) -> f64 {
+        match &mut self.dense {
+            Some(cells) => {
+                let slot = pair.0 as usize * self.space + pair.1 as usize;
+                if cells[slot].is_nan() {
+                    cells[slot] = compute();
+                }
+                cells[slot]
+            }
+            None => *self.map.entry(pair).or_insert_with(compute),
+        }
+    }
+
+    /// Number of memoised pairs (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        match &self.dense {
+            Some(cells) => cells.iter().filter(|s| !s.is_nan()).count(),
+            None => self.map.len(),
+        }
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Configuration of the similarity sampler.
 #[derive(Debug, Clone, Copy)]
@@ -88,14 +210,41 @@ pub fn similarity_samples_encoded(
     types: &[AttrType],
     config: FdxConfig,
 ) -> Option<Matrix> {
+    let mut caches: Vec<SimilarityCache> = vec![SimilarityCache::default(); encoded.num_columns()];
+    similarity_samples_encoded_cached(encoded, types, config, &mut caches)
+}
+
+/// [`similarity_samples_encoded`] with caller-owned similarity caches.
+///
+/// Streaming sessions re-learn structure over the accumulated data on every
+/// refit; the expensive part of that is the edit-distance kernel behind the
+/// per-code-pair memoisation. Dictionary codes are stable across batch
+/// appends, so the caches themselves are **delta-updatable**: pass the same
+/// `caches` back on every refit and only the pairs brought in by new rows
+/// (or new adjacencies) are ever computed. The sample matrix is identical
+/// to the uncached call — cache entries hold exactly what
+/// [`crate::sim::value_similarity_typed`] returns for the decoded values.
+pub fn similarity_samples_encoded_cached(
+    encoded: &EncodedDataset,
+    types: &[AttrType],
+    config: FdxConfig,
+    caches: &mut Vec<SimilarityCache>,
+) -> Option<Matrix> {
     let n = encoded.num_rows();
     let m = encoded.num_columns();
     if n < 2 || m == 0 {
         return None;
     }
     debug_assert_eq!(types.len(), m);
-    let mut caches: Vec<HashMap<(u32, u32), f64>> = vec![HashMap::new(); m];
-    let mut rows: Vec<Vec<f64>> = Vec::new();
+    caches.resize(m, SimilarityCache::default());
+    for (c, cache) in caches.iter_mut().enumerate() {
+        cache.ensure_space(encoded.dict(c).code_space());
+    }
+    // Samples are assembled straight into the flat row-major matrix buffer
+    // (the per-sample `Vec` allocations of the `Value`-path twin would
+    // dominate a warm-cache relearn).
+    let mut data: Vec<f64> = Vec::new();
+    let mut sample_rows = 0usize;
     for sort_attr in 0..m {
         let order = encoded.argsort_by_column(sort_attr);
         let pairs = n - 1;
@@ -108,20 +257,18 @@ pub fn similarity_samples_encoded(
         while (k as usize) < pairs {
             let i = k as usize;
             let (ra, rb) = (order[i], order[i + 1]);
-            let sims: Vec<f64> = (0..m)
-                .map(|c| {
-                    let pair = (encoded.code(ra, c), encoded.code(rb, c));
-                    *caches[c].entry(pair).or_insert_with(|| {
-                        let dict = encoded.dict(c);
-                        value_similarity_typed(types[c], dict.decode(pair.0), dict.decode(pair.1))
-                    })
-                })
-                .collect();
-            rows.push(sims);
+            for (c, cache) in caches.iter_mut().enumerate() {
+                let pair = (encoded.code(ra, c), encoded.code(rb, c));
+                data.push(cache.get_or_insert_with(pair, || {
+                    let dict = encoded.dict(c);
+                    value_similarity_typed(types[c], dict.decode(pair.0), dict.decode(pair.1))
+                }));
+            }
+            sample_rows += 1;
             k += step;
         }
     }
-    Matrix::from_rows(&rows).ok()
+    Matrix::from_flat(sample_rows, m, data).ok()
 }
 
 #[cfg(test)]

@@ -5,9 +5,12 @@ pub mod fdx;
 pub mod hill_climbing;
 pub mod skeleton;
 
-pub use fdx::{similarity_samples, similarity_samples_encoded, FdxConfig};
+pub use fdx::{
+    similarity_samples, similarity_samples_encoded, similarity_samples_encoded_cached, CodePairHasher,
+    FdxConfig, SimilarityCache,
+};
 pub use hill_climbing::{bic_score, hill_climb, HillClimbConfig};
 pub use skeleton::{
-    autoregression_matrix, learn_structure, learn_structure_encoded, threshold_to_dag, LearnedStructure,
-    StructureConfig,
+    autoregression_matrix, learn_structure, learn_structure_encoded, learn_structure_encoded_cached,
+    threshold_to_dag, LearnedStructure, StructureCaches, StructureConfig,
 };

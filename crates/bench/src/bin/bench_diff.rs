@@ -5,19 +5,25 @@
 //!     [--gate <frac>] [--floor <abs>] [--summary <path>]
 //! ```
 //!
-//! Both files must carry the `speedup_encoded_vs_reference` object the
-//! `experiments` binary writes (`bench_clean` / `bench_fit`). The tool
-//! prints a per-variant markdown table of the encoded-vs-reference speedups
-//! and their deltas; with `--summary` the same table is appended to a file
-//! (CI passes `$GITHUB_STEP_SUMMARY`).
+//! Both files must carry the measured speedups the `experiments` binary
+//! writes (`bench_clean` / `bench_fit` / `bench_stream`): a `speedups`
+//! array of `{variant, threads, speedup}` records. Baseline and candidate
+//! records are matched on **`(variant, threads)`** — snapshots sweep
+//! multiple worker-thread counts, so a one-thread baseline never gates a
+//! four-thread candidate. The legacy single-thread
+//! `speedup_encoded_vs_reference` object (pre-sweep snapshots) is still
+//! accepted. The tool prints a markdown table of the speedups and their
+//! deltas; with `--summary` the same table is appended to a file (CI passes
+//! `$GITHUB_STEP_SUMMARY`).
 //!
 //! With `--gate <frac>` the run becomes the CI perf-regression gate: every
-//! variant's candidate speedup must reach `max(floor, frac × baseline)`,
-//! where `baseline` is the committed snapshot's speedup (the thresholds
-//! therefore live in the committed `BENCH_*.json`, not in CI config) and
-//! `floor` (`--floor`, default 1.2) is the absolute backstop under which the
-//! encoded engine would be barely faster than the `Value` path. Any variant
-//! below its threshold fails the process with exit code 1.
+//! matched record's candidate speedup must reach `max(floor, frac ×
+//! baseline)`, where `baseline` is the committed snapshot's speedup (the
+//! thresholds therefore live in the committed `BENCH_*.json`, not in CI
+//! config) and `floor` (`--floor`, default 1.2) is the absolute backstop
+//! under which the measured engine would be barely faster than its
+//! baseline. Any record below its threshold fails the process with exit
+//! code 1.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -84,23 +90,29 @@ fn main() -> ExitCode {
     let mut table = String::new();
     let _ = writeln!(table, "### bench_diff — `{baseline_path}` → `{candidate_path}`\n");
     let header = if gate.is_some() {
-        "| Variant | Baseline | Candidate | Delta | Threshold | Status |\n|---|---|---|---|---|---|"
+        "| Variant | Threads | Baseline | Candidate | Delta | Threshold | Status |\n|---|---|---|---|---|---|---|"
     } else {
-        "| Variant | Baseline | Candidate | Delta |\n|---|---|---|---|"
+        "| Variant | Threads | Baseline | Candidate | Delta |\n|---|---|---|---|---|"
     };
     let _ = writeln!(table, "{header}");
 
     let mut failures = 0usize;
-    for (variant, base) in &baseline {
-        let Some(cand) = candidate.iter().find(|(v, _)| v == variant).map(|(_, s)| *s) else {
-            let _ = writeln!(table, "| {variant} | {base:.2}x | *missing* | — |{}", gate_cols(gate, None));
+    for ((variant, threads), base) in &baseline {
+        let Some(cand) = candidate.iter().find(|((v, t), _)| v == variant && t == threads).map(|(_, s)| *s)
+        else {
+            let _ = writeln!(
+                table,
+                "| {variant} | {threads} | {base:.2}x | *missing* | — |{}",
+                gate_cols(gate, None)
+            );
             failures += 1;
             continue;
         };
         let delta_pct = (cand / base - 1.0) * 100.0;
         match gate {
             None => {
-                let _ = writeln!(table, "| {variant} | {base:.2}x | {cand:.2}x | {delta_pct:+.1}% |");
+                let _ =
+                    writeln!(table, "| {variant} | {threads} | {base:.2}x | {cand:.2}x | {delta_pct:+.1}% |");
             }
             Some(frac) => {
                 let threshold = (frac * base).max(floor);
@@ -110,15 +122,20 @@ fn main() -> ExitCode {
                 }
                 let _ = writeln!(
                     table,
-                    "| {variant} | {base:.2}x | {cand:.2}x | {delta_pct:+.1}% | ≥ {threshold:.2}x | {} |",
+                    "| {variant} | {threads} | {base:.2}x | {cand:.2}x | {delta_pct:+.1}% | ≥ {threshold:.2}x | {} |",
                     if ok { "✅ pass" } else { "❌ FAIL" }
                 );
             }
         }
     }
-    for (variant, cand) in &candidate {
-        if !baseline.iter().any(|(v, _)| v == variant) {
-            let _ = writeln!(table, "| {variant} | *new* | {cand:.2}x | — |{}", gate_cols(gate, Some(true)));
+    for (key, cand) in &candidate {
+        if !baseline.iter().any(|(k, _)| k == key) {
+            let (variant, threads) = key;
+            let _ = writeln!(
+                table,
+                "| {variant} | {threads} | *new* | {cand:.2}x | — |{}",
+                gate_cols(gate, Some(true))
+            );
         }
     }
 
@@ -151,22 +168,41 @@ fn gate_cols(gate: Option<f64>, pass: Option<bool>) -> &'static str {
     }
 }
 
-/// Read the per-variant `speedup_encoded_vs_reference` map of one snapshot,
-/// in file order.
-fn load_speedups(path: &str) -> Result<Vec<(String, f64)>, String> {
+/// A snapshot's speedup records: `(variant, threads) → speedup`.
+type Speedups = Vec<((String, u64), f64)>;
+
+/// Read the `(variant, threads) → speedup` records of one snapshot, in file
+/// order: the `speedups` array written by every current `BENCH_*.json`, or
+/// the legacy single-thread `speedup_encoded_vs_reference` object (whose
+/// records carry the file-level `threads`, defaulting to 1).
+fn load_speedups(path: &str) -> Result<Speedups, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let json = Json::parse(&text)?;
-    let members = json
-        .get("speedup_encoded_vs_reference")
-        .and_then(Json::as_obj)
-        .ok_or_else(|| "missing `speedup_encoded_vs_reference` object".to_string())?;
-    let mut speedups = Vec::with_capacity(members.len());
-    for (variant, value) in members {
-        let speedup = value.as_f64().ok_or_else(|| format!("speedup of `{variant}` is not a number"))?;
-        speedups.push((variant.clone(), speedup));
+    let mut speedups = Vec::new();
+    if let Some(records) = json.get("speedups").and_then(Json::as_arr) {
+        for record in records {
+            let variant = record
+                .get("variant")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "speedup record without a `variant`".to_string())?;
+            let threads = record.get("threads").and_then(Json::as_f64).unwrap_or(1.0) as u64;
+            let speedup = record
+                .get("speedup")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("speedup of `{variant}` is not a number"))?;
+            speedups.push(((variant.to_string(), threads), speedup));
+        }
+    } else if let Some(members) = json.get("speedup_encoded_vs_reference").and_then(Json::as_obj) {
+        let threads = json.get("threads").and_then(Json::as_f64).unwrap_or(1.0) as u64;
+        for (variant, value) in members {
+            let speedup = value.as_f64().ok_or_else(|| format!("speedup of `{variant}` is not a number"))?;
+            speedups.push(((variant.clone(), threads), speedup));
+        }
+    } else {
+        return Err("missing `speedups` array (or legacy `speedup_encoded_vs_reference` object)".to_string());
     }
     if speedups.is_empty() {
-        return Err("empty `speedup_encoded_vs_reference` object".to_string());
+        return Err("no speedup records".to_string());
     }
     Ok(speedups)
 }

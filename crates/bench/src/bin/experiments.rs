@@ -17,17 +17,23 @@ use std::time::Duration;
 
 use bclean_bayesnet::NetworkEdit;
 use bclean_bench::{Scale, EXPERIMENT_SEED};
-use bclean_core::{BClean, BCleanConfig, CompensatoryParams, ConstraintKind, Variant};
+use bclean_core::{BClean, BCleanConfig, CleaningSession, CompensatoryParams, ConstraintKind, Variant};
 use bclean_datagen::{BenchmarkDataset, DirtyDataset, ErrorSpec, ErrorType, SwapMode};
 use bclean_eval::{
     bclean_constraints, evaluate, format_duration, run_bclean_evaluated, run_method, run_methods,
     ErrorTypeRecall, Method, MethodRun, TextTable,
 };
 
+/// Default worker-thread sweep of the `bench_clean` / `bench_fit`
+/// snapshots: the committed JSON records single-thread engine throughput
+/// plus multi-thread scaling points.
+const DEFAULT_THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_string();
     let mut scale = Scale::Small;
+    let mut threads: Vec<usize> = DEFAULT_THREAD_SWEEP.to_vec();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -37,6 +43,19 @@ fn main() {
                 } else {
                     eprintln!("unknown scale; expected small|default|full");
                     std::process::exit(2);
+                }
+            }
+            "--threads" => {
+                let parsed: Option<Vec<usize>> = iter
+                    .next()
+                    .map(|list| list.split(',').map(|t| t.trim().parse::<usize>().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(list) if !list.is_empty() && list.iter().all(|&t| t >= 1) => threads = list,
+                    _ => {
+                        eprintln!("--threads expects a comma-separated list of positive counts, e.g. 1,2,4");
+                        std::process::exit(2);
+                    }
                 }
             }
             "help" | "--help" | "-h" => {
@@ -65,8 +84,9 @@ fn main() {
         "fig4ef" => fig4ef(scale),
         "fig5" => fig5(scale),
         "netedit" => netedit(scale),
-        "bench_clean" => bench_clean(scale),
-        "bench_fit" => bench_fit(scale),
+        "bench_clean" => bench_clean(scale, &threads),
+        "bench_fit" => bench_fit(scale, &threads),
+        "bench_stream" => bench_stream(scale),
         "all" => {
             tables_4_and_7(scale);
             table5(scale);
@@ -79,8 +99,9 @@ fn main() {
             fig4ef(scale);
             fig5(scale);
             netedit(scale);
-            bench_clean(scale);
-            bench_fit(scale);
+            bench_clean(scale, &threads);
+            bench_fit(scale, &threads);
+            bench_stream(scale);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -94,12 +115,16 @@ fn print_help() {
     println!(
         "experiments — regenerate the BClean paper's tables and figures\n\n\
          EXPERIMENTS: table4 table5 table6 table7 table8 table9 table10\n\
-                      fig4a fig4bcd fig4ef fig5 netedit bench_clean bench_fit all\n\
-         OPTIONS:     --scale small|default|full   (default: small)\n\n\
-         bench_clean / bench_fit additionally write BENCH_clean.json /\n\
-         BENCH_fit.json (machine-readable performance trajectories of the\n\
-         code-space engines vs the retained Value-path baselines); diff two\n\
-         snapshots with `cargo run -p bclean-bench --bin bench_diff`."
+                      fig4a fig4bcd fig4ef fig5 netedit bench_clean bench_fit\n\
+                      bench_stream all\n\
+         OPTIONS:     --scale small|default|full   (default: small)\n\
+         \x20            --threads LIST               worker sweep for bench_clean /\n\
+         \x20                                         bench_fit (default: 1,2,4)\n\n\
+         bench_clean / bench_fit / bench_stream additionally write\n\
+         BENCH_clean.json / BENCH_fit.json / BENCH_stream.json\n\
+         (machine-readable performance trajectories of the code-space and\n\
+         streaming engines vs their baselines); diff two snapshots with\n\
+         `cargo run -p bclean-bench --bin bench_diff`."
     );
 }
 
@@ -377,13 +402,33 @@ fn fig5(scale: Scale) {
     }
 }
 
+/// Render the `speedups` array + trailer shared by every `BENCH_*.json`
+/// snapshot: one `{variant, threads, speedup}` record per measured pair, a
+/// minimum, and the wall-clock. `bench_diff` matches baseline/candidate
+/// records on `(variant, threads)`.
+fn speedups_json(speedups: &[(String, usize, f64)], min_speedup: f64, total_seconds: f64) -> String {
+    let records: Vec<String> = speedups
+        .iter()
+        .map(|(name, threads, s)| {
+            format!("    {{\"variant\": \"{name}\", \"threads\": {threads}, \"speedup\": {s:.3}}}")
+        })
+        .collect();
+    format!(
+        "  \"speedups\": [\n{}\n  ],\n  \"min_speedup\": {:.3},\n  \"total_wall_seconds\": {:.3}\n}}\n",
+        records.join(",\n"),
+        min_speedup,
+        total_seconds,
+    )
+}
+
 /// Cleaning-throughput benchmark: the dictionary-encoded engine
 /// (`BCleanModel::clean`) against the retained `Value`-path baseline
 /// (`BCleanModel::clean_reference`) on the Hospital workload, one BClean
-/// variant per row. Besides the stdout table, the measurements are written
-/// to `BENCH_clean.json` so the performance trajectory is machine-readable
-/// and tracked across PRs.
-fn bench_clean(scale: Scale) {
+/// variant per row, swept across worker-thread counts. Besides the stdout
+/// table, the measurements are written to `BENCH_clean.json` so the
+/// performance trajectory (including multi-thread scaling) is
+/// machine-readable and tracked across PRs.
+fn bench_clean(scale: Scale, threads_sweep: &[usize]) {
     println!("## BENCH_clean — encoded engine vs Value-path baseline (Hospital)\n");
     let total_start = std::time::Instant::now();
     let rows = scale.rows(BenchmarkDataset::Hospital);
@@ -392,82 +437,89 @@ fn bench_clean(scale: Scale) {
     let cols = bench.dirty.num_columns();
     let iters = 3usize;
 
-    let mut table =
-        TextTable::new(vec!["Variant", "Engine", "Fit", "Clean (best)", "Rows/s", "Repairs", "Speedup"]);
+    let mut table = TextTable::new(vec![
+        "Variant",
+        "Threads",
+        "Engine",
+        "Fit",
+        "Clean (best)",
+        "Rows/s",
+        "Repairs",
+        "Speedup",
+    ]);
     let mut runs_json: Vec<String> = Vec::new();
-    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let mut speedups: Vec<(String, usize, f64)> = Vec::new();
     for variant in Variant::all() {
-        // threads = 1 for timing fidelity: the point is engine throughput,
-        // not pool scaling (the executor is shared by both engines anyway).
-        let model = BClean::new(variant.config().with_threads(1))
-            .with_constraints(constraints.clone())
-            .fit(&bench.dirty);
-        let mut per_engine: Vec<(&str, f64, usize, Duration)> = Vec::new();
-        for engine in ["encoded", "reference"] {
-            let mut best = f64::INFINITY;
-            let mut repairs = 0usize;
-            let mut fit_time = Duration::ZERO;
-            for _ in 0..iters {
-                let start = std::time::Instant::now();
-                let result = if engine == "encoded" {
-                    model.clean(&bench.dirty)
-                } else {
-                    model.clean_reference(&bench.dirty)
-                };
-                best = best.min(start.elapsed().as_secs_f64());
-                repairs = result.repairs.len();
-                fit_time = result.stats.fit_duration;
+        for &threads in threads_sweep {
+            let model = BClean::new(variant.config().with_threads(threads))
+                .with_constraints(constraints.clone())
+                .fit(&bench.dirty);
+            let mut per_engine: Vec<(&str, f64, usize, Duration)> = Vec::new();
+            for engine in ["encoded", "reference"] {
+                let mut best = f64::INFINITY;
+                let mut repairs = 0usize;
+                let mut fit_time = Duration::ZERO;
+                for _ in 0..iters {
+                    let start = std::time::Instant::now();
+                    let result = if engine == "encoded" {
+                        model.clean(&bench.dirty)
+                    } else {
+                        model.clean_reference(&bench.dirty)
+                    };
+                    best = best.min(start.elapsed().as_secs_f64());
+                    repairs = result.repairs.len();
+                    fit_time = result.stats.fit_duration;
+                }
+                per_engine.push((engine, best, repairs, fit_time));
             }
-            per_engine.push((engine, best, repairs, fit_time));
-        }
-        let encoded = per_engine[0];
-        let reference = per_engine[1];
-        let speedup = reference.1 / encoded.1.max(1e-12);
-        speedups.push((variant.name().to_string(), speedup));
-        for (engine, best, repairs, fit_time) in &per_engine {
-            let rows_per_sec = rows as f64 / best.max(1e-12);
-            table.add_row(vec![
-                variant.name().to_string(),
-                engine.to_string(),
-                format_duration(*fit_time),
-                format!("{:.4}s", best),
-                format!("{rows_per_sec:.0}"),
-                repairs.to_string(),
-                if *engine == "encoded" { format!("{speedup:.2}x") } else { "1.00x".to_string() },
-            ]);
-            runs_json.push(format!(
-                "    {{\"variant\": \"{}\", \"engine\": \"{}\", \"fit_seconds\": {:.6}, \
-                 \"clean_seconds\": {:.6}, \"rows_per_sec\": {:.2}, \"cells_per_sec\": {:.2}, \
-                 \"repairs\": {}}}",
-                variant.name(),
-                engine,
-                fit_time.as_secs_f64(),
-                best,
-                rows_per_sec,
-                (rows * cols) as f64 / best.max(1e-12),
-                repairs
-            ));
+            let encoded = per_engine[0];
+            let reference = per_engine[1];
+            let speedup = reference.1 / encoded.1.max(1e-12);
+            speedups.push((variant.name().to_string(), threads, speedup));
+            for (engine, best, repairs, fit_time) in &per_engine {
+                let rows_per_sec = rows as f64 / best.max(1e-12);
+                table.add_row(vec![
+                    variant.name().to_string(),
+                    threads.to_string(),
+                    engine.to_string(),
+                    format_duration(*fit_time),
+                    format!("{:.4}s", best),
+                    format!("{rows_per_sec:.0}"),
+                    repairs.to_string(),
+                    if *engine == "encoded" { format!("{speedup:.2}x") } else { "1.00x".to_string() },
+                ]);
+                runs_json.push(format!(
+                    "    {{\"variant\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \
+                     \"fit_seconds\": {:.6}, \"clean_seconds\": {:.6}, \"rows_per_sec\": {:.2}, \
+                     \"cells_per_sec\": {:.2}, \"repairs\": {}}}",
+                    variant.name(),
+                    engine,
+                    threads,
+                    fit_time.as_secs_f64(),
+                    best,
+                    rows_per_sec,
+                    (rows * cols) as f64 / best.max(1e-12),
+                    repairs
+                ));
+            }
         }
     }
     println!("{}", table.render());
 
-    let min_speedup = speedups.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
-    let speedup_json: Vec<String> =
-        speedups.iter().map(|(name, s)| format!("    \"{name}\": {s:.3}")).collect();
+    let min_speedup = speedups.iter().map(|(_, _, s)| *s).fold(f64::INFINITY, f64::min);
+    let threads_json: Vec<String> = threads_sweep.iter().map(|t| t.to_string()).collect();
     let json = format!(
         "{{\n  \"benchmark\": \"Hospital\",\n  \"scale\": \"{:?}\",\n  \"rows\": {},\n  \
-         \"columns\": {},\n  \"cells\": {},\n  \"threads\": 1,\n  \"clean_iters\": {},\n  \
-         \"runs\": [\n{}\n  ],\n  \"speedup_encoded_vs_reference\": {{\n{}\n  }},\n  \
-         \"min_speedup\": {:.3},\n  \"total_wall_seconds\": {:.3}\n}}\n",
+         \"columns\": {},\n  \"cells\": {},\n  \"threads_swept\": [{}],\n  \"clean_iters\": {},\n  \
+         \"runs\": [\n{}\n  ],\n{}",
         scale,
         rows,
         cols,
         rows * cols,
+        threads_json.join(", "),
         iters,
         runs_json.join(",\n"),
-        speedup_json.join(",\n"),
-        min_speedup,
-        total_start.elapsed().as_secs_f64(),
+        speedups_json(&speedups, min_speedup, total_start.elapsed().as_secs_f64()),
     );
     match std::fs::write("BENCH_clean.json", &json) {
         Ok(()) => println!("wrote BENCH_clean.json (min speedup {min_speedup:.2}x)\n"),
@@ -484,7 +536,7 @@ fn bench_clean(scale: Scale) {
 /// and tracked across PRs (same schema family as `BENCH_clean.json`; the CI
 /// perf gate compares fresh runs against the committed snapshot via
 /// `bench_diff`).
-fn bench_fit(scale: Scale) {
+fn bench_fit(scale: Scale, threads_sweep: &[usize]) {
     println!("## BENCH_fit — code-space fit vs Value-path construction (Hospital)\n");
     let total_start = std::time::Instant::now();
     let rows = scale.rows(BenchmarkDataset::Hospital);
@@ -493,89 +545,283 @@ fn bench_fit(scale: Scale) {
     let cols = bench.dirty.num_columns();
     let iters = 3usize;
 
-    let mut table =
-        TextTable::new(vec!["Variant", "Engine", "Fit (best)", "Rows/s", "Edges", "Repairs", "Speedup"]);
+    let mut table = TextTable::new(vec![
+        "Variant",
+        "Threads",
+        "Engine",
+        "Fit (best)",
+        "Rows/s",
+        "Edges",
+        "Repairs",
+        "Speedup",
+    ]);
     let mut runs_json: Vec<String> = Vec::new();
-    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let mut speedups: Vec<(String, usize, f64)> = Vec::new();
     for variant in Variant::all() {
-        // threads = 1 for timing fidelity: the point is the code-space
-        // engine's single-thread throughput, not pool scaling (both paths
-        // share the executor and parallelise identically).
-        let cleaner = BClean::new(variant.config().with_threads(1)).with_constraints(constraints.clone());
-        let mut per_engine: Vec<(&str, f64, usize, usize)> = Vec::new();
-        for engine in ["encoded", "reference"] {
-            let mut best = f64::INFINITY;
-            let mut model = None;
-            for _ in 0..iters {
-                let start = std::time::Instant::now();
-                model = Some(if engine == "encoded" {
-                    cleaner.fit(&bench.dirty)
-                } else {
-                    cleaner.fit_reference(&bench.dirty)
-                });
-                best = best.min(start.elapsed().as_secs_f64());
+        for &threads in threads_sweep {
+            let cleaner =
+                BClean::new(variant.config().with_threads(threads)).with_constraints(constraints.clone());
+            let mut per_engine: Vec<(&str, f64, usize, usize)> = Vec::new();
+            for engine in ["encoded", "reference"] {
+                let mut best = f64::INFINITY;
+                let mut model = None;
+                for _ in 0..iters {
+                    let start = std::time::Instant::now();
+                    model = Some(if engine == "encoded" {
+                        cleaner.fit(&bench.dirty)
+                    } else {
+                        cleaner.fit_reference(&bench.dirty)
+                    });
+                    best = best.min(start.elapsed().as_secs_f64());
+                }
+                let model = model.expect("at least one fit iteration ran");
+                let edges = model.network().dag().num_edges();
+                // Downstream sanity (outside the timing loop): the fitted model
+                // must clean identically regardless of which fit path built it.
+                let repairs = model.clean(&bench.dirty).repairs.len();
+                per_engine.push((engine, best, edges, repairs));
             }
-            let model = model.expect("at least one fit iteration ran");
-            let edges = model.network().dag().num_edges();
-            // Downstream sanity (outside the timing loop): the fitted model
-            // must clean identically regardless of which fit path built it.
-            let repairs = model.clean(&bench.dirty).repairs.len();
-            per_engine.push((engine, best, edges, repairs));
+            let encoded = per_engine[0];
+            let reference = per_engine[1];
+            assert_eq!(
+                encoded.3, reference.3,
+                "fit and fit_reference must produce models with identical repairs"
+            );
+            let speedup = reference.1 / encoded.1.max(1e-12);
+            speedups.push((variant.name().to_string(), threads, speedup));
+            for (engine, best, edges, repairs) in &per_engine {
+                let rows_per_sec = rows as f64 / best.max(1e-12);
+                table.add_row(vec![
+                    variant.name().to_string(),
+                    threads.to_string(),
+                    engine.to_string(),
+                    format!("{:.4}s", best),
+                    format!("{rows_per_sec:.0}"),
+                    edges.to_string(),
+                    repairs.to_string(),
+                    if *engine == "encoded" { format!("{speedup:.2}x") } else { "1.00x".to_string() },
+                ]);
+                runs_json.push(format!(
+                    "    {{\"variant\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \
+                     \"fit_seconds\": {:.6}, \"rows_per_sec\": {:.2}, \"structure_edges\": {}, \
+                     \"repairs\": {}}}",
+                    variant.name(),
+                    engine,
+                    threads,
+                    best,
+                    rows_per_sec,
+                    edges,
+                    repairs
+                ));
+            }
         }
-        let encoded = per_engine[0];
-        let reference = per_engine[1];
-        assert_eq!(
-            encoded.3, reference.3,
-            "fit and fit_reference must produce models with identical repairs"
-        );
-        let speedup = reference.1 / encoded.1.max(1e-12);
-        speedups.push((variant.name().to_string(), speedup));
-        for (engine, best, edges, repairs) in &per_engine {
-            let rows_per_sec = rows as f64 / best.max(1e-12);
+    }
+    println!("{}", table.render());
+
+    let min_speedup = speedups.iter().map(|(_, _, s)| *s).fold(f64::INFINITY, f64::min);
+    let threads_json: Vec<String> = threads_sweep.iter().map(|t| t.to_string()).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"Hospital\",\n  \"scale\": \"{:?}\",\n  \"rows\": {},\n  \
+         \"columns\": {},\n  \"cells\": {},\n  \"threads_swept\": [{}],\n  \"fit_iters\": {},\n  \
+         \"runs\": [\n{}\n  ],\n{}",
+        scale,
+        rows,
+        cols,
+        rows * cols,
+        threads_json.join(", "),
+        iters,
+        runs_json.join(",\n"),
+        speedups_json(&speedups, min_speedup, total_start.elapsed().as_secs_f64()),
+    );
+    match std::fs::write("BENCH_fit.json", &json) {
+        Ok(()) => println!("wrote BENCH_fit.json (min speedup {min_speedup:.2}x)\n"),
+        Err(e) => eprintln!("could not write BENCH_fit.json: {e}"),
+    }
+}
+
+/// Streaming-session benchmark: chunked `CleaningSession::ingest` against
+/// the equivalent one-shot `fit` + `clean`, across two benchmark families
+/// (Hospital and the error-heavier Flights) and every variant.
+///
+/// Two headline numbers per run land in `BENCH_stream.json`:
+///
+/// * `throughput_ratio` — amortized streaming cells/sec (absorbs, cadence
+///   refits and per-batch cleans included) over the cells/sec of the
+///   *equivalent one-shot work* (encoded `fit` + `clean`) on the same data;
+///   `clean_only_ratio` additionally records the stricter comparison
+///   against the one-shot clean alone (the session is maintaining the
+///   model *and* cleaning, so this one dips below 1 by construction);
+/// * `refit_speedup` — a full refit (one-shot `fit` over everything the
+///   session absorbed) over the session's average *incremental* refit,
+///   which reuses dictionary codes, similarity caches and per-node counts.
+///
+/// The `speedups` records gate the refit speedups in CI via `bench_diff`,
+/// keyed `"<benchmark>/<variant>"` with the session's thread count.
+fn bench_stream(scale: Scale) {
+    println!("## BENCH_stream — chunked streaming sessions vs one-shot fit+clean\n");
+    let total_start = std::time::Instant::now();
+    let chunks = 8usize;
+    let refit_every = 2usize;
+    let clean_iters = 2usize;
+
+    let mut table = TextTable::new(vec![
+        "Benchmark",
+        "Variant",
+        "Ingest",
+        "Stream cells/s",
+        "1-shot fit+clean cells/s",
+        "Ratio",
+        "Incr refit",
+        "Full refit",
+        "Refit speedup",
+    ]);
+    let mut runs_json: Vec<String> = Vec::new();
+    let mut speedups: Vec<(String, usize, f64)> = Vec::new();
+    let mut min_ratio = f64::INFINITY;
+    for benchmark in [BenchmarkDataset::Hospital, BenchmarkDataset::Flights] {
+        let rows = scale.rows(benchmark);
+        let bench = benchmark.build_sized(rows, EXPERIMENT_SEED);
+        let constraints = bclean_constraints(benchmark);
+        let cols = bench.dirty.num_columns();
+        let cells = (rows * cols) as f64;
+        let chunk_rows = rows.div_ceil(chunks);
+        for variant in Variant::all() {
+            let cleaner = BClean::new(variant.config().with_threads(1)).with_constraints(constraints.clone());
+
+            // One-shot baseline: best-of fits (a fit from scratch is also
+            // the full-refit baseline — exactly what a session would pay to
+            // refit without its incremental statistics), then best-of clean.
+            let mut full_refit_seconds = f64::INFINITY;
+            let mut model = None;
+            for _ in 0..clean_iters {
+                let fit_start = std::time::Instant::now();
+                model = Some(cleaner.fit(&bench.dirty));
+                full_refit_seconds = full_refit_seconds.min(fit_start.elapsed().as_secs_f64());
+            }
+            let model = model.expect("at least one fit ran");
+            let mut oneshot_clean_seconds = f64::INFINITY;
+            let mut oneshot_repairs = 0usize;
+            for _ in 0..clean_iters {
+                let start = std::time::Instant::now();
+                oneshot_repairs = model.clean(&bench.dirty).repairs.len();
+                oneshot_clean_seconds = oneshot_clean_seconds.min(start.elapsed().as_secs_f64());
+            }
+            let oneshot_cells_per_sec = cells / oneshot_clean_seconds.max(1e-12);
+
+            // Streaming: equal chunks, cadence refits, provisional repairs.
+            let mut session = CleaningSession::new(cleaner.clone(), bench.dirty.schema().clone())
+                .with_refit_every(refit_every);
+            let mut stream_repairs = 0usize;
+            let mut first_refit_seconds = 0.0;
+            let mut first_refits = 0usize;
+            let ingest_start = std::time::Instant::now();
+            for chunk_idx in 0..chunks {
+                let lo = chunk_idx * chunk_rows;
+                let hi = ((chunk_idx + 1) * chunk_rows).min(rows);
+                if lo >= hi {
+                    continue;
+                }
+                let mut batch = bclean_data::Dataset::new(bench.dirty.schema().clone());
+                for r in lo..hi {
+                    batch.push_row(bench.dirty.row(r).expect("row in range").to_vec()).expect("arity");
+                }
+                stream_repairs += session.ingest(&batch).len();
+                if chunk_idx == 0 {
+                    // The first ingest is the initial full fit, not an
+                    // incremental refit; exclude it from the average.
+                    first_refit_seconds = session.stats().refit_seconds;
+                    first_refits = session.stats().refits;
+                }
+            }
+            let ingest_seconds = ingest_start.elapsed().as_secs_f64();
+            let stats = session.stats();
+            let final_repairs = session.finalize().repairs.len();
+            assert_eq!(
+                final_repairs, oneshot_repairs,
+                "a finalized session must reproduce the one-shot repairs"
+            );
+
+            let stream_cells_per_sec = cells / ingest_seconds.max(1e-12);
+            let oneshot_total_seconds = full_refit_seconds + oneshot_clean_seconds;
+            let oneshot_total_cells_per_sec = cells / oneshot_total_seconds.max(1e-12);
+            let throughput_ratio = stream_cells_per_sec / oneshot_total_cells_per_sec.max(1e-12);
+            let clean_only_ratio = stream_cells_per_sec / oneshot_cells_per_sec.max(1e-12);
+            min_ratio = min_ratio.min(throughput_ratio);
+            let incremental_refits = stats.refits.saturating_sub(first_refits).max(1);
+            let incremental_refit_seconds =
+                (stats.refit_seconds - first_refit_seconds).max(0.0) / incremental_refits as f64;
+            let refit_speedup = full_refit_seconds / incremental_refit_seconds.max(1e-12);
+            speedups.push((format!("{}/{}", benchmark.name(), variant.name()), 1, refit_speedup));
+
             table.add_row(vec![
+                benchmark.name().to_string(),
                 variant.name().to_string(),
-                engine.to_string(),
-                format!("{:.4}s", best),
-                format!("{rows_per_sec:.0}"),
-                edges.to_string(),
-                repairs.to_string(),
-                if *engine == "encoded" { format!("{speedup:.2}x") } else { "1.00x".to_string() },
+                format!("{ingest_seconds:.4}s"),
+                format!("{stream_cells_per_sec:.0}"),
+                format!("{oneshot_total_cells_per_sec:.0}"),
+                format!("{throughput_ratio:.2}"),
+                format!("{:.4}s", incremental_refit_seconds),
+                format!("{full_refit_seconds:.4}s"),
+                format!("{refit_speedup:.2}x"),
             ]);
             runs_json.push(format!(
-                "    {{\"variant\": \"{}\", \"engine\": \"{}\", \"fit_seconds\": {:.6}, \
-                 \"rows_per_sec\": {:.2}, \"structure_edges\": {}, \"repairs\": {}}}",
+                "    {{\"benchmark\": \"{}\", \"variant\": \"{}\", \"threads\": 1, \"rows\": {}, \
+                 \"columns\": {}, \"chunks\": {}, \"refit_every\": {}, \
+                 \"oneshot_fit_seconds\": {:.6}, \"oneshot_clean_seconds\": {:.6}, \
+                 \"oneshot_total_cells_per_sec\": {:.2}, \"oneshot_clean_cells_per_sec\": {:.2}, \
+                 \"stream_ingest_seconds\": {:.6}, \"stream_cells_per_sec\": {:.2}, \
+                 \"throughput_ratio\": {:.4}, \"clean_only_ratio\": {:.4}, \
+                 \"absorb_seconds\": {:.6}, \"refit_seconds\": {:.6}, \"clean_seconds\": {:.6}, \
+                 \"refits\": {}, \"incremental_refit_seconds_avg\": {:.6}, \
+                 \"full_refit_seconds\": {:.6}, \"refit_speedup\": {:.3}, \
+                 \"stream_repairs\": {}, \"final_repairs\": {}, \"oneshot_repairs\": {}}}",
+                benchmark.name(),
                 variant.name(),
-                engine,
-                best,
-                rows_per_sec,
-                edges,
-                repairs
+                rows,
+                cols,
+                chunks,
+                refit_every,
+                full_refit_seconds,
+                oneshot_clean_seconds,
+                oneshot_total_cells_per_sec,
+                oneshot_cells_per_sec,
+                ingest_seconds,
+                stream_cells_per_sec,
+                throughput_ratio,
+                clean_only_ratio,
+                stats.absorb_seconds,
+                stats.refit_seconds,
+                stats.clean_seconds,
+                stats.refits,
+                incremental_refit_seconds,
+                full_refit_seconds,
+                refit_speedup,
+                stream_repairs,
+                final_repairs,
+                oneshot_repairs,
             ));
         }
     }
     println!("{}", table.render());
 
-    let min_speedup = speedups.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
-    let speedup_json: Vec<String> =
-        speedups.iter().map(|(name, s)| format!("    \"{name}\": {s:.3}")).collect();
+    let min_speedup = speedups.iter().map(|(_, _, s)| *s).fold(f64::INFINITY, f64::min);
     let json = format!(
-        "{{\n  \"benchmark\": \"Hospital\",\n  \"scale\": \"{:?}\",\n  \"rows\": {},\n  \
-         \"columns\": {},\n  \"cells\": {},\n  \"threads\": 1,\n  \"fit_iters\": {},\n  \
-         \"runs\": [\n{}\n  ],\n  \"speedup_encoded_vs_reference\": {{\n{}\n  }},\n  \
-         \"min_speedup\": {:.3},\n  \"total_wall_seconds\": {:.3}\n}}\n",
+        "{{\n  \"benchmarks\": [\"Hospital\", \"Flights\"],\n  \"scale\": \"{:?}\",\n  \
+         \"chunks\": {},\n  \"refit_every\": {},\n  \"clean_iters\": {},\n  \
+         \"min_throughput_ratio\": {:.4},\n  \"runs\": [\n{}\n  ],\n{}",
         scale,
-        rows,
-        cols,
-        rows * cols,
-        iters,
+        chunks,
+        refit_every,
+        clean_iters,
+        min_ratio,
         runs_json.join(",\n"),
-        speedup_json.join(",\n"),
-        min_speedup,
-        total_start.elapsed().as_secs_f64(),
+        speedups_json(&speedups, min_speedup, total_start.elapsed().as_secs_f64()),
     );
-    match std::fs::write("BENCH_fit.json", &json) {
-        Ok(()) => println!("wrote BENCH_fit.json (min speedup {min_speedup:.2}x)\n"),
-        Err(e) => eprintln!("could not write BENCH_fit.json: {e}"),
+    match std::fs::write("BENCH_stream.json", &json) {
+        Ok(()) => println!(
+            "wrote BENCH_stream.json (min refit speedup {min_speedup:.2}x, min throughput ratio {min_ratio:.2})\n"
+        ),
+        Err(e) => eprintln!("could not write BENCH_stream.json: {e}"),
     }
 }
 

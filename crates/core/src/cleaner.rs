@@ -36,8 +36,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bclean_bayesnet::{
-    learn_structure_encoded, BayesianNetwork, CompiledCpt, CompiledNetwork, Cpt, Dag, NetworkEdit,
-    NetworkEditor, NodeCounts,
+    learn_structure_encoded, BayesianNetwork, CompiledNetwork, Dag, NetworkEdit, NetworkEditor, NodeCounts,
 };
 use bclean_data::{AttrType, CellRef, ColumnDict, Dataset, Domains, EncodedDataset, Schema, Value};
 use bclean_rules::Rule;
@@ -83,80 +82,75 @@ impl BClean {
     /// Runs entirely through the code-space fit pipeline: the dataset is
     /// dictionary-encoded once, structure learning and every statistic below
     /// it count dense `u32` codes, and per-node/per-column work spreads
-    /// across the shared [`ParallelExecutor`]. The pre-refactor `Value`-path
-    /// construction survives as [`BClean::fit_reference`] (see
+    /// across the shared [`ParallelExecutor`]. Internally the fit first
+    /// assembles a [`crate::ModelArtifact`] (the detachable sufficient
+    /// statistics) and then compiles it; [`BClean::fit_artifact`] returns
+    /// the artifact itself for streaming/incremental use. The pre-refactor
+    /// `Value`-path construction survives as [`BClean::fit_reference`] (see
     /// [`crate::reference`]) and produces the same model.
     pub fn fit(&self, dataset: &Dataset) -> BCleanModel {
         let start = Instant::now();
+        self.fit_artifact(dataset).into_model_timed(start)
+    }
+
+    /// Construction stage returning the detachable [`crate::ModelArtifact`]
+    /// instead of a compiled model: learned structure plus every sufficient
+    /// statistic (`NodeCounts`, compensatory counters, constraint tables in
+    /// spirit). The artifact can be compiled into a [`BCleanModel`] any
+    /// number of times and absorbs new batches incrementally (see
+    /// [`crate::CleaningSession`]).
+    pub fn fit_artifact(&self, dataset: &Dataset) -> crate::ModelArtifact {
         let encoded = EncodedDataset::from_dataset(dataset);
         let types: Vec<AttrType> = (0..dataset.num_columns())
             .map(|c| dataset.schema().attribute(c).expect("column in range").ty)
             .collect();
         let structure = learn_structure_encoded(&encoded, &types, self.config.structure);
-        self.fit_encoded(dataset, encoded, structure.dag, start)
+        self.artifact_from_encoded(dataset, &encoded, structure.dag)
     }
 
     /// Construction stage with a user-provided (or user-edited) structure.
     pub fn fit_with_structure(&self, dataset: &Dataset, dag: Dag) -> BCleanModel {
-        self.fit_encoded(dataset, EncodedDataset::from_dataset(dataset), dag, Instant::now())
+        let start = Instant::now();
+        let encoded = EncodedDataset::from_dataset(dataset);
+        self.artifact_from_encoded(dataset, &encoded, dag).into_model_timed(start)
     }
 
-    /// The code-space construction stage shared by [`BClean::fit`] and
-    /// [`BClean::fit_with_structure`]: given the encoding of `dataset` and a
-    /// structure, estimate every model over dictionary codes.
-    ///
-    /// Parameter estimation accumulates each node's [`NodeCounts`] — one
-    /// independent pass per node, fanned out through the executor — and
-    /// builds the [`CompiledNetwork`] *directly* from those counts; the
-    /// `Value`-keyed [`BayesianNetwork`] facade (network editing, the
-    /// reference oracle) is materialised from the same counts instead of
-    /// re-reading the dataset. The compensatory model builds in parallel,
-    /// and the anchor-selection FD-confidence matrix is derived from its
-    /// co-occurrence counters rather than re-grouping the `Value` rows.
-    fn fit_encoded(
+    /// Assemble the sufficient statistics of a fit over an already-encoded
+    /// dataset: per-node [`NodeCounts`] (one independent pass per node,
+    /// fanned out through the executor) and the parallel compensatory build.
+    /// Shared by the one-shot fits above and the first batch of a
+    /// [`crate::CleaningSession`] (whose encoding may carry appended
+    /// dictionaries).
+    pub(crate) fn artifact_from_encoded(
         &self,
         dataset: &Dataset,
-        encoded: EncodedDataset,
+        encoded: &EncodedDataset,
         dag: Dag,
-        start: Instant,
-    ) -> BCleanModel {
+    ) -> crate::ModelArtifact {
         let m = dataset.num_columns();
         assert_eq!(dag.num_nodes(), m, "DAG node count must match the dataset's attribute count");
         let executor = ParallelExecutor::for_config(&self.config, m);
-        let per_node: Vec<(Cpt, CompiledCpt)> = executor.map(m, |node| {
-            NodeCounts::accumulate(&encoded, node, &dag.parents(node))
-                .into_models(encoded.dicts(), self.config.alpha)
-        });
-        let (cpts, compiled_cpts): (Vec<Cpt>, Vec<CompiledCpt>) = per_node.into_iter().unzip();
-        let compiled = CompiledNetwork::from_parts(compiled_cpts, &dag);
+        let node_counts: Vec<NodeCounts> =
+            executor.map(m, |node| NodeCounts::accumulate(encoded, node, &dag.parents(node)));
         let names: Vec<String> = dataset.schema().names().iter().map(|s| s.to_string()).collect();
-        let network = BayesianNetwork::from_parts(dag, cpts, names);
-
         let constraints =
             if self.config.use_constraints { self.constraints.clone() } else { ConstraintSet::new() };
-        let attr_uc_ok =
-            attr_uc_table(&network, encoded.dicts(), &constraints, self.config.use_constraints, &executor);
         let row_executor = ParallelExecutor::for_config(&self.config, dataset.num_rows());
         let compensatory = CompensatoryModel::build_parallel(
             dataset,
-            &encoded,
+            encoded,
             &constraints,
             self.config.params,
             &row_executor,
         );
-        let domains = Domains::from_encoded(&encoded);
-        let fd_confidence = compensatory.fd_confidence_matrix();
-        BCleanModel {
-            config: self.config.clone(),
+        crate::ModelArtifact::from_parts(
+            self.config.clone(),
             constraints,
-            network,
-            compiled,
+            names,
+            dag,
+            node_counts,
             compensatory,
-            domains,
-            fd_confidence,
-            attr_uc_ok,
-            fit_duration: start.elapsed(),
-        }
+        )
     }
 }
 
@@ -176,13 +170,22 @@ pub(crate) fn attr_uc_table(
     if !use_constraints {
         return Vec::new();
     }
-    executor.map(dicts.len(), |col| {
-        let dict = &dicts[col];
-        let name = network.attribute_names().get(col);
-        (0..dict.code_space() as u32)
-            .map(|code| name.is_none_or(|n| constraints.check(n, dict.decode(code))))
-            .collect()
-    })
+    executor
+        .map(dicts.len(), |col| attr_uc_column(network.attribute_names().get(col), &dicts[col], constraints))
+}
+
+/// One column of the pre-evaluated constraint table: `UC(decode(code))` for
+/// every decodable code of the dictionary. Shared by [`attr_uc_table`] and
+/// the incremental compile path in [`crate::artifact`], so the verdict
+/// semantics can never diverge between the one-shot and streaming engines.
+pub(crate) fn attr_uc_column(
+    name: Option<&String>,
+    dict: &ColumnDict,
+    constraints: &ConstraintSet,
+) -> Vec<bool> {
+    (0..dict.code_space() as u32)
+        .map(|code| name.is_none_or(|n| constraints.check(n, dict.decode(code))))
+        .collect()
 }
 
 /// A fitted BClean model, ready to clean datasets that share the training
@@ -197,7 +200,10 @@ pub struct BCleanModel {
     pub(crate) network: BayesianNetwork,
     /// Code-indexed compilation of `network` (shared dictionary order).
     pub(crate) compiled: CompiledNetwork,
-    pub(crate) compensatory: CompensatoryModel,
+    /// Shared with the producing [`crate::ModelArtifact`] copy-on-write:
+    /// the artifact's next absorb detaches its own copy, so the model's
+    /// counters are an immutable snapshot as of its compile.
+    pub(crate) compensatory: std::sync::Arc<CompensatoryModel>,
     pub(crate) domains: Domains,
     pub(crate) fd_confidence: Vec<Vec<f64>>,
     /// `attr_uc_ok[col][code]`: pre-evaluated per-attribute constraint
@@ -543,24 +549,41 @@ impl BCleanModel {
             scratch.extend_from_slice(row);
         }
         out.clear();
-        for code in 0..card {
+        // Candidates are enumerated in sorted value order — for fresh
+        // dictionaries that *is* the code order; appended dictionaries
+        // (streaming sessions) walk their code→sorted-rank remap so tie
+        // breaking, pruning truncation and candidate caps behave exactly as
+        // over a freshly sorted dictionary.
+        let accept = |code: u32, scratch: &mut Vec<Value>, out: &mut Vec<u32>| {
             if self.config.use_constraints {
                 if !self.attr_uc_ok[col][code as usize] {
-                    continue;
+                    return;
                 }
                 if check_rules {
                     scratch[col] = dict.decode(code).clone();
                     if !rules.iter().all(|r| r.check_row(schema, scratch)) {
-                        continue;
+                        return;
                     }
                 }
             }
             if let Some(k) = anchor {
                 if self.compensatory.pair_count_codes(col, code, k, row_codes[k]) < 1 {
-                    continue;
+                    return;
                 }
             }
             out.push(code);
+        };
+        match dict.code_order() {
+            None => {
+                for code in 0..card {
+                    accept(code, scratch, out);
+                }
+            }
+            Some(order) => {
+                for &code in order {
+                    accept(code, scratch, out);
+                }
+            }
         }
 
         if self.config.domain_pruning && out.len() > self.config.domain_top_k {

@@ -81,6 +81,40 @@ impl PairStore {
         }
     }
 
+    /// Grow a dense store to the columns' new code spaces (appends only ever
+    /// add codes at the tail, so existing cells keep their coordinates),
+    /// spilling to the map layout when the grown space exceeds the dense
+    /// budget. Both layouts answer queries identically, so resizing never
+    /// changes a score.
+    fn resize(&mut self, old_rows: usize, new_rows: usize, new_cols: usize) {
+        if let PairStore::Dense { cols, cells } = self {
+            let old_cols = *cols;
+            if old_cols == new_cols && cells.len() == new_rows * new_cols {
+                return;
+            }
+            if new_rows.saturating_mul(new_cols) <= DENSE_PAIR_CELL_CAP {
+                let mut grown = vec![PairEntry::default(); new_rows * new_cols];
+                for a in 0..old_rows {
+                    grown[a * new_cols..a * new_cols + old_cols]
+                        .copy_from_slice(&cells[a * old_cols..(a + 1) * old_cols]);
+                }
+                *cells = grown;
+                *cols = new_cols;
+            } else {
+                let mut map = HashMap::new();
+                for a in 0..old_rows {
+                    for b in 0..old_cols {
+                        let entry = cells[a * old_cols + b];
+                        if entry.count > 0 || entry.corr != 0.0 {
+                            map.insert((a as u32, b as u32), entry);
+                        }
+                    }
+                }
+                *self = PairStore::Map(map);
+            }
+        }
+    }
+
     #[inline]
     fn add(&mut self, a: u32, b: u32, delta: f64) {
         match self {
@@ -132,8 +166,10 @@ pub struct CompensatoryModel {
     num_rows: usize,
     /// Number of attributes m.
     num_cols: usize,
-    /// Mean tuple confidence (diagnostic; reported by the cleaner).
-    mean_confidence: f64,
+    /// Running sum of tuple confidences, accumulated in row order (kept as
+    /// the sum — not the mean — so streaming absorbs reproduce the one-shot
+    /// float sequence exactly).
+    conf_sum: f64,
 }
 
 impl CompensatoryModel {
@@ -207,7 +243,7 @@ impl CompensatoryModel {
             value_counts,
             num_rows: n,
             num_cols: m,
-            mean_confidence: if n == 0 { 0.0 } else { conf_sum / n as f64 },
+            conf_sum,
         }
     }
 
@@ -289,7 +325,73 @@ impl CompensatoryModel {
             value_counts,
             num_rows: n,
             num_cols: m,
-            mean_confidence: if n == 0 { 0.0 } else { conf_sum / n as f64 },
+            conf_sum,
+        }
+    }
+
+    /// Absorb a freshly appended batch into the counters (the streaming
+    /// counterpart of Algorithm 2's per-tuple loop). `encoded` is the
+    /// accumulated encoding with the batch already appended at `rows`; the
+    /// batch's `Value` rows are still needed because tuple confidences (Eq.
+    /// 3) evaluate arbitrary value predicates. Counter updates land in row
+    /// order, so absorbing any batch split of a dataset reproduces the
+    /// one-shot build bit-for-bit — including the order-sensitive signed
+    /// `f64` correlation sums and the confidence sum.
+    pub fn absorb(
+        &mut self,
+        batch: &Dataset,
+        constraints: &ConstraintSet,
+        encoded: &EncodedDataset,
+        rows: std::ops::Range<usize>,
+    ) {
+        assert_eq!(batch.num_rows(), rows.len(), "batch rows must match the appended row range");
+        self.sync_dicts(encoded);
+        let m = self.num_cols;
+        for (offset, row) in batch.rows().enumerate() {
+            let r = rows.start + offset;
+            let conf = constraints.tuple_confidence(batch.schema(), row, self.params.lambda);
+            self.conf_sum += conf;
+            let delta = if conf >= self.params.tau { 1.0 } else { -self.params.beta };
+            for i in 0..m {
+                let a = encoded.code(r, i);
+                self.value_counts[i][a as usize] += 1;
+                for j in 0..m {
+                    if i != j {
+                        self.pairs[i * m + j].add(a, encoded.code(r, j), delta);
+                    }
+                }
+            }
+        }
+        self.num_rows += rows.len();
+    }
+
+    /// Re-sync the model's dictionaries and counter shapes with an encoding
+    /// whose dictionaries may have grown since the model was built (appends
+    /// only add codes at the tail, so existing counters keep their slots).
+    fn sync_dicts(&mut self, encoded: &EncodedDataset) {
+        let m = self.num_cols;
+        let old_spaces: Vec<usize> = self.dicts.iter().map(|d| d.code_space()).collect();
+        let mut grew = false;
+        for (col, dict) in encoded.dicts().iter().enumerate() {
+            let space = dict.code_space();
+            debug_assert!(space >= old_spaces[col], "code spaces never shrink");
+            if space != old_spaces[col] {
+                grew = true;
+                self.dicts[col] = dict.clone();
+                self.value_counts[col].resize(space, 0);
+            }
+        }
+        if !grew {
+            return;
+        }
+        for (i, &old_rows) in old_spaces.iter().enumerate() {
+            for j in 0..m {
+                if i != j {
+                    let space_i = self.dicts[i].code_space();
+                    let space_j = self.dicts[j].code_space();
+                    self.pairs[i * m + j].resize(old_rows, space_i, space_j);
+                }
+            }
         }
     }
 
@@ -305,13 +407,23 @@ impl CompensatoryModel {
 
     /// Mean tuple confidence observed while building the model.
     pub fn mean_confidence(&self) -> f64 {
-        self.mean_confidence
+        if self.num_rows == 0 {
+            0.0
+        } else {
+            self.conf_sum / self.num_rows as f64
+        }
     }
 
     /// The dictionaries the model's code space is defined by, in column
     /// order. The cleaner encodes datasets against these before inference.
     pub fn dicts(&self) -> &[ColumnDict] {
         &self.dicts
+    }
+
+    /// The code-indexed observation counts of one column (null code
+    /// included) — the streaming source for domain materialisation.
+    pub fn value_counts(&self, col: usize) -> &[u32] {
+        &self.value_counts[col]
     }
 
     /// Encode a full `Value` row into this model's code space (unseen values
@@ -335,22 +447,31 @@ impl CompensatoryModel {
         let m = self.num_cols;
         let mut matrix = vec![vec![0.0; m]; m];
         for (k, matrix_row) in matrix.iter_mut().enumerate() {
-            let card_k = self.dicts[k].cardinality();
+            let space_k = self.dicts[k].code_space();
+            let null_k = self.dicts[k].null_code();
             for (j, matrix_slot) in matrix_row.iter_mut().enumerate() {
                 if j == k {
                     *matrix_slot = 1.0;
                     continue;
                 }
-                let card_j = self.dicts[j].cardinality();
+                let null_j = self.dicts[j].null_code();
                 // Per k-value-code `(group_total, majority)` over the value
-                // codes of j (nulls on either side are excluded, exactly
-                // like the Value-space grouping).
-                let mut stats = vec![(0u64, 0u32); card_k];
+                // codes of j — nulls on either side are excluded by code
+                // position, exactly like the Value-space grouping (for fresh
+                // dictionaries the null codes trail the values; for appended
+                // ones they sit frozen mid-space).
+                let mut stats = vec![(0u64, 0u32); space_k];
                 match self.pair(k, j) {
                     PairStore::Empty => {}
                     PairStore::Dense { cols, cells } => {
                         for (a, slot) in stats.iter_mut().enumerate() {
-                            for entry in &cells[a * cols..a * cols + card_j] {
+                            if a as u32 == null_k {
+                                continue;
+                            }
+                            for (b, entry) in cells[a * cols..(a + 1) * cols].iter().enumerate() {
+                                if b as u32 == null_j {
+                                    continue;
+                                }
                                 slot.0 += entry.count as u64;
                                 slot.1 = slot.1.max(entry.count);
                             }
@@ -358,7 +479,7 @@ impl CompensatoryModel {
                     }
                     PairStore::Map(map) => {
                         for (&(a, b), entry) in map {
-                            if (a as usize) < card_k && (b as usize) < card_j {
+                            if a != null_k && b != null_j && (a as usize) < space_k {
                                 let slot = &mut stats[a as usize];
                                 slot.0 += entry.count as u64;
                                 slot.1 = slot.1.max(entry.count);
@@ -371,7 +492,7 @@ impl CompensatoryModel {
                 for (a, &(group_total, majority)) in stats.iter().enumerate() {
                     // Group size is the number of rows carrying this k-value
                     // (rows with a null j still count towards the size).
-                    if self.value_counts[k][a] < 2 {
+                    if a as u32 == null_k || self.value_counts[k][a] < 2 {
                         continue;
                     }
                     consistent += majority as u64;

@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod cleaner;
 pub mod compensatory;
 pub mod config;
@@ -47,13 +48,16 @@ pub mod constraints;
 pub mod exec;
 pub mod reference;
 pub mod report;
+pub mod session;
 
+pub use artifact::{CompileCache, ModelArtifact};
 pub use cleaner::{BClean, BCleanModel};
 pub use compensatory::{CompensatoryModel, CompensatoryParams};
 pub use config::{BCleanConfig, Variant};
 pub use constraints::{AttributeConstraints, ConstraintKind, ConstraintSet, UserConstraint};
 pub use exec::ParallelExecutor;
 pub use report::{CleaningResult, CleaningStats, Repair};
+pub use session::{CleaningSession, SessionStats};
 
 // Re-export the pieces of the substrate crates that appear in this crate's
 // public API, so downstream users need only one import path.

@@ -62,7 +62,12 @@ impl BClean {
             config.use_constraints,
             &ParallelExecutor::new(1),
         );
-        let compensatory = CompensatoryModel::build_encoded(dataset, &encoded, &constraints, config.params);
+        let compensatory = std::sync::Arc::new(CompensatoryModel::build_encoded(
+            dataset,
+            &encoded,
+            &constraints,
+            config.params,
+        ));
         let domains = Domains::compute(dataset);
         let fd_confidence = fd_confidence_matrix(dataset);
         BCleanModel {

@@ -36,39 +36,73 @@ enum Store {
 
 /// A code-indexed contingency table of one ordered column pair: entry
 /// `(a, b)` counts the rows whose column-`A` code is `a` and column-`B`
-/// code is `b` (null codes included).
+/// code is `b` (null codes included). Delta-updatable: streaming sessions
+/// keep tables alive across batches through [`PairCounts::absorb`], which
+/// also resizes the table when an appended dictionary grew a code space.
 #[derive(Debug, Clone)]
 pub struct PairCounts {
     /// Code space of column A (`cardinality + 1`, nulls included).
     space_a: usize,
     /// Code space of column B.
     space_b: usize,
-    /// Cardinality (value codes only) of column A.
-    card_a: usize,
-    /// Cardinality of column B.
-    card_b: usize,
+    /// Null code of column A (`cardinality` for fresh dictionaries, frozen
+    /// mid-space for appended ones).
+    null_a: u32,
+    /// Null code of column B.
+    null_b: u32,
+    /// Number of rows absorbed so far.
+    rows: usize,
     store: Store,
 }
 
 impl PairCounts {
-    /// Count the co-occurrences of columns `col_a` and `col_b` of `encoded`.
-    pub fn from_encoded(encoded: &EncodedDataset, col_a: usize, col_b: usize) -> PairCounts {
+    /// An empty table sized for the current dictionaries of two columns.
+    pub fn empty(encoded: &EncodedDataset, col_a: usize, col_b: usize) -> PairCounts {
         let space_a = encoded.dict(col_a).code_space();
         let space_b = encoded.dict(col_b).code_space();
-        let mut counts = PairCounts {
+        PairCounts {
             space_a,
             space_b,
-            card_a: encoded.dict(col_a).cardinality(),
-            card_b: encoded.dict(col_b).cardinality(),
+            null_a: encoded.dict(col_a).null_code(),
+            null_b: encoded.dict(col_b).null_code(),
+            rows: 0,
             store: if (space_a as u128) * (space_b as u128) <= DENSE_CELL_CAP {
                 Store::Dense(vec![0u32; space_a * space_b])
             } else {
                 Store::Map(HashMap::new())
             },
-        };
-        let a_codes = encoded.column(col_a);
-        let b_codes = encoded.column(col_b);
-        match &mut counts.store {
+        }
+    }
+
+    /// Count the co-occurrences of columns `col_a` and `col_b` of `encoded`.
+    pub fn from_encoded(encoded: &EncodedDataset, col_a: usize, col_b: usize) -> PairCounts {
+        let mut counts = PairCounts::empty(encoded, col_a, col_b);
+        counts.absorb(encoded, col_a, col_b, 0..encoded.num_rows());
+        counts
+    }
+
+    /// Number of rows absorbed into the table.
+    pub fn rows_absorbed(&self) -> usize {
+        self.rows
+    }
+
+    /// Add the co-occurrences of a row range (typically a freshly appended
+    /// batch) to the table, first resizing it if either column's code space
+    /// grew since the table was built. Absorbing `0..n` into an empty table
+    /// equals [`PairCounts::from_encoded`]; counts are integers, so any
+    /// batch split of the same rows yields the identical table.
+    pub fn absorb(
+        &mut self,
+        encoded: &EncodedDataset,
+        col_a: usize,
+        col_b: usize,
+        rows: std::ops::Range<usize>,
+    ) {
+        self.resize_for(encoded, col_a, col_b);
+        let a_codes = &encoded.column(col_a)[rows.clone()];
+        let b_codes = &encoded.column(col_b)[rows.clone()];
+        let space_b = self.space_b;
+        match &mut self.store {
             Store::Dense(cells) => {
                 for (&a, &b) in a_codes.iter().zip(b_codes) {
                     cells[a as usize * space_b + b as usize] += 1;
@@ -80,7 +114,44 @@ impl PairCounts {
                 }
             }
         }
-        counts
+        self.rows += rows.len();
+    }
+
+    /// Grow the table to the columns' current code spaces (appends only ever
+    /// add codes at the tail, so old cells keep their coordinates).
+    fn resize_for(&mut self, encoded: &EncodedDataset, col_a: usize, col_b: usize) {
+        let space_a = encoded.dict(col_a).code_space();
+        let space_b = encoded.dict(col_b).code_space();
+        debug_assert!(space_a >= self.space_a && space_b >= self.space_b, "code spaces never shrink");
+        if space_a == self.space_a && space_b == self.space_b {
+            return;
+        }
+        self.null_a = encoded.dict(col_a).null_code();
+        self.null_b = encoded.dict(col_b).null_code();
+        if let Store::Dense(cells) = &self.store {
+            self.store = if (space_a as u128) * (space_b as u128) <= DENSE_CELL_CAP {
+                let mut grown = vec![0u32; space_a * space_b];
+                for a in 0..self.space_a {
+                    grown[a * space_b..a * space_b + self.space_b]
+                        .copy_from_slice(&cells[a * self.space_b..(a + 1) * self.space_b]);
+                }
+                Store::Dense(grown)
+            } else {
+                // The grown space no longer fits the dense budget.
+                let mut map = HashMap::new();
+                for a in 0..self.space_a {
+                    for b in 0..self.space_b {
+                        let count = cells[a * self.space_b + b];
+                        if count > 0 {
+                            map.insert((a as u32, b as u32), count);
+                        }
+                    }
+                }
+                Store::Map(map)
+            };
+        }
+        self.space_a = space_a;
+        self.space_b = space_b;
     }
 
     /// The observation count of one code pair.
@@ -98,14 +169,22 @@ impl PairCounts {
     /// Per-`A`-code `(total, majority)` over the *value* codes of column B:
     /// slot `a` holds the number of rows where both columns are non-null and
     /// column A reads code `a`, together with the largest single-`b` count in
-    /// that group.
+    /// that group. Null codes are skipped by position, so the statistic is
+    /// the same whether the null code trails the values (fresh dictionaries)
+    /// or is frozen mid-space (appended ones).
     fn value_row_stats(&self) -> Vec<(u32, u32)> {
-        let mut stats = vec![(0u32, 0u32); self.card_a];
+        let mut stats = vec![(0u32, 0u32); self.space_a];
         match &self.store {
             Store::Dense(cells) => {
                 for (a, slot) in stats.iter_mut().enumerate() {
-                    let row = &cells[a * self.space_b..a * self.space_b + self.card_b];
-                    for &count in row {
+                    if a as u32 == self.null_a {
+                        continue;
+                    }
+                    let row = &cells[a * self.space_b..(a + 1) * self.space_b];
+                    for (b, &count) in row.iter().enumerate() {
+                        if b as u32 == self.null_b {
+                            continue;
+                        }
                         slot.0 += count;
                         slot.1 = slot.1.max(count);
                     }
@@ -113,7 +192,7 @@ impl PairCounts {
             }
             Store::Map(map) => {
                 for (&(a, b), &count) in map {
-                    if (a as usize) < self.card_a && (b as usize) < self.card_b {
+                    if a != self.null_a && b != self.null_b && (a as usize) < self.space_a {
                         let slot = &mut stats[a as usize];
                         slot.0 += count;
                         slot.1 = slot.1.max(count);
@@ -158,15 +237,17 @@ pub fn column_code_counts(encoded: &EncodedDataset, col: usize) -> Vec<u32> {
 
 /// Share of the most frequent non-null value of a column, computed from its
 /// code counts: `max(counts) / Σ counts` over value codes only (0.0 for a
-/// fully-null column).
+/// fully-null column). The null code is skipped by position, so appended
+/// dictionaries (frozen null mid-space) yield the same share.
 pub fn mode_share(encoded: &EncodedDataset, col: usize) -> f64 {
     let counts = column_code_counts(encoded, col);
-    let card = encoded.dict(col).cardinality();
-    let total: u64 = counts[..card].iter().map(|&c| c as u64).sum();
+    let null = encoded.dict(col).null_code() as usize;
+    let values = counts.iter().enumerate().filter(|&(code, _)| code != null);
+    let total: u64 = values.clone().map(|(_, &c)| c as u64).sum();
     if total == 0 {
         0.0
     } else {
-        counts[..card].iter().copied().max().unwrap_or(0) as f64 / total as f64
+        values.map(|(_, &c)| c).max().unwrap_or(0) as f64 / total as f64
     }
 }
 
@@ -280,6 +361,50 @@ mod tests {
         assert_eq!(counts[state.null_code() as usize], 1);
         // Mode share of State: KT appears 4 times among 6 non-null values.
         assert!((mode_share(&encoded, 1) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    /// Absorbing batches (with dictionary growth in between) must yield the
+    /// same table and statistics as a one-shot count of the concatenation.
+    #[test]
+    fn absorbed_batches_match_one_shot_counts() {
+        let first =
+            dataset_from(&["Zip", "State"], &[vec!["35150", "CA"], vec!["35150", "CA"], vec!["", "KT"]]);
+        let batch = dataset_from(
+            &["Zip", "State"],
+            &[vec!["35960", "KT"], vec!["35150", "KT"], vec!["36000", ""], vec!["35960", "KT"]],
+        );
+        let mut encoded = EncodedDataset::from_dataset(&first);
+        let mut streaming = PairCounts::from_encoded(&encoded, 0, 1);
+        let report = encoded.append_batch(&batch);
+        streaming.absorb(&encoded, 0, 1, report.rows);
+        assert_eq!(streaming.rows_absorbed(), 7);
+        let mut combined = first.clone();
+        for row in batch.rows() {
+            combined.push_row(row.to_vec()).unwrap();
+        }
+        // The one-shot table uses sorted dictionaries, the streaming one the
+        // appended layout: compare through values, not raw codes.
+        let oneshot_encoded = EncodedDataset::from_dataset(&combined);
+        let oneshot = PairCounts::from_encoded(&oneshot_encoded, 0, 1);
+        assert_eq!(streaming.fd_confidence().to_bits(), oneshot.fd_confidence().to_bits());
+        assert_eq!(streaming.fd_confidence().to_bits(), value_space_fd_confidence(&combined, 0, 1).to_bits());
+        for probe_a in ["35150", "35960", "36000"] {
+            for probe_b in ["CA", "KT"] {
+                let (a, b) = (Value::parse(probe_a), Value::parse(probe_b));
+                let s =
+                    streaming.count(encoded.dict(0).encode(&a).unwrap(), encoded.dict(1).encode(&b).unwrap());
+                let o = oneshot.count(
+                    oneshot_encoded.dict(0).encode(&a).unwrap(),
+                    oneshot_encoded.dict(1).encode(&b).unwrap(),
+                );
+                assert_eq!(s, o, "pair ({probe_a}, {probe_b})");
+            }
+        }
+        assert_eq!(
+            mode_share(&encoded, 1).to_bits(),
+            mode_share(&oneshot_encoded, 1).to_bits(),
+            "mode share must ignore the frozen null slot"
+        );
     }
 
     #[test]

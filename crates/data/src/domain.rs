@@ -44,24 +44,35 @@ impl AttributeDomain {
     }
 
     /// Build the domain of column `col` from its dictionary encoding: the
-    /// dictionary already holds the distinct values in sorted order, so only
-    /// the per-code counts need tallying — no `Value` hashing. Produces a
-    /// domain equal to [`AttributeDomain::from_column`] on the source dataset.
+    /// dictionary already holds the distinct values and their sorted order,
+    /// so only the per-code counts need tallying — no `Value` hashing.
+    /// Produces a domain equal to [`AttributeDomain::from_column`] on the
+    /// source dataset, for fresh and appended dictionaries alike.
     pub fn from_encoded(encoded: &EncodedDataset, col: usize) -> AttributeDomain {
         let dict = encoded.dict(col);
         let code_counts = column_code_counts(encoded, col);
-        let counts: HashMap<Value, usize> = dict
-            .values()
-            .iter()
-            .enumerate()
-            .map(|(code, value)| (value.clone(), code_counts[code] as usize))
-            .collect();
-        AttributeDomain {
-            values: dict.values().to_vec(),
-            counts,
-            null_count: code_counts[dict.null_code() as usize] as usize,
-            total: encoded.num_rows(),
-        }
+        AttributeDomain::from_dict_counts(dict, &code_counts, encoded.num_rows())
+    }
+
+    /// Build a domain from a dictionary plus its code-indexed observation
+    /// counts (null code included), as maintained by streaming model
+    /// statistics. `total` is the number of observed rows. Values come out
+    /// in sorted order regardless of the dictionary's code layout.
+    pub fn from_dict_counts(
+        dict: &crate::encoded::ColumnDict,
+        code_counts: &[u32],
+        total: usize,
+    ) -> AttributeDomain {
+        let count_of = |code: u32| code_counts.get(code as usize).copied().unwrap_or(0) as usize;
+        let values: Vec<Value> = match dict.code_order() {
+            None => dict.values().to_vec(),
+            Some(order) => order.iter().map(|&code| dict.decode(code).clone()).collect(),
+        };
+        let counts: HashMap<Value, usize> = match dict.code_order() {
+            None => values.iter().cloned().enumerate().map(|(code, v)| (v, count_of(code as u32))).collect(),
+            Some(order) => order.iter().map(|&code| (dict.decode(code).clone(), count_of(code))).collect(),
+        };
+        AttributeDomain { values, counts, null_count: count_of(dict.null_code()), total }
     }
 
     /// Distinct non-null values, sorted.
@@ -138,6 +149,12 @@ impl Domains {
     /// the source dataset.
     pub fn from_encoded(encoded: &EncodedDataset) -> Domains {
         let domains = (0..encoded.num_columns()).map(|c| AttributeDomain::from_encoded(encoded, c)).collect();
+        Domains { domains }
+    }
+
+    /// Assemble from per-attribute domains built elsewhere (e.g. from
+    /// dictionaries plus streaming value counts).
+    pub fn from_parts(domains: Vec<AttributeDomain>) -> Domains {
         Domains { domains }
     }
 
@@ -252,6 +269,29 @@ mod tests {
         let all = Domains::from_encoded(&encoded);
         assert_eq!(all.len(), 2);
         assert_eq!(all.attribute(0), &AttributeDomain::from_column(&data, 0));
+    }
+
+    /// Domains built over appended (streaming) encodings must equal the
+    /// `Value`-space domains of the concatenated data: sorted values, same
+    /// counts, same null count.
+    #[test]
+    fn appended_encoding_domains_equal_value_domains() {
+        let first = ds();
+        let batch =
+            dataset_from(&["City", "State"], &[vec!["auburn", "KT"], vec!["", "AL"], vec!["centre", ""]]);
+        let mut encoded = EncodedDataset::from_dataset(&first);
+        encoded.append_batch(&batch);
+        let mut combined = first.clone();
+        for row in batch.rows() {
+            combined.push_row(row.to_vec()).unwrap();
+        }
+        for col in 0..combined.num_columns() {
+            assert_eq!(
+                AttributeDomain::from_encoded(&encoded, col),
+                AttributeDomain::from_column(&combined, col),
+                "column {col}"
+            );
+        }
     }
 
     #[test]

@@ -33,8 +33,31 @@
 //! assert_eq!(e.column(0), &[1, 0, dict.null_code(), 1]);
 //! assert_eq!(e.decode_cell(3, 0), &Value::text("b"));
 //! ```
+//!
+//! # Appending batches
+//!
+//! Streaming sessions grow an encoding batch by batch through
+//! [`EncodedDataset::append_batch`] **without re-encoding history**: codes
+//! already handed out never change. That relaxes the sorted layout the first
+//! time a column receives a value it has never seen:
+//!
+//! * the null code **freezes** at its current position (the slot one past
+//!   the old values) — a [`Value::Null`] placeholder occupies that slot of
+//!   the decode table so [`ColumnDict::decode`] keeps working unchanged;
+//! * new distinct values get fresh codes at the tail, in order of first
+//!   appearance;
+//! * a code → sorted-rank remap ([`ColumnDict::sort_rank`], with its inverse
+//!   [`ColumnDict::code_order`]) records where each code sits in sorted
+//!   [`Value`] order, so every consumer of the code-order invariant
+//!   (`AttributeDomain`, candidate enumeration, the counting-sort argsort
+//!   feeding structure learning) can keep producing exactly the results it
+//!   would produce over a freshly sorted dictionary.
+//!
+//! Dictionaries that never had to append (`code_order()` returns `None`)
+//! stay in the sorted layout, bit-compatible with the pre-streaming engine.
 
 use std::collections::HashMap;
+use std::ops::Range;
 
 use crate::dataset::Dataset;
 use crate::value::Value;
@@ -44,11 +67,25 @@ const NULL: Value = Value::Null;
 
 /// A per-attribute dictionary assigning dense `u32` codes to the distinct
 /// non-null values of one column, in sorted order (see the module docs for
-/// the code-order invariant).
+/// the code-order invariant). [`ColumnDict::append_values`] grows the
+/// dictionary in place for streaming workloads; appended codes live at the
+/// tail and the sorted order is tracked through a remap instead of the code
+/// order itself (see the module docs).
 #[derive(Debug, Clone, Default)]
 pub struct ColumnDict {
+    /// The decode table: `values[code]` is the value of `code`. Sorted for
+    /// fresh dictionaries; after the first append, position `null_code`
+    /// holds a [`Value::Null`] placeholder and new values sit at the tail.
     values: Vec<Value>,
     index: HashMap<Value, u32>,
+    /// Value codes in sorted `Value` order; `None` while the code order
+    /// itself is sorted (no append ever introduced a new value).
+    sorted_codes: Option<Vec<u32>>,
+    /// Rank of each value code in sorted order (the inverse permutation of
+    /// `sorted_codes`; the null placeholder slot holds an arbitrary rank).
+    ranks: Option<Vec<u32>>,
+    /// The frozen null code once an append occurred; `values.len()` before.
+    frozen_null: Option<u32>,
 }
 
 impl ColumnDict {
@@ -60,7 +97,7 @@ impl ColumnDict {
         distinct.sort();
         distinct.dedup();
         let index = distinct.iter().enumerate().map(|(i, v)| (v.clone(), i as u32)).collect();
-        ColumnDict { values: distinct, index }
+        ColumnDict { values: distinct, index, sorted_codes: None, ranks: None, frozen_null: None }
     }
 
     /// Build the dictionary of column `col` of `dataset`.
@@ -68,31 +105,43 @@ impl ColumnDict {
         ColumnDict::from_values(dataset.rows().map(|row| &row[col]))
     }
 
-    /// The distinct non-null values, in code order (sorted).
+    /// The decode table, in code order. For fresh dictionaries this is the
+    /// distinct non-null values, sorted; after an append it additionally
+    /// carries the [`Value::Null`] placeholder at the frozen null position
+    /// (use [`ColumnDict::code_order`] / [`ColumnDict::is_value_code`] to
+    /// enumerate the real values of an appended dictionary).
     pub fn values(&self) -> &[Value] {
         &self.values
     }
 
     /// Number of distinct non-null values.
     pub fn cardinality(&self) -> usize {
-        self.values.len()
+        self.index.len()
     }
 
-    /// The code reserved for [`Value::Null`]: one past the last value code.
+    /// The code reserved for [`Value::Null`]: one past the last value code
+    /// for fresh dictionaries, frozen in place once the dictionary has been
+    /// appended to (see the module docs).
     pub fn null_code(&self) -> u32 {
-        self.values.len() as u32
+        self.frozen_null.unwrap_or(self.values.len() as u32)
     }
 
-    /// The sentinel code for values outside the dictionary: one past
-    /// [`ColumnDict::null_code`]. Only produced by
-    /// [`ColumnDict::encode_lossy`]; never a decodable code.
+    /// The sentinel code for values outside the dictionary: one past the
+    /// decodable code space. Only produced by [`ColumnDict::encode_lossy`];
+    /// never a decodable code.
     pub fn unseen_code(&self) -> u32 {
-        self.values.len() as u32 + 1
+        self.code_space() as u32
     }
 
     /// Number of *decodable* codes: the values plus the null code.
     pub fn code_space(&self) -> usize {
-        self.values.len() + 1
+        // Fresh layout: values plus the trailing null code. Appended layout:
+        // the decode table already contains the null placeholder.
+        if self.frozen_null.is_some() {
+            self.values.len()
+        } else {
+            self.values.len() + 1
+        }
     }
 
     /// Encode a value. Nulls map to [`ColumnDict::null_code`]; values outside
@@ -113,14 +162,82 @@ impl ColumnDict {
     }
 
     /// Decode a code back to its value. The null code (and, defensively, any
-    /// out-of-range code) decodes to [`Value::Null`].
+    /// out-of-range code) decodes to [`Value::Null`] — for appended
+    /// dictionaries the frozen null slot holds a `Null` placeholder, so the
+    /// same table lookup covers both layouts.
     pub fn decode(&self, code: u32) -> &Value {
         self.values.get(code as usize).unwrap_or(&NULL)
     }
 
     /// Does this code denote a concrete (non-null, in-dictionary) value?
     pub fn is_value_code(&self, code: u32) -> bool {
-        (code as usize) < self.values.len()
+        (code as usize) < self.values.len() && Some(code) != self.frozen_null
+    }
+
+    /// Grow the dictionary with the distinct non-null values of a new batch
+    /// that are not yet in it, assigning fresh codes at the tail (first
+    /// appearance order) without disturbing any existing code. The first
+    /// time this actually adds a value, the null code freezes at its current
+    /// position (a `Null` placeholder takes that decode slot) and the
+    /// code → sorted-rank remap starts tracking the sorted order. Returns
+    /// the number of codes added.
+    pub fn append_values<'a>(&mut self, values: impl IntoIterator<Item = &'a Value>) -> usize {
+        let mut fresh: Vec<&Value> = Vec::new();
+        let mut seen: std::collections::HashSet<&Value> = std::collections::HashSet::new();
+        for value in values {
+            if !value.is_null() && !self.index.contains_key(value) && seen.insert(value) {
+                fresh.push(value);
+            }
+        }
+        if fresh.is_empty() {
+            return 0;
+        }
+        if self.frozen_null.is_none() {
+            // Freeze the null code where it currently lives and let the
+            // placeholder keep `decode` a plain table lookup.
+            self.frozen_null = Some(self.values.len() as u32);
+            self.values.push(Value::Null);
+        }
+        for value in &fresh {
+            let code = self.values.len() as u32;
+            self.values.push((*value).clone());
+            self.index.insert((*value).clone(), code);
+        }
+        self.rebuild_order();
+        fresh.len()
+    }
+
+    /// Recompute the sorted-order remap after an append.
+    fn rebuild_order(&mut self) {
+        let null = self.frozen_null.expect("order remaps only exist for appended dictionaries");
+        let mut sorted: Vec<u32> = (0..self.values.len() as u32).filter(|&code| code != null).collect();
+        sorted.sort_by(|&a, &b| self.values[a as usize].cmp(&self.values[b as usize]));
+        let mut ranks = vec![0u32; self.values.len()];
+        for (rank, &code) in sorted.iter().enumerate() {
+            ranks[code as usize] = rank as u32;
+        }
+        self.sorted_codes = Some(sorted);
+        self.ranks = Some(ranks);
+    }
+
+    /// The value codes in sorted [`Value`] order, or `None` when the code
+    /// order itself is sorted (fresh dictionaries: iterate `0..cardinality`).
+    pub fn code_order(&self) -> Option<&[u32]> {
+        self.sorted_codes.as_deref()
+    }
+
+    /// Rank of a value code in sorted [`Value`] order. For fresh
+    /// dictionaries this is the code itself; the null code and any
+    /// out-of-range code rank after every value.
+    #[inline]
+    pub fn sort_rank(&self, code: u32) -> u32 {
+        if !self.is_value_code(code) {
+            return self.cardinality() as u32;
+        }
+        match &self.ranks {
+            Some(ranks) => ranks[code as usize],
+            None => code,
+        }
     }
 }
 
@@ -211,16 +328,56 @@ impl EncodedDataset {
         self.dicts[col].decode(self.columns[col][row])
     }
 
+    /// Append a batch of rows, growing the dictionaries in place: values the
+    /// encoding has never seen get fresh tail codes through
+    /// [`ColumnDict::append_values`] (no historical code changes — see the
+    /// module docs). Appending to an **empty** encoding builds the fresh
+    /// sorted layout, exactly as [`EncodedDataset::from_dataset`] would, so
+    /// a session fed its whole dataset as one batch is indistinguishable
+    /// from a one-shot encoding. Returns the report streaming consumers use
+    /// to absorb the delta (row range plus per-column code-space growth).
+    pub fn append_batch(&mut self, batch: &Dataset) -> BatchAppend {
+        assert_eq!(
+            batch.num_columns(),
+            self.dicts.len(),
+            "appended batch must have the encoding's column count"
+        );
+        let old_spaces: Vec<usize> = self.dicts.iter().map(|d| d.code_space()).collect();
+        if self.num_rows == 0 {
+            *self = EncodedDataset::from_dataset(batch);
+            return BatchAppend {
+                rows: 0..self.num_rows,
+                grew: (0..self.dicts.len()).map(|c| self.dicts[c].code_space() != old_spaces[c]).collect(),
+            };
+        }
+        for (col, dict) in self.dicts.iter_mut().enumerate() {
+            dict.append_values(batch.rows().map(|row| &row[col]));
+        }
+        let start = self.num_rows;
+        for row in batch.rows() {
+            for (col, value) in row.iter().enumerate() {
+                let code = self.dicts[col].encode(value).expect("batch value was appended to the dictionary");
+                self.columns[col].push(code);
+            }
+        }
+        self.num_rows += batch.num_rows();
+        BatchAppend {
+            rows: start..self.num_rows,
+            grew: (0..self.dicts.len()).map(|c| self.dicts[c].code_space() != old_spaces[c]).collect(),
+        }
+    }
+
     /// Row indices sorted by the values of one column — the code-space twin
     /// of `Dataset::argsort_by_column`, producing the **identical**
     /// permutation: a stable counting sort over codes remapped so that the
-    /// null code (numerically the largest) sorts first, matching
-    /// `Value::Null < any value` in the `Value` order. Runs in
-    /// `O(rows + cardinality)` with no `Value` comparisons.
+    /// null code sorts first (matching `Value::Null < any value`) and value
+    /// codes sort by their sorted rank (the rank *is* the code for fresh
+    /// dictionaries). Runs in `O(rows + cardinality)` with no `Value`
+    /// comparisons, appended dictionaries included.
     pub fn argsort_by_column(&self, col: usize) -> Vec<usize> {
         let dict = &self.dicts[col];
         let null_code = dict.null_code();
-        // Sort key: null first, then the value codes in their (sorted) order.
+        // Sort key: null first, then the value codes in their sorted order.
         // Unseen codes cannot occur in a dataset encoded against its own
         // dictionaries, but clamp them after everything else defensively.
         let space = dict.code_space() + 1;
@@ -228,7 +385,7 @@ impl EncodedDataset {
             if code == null_code {
                 0usize
             } else {
-                (code as usize + 1).min(space - 1)
+                (dict.sort_rank(code) as usize + 1).min(space - 1)
             }
         };
         let codes = &self.columns[col];
@@ -253,6 +410,25 @@ impl EncodedDataset {
     /// encoding without the per-cell codes.
     pub fn into_dicts(self) -> Vec<ColumnDict> {
         self.dicts
+    }
+}
+
+/// What [`EncodedDataset::append_batch`] changed: the global row range the
+/// batch now occupies and, per column, whether the decodable code space grew
+/// (i.e. the batch introduced values that column had never seen — the signal
+/// for code-indexed tables to resize before absorbing the rows).
+#[derive(Debug, Clone)]
+pub struct BatchAppend {
+    /// Global row indices of the appended batch.
+    pub rows: Range<usize>,
+    /// `grew[col]`: did column `col`'s code space grow?
+    pub grew: Vec<bool>,
+}
+
+impl BatchAppend {
+    /// Did any column's code space grow?
+    pub fn any_growth(&self) -> bool {
+        self.grew.iter().any(|&g| g)
     }
 }
 
@@ -342,6 +518,100 @@ mod tests {
         assert_eq!(encoded.dict(0).null_code(), 0);
         assert_eq!(encoded.rows().count(), 0);
         assert!(encoded.argsort_by_column(0).is_empty());
+    }
+
+    /// Appending a batch must keep every historical code (including nulls)
+    /// decoding to the same value, give fresh tail codes to new values, and
+    /// track the sorted order through the remap.
+    #[test]
+    fn append_batch_preserves_history_and_tracks_order() {
+        let ds = sample();
+        let mut encoded = EncodedDataset::from_dataset(&ds);
+        let old_codes: Vec<Vec<u32>> = (0..2).map(|c| encoded.column(c).to_vec()).collect();
+        let old_null = encoded.dict(0).null_code();
+        let batch = dataset_from(
+            &["City", "Zip"],
+            &[vec!["auburn", "35150"], vec!["", "36000"], vec!["sylacauga", ""]],
+        );
+        let report = encoded.append_batch(&batch);
+        assert_eq!(report.rows, 4..7);
+        assert_eq!(report.grew, vec![true, true]);
+        assert!(report.any_growth());
+        // History untouched.
+        for c in 0..2 {
+            assert_eq!(&encoded.column(c)[..4], old_codes[c].as_slice());
+        }
+        for (r, row) in ds.rows().enumerate() {
+            for (c, value) in row.iter().enumerate() {
+                assert_eq!(encoded.decode_cell(r, c), value);
+            }
+        }
+        // New rows decode to the batch values.
+        for (r, row) in batch.rows().enumerate() {
+            for (c, value) in row.iter().enumerate() {
+                assert_eq!(encoded.decode_cell(4 + r, c), value, "batch cell ({r}, {c})");
+            }
+        }
+        let dict = encoded.dict(0);
+        // Null code froze at the old position; cardinality counts real values.
+        assert_eq!(dict.null_code(), old_null);
+        assert_eq!(dict.cardinality(), 3);
+        assert_eq!(dict.code_space(), 4);
+        assert_eq!(dict.unseen_code(), 4);
+        assert!(!dict.is_value_code(dict.null_code()));
+        assert_eq!(dict.decode(dict.null_code()), &Value::Null);
+        assert_eq!(dict.encode(&Value::Null), Some(old_null));
+        // "auburn" got the tail code but ranks first in sorted order.
+        let auburn = dict.encode(&Value::text("auburn")).unwrap();
+        assert_eq!(auburn, 3);
+        assert_eq!(dict.sort_rank(auburn), 0);
+        let order = dict.code_order().unwrap();
+        assert_eq!(order.len(), 3);
+        let sorted: Vec<&Value> = order.iter().map(|&c| dict.decode(c)).collect();
+        assert_eq!(sorted, vec![&Value::text("auburn"), &Value::text("centre"), &Value::text("sylacauga")]);
+        for (rank, &code) in order.iter().enumerate() {
+            assert_eq!(dict.sort_rank(code) as usize, rank);
+        }
+        // Appending values already in the dictionary changes nothing.
+        let again = encoded.append_batch(&dataset_from(&["City", "Zip"], &[vec!["centre", "35960"]]));
+        assert_eq!(again.grew, vec![false, false]);
+        assert_eq!(encoded.dict(0).cardinality(), 3);
+    }
+
+    /// Appending the whole dataset to an empty encoding must produce the
+    /// exact fresh sorted layout `from_dataset` builds.
+    #[test]
+    fn append_to_empty_builds_sorted_layout() {
+        let ds = sample();
+        let mut streamed = EncodedDataset::from_dataset(&Dataset::new(
+            crate::schema::Schema::from_names(&["City", "Zip"]).unwrap(),
+        ));
+        streamed.append_batch(&ds);
+        let oneshot = EncodedDataset::from_dataset(&ds);
+        for c in 0..2 {
+            assert_eq!(streamed.column(c), oneshot.column(c));
+            assert_eq!(streamed.dict(c).values(), oneshot.dict(c).values());
+            assert!(streamed.dict(c).code_order().is_none());
+            assert_eq!(streamed.dict(c).null_code(), oneshot.dict(c).null_code());
+        }
+    }
+
+    /// The appended-layout argsort must still reproduce the `Value` argsort
+    /// of the concatenated dataset.
+    #[test]
+    fn argsort_matches_after_appends() {
+        let first = dataset_from(&["v"], &[vec!["m"], vec![""], vec!["x"]]);
+        let mut encoded = EncodedDataset::from_dataset(&first);
+        let mut combined = first.clone();
+        for batch_rows in [vec!["a"], vec!["", "t", "m"], vec!["z", "b"]] {
+            let rows: Vec<Vec<&str>> = batch_rows.iter().map(|v| vec![*v]).collect();
+            let batch = dataset_from(&["v"], &rows);
+            encoded.append_batch(&batch);
+            for row in batch.rows() {
+                combined.push_row(row.to_vec()).unwrap();
+            }
+            assert_eq!(encoded.argsort_by_column(0), combined.argsort_by_column(0).unwrap());
+        }
     }
 
     /// The counting-sort argsort must reproduce `Dataset::argsort_by_column`

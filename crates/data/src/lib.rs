@@ -41,7 +41,7 @@ pub use csv::{parse_csv, read_csv_file, to_csv, write_csv_file};
 pub use dataset::{dataset_from, dataset_with_attrs, CellRef, Dataset};
 pub use diff::{diff, error_cells, noise_rate, CellChange};
 pub use domain::{AttributeDomain, Domains};
-pub use encoded::{ColumnDict, EncodedDataset};
+pub use encoded::{BatchAppend, ColumnDict, EncodedDataset};
 pub use error::{DataError, DataResult};
 pub use schema::{AttrType, Attribute, Schema};
 pub use value::{format_number, Value};

@@ -74,6 +74,19 @@ impl Matrix {
         m
     }
 
+    /// Build from a flat row-major buffer (`data.len()` must be
+    /// `rows × cols`). The allocation-free twin of [`Matrix::from_rows`]
+    /// for hot paths that assemble their samples directly.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> LinalgResult<Matrix> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::InvalidInput("empty matrix".into()));
+        }
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidInput("flat buffer does not match the shape".into()));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
     /// Build from nested rows. All rows must have equal length.
     pub fn from_rows(rows: &[Vec<f64>]) -> LinalgResult<Matrix> {
         if rows.is_empty() {

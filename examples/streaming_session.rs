@@ -1,0 +1,58 @@
+//! Streaming cleaning: feed batches into a long-lived [`CleaningSession`]
+//! instead of one-shot `fit` + `clean`.
+//!
+//! Run with: `cargo run --example streaming_session`
+
+use bclean::eval::bclean_constraints;
+use bclean::prelude::*;
+
+fn main() {
+    // A generated Hospital benchmark (dirty + ground truth), arriving in
+    // batches of 64 rows as if read off a queue.
+    let bench = BenchmarkDataset::Hospital.build_sized(512, 7);
+    let constraints = bclean_constraints(BenchmarkDataset::Hospital);
+    let cleaner = BClean::new(Variant::PartitionedInference.config()).with_constraints(constraints);
+
+    // Refit the model every 2 batches; batches in between are cleaned
+    // against the latest compiled model while their statistics accumulate.
+    let mut session = CleaningSession::new(cleaner, bench.dirty.schema().clone()).with_refit_every(2);
+
+    let batch_rows = 64usize;
+    let mut start = 0usize;
+    while start < bench.dirty.num_rows() {
+        let end = (start + batch_rows).min(bench.dirty.num_rows());
+        let mut batch = Dataset::new(bench.dirty.schema().clone());
+        for r in start..end {
+            batch.push_row(bench.dirty.row(r).unwrap().to_vec()).unwrap();
+        }
+        // Provisional repairs for this batch, judged by the current model.
+        let repairs = session.ingest(&batch);
+        println!("rows {start:>4}..{end:<4} -> {:>3} provisional repairs", repairs.len());
+        start = end;
+    }
+
+    // The authoritative pass: force a final refit and reclean everything
+    // against the model that has seen all the data. With a
+    // refit-after-every-batch cadence this equals one-shot fit + clean.
+    let result = session.finalize();
+    let stats = session.stats();
+    println!(
+        "\nfinal: {} repairs over {} rows ({} batches, {} refits)",
+        result.repairs.len(),
+        session.num_rows(),
+        stats.batches,
+        stats.refits
+    );
+    println!(
+        "time split: absorb {:.1}ms, refit {:.1}ms, clean {:.1}ms",
+        stats.absorb_seconds * 1e3,
+        stats.refit_seconds * 1e3,
+        stats.clean_seconds * 1e3
+    );
+
+    let metrics = bclean::eval::evaluate(&bench.dirty, &result.cleaned, &bench.clean).unwrap();
+    println!(
+        "quality vs ground truth: P {:.3} / R {:.3} / F1 {:.3}",
+        metrics.precision, metrics.recall, metrics.f1
+    );
+}

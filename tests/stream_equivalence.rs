@@ -1,0 +1,200 @@
+//! Equivalence guard for the streaming engine: a [`CleaningSession`] that
+//! refits after every batch must end up in exactly the state a one-shot
+//! `BClean::fit` + `BCleanModel::clean` on the concatenated batches reaches —
+//! identical learned structures, bit-identical CPTs (compared through their
+//! probability APIs), identical domains and FD-confidence matrices, and
+//! byte-identical repairs from [`CleaningSession::finalize`] — for every
+//! paper variant and for 1, 2 and 8 worker threads, even though the
+//! session's dictionaries carry appended (unsorted) code layouts. A property
+//! test repeats the repair-level check across every datagen benchmark family
+//! under random batch splits, including single-row batches, one whole-dataset
+//! batch, and batches that introduce values and nulls the session has never
+//! seen.
+
+use bclean::core::CleaningSession;
+use bclean::data::AttributeDomain;
+use bclean::eval::bclean_constraints;
+use bclean::prelude::*;
+use proptest::prelude::*;
+
+const ROWS: usize = 160;
+const SEED: u64 = 20240817;
+
+/// Split `dataset` into consecutive batches of the given sizes (the last
+/// batch takes any remainder).
+fn split(dataset: &Dataset, sizes: &[usize]) -> Vec<Dataset> {
+    let mut batches = Vec::new();
+    let mut start = 0usize;
+    for (i, &size) in sizes.iter().enumerate() {
+        let end =
+            if i + 1 == sizes.len() { dataset.num_rows() } else { (start + size).min(dataset.num_rows()) };
+        let mut batch = Dataset::new(dataset.schema().clone());
+        for r in start..end {
+            batch.push_row(dataset.row(r).unwrap().to_vec()).unwrap();
+        }
+        batches.push(batch);
+        start = end;
+        if start >= dataset.num_rows() {
+            break;
+        }
+    }
+    batches
+}
+
+#[test]
+fn session_matches_one_shot_for_every_variant_and_thread_count() {
+    let bench = BenchmarkDataset::Hospital.build_sized(ROWS, SEED);
+    let constraints = bclean_constraints(BenchmarkDataset::Hospital);
+    let m = bench.dirty.num_columns();
+    let mut total_repairs = 0usize;
+    for variant in Variant::all() {
+        let oneshot_model = BClean::new(variant.config().with_threads(1))
+            .with_constraints(constraints.clone())
+            .fit(&bench.dirty);
+        let oneshot = oneshot_model.clean(&bench.dirty);
+        total_repairs += oneshot.repairs.len();
+        for threads in [1usize, 2, 8] {
+            let cleaner =
+                BClean::new(variant.config().with_threads(threads)).with_constraints(constraints.clone());
+            let mut session = CleaningSession::new(cleaner, bench.dirty.schema().clone());
+            // Uneven batches, including a single-row one, so later batches
+            // bring values (and nulls) the session has never seen.
+            let mut streamed = 0usize;
+            for batch in split(&bench.dirty, &[1, 40, 7, 64, 100]) {
+                streamed += session.ingest(&batch).len();
+            }
+            assert_eq!(session.num_rows(), bench.dirty.num_rows());
+            let result = session.finalize();
+            let model = session.model().expect("data was ingested");
+
+            // Identical structures.
+            assert_eq!(
+                model.network().dag().edges(),
+                oneshot_model.network().dag().edges(),
+                "structure diverged: variant {variant:?} threads {threads}"
+            );
+            assert_eq!(model.network().attribute_names(), oneshot_model.network().attribute_names());
+            assert_eq!(model.network().num_parameters(), oneshot_model.network().num_parameters());
+
+            // Identical domains, despite the appended dictionary layout.
+            for col in 0..m {
+                assert_eq!(
+                    model.domains().attribute(col),
+                    &AttributeDomain::from_column(&bench.dirty, col),
+                    "domain diverged: column {col}"
+                );
+            }
+
+            // Bit-identical CPTs through the probability API: every domain
+            // value (plus null) of every column against every observed
+            // parent context.
+            for (r, row) in bench.dirty.rows().enumerate() {
+                for col in 0..m {
+                    let mut probes: Vec<Value> = model.domains().attribute(col).values().to_vec();
+                    probes.push(Value::Null);
+                    for value in &probes {
+                        assert_eq!(
+                            model.network().cpt(col).prob_given_row(value, row).to_bits(),
+                            oneshot_model.network().cpt(col).prob_given_row(value, row).to_bits(),
+                            "CPT diverged: variant {variant:?} row {r} col {col} value {value}"
+                        );
+                        assert_eq!(
+                            model.network().cpt(col).marginal_prob(value).to_bits(),
+                            oneshot_model.network().cpt(col).marginal_prob(value).to_bits()
+                        );
+                    }
+                }
+            }
+
+            // Byte-identical authoritative repairs and counters.
+            assert_eq!(
+                result.repairs, oneshot.repairs,
+                "repairs diverged: variant {variant:?} threads {threads}"
+            );
+            assert_eq!(result.cleaned, oneshot.cleaned);
+            assert_eq!(result.stats.cells_examined, oneshot.stats.cells_examined);
+            assert_eq!(result.stats.cells_skipped, oneshot.stats.cells_skipped);
+            assert_eq!(result.stats.candidates_evaluated, oneshot.stats.candidates_evaluated);
+
+            // The per-ingest streams are provisional but must have flowed.
+            assert!(streamed > 0 || oneshot.repairs.is_empty(), "no streaming repairs were emitted");
+            let stats = session.stats();
+            assert_eq!(stats.rows, bench.dirty.num_rows());
+            assert!(stats.refits >= stats.batches, "refit-every-batch cadence must refit per batch");
+        }
+    }
+    assert!(total_repairs > 0, "the fixture must exercise actual repairs");
+}
+
+/// Ingesting the whole dataset as one batch cleans it against the fully
+/// fitted model, so even the *streaming* repairs match one-shot cleaning.
+#[test]
+fn whole_dataset_batch_streams_one_shot_repairs() {
+    let bench = BenchmarkDataset::Hospital.build_sized(120, SEED + 1);
+    let constraints = bclean_constraints(BenchmarkDataset::Hospital);
+    let cleaner =
+        BClean::new(Variant::PartitionedInference.config().with_threads(2)).with_constraints(constraints);
+    let oneshot = cleaner.fit(&bench.dirty).clean(&bench.dirty);
+    let mut session = CleaningSession::new(cleaner, bench.dirty.schema().clone());
+    let streamed = session.ingest(&bench.dirty);
+    assert_eq!(streamed, oneshot.repairs);
+    assert_eq!(session.finalize().repairs, oneshot.repairs);
+}
+
+/// Empty batches are harmless no-ops at any point of the stream.
+#[test]
+fn empty_batches_are_noops() {
+    let bench = BenchmarkDataset::Hospital.build_sized(60, SEED + 2);
+    let constraints = bclean_constraints(BenchmarkDataset::Hospital);
+    let cleaner = BClean::new(Variant::Basic.config().with_threads(1)).with_constraints(constraints.clone());
+    let empty = Dataset::new(bench.dirty.schema().clone());
+    let mut session = CleaningSession::new(cleaner.clone(), bench.dirty.schema().clone());
+    assert!(session.ingest(&empty).is_empty());
+    assert!(session.model().is_none());
+    assert!(session.finalize().repairs.is_empty());
+    session.ingest(&bench.dirty);
+    assert!(session.ingest(&empty).is_empty());
+    let oneshot = cleaner.fit(&bench.dirty).clean(&bench.dirty);
+    assert_eq!(session.finalize().repairs, oneshot.repairs);
+}
+
+fn benchmark_strategy() -> impl Strategy<Value = (BenchmarkDataset, usize, u64, Vec<usize>)> {
+    (
+        0usize..BenchmarkDataset::all().len(),
+        30usize..90,
+        0u64..1_000_000,
+        proptest::collection::vec(1usize..40, 1..6),
+    )
+        .prop_map(|(idx, rows, seed, sizes)| (BenchmarkDataset::all()[idx], rows, seed, sizes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Across every datagen benchmark family, random sizes, seeds and batch
+    /// splits (single-row batches included; any tail rows land in the last
+    /// batch), a refit-every-batch session must finalize to the one-shot
+    /// repairs.
+    #[test]
+    fn random_batch_splits_agree_with_one_shot(
+        (dataset, rows, seed, sizes) in benchmark_strategy()
+    ) {
+        let bench = dataset.build_sized(rows, seed);
+        let constraints = bclean_constraints(dataset);
+        let cleaner = BClean::new(Variant::PartitionedInference.config().with_threads(2))
+            .with_constraints(constraints);
+        let oneshot_model = cleaner.fit(&bench.dirty);
+        let oneshot = oneshot_model.clean(&bench.dirty);
+        let mut session = CleaningSession::new(cleaner, bench.dirty.schema().clone());
+        for batch in split(&bench.dirty, &sizes) {
+            session.ingest(&batch);
+        }
+        let result = session.finalize();
+        prop_assert_eq!(
+            session.model().unwrap().network().dag().edges(),
+            oneshot_model.network().dag().edges()
+        );
+        prop_assert_eq!(&result.repairs, &oneshot.repairs);
+        prop_assert_eq!(&result.cleaned, &oneshot.cleaned);
+    }
+}
