@@ -327,6 +327,14 @@ impl NodeCounts {
 /// the counting and compiled layers so their layout decisions agree).
 pub(crate) fn config_space(parents: &[usize], dicts: &[ColumnDict]) -> (Vec<u32>, Vec<u128>, u128, bool) {
     let radices: Vec<u32> = parents.iter().map(|&p| dicts[p].code_space() as u32).collect();
+    let (strides, total_configs, overflow) = config_space_from_radices(&radices);
+    (radices, strides, total_configs, overflow)
+}
+
+/// The stride/total/overflow half of [`config_space`], from bare radices —
+/// shared with snapshot restoration, which has the persisted radices but no
+/// dictionaries yet.
+pub(crate) fn config_space_from_radices(radices: &[u32]) -> (Vec<u128>, u128, bool) {
     let mut strides = vec![0u128; radices.len()];
     let mut total_configs: u128 = 1;
     let mut overflow = false;
@@ -340,7 +348,134 @@ pub(crate) fn config_space(parents: &[usize], dicts: &[ColumnDict]) -> (Vec<u32>
             }
         }
     }
-    (radices, strides, total_configs, overflow)
+    (strides, total_configs, overflow)
+}
+
+/// Plain-data snapshot of one node's sufficient statistics — the persistent
+/// form of [`NodeCounts`]. Only *observed* parent configurations are
+/// carried (sorted by mixed-radix index, so equal statistics always
+/// snapshot to equal bytes); strides and the dense/sparse layout decision
+/// are derived state, recomputed on restore through the same shared
+/// criterion the accumulators use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountsSnapshot {
+    /// The node (column) these statistics describe.
+    pub node: usize,
+    /// The node's parent set, as counted.
+    pub parents: Vec<usize>,
+    /// Parent code spaces at snapshot time (`cardinality + 1` each).
+    pub radices: Vec<u32>,
+    /// The node's code space at snapshot time.
+    pub value_slots: usize,
+    /// Marginal value counts, indexed by node code.
+    pub marginal: Vec<u32>,
+    /// Rows absorbed.
+    pub total: usize,
+    /// Observed parent configurations: `(mixed-radix index, per-value
+    /// counts, total)`, sorted by index.
+    pub configs: Vec<(u128, Vec<u32>, u32)>,
+}
+
+impl NodeCounts {
+    /// Export the statistics as their plain-data persistent form.
+    pub fn snapshot(&self) -> CountsSnapshot {
+        let mut configs: Vec<(u128, Vec<u32>, u32)> = match &self.layout {
+            CountLayout::Dense { counts, totals } => totals
+                .iter()
+                .enumerate()
+                .filter(|(_, &total)| total > 0)
+                .map(|(config, &total)| {
+                    (
+                        config as u128,
+                        counts[config * self.value_slots..(config + 1) * self.value_slots].to_vec(),
+                        total,
+                    )
+                })
+                .collect(),
+            CountLayout::Sparse(map) => {
+                map.iter().map(|(&index, (row, total))| (index, row.clone(), *total)).collect()
+            }
+        };
+        configs.sort_by_key(|&(index, _, _)| index);
+        CountsSnapshot {
+            node: self.node,
+            parents: self.parents.clone(),
+            radices: self.radices.clone(),
+            value_slots: self.value_slots,
+            marginal: self.marginal.clone(),
+            total: self.total,
+            configs,
+        }
+    }
+
+    /// Rebuild statistics from a snapshot, recomputing the derived state
+    /// (strides, dense/sparse layout) through the shared criterion so the
+    /// result is field-for-field identical to the accumulator that produced
+    /// the snapshot. Errors describe the first inconsistency (the store
+    /// layer maps them to its typed corruption error).
+    pub fn from_snapshot(snapshot: CountsSnapshot) -> Result<NodeCounts, String> {
+        let CountsSnapshot { node, parents, radices, value_slots, marginal, total, configs } = snapshot;
+        if parents.len() != radices.len() {
+            return Err(format!("{} parents but {} radices", parents.len(), radices.len()));
+        }
+        if marginal.len() != value_slots {
+            return Err(format!("marginal of {} slots, expected {}", marginal.len(), value_slots));
+        }
+        if marginal.iter().map(|&c| c as u64).sum::<u64>() != total as u64 {
+            return Err("marginal counts do not sum to the absorbed row count".to_string());
+        }
+        let (strides, total_configs, overflow) = config_space_from_radices(&radices);
+        let dense = !overflow
+            && total_configs.saturating_mul(value_slots as u128 + 1) <= crate::compiled::DENSE_CELL_CAP;
+        let layout = if parents.is_empty() {
+            if !configs.is_empty() {
+                return Err("parentless node carries parent configurations".to_string());
+            }
+            CountLayout::Dense { counts: Vec::new(), totals: Vec::new() }
+        } else {
+            if !configs.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err("configurations must be sorted by index and distinct".to_string());
+            }
+            let mut config_total = 0u64;
+            for &(index, ref row, config_count) in &configs {
+                if !overflow && index >= total_configs {
+                    return Err(format!("configuration index {index} outside space {total_configs}"));
+                }
+                if row.len() != value_slots {
+                    return Err(format!("configuration row of {} slots, expected {value_slots}", row.len()));
+                }
+                if row.iter().map(|&c| c as u64).sum::<u64>() != config_count as u64 {
+                    return Err("configuration counts do not sum to the configuration total".to_string());
+                }
+                if config_count == 0 {
+                    return Err("snapshot carries an unobserved configuration".to_string());
+                }
+                config_total += config_count as u64;
+            }
+            if config_total != total as u64 {
+                return Err("configuration totals do not sum to the absorbed row count".to_string());
+            }
+            if dense {
+                let num_configs = total_configs as usize;
+                let mut counts = vec![0u32; num_configs * value_slots];
+                let mut totals = vec![0u32; num_configs];
+                for (index, row, config_count) in configs {
+                    let config = index as usize;
+                    counts[config * value_slots..(config + 1) * value_slots].copy_from_slice(&row);
+                    totals[config] = config_count;
+                }
+                CountLayout::Dense { counts, totals }
+            } else {
+                CountLayout::Sparse(
+                    configs
+                        .into_iter()
+                        .map(|(index, row, config_count)| (index, (row, config_count)))
+                        .collect(),
+                )
+            }
+        };
+        Ok(NodeCounts { node, parents, radices, strides, value_slots, marginal, total, dense, layout })
+    }
 }
 
 /// Learn the network parameters of `dag` in code space: one
@@ -573,6 +708,78 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Snapshot → restore must be field-for-field lossless for dense,
+    /// sparse and parentless layouts, and the restored statistics must
+    /// produce bit-identical compiled tables.
+    #[test]
+    fn snapshot_round_trip_is_lossless() {
+        let data = fixture();
+        let encoded = EncodedDataset::from_dataset(&data);
+        for (node, parents) in [(1usize, vec![0usize]), (0, vec![]), (2, vec![0, 1])] {
+            let counts = NodeCounts::accumulate(&encoded, node, &parents);
+            let restored = NodeCounts::from_snapshot(counts.snapshot()).unwrap();
+            assert_eq!(restored.node(), counts.node());
+            assert_eq!(restored.parents(), counts.parents());
+            assert_eq!(restored.rows_absorbed(), counts.rows_absorbed());
+            assert_eq!(restored.dense, counts.dense);
+            assert_eq!(restored.snapshot(), counts.snapshot());
+            let original = CompiledCpt::from_counts(&counts, 0.1);
+            let rebuilt = CompiledCpt::from_counts(&restored, 0.1);
+            for r in 0..data.num_rows() {
+                let codes = encoded.row_codes(r);
+                for code in 0..=encoded.dict(node).unseen_code() {
+                    assert_eq!(
+                        original.log_prob_plain(&codes, code).to_bits(),
+                        rebuilt.log_prob_plain(&codes, code).to_bits()
+                    );
+                }
+            }
+        }
+        // The sparse layout round-trips too.
+        let rows: Vec<Vec<String>> = (0..600)
+            .map(|i| vec![format!("k{i:03}"), format!("b{i:03}"), if i % 2 == 0 { "x" } else { "y" }.into()])
+            .collect();
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+        let big = dataset_from(&["a", "b", "c"], &refs);
+        let encoded = EncodedDataset::from_dataset(&big);
+        let counts = NodeCounts::accumulate(&encoded, 2, &[0, 1]);
+        assert!(!counts.dense);
+        let restored = NodeCounts::from_snapshot(counts.snapshot()).unwrap();
+        assert!(!restored.dense);
+        assert_eq!(restored.snapshot(), counts.snapshot());
+    }
+
+    /// Inconsistent snapshots must be rejected with a message, not a panic.
+    #[test]
+    fn inconsistent_snapshots_are_rejected() {
+        let data = fixture();
+        let encoded = EncodedDataset::from_dataset(&data);
+        let good = NodeCounts::accumulate(&encoded, 1, &[0]).snapshot();
+        let mutations: Vec<(&str, Box<dyn Fn(&mut CountsSnapshot)>)> = vec![
+            ("radices arity", Box::new(|s| s.radices.push(3))),
+            ("marginal width", Box::new(|s| s.marginal.push(0))),
+            ("marginal sum", Box::new(|s| s.marginal[0] += 1)),
+            ("row width", Box::new(|s| s.configs[0].1.push(0))),
+            ("row sum", Box::new(|s| s.configs[0].1[0] += 1)),
+            ("config order", Box::new(|s| s.configs.reverse())),
+            ("index range", Box::new(|s| s.configs.last_mut().unwrap().0 = u128::MAX / 2)),
+            (
+                "zero config",
+                Box::new(|s| {
+                    s.configs[0].2 = 0;
+                    s.configs[0].1.iter_mut().for_each(|c| *c = 0);
+                }),
+            ),
+            ("parentless with configs", Box::new(|s| s.parents.clear())),
+        ];
+        for (what, mutate) in mutations {
+            let mut bad = good.clone();
+            mutate(&mut bad);
+            assert!(NodeCounts::from_snapshot(bad).is_err(), "mutation `{what}` must be rejected");
+        }
+        assert!(NodeCounts::from_snapshot(good).is_ok());
     }
 
     /// A no-growth absorb must leave the layout untouched and just add rows.

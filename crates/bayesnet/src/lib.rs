@@ -39,7 +39,7 @@ pub mod sim;
 pub mod structure;
 
 pub use compiled::{CompiledCpt, CompiledNetwork};
-pub use counts::{learn_models, NodeCounts};
+pub use counts::{learn_models, CountsSnapshot, NodeCounts};
 pub use cpt::Cpt;
 pub use edit::{EditError, NetworkEdit, NetworkEditor};
 pub use graph::{Dag, GraphError};

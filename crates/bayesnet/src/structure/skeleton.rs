@@ -115,7 +115,7 @@ pub fn learn_structure(dataset: &Dataset, config: StructureConfig) -> LearnedStr
 
 /// Code-space [`learn_structure`]: the identical pipeline over a
 /// dictionary-encoded dataset. Sampling runs through the memoised
-/// [`similarity_samples_encoded`], the cardinality ordering reads the
+/// [`similarity_samples_encoded`](crate::similarity_samples_encoded), the cardinality ordering reads the
 /// dictionaries directly, and the low-lift edge pruning replaces its
 /// `Value` hash-map groupings with dense [`PairCounts`] contingency tables —
 /// every step reproduces its `Value`-path twin bit-for-bit, so the learned

@@ -39,6 +39,36 @@ const DEFAULT_GATE_FRAC: f64 = 0.35;
 /// Default absolute speedup backstop for gating.
 const DEFAULT_FLOOR: f64 = 1.2;
 
+/// Top-level snapshot keys the comparator understands (the union of what
+/// `experiments` writes across `bench_clean` / `bench_fit` /
+/// `bench_stream`, plus the legacy pre-sweep schema). Anything else is
+/// reported as a warning — a misspelled `speedups` key would otherwise
+/// fall back to the legacy path or an empty record set and let the gate
+/// pass vacuously.
+const KNOWN_TOP_LEVEL_KEYS: &[&str] = &[
+    "benchmark",
+    "benchmarks",
+    "scale",
+    "rows",
+    "columns",
+    "cells",
+    "threads_swept",
+    "clean_iters",
+    "fit_iters",
+    "chunks",
+    "refit_every",
+    "min_throughput_ratio",
+    "runs",
+    "speedups",
+    "min_speedup",
+    "total_wall_seconds",
+    "speedup_encoded_vs_reference",
+    "threads",
+];
+
+/// Keys of one record inside the `speedups` array.
+const KNOWN_RECORD_KEYS: &[&str] = &["variant", "threads", "speedup"];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<String> = Vec::new();
@@ -78,17 +108,26 @@ fn main() -> ExitCode {
         return usage("expected exactly two snapshot files");
     };
 
-    let baseline = match load_speedups(baseline_path) {
+    let (baseline, baseline_warnings) = match load_speedups(baseline_path) {
         Ok(s) => s,
         Err(e) => return fail(&format!("{baseline_path}: {e}")),
     };
-    let candidate = match load_speedups(candidate_path) {
+    let (candidate, candidate_warnings) = match load_speedups(candidate_path) {
         Ok(s) => s,
         Err(e) => return fail(&format!("{candidate_path}: {e}")),
     };
 
     let mut table = String::new();
     let _ = writeln!(table, "### bench_diff — `{baseline_path}` → `{candidate_path}`\n");
+    // Unknown keys are warnings, not failures — but they land in the same
+    // summary the gate table does, so a misspelled record key can never
+    // produce a *silently* green gate.
+    for (path, warnings) in [(baseline_path, &baseline_warnings), (candidate_path, &candidate_warnings)] {
+        for warning in warnings {
+            eprintln!("bench_diff: warning: {path}: {warning}");
+            let _ = writeln!(table, "> ⚠️ `{path}`: {warning}\n");
+        }
+    }
     let header = if gate.is_some() {
         "| Variant | Threads | Baseline | Candidate | Delta | Threshold | Status |\n|---|---|---|---|---|---|---|"
     } else {
@@ -174,13 +213,36 @@ type Speedups = Vec<((String, u64), f64)>;
 /// Read the `(variant, threads) → speedup` records of one snapshot, in file
 /// order: the `speedups` array written by every current `BENCH_*.json`, or
 /// the legacy single-thread `speedup_encoded_vs_reference` object (whose
-/// records carry the file-level `threads`, defaulting to 1).
-fn load_speedups(path: &str) -> Result<Speedups, String> {
+/// records carry the file-level `threads`, defaulting to 1). Unknown
+/// top-level and record keys are returned as warnings for the summary.
+fn load_speedups(path: &str) -> Result<(Speedups, Vec<String>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let json = Json::parse(&text)?;
+    parse_speedups(&json)
+}
+
+/// The parsing half of [`load_speedups`], separated for testability.
+fn parse_speedups(json: &Json) -> Result<(Speedups, Vec<String>), String> {
     let mut speedups = Vec::new();
+    let mut warnings = Vec::new();
+    if let Some(members) = json.as_obj() {
+        for (key, _) in members {
+            if !KNOWN_TOP_LEVEL_KEYS.contains(&key.as_str()) {
+                warnings.push(format!("unknown top-level snapshot key `{key}` (ignored)"));
+            }
+        }
+    } else {
+        return Err("snapshot is not a JSON object".to_string());
+    }
     if let Some(records) = json.get("speedups").and_then(Json::as_arr) {
         for record in records {
+            if let Some(members) = record.as_obj() {
+                for (key, _) in members {
+                    if !KNOWN_RECORD_KEYS.contains(&key.as_str()) {
+                        warnings.push(format!("unknown speedup-record key `{key}` (ignored)"));
+                    }
+                }
+            }
             let variant = record
                 .get("variant")
                 .and_then(Json::as_str)
@@ -204,7 +266,7 @@ fn load_speedups(path: &str) -> Result<Speedups, String> {
     if speedups.is_empty() {
         return Err("no speedup records".to_string());
     }
-    Ok(speedups)
+    Ok((speedups, warnings))
 }
 
 fn append_to(path: &str, text: &str) -> std::io::Result<()> {
@@ -236,4 +298,50 @@ fn usage(error: &str) -> ExitCode {
 fn fail(message: &str) -> ExitCode {
     eprintln!("bench_diff: {message}");
     ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_snapshots_parse_without_warnings() {
+        for path in ["BENCH_clean.json", "BENCH_fit.json", "BENCH_stream.json"] {
+            // The committed snapshots live at the workspace root, two levels
+            // above this crate.
+            let full = format!("{}/../../{path}", env!("CARGO_MANIFEST_DIR"));
+            let text = std::fs::read_to_string(&full).expect("committed snapshot exists");
+            let (speedups, warnings) = parse_speedups(&Json::parse(&text).unwrap()).unwrap();
+            assert!(!speedups.is_empty(), "{path} has no records");
+            assert!(warnings.is_empty(), "{path} triggered warnings: {warnings:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_warned_not_ignored() {
+        let doc = r#"{
+  "benchmark": "Hospital",
+  "speedupz_typo": {"BClean": 2.0},
+  "speedups": [
+    {"variant": "BClean", "threads": 1, "speedup": 2.5, "speeedup": 9.9}
+  ]
+}"#;
+        let (speedups, warnings) = parse_speedups(&Json::parse(doc).unwrap()).unwrap();
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].contains("speedupz_typo"));
+        assert!(warnings[1].contains("speeedup"));
+    }
+
+    #[test]
+    fn missing_records_are_still_hard_errors() {
+        assert!(parse_speedups(&Json::parse("{}").unwrap()).is_err());
+        assert!(parse_speedups(&Json::parse("{\"speedups\": []}").unwrap()).is_err());
+        assert!(parse_speedups(&Json::parse("[1]").unwrap()).is_err());
+        // Legacy schema still parses.
+        let legacy = r#"{"threads": 2, "speedup_encoded_vs_reference": {"BClean": 3.5}}"#;
+        let (speedups, warnings) = parse_speedups(&Json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(speedups, vec![(("BClean".to_string(), 2), 3.5)]);
+        assert!(warnings.is_empty());
+    }
 }

@@ -1,0 +1,591 @@
+//! The `bclean` command-line tool.
+//!
+//! The fit-once/clean-many lifecycle over persistent `.bclean` model
+//! artifacts (see `bclean-store` and the README's "Persistence & CLI"
+//! section), plus the profiling/suggestion front-end:
+//!
+//! ```text
+//! bclean fit     data.csv -o model.bclean -c rules.bc --variant pip
+//! bclean clean   fresh.csv -m model.bclean -o cleaned.csv --repairs repairs.csv
+//! bclean ingest  batch.csv -m model.bclean            # absorb new rows, persist grown dictionaries
+//! bclean inspect model.bclean                         # format version, schema hash, structure, sizes
+//! bclean profile data.csv                             # column statistics + outlier report
+//! bclean suggest data.csv                             # draft a constraints file from the data
+//! bclean clean   data.csv -o cleaned.csv              # one-shot: fit in process, then clean
+//! ```
+//!
+//! Constraints files (`-c`) contain one constraint per line in the
+//! canonical spec format (`ConstraintSet::to_spec_text`):
+//!
+//! ```text
+//! # attribute: specification
+//! ZipCode: pattern [1-9][0-9]{4,4}
+//! State:   max_len 2
+//! State:   not_null
+//! abv:     num(value) >= 0 && num(value) <= 1      # any expression works
+//! rule:    ends_with(InsuranceCode, ZipCode)       # tuple-level rule
+//! ```
+
+use std::env;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use bclean_core::{repairs_to_csv, BClean, ConstraintSet, ModelArtifact, UserConstraint, Variant};
+use bclean_data::{read_csv_file, write_csv_file, Dataset};
+use bclean_profile::{find_outliers, suggest_constraints, DatasetProfile, OutlierConfig, SuggestConfig};
+use bclean_store::{read_container_file, ContainerReader};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:
+  bclean fit     <data.csv> -o <model.bclean> [-c constraints.bc] [--suggest]
+                            [--variant basic|nouc|pi|pip] [--threads N]
+  bclean clean   <data.csv> [-m model.bclean] [-o cleaned.csv] [--repairs repairs.csv]
+                            [--report report.json] [-c constraints.bc]
+                            [--variant basic|nouc|pi|pip] [--threads N] [--max-repairs N]
+  bclean ingest  <batch.csv> -m <model.bclean> [-o updated.bclean]
+  bclean inspect <model.bclean>
+  bclean profile <data.csv>
+  bclean suggest <data.csv>"
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "fit" => fit_command(&args[1..]),
+        "clean" => clean_command(&args[1..]),
+        "ingest" => ingest_command(&args[1..]),
+        "inspect" => inspect_command(args.get(1).ok_or("missing <model.bclean>")?),
+        "profile" => profile_command(args.get(1).ok_or("missing <data.csv>")?),
+        "suggest" => suggest_command(args.get(1).ok_or("missing <data.csv>")?),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<Dataset, String> {
+    read_csv_file(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Shared flag parsing of the fit/clean/ingest commands.
+#[derive(Debug, Default)]
+struct CommonArgs {
+    input: Option<String>,
+    output: Option<String>,
+    model: Option<String>,
+    constraints: Option<String>,
+    repairs: Option<String>,
+    report: Option<String>,
+    variant: Option<Variant>,
+    threads: Option<usize>,
+    suggest: bool,
+    max_repairs: Option<usize>,
+}
+
+fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
+    let mut parsed = CommonArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |name: &str| -> Result<String, String> {
+            args.get(i + 1).cloned().ok_or(format!("missing value after {name}"))
+        };
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                parsed.output = Some(flag_value("-o")?);
+                i += 2;
+            }
+            "-m" | "--model" => {
+                parsed.model = Some(flag_value("-m")?);
+                i += 2;
+            }
+            "-c" | "--constraints" => {
+                parsed.constraints = Some(flag_value("-c")?);
+                i += 2;
+            }
+            "--repairs" => {
+                parsed.repairs = Some(flag_value("--repairs")?);
+                i += 2;
+            }
+            "--report" => {
+                parsed.report = Some(flag_value("--report")?);
+                i += 2;
+            }
+            "--variant" => {
+                parsed.variant = Some(parse_variant(&flag_value("--variant")?)?);
+                i += 2;
+            }
+            "--threads" => {
+                let n = flag_value("--threads")?;
+                parsed.threads = Some(n.parse().map_err(|_| format!("invalid --threads {n:?}"))?);
+                i += 2;
+            }
+            "--max-repairs" => {
+                let n = flag_value("--max-repairs")?;
+                parsed.max_repairs = Some(n.parse().map_err(|_| format!("invalid --max-repairs {n:?}"))?);
+                i += 2;
+            }
+            "--suggest" => {
+                parsed.suggest = true;
+                i += 1;
+            }
+            path if parsed.input.is_none() && !path.starts_with('-') => {
+                parsed.input = Some(path.to_string());
+                i += 1;
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn parse_variant(name: &str) -> Result<Variant, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "basic" => Ok(Variant::Basic),
+        "nouc" | "no-uc" => Ok(Variant::NoUserConstraints),
+        "pi" => Ok(Variant::PartitionedInference),
+        "pip" => Ok(Variant::PartitionedInferencePruning),
+        other => Err(format!("unknown variant {other:?} (expected basic, nouc, pi or pip)")),
+    }
+}
+
+/// Error when flags that this command would silently ignore are present —
+/// a dropped `-c stricter_rules.bc` must never look applied.
+fn reject_unused_flags(context: &str, flags: &[(&str, bool)]) -> Result<(), String> {
+    for (name, present) in flags {
+        if *present {
+            return Err(format!("{name} has no effect {context}"));
+        }
+    }
+    Ok(())
+}
+
+/// Resolve the constraint set of a fit: an explicit `-c` file, or
+/// auto-suggestion (`--suggest`, also the default when `-c` is absent so
+/// `bclean fit data.csv` works out of the box; the suggestion source is
+/// reported on stderr). Passing both is a conflict, not a silent pick.
+fn resolve_constraints(data: &Dataset, args: &CommonArgs) -> Result<ConstraintSet, String> {
+    if let Some(path) = &args.constraints {
+        if args.suggest {
+            return Err("pass either -c <constraints.bc> or --suggest, not both".to_string());
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return ConstraintSet::from_spec_text(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    let (suggested, suggestions) = suggest_constraints(data, SuggestConfig::default());
+    eprintln!("using {} auto-suggested constraints (see `bclean suggest`)", suggestions.len());
+    Ok(suggested)
+}
+
+fn fit_command(args: &[String]) -> Result<(), String> {
+    let args = parse_common(args)?;
+    let input = args.input.as_deref().ok_or("missing <data.csv>")?;
+    let output = args.output.as_deref().ok_or("missing -o <model.bclean>")?;
+    let data = load(input)?;
+    let constraints = resolve_constraints(&data, &args)?;
+    let variant = args.variant.unwrap_or(Variant::PartitionedInference);
+    let mut config = variant.config();
+    if let Some(threads) = args.threads {
+        config = config.with_threads(threads);
+    }
+    let start = std::time::Instant::now();
+    let artifact = BClean::new(config).with_constraints(constraints).fit_artifact(&data);
+    artifact.save(output).map_err(|e| format!("cannot save {output}: {e}"))?;
+    println!(
+        "fit {} rows x {} columns ({}) in {:?}",
+        data.num_rows(),
+        data.num_columns(),
+        variant.name(),
+        start.elapsed()
+    );
+    println!(
+        "model written to {output} (schema hash {:016x}, {} structure edges)",
+        artifact.schema_hash(),
+        artifact.dag().num_edges()
+    );
+    Ok(())
+}
+
+fn clean_command(args: &[String]) -> Result<(), String> {
+    let args = parse_common(args)?;
+    let input = args.input.as_deref().ok_or("missing <data.csv>")?;
+    let data = load(input)?;
+
+    let result = match &args.model {
+        // The fit-once/clean-many path: load the persisted artifact and
+        // clean against its model — no fitting in this process, so the
+        // fit-shaping flags must not pretend to apply.
+        Some(path) => {
+            reject_unused_flags(
+                "when cleaning with -m (the artifact's persisted constraints and variant apply)",
+                &[
+                    ("-c/--constraints", args.constraints.is_some()),
+                    ("--variant", args.variant.is_some()),
+                    ("--suggest", args.suggest),
+                ],
+            )?;
+            let mut artifact = ModelArtifact::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+            artifact.check_schema(data.schema()).map_err(|e| format!("{input}: {e}"))?;
+            if let Some(threads) = args.threads {
+                artifact.set_threads(threads);
+            }
+            artifact.compile().clean(&data)
+        }
+        // The one-shot path: fit in process (legacy `bclean clean data.csv`).
+        None => {
+            let constraints = resolve_constraints(&data, &args)?;
+            let variant = args.variant.unwrap_or(Variant::PartitionedInference);
+            let mut config = variant.config();
+            if let Some(threads) = args.threads {
+                config = config.with_threads(threads);
+            }
+            let model = BClean::new(config).with_constraints(constraints).fit(&data);
+            model.clean(&data)
+        }
+    };
+
+    println!(
+        "{} repairs across {} cells ({} rows) in {:?}",
+        result.repairs.len(),
+        data.num_cells(),
+        data.num_rows(),
+        result.stats.duration
+    );
+    let shown = args.max_repairs.unwrap_or(50);
+    for repair in result.repairs.iter().take(shown) {
+        println!(
+            "  row {:<6} {:<22} {:?} -> {:?}",
+            repair.at.row,
+            repair.attribute,
+            repair.from.to_string(),
+            repair.to.to_string()
+        );
+    }
+    if result.repairs.len() > shown {
+        println!("  … and {} more (raise --max-repairs to see them)", result.repairs.len() - shown);
+    }
+
+    if let Some(path) = &args.output {
+        write_csv_file(&result.cleaned, path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("cleaned dataset written to {path}");
+    }
+    if let Some(path) = &args.repairs {
+        std::fs::write(path, repairs_to_csv(&result.repairs))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("repairs written to {path}");
+    }
+    if let Some(path) = &args.report {
+        std::fs::write(path, report_json(input, &result)).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    Ok(())
+}
+
+fn ingest_command(args: &[String]) -> Result<(), String> {
+    let args = parse_common(args)?;
+    reject_unused_flags(
+        "when ingesting (the artifact's persisted configuration applies)",
+        &[
+            ("-c/--constraints", args.constraints.is_some()),
+            ("--variant", args.variant.is_some()),
+            ("--suggest", args.suggest),
+            ("--repairs", args.repairs.is_some()),
+            ("--report", args.report.is_some()),
+            ("--threads", args.threads.is_some()),
+            ("--max-repairs", args.max_repairs.is_some()),
+        ],
+    )?;
+    let input = args.input.as_deref().ok_or("missing <batch.csv>")?;
+    let model_path = args.model.as_deref().ok_or("missing -m <model.bclean>")?;
+    let output = args.output.as_deref().unwrap_or(model_path);
+    let batch = load(input)?;
+    let mut artifact =
+        ModelArtifact::load(model_path).map_err(|e| format!("cannot load {model_path}: {e}"))?;
+    let before = artifact.num_rows();
+    let after = artifact.ingest_batch(&batch).map_err(|e| format!("{input}: {e}"))?;
+    artifact.save(output).map_err(|e| format!("cannot save {output}: {e}"))?;
+    println!(
+        "absorbed {} rows ({} -> {} total); updated model written to {output}",
+        batch.num_rows(),
+        before,
+        after
+    );
+    println!("(statistics updated incrementally; structure kept — refit with `bclean fit` to relearn it)");
+    Ok(())
+}
+
+fn inspect_command(path: &str) -> Result<(), String> {
+    let bytes = read_container_file(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    let container = ContainerReader::parse(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let artifact = ModelArtifact::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: bclean model artifact, format version {}", container.version());
+    println!("  schema hash   {:016x}", artifact.schema_hash());
+    println!("  rows absorbed {}", artifact.num_rows());
+    let names = artifact.attribute_names();
+    println!("  attributes    {}", names.len());
+    for (name, ty) in names.iter().zip(artifact.attribute_types()) {
+        println!("    {name} ({ty})");
+    }
+    let edges = artifact.dag().edges();
+    println!("  structure     {} edges", edges.len());
+    for (from, to) in edges {
+        println!("    {} -> {}", names[from], names[to]);
+    }
+    println!(
+        "  constraints   {} per-attribute, {} tuple rules",
+        artifact.constraints().len(),
+        artifact.constraints().num_row_rules()
+    );
+    println!("  sections");
+    for (id, size) in container.section_sizes() {
+        println!("    {:<14} {size} bytes", id.name());
+    }
+    println!("  total         {} bytes", bytes.len());
+    Ok(())
+}
+
+fn profile_command(path: &str) -> Result<(), String> {
+    let data = load(path)?;
+    let profile = DatasetProfile::profile(&data);
+    println!("{} rows x {} columns\n", data.num_rows(), data.num_columns());
+    println!("{}", profile.summary());
+    let outliers = find_outliers(&data, OutlierConfig::default());
+    println!("Suspicious cells: {}", outliers.len());
+    for o in outliers.iter().take(20) {
+        println!(
+            "  row {:<6} {:<20} {:<10} severity {:>7.1}  value {:?}",
+            o.at.row,
+            o.attribute,
+            format!("{:?}", o.kind),
+            o.severity,
+            o.value.to_string()
+        );
+    }
+    if outliers.len() > 20 {
+        println!("  … and {} more", outliers.len() - 20);
+    }
+    Ok(())
+}
+
+fn suggest_command(path: &str) -> Result<(), String> {
+    let data = load(path)?;
+    let (_, suggestions) = suggest_constraints(&data, SuggestConfig::default());
+    println!("# Draft constraints file generated by `bclean suggest {path}`");
+    println!("# Review each line, delete what you disagree with, then pass the");
+    println!("# file to `bclean fit {path} -c <this file> -o model.bclean`.");
+    for s in &suggestions {
+        let spec = constraint_to_spec(&s.constraint);
+        println!("{}: {:<40} # {}", s.attribute, spec, s.rationale);
+    }
+    Ok(())
+}
+
+fn constraint_to_spec(constraint: &UserConstraint) -> String {
+    constraint.to_spec().unwrap_or_else(|_| "# custom constraint (not expressible in a file)".to_string())
+}
+
+/// Machine-readable cleaning report (the workspace builds offline, so the
+/// JSON is written by hand like the `BENCH_*.json` snapshots).
+fn report_json(input: &str, result: &bclean_core::CleaningResult) -> String {
+    let mut repairs = String::new();
+    for (i, repair) in result.repairs.iter().enumerate() {
+        let _ = write!(
+            repairs,
+            "    {{\"row\": {}, \"col\": {}, \"attribute\": {}, \"from\": {}, \"to\": {}, \
+             \"score_gain\": {}}}{}",
+            repair.at.row,
+            repair.at.col,
+            json_string(&repair.attribute),
+            json_string(&repair.from.to_string()),
+            json_string(&repair.to.to_string()),
+            json_number(repair.score_gain),
+            if i + 1 < result.repairs.len() { ",\n" } else { "\n" }
+        );
+    }
+    format!(
+        "{{\n  \"input\": {},\n  \"rows\": {},\n  \"cells_examined\": {},\n  \"cells_skipped\": {},\n  \
+         \"candidates_evaluated\": {},\n  \"num_repairs\": {},\n  \"clean_seconds\": {:.6},\n  \
+         \"repairs\": [\n{}  ]\n}}\n",
+        json_string(input),
+        result.cleaned.num_rows(),
+        result.stats.cells_examined,
+        result.stats.cells_skipped,
+        result.stats.candidates_evaluated,
+        result.repairs.len(),
+        result.stats.duration.as_secs_f64(),
+        repairs
+    )
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON has no infinities; score gains of constraint-violating originals
+/// are +inf, so clamp into a representable sentinel.
+fn json_number(n: f64) -> String {
+    if n.is_finite() {
+        format!("{n}")
+    } else if n > 0.0 {
+        "1e308".to_string()
+    } else {
+        "-1e308".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_core::Repair;
+    use bclean_data::{CellRef, Value};
+
+    #[test]
+    fn constraints_files_still_parse() {
+        let text = "
+# a comment line
+ZipCode: pattern [1-9][0-9]{4,4}
+State:   max_len 2          # trailing comment
+State:   not_null
+score:   min_value 0
+score:   max_value 10
+name:    min_len 3
+abv:     num(value) >= 0 && num(value) <= 1
+rule:    ends_with(code, zip)
+";
+        let set = ConstraintSet::from_spec_text(text).unwrap();
+        assert_eq!(set.len(), 7);
+        assert_eq!(set.num_row_rules(), 1);
+        assert!(set.check("ZipCode", &Value::parse("35150")));
+        assert!(!set.check("ZipCode", &Value::text("3515x")));
+        assert!(!set.check("State", &Value::text("California")));
+    }
+
+    #[test]
+    fn variant_names_parse() {
+        assert_eq!(parse_variant("pi").unwrap(), Variant::PartitionedInference);
+        assert_eq!(parse_variant("PIP").unwrap(), Variant::PartitionedInferencePruning);
+        assert_eq!(parse_variant("basic").unwrap(), Variant::Basic);
+        assert_eq!(parse_variant("nouc").unwrap(), Variant::NoUserConstraints);
+        assert!(parse_variant("fast").is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_through_suggestions_format() {
+        for constraint in [
+            UserConstraint::MinLength(3),
+            UserConstraint::MaxLength(9),
+            UserConstraint::MinValue(1.5),
+            UserConstraint::MaxValue(10.0),
+            UserConstraint::NotNull,
+            UserConstraint::pattern("[0-9]{5}").unwrap(),
+            UserConstraint::expression("len(value) == 5").unwrap(),
+        ] {
+            let spec = constraint_to_spec(&constraint);
+            let reparsed = UserConstraint::parse_spec(&spec).unwrap();
+            assert_eq!(format!("{constraint:?}"), format!("{reparsed:?}"), "spec {spec:?}");
+        }
+    }
+
+    #[test]
+    fn flag_parsing_covers_all_forms() {
+        let args: Vec<String> = [
+            "data.csv",
+            "-m",
+            "model.bclean",
+            "-o",
+            "out.csv",
+            "--repairs",
+            "r.csv",
+            "--report",
+            "r.json",
+            "--variant",
+            "pip",
+            "--threads",
+            "2",
+            "--max-repairs",
+            "7",
+            "--suggest",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let parsed = parse_common(&args).unwrap();
+        assert_eq!(parsed.input.as_deref(), Some("data.csv"));
+        assert_eq!(parsed.model.as_deref(), Some("model.bclean"));
+        assert_eq!(parsed.output.as_deref(), Some("out.csv"));
+        assert_eq!(parsed.repairs.as_deref(), Some("r.csv"));
+        assert_eq!(parsed.report.as_deref(), Some("r.json"));
+        assert_eq!(parsed.variant, Some(Variant::PartitionedInferencePruning));
+        assert_eq!(parsed.threads, Some(2));
+        assert_eq!(parsed.max_repairs, Some(7));
+        assert!(parsed.suggest);
+        assert!(parse_common(&["--threads".to_string()]).is_err());
+        assert!(parse_common(&["--threads".to_string(), "x".to_string()]).is_err());
+        assert!(parse_common(&["--bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn repairs_csv_quotes_and_formats() {
+        let repairs = vec![Repair {
+            at: CellRef::new(3, 1),
+            attribute: "City, State".into(),
+            from: Value::text("a\"b"),
+            to: Value::text("plain"),
+            score_gain: 1.5,
+        }];
+        let csv = repairs_to_csv(&repairs);
+        assert_eq!(csv, "row,attribute,from,to,score_gain\n3,\"City, State\",\"a\"\"b\",plain,1.5\n");
+    }
+
+    #[test]
+    fn report_json_is_well_formed_and_escaped() {
+        let cleaned = bclean_data::dataset_from(&["a"], &[vec!["x"]]);
+        let result = bclean_core::CleaningResult {
+            cleaned,
+            repairs: vec![Repair {
+                at: CellRef::new(0, 0),
+                attribute: "a\"quote".into(),
+                from: Value::Null,
+                to: Value::text("x\n"),
+                score_gain: f64::INFINITY,
+            }],
+            stats: Default::default(),
+        };
+        let json = report_json("in.csv", &result);
+        assert!(json.contains("\"a\\\"quote\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("1e308"));
+        assert!(json.contains("\"num_repairs\": 1"));
+        assert_eq!(json_number(f64::NEG_INFINITY), "-1e308");
+    }
+}

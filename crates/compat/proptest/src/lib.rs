@@ -2,9 +2,9 @@
 //!
 //! The workspace builds without network access, so the real crates.io
 //! `proptest` is unavailable. This crate implements the subset of its API the
-//! workspace's property tests use — the [`Strategy`] trait with `prop_map` /
+//! workspace's property tests use — the [`strategy::Strategy`] trait with `prop_map` /
 //! `prop_flat_map` / `prop_filter` / `prop_recursive`, ranges and string
-//! literals as strategies, [`Just`], `any::<T>()`, `collection::vec`,
+//! literals as strategies, [`strategy::Just`], `any::<T>()`, `collection::vec`,
 //! `string::string_regex`, `char::range`, `prop_oneof!`, and the `proptest!`
 //! / `prop_assert*!` macros — as a *generation-only* property test runner:
 //!
@@ -78,7 +78,8 @@ pub mod test_runner {
 }
 
 pub mod strategy {
-    //! The [`Strategy`] trait and combinators (subset of `proptest::strategy`).
+    //! The [`Strategy`](trait@Strategy) trait and combinators (subset of
+    //! `proptest::strategy`).
 
     use super::test_runner::TestRng;
     use std::marker::PhantomData;
@@ -458,7 +459,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Admissible element counts for [`vec`].
+    /// Admissible element counts for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -488,7 +489,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use bclean_bayesnet::{BayesianNetwork, CompiledCpt, CompiledNetwork, Cpt, Dag, NodeCounts};
-use bclean_data::{AttributeDomain, Dataset, Domains, EncodedDataset};
+use bclean_data::{AttrType, AttributeDomain, Dataset, Domains, EncodedDataset};
 
 use crate::cleaner::{attr_uc_column, BCleanModel};
 use crate::compensatory::CompensatoryModel;
@@ -36,6 +36,10 @@ pub struct ModelArtifact {
     /// The *effective* constraints (empty when the config disables them).
     pub(crate) constraints: ConstraintSet,
     pub(crate) attribute_names: Vec<String>,
+    /// Coarse attribute types of the fitting schema — persisted with the
+    /// artifact so cross-process consumers can refuse datasets whose
+    /// header/types drifted (see `persist`'s schema guard).
+    pub(crate) attribute_types: Vec<AttrType>,
     pub(crate) dag: Dag,
     pub(crate) node_counts: Vec<NodeCounts>,
     /// Shared copy-on-write with the compiled models: a compile hands the
@@ -52,6 +56,7 @@ impl ModelArtifact {
         config: BCleanConfig,
         constraints: ConstraintSet,
         attribute_names: Vec<String>,
+        attribute_types: Vec<AttrType>,
         dag: Dag,
         node_counts: Vec<NodeCounts>,
         compensatory: CompensatoryModel,
@@ -60,6 +65,7 @@ impl ModelArtifact {
             config,
             constraints,
             attribute_names,
+            attribute_types,
             dag,
             node_counts,
             compensatory: Arc::new(compensatory),
@@ -74,6 +80,29 @@ impl ModelArtifact {
     /// The configuration the artifact was fit with.
     pub fn config(&self) -> &BCleanConfig {
         &self.config
+    }
+
+    /// The attribute names of the fitting schema, in column order.
+    pub fn attribute_names(&self) -> &[String] {
+        &self.attribute_names
+    }
+
+    /// The coarse attribute types of the fitting schema, in column order.
+    pub fn attribute_types(&self) -> &[AttrType] {
+        &self.attribute_types
+    }
+
+    /// The effective user constraints the artifact was fit with.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Override the worker-thread count used by subsequent compiles and
+    /// cleans. Results are bit-identical for every thread count (the
+    /// shared executor's ordered merge), so this only changes wall-clock —
+    /// the CLI exposes it as `--threads`.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.num_threads = threads;
     }
 
     /// Number of rows absorbed into the statistics.

@@ -133,6 +133,8 @@ impl BClean {
         let node_counts: Vec<NodeCounts> =
             executor.map(m, |node| NodeCounts::accumulate(encoded, node, &dag.parents(node)));
         let names: Vec<String> = dataset.schema().names().iter().map(|s| s.to_string()).collect();
+        let types: Vec<AttrType> =
+            (0..m).map(|c| dataset.schema().attribute(c).expect("column in range").ty).collect();
         let constraints =
             if self.config.use_constraints { self.constraints.clone() } else { ConstraintSet::new() };
         let row_executor = ParallelExecutor::for_config(&self.config, dataset.num_rows());
@@ -147,6 +149,7 @@ impl BClean {
             self.config.clone(),
             constraints,
             names,
+            types,
             dag,
             node_counts,
             compensatory,

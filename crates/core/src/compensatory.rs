@@ -52,9 +52,9 @@ impl Default for CompensatoryParams {
 /// once per pair per tuple (the pre-refactor model constructed — and hashed —
 /// every `(usize, Value, usize, Value)` key twice).
 #[derive(Debug, Clone, Copy, Default)]
-struct PairEntry {
-    corr: f64,
-    count: u32,
+pub(crate) struct PairEntry {
+    pub(crate) corr: f64,
+    pub(crate) count: u32,
 }
 
 /// Dense pair tables above this cell count switch to the hash-map layout.
@@ -63,7 +63,7 @@ const DENSE_PAIR_CELL_CAP: usize = 1 << 14;
 /// Co-occurrence counters of one ordered column pair `(j, k)`, indexed by the
 /// columns' dictionary codes (null codes included; unseen codes always miss).
 #[derive(Debug, Clone)]
-enum PairStore {
+pub(crate) enum PairStore {
     /// Placeholder for the diagonal `(j, j)` slots, which are never counted.
     Empty,
     /// Dense `code_space(j) × code_space(k)` matrix.
@@ -73,7 +73,7 @@ enum PairStore {
 }
 
 impl PairStore {
-    fn with_spaces(rows: usize, cols: usize) -> PairStore {
+    pub(crate) fn with_spaces(rows: usize, cols: usize) -> PairStore {
         if rows.saturating_mul(cols) <= DENSE_PAIR_CELL_CAP {
             PairStore::Dense { cols, cells: vec![PairEntry::default(); rows * cols] }
         } else {
@@ -155,21 +155,21 @@ impl PairStore {
 /// dataset for inference) share the model's code space.
 #[derive(Debug, Clone)]
 pub struct CompensatoryModel {
-    params: CompensatoryParams,
+    pub(crate) params: CompensatoryParams,
     /// The per-attribute dictionaries the model was compiled with.
-    dicts: Vec<ColumnDict>,
+    pub(crate) dicts: Vec<ColumnDict>,
     /// Pair stores, addressed `pairs[j * m + k]` for the ordered pair (j, k).
-    pairs: Vec<PairStore>,
+    pub(crate) pairs: Vec<PairStore>,
     /// Per-attribute code-indexed value counts (null code included).
-    value_counts: Vec<Vec<u32>>,
+    pub(crate) value_counts: Vec<Vec<u32>>,
     /// Number of tuples |D|.
-    num_rows: usize,
+    pub(crate) num_rows: usize,
     /// Number of attributes m.
-    num_cols: usize,
+    pub(crate) num_cols: usize,
     /// Running sum of tuple confidences, accumulated in row order (kept as
     /// the sum — not the mean — so streaming absorbs reproduce the one-shot
     /// float sequence exactly).
-    conf_sum: f64,
+    pub(crate) conf_sum: f64,
 }
 
 impl CompensatoryModel {

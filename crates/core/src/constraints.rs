@@ -118,6 +118,54 @@ impl UserConstraint {
         }
     }
 
+    /// Render the constraint as its canonical one-line spec — the format of
+    /// CLI constraints files and of the constraints section of persisted
+    /// model artifacts (see [`ConstraintSet::to_spec_text`]). Closure-backed
+    /// [`UserConstraint::Custom`] constraints have no textual form and
+    /// return an error naming the label.
+    pub fn to_spec(&self) -> Result<String, String> {
+        match self {
+            UserConstraint::MinLength(n) => Ok(format!("min_len {n}")),
+            UserConstraint::MaxLength(n) => Ok(format!("max_len {n}")),
+            UserConstraint::MinValue(v) => Ok(format!("min_value {v}")),
+            UserConstraint::MaxValue(v) => Ok(format!("max_value {v}")),
+            UserConstraint::NotNull => Ok("not_null".to_string()),
+            UserConstraint::Pattern(re) => Ok(format!("pattern {}", re.pattern())),
+            UserConstraint::Expression(rule) => Ok(rule.source().to_string()),
+            UserConstraint::Custom { label, .. } => {
+                Err(format!("custom constraint {label:?} is closure-backed and has no spec form"))
+            }
+        }
+    }
+
+    /// Parse a one-line constraint spec (the inverse of
+    /// [`UserConstraint::to_spec`]). Unknown keywords fall through to the
+    /// expression language, so `num(value) >= 0` parses as an
+    /// [`UserConstraint::Expression`].
+    pub fn parse_spec(spec: &str) -> Result<UserConstraint, String> {
+        let mut parts = spec.splitn(2, char::is_whitespace);
+        let keyword = parts.next().unwrap_or_default().to_ascii_lowercase();
+        let rest = parts.next().unwrap_or("").trim();
+        match keyword.as_str() {
+            "not_null" | "notnull" => Ok(UserConstraint::NotNull),
+            "min_len" | "minlen" => {
+                rest.parse().map(UserConstraint::MinLength).map_err(|_| format!("invalid length {rest:?}"))
+            }
+            "max_len" | "maxlen" => {
+                rest.parse().map(UserConstraint::MaxLength).map_err(|_| format!("invalid length {rest:?}"))
+            }
+            "min_value" => {
+                rest.parse().map(UserConstraint::MinValue).map_err(|_| format!("invalid number {rest:?}"))
+            }
+            "max_value" => {
+                rest.parse().map(UserConstraint::MaxValue).map_err(|_| format!("invalid number {rest:?}"))
+            }
+            "pattern" => UserConstraint::pattern(rest).map_err(|e| format!("invalid pattern {rest:?}: {e}")),
+            // Anything else is an expression in the rule language.
+            _ => UserConstraint::expression(spec).map_err(|e| format!("invalid expression {spec:?}: {e}")),
+        }
+    }
+
     /// Evaluate the constraint: `true` means satisfied (`UC(v) = 1`).
     ///
     /// Null values only violate the [`UserConstraint::NotNull`] constraint:
@@ -378,6 +426,90 @@ impl ConstraintSet {
         names.sort_unstable();
         names
     }
+
+    /// Render the whole set as canonical spec text: one `attribute: spec`
+    /// line per constraint (attributes sorted, each attribute's constraints
+    /// in insertion order) followed by one `rule: <expr>` line per
+    /// tuple-level rule. This is both the CLI constraints-file format and
+    /// the constraints section of persisted model artifacts; parsing the
+    /// text back with [`ConstraintSet::from_spec_text`] yields a set with
+    /// identical check semantics.
+    ///
+    /// Errors when the set cannot be represented: closure-backed custom
+    /// constraints, sources containing `#` / newlines (which the line
+    /// format reserves for comments and separators), sources with leading
+    /// or trailing whitespace (the parser trims, so they would silently
+    /// reload as different constraints), or an attribute literally named
+    /// `rule` (the parser would reinterpret its lines as tuple rules).
+    pub fn to_spec_text(&self) -> Result<String, String> {
+        let mut out = String::new();
+        let escapable = |spec: &str| -> Result<(), String> {
+            if spec.contains('#') || spec.contains('\n') || spec.contains('\r') {
+                Err(format!("spec {spec:?} contains `#` or a newline, which the line format reserves"))
+            } else if spec != spec.trim() {
+                Err(format!(
+                    "spec {spec:?} has leading/trailing whitespace, which the line format cannot preserve"
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        for attribute in self.constrained_attributes() {
+            if attribute.contains(':')
+                || attribute.contains('#')
+                || attribute.contains('\n')
+                || attribute != attribute.trim()
+                || attribute.eq_ignore_ascii_case("rule")
+            {
+                return Err(format!("attribute name {attribute:?} is not representable in spec text"));
+            }
+            for constraint in self.by_attribute[attribute].constraints() {
+                let spec = constraint.to_spec()?;
+                escapable(&spec)?;
+                out.push_str(attribute);
+                out.push_str(": ");
+                out.push_str(&spec);
+                out.push('\n');
+            }
+        }
+        for rule in &self.row_rules {
+            escapable(rule.source())?;
+            out.push_str("rule: ");
+            out.push_str(rule.source());
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Parse spec text (see [`ConstraintSet::to_spec_text`] for the
+    /// format). Blank lines and `#` comments are ignored; errors carry the
+    /// 1-based line number.
+    pub fn from_spec_text(text: &str) -> Result<ConstraintSet, String> {
+        let mut set = ConstraintSet::new();
+        for (lineno, raw_line) in text.lines().enumerate() {
+            let line = match raw_line.find('#') {
+                Some(pos) => &raw_line[..pos],
+                None => raw_line,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (attribute, spec) = line
+                .split_once(':')
+                .ok_or(format!("line {}: expected `attribute: specification`", lineno + 1))?;
+            let attribute = attribute.trim();
+            let spec = spec.trim();
+            if attribute.eq_ignore_ascii_case("rule") {
+                set.add_row_rule(spec).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                continue;
+            }
+            let constraint =
+                UserConstraint::parse_spec(spec).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            set.add(attribute, constraint);
+        }
+        Ok(set)
+    }
 }
 
 #[cfg(test)]
@@ -533,6 +665,71 @@ mod tests {
         // Figure-5 style ablation removes expression constraints as their own kind.
         let stripped = ucs.without_kind(ConstraintKind::Expression);
         assert!(stripped.check("abv", &Value::number(5.0)));
+    }
+
+    /// Every representable constraint must round-trip through its spec
+    /// line with identical semantics (the persistence path for user
+    /// constraints).
+    #[test]
+    fn spec_codec_round_trips() {
+        let mut ucs = zip_state_constraints();
+        ucs.add("score", UserConstraint::MinValue(0.125));
+        ucs.add("score", UserConstraint::MaxValue(10.5));
+        ucs.add("abv", UserConstraint::expression("num(value) >= 0 && num(value) <= 1").unwrap());
+        ucs.add_row_rule("num(arr) >= num(dep)").unwrap();
+        let text = ucs.to_spec_text().unwrap();
+        let back = ConstraintSet::from_spec_text(&text).unwrap();
+        assert_eq!(back.len(), ucs.len());
+        assert_eq!(back.num_row_rules(), 1);
+        assert_eq!(back.constrained_attributes(), ucs.constrained_attributes());
+        // Identical verdicts over a probe battery.
+        let probes = [
+            Value::parse("35150"),
+            Value::text("3960"),
+            Value::text("California"),
+            Value::text("CA"),
+            Value::number(0.5),
+            Value::number(20.0),
+            Value::Null,
+        ];
+        for attr in ["ZipCode", "State", "score", "abv", "unconstrained"] {
+            for probe in &probes {
+                assert_eq!(back.check(attr, probe), ucs.check(attr, probe), "{attr} {probe:?}");
+            }
+        }
+        // Text form is deterministic (sorted attributes).
+        assert_eq!(ucs.to_spec_text().unwrap(), text);
+        // Idempotent through a second round-trip.
+        assert_eq!(back.to_spec_text().unwrap(), text);
+    }
+
+    #[test]
+    fn spec_codec_rejects_the_unrepresentable() {
+        let mut custom = ConstraintSet::new();
+        custom.add("a", UserConstraint::custom("opaque", |_| true));
+        let err = custom.to_spec_text().unwrap_err();
+        assert!(err.contains("opaque"), "{err}");
+        let mut hashy = ConstraintSet::new();
+        hashy.add("a", UserConstraint::pattern("x#y").unwrap());
+        assert!(hashy.to_spec_text().is_err());
+        assert!(ConstraintSet::from_spec_text("no colon here").is_err());
+        assert!(ConstraintSet::from_spec_text("a: min_len xyz").is_err());
+        assert!(ConstraintSet::from_spec_text("rule: ends_with(").is_err());
+        // An attribute literally named `rule` would reload as tuple rules —
+        // refuse at save time rather than silently transform.
+        for name in ["rule", "RULE", "Rule"] {
+            let mut rulish = ConstraintSet::new();
+            rulish.add(name, UserConstraint::NotNull);
+            let err = rulish.to_spec_text().unwrap_err();
+            assert!(err.contains("not representable"), "{name}: {err}");
+        }
+        // Whitespace the line parser would trim away is refused too.
+        let mut spacey = ConstraintSet::new();
+        spacey.add("a", UserConstraint::pattern("ab ").unwrap());
+        assert!(spacey.to_spec_text().is_err());
+        let mut padded_name = ConstraintSet::new();
+        padded_name.add(" a", UserConstraint::NotNull);
+        assert!(padded_name.to_spec_text().is_err());
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod compensatory;
 pub mod config;
 pub mod constraints;
 pub mod exec;
+pub mod persist;
 pub mod reference;
 pub mod report;
 pub mod session;
@@ -56,9 +57,10 @@ pub use compensatory::{CompensatoryModel, CompensatoryParams};
 pub use config::{BCleanConfig, Variant};
 pub use constraints::{AttributeConstraints, ConstraintKind, ConstraintSet, UserConstraint};
 pub use exec::ParallelExecutor;
-pub use report::{CleaningResult, CleaningStats, Repair};
+pub use report::{repairs_to_csv, CleaningResult, CleaningStats, Repair};
 pub use session::{CleaningSession, SessionStats};
 
 // Re-export the pieces of the substrate crates that appear in this crate's
 // public API, so downstream users need only one import path.
 pub use bclean_bayesnet::{NetworkEdit, StructureConfig};
+pub use bclean_store::{StoreError, FORMAT_VERSION};

@@ -59,6 +59,36 @@ impl CleaningStats {
     }
 }
 
+/// Render repairs as the canonical repairs CSV (`row,attribute,from,to,
+/// score_gain`, RFC-4180 quoting) — the format `bclean clean --repairs`
+/// writes and the golden-artifact CI fixture commits. Identical repair
+/// lists always render to identical bytes (score gains use the shortest
+/// round-trippable float form), so byte equality of this rendering is a
+/// valid repair-drift check.
+pub fn repairs_to_csv(repairs: &[Repair]) -> String {
+    use std::fmt::Write as _;
+    let field = |s: &str| {
+        if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = String::from("row,attribute,from,to,score_gain\n");
+    for repair in repairs {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            repair.at.row,
+            field(&repair.attribute),
+            field(&repair.from.to_string()),
+            field(&repair.to.to_string()),
+            repair.score_gain
+        );
+    }
+    out
+}
+
 /// The outcome of a cleaning run.
 #[derive(Debug, Clone)]
 pub struct CleaningResult {

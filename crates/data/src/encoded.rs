@@ -226,6 +226,57 @@ impl ColumnDict {
         self.sorted_codes.as_deref()
     }
 
+    /// The frozen null code of an appended dictionary, or `None` for fresh
+    /// (sorted-layout) dictionaries. Together with [`ColumnDict::values`]
+    /// this is the dictionary's complete persistent state — the index and
+    /// the sorted-order remap are derived (see
+    /// [`ColumnDict::from_layout`]).
+    pub fn frozen_null_code(&self) -> Option<u32> {
+        self.frozen_null
+    }
+
+    /// Rebuild a dictionary from its persisted layout: the decode table in
+    /// code order plus the frozen null position (`None` = fresh sorted
+    /// layout, where the null code trails the values). The derived state —
+    /// the encode index and, for appended layouts, the code → sorted-rank
+    /// remap — is reconstructed, so `from_layout(d.values(),
+    /// d.frozen_null_code())` reproduces `d` exactly.
+    ///
+    /// Errors (as messages, mapped to typed store errors by the caller)
+    /// when the layout is not one a live dictionary can reach: duplicate
+    /// values, nulls outside the frozen slot, an out-of-range frozen
+    /// position, or a fresh layout that is not strictly sorted.
+    pub fn from_layout(values: Vec<Value>, frozen_null: Option<u32>) -> Result<ColumnDict, String> {
+        if let Some(null) = frozen_null {
+            let null = null as usize;
+            if null >= values.len() {
+                return Err(format!("frozen null position {null} outside decode table of {}", values.len()));
+            }
+            if !values[null].is_null() {
+                return Err(format!("frozen null position {null} does not hold a null placeholder"));
+            }
+        } else if !values.windows(2).all(|w| w[0] < w[1]) {
+            return Err("fresh dictionary layout must be strictly sorted".to_string());
+        }
+        let mut index = HashMap::with_capacity(values.len());
+        for (code, value) in values.iter().enumerate() {
+            if value.is_null() {
+                if frozen_null != Some(code as u32) {
+                    return Err(format!("null value at non-frozen code {code}"));
+                }
+                continue;
+            }
+            if index.insert(value.clone(), code as u32).is_some() {
+                return Err(format!("duplicate dictionary value at code {code}"));
+            }
+        }
+        let mut dict = ColumnDict { values, index, sorted_codes: None, ranks: None, frozen_null };
+        if dict.frozen_null.is_some() {
+            dict.rebuild_order();
+        }
+        Ok(dict)
+    }
+
     /// Rank of a value code in sorted [`Value`] order. For fresh
     /// dictionaries this is the code itself; the null code and any
     /// out-of-range code rank after every value.
@@ -272,6 +323,23 @@ impl EncodedDataset {
                 columns[col].push(dicts[col].encode_lossy(value));
             }
         }
+        EncodedDataset { dicts, columns, num_rows }
+    }
+
+    /// Reassemble an encoding from persisted dictionaries plus a historical
+    /// row count whose per-cell codes were **not** retained: every
+    /// historical cell holds its column's null code as a placeholder.
+    ///
+    /// This is the substrate of cross-process `ingest`: the statistics of a
+    /// saved [`crate::encoded`]-backed model already contain everything its
+    /// historical rows contributed, so absorbing a fresh batch only ever
+    /// reads the *appended* row range — the placeholders exist purely to
+    /// keep global row indices (and [`EncodedDataset::append_batch`]'s
+    /// dictionary-growth behaviour) identical to a session that kept the
+    /// history in memory. Do not score or decode historical rows of such an
+    /// encoding.
+    pub fn from_dicts(dicts: Vec<ColumnDict>, num_rows: usize) -> EncodedDataset {
+        let columns = dicts.iter().map(|d| vec![d.null_code(); num_rows]).collect();
         EncodedDataset { dicts, columns, num_rows }
     }
 
@@ -611,6 +679,78 @@ mod tests {
                 combined.push_row(row.to_vec()).unwrap();
             }
             assert_eq!(encoded.argsort_by_column(0), combined.argsort_by_column(0).unwrap());
+        }
+    }
+
+    /// `from_layout` must reproduce a dictionary exactly from its persistent
+    /// state (values + frozen null position), for both layouts.
+    #[test]
+    fn from_layout_round_trips_both_layouts() {
+        let ds = sample();
+        let mut encoded = EncodedDataset::from_dataset(&ds);
+        // Fresh layout first.
+        let fresh = encoded.dict(0).clone();
+        let rebuilt = ColumnDict::from_layout(fresh.values().to_vec(), fresh.frozen_null_code()).unwrap();
+        assert_eq!(rebuilt.values(), fresh.values());
+        assert_eq!(rebuilt.null_code(), fresh.null_code());
+        assert_eq!(rebuilt.code_order(), fresh.code_order());
+        // Appended layout (frozen null mid-table, remap active).
+        encoded.append_batch(&dataset_from(&["City", "Zip"], &[vec!["auburn", "36000"]]));
+        let appended = encoded.dict(0).clone();
+        assert!(appended.frozen_null_code().is_some());
+        let rebuilt =
+            ColumnDict::from_layout(appended.values().to_vec(), appended.frozen_null_code()).unwrap();
+        assert_eq!(rebuilt.values(), appended.values());
+        assert_eq!(rebuilt.null_code(), appended.null_code());
+        assert_eq!(rebuilt.code_order(), appended.code_order());
+        for code in 0..appended.code_space() as u32 {
+            assert_eq!(rebuilt.sort_rank(code), appended.sort_rank(code));
+            assert_eq!(rebuilt.decode(code), appended.decode(code));
+            assert_eq!(rebuilt.is_value_code(code), appended.is_value_code(code));
+        }
+        for value in appended.values() {
+            assert_eq!(rebuilt.encode(value), appended.encode(value));
+        }
+    }
+
+    #[test]
+    fn from_layout_rejects_impossible_layouts() {
+        // Fresh layout must be sorted.
+        assert!(ColumnDict::from_layout(vec![Value::text("b"), Value::text("a")], None).is_err());
+        // Duplicates are impossible.
+        assert!(ColumnDict::from_layout(vec![Value::text("a"), Value::text("a")], None).is_err());
+        // Nulls only at the frozen slot.
+        assert!(ColumnDict::from_layout(vec![Value::Null, Value::text("a")], None).is_err());
+        assert!(ColumnDict::from_layout(vec![Value::text("a"), Value::Null], Some(0)).is_err());
+        // Frozen position must be in range and hold the placeholder.
+        assert!(ColumnDict::from_layout(vec![Value::text("a")], Some(5)).is_err());
+        assert!(ColumnDict::from_layout(vec![Value::text("a")], Some(0)).is_err());
+        // A valid appended layout passes.
+        let ok = ColumnDict::from_layout(vec![Value::text("a"), Value::Null, Value::text("0a")], Some(1));
+        assert!(ok.is_ok());
+    }
+
+    /// `from_dicts` placeholder encodings must append and grow dictionaries
+    /// exactly like an encoding that kept its history.
+    #[test]
+    fn from_dicts_placeholder_appends_like_live_history() {
+        let ds = sample();
+        let mut live = EncodedDataset::from_dataset(&ds);
+        let mut restored = EncodedDataset::from_dicts(live.dicts().to_vec(), live.num_rows());
+        assert_eq!(restored.num_rows(), live.num_rows());
+        let batch = dataset_from(&["City", "Zip"], &[vec!["auburn", "35150"], vec!["", "36000"]]);
+        let live_report = live.append_batch(&batch);
+        let restored_report = restored.append_batch(&batch);
+        assert_eq!(live_report.rows, restored_report.rows);
+        assert_eq!(live_report.grew, restored_report.grew);
+        for c in 0..2 {
+            assert_eq!(live.dict(c).values(), restored.dict(c).values());
+            assert_eq!(live.dict(c).frozen_null_code(), restored.dict(c).frozen_null_code());
+            // The appended range carries real codes in both encodings.
+            assert_eq!(
+                &live.column(c)[live_report.rows.clone()],
+                &restored.column(c)[restored_report.rows.clone()]
+            );
         }
     }
 

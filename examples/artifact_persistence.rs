@@ -1,0 +1,83 @@
+//! Fit once, persist, clean many: the `.bclean` artifact lifecycle.
+//!
+//! ```text
+//! cargo run --release --example artifact_persistence
+//! ```
+//!
+//! Fits a model on a seeded Hospital benchmark, saves it to a versioned
+//! `.bclean` container, loads it back (as a separate process would), proves
+//! the restored model cleans bit-identically, ingests a fresh batch into the
+//! loaded artifact, and shows what `bclean inspect` sees. The same flow is
+//! available from the command line:
+//!
+//! ```text
+//! bclean fit     data.csv -o model.bclean -c rules.bc
+//! bclean clean   fresh.csv -m model.bclean --repairs repairs.csv
+//! bclean ingest  batch.csv -m model.bclean
+//! bclean inspect model.bclean
+//! ```
+
+use bclean::eval::bclean_constraints;
+use bclean::prelude::*;
+use bclean::store::ContainerReader;
+
+fn main() {
+    let bench = BenchmarkDataset::Hospital.build_sized(300, 42);
+    let constraints = bclean_constraints(BenchmarkDataset::Hospital);
+
+    // ── Fit once ────────────────────────────────────────────────────────
+    let artifact = BClean::new(Variant::PartitionedInference.config())
+        .with_constraints(constraints)
+        .fit_artifact(&bench.dirty);
+    println!(
+        "fit {} rows, {} structure edges, schema hash {:016x}",
+        artifact.num_rows(),
+        artifact.dag().num_edges(),
+        artifact.schema_hash()
+    );
+
+    // ── Persist ─────────────────────────────────────────────────────────
+    let path = std::env::temp_dir().join("bclean-example-model.bclean");
+    artifact.save(&path).expect("artifact saves");
+    let size = std::fs::metadata(&path).expect("file exists").len();
+    println!("saved to {} ({size} bytes, format version {})", path.display(), FORMAT_VERSION);
+
+    // ── Load in "another process" and clean ─────────────────────────────
+    let loaded = ModelArtifact::load(&path).expect("artifact loads");
+    loaded.check_schema(bench.dirty.schema()).expect("schema matches");
+    let original = artifact.compile().clean(&bench.dirty);
+    let restored = loaded.compile().clean(&bench.dirty);
+    assert_eq!(original.repairs, restored.repairs, "load(save(a)) cleans bit-identically");
+    println!("restored model reproduced all {} repairs bit for bit", restored.repairs.len());
+    for repair in restored.repairs.iter().take(5) {
+        println!(
+            "  row {:<4} {:<22} {:?} -> {:?}",
+            repair.at.row,
+            repair.attribute,
+            repair.from.to_string(),
+            repair.to.to_string()
+        );
+    }
+
+    // ── Ingest a fresh batch into the loaded artifact ───────────────────
+    let batch = BenchmarkDataset::Hospital.build_sized(60, 4242).dirty;
+    let mut grown = loaded;
+    let total = grown.ingest_batch(&batch).expect("batch shares the schema");
+    grown.save(&path).expect("updated artifact saves");
+    println!("ingested {} new rows ({} total); dictionaries grew in place", batch.num_rows(), total);
+
+    // ── What `bclean inspect` sees ──────────────────────────────────────
+    let bytes = std::fs::read(&path).expect("file reads");
+    let container = ContainerReader::parse(&bytes).expect("container parses");
+    println!("container sections (format version {}):", container.version());
+    for (id, size) in container.section_sizes() {
+        println!("  {:<14} {size} bytes", id.name());
+    }
+
+    // A drifted schema is refused, not silently mis-scored.
+    let drifted = bclean::data::Schema::from_names(&["completely", "different"]).unwrap();
+    let err = grown.check_schema(&drifted).unwrap_err();
+    println!("drifted schema refused: {err}");
+
+    std::fs::remove_file(&path).ok();
+}

@@ -15,6 +15,9 @@
 //!   scoring, MAP inference (Algorithm 1) and the §6 optimisations;
 //! * [`profile`] — dataset profiling, outlier screening and automatic
 //!   user-constraint suggestion;
+//! * [`store`] — versioned, checksummed `.bclean` model containers (the
+//!   persistence layer behind `ModelArtifact::{save, load}` and the
+//!   `bclean` CLI's fit / clean / ingest / inspect lifecycle);
 //! * [`datagen`] — synthetic benchmark generators and error injection;
 //! * [`baselines`] — HoloClean-lite, Raha+Baran-lite, PClean-lite, Garf-lite;
 //! * [`eval`] — metrics, per-dataset expert inputs, the experiment harness.
@@ -44,6 +47,7 @@ pub use bclean_linalg as linalg;
 pub use bclean_profile as profile;
 pub use bclean_regex as regex;
 pub use bclean_rules as rules;
+pub use bclean_store as store;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
@@ -59,4 +63,5 @@ pub mod prelude {
     pub use bclean_datagen::{BenchmarkDataset, DirtyDataset, ErrorSpec, ErrorType};
     pub use bclean_eval::{evaluate, Method, Metrics};
     pub use bclean_rules::Rule;
+    pub use bclean_store::{StoreError, FORMAT_VERSION};
 }

@@ -1,0 +1,139 @@
+//! The golden-artifact compatibility gate.
+//!
+//! `tests/fixtures/` commits a small Hospital model artifact
+//! (`hospital.bclean`, fit from `hospital.csv` + `hospital.bc` at a fixed
+//! seed) together with the repairs it must produce
+//! (`hospital_repairs.csv`). This test loads the **committed** artifact
+//! with the **current** code and asserts:
+//!
+//! 1. the artifact still loads and reports the current `FORMAT_VERSION`;
+//! 2. re-saving the loaded artifact reproduces the committed bytes exactly
+//!    (save/load is a fixpoint — any on-disk layout change that forgot to
+//!    bump `FORMAT_VERSION` either fails to load or fails this byte
+//!    comparison);
+//! 3. cleaning the committed CSV with the loaded artifact reproduces the
+//!    committed repairs byte for byte (any scoring drift fails here).
+//!
+//! The sanctioned escape hatch for *intentional* format or scoring
+//! changes: bump `FORMAT_VERSION` in `crates/store/src/container.rs` (for
+//! layout changes) and regenerate the fixtures with
+//!
+//! ```text
+//! BCLEAN_REGEN_GOLDEN=1 cargo test --test golden_artifact
+//! ```
+//!
+//! then commit the diff. The policy is documented in the README's
+//! "Persistence & CLI" section; CI runs this test as its own
+//! `golden-artifact` job.
+
+use std::path::{Path, PathBuf};
+
+use bclean::eval::bclean_constraints;
+use bclean::prelude::*;
+use bclean::store::ContainerReader;
+
+/// Fixture generation parameters — change them only together with a
+/// regeneration.
+const ROWS: usize = 160;
+const SEED: u64 = 20240817;
+const THREADS: usize = 1;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fit_fixture_artifact(data: &bclean::data::Dataset, constraints: ConstraintSet) -> ModelArtifact {
+    BClean::new(Variant::PartitionedInference.config().with_threads(THREADS))
+        .with_constraints(constraints)
+        .fit_artifact(data)
+}
+
+/// Regenerate every fixture file from the seeded generator. Returns the
+/// paths written (used by the regen mode of the test below).
+fn regenerate(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let bench = BenchmarkDataset::Hospital.build_sized(ROWS, SEED);
+    bclean::data::write_csv_file(&bench.dirty, dir.join("hospital.csv"))
+        .expect("fixture CSV must be writable");
+    let spec = bclean_constraints(BenchmarkDataset::Hospital)
+        .to_spec_text()
+        .expect("Hospital constraints are representable");
+    std::fs::write(dir.join("hospital.bc"), &spec)?;
+    // Fit from the *re-read* CSV so the fixture pipeline is exactly what a
+    // `bclean fit tests/fixtures/hospital.csv` invocation sees.
+    let data = bclean::data::read_csv_file(dir.join("hospital.csv")).expect("fixture CSV re-reads");
+    let constraints = ConstraintSet::from_spec_text(&spec).expect("fixture spec parses");
+    let artifact = fit_fixture_artifact(&data, constraints);
+    artifact.save(dir.join("hospital.bclean")).expect("fixture artifact must save");
+    let repairs = artifact.compile().clean(&data).repairs;
+    assert!(!repairs.is_empty(), "the fixture must exercise repairs");
+    std::fs::write(dir.join("hospital_repairs.csv"), bclean::core::repairs_to_csv(&repairs))?;
+    Ok(())
+}
+
+#[test]
+fn committed_artifact_loads_and_reproduces_committed_repairs() {
+    let dir = fixtures_dir();
+    if std::env::var_os("BCLEAN_REGEN_GOLDEN").is_some() {
+        regenerate(&dir).expect("fixture regeneration");
+        println!("regenerated golden fixtures under {}", dir.display());
+    }
+
+    let bytes = std::fs::read(dir.join("hospital.bclean"))
+        .expect("tests/fixtures/hospital.bclean is committed; regenerate with BCLEAN_REGEN_GOLDEN=1");
+
+    // (1) The committed container parses at the current format version.
+    let container = ContainerReader::parse(&bytes).expect("committed artifact must parse");
+    assert_eq!(
+        container.version(),
+        FORMAT_VERSION,
+        "the committed fixture was written at format version {} but the code is at {}; \
+         bump + regenerate (BCLEAN_REGEN_GOLDEN=1 cargo test --test golden_artifact)",
+        container.version(),
+        FORMAT_VERSION
+    );
+    let artifact = ModelArtifact::from_bytes(&bytes).expect(
+        "the committed artifact no longer loads — an on-disk format change landed without a \
+         FORMAT_VERSION bump + fixture regeneration",
+    );
+
+    // (2) Save/load is a fixpoint on the committed bytes.
+    assert_eq!(
+        artifact.to_bytes().expect("loaded artifact serializes"),
+        bytes,
+        "re-saving the committed artifact changed its bytes — the serialization layout drifted \
+         without a FORMAT_VERSION bump + fixture regeneration"
+    );
+
+    // (3) The loaded artifact reproduces the committed repairs exactly.
+    let data = bclean::data::read_csv_file(dir.join("hospital.csv")).expect("fixture CSV reads");
+    artifact.check_schema(data.schema()).expect("fixture CSV matches the artifact schema");
+    let repairs = artifact.compile().clean(&data).repairs;
+    let expected = std::fs::read_to_string(dir.join("hospital_repairs.csv"))
+        .expect("tests/fixtures/hospital_repairs.csv is committed");
+    assert_eq!(
+        bclean::core::repairs_to_csv(&repairs),
+        expected,
+        "cleaning with the committed artifact produced different repairs — scoring drifted; if \
+         intentional, regenerate the fixtures (BCLEAN_REGEN_GOLDEN=1) and explain the drift in \
+         the PR"
+    );
+}
+
+/// The fixture provenance is reproducible: refitting from the committed
+/// CSV + constraints with the current code must still agree with the
+/// committed artifact on every *repair*. (The byte-level fit comparison is
+/// intentionally not asserted here — it runs at regeneration time — so the
+/// gate keys on observable behaviour, not on float-op scheduling.)
+#[test]
+fn refit_from_committed_inputs_reproduces_committed_repairs() {
+    let dir = fixtures_dir();
+    let data = bclean::data::read_csv_file(dir.join("hospital.csv")).expect("fixture CSV reads");
+    let spec = std::fs::read_to_string(dir.join("hospital.bc")).expect("fixture constraints read");
+    let constraints = ConstraintSet::from_spec_text(&spec).expect("fixture spec parses");
+    let refit = fit_fixture_artifact(&data, constraints);
+    let repairs = refit.compile().clean(&data).repairs;
+    let expected = std::fs::read_to_string(dir.join("hospital_repairs.csv"))
+        .expect("tests/fixtures/hospital_repairs.csv is committed");
+    assert_eq!(bclean::core::repairs_to_csv(&repairs), expected);
+}
