@@ -49,15 +49,18 @@ const KNOWN_TOP_LEVEL_KEYS: &[&str] = &[
     "benchmark",
     "benchmarks",
     "scale",
+    "scale_factor",
     "rows",
     "columns",
     "cells",
+    "candidate_top_k",
     "threads_swept",
     "clean_iters",
     "fit_iters",
     "chunks",
     "refit_every",
     "min_throughput_ratio",
+    "fits",
     "runs",
     "speedups",
     "min_speedup",
@@ -306,7 +309,7 @@ mod tests {
 
     #[test]
     fn known_snapshots_parse_without_warnings() {
-        for path in ["BENCH_clean.json", "BENCH_fit.json", "BENCH_stream.json"] {
+        for path in ["BENCH_clean.json", "BENCH_fit.json", "BENCH_stream.json", "BENCH_scale.json"] {
             // The committed snapshots live at the workspace root, two levels
             // above this crate.
             let full = format!("{}/../../{path}", env!("CARGO_MANIFEST_DIR"));

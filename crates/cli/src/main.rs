@@ -51,10 +51,11 @@ fn main() -> ExitCode {
 fn usage() -> &'static str {
     "usage:
   bclean fit     <data.csv> -o <model.bclean> [-c constraints.bc] [--suggest]
-                            [--variant basic|nouc|pi|pip] [--threads N]
+                            [--variant basic|nouc|pi|pip] [--threads N] [--shards N]
   bclean clean   <data.csv> [-m model.bclean] [-o cleaned.csv] [--repairs repairs.csv]
                             [--report report.json] [-c constraints.bc]
-                            [--variant basic|nouc|pi|pip] [--threads N] [--max-repairs N]
+                            [--variant basic|nouc|pi|pip] [--threads N] [--shards N]
+                            [--max-repairs N]
   bclean ingest  <batch.csv> -m <model.bclean> [-o updated.bclean]
   bclean inspect <model.bclean>
   bclean profile <data.csv>
@@ -93,6 +94,7 @@ struct CommonArgs {
     report: Option<String>,
     variant: Option<Variant>,
     threads: Option<usize>,
+    shards: Option<usize>,
     suggest: bool,
     max_repairs: Option<usize>,
 }
@@ -132,6 +134,11 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
             "--threads" => {
                 let n = flag_value("--threads")?;
                 parsed.threads = Some(n.parse().map_err(|_| format!("invalid --threads {n:?}"))?);
+                i += 2;
+            }
+            "--shards" => {
+                let n = flag_value("--shards")?;
+                parsed.shards = Some(n.parse().map_err(|_| format!("invalid --shards {n:?}"))?);
                 i += 2;
             }
             "--max-repairs" => {
@@ -202,6 +209,9 @@ fn fit_command(args: &[String]) -> Result<(), String> {
     if let Some(threads) = args.threads {
         config = config.with_threads(threads);
     }
+    if let Some(shards) = args.shards {
+        config = config.with_shards(shards);
+    }
     let start = std::time::Instant::now();
     let artifact = BClean::new(config).with_constraints(constraints).fit_artifact(&data);
     artifact.save(output).map_err(|e| format!("cannot save {output}: {e}"))?;
@@ -243,6 +253,9 @@ fn clean_command(args: &[String]) -> Result<(), String> {
             if let Some(threads) = args.threads {
                 artifact.set_threads(threads);
             }
+            if let Some(shards) = args.shards {
+                artifact.set_shards(shards);
+            }
             artifact.compile().clean(&data)
         }
         // The one-shot path: fit in process (legacy `bclean clean data.csv`).
@@ -252,6 +265,9 @@ fn clean_command(args: &[String]) -> Result<(), String> {
             let mut config = variant.config();
             if let Some(threads) = args.threads {
                 config = config.with_threads(threads);
+            }
+            if let Some(shards) = args.shards {
+                config = config.with_shards(shards);
             }
             let model = BClean::new(config).with_constraints(constraints).fit(&data);
             model.clean(&data)
@@ -306,6 +322,7 @@ fn ingest_command(args: &[String]) -> Result<(), String> {
             ("--repairs", args.repairs.is_some()),
             ("--report", args.report.is_some()),
             ("--threads", args.threads.is_some()),
+            ("--shards", args.shards.is_some()),
             ("--max-repairs", args.max_repairs.is_some()),
         ],
     )?;
@@ -532,6 +549,8 @@ rule:    ends_with(code, zip)
             "pip",
             "--threads",
             "2",
+            "--shards",
+            "4",
             "--max-repairs",
             "7",
             "--suggest",
@@ -547,6 +566,7 @@ rule:    ends_with(code, zip)
         assert_eq!(parsed.report.as_deref(), Some("r.json"));
         assert_eq!(parsed.variant, Some(Variant::PartitionedInferencePruning));
         assert_eq!(parsed.threads, Some(2));
+        assert_eq!(parsed.shards, Some(4));
         assert_eq!(parsed.max_repairs, Some(7));
         assert!(parsed.suggest);
         assert!(parse_common(&["--threads".to_string()]).is_err());

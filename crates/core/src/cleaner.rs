@@ -118,6 +118,9 @@ impl BClean {
     /// Assemble the sufficient statistics of a fit over an already-encoded
     /// dataset: per-node [`NodeCounts`] (one independent pass per node,
     /// fanned out through the executor) and the parallel compensatory build.
+    /// With `config.num_shards > 1` both statistics are instead accumulated
+    /// as per-shard partials over a (task × shard) grid and merged in shard
+    /// order — bit-identical to the single-shard fit (see [`crate::shard`]).
     /// Shared by the one-shot fits above and the first batch of a
     /// [`crate::CleaningSession`] (whose encoding may carry appended
     /// dictionaries).
@@ -129,22 +132,37 @@ impl BClean {
     ) -> crate::ModelArtifact {
         let m = dataset.num_columns();
         assert_eq!(dag.num_nodes(), m, "DAG node count must match the dataset's attribute count");
+        let shards = self.config.effective_shards().min(dataset.num_rows().max(1));
+        let shard_plan =
+            if shards > 1 { Some(bclean_data::shard_ranges(dataset.num_rows(), shards)) } else { None };
         let executor = ParallelExecutor::for_config(&self.config, m);
-        let node_counts: Vec<NodeCounts> =
-            executor.map(m, |node| NodeCounts::accumulate(encoded, node, &dag.parents(node)));
+        let node_counts: Vec<NodeCounts> = match &shard_plan {
+            Some(ranges) => crate::shard::sharded_node_counts(encoded, &dag, &executor, ranges),
+            None => executor.map(m, |node| NodeCounts::accumulate(encoded, node, &dag.parents(node))),
+        };
         let names: Vec<String> = dataset.schema().names().iter().map(|s| s.to_string()).collect();
         let types: Vec<AttrType> =
             (0..m).map(|c| dataset.schema().attribute(c).expect("column in range").ty).collect();
         let constraints =
             if self.config.use_constraints { self.constraints.clone() } else { ConstraintSet::new() };
         let row_executor = ParallelExecutor::for_config(&self.config, dataset.num_rows());
-        let compensatory = CompensatoryModel::build_parallel(
-            dataset,
-            encoded,
-            &constraints,
-            self.config.params,
-            &row_executor,
-        );
+        let compensatory = match &shard_plan {
+            Some(ranges) => CompensatoryModel::build_sharded(
+                dataset,
+                encoded,
+                &constraints,
+                self.config.params,
+                &row_executor,
+                ranges,
+            ),
+            None => CompensatoryModel::build_parallel(
+                dataset,
+                encoded,
+                &constraints,
+                self.config.params,
+                &row_executor,
+            ),
+        };
         crate::ModelArtifact::from_parts(
             self.config.clone(),
             constraints,
@@ -189,6 +207,18 @@ pub(crate) fn attr_uc_column(
     (0..dict.code_space() as u32)
         .map(|code| name.is_none_or(|n| constraints.check(n, dict.decode(code))))
         .collect()
+}
+
+/// A repair still in code space: the inference hot loop emits these and the
+/// final ordered merge decodes them into [`Repair`]s in one batched pass
+/// (attribute names resolved once per column, winning codes decoded in a
+/// single traversal of the merged batch).
+#[derive(Debug, Clone)]
+struct CodeRepair {
+    at: CellRef,
+    from: Value,
+    to_code: u32,
+    score_gain: f64,
 }
 
 /// A fitted BClean model, ready to clean datasets that share the training
@@ -299,12 +329,18 @@ impl BCleanModel {
 
     /// Clean a dataset (inference stage, Algorithm 1). Row ranges are
     /// processed through the shared [`ParallelExecutor`], whose ordered merge
-    /// makes the result identical for every thread count.
+    /// makes the result identical for every thread count. With
+    /// `config.num_shards > 1` the rows are instead partitioned into
+    /// contiguous shards (see [`crate::shard`]) cleaned concurrently against
+    /// this shared model; per-row inference is independent, so the
+    /// shard-ordered merge is bit-identical to the single-shard run.
     ///
     /// The dataset is dictionary-encoded against the model's fit-time
     /// [`ColumnDict`]s up front (values the model never observed map to
     /// per-column unseen sentinels that score through the same fallbacks as
     /// the `Value` path); all per-cell inference below runs over `u32` codes.
+    /// Repairs stay in code space until the final ordered merge, where the
+    /// winning codes are decoded in one batched pass.
     pub fn clean(&self, dataset: &Dataset) -> CleaningResult {
         let start = Instant::now();
         let n = dataset.num_rows();
@@ -318,14 +354,47 @@ impl BCleanModel {
             }
         }
         let rules_by_col = self.rules_by_col(dataset.schema());
-        let executor = ParallelExecutor::for_config(&self.config, n);
-        let batches =
-            executor.execute(n, |rows| self.clean_rows(dataset, &codes, &rules_by_col, rows.start, rows.end));
-        let (repairs, mut stats) = merge_cleaning_batches(batches);
+        let pruned_by_col = self.pruned_candidate_lists();
+        let shards = self.config.effective_shards().min(n.max(1));
+        let batches = if shards > 1 {
+            let ranges = bclean_data::shard_ranges(n, shards);
+            let executor = ParallelExecutor::for_config(&self.config, shards);
+            executor.map(shards, |s| {
+                self.clean_rows(
+                    dataset,
+                    &codes,
+                    &rules_by_col,
+                    &pruned_by_col,
+                    ranges[s].start,
+                    ranges[s].end,
+                )
+            })
+        } else {
+            let executor = ParallelExecutor::for_config(&self.config, n);
+            executor.execute(n, |rows| {
+                self.clean_rows(dataset, &codes, &rules_by_col, &pruned_by_col, rows.start, rows.end)
+            })
+        };
+        let (code_repairs, mut stats) = merge_cleaning_batches(batches);
         debug_assert!(
-            repairs.windows(2).all(|w| (w[0].at.row, w[0].at.col) < (w[1].at.row, w[1].at.col)),
+            code_repairs.windows(2).all(|w| (w[0].at.row, w[0].at.col) < (w[1].at.row, w[1].at.col)),
             "ordered block merge must yield (row, col)-sorted repairs"
         );
+        // Batched decode: resolve attribute names once per column and decode
+        // every winning code in one tight pass over the merged batch.
+        let attr_names: Vec<String> = (0..m)
+            .map(|c| dataset.schema().attribute(c).map(|a| a.name.clone()).unwrap_or_default())
+            .collect();
+        let repairs: Vec<Repair> = code_repairs
+            .into_iter()
+            .map(|r| Repair {
+                at: r.at,
+                attribute: attr_names[r.at.col].clone(),
+                from: r.from,
+                to: dicts[r.at.col].decode(r.to_code).clone(),
+                score_gain: r.score_gain,
+            })
+            .collect();
         let mut cleaned = dataset.clone();
         for repair in &repairs {
             cleaned
@@ -338,16 +407,52 @@ impl BCleanModel {
         CleaningResult { cleaned, repairs, stats }
     }
 
+    /// Per-column pruned candidate enumerations for the scale-only
+    /// high-cardinality pruning (`config.candidate_top_k`): for each column
+    /// whose dictionary exceeds the threshold, the `top_k` most frequent
+    /// value codes (ties broken in sorted-value order), re-sorted into the
+    /// dictionary's sorted-value enumeration order so downstream tie
+    /// breaking behaves exactly as on the unpruned walk. Columns at or below
+    /// the threshold stay `None` (exact enumeration); with the default
+    /// `usize::MAX` threshold every column is exact.
+    fn pruned_candidate_lists(&self) -> Vec<Option<Vec<u32>>> {
+        let top_k = self.config.candidate_top_k;
+        let dicts = self.compensatory.dicts();
+        dicts
+            .iter()
+            .enumerate()
+            .map(|(col, dict)| {
+                if dict.cardinality() <= top_k {
+                    return None;
+                }
+                // Enumerate in sorted-value order (exactly like the unpruned
+                // walk), stably keep the most frequent `top_k`, then restore
+                // enumeration order via the sorted rank.
+                let mut ranked: Vec<u32> = match dict.code_order() {
+                    None => (0..dict.cardinality() as u32).collect(),
+                    Some(order) => order.to_vec(),
+                };
+                ranked.sort_by_key(|&c| std::cmp::Reverse(self.compensatory.value_count_code(col, c)));
+                ranked.truncate(top_k);
+                ranked.sort_by_key(|&c| dict.sort_rank(c));
+                Some(ranked)
+            })
+            .collect()
+    }
+
     /// Clean a contiguous range of rows (one parallel work unit) over the
-    /// row-major code matrix.
+    /// row-major code matrix. Repairs are emitted in code space; the caller
+    /// decodes them after the ordered merge.
+    #[allow(clippy::too_many_arguments)]
     fn clean_rows(
         &self,
         dataset: &Dataset,
         codes: &[u32],
         rules_by_col: &[Vec<Arc<Rule>>],
+        pruned_by_col: &[Option<Vec<u32>>],
         lo: usize,
         hi: usize,
-    ) -> (Vec<Repair>, CleaningStats) {
+    ) -> (Vec<CodeRepair>, CleaningStats) {
         let m = dataset.num_columns();
         let mut repairs = Vec::new();
         let mut stats = CleaningStats::default();
@@ -374,6 +479,7 @@ impl BCleanModel {
                     row_codes,
                     col,
                     &rules_by_col[col],
+                    pruned_by_col[col].as_deref(),
                     &mut candidates,
                     &mut scratch,
                     &mut stats,
@@ -387,8 +493,9 @@ impl BCleanModel {
 
     /// Algorithm 1 for one cell over dictionary codes: return a repair when
     /// some candidate beats the observed value. Values are only touched for
-    /// tuple-rule checks (columns referenced by row rules) and when the
-    /// winning candidate is decoded into the emitted [`Repair`].
+    /// tuple-rule checks (columns referenced by row rules); the winning
+    /// candidate stays a code — [`BCleanModel::clean`] decodes the merged
+    /// batch in one pass.
     #[allow(clippy::too_many_arguments)]
     fn infer_cell_codes(
         &self,
@@ -398,10 +505,11 @@ impl BCleanModel {
         row_codes: &[u32],
         col: usize,
         rules: &[Arc<Rule>],
+        pruned: Option<&[u32]>,
         candidates: &mut Vec<u32>,
         scratch: &mut Vec<Value>,
         stats: &mut CleaningStats,
-    ) -> Option<Repair> {
+    ) -> Option<CodeRepair> {
         let original = &row[col];
         let original_code = row_codes[col];
         let anchor = self.anchor_context_codes(row_codes, col);
@@ -421,7 +529,7 @@ impl BCleanModel {
 
         let base_margin =
             if anchor.is_some() { self.config.repair_margin } else { self.config.no_anchor_margin };
-        self.candidate_codes(
+        self.candidate_codes_pruned(
             dataset.schema(),
             row,
             row_codes,
@@ -429,6 +537,7 @@ impl BCleanModel {
             original_code,
             anchor,
             rules,
+            pruned,
             candidates,
             scratch,
         );
@@ -445,11 +554,10 @@ impl BCleanModel {
             }
         }
 
-        best_code.map(|code| Repair {
+        best_code.map(|code| CodeRepair {
             at: CellRef::new(row_idx, col),
-            attribute: dataset.schema().attribute(col).map(|a| a.name.clone()).unwrap_or_default(),
             from: original.clone(),
-            to: self.compensatory.dicts()[col].decode(code).clone(),
+            to_code: code,
             score_gain: if original_score.is_finite() { best_score - original_score } else { f64::INFINITY },
         })
     }
@@ -541,6 +649,38 @@ impl BCleanModel {
         out: &mut Vec<u32>,
         scratch: &mut Vec<Value>,
     ) {
+        self.candidate_codes_pruned(
+            schema,
+            row,
+            row_codes,
+            col,
+            original_code,
+            anchor,
+            rules,
+            None,
+            out,
+            scratch,
+        )
+    }
+
+    /// [`BCleanModel::candidate_codes`] with an optional pre-pruned
+    /// enumeration (see [`BCleanModel::pruned_candidate_lists`]): when
+    /// `pruned` is set, only those codes — already in sorted-value order —
+    /// are walked instead of the whole domain.
+    #[allow(clippy::too_many_arguments)]
+    fn candidate_codes_pruned(
+        &self,
+        schema: &Schema,
+        row: &[Value],
+        row_codes: &[u32],
+        col: usize,
+        original_code: u32,
+        anchor: Option<usize>,
+        rules: &[Arc<Rule>],
+        pruned: Option<&[u32]>,
+        out: &mut Vec<u32>,
+        scratch: &mut Vec<Value>,
+    ) {
         let dict = &self.compensatory.dicts()[col];
         let card = dict.cardinality() as u32;
         let check_rules = self.config.use_constraints && !rules.is_empty();
@@ -576,13 +716,18 @@ impl BCleanModel {
             }
             out.push(code);
         };
-        match dict.code_order() {
-            None => {
+        match (pruned, dict.code_order()) {
+            (Some(kept), _) => {
+                for &code in kept {
+                    accept(code, scratch, out);
+                }
+            }
+            (None, None) => {
                 for code in 0..card {
                     accept(code, scratch, out);
                 }
             }
-            Some(order) => {
+            (None, Some(order)) => {
                 for &code in order {
                     accept(code, scratch, out);
                 }

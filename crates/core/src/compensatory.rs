@@ -48,13 +48,44 @@ impl Default for CompensatoryParams {
     }
 }
 
-/// Signed correlation plus raw co-occurrence count of one code pair. Built
-/// once per pair per tuple (the pre-refactor model constructed — and hashed —
-/// every `(usize, Value, usize, Value)` key twice).
-#[derive(Debug, Clone, Copy, Default)]
+/// Co-occurrence tallies of one code pair, split by tuple confidence: `pos`
+/// counts observations in reliable tuples (`conf ≥ τ`), `neg` in penalised
+/// ones. The signed correlation of Algorithm 2 is *derived* — `pos − β·neg`
+/// — instead of stored as a running `f64` sum, so accumulating the counters
+/// in any order (row order, batch splits, shard merges) produces exactly the
+/// same entry; this is what makes sharded fitting bit-identical to one-shot
+/// for every β, not just integral ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct PairEntry {
-    pub(crate) corr: f64,
-    pub(crate) count: u32,
+    /// Observations in tuples with confidence ≥ τ (each adds +1 to corr).
+    pub(crate) pos: u32,
+    /// Observations in penalised tuples (each subtracts β from corr).
+    pub(crate) neg: u32,
+}
+
+impl PairEntry {
+    /// Total co-occurrence count, `count(c, e)`.
+    #[inline]
+    pub(crate) fn count(&self) -> u32 {
+        self.pos + self.neg
+    }
+
+    /// The signed correlation counter `pos − β·neg` of Algorithm 2.
+    #[inline]
+    pub(crate) fn corr(&self, beta: f64) -> f64 {
+        self.pos as f64 - beta * self.neg as f64
+    }
+
+    #[inline]
+    pub(crate) fn is_zero(&self) -> bool {
+        self.pos == 0 && self.neg == 0
+    }
+
+    #[inline]
+    fn merge(&mut self, other: PairEntry) {
+        self.pos += other.pos;
+        self.neg += other.neg;
+    }
 }
 
 /// Dense pair tables above this cell count switch to the hash-map layout.
@@ -105,7 +136,7 @@ impl PairStore {
                 for a in 0..old_rows {
                     for b in 0..old_cols {
                         let entry = cells[a * old_cols + b];
-                        if entry.count > 0 || entry.corr != 0.0 {
+                        if !entry.is_zero() {
                             map.insert((a as u32, b as u32), entry);
                         }
                     }
@@ -116,19 +147,47 @@ impl PairStore {
     }
 
     #[inline]
-    fn add(&mut self, a: u32, b: u32, delta: f64) {
+    fn add(&mut self, a: u32, b: u32, positive: bool) {
         match self {
             PairStore::Empty => unreachable!("diagonal pair stores are never updated"),
             PairStore::Dense { cols, cells } => {
                 let entry = &mut cells[a as usize * *cols + b as usize];
-                entry.corr += delta;
-                entry.count += 1;
+                if positive {
+                    entry.pos += 1;
+                } else {
+                    entry.neg += 1;
+                }
             }
             PairStore::Map(map) => {
                 let entry = map.entry((a, b)).or_default();
-                entry.corr += delta;
-                entry.count += 1;
+                if positive {
+                    entry.pos += 1;
+                } else {
+                    entry.neg += 1;
+                }
             }
+        }
+    }
+
+    /// Fold another store of the *same* column pair (and hence the same
+    /// layout — layout is a pure function of the code spaces) into this one.
+    /// Entries are integer tallies, so merging shard partials in any order
+    /// equals one accumulation pass over all rows.
+    pub(crate) fn merge(&mut self, other: &PairStore) {
+        match (self, other) {
+            (PairStore::Empty, PairStore::Empty) => {}
+            (PairStore::Dense { cells, .. }, PairStore::Dense { cells: other_cells, .. }) => {
+                debug_assert_eq!(cells.len(), other_cells.len(), "shards share one code space");
+                for (mine, theirs) in cells.iter_mut().zip(other_cells) {
+                    mine.merge(*theirs);
+                }
+            }
+            (PairStore::Map(map), PairStore::Map(other_map)) => {
+                for (&key, entry) in other_map {
+                    map.entry(key).or_default().merge(*entry);
+                }
+            }
+            _ => unreachable!("shard partials of one pair always share a layout"),
         }
     }
 
@@ -223,7 +282,7 @@ impl CompensatoryModel {
         for (r, row) in dataset.rows().enumerate() {
             let conf = constraints.tuple_confidence(dataset.schema(), row, params.lambda);
             conf_sum += conf;
-            let delta = if conf >= params.tau { 1.0 } else { -params.beta };
+            let positive = conf >= params.tau;
             for i in 0..m {
                 let a = encoded.code(r, i);
                 value_counts[i][a as usize] += 1;
@@ -231,7 +290,7 @@ impl CompensatoryModel {
                     if i == j {
                         continue;
                     }
-                    pairs[i * m + j].add(a, encoded.code(r, j), delta);
+                    pairs[i * m + j].add(a, encoded.code(r, j), positive);
                 }
             }
         }
@@ -292,8 +351,7 @@ impl CompensatoryModel {
             .flatten()
             .collect();
         let conf_sum: f64 = confidences.iter().sum();
-        let deltas: Vec<f64> =
-            confidences.iter().map(|&c| if c >= params.tau { 1.0 } else { -params.beta }).collect();
+        let positives: Vec<bool> = confidences.iter().map(|&c| c >= params.tau).collect();
 
         let per_column: Vec<(Vec<u32>, Vec<PairStore>)> = executor.map(m, |i| {
             let mut value_counts = vec![0u32; spaces[i]];
@@ -302,10 +360,10 @@ impl CompensatoryModel {
                 .collect();
             for (r, &a) in encoded.column(i).iter().enumerate() {
                 value_counts[a as usize] += 1;
-                let delta = deltas[r];
+                let positive = positives[r];
                 for (j, store) in stores.iter_mut().enumerate() {
                     if j != i {
-                        store.add(a, encoded.code(r, j), delta);
+                        store.add(a, encoded.code(r, j), positive);
                     }
                 }
             }
@@ -329,14 +387,104 @@ impl CompensatoryModel {
         }
     }
 
+    /// Shard-parallel [`CompensatoryModel::build_parallel`]: splits stage 2
+    /// into `columns × shards` independent tasks — each builds the pair
+    /// stores of one target column over one shard's row range — and folds
+    /// the shard partials per column *in shard order*. The counters are
+    /// integer tallies (`PairEntry`), so the merged model is bit-identical
+    /// to the serial and column-parallel builders at every shard count and
+    /// thread count; the confidence sum is still folded in global row order.
+    pub fn build_sharded(
+        dataset: &Dataset,
+        encoded: &EncodedDataset,
+        constraints: &ConstraintSet,
+        params: CompensatoryParams,
+        executor: &ParallelExecutor,
+        ranges: &[std::ops::Range<usize>],
+    ) -> CompensatoryModel {
+        let m = encoded.num_columns();
+        let n = encoded.num_rows();
+        assert_eq!(n, dataset.num_rows(), "encoded dataset must match the value dataset");
+        debug_assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), n, "shards must cover all rows");
+        let spaces: Vec<usize> = encoded.dicts().iter().map(|d| d.code_space()).collect();
+
+        let schema = dataset.schema();
+        let confidences: Vec<f64> = executor
+            .execute(n, |rows| {
+                rows.map(|r| {
+                    constraints.tuple_confidence(schema, dataset.row(r).expect("row in range"), params.lambda)
+                })
+                .collect::<Vec<f64>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let conf_sum: f64 = confidences.iter().sum();
+        let positives: Vec<bool> = confidences.iter().map(|&c| c >= params.tau).collect();
+
+        // One task per (target column, shard): tasks are keyed
+        // `i * shards + s`, so per-column partials come back shard-ordered.
+        let shards = ranges.len().max(1);
+        let partials: Vec<(Vec<u32>, Vec<PairStore>)> = executor.map(m * shards, |t| {
+            let (i, s) = (t / shards, t % shards);
+            let rows = ranges.get(s).cloned().unwrap_or(0..0);
+            let mut value_counts = vec![0u32; spaces[i]];
+            let mut stores: Vec<PairStore> = (0..m)
+                .map(|j| if i == j { PairStore::Empty } else { PairStore::with_spaces(spaces[i], spaces[j]) })
+                .collect();
+            let column = encoded.column(i);
+            for r in rows {
+                let a = column[r];
+                value_counts[a as usize] += 1;
+                let positive = positives[r];
+                for (j, store) in stores.iter_mut().enumerate() {
+                    if j != i {
+                        store.add(a, encoded.code(r, j), positive);
+                    }
+                }
+            }
+            (value_counts, stores)
+        });
+
+        let mut pairs: Vec<PairStore> = Vec::with_capacity(m * m);
+        let mut value_counts: Vec<Vec<u32>> = Vec::with_capacity(m);
+        for i in 0..m {
+            let mut merged_counts = vec![0u32; spaces[i]];
+            let mut merged_stores: Vec<PairStore> = (0..m)
+                .map(|j| if i == j { PairStore::Empty } else { PairStore::with_spaces(spaces[i], spaces[j]) })
+                .collect();
+            for s in 0..shards {
+                let (counts, stores) = &partials[i * shards + s];
+                for (mine, &theirs) in merged_counts.iter_mut().zip(counts) {
+                    *mine += theirs;
+                }
+                for (merged, partial) in merged_stores.iter_mut().zip(stores) {
+                    merged.merge(partial);
+                }
+            }
+            value_counts.push(merged_counts);
+            pairs.extend(merged_stores);
+        }
+
+        CompensatoryModel {
+            params,
+            dicts: encoded.dicts().to_vec(),
+            pairs,
+            value_counts,
+            num_rows: n,
+            num_cols: m,
+            conf_sum,
+        }
+    }
+
     /// Absorb a freshly appended batch into the counters (the streaming
     /// counterpart of Algorithm 2's per-tuple loop). `encoded` is the
     /// accumulated encoding with the batch already appended at `rows`; the
     /// batch's `Value` rows are still needed because tuple confidences (Eq.
-    /// 3) evaluate arbitrary value predicates. Counter updates land in row
+    /// 3) evaluate arbitrary value predicates. Pair counters are integer
+    /// tallies (`PairEntry`) and the confidence sum accumulates in row
     /// order, so absorbing any batch split of a dataset reproduces the
-    /// one-shot build bit-for-bit — including the order-sensitive signed
-    /// `f64` correlation sums and the confidence sum.
+    /// one-shot build bit-for-bit.
     pub fn absorb(
         &mut self,
         batch: &Dataset,
@@ -351,13 +499,13 @@ impl CompensatoryModel {
             let r = rows.start + offset;
             let conf = constraints.tuple_confidence(batch.schema(), row, self.params.lambda);
             self.conf_sum += conf;
-            let delta = if conf >= self.params.tau { 1.0 } else { -self.params.beta };
+            let positive = conf >= self.params.tau;
             for i in 0..m {
                 let a = encoded.code(r, i);
                 self.value_counts[i][a as usize] += 1;
                 for j in 0..m {
                     if i != j {
-                        self.pairs[i * m + j].add(a, encoded.code(r, j), delta);
+                        self.pairs[i * m + j].add(a, encoded.code(r, j), positive);
                     }
                 }
             }
@@ -472,8 +620,8 @@ impl CompensatoryModel {
                                 if b as u32 == null_j {
                                     continue;
                                 }
-                                slot.0 += entry.count as u64;
-                                slot.1 = slot.1.max(entry.count);
+                                slot.0 += entry.count() as u64;
+                                slot.1 = slot.1.max(entry.count());
                             }
                         }
                     }
@@ -481,8 +629,8 @@ impl CompensatoryModel {
                         for (&(a, b), entry) in map {
                             if a != null_k && b != null_j && (a as usize) < space_k {
                                 let slot = &mut stats[a as usize];
-                                slot.0 += entry.count as u64;
-                                slot.1 = slot.1.max(entry.count);
+                                slot.0 += entry.count() as u64;
+                                slot.1 = slot.1.max(entry.count());
                             }
                         }
                     }
@@ -521,17 +669,17 @@ impl CompensatoryModel {
             return 0.0;
         }
         let entry = self.pair(col_j, col_k).get(c, e);
-        if entry.count == 0 && entry.corr == 0.0 {
+        if entry.is_zero() {
             0.0
         } else {
-            entry.corr / self.num_rows as f64
+            entry.corr(self.params.beta) / self.num_rows as f64
         }
     }
 
     /// Raw (unnormalised) signed correlation counter of a code pair.
     #[inline]
     fn raw_corr(&self, col_j: usize, c: u32, col_k: usize, e: u32) -> f64 {
-        self.pair(col_j, col_k).get(c, e).corr
+        self.pair(col_j, col_k).get(c, e).corr(self.params.beta)
     }
 
     /// `Score_corr(c, t, A_j)` (Eq. 2): accumulated correlation between the
@@ -613,7 +761,7 @@ impl CompensatoryModel {
     /// Code-space [`CompensatoryModel::pair_count`].
     #[inline]
     pub fn pair_count_codes(&self, col_j: usize, c: u32, col_k: usize, e: u32) -> usize {
-        self.pair(col_j, col_k).get(c, e).count as usize
+        self.pair(col_j, col_k).get(c, e).count() as usize
     }
 
     /// Count of a single value in its attribute, `count(v)`.
@@ -947,6 +1095,59 @@ mod tests {
                     parallel.fd_confidence_matrix(),
                     "threads {threads}"
                 );
+            }
+        }
+    }
+
+    /// Sharded builds — per-(column, shard) counter partials merged in
+    /// shard order — must be bit-identical to the serial build for every
+    /// shard and thread count, including a non-integral β (the integer
+    /// pos/neg tallies make the merge exact regardless of β).
+    #[test]
+    fn sharded_build_is_bit_identical_to_serial() {
+        let d = data();
+        let encoded = EncodedDataset::from_dataset(&d);
+        for params in
+            [CompensatoryParams::default(), CompensatoryParams { lambda: 0.25, beta: 0.3, tau: 0.75 }]
+        {
+            let serial = CompensatoryModel::build_encoded(&d, &encoded, &spellcheck_constraints(), params);
+            for shards in [1usize, 2, 3, 5] {
+                for threads in [1usize, 2, 8] {
+                    let executor = crate::exec::ParallelExecutor::new(threads).with_block_size(2);
+                    let ranges = bclean_data::shard_ranges(d.num_rows(), shards);
+                    let sharded = CompensatoryModel::build_sharded(
+                        &d,
+                        &encoded,
+                        &spellcheck_constraints(),
+                        params,
+                        &executor,
+                        &ranges,
+                    );
+                    assert_eq!(serial.mean_confidence().to_bits(), sharded.mean_confidence().to_bits());
+                    assert_eq!(serial.num_rows(), sharded.num_rows());
+                    for (r, row) in d.rows().enumerate() {
+                        let codes: Vec<u32> =
+                            row.iter().zip(serial.dicts()).map(|(v, dict)| dict.encode_lossy(v)).collect();
+                        for col in 0..d.num_columns() {
+                            for candidate in 0..=serial.dicts()[col].unseen_code() {
+                                assert_eq!(
+                                    serial.score_corr_codes(&codes, col, candidate).to_bits(),
+                                    sharded.score_corr_codes(&codes, col, candidate).to_bits(),
+                                    "score row {r} col {col} cand {candidate} shards {shards} threads {threads}"
+                                );
+                                assert_eq!(
+                                    serial.value_count_code(col, candidate),
+                                    sharded.value_count_code(col, candidate)
+                                );
+                            }
+                        }
+                    }
+                    assert_eq!(
+                        serial.fd_confidence_matrix(),
+                        sharded.fd_confidence_matrix(),
+                        "shards {shards} threads {threads}"
+                    );
+                }
             }
         }
     }

@@ -100,6 +100,19 @@ pub struct BCleanConfig {
     pub no_anchor_margin: f64,
     /// Number of worker threads for the cleaning loop (0 = use all cores).
     pub num_threads: usize,
+    /// Number of row shards for partition-level parallelism (0 or 1 = one
+    /// shard). Fitting accumulates per-shard sufficient statistics and
+    /// merges them in shard order; cleaning processes shards concurrently
+    /// and merges repairs in shard order. Both are bit-identical to the
+    /// single-shard run at every shard count (see `bclean_core::shard`).
+    pub num_shards: usize,
+    /// Candidate pruning for high-cardinality columns: when a column's
+    /// dictionary holds more than this many values, candidate enumeration is
+    /// restricted to the `candidate_top_k` most frequent values (ties broken
+    /// in sorted-value order) instead of walking the whole domain. This is a
+    /// scale-only approximation — `usize::MAX` (the default) disables it and
+    /// keeps cleaning exact.
+    pub candidate_top_k: usize,
 }
 
 impl Default for BCleanConfig {
@@ -121,6 +134,8 @@ impl Default for BCleanConfig {
             anchor_min_confidence: 0.65,
             no_anchor_margin: 2.5,
             num_threads: 0,
+            num_shards: 1,
+            candidate_top_k: usize::MAX,
         }
     }
 }
@@ -141,6 +156,24 @@ impl BCleanConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.num_threads = threads;
         self
+    }
+
+    /// Builder-style override of the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.num_shards = shards;
+        self
+    }
+
+    /// Builder-style override of the high-cardinality candidate pruning
+    /// threshold (`usize::MAX` = exact, the default).
+    pub fn with_candidate_top_k(mut self, top_k: usize) -> Self {
+        self.candidate_top_k = top_k;
+        self
+    }
+
+    /// Effective number of row shards (at least 1).
+    pub fn effective_shards(&self) -> usize {
+        self.num_shards.max(1)
     }
 
     /// Effective number of worker threads.
@@ -202,5 +235,16 @@ mod tests {
         assert_eq!(cfg.effective_threads(), 2);
         let auto = BCleanConfig::default();
         assert!(auto.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn shard_and_pruning_defaults_are_exact() {
+        let cfg = BCleanConfig::default();
+        assert_eq!(cfg.effective_shards(), 1);
+        assert_eq!(cfg.candidate_top_k, usize::MAX, "candidate pruning must default to off");
+        let sharded = BCleanConfig::default().with_shards(4).with_candidate_top_k(64);
+        assert_eq!(sharded.effective_shards(), 4);
+        assert_eq!(sharded.candidate_top_k, 64);
+        assert_eq!(BCleanConfig::default().with_shards(0).effective_shards(), 1);
     }
 }

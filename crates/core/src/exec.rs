@@ -20,13 +20,27 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::config::BCleanConfig;
-use crate::report::{CleaningStats, Repair};
+use crate::report::CleaningStats;
 
-/// Rows per scheduling block. Small enough to balance skewed workloads,
-/// large enough to amortise the (tiny) cost of claiming a block. Fixed —
-/// never derived from the thread count — so the partition, and therefore the
-/// merged output, is identical for every thread count.
-const BLOCK_SIZE: usize = 32;
+/// Minimum rows per scheduling block. Small enough to balance skewed
+/// workloads at bench scale (hundreds to thousands of rows), large enough to
+/// amortise the (tiny) cost of claiming a block.
+const MIN_BLOCK_SIZE: usize = 32;
+
+/// Upper bound on the number of scheduling blocks a single workload is split
+/// into. Million-row workloads under the old fixed 32-row blocks produced
+/// tens of thousands of blocks, and the per-block costs (queue claim, result
+/// `Vec` allocation, tagged merge) started to rival the per-row work; capping
+/// the block count keeps the scheduling overhead flat while still leaving
+/// ~256 blocks per worker for load balancing.
+const MAX_BLOCKS: usize = 1024;
+
+/// The scheduling block size for a workload of `items` units: a **pure
+/// function of `items`** — never of the thread count — so the partition, and
+/// therefore the merged output, is identical for every thread count.
+fn adaptive_block_size(items: usize) -> usize {
+    items.div_ceil(MAX_BLOCKS).max(MIN_BLOCK_SIZE)
+}
 
 /// A scoped thread pool that self-schedules fixed-size blocks of an index
 /// space across worker threads and merges results deterministically.
@@ -43,13 +57,15 @@ const BLOCK_SIZE: usize = 32;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelExecutor {
     threads: usize,
+    /// Explicit block-size override; 0 selects [`adaptive_block_size`].
     block_size: usize,
 }
 
 impl ParallelExecutor {
-    /// An executor with an explicit worker count (clamped to at least 1).
+    /// An executor with an explicit worker count (clamped to at least 1) and
+    /// workload-adaptive block sizing.
     pub fn new(threads: usize) -> ParallelExecutor {
-        ParallelExecutor { threads: threads.max(1), block_size: BLOCK_SIZE }
+        ParallelExecutor { threads: threads.max(1), block_size: 0 }
     }
 
     /// The executor configured by a [`BCleanConfig`] for a workload of
@@ -83,10 +99,11 @@ impl ParallelExecutor {
         if items == 0 {
             return Vec::new();
         }
-        let num_blocks = items.div_ceil(self.block_size);
+        let block_size = if self.block_size == 0 { adaptive_block_size(items) } else { self.block_size };
+        let num_blocks = items.div_ceil(block_size);
         let block_range = |block: usize| {
-            let lo = block * self.block_size;
-            lo..((block + 1) * self.block_size).min(items)
+            let lo = block * block_size;
+            lo..((block + 1) * block_size).min(items)
         };
 
         if self.threads <= 1 || num_blocks <= 1 {
@@ -139,8 +156,10 @@ impl ParallelExecutor {
 /// statistics record. Batches must arrive in block order (as produced by
 /// [`ParallelExecutor::execute`]); since each worker emits repairs in
 /// (row, column) order within its block, the concatenation is already
-/// globally sorted.
-pub fn merge_cleaning_batches(batches: Vec<(Vec<Repair>, CleaningStats)>) -> (Vec<Repair>, CleaningStats) {
+/// globally sorted. Generic over the repair representation — the encoded
+/// clean path merges code-space repairs, the reference path merges decoded
+/// [`crate::report::Repair`]s.
+pub fn merge_cleaning_batches<R>(batches: Vec<(Vec<R>, CleaningStats)>) -> (Vec<R>, CleaningStats) {
     let mut repairs = Vec::new();
     let mut stats = CleaningStats::default();
     for (mut batch_repairs, batch_stats) in batches {
@@ -153,6 +172,7 @@ pub fn merge_cleaning_batches(batches: Vec<(Vec<Repair>, CleaningStats)>) -> (Ve
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::Repair;
     use bclean_data::CellRef;
     use bclean_data::Value;
 
@@ -205,6 +225,26 @@ mod tests {
                 assert_eq!(covered, (0..items).collect::<Vec<_>>(), "items={items} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn adaptive_blocks_are_a_pure_function_of_items() {
+        // Small workloads keep the fine-grained 32-row blocks; large ones cap
+        // the block count so scheduling overhead stays flat.
+        assert_eq!(adaptive_block_size(100), MIN_BLOCK_SIZE);
+        assert_eq!(adaptive_block_size(32 * MAX_BLOCKS), MIN_BLOCK_SIZE);
+        assert_eq!(adaptive_block_size(1_000_000), 977);
+        // The partition never depends on the thread count.
+        let one = ParallelExecutor::new(1).execute(100_000, |range| range);
+        let eight = ParallelExecutor::new(8).execute(100_000, |range| range);
+        assert_eq!(one, eight);
+        assert!(one.len() <= MAX_BLOCKS, "{} blocks", one.len());
+        let mut covered = Vec::new();
+        for range in one {
+            covered.extend(range);
+        }
+        assert_eq!(covered.len(), 100_000);
+        assert!(covered.iter().enumerate().all(|(i, &r)| i == r));
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod persist;
 pub mod reference;
 pub mod report;
 pub mod session;
+pub mod shard;
 
 pub use artifact::{CompileCache, ModelArtifact};
 pub use cleaner::{BClean, BCleanModel};

@@ -296,6 +296,8 @@ fn write_config(w: &mut ByteWriter, config: &BCleanConfig) {
     w.f64(config.anchor_min_confidence);
     w.f64(config.no_anchor_margin);
     w.usize(config.num_threads);
+    w.usize(config.num_shards);
+    w.usize(config.candidate_top_k);
 }
 
 /// Decode a [`BCleanConfig`].
@@ -329,6 +331,8 @@ fn read_config(r: &mut ByteReader<'_>) -> Result<BCleanConfig, StoreError> {
         anchor_min_confidence: r.f64()?,
         no_anchor_margin: r.f64()?,
         num_threads: r.usize()?,
+        num_shards: r.usize()?,
+        candidate_top_k: r.usize()?,
     })
 }
 
@@ -357,7 +361,7 @@ fn write_compensatory(w: &mut ByteWriter, model: &CompensatoryModel) {
                 PairStore::Dense { cols, cells } => cells
                     .iter()
                     .enumerate()
-                    .filter(|(_, e)| e.count > 0 || e.corr != 0.0)
+                    .filter(|(_, e)| !e.is_zero())
                     .map(|(i, e)| ((i / cols) as u32, (i % cols) as u32, *e))
                     .collect(),
                 PairStore::Map(map) => map.iter().map(|(&(a, b), e)| (a, b, *e)).collect(),
@@ -367,8 +371,8 @@ fn write_compensatory(w: &mut ByteWriter, model: &CompensatoryModel) {
             for (a, b, entry) in entries {
                 w.u32(a);
                 w.u32(b);
-                w.f64(entry.corr);
-                w.u32(entry.count);
+                w.u32(entry.pos);
+                w.u32(entry.neg);
             }
         }
     }
@@ -420,12 +424,12 @@ fn read_compensatory(
                 continue;
             }
             let mut store = PairStore::with_spaces(spaces[j], spaces[k]);
-            let len = r.bounded_len(r.remaining() / 20, "pair entries")?;
+            let len = r.bounded_len(r.remaining() / 16, "pair entries")?;
             let mut previous: Option<(u32, u32)> = None;
             for _ in 0..len {
                 let a = r.u32()?;
                 let b = r.u32()?;
-                let entry = PairEntry { corr: r.f64()?, count: r.u32()? };
+                let entry = PairEntry { pos: r.u32()?, neg: r.u32()? };
                 if (a as usize) >= spaces[j] || (b as usize) >= spaces[k] {
                     return Err(StoreError::Corrupt(format!(
                         "pair ({j}, {k}) entry ({a}, {b}) outside the code spaces"
@@ -607,6 +611,8 @@ mod tests {
         config.structure.glasso.rho = 0.42;
         config.max_candidates = 1234;
         config.repair_margin = 0.125;
+        config.num_shards = 4;
+        config.candidate_top_k = 64;
         let mut w = ByteWriter::new();
         write_config(&mut w, &config);
         let bytes = w.into_bytes();

@@ -34,6 +34,7 @@ pub mod domain;
 pub mod encoded;
 pub mod error;
 pub mod schema;
+pub mod shard;
 pub mod value;
 
 pub use cooc::{column_code_counts, mode_share, PairCounts, DENSE_CELL_CAP};
@@ -44,4 +45,5 @@ pub use domain::{AttributeDomain, Domains};
 pub use encoded::{BatchAppend, ColumnDict, EncodedDataset};
 pub use error::{DataError, DataResult};
 pub use schema::{AttrType, Attribute, Schema};
+pub use shard::shard_ranges;
 pub use value::{format_number, Value};

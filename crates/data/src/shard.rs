@@ -1,0 +1,90 @@
+//! Row-range sharding of a dataset.
+//!
+//! A *shard* is a contiguous, non-overlapping range of row indices; the
+//! shards of a dataset partition `0..num_rows` exactly. Sharding is the unit
+//! of partition-level parallelism in the fit and clean pipelines: every shard
+//! is processed independently (per-shard sufficient statistics, per-shard
+//! cleaning) and the per-shard results are merged **in shard order**, so the
+//! outcome is identical to a single pass over `0..num_rows` — the shard
+//! count, like the thread count, only changes wall-clock.
+//!
+//! [`shard_ranges`] is a pure function of `(num_rows, num_shards)`: the same
+//! inputs always produce the same partition, on every thread count and every
+//! run.
+
+use std::ops::Range;
+
+/// Split `0..num_rows` into `num_shards` contiguous balanced ranges.
+///
+/// The first `num_rows % num_shards` shards hold one extra row; shards are
+/// never empty (a shard count above the row count is clamped), so the
+/// returned vector has `min(num_shards, num_rows).max(1)` entries — except
+/// for an empty dataset, which yields a single empty range.
+///
+/// ```
+/// use bclean_data::shard_ranges;
+///
+/// assert_eq!(shard_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+/// assert_eq!(shard_ranges(2, 8).len(), 2);
+/// assert_eq!(shard_ranges(0, 4), vec![0..0]);
+/// ```
+pub fn shard_ranges(num_rows: usize, num_shards: usize) -> Vec<Range<usize>> {
+    if num_rows == 0 {
+        // A single empty shard, not an empty shard list: callers iterate the
+        // returned ranges and must see the (vacuous) partition of `0..0`.
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..0];
+    }
+    let shards = num_shards.clamp(1, num_rows);
+    let base = num_rows / shards;
+    let extra = num_rows % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for shard in 0..shards {
+        let len = base + usize::from(shard < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, num_rows);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_partition_the_row_space_exactly() {
+        for rows in [1usize, 2, 7, 31, 32, 100, 1000, 99_991] {
+            for shards in [1usize, 2, 3, 4, 8, 16, 1000] {
+                let ranges = shard_ranges(rows, shards);
+                assert_eq!(ranges.len(), shards.min(rows));
+                let mut next = 0;
+                for range in &ranges {
+                    assert_eq!(range.start, next, "rows={rows} shards={shards}");
+                    assert!(!range.is_empty(), "rows={rows} shards={shards}");
+                    next = range.end;
+                }
+                assert_eq!(next, rows);
+                // Balanced: sizes differ by at most one row.
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "rows={rows} shards={shards} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(shard_ranges(0, 4), vec![0..0]);
+        assert_eq!(shard_ranges(0, 0), vec![0..0]);
+        assert_eq!(shard_ranges(5, 0), vec![0..5]);
+        assert_eq!(shard_ranges(5, 1), vec![0..5]);
+    }
+
+    #[test]
+    fn sharding_is_deterministic() {
+        assert_eq!(shard_ranges(100_000, 4), shard_ranges(100_000, 4));
+        assert_eq!(shard_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+}

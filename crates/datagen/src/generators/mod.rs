@@ -1,4 +1,5 @@
-//! Clean dataset generators, one per benchmark of the paper's Table 2.
+//! Clean dataset generators: one per benchmark of the paper's Table 2,
+//! plus the wide-schema scale variant (not part of Table 2).
 
 pub mod beers;
 pub mod facilities;
@@ -6,3 +7,4 @@ pub mod flights;
 pub mod hospital;
 pub mod inpatient;
 pub mod soccer;
+pub mod wide;

@@ -1,0 +1,150 @@
+//! Wide-schema scale benchmark generator (32 attributes).
+//!
+//! None of the six Table-2 benchmarks exceeds 15 attributes, so they cannot
+//! exercise the per-column cost terms of the engine (structure learning is
+//! quadratic in columns, cleaning is linear). This generator produces a
+//! 32-column table organised as eight independent *facets* of four columns
+//! each: a key column that functionally determines the facet's three
+//! dependent columns. Every facet draws from its own entity pool, so the
+//! table carries 8 × 3 = 24 learnable FDs with realistic fan-out while
+//! staying cheap to synthesise at millions of rows.
+//!
+//! This dataset is deliberately **not** part of
+//! [`crate::BenchmarkDataset::all`]: it reproduces nothing from the paper's
+//! Table 2 and exists only for the scale tier (see [`crate::scale`]).
+
+use bclean_data::{Attribute, Dataset, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::{
+    pick, BEER_STYLES, CITIES, CONDITIONS, FACILITY_PREFIXES, LAST_NAMES, POSITIONS, STREET_NAMES,
+};
+
+/// Number of facets (independent key → dependents groups).
+pub const NUM_FACETS: usize = 8;
+
+/// Columns per facet: one key plus three dependents.
+const FACET_WIDTH: usize = 4;
+
+/// Total number of attributes in the wide schema.
+pub const NUM_COLUMNS: usize = NUM_FACETS * FACET_WIDTH;
+
+/// Entities per facet pool; facet `g` gets `20 + 5·g` entities so the
+/// facets span a range of cardinalities (20 … 55).
+fn pool_size(facet: usize) -> usize {
+    20 + 5 * facet
+}
+
+/// One entry of a facet's entity pool: the key value and the three values
+/// it functionally determines.
+struct FacetEntity {
+    key: String,
+    name: String,
+    category: String,
+    flag: String,
+}
+
+/// Per-facet vocabulary used for the `name` and `category` columns.
+fn facet_vocab(facet: usize) -> (&'static [&'static str], &'static [&'static str]) {
+    match facet % 4 {
+        0 => (STREET_NAMES, CONDITIONS),
+        1 => (LAST_NAMES, POSITIONS),
+        2 => (FACILITY_PREFIXES, BEER_STYLES),
+        _ => (LAST_NAMES, CONDITIONS),
+    }
+}
+
+fn build_pool(facet: usize, rng: &mut StdRng) -> Vec<FacetEntity> {
+    let (names, categories) = facet_vocab(facet);
+    (0..pool_size(facet))
+        .map(|j| {
+            let (city, state, _) = *pick(rng, CITIES);
+            FacetEntity {
+                key: format!("f{facet}-{:03}", j),
+                name: format!("{} {}", pick(rng, names), city.split_whitespace().next().unwrap_or(city)),
+                category: format!("{} ({state})", pick(rng, categories)),
+                flag: if rng.gen_bool(0.7) { "yes" } else { "no" }.to_string(),
+            }
+        })
+        .collect()
+}
+
+/// The wide schema: eight facets of (`F{g}Key`, `F{g}Name`, `F{g}Category`,
+/// `F{g}Flag`), 32 categorical attributes in total.
+pub fn schema() -> Schema {
+    let mut attrs = Vec::with_capacity(NUM_COLUMNS);
+    for g in 0..NUM_FACETS {
+        attrs.push(Attribute::categorical(format!("F{g}Key")));
+        attrs.push(Attribute::text(format!("F{g}Name")));
+        attrs.push(Attribute::categorical(format!("F{g}Category")));
+        attrs.push(Attribute::categorical(format!("F{g}Flag")));
+    }
+    Schema::new(attrs).expect("static schema is valid")
+}
+
+/// Generate a clean wide-schema dataset with `rows` tuples.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pools: Vec<Vec<FacetEntity>> = (0..NUM_FACETS).map(|g| build_pool(g, &mut rng)).collect();
+    let mut ds = Dataset::with_capacity(schema(), rows);
+    let mut row = Vec::with_capacity(NUM_COLUMNS);
+    for _ in 0..rows {
+        row.clear();
+        for pool in &pools {
+            let entity = &pool[rng.gen_range(0..pool.len())];
+            row.push(Value::Text(entity.key.clone()));
+            row.push(Value::text(entity.name.clone()));
+            row.push(Value::text(entity.category.clone()));
+            row.push(Value::text(entity.flag.clone()));
+        }
+        ds.push_row(row.clone()).expect("row arity matches schema");
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate(300, 11);
+        assert_eq!(a.num_rows(), 300);
+        assert_eq!(a.num_columns(), NUM_COLUMNS);
+        assert!(a.num_columns() >= 30, "wide schema must have 30+ columns");
+        assert_eq!(a, generate(300, 11));
+        assert_ne!(a, generate(300, 12));
+    }
+
+    #[test]
+    fn every_facet_key_determines_its_dependents() {
+        let d = generate(500, 3);
+        for g in 0..NUM_FACETS {
+            let base = g * 4;
+            let mut seen: HashMap<String, Vec<String>> = HashMap::new();
+            for row in d.rows() {
+                let key = row[base].to_string();
+                let dependent: Vec<String> = (base + 1..base + 4).map(|c| row[c].to_string()).collect();
+                let entry = seen.entry(key).or_insert_with(|| dependent.clone());
+                assert_eq!(entry, &dependent, "facet {g} FD violated");
+            }
+            assert!(seen.len() >= pool_size(g) / 2, "facet {g} pool under-sampled");
+        }
+    }
+
+    #[test]
+    fn facet_pools_are_independent_per_facet() {
+        let d = generate(200, 5);
+        let keys_0: std::collections::HashSet<String> = d.rows().map(|r| r[0].to_string()).collect();
+        let keys_1: std::collections::HashSet<String> = d.rows().map(|r| r[4].to_string()).collect();
+        assert!(keys_0.iter().all(|k| k.starts_with("f0-")));
+        assert!(keys_1.iter().all(|k| k.starts_with("f1-")));
+    }
+
+    #[test]
+    fn no_nulls_in_clean_data() {
+        assert_eq!(generate(300, 5).null_count(), 0);
+    }
+}

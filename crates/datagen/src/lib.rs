@@ -24,8 +24,10 @@
 
 pub mod errors;
 pub mod generators;
+pub mod scale;
 pub mod spec;
 pub mod vocab;
 
 pub use errors::{inject_errors, DirtyDataset, ErrorSpec, ErrorType, InjectedError, SwapMode};
+pub use scale::{build_at_scale, build_wide, build_wide_at_scale, ScaleFactor};
 pub use spec::BenchmarkDataset;
