@@ -51,8 +51,8 @@ pub use network::{log_softmax_to_probs, BayesianNetwork, DEFAULT_ALPHA};
 pub use partition::{partition, SubNetwork};
 pub use sim::{edit_similarity, levenshtein, numeric_similarity, value_similarity, value_similarity_typed};
 pub use structure::{
-    autoregression_matrix, bic_score, hill_climb, learn_structure, learn_structure_encoded,
-    learn_structure_encoded_cached, similarity_samples, similarity_samples_encoded,
-    similarity_samples_encoded_cached, threshold_to_dag, FdxConfig, HillClimbConfig, LearnedStructure,
-    StructureCaches, StructureConfig,
+    autoregression_matrix, bic_score, budget_row_sample, hill_climb, learn_structure,
+    learn_structure_budgeted, learn_structure_encoded, learn_structure_encoded_cached, similarity_samples,
+    similarity_samples_encoded, similarity_samples_encoded_cached, threshold_to_dag, FdxConfig,
+    HillClimbConfig, LearnedStructure, StructureCaches, StructureConfig,
 };

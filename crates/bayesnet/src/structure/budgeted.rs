@@ -1,0 +1,299 @@
+//! Budgeted (sketch-backed) structure learning.
+//!
+//! [`learn_structure_budgeted`] runs the same pipeline as
+//! [`learn_structure_encoded`](crate::learn_structure_encoded) — similarity
+//! sampling, graphical lasso, LDLᵀ decomposition, thresholding, low-lift
+//! pruning — but bounds the two places the exact pipeline's cost scales with
+//! data size:
+//!
+//! * **rows**: similarity samples are computed over a deterministic bottom-k
+//!   row sample ([`RowReservoir`]) instead of every row. The gathered sample
+//!   shares the full encoding's dictionaries, so codes, cardinalities and
+//!   the attribute ordering keep their full-dataset meaning.
+//! * **code spaces**: the low-lift edge validation replaces `cardinality²`
+//!   contingency tables with [`BucketedPairCounts`] over small per-column
+//!   bucket maps — heavy-hitter codes for categorical/text attributes
+//!   ([`heavy_hitter_codes`]), rank-quantile ranges from a [`KllSketch`] for
+//!   numeric ones. Columns whose code space already fits the budget keep
+//!   exact identity maps. The validation reads the same row sample the
+//!   similarity statistics use, so no structure-search stage scans every
+//!   row; only CPT and compensatory counting downstream of the learned DAG
+//!   do.
+//!
+//! Everything is seeded from [`BudgetParams::seed`], so the learned
+//! structure is a pure function of `(encoded data, types, config, params)`.
+
+use std::collections::HashMap;
+
+use bclean_data::{bucketed_mode_share, AttrType, BucketedPairCounts, CodeBuckets, EncodedDataset};
+use bclean_linalg::{correlation_matrix, graphical_lasso, Matrix};
+use bclean_sketch::{heavy_hitter_codes, BudgetParams, KllSketch, RowReservoir};
+
+use crate::graph::Dag;
+use crate::structure::fdx::similarity_samples_encoded;
+use crate::structure::skeleton::{
+    autoregression_matrix, threshold_to_dag, LearnedStructure, StructureConfig,
+};
+
+/// The deterministic row sample a budget selects from an encoding: bottom-k
+/// indices under the budget's seed, ascending. Exposed so callers (bench
+/// harnesses, diagnostics) can inspect exactly which rows a budgeted fit
+/// read; streams within the budget are used in full.
+pub fn budget_row_sample(num_rows: usize, params: &BudgetParams) -> Vec<usize> {
+    let mut reservoir = RowReservoir::new(params.sample_rows.max(1), params.seed);
+    reservoir.offer_range(0..num_rows);
+    reservoir.selected_rows()
+}
+
+/// Budgeted twin of
+/// [`learn_structure_encoded`](crate::learn_structure_encoded) (see the
+/// module docs). With a budget covering the whole dataset (sample ≥ rows,
+/// code spaces within the bucket budgets) the result is identical to the
+/// exact learner; under a real budget the similarity statistics come from
+/// the row sample and edge validation runs in bucket space.
+pub fn learn_structure_budgeted(
+    encoded: &EncodedDataset,
+    types: &[AttrType],
+    config: StructureConfig,
+    params: &BudgetParams,
+) -> LearnedStructure {
+    let m = encoded.num_columns();
+    let empty = || LearnedStructure {
+        dag: Dag::new(m),
+        weights: Matrix::zeros(m, m),
+        precision: Matrix::identity(m.max(1)),
+        ordering: (0..m).collect(),
+    };
+
+    let sample_rows = budget_row_sample(encoded.num_rows(), params);
+    let sample = encoded.gather(&sample_rows);
+
+    let Some(samples) = similarity_samples_encoded(&sample, types, config.fdx) else {
+        return empty();
+    };
+    let Ok(cov) = correlation_matrix(&samples) else {
+        return empty();
+    };
+    let Ok(glasso_result) = graphical_lasso(&cov, config.glasso) else {
+        return empty();
+    };
+    let precision = glasso_result.precision;
+
+    // The sample shares dictionaries with the full encoding, so this is the
+    // full dataset's cardinality ordering, not the sample's.
+    let mut ordering: Vec<usize> = (0..m).collect();
+    ordering
+        .sort_by(|&a, &b| encoded.dict(b).cardinality().cmp(&encoded.dict(a).cardinality()).then(a.cmp(&b)));
+
+    let weights = autoregression_matrix(&precision, &ordering);
+    let mut dag = threshold_to_dag(&weights, config.weight_threshold, config.max_parents);
+    // Edge validation runs over the same row sample as the similarity
+    // statistics (the sample shares the full encoding's dictionaries, so
+    // bucket maps and confidences keep their code-space meaning): lift
+    // pruning is part of structure search, and scanning all rows here would
+    // put an O(rows)-per-edge floor under an otherwise sample-bounded fit.
+    prune_low_lift_edges_budgeted(&sample, types, &mut dag, config.min_fd_lift, params);
+    LearnedStructure { dag, weights, precision, ordering }
+}
+
+/// Bucket-space low-lift pruning: the same lift rule as the exact pruner,
+/// with confidence and baseline both computed in each column's coarsened
+/// bucket space so the comparison is apples-to-apples.
+fn prune_low_lift_edges_budgeted(
+    encoded: &EncodedDataset,
+    types: &[AttrType],
+    dag: &mut Dag,
+    min_lift: f64,
+    params: &BudgetParams,
+) {
+    if encoded.num_rows() == 0 || min_lift <= 0.0 {
+        return;
+    }
+    let mut bucket_maps: HashMap<usize, CodeBuckets> = HashMap::new();
+    let mut buckets_for = |col: usize| -> CodeBuckets {
+        bucket_maps.entry(col).or_insert_with(|| column_buckets(encoded, col, types[col], params)).clone()
+    };
+    for (from, to) in dag.edges() {
+        let buckets_to = buckets_for(to);
+        let table =
+            BucketedPairCounts::from_encoded(encoded, from, to, buckets_for(from), buckets_to.clone());
+        let conf = table.fd_confidence();
+        let baseline = bucketed_mode_share(encoded, to, &buckets_to);
+        if conf < baseline + min_lift && conf < 0.999 {
+            let _ = dag.remove_edge(from, to);
+        }
+    }
+}
+
+/// The bucket map of one column under a budget. Columns within the budget
+/// keep exact identity maps (bucketing them would only lose information);
+/// above it, numeric columns are cut into rank-quantile ranges and
+/// categorical/text columns keep their heavy-hitter codes plus a catch-all.
+fn column_buckets(encoded: &EncodedDataset, col: usize, ty: AttrType, params: &BudgetParams) -> CodeBuckets {
+    let dict = encoded.dict(col);
+    let space = dict.code_space();
+    let null = dict.null_code();
+    let budget = match ty {
+        AttrType::Numeric => params.sketch_k.max(1),
+        AttrType::Categorical | AttrType::Text => params.heavy_hitters.max(1),
+    };
+    if dict.cardinality() <= budget {
+        return CodeBuckets::exact(space, null);
+    }
+    // Per-column seed: mixed inside the sketches, so a plain offset suffices.
+    let seed = params.seed.wrapping_add(col as u64);
+    match ty {
+        AttrType::Numeric => {
+            // Bucket codes by quantile ranges of their sorted rank, weighted
+            // by how often each code occurs. Ranks follow value order
+            // (the code-order invariant), so rank ranges are value ranges.
+            let mut sketch = KllSketch::new(params.sketch_k.max(8), seed);
+            for &code in encoded.column(col) {
+                if dict.is_value_code(code) {
+                    sketch.update(dict.sort_rank(code) as f64);
+                }
+            }
+            let cuts = sketch.bucket_boundaries(budget.saturating_sub(1));
+            let value_buckets = cuts.len() as u32 + 1;
+            let map: Vec<u32> = (0..space as u32)
+                .map(|code| {
+                    if dict.is_value_code(code) {
+                        let rank = dict.sort_rank(code) as f64;
+                        cuts.partition_point(|&cut| cut < rank) as u32
+                    } else {
+                        value_buckets
+                    }
+                })
+                .collect();
+            CodeBuckets::from_map(map, value_buckets, None)
+        }
+        AttrType::Categorical | AttrType::Text => {
+            let tracked = heavy_hitter_codes(
+                encoded.column(col).iter().copied().filter(|&code| dict.is_value_code(code)),
+                budget,
+                seed,
+            );
+            CodeBuckets::from_tracked(space, null, &tracked)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::skeleton::learn_structure_encoded;
+    use bclean_data::dataset_from;
+
+    fn fd_dataset(rows: usize) -> bclean_data::Dataset {
+        let zips = ["35150", "35960", "36750", "35901"];
+        let states = ["CA", "KT", "AL", "NY"];
+        let all: Vec<Vec<String>> = (0..rows)
+            .map(|i| {
+                let z = i % 4;
+                vec![zips[z].to_string(), states[z].to_string(), format!("n{}", (i * 7) % 8)]
+            })
+            .collect();
+        dataset_from(
+            &["Zip", "State", "Noise"],
+            &all.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect::<Vec<_>>(),
+        )
+    }
+
+    fn types_of(d: &bclean_data::Dataset) -> Vec<AttrType> {
+        (0..d.num_columns()).map(|c| d.schema().attribute(c).unwrap().ty).collect()
+    }
+
+    /// A budget generous enough to cover the whole dataset must reproduce
+    /// the exact learner bit-for-bit: same sample rows, same bucket maps
+    /// (all exact), same statistics.
+    #[test]
+    fn generous_budget_matches_exact_learner() {
+        let ds = fd_dataset(64);
+        let types = types_of(&ds);
+        let encoded = EncodedDataset::from_dataset(&ds);
+        let params = BudgetParams { sample_rows: 1000, ..Default::default() };
+        let exact = learn_structure_encoded(&encoded, &types, StructureConfig::default());
+        let budgeted = learn_structure_budgeted(&encoded, &types, StructureConfig::default(), &params);
+        assert_eq!(exact.dag.edges(), budgeted.dag.edges());
+        assert_eq!(exact.ordering, budgeted.ordering);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(exact.weights.get(i, j).to_bits(), budgeted.weights.get(i, j).to_bits());
+                assert_eq!(exact.precision.get(i, j).to_bits(), budgeted.precision.get(i, j).to_bits());
+            }
+        }
+    }
+
+    /// Under a real row budget the learner must stay deterministic per seed
+    /// and still find the strong FD edge.
+    #[test]
+    fn sampled_learning_is_deterministic_and_finds_the_edge() {
+        let ds = fd_dataset(400);
+        let types = types_of(&ds);
+        let encoded = EncodedDataset::from_dataset(&ds);
+        let params = BudgetParams { sample_rows: 80, seed: 17, ..Default::default() };
+        let a = learn_structure_budgeted(&encoded, &types, StructureConfig::default(), &params);
+        let b = learn_structure_budgeted(&encoded, &types, StructureConfig::default(), &params);
+        assert_eq!(a.dag.edges(), b.dag.edges());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a.weights.get(i, j).to_bits(), b.weights.get(i, j).to_bits());
+            }
+        }
+        assert!(
+            a.dag.has_edge(0, 1) || a.dag.has_edge(1, 0),
+            "expected a Zip~State edge from the sampled fit, got {:?}",
+            a.dag.edges()
+        );
+        assert!(a.dag.is_acyclic());
+        // The sample really is a subset of the requested size.
+        let rows = budget_row_sample(400, &params);
+        assert_eq!(rows.len(), 80);
+        assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        assert!(rows.iter().all(|&r| r < 400));
+    }
+
+    /// Degenerate inputs fall back to the empty structure like the exact
+    /// learner.
+    #[test]
+    fn degenerate_inputs_yield_empty_structure() {
+        let tiny = dataset_from(&["a", "b"], &[vec!["1", "2"]]);
+        let types = types_of(&tiny);
+        let encoded = EncodedDataset::from_dataset(&tiny);
+        let s =
+            learn_structure_budgeted(&encoded, &types, StructureConfig::default(), &BudgetParams::default());
+        assert_eq!(s.dag.num_edges(), 0);
+        assert_eq!(s.ordering, vec![0, 1]);
+    }
+
+    /// High-cardinality categorical columns get tracked-code maps; numeric
+    /// columns get rank-quantile maps; small columns stay exact.
+    #[test]
+    fn bucket_maps_respect_the_budget() {
+        let rows: Vec<Vec<String>> =
+            (0..600).map(|i| vec![format!("k{:03}", i % 200), format!("{}", i % 150)]).collect();
+        let ds = dataset_from(
+            &["Key", "Num"],
+            &rows.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect::<Vec<_>>(),
+        );
+        let encoded = EncodedDataset::from_dataset(&ds);
+        let params = BudgetParams { sketch_k: 16, heavy_hitters: 16, ..Default::default() };
+        let key = column_buckets(&encoded, 0, AttrType::Text, &params);
+        assert_eq!(key.num_buckets(), 18, "16 tracked + null + other");
+        assert!(key.other_bucket().is_some());
+        let num = column_buckets(&encoded, 1, AttrType::Numeric, &params);
+        assert!(num.num_buckets() <= 17, "at most 16 ranges + null, got {}", num.num_buckets());
+        assert!(num.other_bucket().is_none(), "quantile ranges cover every code");
+        let small = column_buckets(&encoded, 1, AttrType::Categorical, &params);
+        // 150 distinct numbers exceed the 16-code budget as categorical too.
+        assert!(small.other_bucket().is_some());
+        let exact = column_buckets(
+            &encoded,
+            1,
+            AttrType::Categorical,
+            &BudgetParams { heavy_hitters: 200, ..Default::default() },
+        );
+        assert!(exact.other_bucket().is_none());
+        assert_eq!(exact.num_buckets(), encoded.dict(1).code_space());
+    }
+}

@@ -1,10 +1,12 @@
 //! Structure learning: FDX-style similarity sampling, graphical-lasso
 //! skeleton construction and a hill-climbing baseline.
 
+pub mod budgeted;
 pub mod fdx;
 pub mod hill_climbing;
 pub mod skeleton;
 
+pub use budgeted::{budget_row_sample, learn_structure_budgeted};
 pub use fdx::{
     similarity_samples, similarity_samples_encoded, similarity_samples_encoded_cached, CodePairHasher,
     FdxConfig, SimilarityCache,

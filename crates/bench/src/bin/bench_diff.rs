@@ -69,8 +69,11 @@ const KNOWN_TOP_LEVEL_KEYS: &[&str] = &[
     "threads",
 ];
 
-/// Keys of one record inside the `speedups` array.
-const KNOWN_RECORD_KEYS: &[&str] = &["variant", "threads", "speedup"];
+/// Keys of one record inside the `speedups` array. `agreement` rides along
+/// on budgeted-vs-exact fit records (`BENCH_fit.json`'s wide tier): the
+/// repair agreement of the budgeted artifact against the exact one — the
+/// accuracy half of a speedup whose fast path is approximate.
+const KNOWN_RECORD_KEYS: &[&str] = &["variant", "threads", "speedup", "agreement"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -18,14 +18,15 @@ use std::time::Duration;
 use bclean_bayesnet::NetworkEdit;
 use bclean_bench::{Scale, EXPERIMENT_SEED};
 use bclean_core::{
-    BClean, BCleanConfig, CleaningSession, CompensatoryParams, ConstraintKind, ModelArtifact, Variant,
+    BClean, BCleanConfig, BudgetParams, CleaningSession, CompensatoryParams, ConstraintKind, FitBudget,
+    ModelArtifact, Variant,
 };
 use bclean_datagen::{
     build_wide, BenchmarkDataset, DirtyDataset, ErrorSpec, ErrorType, ScaleFactor, SwapMode,
 };
 use bclean_eval::{
-    bclean_constraints, evaluate, format_duration, run_bclean_evaluated, run_method, run_methods,
-    ErrorTypeRecall, Method, MethodRun, TextTable,
+    bclean_constraints, evaluate, format_duration, repair_agreement, run_bclean_evaluated, run_method,
+    run_methods, ErrorTypeRecall, Method, MethodRun, TextTable,
 };
 
 /// Default worker-thread sweep of the `bench_clean` / `bench_fit`
@@ -412,13 +413,19 @@ fn fig5(scale: Scale) {
 /// snapshot: one `{variant, threads, speedup}` record per measured pair, a
 /// minimum, and the wall-clock. `bench_diff` matches baseline/candidate
 /// records on `(variant, threads)`.
-fn speedups_json(speedups: &[(String, usize, f64)], min_speedup: f64, total_seconds: f64) -> String {
-    let records: Vec<String> = speedups
+fn speedups_json(
+    speedups: &[(String, usize, f64)],
+    extra_records: &[String],
+    min_speedup: f64,
+    total_seconds: f64,
+) -> String {
+    let mut records: Vec<String> = speedups
         .iter()
         .map(|(name, threads, s)| {
             format!("    {{\"variant\": \"{name}\", \"threads\": {threads}, \"speedup\": {s:.3}}}")
         })
         .collect();
+    records.extend(extra_records.iter().cloned());
     format!(
         "  \"speedups\": [\n{}\n  ],\n  \"min_speedup\": {:.3},\n  \"total_wall_seconds\": {:.3}\n}}\n",
         records.join(",\n"),
@@ -535,7 +542,7 @@ fn bench_clean(scale: Scale, threads_sweep: &[usize]) {
         iters,
         fits_json.join(",\n"),
         runs_json.join(",\n"),
-        speedups_json(&speedups, min_speedup, total_start.elapsed().as_secs_f64()),
+        speedups_json(&speedups, &[], min_speedup, total_start.elapsed().as_secs_f64()),
     );
     match std::fs::write("BENCH_clean.json", &json) {
         Ok(()) => println!("wrote BENCH_clean.json (min speedup {min_speedup:.2}x)\n"),
@@ -634,7 +641,85 @@ fn bench_fit(scale: Scale, threads_sweep: &[usize]) {
     }
     println!("{}", table.render());
 
-    let min_speedup = speedups.iter().map(|(_, _, s)| *s).fold(f64::INFINITY, f64::min);
+    // Wide-schema scale tier: the sketch-budget fit (`FitBudget::Budgeted`)
+    // against the exact default on the 32-column scale dataset, serial. The
+    // timed surface is `fit_artifact` — the artifact production `bclean
+    // fit` runs (CPT compilation is a clean-time cost both paths share
+    // unchanged). Repair agreement is measured outside the timing loop by
+    // cleaning with both artifacts under the same top-k pruned config: the
+    // budget approximates structure *search* only (pair tallies stay exact
+    // through the hybrid stores), so agreement records how often the
+    // sampled search still lands on repairs the exact fit would make.
+    let factor = match scale {
+        Scale::Small => ScaleFactor::S10K,
+        Scale::Default => ScaleFactor::S100K,
+        Scale::Full => ScaleFactor::S1M,
+    };
+    let wide_rows = factor.rows();
+    println!("### wide-schema tier — budgeted vs exact fit ({wide_rows} rows)\n");
+    let wide = build_wide(wide_rows, EXPERIMENT_SEED);
+    let budget = BudgetParams {
+        sample_rows: (wide_rows / 5).clamp(2_000, 20_000),
+        heavy_hitters: 64,
+        ..BudgetParams::default()
+    };
+    let exact_cfg = Variant::PartitionedInference.config().with_threads(1).with_candidate_top_k(16);
+    let budgeted_cfg = exact_cfg.clone().with_fit_budget(FitBudget::Budgeted(budget));
+    let wide_iters = if scale == Scale::Full { 2usize } else { 3 };
+    let mut wide_table =
+        TextTable::new(vec!["Engine", "Fit artifact (best)", "Rows/s", "Edges", "Repairs", "Speedup"]);
+    let mut wide_measured: Vec<(&str, f64, usize, Vec<bclean_core::Repair>)> = Vec::new();
+    for (engine, cfg) in [("exact", &exact_cfg), ("budgeted", &budgeted_cfg)] {
+        let mut best = f64::INFINITY;
+        let mut artifact = None;
+        for _ in 0..wide_iters {
+            let start = std::time::Instant::now();
+            artifact = Some(BClean::new(cfg.clone()).fit_artifact(&wide.dirty));
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let artifact = artifact.expect("at least one wide fit iteration ran");
+        let model = artifact.compile();
+        let edges = model.network().dag().num_edges();
+        let repairs = model.clean(&wide.dirty).repairs;
+        wide_measured.push((engine, best, edges, repairs));
+    }
+    let wide_speedup = wide_measured[0].1 / wide_measured[1].1.max(1e-12);
+    let agreement = repair_agreement(&wide_measured[0].3, &wide_measured[1].3);
+    for (engine, best, edges, repairs) in &wide_measured {
+        let rows_per_sec = wide_rows as f64 / best.max(1e-12);
+        wide_table.add_row(vec![
+            engine.to_string(),
+            format!("{best:.4}s"),
+            format!("{rows_per_sec:.0}"),
+            edges.to_string(),
+            repairs.len().to_string(),
+            if *engine == "budgeted" { format!("{wide_speedup:.2}x") } else { "1.00x".to_string() },
+        ]);
+        runs_json.push(format!(
+            "    {{\"variant\": \"wide\", \"engine\": \"{}\", \"threads\": 1, \"rows\": {}, \
+             \"fit_seconds\": {:.6}, \"rows_per_sec\": {:.2}, \"structure_edges\": {}, \
+             \"repairs\": {}, \"sample_rows\": {}, \"heavy_hitters\": {}, \"agreement\": {:.4}}}",
+            engine,
+            wide_rows,
+            best,
+            rows_per_sec,
+            edges,
+            repairs.len(),
+            budget.sample_rows,
+            budget.heavy_hitters,
+            agreement,
+        ));
+    }
+    println!("{}", wide_table.render());
+    println!(
+        "wide tier: budgeted-vs-exact fit speedup {wide_speedup:.2}x, repair agreement {agreement:.4}\n"
+    );
+    let wide_record = format!(
+        "    {{\"variant\": \"wide/budgeted-vs-exact\", \"threads\": 1, \"speedup\": {wide_speedup:.3}, \
+         \"agreement\": {agreement:.4}}}"
+    );
+
+    let min_speedup = speedups.iter().map(|(_, _, s)| *s).fold(f64::INFINITY, f64::min).min(wide_speedup);
     let threads_json: Vec<String> = threads_sweep.iter().map(|t| t.to_string()).collect();
     let json = format!(
         "{{\n  \"benchmark\": \"Hospital\",\n  \"scale\": \"{:?}\",\n  \"rows\": {},\n  \
@@ -647,7 +732,7 @@ fn bench_fit(scale: Scale, threads_sweep: &[usize]) {
         threads_json.join(", "),
         iters,
         runs_json.join(",\n"),
-        speedups_json(&speedups, min_speedup, total_start.elapsed().as_secs_f64()),
+        speedups_json(&speedups, &[wide_record], min_speedup, total_start.elapsed().as_secs_f64()),
     );
     match std::fs::write("BENCH_fit.json", &json) {
         Ok(()) => println!("wrote BENCH_fit.json (min speedup {min_speedup:.2}x)\n"),
@@ -831,7 +916,7 @@ fn bench_stream(scale: Scale) {
         clean_iters,
         min_ratio,
         runs_json.join(",\n"),
-        speedups_json(&speedups, min_speedup, total_start.elapsed().as_secs_f64()),
+        speedups_json(&speedups, &[], min_speedup, total_start.elapsed().as_secs_f64()),
     );
     match std::fs::write("BENCH_stream.json", &json) {
         Ok(()) => println!(
@@ -976,7 +1061,7 @@ fn bench_scale(scale: Scale) {
         fit_serial_seconds,
         fit_sharded_seconds,
         runs_json.join(",\n"),
-        speedups_json(&speedups, min_speedup, total_start.elapsed().as_secs_f64()),
+        speedups_json(&speedups, &[], min_speedup, total_start.elapsed().as_secs_f64()),
     );
     match std::fs::write("BENCH_scale.json", &json) {
         Ok(()) => println!("wrote BENCH_scale.json (min speedup {min_speedup:.2}x)\n"),

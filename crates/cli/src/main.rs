@@ -30,7 +30,9 @@ use std::env;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use bclean_core::{repairs_to_csv, BClean, ConstraintSet, ModelArtifact, UserConstraint, Variant};
+use bclean_core::{
+    repairs_to_csv, BClean, BudgetParams, ConstraintSet, FitBudget, ModelArtifact, UserConstraint, Variant,
+};
 use bclean_data::{read_csv_file, write_csv_file, Dataset};
 use bclean_profile::{find_outliers, suggest_constraints, DatasetProfile, OutlierConfig, SuggestConfig};
 use bclean_store::{read_container_file, ContainerReader};
@@ -52,10 +54,11 @@ fn usage() -> &'static str {
     "usage:
   bclean fit     <data.csv> -o <model.bclean> [-c constraints.bc] [--suggest]
                             [--variant basic|nouc|pi|pip] [--threads N] [--shards N]
+                            [--fit-sample ROWS] [--sketch-budget K]
   bclean clean   <data.csv> [-m model.bclean] [-o cleaned.csv] [--repairs repairs.csv]
                             [--report report.json] [-c constraints.bc]
                             [--variant basic|nouc|pi|pip] [--threads N] [--shards N]
-                            [--max-repairs N]
+                            [--max-repairs N] [--fit-sample ROWS] [--sketch-budget K]
   bclean ingest  <batch.csv> -m <model.bclean> [-o updated.bclean]
   bclean inspect <model.bclean>
   bclean profile <data.csv>
@@ -97,6 +100,30 @@ struct CommonArgs {
     shards: Option<usize>,
     suggest: bool,
     max_repairs: Option<usize>,
+    fit_sample: Option<usize>,
+    sketch_budget: Option<usize>,
+}
+
+impl CommonArgs {
+    /// The fit budget the budget flags spell out: either flag switches the
+    /// fit to `Budgeted`, with the other parameters at their defaults.
+    /// `--fit-sample` caps the rows feeding structure learning;
+    /// `--sketch-budget` sets both the quantile-sketch capacity and the
+    /// per-column heavy-hitter budget.
+    fn fit_budget(&self) -> Option<FitBudget> {
+        if self.fit_sample.is_none() && self.sketch_budget.is_none() {
+            return None;
+        }
+        let mut params = BudgetParams::default();
+        if let Some(rows) = self.fit_sample {
+            params.sample_rows = rows;
+        }
+        if let Some(k) = self.sketch_budget {
+            params.sketch_k = k;
+            params.heavy_hitters = k;
+        }
+        Some(FitBudget::Budgeted(params))
+    }
 }
 
 fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
@@ -144,6 +171,16 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
             "--max-repairs" => {
                 let n = flag_value("--max-repairs")?;
                 parsed.max_repairs = Some(n.parse().map_err(|_| format!("invalid --max-repairs {n:?}"))?);
+                i += 2;
+            }
+            "--fit-sample" => {
+                let n = flag_value("--fit-sample")?;
+                parsed.fit_sample = Some(n.parse().map_err(|_| format!("invalid --fit-sample {n:?}"))?);
+                i += 2;
+            }
+            "--sketch-budget" => {
+                let n = flag_value("--sketch-budget")?;
+                parsed.sketch_budget = Some(n.parse().map_err(|_| format!("invalid --sketch-budget {n:?}"))?);
                 i += 2;
             }
             "--suggest" => {
@@ -212,6 +249,14 @@ fn fit_command(args: &[String]) -> Result<(), String> {
     if let Some(shards) = args.shards {
         config = config.with_shards(shards);
     }
+    if let Some(budget) = args.fit_budget() {
+        config = config.with_fit_budget(budget);
+        let p = budget.params().expect("the flags always spell a budgeted fit");
+        eprintln!(
+            "budgeted fit: structure sample {} rows, sketch capacity {}, {} heavy hitters per column",
+            p.sample_rows, p.sketch_k, p.heavy_hitters
+        );
+    }
     let start = std::time::Instant::now();
     let artifact = BClean::new(config).with_constraints(constraints).fit_artifact(&data);
     artifact.save(output).map_err(|e| format!("cannot save {output}: {e}"))?;
@@ -246,6 +291,8 @@ fn clean_command(args: &[String]) -> Result<(), String> {
                     ("-c/--constraints", args.constraints.is_some()),
                     ("--variant", args.variant.is_some()),
                     ("--suggest", args.suggest),
+                    ("--fit-sample", args.fit_sample.is_some()),
+                    ("--sketch-budget", args.sketch_budget.is_some()),
                 ],
             )?;
             let mut artifact = ModelArtifact::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
@@ -268,6 +315,9 @@ fn clean_command(args: &[String]) -> Result<(), String> {
             }
             if let Some(shards) = args.shards {
                 config = config.with_shards(shards);
+            }
+            if let Some(budget) = args.fit_budget() {
+                config = config.with_fit_budget(budget);
             }
             let model = BClean::new(config).with_constraints(constraints).fit(&data);
             model.clean(&data)
@@ -324,6 +374,8 @@ fn ingest_command(args: &[String]) -> Result<(), String> {
             ("--threads", args.threads.is_some()),
             ("--shards", args.shards.is_some()),
             ("--max-repairs", args.max_repairs.is_some()),
+            ("--fit-sample", args.fit_sample.is_some()),
+            ("--sketch-budget", args.sketch_budget.is_some()),
         ],
     )?;
     let input = args.input.as_deref().ok_or("missing <batch.csv>")?;
@@ -352,6 +404,13 @@ fn inspect_command(path: &str) -> Result<(), String> {
     println!("{path}: bclean model artifact, format version {}", container.version());
     println!("  schema hash   {:016x}", artifact.schema_hash());
     println!("  rows absorbed {}", artifact.num_rows());
+    match artifact.config().fit_budget.params() {
+        None => println!("  fit budget    exact"),
+        Some(p) => println!(
+            "  fit budget    budgeted (sample {}, sketch {}, heavy hitters {})",
+            p.sample_rows, p.sketch_k, p.heavy_hitters
+        ),
+    }
     let names = artifact.attribute_names();
     println!("  attributes    {}", names.len());
     for (name, ty) in names.iter().zip(artifact.attribute_types()) {

@@ -36,7 +36,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bclean_bayesnet::{
-    learn_structure_encoded, BayesianNetwork, CompiledNetwork, Dag, NetworkEdit, NetworkEditor, NodeCounts,
+    learn_structure_budgeted, learn_structure_encoded, BayesianNetwork, CompiledNetwork, Dag, NetworkEdit,
+    NetworkEditor, NodeCounts,
 };
 use bclean_data::{AttrType, CellRef, ColumnDict, Dataset, Domains, EncodedDataset, Schema, Value};
 use bclean_rules::Rule;
@@ -46,6 +47,24 @@ use crate::config::BCleanConfig;
 use crate::constraints::ConstraintSet;
 use crate::exec::{merge_cleaning_batches, ParallelExecutor};
 use crate::report::{CleaningResult, CleaningStats, Repair};
+
+/// Minimum projected fit work — `columns × rows` cell visits — below which
+/// the fit-stage executors stay serial regardless of the configured thread
+/// count.
+///
+/// Fanning a fit out has a fixed cost (thread spawns, the block queue, the
+/// ordered merge of per-task results) of a few tens of microseconds that the
+/// per-cell counting work must amortise. On small inputs it never does:
+/// `BENCH_fit.json` showed the encoded Hospital fit (1 000 rows × 20
+/// columns ≈ 2×10⁴ cell visits) *slowing down* from one thread to two
+/// (0.0217 s → 0.0269 s) because every fit stage paid the fan-out toll for
+/// sub-millisecond work items. 2¹⁶ cell visits is the measured break-even
+/// neighbourhood on that benchmark — roughly a millisecond of counting —
+/// while anything bench-scale (10⁴+ rows × dozens of columns) clears the
+/// threshold immediately and parallelises as before. Results are unaffected
+/// either way: every fit stage is bit-identical at all thread counts, so the
+/// threshold only moves wall-clock.
+const FIT_PARALLEL_MIN_WORK: usize = 1 << 16;
 
 /// The BClean system: configuration plus user constraints.
 #[derive(Debug, Clone, Default)]
@@ -104,7 +123,14 @@ impl BClean {
         let types: Vec<AttrType> = (0..dataset.num_columns())
             .map(|c| dataset.schema().attribute(c).expect("column in range").ty)
             .collect();
-        let structure = learn_structure_encoded(&encoded, &types, self.config.structure);
+        // With a fit budget, structure learning runs over a deterministic
+        // row reservoir and bucketed contingency tables (see
+        // `bclean_bayesnet::structure::budgeted`); everything downstream of
+        // the structure choice still sees every row.
+        let structure = match self.config.fit_budget.params() {
+            Some(budget) => learn_structure_budgeted(&encoded, &types, self.config.structure, budget),
+            None => learn_structure_encoded(&encoded, &types, self.config.structure),
+        };
         self.artifact_from_encoded(dataset, &encoded, structure.dag)
     }
 
@@ -135,7 +161,7 @@ impl BClean {
         let shards = self.config.effective_shards().min(dataset.num_rows().max(1));
         let shard_plan =
             if shards > 1 { Some(bclean_data::shard_ranges(dataset.num_rows(), shards)) } else { None };
-        let executor = ParallelExecutor::for_config(&self.config, m);
+        let executor = self.fit_executor(m, dataset.num_rows(), m);
         let node_counts: Vec<NodeCounts> = match &shard_plan {
             Some(ranges) => crate::shard::sharded_node_counts(encoded, &dag, &executor, ranges),
             None => executor.map(m, |node| NodeCounts::accumulate(encoded, node, &dag.parents(node))),
@@ -145,9 +171,21 @@ impl BClean {
             (0..m).map(|c| dataset.schema().attribute(c).expect("column in range").ty).collect();
         let constraints =
             if self.config.use_constraints { self.constraints.clone() } else { ConstraintSet::new() };
-        let row_executor = ParallelExecutor::for_config(&self.config, dataset.num_rows());
-        let compensatory = match &shard_plan {
-            Some(ranges) => CompensatoryModel::build_sharded(
+        let row_executor = self.fit_executor(m, dataset.num_rows(), dataset.num_rows());
+        let compensatory = match (self.config.fit_budget.params(), &shard_plan) {
+            // The budgeted pair pass ignores the shard grid: hybrid
+            // core/tail tallies are integers owned per target column and
+            // filled in row order, so the result is shard-invariant by
+            // construction.
+            (Some(budget), _) => CompensatoryModel::build_budgeted(
+                dataset,
+                encoded,
+                &constraints,
+                self.config.params,
+                &row_executor,
+                budget,
+            ),
+            (None, Some(ranges)) => CompensatoryModel::build_sharded(
                 dataset,
                 encoded,
                 &constraints,
@@ -155,7 +193,7 @@ impl BClean {
                 &row_executor,
                 ranges,
             ),
-            None => CompensatoryModel::build_parallel(
+            (None, None) => CompensatoryModel::build_parallel(
                 dataset,
                 encoded,
                 &constraints,
@@ -172,6 +210,18 @@ impl BClean {
             node_counts,
             compensatory,
         )
+    }
+
+    /// The executor for one fit stage over `items` work units: serial when
+    /// the dataset's projected fit work (`cols × rows` cell visits) falls
+    /// below [`FIT_PARALLEL_MIN_WORK`], the configured thread count
+    /// otherwise. See the threshold's docs for the measured rationale.
+    fn fit_executor(&self, cols: usize, rows: usize, items: usize) -> ParallelExecutor {
+        if cols.saturating_mul(rows) < FIT_PARALLEL_MIN_WORK {
+            ParallelExecutor::new(1)
+        } else {
+            ParallelExecutor::for_config(&self.config, items)
+        }
     }
 }
 

@@ -91,6 +91,97 @@ impl PairEntry {
 /// Dense pair tables above this cell count switch to the hash-map layout.
 const DENSE_PAIR_CELL_CAP: usize = 1 << 14;
 
+/// One axis of a [`PairStore::Bounded`] table: a total map from the column's
+/// code space onto a small dense slot space. A *tracked* side collapses
+/// everything but its heavy-hitter codes into one aggregation slot (null
+/// keeps a slot of its own so FD statistics can still exclude it by
+/// position); an *identity* side — a column whose cardinality fit the budget
+/// — keeps every code as its own slot.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BoundedSide {
+    /// `code -> slot` over the column's full code space.
+    map: Vec<u32>,
+    /// The tracked value codes, ascending; `None` marks an identity side.
+    tracked: Option<Vec<u32>>,
+    /// Slot-space size along this axis.
+    dims: usize,
+    /// The column's null code (its slot is `map[null_code]`).
+    null_code: u32,
+    /// Aggregation slot for untracked codes; `u32::MAX` on identity sides,
+    /// which have no such slot.
+    other_slot: u32,
+}
+
+impl BoundedSide {
+    /// A heavy-hitter side: the `tracked` codes (ascending value codes) get
+    /// slots `0..t`, null gets slot `t`, every other code aggregates into
+    /// slot `t + 1`.
+    fn with_tracked(space: usize, null_code: u32, tracked: &[u32]) -> BoundedSide {
+        let t = tracked.len();
+        let other_slot = (t + 1) as u32;
+        let mut map = vec![other_slot; space];
+        for (slot, &code) in tracked.iter().enumerate() {
+            map[code as usize] = slot as u32;
+        }
+        if (null_code as usize) < space {
+            map[null_code as usize] = t as u32;
+        }
+        BoundedSide { map, tracked: Some(tracked.to_vec()), dims: t + 2, null_code, other_slot }
+    }
+
+    /// An identity side: every code of the (small) space is its own slot.
+    fn identity(space: usize, null_code: u32) -> BoundedSide {
+        BoundedSide {
+            map: (0..space as u32).collect(),
+            tracked: None,
+            dims: space,
+            null_code,
+            other_slot: u32::MAX,
+        }
+    }
+
+    /// Slot of the column's null code.
+    #[inline]
+    fn null_slot(&self) -> u32 {
+        self.map.get(self.null_code as usize).copied().unwrap_or(u32::MAX)
+    }
+
+    /// The original code a slot stands for; `None` for the aggregation slot.
+    fn code_of_slot(&self, slot: usize) -> Option<u32> {
+        match &self.tracked {
+            None => Some(slot as u32),
+            Some(codes) if slot < codes.len() => Some(codes[slot]),
+            Some(codes) if slot == codes.len() => Some(self.null_code),
+            Some(_) => None,
+        }
+    }
+
+    /// Grow the side to a larger code space (appends only add codes at the
+    /// tail). Tracked sides route every new code into the aggregation slot —
+    /// the tracked set is frozen at fit time — so their `dims` never change;
+    /// identity sides extend the identity map and report the dims change so
+    /// the owning store can regrow its cell matrix.
+    fn grow(&mut self, new_space: usize) -> bool {
+        if new_space <= self.map.len() {
+            return false;
+        }
+        match &self.tracked {
+            Some(_) => {
+                let fill = self.other_slot;
+                self.map.resize(new_space, fill);
+                false
+            }
+            None => {
+                for code in self.map.len()..new_space {
+                    self.map.push(code as u32);
+                }
+                self.dims = new_space;
+                true
+            }
+        }
+    }
+}
+
 /// Co-occurrence counters of one ordered column pair `(j, k)`, indexed by the
 /// columns' dictionary codes (null codes included; unseen codes always miss).
 #[derive(Debug, Clone)]
@@ -101,6 +192,19 @@ pub(crate) enum PairStore {
     Dense { cols: usize, cells: Vec<PairEntry> },
     /// Sparse map over observed code pairs.
     Map(HashMap<(u32, u32), PairEntry>),
+    /// Budget-bounded hybrid table (see
+    /// [`CompensatoryModel::build_budgeted`]): a dense heavy-hitter core
+    /// plus a sparse exact tail. Each axis maps its full code space onto at
+    /// most `heavy_hitters + 2` slots; pairs where both codes are tracked
+    /// land in the dense `cells` as O(1) array bumps, and the few pairs
+    /// touching an untracked code spill into the `tail` map with their
+    /// original codes. Because heavy-hitter lists are chosen by frequency,
+    /// the tail sees only the rare-value fraction of the row mass — the
+    /// store keeps *exact* tallies for every pair while paying hash-map
+    /// costs only on that sliver. (The aggregation slots of the dense core
+    /// are reserved by the layout but never written: the tail holds the
+    /// untracked mass exactly.)
+    Bounded { a: BoundedSide, b: BoundedSide, cells: Vec<PairEntry>, tail: HashMap<(u32, u32), PairEntry> },
 }
 
 impl PairStore {
@@ -110,6 +214,12 @@ impl PairStore {
         } else {
             PairStore::Map(HashMap::new())
         }
+    }
+
+    /// A bounded store over the two sides' slot spaces, with an empty tail.
+    pub(crate) fn bounded(a: BoundedSide, b: BoundedSide) -> PairStore {
+        let cells = vec![PairEntry::default(); a.dims * b.dims];
+        PairStore::Bounded { a, b, cells, tail: HashMap::new() }
     }
 
     /// Grow a dense store to the columns' new code spaces (appends only ever
@@ -143,6 +253,22 @@ impl PairStore {
                 }
                 *self = PairStore::Map(map);
             }
+        } else if let PairStore::Bounded { a, b, cells, .. } = self {
+            // The tail is keyed by original codes, which appends never
+            // renumber, so only the dense core may need regrowing.
+            let (old_dims_a, old_dims_b) = (a.dims, b.dims);
+            let grew_a = a.grow(new_rows);
+            let grew_b = b.grow(new_cols);
+            if grew_a || grew_b {
+                // Only identity sides change dims, and they append slots at
+                // the tail, so existing cells keep their coordinates.
+                let mut grown = vec![PairEntry::default(); a.dims * b.dims];
+                for sa in 0..old_dims_a {
+                    grown[sa * b.dims..sa * b.dims + old_dims_b]
+                        .copy_from_slice(&cells[sa * old_dims_b..(sa + 1) * old_dims_b]);
+                }
+                *cells = grown;
+            }
         }
     }
 
@@ -160,6 +286,23 @@ impl PairStore {
             }
             PairStore::Map(map) => {
                 let entry = map.entry((a, b)).or_default();
+                if positive {
+                    entry.pos += 1;
+                } else {
+                    entry.neg += 1;
+                }
+            }
+            PairStore::Bounded { a: side_a, b: side_b, cells, tail } => {
+                // Heavy-hitter pairs take the O(1) dense path; the rare
+                // fraction touching an untracked code spills into the exact
+                // tail under its original code pair.
+                let sa = side_a.map[a as usize];
+                let sb = side_b.map[b as usize];
+                let entry = if sa == side_a.other_slot || sb == side_b.other_slot {
+                    tail.entry((a, b)).or_default()
+                } else {
+                    &mut cells[sa as usize * side_b.dims + sb as usize]
+                };
                 if positive {
                     entry.pos += 1;
                 } else {
@@ -187,6 +330,18 @@ impl PairStore {
                     map.entry(key).or_default().merge(*entry);
                 }
             }
+            (
+                PairStore::Bounded { a, b, cells, tail },
+                PairStore::Bounded { a: oa, b: ob, cells: other_cells, tail: other_tail },
+            ) => {
+                debug_assert!(a == oa && b == ob, "shard partials of one pair share a bounded layout");
+                for (mine, theirs) in cells.iter_mut().zip(other_cells) {
+                    mine.merge(*theirs);
+                }
+                for (&key, entry) in other_tail {
+                    tail.entry(key).or_default().merge(*entry);
+                }
+            }
             _ => unreachable!("shard partials of one pair always share a layout"),
         }
     }
@@ -204,7 +359,102 @@ impl PairStore {
                 }
             }
             PairStore::Map(map) => map.get(&(a, b)).copied().unwrap_or_default(),
+            PairStore::Bounded { a: side_a, b: side_b, cells, tail } => {
+                // Tracked pairs read the dense core; pairs touching an
+                // untracked code read the exact tail, so every point query
+                // answers the true tally (only out-of-range codes — foreign
+                // encodings, candidate sentinels — miss to zero).
+                let (Some(&sa), Some(&sb)) = (side_a.map.get(a as usize), side_b.map.get(b as usize)) else {
+                    return PairEntry::default();
+                };
+                if sa == side_a.other_slot || sb == side_b.other_slot {
+                    return tail.get(&(a, b)).copied().unwrap_or_default();
+                }
+                cells[sa as usize * side_b.dims + sb as usize]
+            }
         }
+    }
+
+    /// The store's non-zero entries as `(code_a, code_b, entry)` triples
+    /// sorted by code pair — the persistence wire form. Bounded aggregation
+    /// slots serialise with the `u32::MAX` sentinel in place of a code.
+    pub(crate) fn persisted_entries(&self) -> Vec<(u32, u32, PairEntry)> {
+        let mut entries: Vec<(u32, u32, PairEntry)> = match self {
+            PairStore::Empty => Vec::new(),
+            PairStore::Dense { cols, cells } => cells
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.is_zero())
+                .map(|(i, e)| ((i / cols) as u32, (i % cols) as u32, *e))
+                .collect(),
+            PairStore::Map(map) => map.iter().map(|(&(a, b), e)| (a, b, *e)).collect(),
+            PairStore::Bounded { a, b, cells, tail } => cells
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.is_zero())
+                .map(|(i, e)| {
+                    let (sa, sb) = (i / b.dims, i % b.dims);
+                    (a.code_of_slot(sa).unwrap_or(u32::MAX), b.code_of_slot(sb).unwrap_or(u32::MAX), *e)
+                })
+                .chain(tail.iter().map(|(&(a, b), e)| (a, b, *e)))
+                .collect(),
+        };
+        entries.sort_by_key(|&(a, b, _)| (a, b));
+        entries
+    }
+
+    /// Install one persisted entry (the inverse of
+    /// [`PairStore::persisted_entries`]); the caller has already validated
+    /// plain codes against the code spaces and the sorted-distinct order.
+    pub(crate) fn insert_persisted(&mut self, a: u32, b: u32, entry: PairEntry) -> Result<(), String> {
+        match self {
+            PairStore::Empty => Err("diagonal stores hold no entries".to_string()),
+            PairStore::Dense { cols, cells } => {
+                cells[a as usize * *cols + b as usize] = entry;
+                Ok(())
+            }
+            PairStore::Map(map) => {
+                map.insert((a, b), entry);
+                Ok(())
+            }
+            PairStore::Bounded { a: side_a, b: side_b, cells, tail } => {
+                let sa = Self::persisted_slot(side_a, a)?;
+                let sb = Self::persisted_slot(side_b, b)?;
+                match (sa, sb) {
+                    (Some(sa), Some(sb)) => cells[sa * side_b.dims + sb] = entry,
+                    // Entries touching an untracked code belong to the
+                    // exact tail, keyed by their original code pair.
+                    _ => {
+                        tail.insert((a, b), entry);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolve a persisted code onto a bounded side's dense slot —
+    /// `Ok(None)` marks an untracked code (a tail entry), and codes the
+    /// fit-time layout could never have emitted are rejected. The
+    /// `u32::MAX` aggregation sentinel is accepted for compatibility with
+    /// artifacts written before the exact tail existed; its mass lands in
+    /// the (otherwise unwritten) aggregation slot, which no query reads.
+    fn persisted_slot(side: &BoundedSide, code: u32) -> Result<Option<usize>, String> {
+        if code == u32::MAX {
+            if side.tracked.is_none() {
+                return Err("aggregation sentinel on an identity side".to_string());
+            }
+            return Ok(Some(side.other_slot as usize));
+        }
+        let slot = side
+            .map
+            .get(code as usize)
+            .copied()
+            .ok_or_else(|| format!("code {code} outside the code space"))?;
+        if side.tracked.is_some() && slot == side.other_slot {
+            return Ok(None);
+        }
+        Ok(Some(slot as usize))
     }
 }
 
@@ -229,6 +479,57 @@ pub struct CompensatoryModel {
     /// the sum — not the mean — so streaming absorbs reproduce the one-shot
     /// float sequence exactly).
     pub(crate) conf_sum: f64,
+    /// Per-column heavy-hitter code lists of a budgeted fit (ascending value
+    /// codes), `None` for columns stored exactly. Exact models are all
+    /// `None`. Frozen at fit time: absorbs route new codes into the
+    /// aggregation slots, so the bounded layouts never reshuffle.
+    pub(crate) tracked: Vec<Option<Vec<u32>>>,
+}
+
+/// The pair-store layout of one ordered column pair under a (possibly empty)
+/// set of per-column tracked heavy-hitter lists: bounded as soon as either
+/// side is tracked, the exact dense/map choice otherwise. Pure function of
+/// the dictionaries and tracked lists, shared by the budgeted builder and
+/// the persistence reader so a reload always reconstructs the fit layout.
+pub(crate) fn pair_store_for(
+    dicts: &[ColumnDict],
+    tracked: &[Option<Vec<u32>>],
+    j: usize,
+    k: usize,
+) -> PairStore {
+    if j == k {
+        return PairStore::Empty;
+    }
+    if tracked[j].is_none() && tracked[k].is_none() {
+        return PairStore::with_spaces(dicts[j].code_space(), dicts[k].code_space());
+    }
+    let side = |col: usize| match &tracked[col] {
+        Some(codes) => BoundedSide::with_tracked(dicts[col].code_space(), dicts[col].null_code(), codes),
+        None => BoundedSide::identity(dicts[col].code_space(), dicts[col].null_code()),
+    };
+    PairStore::bounded(side(j), side(k))
+}
+
+/// The tracked heavy-hitter list of one column under a budget: the
+/// `heavy_hitters` most frequent value codes (ties broken by ascending
+/// code), returned ascending — or `None` when the whole domain fits the
+/// budget. Null and unseen sentinels always keep their own slots and are
+/// never tracked.
+pub(crate) fn tracked_codes_for(
+    dict: &ColumnDict,
+    value_counts: &[u32],
+    heavy_hitters: usize,
+) -> Option<Vec<u32>> {
+    if dict.cardinality() <= heavy_hitters.max(1) {
+        return None;
+    }
+    let null = dict.null_code();
+    let unseen = dict.unseen_code();
+    let mut ranked: Vec<u32> = (0..value_counts.len() as u32).filter(|&c| c != null && c != unseen).collect();
+    ranked.sort_by_key(|&c| (std::cmp::Reverse(value_counts[c as usize]), c));
+    ranked.truncate(heavy_hitters.max(1));
+    ranked.sort_unstable();
+    Some(ranked)
 }
 
 impl CompensatoryModel {
@@ -303,6 +604,7 @@ impl CompensatoryModel {
             num_rows: n,
             num_cols: m,
             conf_sum,
+            tracked: vec![None; m],
         }
     }
 
@@ -384,6 +686,7 @@ impl CompensatoryModel {
             num_rows: n,
             num_cols: m,
             conf_sum,
+            tracked: vec![None; m],
         }
     }
 
@@ -474,6 +777,127 @@ impl CompensatoryModel {
             num_rows: n,
             num_cols: m,
             conf_sum,
+            tracked: vec![None; m],
+        }
+    }
+
+    /// Budget-bounded [`CompensatoryModel::build_parallel`]: the fit-time
+    /// pair pass of a budgeted fit (`BCleanConfig::fit_budget`).
+    ///
+    /// Every statistic the scorers read — value counts, tuple confidences,
+    /// the row count *and* the pair tallies — stays **exact**; the budget
+    /// changes the pair stores' *representation*, not their answers. Every
+    /// column whose cardinality exceeds `budget.heavy_hitters` gets a
+    /// tracked list of its most frequent value codes (from the exact
+    /// counts; ties break by ascending code), and each pair store touching
+    /// such a column becomes a hybrid `PairStore::Bounded`: pairs of
+    /// tracked codes count into a dense `≤ (heavy_hitters + 2)²` core with
+    /// O(1) array bumps, while the rare fraction touching an untracked code
+    /// spills into a sparse exact tail. Heavy-hitter lists are frequency-
+    /// ranked, so the hash-map path is paid only on the tail of the mass
+    /// distribution (a few percent of incidences on heavy-tailed columns)
+    /// instead of on every row as in the exact `Map` layout.
+    ///
+    /// The build ignores any configured shard grid: cells and tail tallies
+    /// are integers owned by one worker per target column and filled in row
+    /// order, and the confidence sum folds in row order, so the budgeted
+    /// model is bit-identical at every shard *and* thread count by
+    /// construction.
+    pub fn build_budgeted(
+        dataset: &Dataset,
+        encoded: &EncodedDataset,
+        constraints: &ConstraintSet,
+        params: CompensatoryParams,
+        executor: &ParallelExecutor,
+        budget: &bclean_sketch::BudgetParams,
+    ) -> CompensatoryModel {
+        let m = encoded.num_columns();
+        let n = encoded.num_rows();
+        assert_eq!(n, dataset.num_rows(), "encoded dataset must match the value dataset");
+        let spaces: Vec<usize> = encoded.dicts().iter().map(|d| d.code_space()).collect();
+
+        let schema = dataset.schema();
+        let confidences: Vec<f64> = executor
+            .execute(n, |rows| {
+                rows.map(|r| {
+                    constraints.tuple_confidence(schema, dataset.row(r).expect("row in range"), params.lambda)
+                })
+                .collect::<Vec<f64>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let conf_sum: f64 = confidences.iter().sum();
+        let positives: Vec<bool> = confidences.iter().map(|&c| c >= params.tau).collect();
+
+        // Exact value counts first: the tracked lists derive from them, and
+        // they stay exact in the model (domains, anchors and group-size
+        // guards keep their unbudgeted semantics).
+        let value_counts: Vec<Vec<u32>> = executor.map(m, |i| {
+            let mut counts = vec![0u32; spaces[i]];
+            for &a in encoded.column(i) {
+                counts[a as usize] += 1;
+            }
+            counts
+        });
+        let tracked: Vec<Option<Vec<u32>>> = (0..m)
+            .map(|i| tracked_codes_for(&encoded.dicts()[i], &value_counts[i], budget.heavy_hitters))
+            .collect();
+
+        let per_column: Vec<Vec<PairStore>> = executor.map(m, |i| {
+            let mut stores: Vec<PairStore> =
+                (0..m).map(|j| pair_store_for(encoded.dicts(), &tracked, i, j)).collect();
+            let col_i = encoded.column(i);
+            for (j, store) in stores.iter_mut().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let col_j = encoded.column(j);
+                // One tight pass per ordered pair: the store variant is
+                // matched once out here (not per row), and the hot Bounded
+                // arm runs over two contiguous code columns with the side
+                // maps borrowed up front — this pass is the entire
+                // row-linear cost of a budgeted fit.
+                match store {
+                    PairStore::Bounded { a: side_a, b: side_b, cells, tail } => {
+                        let (map_a, map_b) = (&side_a.map[..], &side_b.map[..]);
+                        let (other_a, other_b) = (side_a.other_slot, side_b.other_slot);
+                        let dims_b = side_b.dims;
+                        for ((&a, &b), &positive) in col_i.iter().zip(col_j).zip(&positives) {
+                            let sa = map_a[a as usize];
+                            let sb = map_b[b as usize];
+                            let entry = if sa == other_a || sb == other_b {
+                                tail.entry((a, b)).or_default()
+                            } else {
+                                &mut cells[sa as usize * dims_b + sb as usize]
+                            };
+                            if positive {
+                                entry.pos += 1;
+                            } else {
+                                entry.neg += 1;
+                            }
+                        }
+                    }
+                    _ => {
+                        for ((&a, &b), &positive) in col_i.iter().zip(col_j).zip(&positives) {
+                            store.add(a, b, positive);
+                        }
+                    }
+                }
+            }
+            stores
+        });
+        let pairs: Vec<PairStore> = per_column.into_iter().flatten().collect();
+
+        CompensatoryModel {
+            params,
+            dicts: encoded.dicts().to_vec(),
+            pairs,
+            value_counts,
+            num_rows: n,
+            num_cols: m,
+            conf_sum,
+            tracked,
         }
     }
 
@@ -627,6 +1051,36 @@ impl CompensatoryModel {
                     }
                     PairStore::Map(map) => {
                         for (&(a, b), entry) in map {
+                            if a != null_k && b != null_j && (a as usize) < space_k {
+                                let slot = &mut stats[a as usize];
+                                slot.0 += entry.count() as u64;
+                                slot.1 = slot.1.max(entry.count());
+                            }
+                        }
+                    }
+                    PairStore::Bounded { a: side_k, b: side_j, cells, tail } => {
+                        // Dense core first (tracked × tracked groups), then
+                        // the exact tail — together they cover every
+                        // observed pair, so the statistic matches the exact
+                        // builders'. Aggregation slots are never written
+                        // and are skipped by position like nulls.
+                        let (null_slot_k, null_slot_j) = (side_k.null_slot(), side_j.null_slot());
+                        for slot_a in 0..side_k.dims {
+                            if slot_a as u32 == null_slot_k || slot_a as u32 == side_k.other_slot {
+                                continue;
+                            }
+                            let Some(code_a) = side_k.code_of_slot(slot_a) else { continue };
+                            let slot = &mut stats[code_a as usize];
+                            let row = &cells[slot_a * side_j.dims..(slot_a + 1) * side_j.dims];
+                            for (slot_b, entry) in row.iter().enumerate() {
+                                if slot_b as u32 == null_slot_j || slot_b as u32 == side_j.other_slot {
+                                    continue;
+                                }
+                                slot.0 += entry.count() as u64;
+                                slot.1 = slot.1.max(entry.count());
+                            }
+                        }
+                        for (&(a, b), entry) in tail {
                             if a != null_k && b != null_j && (a as usize) < space_k {
                                 let slot = &mut stats[a as usize];
                                 slot.0 += entry.count() as u64;

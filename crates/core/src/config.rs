@@ -1,6 +1,7 @@
 //! Configuration of the BClean cleaner and its paper variants.
 
 use bclean_bayesnet::StructureConfig;
+use bclean_sketch::FitBudget;
 
 use crate::compensatory::CompensatoryParams;
 
@@ -113,6 +114,15 @@ pub struct BCleanConfig {
     /// scale-only approximation — `usize::MAX` (the default) disables it and
     /// keeps cleaning exact.
     pub candidate_top_k: usize,
+    /// Fit-time approximation budget (sketch-based sub-linear fitting).
+    /// [`FitBudget::Exact`] — the default — fits bit-identically to the
+    /// pre-budget pipeline; [`FitBudget::Budgeted`] learns the structure
+    /// from a deterministic row reservoir, buckets structure-search
+    /// contingency tables through quantile sketches and heavy-hitter
+    /// summaries, and bounds the compensatory pair tables to per-column
+    /// heavy hitters. CPT counts, value counts and tuple confidences stay
+    /// exact over all rows either way.
+    pub fit_budget: FitBudget,
 }
 
 impl Default for BCleanConfig {
@@ -136,6 +146,7 @@ impl Default for BCleanConfig {
             num_threads: 0,
             num_shards: 1,
             candidate_top_k: usize::MAX,
+            fit_budget: FitBudget::Exact,
         }
     }
 }
@@ -168,6 +179,14 @@ impl BCleanConfig {
     /// threshold (`usize::MAX` = exact, the default).
     pub fn with_candidate_top_k(mut self, top_k: usize) -> Self {
         self.candidate_top_k = top_k;
+        self
+    }
+
+    /// Builder-style override of the fit-time approximation budget
+    /// ([`FitBudget::Exact`] = bit-identical to the unbudgeted fit, the
+    /// default).
+    pub fn with_fit_budget(mut self, budget: FitBudget) -> Self {
+        self.fit_budget = budget;
         self
     }
 
@@ -246,5 +265,16 @@ mod tests {
         assert_eq!(sharded.effective_shards(), 4);
         assert_eq!(sharded.candidate_top_k, 64);
         assert_eq!(BCleanConfig::default().with_shards(0).effective_shards(), 1);
+    }
+
+    #[test]
+    fn fit_budget_defaults_to_exact() {
+        assert!(BCleanConfig::default().fit_budget.is_exact());
+        for variant in Variant::all() {
+            assert!(variant.config().fit_budget.is_exact(), "{} must fit exactly", variant.name());
+        }
+        let budgeted = BCleanConfig::default()
+            .with_fit_budget(FitBudget::Budgeted(bclean_sketch::BudgetParams::default()));
+        assert!(budgeted.fit_budget.params().is_some());
     }
 }

@@ -64,4 +64,5 @@ pub use session::{CleaningSession, SessionStats};
 // Re-export the pieces of the substrate crates that appear in this crate's
 // public API, so downstream users need only one import path.
 pub use bclean_bayesnet::{NetworkEdit, StructureConfig};
+pub use bclean_sketch::{BudgetParams, FitBudget};
 pub use bclean_store::{StoreError, FORMAT_VERSION};

@@ -15,7 +15,7 @@
 //! | `dicts`        | per-column [`bclean_data::ColumnDict`] layouts (code space) |
 //! | `structure`    | the learned DAG                                             |
 //! | `node_counts`  | per-node sufficient statistics ([`bclean_bayesnet::NodeCounts`]) |
-//! | `compensatory` | pair counters, value counts, row count, confidence sum      |
+//! | `compensatory` | pair counters, value counts, row count, confidence sum, per-column heavy-hitter lists |
 //!
 //! Compiled CPTs, the per-column UC verdict tables and the observed
 //! domains are *derived* state: `compile` rebuilds them deterministically
@@ -41,8 +41,10 @@ use bclean_store::{
     ContainerReader, ContainerWriter, SchemaMeta, SectionId, StoreError,
 };
 
+use bclean_sketch::{BudgetParams, FitBudget};
+
 use crate::artifact::ModelArtifact;
-use crate::compensatory::{CompensatoryModel, CompensatoryParams, PairEntry, PairStore};
+use crate::compensatory::{pair_store_for, CompensatoryModel, CompensatoryParams, PairEntry};
 use crate::config::BCleanConfig;
 use crate::constraints::ConstraintSet;
 
@@ -298,6 +300,29 @@ fn write_config(w: &mut ByteWriter, config: &BCleanConfig) {
     w.usize(config.num_threads);
     w.usize(config.num_shards);
     w.usize(config.candidate_top_k);
+    match config.fit_budget.params() {
+        None => w.bool(false),
+        Some(p) => {
+            w.bool(true);
+            w.usize(p.sample_rows);
+            w.usize(p.sketch_k);
+            w.usize(p.heavy_hitters);
+            w.u64(p.seed);
+        }
+    }
+}
+
+/// Decode the fit-budget tail of the config section.
+fn read_fit_budget(r: &mut ByteReader<'_>) -> Result<FitBudget, StoreError> {
+    if !r.bool()? {
+        return Ok(FitBudget::Exact);
+    }
+    Ok(FitBudget::Budgeted(BudgetParams {
+        sample_rows: r.usize()?,
+        sketch_k: r.usize()?,
+        heavy_hitters: r.usize()?,
+        seed: r.u64()?,
+    }))
 }
 
 /// Decode a [`BCleanConfig`].
@@ -333,6 +358,7 @@ fn read_config(r: &mut ByteReader<'_>) -> Result<BCleanConfig, StoreError> {
         num_threads: r.usize()?,
         num_shards: r.usize()?,
         candidate_top_k: r.usize()?,
+        fit_budget: read_fit_budget(r)?,
     })
 }
 
@@ -350,23 +376,26 @@ fn write_compensatory(w: &mut ByteWriter, model: &CompensatoryModel) {
     for counts in &model.value_counts {
         w.u32_slice(counts);
     }
+    // Per-column heavy-hitter lists (budgeted fits only; every entry is
+    // `false` after an exact fit). These decide each pair store's layout on
+    // read, so they precede the entry lists.
+    w.usize(model.tracked.len());
+    for tracked in &model.tracked {
+        match tracked {
+            None => w.bool(false),
+            Some(codes) => {
+                w.bool(true);
+                w.u32_slice(codes);
+            }
+        }
+    }
     let m = model.num_cols;
     for j in 0..m {
         for k in 0..m {
             if j == k {
                 continue;
             }
-            let mut entries: Vec<(u32, u32, PairEntry)> = match &model.pairs[j * m + k] {
-                PairStore::Empty => Vec::new(),
-                PairStore::Dense { cols, cells } => cells
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| !e.is_zero())
-                    .map(|(i, e)| ((i / cols) as u32, (i % cols) as u32, *e))
-                    .collect(),
-                PairStore::Map(map) => map.iter().map(|(&(a, b), e)| (a, b, *e)).collect(),
-            };
-            entries.sort_by_key(|&(a, b, _)| (a, b));
+            let entries = model.pairs[j * m + k].persisted_entries();
             w.usize(entries.len());
             for (a, b, entry) in entries {
                 w.u32(a);
@@ -415,22 +444,71 @@ fn read_compensatory(
         }
         value_counts.push(counts);
     }
+    let listed = r.bounded_len(num_cols, "tracked-code list")?;
+    if listed != num_cols {
+        return Err(StoreError::Corrupt(format!("{listed} tracked-code columns, expected {num_cols}")));
+    }
+    let mut tracked: Vec<Option<Vec<u32>>> = Vec::with_capacity(num_cols);
+    for (col, dict) in dicts.iter().enumerate() {
+        if !r.bool()? {
+            tracked.push(None);
+            continue;
+        }
+        let codes = r.u32_slice()?;
+        let space = dict.code_space();
+        let mut previous: Option<u32> = None;
+        for &code in &codes {
+            if (code as usize) >= space || code == dict.null_code() || code == dict.unseen_code() {
+                return Err(StoreError::Corrupt(format!(
+                    "column {col} tracks code {code}, which its dictionary cannot track"
+                )));
+            }
+            if previous.is_some_and(|p| p >= code) {
+                return Err(StoreError::Corrupt(format!(
+                    "column {col} tracked codes are not sorted and distinct"
+                )));
+            }
+            previous = Some(code);
+        }
+        tracked.push(Some(codes));
+    }
     let m = num_cols;
-    let mut pairs: Vec<PairStore> = Vec::with_capacity(m * m);
+    let mut pairs = Vec::with_capacity(m * m);
     for j in 0..m {
         for k in 0..m {
+            let mut store = pair_store_for(&dicts, &tracked, j, k);
             if j == k {
-                pairs.push(PairStore::Empty);
+                pairs.push(store);
                 continue;
             }
-            let mut store = PairStore::with_spaces(spaces[j], spaces[k]);
             let len = r.bounded_len(r.remaining() / 16, "pair entries")?;
             let mut previous: Option<(u32, u32)> = None;
             for _ in 0..len {
                 let a = r.u32()?;
                 let b = r.u32()?;
                 let entry = PairEntry { pos: r.u32()?, neg: r.u32()? };
-                if (a as usize) >= spaces[j] || (b as usize) >= spaces[k] {
+                // `u32::MAX` is the "other"-bucket sentinel, legal only on a
+                // side that tracks heavy hitters; plain codes must fit the
+                // code space (`insert_persisted` routes untracked plain
+                // codes into a bounded store's exact tail).
+                if a == u32::MAX {
+                    if tracked[j].is_none() {
+                        return Err(StoreError::Corrupt(format!(
+                            "pair ({j}, {k}) uses the aggregation sentinel on untracked column {j}"
+                        )));
+                    }
+                } else if (a as usize) >= spaces[j] {
+                    return Err(StoreError::Corrupt(format!(
+                        "pair ({j}, {k}) entry ({a}, {b}) outside the code spaces"
+                    )));
+                }
+                if b == u32::MAX {
+                    if tracked[k].is_none() {
+                        return Err(StoreError::Corrupt(format!(
+                            "pair ({j}, {k}) uses the aggregation sentinel on untracked column {k}"
+                        )));
+                    }
+                } else if (b as usize) >= spaces[k] {
                     return Err(StoreError::Corrupt(format!(
                         "pair ({j}, {k}) entry ({a}, {b}) outside the code spaces"
                     )));
@@ -441,18 +519,14 @@ fn read_compensatory(
                     )));
                 }
                 previous = Some((a, b));
-                match &mut store {
-                    PairStore::Empty => unreachable!("diagonals are skipped"),
-                    PairStore::Dense { cols, cells } => cells[a as usize * *cols + b as usize] = entry,
-                    PairStore::Map(map) => {
-                        map.insert((a, b), entry);
-                    }
-                }
+                store
+                    .insert_persisted(a, b, entry)
+                    .map_err(|e| StoreError::Corrupt(format!("pair ({j}, {k}) entry ({a}, {b}): {e}")))?;
             }
             pairs.push(store);
         }
     }
-    Ok(CompensatoryModel { params, dicts, pairs, value_counts, num_rows, num_cols, conf_sum })
+    Ok(CompensatoryModel { params, dicts, pairs, value_counts, tracked, num_rows, num_cols, conf_sum })
 }
 
 #[cfg(test)]
@@ -613,6 +687,21 @@ mod tests {
         config.repair_margin = 0.125;
         config.num_shards = 4;
         config.candidate_top_k = 64;
+        config.fit_budget = FitBudget::Budgeted(BudgetParams {
+            sample_rows: 5_000,
+            sketch_k: 128,
+            heavy_hitters: 32,
+            seed: 17,
+        });
+        let mut w = ByteWriter::new();
+        write_config(&mut w, &config);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "config");
+        let back = read_config(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(format!("{back:?}"), format!("{config:?}"));
+
+        config.fit_budget = FitBudget::Exact;
         let mut w = ByteWriter::new();
         write_config(&mut w, &config);
         let bytes = w.into_bytes();

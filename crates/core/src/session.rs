@@ -31,7 +31,7 @@
 
 use std::time::Instant;
 
-use bclean_bayesnet::{learn_structure_encoded_cached, StructureCaches};
+use bclean_bayesnet::{learn_structure_budgeted, learn_structure_encoded_cached, StructureCaches};
 use bclean_data::{AttrType, Dataset, EncodedDataset, Schema};
 
 use crate::artifact::{CompileCache, ModelArtifact};
@@ -159,12 +159,7 @@ impl CleaningSession {
                 // warming the structure caches along the way.
                 self.stats.absorb_seconds += absorb_start.elapsed().as_secs_f64();
                 let refit_start = Instant::now();
-                let structure = learn_structure_encoded_cached(
-                    &self.encoded,
-                    &self.types,
-                    self.cleaner.config().structure,
-                    &mut self.structure_caches,
-                );
+                let structure = self.learn_structure();
                 let artifact =
                     self.cleaner.artifact_from_encoded(&self.accumulated, &self.encoded, structure.dag);
                 self.model = Some(artifact.compile_cached(&mut self.compile_cache, None));
@@ -198,19 +193,35 @@ impl CleaningSession {
     /// recompile only changed tables. A refit with no new data since the
     /// last one is a cheap no-op that leaves the model unchanged.
     pub fn refit(&mut self) {
-        let Some(artifact) = &mut self.artifact else { return };
+        if self.artifact.is_none() {
+            return;
+        }
         let start = Instant::now();
-        let structure = learn_structure_encoded_cached(
-            &self.encoded,
-            &self.types,
-            self.cleaner.config().structure,
-            &mut self.structure_caches,
-        );
+        let structure = self.learn_structure();
+        let artifact = self.artifact.as_mut().expect("checked above");
         artifact.set_structure(structure.dag, &self.encoded);
         self.model = Some(artifact.compile_cached(&mut self.compile_cache, self.model.as_ref()));
         self.batches_since_refit = 0;
         self.stats.refits += 1;
         self.stats.refit_seconds += start.elapsed().as_secs_f64();
+    }
+
+    /// Structure learning over everything absorbed so far, honouring the
+    /// configured fit budget: exact configs go through the delta-updatable
+    /// similarity/contingency caches; budgeted configs re-learn from a fresh
+    /// deterministic reservoir of the accumulated encoding each refit (the
+    /// budgeted learner is already sub-linear, so cache reuse buys little).
+    fn learn_structure(&mut self) -> bclean_bayesnet::LearnedStructure {
+        let config = self.cleaner.config();
+        match config.fit_budget.params() {
+            Some(budget) => learn_structure_budgeted(&self.encoded, &self.types, config.structure, budget),
+            None => learn_structure_encoded_cached(
+                &self.encoded,
+                &self.types,
+                config.structure,
+                &mut self.structure_caches,
+            ),
+        }
     }
 
     /// Force a final refit and reclean the entire accumulated dataset

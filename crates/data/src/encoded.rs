@@ -307,9 +307,47 @@ impl EncodedDataset {
     /// Encode a dataset with dictionaries built from its own columns. Every
     /// cell is representable, so no code is [`ColumnDict::unseen_code`].
     pub fn from_dataset(dataset: &Dataset) -> EncodedDataset {
-        let dicts: Vec<ColumnDict> =
-            (0..dataset.num_columns()).map(|c| ColumnDict::from_column(dataset, c)).collect();
-        EncodedDataset::encode_with(dicts, dataset)
+        // Single interning pass instead of build-dicts-then-re-encode: every
+        // cell is hashed once to a first-appearance code per column, then
+        // only the *distinct* values (not all n rows) are sorted and the
+        // interim codes rewritten through the resulting permutation. The
+        // dictionaries and code columns are exactly those of
+        // `ColumnDict::from_column` + `encode_with` — same sorted distinct
+        // values, same codes — just without per-row clones or n·log n
+        // value sorts.
+        const NULL_INTERIM: u32 = u32::MAX;
+        let num_rows = dataset.num_rows();
+        let m = dataset.num_columns();
+        let mut interned: Vec<HashMap<&Value, u32>> = (0..m).map(|_| HashMap::new()).collect();
+        let mut columns: Vec<Vec<u32>> = (0..m).map(|_| Vec::with_capacity(num_rows)).collect();
+        for row in dataset.rows() {
+            for (c, value) in row.iter().enumerate() {
+                let code = if value.is_null() {
+                    NULL_INTERIM
+                } else {
+                    let next = interned[c].len() as u32;
+                    *interned[c].entry(value).or_insert(next)
+                };
+                columns[c].push(code);
+            }
+        }
+        let mut dicts = Vec::with_capacity(m);
+        for (c, intern) in interned.into_iter().enumerate() {
+            let mut distinct: Vec<(&Value, u32)> = intern.into_iter().collect();
+            distinct.sort_by(|x, y| x.0.cmp(y.0));
+            let mut remap = vec![0u32; distinct.len()];
+            for (code, &(_, interim)) in distinct.iter().enumerate() {
+                remap[interim as usize] = code as u32;
+            }
+            let null_code = distinct.len() as u32;
+            for code in &mut columns[c] {
+                *code = if *code == NULL_INTERIM { null_code } else { remap[*code as usize] };
+            }
+            let values: Vec<Value> = distinct.iter().map(|&(v, _)| v.clone()).collect();
+            let index = values.iter().enumerate().map(|(i, v)| (v.clone(), i as u32)).collect();
+            dicts.push(ColumnDict { values, index, sorted_codes: None, ranks: None, frozen_null: None });
+        }
+        EncodedDataset { dicts, columns, num_rows }
     }
 
     /// Encode a dataset against pre-built dictionaries (typically the ones a
@@ -478,6 +516,22 @@ impl EncodedDataset {
     /// encoding without the per-cell codes.
     pub fn into_dicts(self) -> Vec<ColumnDict> {
         self.dicts
+    }
+
+    /// A row-subset view of this encoding: the given rows' codes (in the
+    /// given order) under **the same dictionaries**. Because the
+    /// dictionaries are shared, codes — and therefore cardinalities, sort
+    /// ranks, and the code-order invariant — mean exactly the same thing in
+    /// the gathered encoding as in the full one, which is what lets budgeted
+    /// structure learning run the unchanged learning pipeline over a row
+    /// sample and still talk about the full dataset's code spaces.
+    ///
+    /// Rows must be in range; duplicates are allowed (each occurrence
+    /// contributes a row).
+    pub fn gather(&self, rows: &[usize]) -> EncodedDataset {
+        let columns: Vec<Vec<u32>> =
+            self.columns.iter().map(|column| rows.iter().map(|&r| column[r]).collect()).collect();
+        EncodedDataset { dicts: self.dicts.clone(), columns, num_rows: rows.len() }
     }
 }
 
@@ -752,6 +806,23 @@ mod tests {
                 &restored.column(c)[restored_report.rows.clone()]
             );
         }
+    }
+
+    /// A gathered subset shares dictionaries with its source, so codes keep
+    /// their meaning and decode to the source rows' values.
+    #[test]
+    fn gather_shares_dictionaries_and_preserves_codes() {
+        let ds = sample();
+        let encoded = EncodedDataset::from_dataset(&ds);
+        let subset = encoded.gather(&[3, 0, 3]);
+        assert_eq!(subset.num_rows(), 3);
+        assert_eq!(subset.num_columns(), 2);
+        for c in 0..2 {
+            assert_eq!(subset.dict(c).values(), encoded.dict(c).values());
+            assert_eq!(subset.column(c), &[encoded.code(3, c), encoded.code(0, c), encoded.code(3, c)]);
+        }
+        assert_eq!(subset.decode_cell(0, 0), encoded.decode_cell(3, 0));
+        assert!(encoded.gather(&[]).rows().next().is_none());
     }
 
     /// The counting-sort argsort must reproduce `Dataset::argsort_by_column`

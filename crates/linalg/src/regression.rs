@@ -112,15 +112,21 @@ pub fn lasso_covariance(v: &Matrix, s: &[f64], lambda: f64, cfg: CdConfig) -> Li
     for _ in 0..cfg.max_iter {
         let mut max_delta: f64 = 0.0;
         for j in 0..p {
-            let vjj = v.get(j, j);
+            // Row slice + split ranges around `j`: the same terms in the same
+            // order as the naive `for k != j` loop, without the per-element
+            // bounds checks and branch (this inner product is the hot path of
+            // the whole graphical lasso).
+            let row = v.row(j);
+            let vjj = row[j];
             if vjj < 1e-12 {
                 continue;
             }
             let mut grad = s[j];
-            for k in 0..p {
-                if k != j {
-                    grad -= v.get(j, k) * beta[k];
-                }
+            for k in 0..j {
+                grad -= row[k] * beta[k];
+            }
+            for k in j + 1..p {
+                grad -= row[k] * beta[k];
             }
             let new_beta = soft_threshold(grad, lambda) / vjj;
             let delta = new_beta - beta[j];

@@ -84,12 +84,23 @@ pub fn covariance_matrix(samples: &Matrix) -> LinalgResult<Matrix> {
         return Err(LinalgError::InvalidInput("empty sample matrix".into()));
     }
     let means = column_means(samples);
+    // Centered column-major copy: each (i, j) accumulation below then runs
+    // over two contiguous slices instead of stride-`p` row-major reads. The
+    // centered values and the per-pair summation order are exactly those of
+    // the naive nested loop, so the result is bit-identical.
+    let mut centered: Vec<Vec<f64>> = vec![vec![0.0; n]; p];
+    for r in 0..n {
+        let row = samples.row(r);
+        for i in 0..p {
+            centered[i][r] = row[i] - means[i];
+        }
+    }
     let mut cov = Matrix::zeros(p, p);
     for i in 0..p {
         for j in i..p {
             let mut s = 0.0;
-            for r in 0..n {
-                s += (samples.get(r, i) - means[i]) * (samples.get(r, j) - means[j]);
+            for (ci, cj) in centered[i].iter().zip(&centered[j]) {
+                s += ci * cj;
             }
             let v = s / n as f64;
             cov.set(i, j, v);

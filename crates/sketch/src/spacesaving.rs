@@ -1,0 +1,161 @@
+//! Space-saving heavy-hitter tracking with deterministic eviction.
+//!
+//! The space-saving algorithm keeps exactly `capacity` counters. A new key
+//! that doesn't fit evicts the counter with the *smallest* count and inherits
+//! that count (plus one) as its own, recording the inherited amount as its
+//! error bound. The classic guarantees follow: every tracked count is within
+//! `N / capacity` of the truth, and any key occurring more than
+//! `N / capacity` times is guaranteed to be tracked.
+//!
+//! Textbook implementations break eviction ties arbitrarily (heap order,
+//! hash order). Here the victim is always the (count, key)-minimal counter,
+//! so the tracked set is a pure function of the offer sequence — required
+//! for the budgeted fit's reproducibility guarantee.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-key tracking state: the (over)count and the inherited error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Counter {
+    count: u64,
+    /// Count inherited from the evicted predecessor; the true frequency lies
+    /// in `[count - error, count]`.
+    error: u64,
+}
+
+/// A deterministic space-saving summary (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    counters: HashMap<u64, Counter>,
+    /// `(count, key)` mirror of `counters`, ordered so the eviction victim —
+    /// smallest count, then smallest key — is always `order.first()`.
+    order: BTreeSet<(u64, u64)>,
+    /// Total offers absorbed (the `N` in the `N / capacity` guarantees).
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// An empty summary tracking at most `capacity` keys (clamped ≥ 1).
+    pub fn new(capacity: usize) -> SpaceSaving {
+        let capacity = capacity.max(1);
+        SpaceSaving { capacity, counters: HashMap::with_capacity(capacity), order: BTreeSet::new(), total: 0 }
+    }
+
+    /// The tracking-slot bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total offers absorbed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of keys currently tracked (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no key has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Absorb one occurrence of `key`.
+    pub fn offer(&mut self, key: u64) {
+        self.total += 1;
+        if let Some(counter) = self.counters.get_mut(&key) {
+            assert!(self.order.remove(&(counter.count, key)), "order mirror out of sync");
+            counter.count += 1;
+            self.order.insert((counter.count, key));
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, Counter { count: 1, error: 0 });
+            self.order.insert((1, key));
+            return;
+        }
+        // Evict the (count, key)-minimal counter; the newcomer inherits its
+        // count as an upper bound on occurrences missed while untracked.
+        let &(min_count, victim) = self.order.first().expect("at capacity implies non-empty");
+        self.order.pop_first();
+        self.counters.remove(&victim);
+        self.counters.insert(key, Counter { count: min_count + 1, error: min_count });
+        self.order.insert((min_count + 1, key));
+    }
+
+    /// The tracked keys as `(key, count, error)` triples, most frequent
+    /// first (ties towards the smaller key). `count` never underestimates
+    /// the true frequency by construction; it overestimates by at most
+    /// `error ≤ total / capacity`.
+    pub fn entries(&self) -> Vec<(u64, u64, u64)> {
+        self.order.iter().rev().map(|&(count, key)| (key, count, self.counters[&key].error)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for key in [1u64, 2, 2, 3, 3, 3] {
+            ss.offer(key);
+        }
+        let entries = ss.entries();
+        assert_eq!(entries, vec![(3, 3, 0), (2, 2, 0), (1, 1, 0)]);
+        assert_eq!(ss.total(), 6);
+        assert_eq!(ss.len(), 3);
+    }
+
+    #[test]
+    fn eviction_is_deterministic() {
+        // Two slots, three keys: the (count, key)-minimal victim rule makes
+        // the outcome a pure function of the sequence.
+        let run = || {
+            let mut ss = SpaceSaving::new(2);
+            for key in [10u64, 20, 30, 30, 20, 40] {
+                ss.offer(key);
+            }
+            ss.entries()
+        };
+        assert_eq!(run(), run());
+        assert_eq!(SpaceSaving::new(0).capacity(), 1);
+        assert!(SpaceSaving::new(4).is_empty());
+    }
+
+    proptest! {
+        /// The admission guarantee: any key with true frequency strictly
+        /// above `total / capacity` is tracked, and tracked counts bracket
+        /// the truth within the recorded error.
+        #[test]
+        fn heavy_keys_are_always_admitted(
+            keys in proptest::collection::vec(0u64..100, 1..3000),
+            capacity in 4usize..40,
+        ) {
+            let mut ss = SpaceSaving::new(capacity);
+            let mut exact: HashMap<u64, u64> = HashMap::new();
+            for &key in &keys {
+                ss.offer(key);
+                *exact.entry(key).or_default() += 1;
+            }
+            let threshold = ss.total() / capacity as u64;
+            let tracked: HashMap<u64, (u64, u64)> =
+                ss.entries().into_iter().map(|(k, c, e)| (k, (c, e))).collect();
+            for (&key, &count) in &exact {
+                if count > threshold {
+                    prop_assert!(tracked.contains_key(&key), "heavy key {key} (count {count}) evicted");
+                }
+                if let Some(&(tracked_count, error)) = tracked.get(&key) {
+                    prop_assert!(tracked_count >= count, "undercounted key {key}");
+                    prop_assert!(tracked_count - count <= error, "error bound violated for {key}");
+                    prop_assert!(error <= threshold, "error beyond N/capacity for {key}");
+                }
+            }
+        }
+    }
+}

@@ -32,13 +32,15 @@ pub const MAGIC: [u8; 8] = *b"BCLNMODL";
 /// the header, the section set, or any section's payload layout — and
 /// regenerate `tests/fixtures/hospital.bclean` (the golden CI gate fails
 /// otherwise, by design).
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Oldest format version this reader still understands. Version 1 carried
 /// a β-folded f64 per compensatory pair entry (and no shard/pruning config
 /// fields); version 2 stores raw positive/negative tallies, which merge
-/// exactly across shards and batches.
-pub const MIN_FORMAT_VERSION: u32 = 2;
+/// exactly across shards and batches; version 3 adds the fit-budget config
+/// fields and the per-column heavy-hitter lists backing bounded
+/// compensatory pair tables.
+pub const MIN_FORMAT_VERSION: u32 = 3;
 
 /// Well-known section ids of a model artifact container.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
