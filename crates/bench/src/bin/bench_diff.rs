@@ -5,25 +5,34 @@
 //!     [--gate <frac>] [--floor <abs>] [--summary <path>]
 //! ```
 //!
-//! Both files must carry the measured speedups the `experiments` binary
-//! writes (`bench_clean` / `bench_fit` / `bench_stream`): a `speedups`
-//! array of `{variant, threads, speedup}` records. Baseline and candidate
-//! records are matched on **`(variant, threads)`** — snapshots sweep
-//! multiple worker-thread counts, so a one-thread baseline never gates a
-//! four-thread candidate. The legacy single-thread
-//! `speedup_encoded_vs_reference` object (pre-sweep snapshots) is still
-//! accepted. The tool prints a markdown table of the speedups and their
-//! deltas; with `--summary` the same table is appended to a file (CI passes
+//! Both files must carry measured records in one (or both) of two shapes:
+//!
+//! * a `speedups` array of `{variant, threads, speedup}` records (the
+//!   `experiments` binary's `bench_clean` / `bench_fit` / `bench_stream` /
+//!   `bench_scale`), matched on **`(variant, threads)`** — snapshots sweep
+//!   multiple worker-thread counts, so a one-thread baseline never gates a
+//!   four-thread candidate. The legacy single-thread
+//!   `speedup_encoded_vs_reference` object (pre-sweep snapshots) is still
+//!   accepted.
+//! * a `latencies` array of `{endpoint, connections, reqs_per_sec, p50_ms,
+//!   p99_ms}` records (`bench_serve`'s `BENCH_serve.json`), matched on
+//!   **`(endpoint, connections)`**.
+//!
+//! The tool prints a markdown table of the records and their deltas; with
+//! `--summary` the same table is appended to a file (CI passes
 //! `$GITHUB_STEP_SUMMARY`).
 //!
-//! With `--gate <frac>` the run becomes the CI perf-regression gate: every
-//! matched record's candidate speedup must reach `max(floor, frac ×
+//! With `--gate <frac>` the run becomes the CI perf-regression gate. Every
+//! matched speedup record's candidate must reach `max(floor, frac ×
 //! baseline)`, where `baseline` is the committed snapshot's speedup (the
 //! thresholds therefore live in the committed `BENCH_*.json`, not in CI
 //! config) and `floor` (`--floor`, default 1.2) is the absolute backstop
 //! under which the measured engine would be barely faster than its
-//! baseline. Any record below its threshold fails the process with exit
-//! code 1.
+//! baseline. Every matched latency record must keep `reqs_per_sec ≥ frac ×
+//! baseline` and `p99_ms ≤ baseline / frac` — throughput floor and tail
+//! ceiling, both relative to the committed snapshot since absolute
+//! latencies are machine-dependent. Any record outside its threshold fails
+//! the process with exit code 1.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -67,6 +76,10 @@ const KNOWN_TOP_LEVEL_KEYS: &[&str] = &[
     "total_wall_seconds",
     "speedup_encoded_vs_reference",
     "threads",
+    "workers",
+    "batch_rows",
+    "duration_seconds_per_point",
+    "latencies",
 ];
 
 /// Keys of one record inside the `speedups` array. `agreement` rides along
@@ -74,6 +87,10 @@ const KNOWN_TOP_LEVEL_KEYS: &[&str] = &[
 /// repair agreement of the budgeted artifact against the exact one — the
 /// accuracy half of a speedup whose fast path is approximate.
 const KNOWN_RECORD_KEYS: &[&str] = &["variant", "threads", "speedup", "agreement"];
+
+/// Keys of one record inside the `latencies` array (`BENCH_serve.json`).
+const KNOWN_LATENCY_KEYS: &[&str] =
+    &["endpoint", "connections", "requests", "reqs_per_sec", "p50_ms", "p99_ms"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -114,11 +131,11 @@ fn main() -> ExitCode {
         return usage("expected exactly two snapshot files");
     };
 
-    let (baseline, baseline_warnings) = match load_speedups(baseline_path) {
+    let (baseline, baseline_warnings) = match load_snapshot(baseline_path) {
         Ok(s) => s,
         Err(e) => return fail(&format!("{baseline_path}: {e}")),
     };
-    let (candidate, candidate_warnings) = match load_speedups(candidate_path) {
+    let (candidate, candidate_warnings) = match load_snapshot(candidate_path) {
         Ok(s) => s,
         Err(e) => return fail(&format!("{candidate_path}: {e}")),
     };
@@ -134,16 +151,18 @@ fn main() -> ExitCode {
             let _ = writeln!(table, "> ⚠️ `{path}`: {warning}\n");
         }
     }
-    let header = if gate.is_some() {
-        "| Variant | Threads | Baseline | Candidate | Delta | Threshold | Status |\n|---|---|---|---|---|---|---|"
-    } else {
-        "| Variant | Threads | Baseline | Candidate | Delta |\n|---|---|---|---|---|"
-    };
-    let _ = writeln!(table, "{header}");
-
     let mut failures = 0usize;
-    for ((variant, threads), base) in &baseline {
-        let Some(cand) = candidate.iter().find(|((v, t), _)| v == variant && t == threads).map(|(_, s)| *s)
+    if !baseline.speedups.is_empty() || !candidate.speedups.is_empty() {
+        let header = if gate.is_some() {
+            "| Variant | Threads | Baseline | Candidate | Delta | Threshold | Status |\n|---|---|---|---|---|---|---|"
+        } else {
+            "| Variant | Threads | Baseline | Candidate | Delta |\n|---|---|---|---|---|"
+        };
+        let _ = writeln!(table, "{header}");
+    }
+    for ((variant, threads), base) in &baseline.speedups {
+        let Some(cand) =
+            candidate.speedups.iter().find(|((v, t), _)| v == variant && t == threads).map(|(_, s)| *s)
         else {
             let _ = writeln!(
                 table,
@@ -173,8 +192,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    for (key, cand) in &candidate {
-        if !baseline.iter().any(|(k, _)| k == key) {
+    for (key, cand) in &candidate.speedups {
+        if !baseline.speedups.iter().any(|(k, _)| k == key) {
             let (variant, threads) = key;
             let _ = writeln!(
                 table,
@@ -183,6 +202,8 @@ fn main() -> ExitCode {
             );
         }
     }
+
+    failures += diff_latencies(&mut table, &baseline.latencies, &candidate.latencies, gate);
 
     println!("{table}");
     if let Some(path) = summary_path {
@@ -194,14 +215,90 @@ fn main() -> ExitCode {
     match (gate, failures) {
         (None, _) => ExitCode::SUCCESS,
         (Some(_), 0) => {
-            println!("perf gate: all variants within thresholds");
+            println!("perf gate: all records within thresholds");
             ExitCode::SUCCESS
         }
         (Some(_), n) => {
-            eprintln!("perf gate: {n} variant(s) regressed below their speedup threshold");
+            eprintln!("perf gate: {n} record(s) regressed outside their thresholds");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Render (and under `--gate` evaluate) the latency-record diff. Gating is
+/// fully relative: candidate req/s must stay above `frac × baseline` and
+/// candidate p99 below `baseline / frac` — the `--floor` speedup backstop
+/// does not apply, because absolute latencies depend on the runner.
+fn diff_latencies(
+    table: &mut String,
+    baseline: &Latencies,
+    candidate: &Latencies,
+    gate: Option<f64>,
+) -> usize {
+    if baseline.is_empty() && candidate.is_empty() {
+        return 0;
+    }
+    let header = if gate.is_some() {
+        "| Endpoint | Conns | Base req/s | Cand req/s | Base p99 ms | Cand p99 ms | Thresholds | Status |\n|---|---|---|---|---|---|---|---|"
+    } else {
+        "| Endpoint | Conns | Base req/s | Cand req/s | Base p99 ms | Cand p99 ms |\n|---|---|---|---|---|---|"
+    };
+    let _ = writeln!(table, "\n{header}");
+    let mut failures = 0usize;
+    for ((endpoint, connections), base) in baseline {
+        let Some(cand) =
+            candidate.iter().find(|((e, c), _)| e == endpoint && c == connections).map(|(_, record)| record)
+        else {
+            let _ = writeln!(
+                table,
+                "| {endpoint} | {connections} | {:.1} | *missing* | {:.3} | *missing* |{}",
+                base.reqs_per_sec,
+                base.p99_ms,
+                gate_cols(gate, None)
+            );
+            failures += 1;
+            continue;
+        };
+        match gate {
+            None => {
+                let _ = writeln!(
+                    table,
+                    "| {endpoint} | {connections} | {:.1} | {:.1} | {:.3} | {:.3} |",
+                    base.reqs_per_sec, cand.reqs_per_sec, base.p99_ms, cand.p99_ms
+                );
+            }
+            Some(frac) => {
+                let rps_threshold = frac * base.reqs_per_sec;
+                let p99_threshold = base.p99_ms / frac;
+                let ok = cand.reqs_per_sec >= rps_threshold && cand.p99_ms <= p99_threshold;
+                if !ok {
+                    failures += 1;
+                }
+                let _ = writeln!(
+                    table,
+                    "| {endpoint} | {connections} | {:.1} | {:.1} | {:.3} | {:.3} | req/s ≥ {rps_threshold:.1}, p99 ≤ {p99_threshold:.3} | {} |",
+                    base.reqs_per_sec,
+                    cand.reqs_per_sec,
+                    base.p99_ms,
+                    cand.p99_ms,
+                    if ok { "✅ pass" } else { "❌ FAIL" }
+                );
+            }
+        }
+    }
+    for (key, cand) in candidate {
+        if !baseline.iter().any(|(k, _)| k == key) {
+            let (endpoint, connections) = key;
+            let _ = writeln!(
+                table,
+                "| {endpoint} | {connections} | *new* | {:.1} | *new* | {:.3} |{}",
+                cand.reqs_per_sec,
+                cand.p99_ms,
+                gate_cols(gate, Some(true))
+            );
+        }
+    }
+    failures
 }
 
 /// The trailing gate columns for rows that never evaluate a threshold.
@@ -216,20 +313,38 @@ fn gate_cols(gate: Option<f64>, pass: Option<bool>) -> &'static str {
 /// A snapshot's speedup records: `(variant, threads) → speedup`.
 type Speedups = Vec<((String, u64), f64)>;
 
-/// Read the `(variant, threads) → speedup` records of one snapshot, in file
-/// order: the `speedups` array written by every current `BENCH_*.json`, or
-/// the legacy single-thread `speedup_encoded_vs_reference` object (whose
-/// records carry the file-level `threads`, defaulting to 1). Unknown
-/// top-level and record keys are returned as warnings for the summary.
-fn load_speedups(path: &str) -> Result<(Speedups, Vec<String>), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let json = Json::parse(&text)?;
-    parse_speedups(&json)
+/// The gated fields of one latency record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LatencyRecord {
+    reqs_per_sec: f64,
+    p99_ms: f64,
 }
 
-/// The parsing half of [`load_speedups`], separated for testability.
-fn parse_speedups(json: &Json) -> Result<(Speedups, Vec<String>), String> {
-    let mut speedups = Vec::new();
+/// A snapshot's latency records: `(endpoint, connections) → record`.
+type Latencies = Vec<((String, u64), LatencyRecord)>;
+
+/// Everything bench_diff compares from one `BENCH_*.json`.
+#[derive(Debug, Default)]
+struct Snapshot {
+    speedups: Speedups,
+    latencies: Latencies,
+}
+
+/// Read the records of one snapshot, in file order: the `speedups` array
+/// written by the compute benches, the `latencies` array written by
+/// `bench_serve`, or the legacy single-thread
+/// `speedup_encoded_vs_reference` object (whose records carry the
+/// file-level `threads`, defaulting to 1). Unknown top-level and record
+/// keys are returned as warnings for the summary.
+fn load_snapshot(path: &str) -> Result<(Snapshot, Vec<String>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let json = Json::parse(&text)?;
+    parse_snapshot(&json)
+}
+
+/// The parsing half of [`load_snapshot`], separated for testability.
+fn parse_snapshot(json: &Json) -> Result<(Snapshot, Vec<String>), String> {
+    let mut snapshot = Snapshot::default();
     let mut warnings = Vec::new();
     if let Some(members) = json.as_obj() {
         for (key, _) in members {
@@ -258,21 +373,48 @@ fn parse_speedups(json: &Json) -> Result<(Speedups, Vec<String>), String> {
                 .get("speedup")
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("speedup of `{variant}` is not a number"))?;
-            speedups.push(((variant.to_string(), threads), speedup));
+            snapshot.speedups.push(((variant.to_string(), threads), speedup));
         }
     } else if let Some(members) = json.get("speedup_encoded_vs_reference").and_then(Json::as_obj) {
         let threads = json.get("threads").and_then(Json::as_f64).unwrap_or(1.0) as u64;
         for (variant, value) in members {
             let speedup = value.as_f64().ok_or_else(|| format!("speedup of `{variant}` is not a number"))?;
-            speedups.push(((variant.clone(), threads), speedup));
+            snapshot.speedups.push(((variant.clone(), threads), speedup));
         }
-    } else {
-        return Err("missing `speedups` array (or legacy `speedup_encoded_vs_reference` object)".to_string());
     }
-    if speedups.is_empty() {
-        return Err("no speedup records".to_string());
+    if let Some(records) = json.get("latencies").and_then(Json::as_arr) {
+        for record in records {
+            if let Some(members) = record.as_obj() {
+                for (key, _) in members {
+                    if !KNOWN_LATENCY_KEYS.contains(&key.as_str()) {
+                        warnings.push(format!("unknown latency-record key `{key}` (ignored)"));
+                    }
+                }
+            }
+            let endpoint = record
+                .get("endpoint")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "latency record without an `endpoint`".to_string())?;
+            let connections = record.get("connections").and_then(Json::as_f64).unwrap_or(1.0) as u64;
+            let reqs_per_sec = record
+                .get("reqs_per_sec")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("reqs_per_sec of `{endpoint}` is not a number"))?;
+            let p99_ms = record
+                .get("p99_ms")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("p99_ms of `{endpoint}` is not a number"))?;
+            snapshot
+                .latencies
+                .push(((endpoint.to_string(), connections), LatencyRecord { reqs_per_sec, p99_ms }));
+        }
     }
-    Ok((speedups, warnings))
+    if snapshot.speedups.is_empty() && snapshot.latencies.is_empty() {
+        return Err("no records: need a `speedups` array, a `latencies` array, or the legacy \
+             `speedup_encoded_vs_reference` object"
+            .to_string());
+    }
+    Ok((snapshot, warnings))
 }
 
 fn append_to(path: &str, text: &str) -> std::io::Result<()> {
@@ -312,13 +454,19 @@ mod tests {
 
     #[test]
     fn known_snapshots_parse_without_warnings() {
-        for path in ["BENCH_clean.json", "BENCH_fit.json", "BENCH_stream.json", "BENCH_scale.json"] {
+        for path in [
+            "BENCH_clean.json",
+            "BENCH_fit.json",
+            "BENCH_stream.json",
+            "BENCH_scale.json",
+            "BENCH_serve.json",
+        ] {
             // The committed snapshots live at the workspace root, two levels
             // above this crate.
             let full = format!("{}/../../{path}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&full).expect("committed snapshot exists");
-            let (speedups, warnings) = parse_speedups(&Json::parse(&text).unwrap()).unwrap();
-            assert!(!speedups.is_empty(), "{path} has no records");
+            let (snapshot, warnings) = parse_snapshot(&Json::parse(&text).unwrap()).unwrap();
+            assert!(!snapshot.speedups.is_empty() || !snapshot.latencies.is_empty(), "{path} has no records");
             assert!(warnings.is_empty(), "{path} triggered warnings: {warnings:?}");
         }
     }
@@ -332,8 +480,8 @@ mod tests {
     {"variant": "BClean", "threads": 1, "speedup": 2.5, "speeedup": 9.9}
   ]
 }"#;
-        let (speedups, warnings) = parse_speedups(&Json::parse(doc).unwrap()).unwrap();
-        assert_eq!(speedups.len(), 1);
+        let (snapshot, warnings) = parse_snapshot(&Json::parse(doc).unwrap()).unwrap();
+        assert_eq!(snapshot.speedups.len(), 1);
         assert_eq!(warnings.len(), 2, "{warnings:?}");
         assert!(warnings[0].contains("speedupz_typo"));
         assert!(warnings[1].contains("speeedup"));
@@ -341,13 +489,49 @@ mod tests {
 
     #[test]
     fn missing_records_are_still_hard_errors() {
-        assert!(parse_speedups(&Json::parse("{}").unwrap()).is_err());
-        assert!(parse_speedups(&Json::parse("{\"speedups\": []}").unwrap()).is_err());
-        assert!(parse_speedups(&Json::parse("[1]").unwrap()).is_err());
+        assert!(parse_snapshot(&Json::parse("{}").unwrap()).is_err());
+        assert!(parse_snapshot(&Json::parse("{\"speedups\": []}").unwrap()).is_err());
+        assert!(parse_snapshot(&Json::parse("[1]").unwrap()).is_err());
         // Legacy schema still parses.
         let legacy = r#"{"threads": 2, "speedup_encoded_vs_reference": {"BClean": 3.5}}"#;
-        let (speedups, warnings) = parse_speedups(&Json::parse(legacy).unwrap()).unwrap();
-        assert_eq!(speedups, vec![(("BClean".to_string(), 2), 3.5)]);
+        let (snapshot, warnings) = parse_snapshot(&Json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(snapshot.speedups, vec![(("BClean".to_string(), 2), 3.5)]);
         assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn latency_records_parse_and_gate() {
+        let doc = r#"{
+  "benchmark": "Hospital",
+  "workers": 4,
+  "latencies": [
+    {"endpoint": "clean", "connections": 2, "requests": 900, "reqs_per_sec": 450.0,
+     "p50_ms": 2.0, "p99_ms": 4.0, "p999_ms": 9.0}
+  ]
+}"#;
+        let (snapshot, warnings) = parse_snapshot(&Json::parse(doc).unwrap()).unwrap();
+        assert!(snapshot.speedups.is_empty());
+        assert_eq!(
+            snapshot.latencies,
+            vec![(("clean".to_string(), 2), LatencyRecord { reqs_per_sec: 450.0, p99_ms: 4.0 })]
+        );
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("p999_ms"));
+
+        let base = snapshot.latencies;
+        // Candidate holding ≥ frac × req/s and ≤ p99 / frac passes …
+        let good = vec![(("clean".to_string(), 2), LatencyRecord { reqs_per_sec: 200.0, p99_ms: 8.0 })];
+        let mut table = String::new();
+        assert_eq!(diff_latencies(&mut table, &base, &good, Some(0.35)), 0, "{table}");
+        // … a throughput collapse fails …
+        let slow = vec![(("clean".to_string(), 2), LatencyRecord { reqs_per_sec: 100.0, p99_ms: 4.0 })];
+        assert_eq!(diff_latencies(&mut table, &base, &slow, Some(0.35)), 1);
+        // … a p99 blowup fails …
+        let spiky = vec![(("clean".to_string(), 2), LatencyRecord { reqs_per_sec: 450.0, p99_ms: 50.0 })];
+        assert_eq!(diff_latencies(&mut table, &base, &spiky, Some(0.35)), 1);
+        // … and a missing record fails.
+        assert_eq!(diff_latencies(&mut table, &base, &Vec::new(), Some(0.35)), 1);
+        // Without --gate nothing fails; the table is informational.
+        assert_eq!(diff_latencies(&mut table, &base, &slow, None), 0);
     }
 }

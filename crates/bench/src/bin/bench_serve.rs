@@ -1,0 +1,467 @@
+//! Load generator and byte-exactness checker for the `bclean serve` daemon.
+//!
+//! ```text
+//! # measure: in-process daemon, sweep connection counts, write BENCH_serve.json
+//! cargo run -p bclean-bench --release --bin bench_serve -- load \
+//!     [--scale small|default|full] [--duration SECS] [--workers N] [-o BENCH_serve.json]
+//!
+//! # check: drive an EXTERNAL daemon over real sockets and byte-compare its
+//! # responses against CLI one-shot outputs (the CI serve smoke job)
+//! cargo run -p bclean-bench --bin bench_serve -- check --addr HOST:PORT \
+//!     --clean batch.csv --expect-repairs repairs.csv \
+//!     [--ingest batch2.csv --expect-artifact grown.bclean] \
+//!     [--expect-repairs-after repairs2.csv] [--shutdown]
+//! ```
+//!
+//! **Load mode** fits a model on the synthetic Hospital benchmark, serves it
+//! from an in-process [`bclean_serve::Server`], and hammers `/health` (pure
+//! protocol overhead) and `/clean` (scoring) from 1/2/4/8 keep-alive
+//! connections for a fixed duration each. Per-request wall-clock latencies
+//! aggregate into p50/p99 and req/s, written as the `latencies` array of
+//! `BENCH_serve.json` — the serving counterpart of the `speedups` arrays in
+//! the other `BENCH_*.json` snapshots, gated in CI by `bench_diff`.
+//!
+//! **Check mode** is the cross-process half of the serving guarantees: it
+//! POSTs a batch to `/clean` and asserts the response bytes equal the
+//! repair CSV a one-shot `bclean clean --repairs` run wrote; optionally
+//! ingests a batch and asserts `/artifact` returns exactly the `.bclean`
+//! bytes the CLI `ingest` produced, then re-checks `/clean` against the
+//! post-ingest expectation. With `--shutdown` it finishes by stopping the
+//! daemon over `POST /shutdown`. Any mismatch exits 1.
+
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bclean_bench::{Scale, EXPERIMENT_SEED};
+use bclean_core::{BClean, Variant};
+use bclean_data::{parse_csv, to_csv};
+use bclean_datagen::BenchmarkDataset;
+use bclean_serve::http::client;
+use bclean_serve::registry::schema_hash_of;
+use bclean_serve::{ModelRegistry, Server, ServerConfig};
+
+/// Connection counts swept in load mode.
+const CONNECTION_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+/// Minimum rows in the `/clean` request batch (a realistic request
+/// granularity: small relative to the fitted model). The batch grows past
+/// this when needed for its inferred column types to match the fitting
+/// schema — see [`stable_batch`].
+const MIN_BATCH_ROWS: usize = 16;
+
+/// Socket timeout for every generated request.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("load") => load_mode(&args[1..]),
+        Some("check") => check_mode(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => usage(""),
+        Some(other) => usage(&format!("unknown mode {other:?}")),
+        None => usage("missing mode"),
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("bench_serve: {error}\n");
+    }
+    println!(
+        "bench_serve — load generator / exactness checker for `bclean serve`\n\n\
+         USAGE:\n\
+         \x20 bench_serve load  [--scale small|default|full] [--duration SECS]\n\
+         \x20                   [--workers N] [-o BENCH_serve.json]\n\
+         \x20 bench_serve check --addr HOST:PORT --clean batch.csv --expect-repairs repairs.csv\n\
+         \x20                   [--ingest batch2.csv --expect-artifact grown.bclean]\n\
+         \x20                   [--expect-repairs-after repairs2.csv] [--shutdown]"
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------------
+// load mode
+// ---------------------------------------------------------------------------
+
+fn load_mode(args: &[String]) -> ExitCode {
+    let mut scale = Scale::Small;
+    let mut duration = 1.0f64;
+    // Default worker pool covers the whole connection sweep: the pool pins
+    // a worker per live keep-alive connection, so fewer workers than
+    // connections measures queueing, not request latency.
+    let mut workers = *CONNECTION_SWEEP.last().expect("sweep is non-empty");
+    let mut out = "BENCH_serve.json".to_string();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => match iter.next().and_then(|s| Scale::parse(s)) {
+                Some(s) => scale = s,
+                None => return usage("--scale expects small|default|full"),
+            },
+            "--duration" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(d) if d > 0.0 => duration = d,
+                _ => return usage("--duration expects a positive number of seconds"),
+            },
+            "--workers" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(w) if w > 0 => workers = w,
+                _ => return usage("--workers expects a positive integer"),
+            },
+            "-o" | "--output" => match iter.next() {
+                Some(path) => out = path.clone(),
+                None => return usage("-o expects a path"),
+            },
+            other => return usage(&format!("unknown load argument {other:?}")),
+        }
+    }
+
+    let scale_name = match scale {
+        Scale::Small => "small",
+        Scale::Default => "default",
+        Scale::Full => "full",
+    };
+    let rows = scale.rows(BenchmarkDataset::Hospital);
+    println!("## bench_serve — daemon latency/throughput (Hospital, {rows} rows, {workers} workers)\n");
+    let bench = BenchmarkDataset::Hospital.build_sized(rows, EXPERIMENT_SEED);
+    // Round-trip through CSV so the fitting schema is the *parsed* one —
+    // the daemon's clients only ever speak CSV, and the generator's
+    // declared column types can differ from what CSV inference sees.
+    let data = &parse_csv(&to_csv(&bench.dirty)).expect("generated CSV parses");
+
+    let fit_start = Instant::now();
+    let artifact = BClean::new(Variant::PartitionedInference.config()).fit_artifact(data);
+    println!("fit {} rows x {} columns in {:?}", data.num_rows(), data.num_columns(), fit_start.elapsed());
+
+    let (batch_csv, batch_rows) = stable_batch(&to_csv(data), artifact.schema_hash(), data.num_rows());
+    println!("request batch: {batch_rows} rows");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(artifact);
+    let config = ServerConfig { addr: "127.0.0.1:0".to_string(), workers };
+    let server = match Server::bind(&config, registry) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bench_serve: cannot bind the in-process daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    let shutdown = server.shutdown_handle().expect("bound listener has an address");
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut records = Vec::new();
+    println!("\n| Endpoint | Conns | Requests | req/s | p50 ms | p99 ms |");
+    println!("|---|---|---|---|---|---|");
+    for (endpoint, method, body) in [("health", "GET", String::new()), ("clean", "POST", batch_csv.clone())] {
+        for &connections in CONNECTION_SWEEP {
+            let point =
+                measure_point(addr, method, &format!("/{endpoint}"), body.as_bytes(), connections, duration);
+            let point = match point {
+                Ok(point) => point,
+                Err(e) => {
+                    shutdown.shutdown();
+                    let _ = daemon.join();
+                    eprintln!("bench_serve: {endpoint} at {connections} connections failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "| {endpoint} | {connections} | {} | {:.1} | {:.3} | {:.3} |",
+                point.requests, point.reqs_per_sec, point.p50_ms, point.p99_ms
+            );
+            records.push((endpoint.to_string(), connections, point));
+        }
+    }
+    shutdown.shutdown();
+    let _ = daemon.join();
+
+    let json = snapshot_json(
+        scale_name,
+        data.num_rows(),
+        data.num_columns(),
+        workers,
+        batch_rows,
+        duration,
+        &records,
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => {
+            println!("\nwrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_serve: could not write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One measured (endpoint, connections) sweep point.
+struct Point {
+    requests: usize,
+    reqs_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Hammer one endpoint from `connections` keep-alive connections for
+/// `duration` seconds; aggregate latencies across all of them.
+fn measure_point(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    connections: usize,
+    duration: f64,
+) -> Result<Point, String> {
+    let deadline = Instant::now() + Duration::from_secs_f64(duration);
+    let started = Instant::now();
+    let results: Vec<Result<Vec<f64>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut connection = client::Connection::connect(addr, REQUEST_TIMEOUT)
+                        .map_err(|e| format!("connect: {e}"))?;
+                    let mut latencies_ms = Vec::new();
+                    while Instant::now() < deadline {
+                        let sent = Instant::now();
+                        let response =
+                            connection.request(method, target, body).map_err(|e| format!("request: {e}"))?;
+                        if response.status != 200 {
+                            return Err(format!(
+                                "{target} returned {}: {}",
+                                response.status,
+                                response.text()
+                            ));
+                        }
+                        latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                    }
+                    Ok(latencies_ms)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("load thread panicked")).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut all = Vec::new();
+    for result in results {
+        all.extend(result?);
+    }
+    if all.is_empty() {
+        return Err("no requests completed inside the measurement window".to_string());
+    }
+    all.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    Ok(Point {
+        requests: all.len(),
+        reqs_per_sec: all.len() as f64 / elapsed,
+        p50_ms: percentile(&all, 0.50),
+        p99_ms: percentile(&all, 0.99),
+    })
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// First `rows` data rows of a CSV (header preserved). The generated
+/// benchmarks contain no embedded newlines, so line-splitting is exact.
+fn head_csv(csv: &str, rows: usize) -> String {
+    let mut out = String::new();
+    for line in csv.lines().take(rows + 1) {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// The smallest head of the dataset CSV (≥ [`MIN_BATCH_ROWS`] rows,
+/// doubling) whose *parsed* schema hash matches the artifact's. CSV type
+/// inference is per-file, so a small prefix can infer narrower column
+/// types than the full dataset did — such a batch would be rejected by
+/// `check_schema` exactly as a one-shot `bclean clean -m` run would reject
+/// it, which is a property of the batch, not of the daemon under test.
+fn stable_batch(csv: &str, artifact_hash: u64, total_rows: usize) -> (String, usize) {
+    let mut rows = MIN_BATCH_ROWS.min(total_rows);
+    loop {
+        let head = head_csv(csv, rows);
+        let parsed = parse_csv(&head).expect("round-tripped CSV parses");
+        if schema_hash_of(parsed.schema()) == artifact_hash || rows >= total_rows {
+            return (head, parsed.num_rows());
+        }
+        rows = (rows * 2).min(total_rows);
+    }
+}
+
+/// Hand-written JSON in the `BENCH_*.json` snapshot family (the workspace
+/// builds offline — no serde_json), with a `latencies` array in place of
+/// the `speedups` array of the compute benches.
+fn snapshot_json(
+    scale: &str,
+    rows: usize,
+    columns: usize,
+    workers: usize,
+    batch_rows: usize,
+    duration: f64,
+    records: &[(String, usize, Point)],
+) -> String {
+    let mut body = String::new();
+    for (i, (endpoint, connections, point)) in records.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"endpoint\": \"{endpoint}\", \"connections\": {connections}, \"requests\": {}, \
+             \"reqs_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            point.requests,
+            point.reqs_per_sec,
+            point.p50_ms,
+            point.p99_ms,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    format!(
+        "{{\n  \"benchmark\": \"Hospital\",\n  \"scale\": \"{scale}\",\n  \"rows\": {rows},\n  \
+         \"columns\": {columns},\n  \"workers\": {workers},\n  \"batch_rows\": {batch_rows},\n  \
+         \"duration_seconds_per_point\": {duration},\n  \"latencies\": [\n{body}  ]\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// check mode
+// ---------------------------------------------------------------------------
+
+fn check_mode(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut clean_batch: Option<String> = None;
+    let mut expect_repairs: Option<String> = None;
+    let mut ingest_batch: Option<String> = None;
+    let mut expect_artifact: Option<String> = None;
+    let mut expect_repairs_after: Option<String> = None;
+    let mut shutdown = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| iter.next().cloned().ok_or(format!("{name} expects a value"));
+        let result = match arg.as_str() {
+            "--shutdown" => {
+                shutdown = true;
+                Ok(())
+            }
+            "--addr" => value("--addr").map(|v| addr = Some(v)),
+            "--clean" => value("--clean").map(|v| clean_batch = Some(v)),
+            "--expect-repairs" => value("--expect-repairs").map(|v| expect_repairs = Some(v)),
+            "--ingest" => value("--ingest").map(|v| ingest_batch = Some(v)),
+            "--expect-artifact" => value("--expect-artifact").map(|v| expect_artifact = Some(v)),
+            "--expect-repairs-after" => {
+                value("--expect-repairs-after").map(|v| expect_repairs_after = Some(v))
+            }
+            other => Err(format!("unknown check argument {other:?}")),
+        };
+        if let Err(e) = result {
+            return usage(&e);
+        }
+    }
+    let (Some(addr), Some(clean_batch), Some(expect_repairs)) = (addr, clean_batch, expect_repairs) else {
+        return usage("check mode requires --addr, --clean and --expect-repairs");
+    };
+    match run_checks(
+        &addr,
+        &clean_batch,
+        &expect_repairs,
+        ingest_batch.as_deref(),
+        expect_artifact.as_deref(),
+        expect_repairs_after.as_deref(),
+        shutdown,
+    ) {
+        Ok(checks) => {
+            println!("bench_serve check: all {checks} byte-exactness checks passed");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_serve check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_checks(
+    addr: &str,
+    clean_batch: &str,
+    expect_repairs: &str,
+    ingest_batch: Option<&str>,
+    expect_artifact: Option<&str>,
+    expect_repairs_after: Option<&str>,
+    shutdown: bool,
+) -> Result<usize, String> {
+    let addr: SocketAddr = addr.parse().map_err(|e| format!("invalid --addr: {e}"))?;
+    let mut connection =
+        client::Connection::connect(addr, REQUEST_TIMEOUT).map_err(|e| format!("connect {addr}: {e}"))?;
+    let read = |path: &str| std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let mut checks = 0usize;
+
+    let batch = read(clean_batch)?;
+    let expected = read(expect_repairs)?;
+    expect_bytes(&mut connection, "POST", "/clean", &batch, &expected, "clean repairs")?;
+    checks += 1;
+
+    if let Some(ingest_path) = ingest_batch {
+        let ingest = read(ingest_path)?;
+        let response =
+            connection.request("POST", "/ingest", &ingest).map_err(|e| format!("/ingest request: {e}"))?;
+        if response.status != 200 {
+            return Err(format!("/ingest returned {}: {}", response.status, response.text()));
+        }
+        print!("/ingest: {}", response.text());
+        let _ = std::io::stdout().flush();
+        checks += 1;
+
+        if let Some(artifact_path) = expect_artifact {
+            let expected = read(artifact_path)?;
+            expect_bytes(&mut connection, "GET", "/artifact", &[], &expected, "post-ingest artifact")?;
+            checks += 1;
+        }
+        if let Some(repairs_path) = expect_repairs_after {
+            let expected = read(repairs_path)?;
+            expect_bytes(&mut connection, "POST", "/clean", &batch, &expected, "post-ingest clean repairs")?;
+            checks += 1;
+        }
+    }
+    if shutdown {
+        let response =
+            connection.request("POST", "/shutdown", &[]).map_err(|e| format!("/shutdown request: {e}"))?;
+        if response.status != 200 {
+            return Err(format!("/shutdown returned {}: {}", response.status, response.text()));
+        }
+        println!("/shutdown: acknowledged");
+        checks += 1;
+    }
+    Ok(checks)
+}
+
+/// Issue one request and require a byte-identical 200 response.
+fn expect_bytes(
+    connection: &mut client::Connection,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    expected: &[u8],
+    what: &str,
+) -> Result<(), String> {
+    let response = connection.request(method, target, body).map_err(|e| format!("{target} request: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("{target} returned {}: {}", response.status, response.text()));
+    }
+    if response.body != expected {
+        return Err(format!(
+            "{what}: daemon response ({} bytes) differs from the CLI one-shot output ({} bytes)",
+            response.body.len(),
+            expected.len()
+        ));
+    }
+    println!("{target}: {what} byte-identical ({} bytes)", expected.len());
+    Ok(())
+}

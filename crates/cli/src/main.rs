@@ -12,7 +12,13 @@
 //! bclean profile data.csv                             # column statistics + outlier report
 //! bclean suggest data.csv                             # draft a constraints file from the data
 //! bclean clean   data.csv -o cleaned.csv              # one-shot: fit in process, then clean
+//! bclean serve   -m model.bclean --addr 127.0.0.1:7345  # resident cleaning daemon
 //! ```
+//!
+//! Exit codes are distinct per failure class so scripts can react without
+//! scraping stderr: `0` success, `2` usage error (bad flags/arguments —
+//! usage text follows the error), `3` file I/O failure, `4` invalid input
+//! content (unreadable artifact, constraint-spec error, schema mismatch).
 //!
 //! Constraints files (`-c`) contain one constraint per line in the
 //! canonical spec format (`ConstraintSet::to_spec_text`):
@@ -41,12 +47,69 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!();
-            eprintln!("{}", usage());
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("error: {error}");
+            // Usage text only helps when the *invocation* was wrong; for
+            // I/O and content failures it would bury the actual error.
+            if matches!(error, CliError::Usage(_)) {
+                eprintln!();
+                eprintln!("{}", usage());
+            }
+            ExitCode::from(error.exit_code())
         }
+    }
+}
+
+/// A classified CLI failure. Each class maps to a distinct exit code (see
+/// the module docs) so callers can distinguish "you typed it wrong" from
+/// "the file system failed" from "the input content is bad".
+#[derive(Debug)]
+enum CliError {
+    /// Bad flags or arguments — exit 2, usage text printed.
+    Usage(String),
+    /// A filesystem read or write failed — exit 3.
+    Io(String),
+    /// Input content is invalid: unreadable artifact, constraint-spec
+    /// error, schema mismatch — exit 4.
+    Model(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Model(_) => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Model(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+fn usage_err(message: impl Into<String>) -> CliError {
+    CliError::Usage(message.into())
+}
+
+fn io_err(message: impl Into<String>) -> CliError {
+    CliError::Io(message.into())
+}
+
+fn model_err(message: impl Into<String>) -> CliError {
+    CliError::Model(message.into())
+}
+
+/// Classify a [`StoreError`]: transport failures are I/O, everything else
+/// (bad magic, truncation, checksum, schema mismatch) is invalid content.
+fn store_err(context: &str, error: bclean_store::StoreError) -> CliError {
+    match error {
+        bclean_store::StoreError::Io { .. } => io_err(format!("{context}: {error}")),
+        _ => model_err(format!("{context}: {error}")),
     }
 }
 
@@ -62,28 +125,46 @@ fn usage() -> &'static str {
   bclean ingest  <batch.csv> -m <model.bclean> [-o updated.bclean]
   bclean inspect <model.bclean>
   bclean profile <data.csv>
-  bclean suggest <data.csv>"
+  bclean suggest <data.csv>
+  bclean serve   -m <model.bclean> [-m more.bclean]... [--addr HOST:PORT]
+                            [--workers N] [--threads N]"
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let command = args.first().ok_or("missing command")?;
+fn run(args: &[String]) -> Result<(), CliError> {
+    let command = args.first().ok_or_else(|| usage_err("missing command"))?;
     match command.as_str() {
         "fit" => fit_command(&args[1..]),
         "clean" => clean_command(&args[1..]),
         "ingest" => ingest_command(&args[1..]),
-        "inspect" => inspect_command(args.get(1).ok_or("missing <model.bclean>")?),
-        "profile" => profile_command(args.get(1).ok_or("missing <data.csv>")?),
-        "suggest" => suggest_command(args.get(1).ok_or("missing <data.csv>")?),
+        "inspect" => inspect_command(&single_path(&args[1..], "<model.bclean>")?),
+        "profile" => profile_command(&single_path(&args[1..], "<data.csv>")?),
+        "suggest" => suggest_command(&single_path(&args[1..], "<data.csv>")?),
+        "serve" => serve_command(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(usage_err(format!("unknown command {other:?}"))),
     }
 }
 
-fn load(path: &str) -> Result<Dataset, String> {
-    read_csv_file(path).map_err(|e| format!("cannot read {path}: {e}"))
+/// The single positional argument of inspect/profile/suggest. Extra
+/// arguments and stray flags are usage errors, not silently dropped — a
+/// typo like `bclean inspect a.bclean b.bclean` must not exit 0 having
+/// looked at only one file.
+fn single_path(args: &[String], what: &str) -> Result<String, CliError> {
+    match args {
+        [] => Err(usage_err(format!("missing {what}"))),
+        [path] if !path.starts_with('-') => Ok(path.clone()),
+        [flag] => Err(usage_err(format!("unexpected flag {flag:?}; this command takes only {what}"))),
+        [_, extra, ..] => {
+            Err(usage_err(format!("unexpected extra argument {extra:?}; this command takes only {what}")))
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Dataset, CliError> {
+    read_csv_file(path).map_err(|e| io_err(format!("cannot read {path}: {e}")))
 }
 
 /// Shared flag parsing of the fit/clean/ingest commands.
@@ -126,12 +207,12 @@ impl CommonArgs {
     }
 }
 
-fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
+fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
     let mut parsed = CommonArgs::default();
     let mut i = 0;
     while i < args.len() {
-        let flag_value = |name: &str| -> Result<String, String> {
-            args.get(i + 1).cloned().ok_or(format!("missing value after {name}"))
+        let flag_value = |name: &str| -> Result<String, CliError> {
+            args.get(i + 1).cloned().ok_or_else(|| usage_err(format!("missing value after {name}")))
         };
         match args[i].as_str() {
             "-o" | "--output" => {
@@ -155,32 +236,35 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
                 i += 2;
             }
             "--variant" => {
-                parsed.variant = Some(parse_variant(&flag_value("--variant")?)?);
+                parsed.variant = Some(parse_variant(&flag_value("--variant")?).map_err(usage_err)?);
                 i += 2;
             }
             "--threads" => {
                 let n = flag_value("--threads")?;
-                parsed.threads = Some(n.parse().map_err(|_| format!("invalid --threads {n:?}"))?);
+                parsed.threads = Some(n.parse().map_err(|_| usage_err(format!("invalid --threads {n:?}")))?);
                 i += 2;
             }
             "--shards" => {
                 let n = flag_value("--shards")?;
-                parsed.shards = Some(n.parse().map_err(|_| format!("invalid --shards {n:?}"))?);
+                parsed.shards = Some(n.parse().map_err(|_| usage_err(format!("invalid --shards {n:?}")))?);
                 i += 2;
             }
             "--max-repairs" => {
                 let n = flag_value("--max-repairs")?;
-                parsed.max_repairs = Some(n.parse().map_err(|_| format!("invalid --max-repairs {n:?}"))?);
+                parsed.max_repairs =
+                    Some(n.parse().map_err(|_| usage_err(format!("invalid --max-repairs {n:?}")))?);
                 i += 2;
             }
             "--fit-sample" => {
                 let n = flag_value("--fit-sample")?;
-                parsed.fit_sample = Some(n.parse().map_err(|_| format!("invalid --fit-sample {n:?}"))?);
+                parsed.fit_sample =
+                    Some(n.parse().map_err(|_| usage_err(format!("invalid --fit-sample {n:?}")))?);
                 i += 2;
             }
             "--sketch-budget" => {
                 let n = flag_value("--sketch-budget")?;
-                parsed.sketch_budget = Some(n.parse().map_err(|_| format!("invalid --sketch-budget {n:?}"))?);
+                parsed.sketch_budget =
+                    Some(n.parse().map_err(|_| usage_err(format!("invalid --sketch-budget {n:?}")))?);
                 i += 2;
             }
             "--suggest" => {
@@ -191,7 +275,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
                 parsed.input = Some(path.to_string());
                 i += 1;
             }
-            other => return Err(format!("unexpected argument {other:?}")),
+            other => return Err(usage_err(format!("unexpected argument {other:?}"))),
         }
     }
     Ok(parsed)
@@ -209,10 +293,10 @@ fn parse_variant(name: &str) -> Result<Variant, String> {
 
 /// Error when flags that this command would silently ignore are present —
 /// a dropped `-c stricter_rules.bc` must never look applied.
-fn reject_unused_flags(context: &str, flags: &[(&str, bool)]) -> Result<(), String> {
+fn reject_unused_flags(context: &str, flags: &[(&str, bool)]) -> Result<(), CliError> {
     for (name, present) in flags {
         if *present {
-            return Err(format!("{name} has no effect {context}"));
+            return Err(usage_err(format!("{name} has no effect {context}")));
         }
     }
     Ok(())
@@ -222,23 +306,35 @@ fn reject_unused_flags(context: &str, flags: &[(&str, bool)]) -> Result<(), Stri
 /// auto-suggestion (`--suggest`, also the default when `-c` is absent so
 /// `bclean fit data.csv` works out of the box; the suggestion source is
 /// reported on stderr). Passing both is a conflict, not a silent pick.
-fn resolve_constraints(data: &Dataset, args: &CommonArgs) -> Result<ConstraintSet, String> {
+fn resolve_constraints(data: &Dataset, args: &CommonArgs) -> Result<ConstraintSet, CliError> {
     if let Some(path) = &args.constraints {
         if args.suggest {
-            return Err("pass either -c <constraints.bc> or --suggest, not both".to_string());
+            return Err(usage_err("pass either -c <constraints.bc> or --suggest, not both"));
         }
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        return ConstraintSet::from_spec_text(&text).map_err(|e| format!("{path}: {e}"));
+        let text = std::fs::read_to_string(path).map_err(|e| io_err(format!("cannot read {path}: {e}")))?;
+        return ConstraintSet::from_spec_text(&text).map_err(|e| model_err(format!("{path}: {e}")));
     }
     let (suggested, suggestions) = suggest_constraints(data, SuggestConfig::default());
     eprintln!("using {} auto-suggested constraints (see `bclean suggest`)", suggestions.len());
     Ok(suggested)
 }
 
-fn fit_command(args: &[String]) -> Result<(), String> {
+fn fit_command(args: &[String]) -> Result<(), CliError> {
     let args = parse_common(args)?;
-    let input = args.input.as_deref().ok_or("missing <data.csv>")?;
-    let output = args.output.as_deref().ok_or("missing -o <model.bclean>")?;
+    // Flags that only the clean/ingest commands consume must not pass
+    // silently: `bclean fit data.csv -o m.bclean --repairs r.csv` exiting 0
+    // without writing r.csv looks like success.
+    reject_unused_flags(
+        "when fitting (it belongs to `bclean clean`/`bclean ingest`)",
+        &[
+            ("-m/--model", args.model.is_some()),
+            ("--repairs", args.repairs.is_some()),
+            ("--report", args.report.is_some()),
+            ("--max-repairs", args.max_repairs.is_some()),
+        ],
+    )?;
+    let input = args.input.as_deref().ok_or_else(|| usage_err("missing <data.csv>"))?;
+    let output = args.output.as_deref().ok_or_else(|| usage_err("missing -o <model.bclean>"))?;
     let data = load(input)?;
     let constraints = resolve_constraints(&data, &args)?;
     let variant = args.variant.unwrap_or(Variant::PartitionedInference);
@@ -259,7 +355,7 @@ fn fit_command(args: &[String]) -> Result<(), String> {
     }
     let start = std::time::Instant::now();
     let artifact = BClean::new(config).with_constraints(constraints).fit_artifact(&data);
-    artifact.save(output).map_err(|e| format!("cannot save {output}: {e}"))?;
+    artifact.save(output).map_err(|e| store_err(&format!("cannot save {output}"), e))?;
     println!(
         "fit {} rows x {} columns ({}) in {:?}",
         data.num_rows(),
@@ -275,9 +371,9 @@ fn fit_command(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn clean_command(args: &[String]) -> Result<(), String> {
+fn clean_command(args: &[String]) -> Result<(), CliError> {
     let args = parse_common(args)?;
-    let input = args.input.as_deref().ok_or("missing <data.csv>")?;
+    let input = args.input.as_deref().ok_or_else(|| usage_err("missing <data.csv>"))?;
     let data = load(input)?;
 
     let result = match &args.model {
@@ -295,8 +391,9 @@ fn clean_command(args: &[String]) -> Result<(), String> {
                     ("--sketch-budget", args.sketch_budget.is_some()),
                 ],
             )?;
-            let mut artifact = ModelArtifact::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
-            artifact.check_schema(data.schema()).map_err(|e| format!("{input}: {e}"))?;
+            let mut artifact =
+                ModelArtifact::load(path).map_err(|e| store_err(&format!("cannot load {path}"), e))?;
+            artifact.check_schema(data.schema()).map_err(|e| model_err(format!("{input}: {e}")))?;
             if let Some(threads) = args.threads {
                 artifact.set_threads(threads);
             }
@@ -346,22 +443,23 @@ fn clean_command(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = &args.output {
-        write_csv_file(&result.cleaned, path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_csv_file(&result.cleaned, path).map_err(|e| io_err(format!("cannot write {path}: {e}")))?;
         println!("cleaned dataset written to {path}");
     }
     if let Some(path) = &args.repairs {
         std::fs::write(path, repairs_to_csv(&result.repairs))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+            .map_err(|e| io_err(format!("cannot write {path}: {e}")))?;
         println!("repairs written to {path}");
     }
     if let Some(path) = &args.report {
-        std::fs::write(path, report_json(input, &result)).map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, report_json(input, &result))
+            .map_err(|e| io_err(format!("cannot write {path}: {e}")))?;
         println!("report written to {path}");
     }
     Ok(())
 }
 
-fn ingest_command(args: &[String]) -> Result<(), String> {
+fn ingest_command(args: &[String]) -> Result<(), CliError> {
     let args = parse_common(args)?;
     reject_unused_flags(
         "when ingesting (the artifact's persisted configuration applies)",
@@ -378,15 +476,15 @@ fn ingest_command(args: &[String]) -> Result<(), String> {
             ("--sketch-budget", args.sketch_budget.is_some()),
         ],
     )?;
-    let input = args.input.as_deref().ok_or("missing <batch.csv>")?;
-    let model_path = args.model.as_deref().ok_or("missing -m <model.bclean>")?;
+    let input = args.input.as_deref().ok_or_else(|| usage_err("missing <batch.csv>"))?;
+    let model_path = args.model.as_deref().ok_or_else(|| usage_err("missing -m <model.bclean>"))?;
     let output = args.output.as_deref().unwrap_or(model_path);
     let batch = load(input)?;
     let mut artifact =
-        ModelArtifact::load(model_path).map_err(|e| format!("cannot load {model_path}: {e}"))?;
+        ModelArtifact::load(model_path).map_err(|e| store_err(&format!("cannot load {model_path}"), e))?;
     let before = artifact.num_rows();
-    let after = artifact.ingest_batch(&batch).map_err(|e| format!("{input}: {e}"))?;
-    artifact.save(output).map_err(|e| format!("cannot save {output}: {e}"))?;
+    let after = artifact.ingest_batch(&batch).map_err(|e| model_err(format!("{input}: {e}")))?;
+    artifact.save(output).map_err(|e| store_err(&format!("cannot save {output}"), e))?;
     println!(
         "absorbed {} rows ({} -> {} total); updated model written to {output}",
         batch.num_rows(),
@@ -397,10 +495,74 @@ fn ingest_command(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn inspect_command(path: &str) -> Result<(), String> {
-    let bytes = read_container_file(std::path::Path::new(path)).map_err(|e| e.to_string())?;
-    let container = ContainerReader::parse(&bytes).map_err(|e| format!("{path}: {e}"))?;
-    let artifact = ModelArtifact::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+/// `bclean serve`: run the resident cleaning daemon (see `bclean-serve`
+/// and the README's "Serving" section). Blocks until a `POST /shutdown`
+/// arrives or the process is killed.
+fn serve_command(args: &[String]) -> Result<(), CliError> {
+    let mut config = bclean_serve::ServerConfig::default();
+    let mut threads: Option<usize> = None;
+    let mut models: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |name: &str| -> Result<String, CliError> {
+            args.get(i + 1).cloned().ok_or_else(|| usage_err(format!("missing value after {name}")))
+        };
+        match args[i].as_str() {
+            "-m" | "--model" => {
+                models.push(flag_value("-m")?);
+                i += 2;
+            }
+            "--addr" => {
+                config.addr = flag_value("--addr")?;
+                i += 2;
+            }
+            "--workers" => {
+                let n = flag_value("--workers")?;
+                config.workers = n.parse().map_err(|_| usage_err(format!("invalid --workers {n:?}")))?;
+                i += 2;
+            }
+            "--threads" => {
+                let n = flag_value("--threads")?;
+                threads = Some(n.parse().map_err(|_| usage_err(format!("invalid --threads {n:?}")))?);
+                i += 2;
+            }
+            other => return Err(usage_err(format!("unexpected argument {other:?}"))),
+        }
+    }
+    if models.is_empty() {
+        return Err(usage_err("missing -m <model.bclean> (at least one model to serve)"));
+    }
+    if config.workers == 0 {
+        return Err(usage_err("--workers must be at least 1"));
+    }
+
+    let registry = std::sync::Arc::new(bclean_serve::ModelRegistry::new());
+    for path in &models {
+        let mut artifact =
+            ModelArtifact::load(path).map_err(|e| store_err(&format!("cannot load {path}"), e))?;
+        if let Some(threads) = threads {
+            artifact.set_threads(threads);
+        }
+        let rows = artifact.num_rows();
+        let hash = registry.register(artifact);
+        println!("loaded {path} (schema hash {hash:016x}, {rows} rows)");
+    }
+
+    let server = bclean_serve::Server::bind(&config, registry)
+        .map_err(|e| io_err(format!("cannot bind {}: {e}", config.addr)))?;
+    let addr = server.local_addr().map_err(|e| io_err(format!("cannot resolve bound address: {e}")))?;
+    // Announce readiness on a line of its own and flush, so wrappers (the
+    // CI smoke job, the tests) can wait for it before sending traffic.
+    println!("bclean serve listening on {addr} ({} workers, {} models)", config.workers, models.len());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| io_err(format!("serve loop failed: {e}")))
+}
+
+fn inspect_command(path: &str) -> Result<(), CliError> {
+    let bytes = read_container_file(std::path::Path::new(path)).map_err(|e| store_err(path, e))?;
+    let container = ContainerReader::parse(&bytes).map_err(|e| store_err(path, e))?;
+    let artifact = ModelArtifact::from_bytes(&bytes).map_err(|e| store_err(path, e))?;
     println!("{path}: bclean model artifact, format version {}", container.version());
     println!("  schema hash   {:016x}", artifact.schema_hash());
     println!("  rows absorbed {}", artifact.num_rows());
@@ -434,7 +596,7 @@ fn inspect_command(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn profile_command(path: &str) -> Result<(), String> {
+fn profile_command(path: &str) -> Result<(), CliError> {
     let data = load(path)?;
     let profile = DatasetProfile::profile(&data);
     println!("{} rows x {} columns\n", data.num_rows(), data.num_columns());
@@ -457,7 +619,7 @@ fn profile_command(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn suggest_command(path: &str) -> Result<(), String> {
+fn suggest_command(path: &str) -> Result<(), CliError> {
     let data = load(path)?;
     let (_, suggestions) = suggest_constraints(&data, SuggestConfig::default());
     println!("# Draft constraints file generated by `bclean suggest {path}`");

@@ -1,0 +1,250 @@
+//! Cross-process daemon equivalence: a real `bclean serve` child process,
+//! driven over real sockets, must answer `/clean`, `/ingest` and
+//! `/artifact` with bytes identical to the one-shot `bclean clean` /
+//! `bclean ingest` invocations on the same inputs.
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use bclean_core::ModelArtifact;
+use bclean_data::{read_csv_file, write_csv_file, Dataset};
+use bclean_datagen::BenchmarkDataset;
+use bclean_eval::bclean_constraints;
+use bclean_serve::http::client;
+
+const ROWS: usize = 120;
+const SEED: u64 = 20240817;
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Run the compiled `bclean` binary to completion, panicking on failure.
+fn bclean(args: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_bclean"))
+        .args(args)
+        .output()
+        .expect("the bclean binary must launch");
+    assert!(
+        output.status.success(),
+        "bclean {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+struct Workspace {
+    dir: PathBuf,
+}
+
+impl Workspace {
+    fn new(label: &str) -> Workspace {
+        let dir = std::env::temp_dir().join(format!("bclean-serve-{label}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("temp workspace");
+        Workspace { dir }
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    fn str(&self, name: &str) -> String {
+        self.path(name).display().to_string()
+    }
+}
+
+impl Drop for Workspace {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// A `bclean serve` child process, killed on drop so a failing assertion
+/// never leaks a daemon.
+struct ServeChild {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServeChild {
+    /// Spawn `bclean serve` on a free port and wait for its readiness line.
+    fn spawn(extra_args: &[&str]) -> ServeChild {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_bclean"))
+            .arg("serve")
+            .args(extra_args)
+            .args(["--addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("the bclean binary must launch");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("serve must announce readiness before closing stdout")
+                .expect("readable stdout");
+            if let Some(rest) = line.strip_prefix("bclean serve listening on ") {
+                let addr = rest.split_whitespace().next().expect("address token");
+                break addr.parse().expect("parsable bound address");
+            }
+            assert!(line.starts_with("loaded "), "unexpected startup line: {line}");
+        };
+        ServeChild { child, addr }
+    }
+
+    fn request(&self, method: &str, target: &str, body: &[u8]) -> client::ClientResponse {
+        client::request(self.addr, method, target, body, TIMEOUT).expect("request succeeds")
+    }
+
+    /// Shut the daemon down over the wire and assert a clean exit.
+    fn stop(mut self) {
+        let response = self.request("POST", "/shutdown", b"");
+        assert_eq!(response.status, 200);
+        let status = self.child.wait().expect("child waits");
+        assert!(status.success(), "serve exited with {status}");
+    }
+}
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+/// Stage the seeded Hospital benchmark split into a fit half and an ingest
+/// batch, with the benchmark's constraints alongside.
+fn stage(ws: &Workspace) -> (Dataset, Dataset) {
+    let bench = BenchmarkDataset::Hospital.build_sized(ROWS, SEED);
+    let split = bench.dirty.num_rows() / 2;
+    let mut first = Dataset::new(bench.dirty.schema().clone());
+    let mut second = Dataset::new(bench.dirty.schema().clone());
+    for (r, row) in bench.dirty.rows().enumerate() {
+        let target = if r < split { &mut first } else { &mut second };
+        target.push_row(row.to_vec()).expect("same schema");
+    }
+    write_csv_file(&first, ws.path("first.csv")).expect("write fit half");
+    write_csv_file(&second, ws.path("second.csv")).expect("write ingest batch");
+    let spec = bclean_constraints(BenchmarkDataset::Hospital).to_spec_text().expect("representable UCs");
+    std::fs::write(ws.path("hospital.bc"), &spec).expect("write constraints");
+    (
+        read_csv_file(ws.path("first.csv")).expect("fit half re-reads"),
+        read_csv_file(ws.path("second.csv")).expect("ingest batch re-reads"),
+    )
+}
+
+#[test]
+fn daemon_matches_one_shot_cli_runs_byte_for_byte() {
+    let ws = Workspace::new("roundtrip");
+    stage(&ws);
+
+    // The oracle, produced entirely by one-shot CLI invocations.
+    let model_path = ws.str("model.bclean");
+    bclean(&["fit", &ws.str("first.csv"), "-o", &model_path, "-c", &ws.str("hospital.bc"), "--threads", "1"]);
+    bclean(&["clean", &ws.str("first.csv"), "-m", &model_path, "--repairs", &ws.str("expected-before.csv")]);
+    bclean(&["ingest", &ws.str("second.csv"), "-m", &model_path, "-o", &ws.str("grown.bclean")]);
+    bclean(&[
+        "clean",
+        &ws.str("first.csv"),
+        "-m",
+        &ws.str("grown.bclean"),
+        "--repairs",
+        &ws.str("expected-after.csv"),
+    ]);
+
+    let model_bytes = std::fs::read(&model_path).expect("model bytes");
+    let grown_bytes = std::fs::read(ws.path("grown.bclean")).expect("grown model bytes");
+    let probe_csv = std::fs::read(ws.path("first.csv")).expect("probe csv");
+    let batch_csv = std::fs::read(ws.path("second.csv")).expect("batch csv");
+    let expected_before = std::fs::read(ws.path("expected-before.csv")).expect("expected repairs");
+    let expected_after = std::fs::read(ws.path("expected-after.csv")).expect("expected repairs after");
+    assert_ne!(expected_before, expected_after, "the ingest must change the model's verdicts");
+
+    // The same lifecycle against a resident daemon.
+    let daemon = ServeChild::spawn(&["-m", &model_path, "--workers", "2"]);
+
+    let health = daemon.request("GET", "/health", b"");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.text(), "{\"status\": \"ok\", \"models\": 1}\n");
+
+    let served = daemon.request("GET", "/artifact", b"");
+    assert_eq!(served.body, model_bytes, "served artifact is the loaded file, byte for byte");
+
+    let cleaned = daemon.request("POST", "/clean", &probe_csv);
+    assert_eq!(cleaned.status, 200, "{}", cleaned.text());
+    assert_eq!(cleaned.body, expected_before, "/clean repairs vs `bclean clean --repairs`");
+
+    let ingested = daemon.request("POST", "/ingest", &batch_csv);
+    assert_eq!(ingested.status, 200, "{}", ingested.text());
+    assert!(ingested.text().contains("\"version\": 1"), "{}", ingested.text());
+
+    let served = daemon.request("GET", "/artifact", b"");
+    assert_eq!(served.body, grown_bytes, "post-ingest artifact vs `bclean ingest -o`");
+
+    let cleaned = daemon.request("POST", "/clean", &probe_csv);
+    assert_eq!(cleaned.body, expected_after, "post-ingest /clean vs the grown model's repairs");
+
+    // The on-disk model file is untouched: the daemon grows its resident
+    // copy only.
+    assert_eq!(std::fs::read(&model_path).expect("model bytes"), model_bytes);
+
+    daemon.stop();
+}
+
+#[test]
+fn multi_model_daemon_routes_by_schema_hash() {
+    let ws = Workspace::new("multimodel");
+    stage(&ws);
+    std::fs::write(
+        ws.path("beers.csv"),
+        "beer,brewery,abv\nlager,plant a,0.05\nlager,plant a,0.05\nstout,plant b,0.09\nstout,plant b,0.09\n",
+    )
+    .expect("write second schema");
+
+    let hospital_path = ws.str("hospital.bclean");
+    let beers_path = ws.str("beers.bclean");
+    bclean(&[
+        "fit",
+        &ws.str("first.csv"),
+        "-o",
+        &hospital_path,
+        "-c",
+        &ws.str("hospital.bc"),
+        "--threads",
+        "1",
+    ]);
+    bclean(&["fit", &ws.str("beers.csv"), "-o", &beers_path, "--threads", "1"]);
+    bclean(&["clean", &ws.str("first.csv"), "-m", &hospital_path, "--repairs", &ws.str("expected.csv")]);
+
+    let hospital_hash = ModelArtifact::load(&hospital_path).expect("model loads").schema_hash();
+    let beers_hash = ModelArtifact::load(&beers_path).expect("model loads").schema_hash();
+    assert_ne!(hospital_hash, beers_hash);
+
+    let daemon = ServeChild::spawn(&["-m", &hospital_path, "-m", &beers_path, "--workers", "2"]);
+
+    let health = daemon.request("GET", "/health", b"");
+    assert_eq!(health.text(), "{\"status\": \"ok\", \"models\": 2}\n");
+
+    // With two models, endpoints without a batch need an explicit selector…
+    assert_eq!(daemon.request("GET", "/inspect", b"").status, 400);
+    let inspect = daemon.request("GET", &format!("/inspect?model={hospital_hash:016x}"), b"");
+    assert_eq!(inspect.status, 200);
+    assert!(inspect.text().contains(&format!("\"schema_hash\": \"{hospital_hash:016x}\"")));
+
+    // …while `/clean` routes by the posted batch's schema, so each batch
+    // lands on its own model with no selector at all.
+    let probe_csv = std::fs::read(ws.path("first.csv")).expect("probe csv");
+    let expected = std::fs::read(ws.path("expected.csv")).expect("expected repairs");
+    let cleaned = daemon.request("POST", "/clean", &probe_csv);
+    assert_eq!(cleaned.status, 200, "{}", cleaned.text());
+    assert_eq!(cleaned.body, expected, "hospital batch routed to the hospital model");
+
+    let beers_csv = std::fs::read(ws.path("beers.csv")).expect("beers csv");
+    let cleaned = daemon.request("POST", "/clean", &beers_csv);
+    assert_eq!(cleaned.status, 200, "beers batch routed to the beers model: {}", cleaned.text());
+
+    daemon.stop();
+}

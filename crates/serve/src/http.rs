@@ -1,0 +1,458 @@
+//! A minimal HTTP/1.1 layer over [`std::net`], in keeping with the
+//! workspace's offline no-deps discipline.
+//!
+//! Only the subset the cleaning daemon needs is implemented: `GET` / `POST`
+//! requests with `Content-Length` bodies, query strings, keep-alive
+//! connections and fixed-length responses. Chunked transfer encoding,
+//! `Expect: 100-continue`, trailers and TLS are deliberately out of scope —
+//! the daemon fronts trusted internal traffic (see the README's "Serving"
+//! section); anything else belongs in a reverse proxy.
+//!
+//! The same request/response types back both sides of the wire: the server
+//! parses [`Request`]s and writes [`Response`]s, and the blocking
+//! [`client`] helpers (used by the load generator, the CI smoke driver and
+//! the tests) do the reverse.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on an accepted request body (64 MiB). A stray client cannot
+/// make the daemon buffer an unbounded upload; cleaning batches at the
+/// intended request granularity are far below this.
+pub const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 << 10;
+
+/// A parsed HTTP request: method, decoded path, query parameters and body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// The path portion of the request target, without the query string.
+    pub path: String,
+    /// Decoded `key=value` query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Errors while reading one request off a connection.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before a request line arrived — the
+    /// normal end of a keep-alive session, not a protocol error.
+    ConnectionClosed,
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request.
+    Malformed(String),
+    /// The declared body length exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+    /// Transport-level failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+            HttpError::Malformed(detail) => write!(f, "malformed request: {detail}"),
+            HttpError::BodyTooLarge(len) => {
+                write!(f, "request body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit")
+            }
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Read and parse one request from a buffered connection. Returns
+/// [`HttpError::ConnectionClosed`] on a clean EOF before any bytes.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+    let request_line = read_head_line(reader)?;
+    if request_line.is_empty() {
+        return Err(HttpError::ConnectionClosed);
+    }
+    let mut parts = request_line.split_whitespace();
+    let method =
+        parts.next().ok_or_else(|| HttpError::Malformed("empty request line".into()))?.to_ascii_uppercase();
+    let target = parts.next().ok_or_else(|| HttpError::Malformed("request line without a target".into()))?;
+    let version =
+        parts.next().ok_or_else(|| HttpError::Malformed("request line without a version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version {version:?}")));
+    }
+
+    let mut headers: HashMap<String, String> = HashMap::new();
+    let mut head_bytes = request_line.len();
+    loop {
+        let line = read_head_line(reader)?;
+        head_bytes += line.len() + 2;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("request head too large".into()));
+        }
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header line without a colon: {line:?}")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let content_length = match headers.get("content-length") {
+        None => 0,
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("invalid content-length {raw:?}")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+
+    // HTTP/1.1 defaults to keep-alive; an explicit `Connection: close`
+    // (from either a 1.0 client or a polite 1.1 one) turns it off.
+    let keep_alive = match headers.get("connection").map(|v| v.to_ascii_lowercase()) {
+        Some(v) => v != "close",
+        None => version == "HTTP/1.1",
+    };
+
+    let (path, query) = split_target(target);
+    Ok(Request { method, path, query, body, keep_alive })
+}
+
+/// One CRLF-terminated head line, without the terminator. Empty string on EOF.
+fn read_head_line(reader: &mut BufReader<TcpStream>) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(HttpError::Io)?;
+    if n == 0 {
+        return Ok(String::new());
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Split a request target into its path and decoded query parameters.
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, query)) => {
+            let params = query
+                .split('&')
+                .filter(|pair| !pair.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(pair), String::new()),
+                })
+                .collect();
+            (path.to_string(), params)
+        }
+    }
+}
+
+/// Decode `%XX` escapes and `+`-as-space in a query component. Invalid
+/// escapes pass through literally — query values here are hex hashes and
+/// small integers, so leniency beats erroring.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            byte => {
+                out.push(byte);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// An HTTP response: status, content type and body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Numeric status code (200, 400, 404, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Response {
+        Response { status: 200, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    /// A `200 OK` CSV response (the `/clean` repair stream).
+    pub fn csv(body: String) -> Response {
+        Response { status: 200, content_type: "text/csv", body: body.into_bytes() }
+    }
+
+    /// A `200 OK` binary response (the `/artifact` container bytes).
+    pub fn bytes(body: Vec<u8>) -> Response {
+        Response { status: 200, content_type: "application/octet-stream", body }
+    }
+
+    /// An error response with a JSON `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: format!("{{\"error\": {}}}\n", json_escape(message)).into_bytes(),
+        }
+    }
+
+    /// Serialize onto a connection. `keep_alive` mirrors the request's
+    /// wish; the header tells the client what the server will actually do.
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Response",
+        };
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        // Single write: one syscall, and no head/body packet split for
+        // Nagle to stall on when the peer delays ACKs.
+        let mut message = Vec::with_capacity(head.len() + self.body.len());
+        message.extend_from_slice(head.as_bytes());
+        message.extend_from_slice(&self.body);
+        stream.write_all(&message)?;
+        stream.flush()
+    }
+}
+
+/// Serialize a string as a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Blocking one-request-per-call HTTP client helpers.
+///
+/// Each call opens a fresh connection by default; [`client::Connection`]
+/// keeps one open for keep-alive request streams (what the load generator
+/// uses to measure per-connection throughput).
+pub mod client {
+    use super::*;
+    use std::net::SocketAddr;
+    use std::time::Duration;
+
+    /// A client-side response: status code and body bytes.
+    #[derive(Debug, Clone)]
+    pub struct ClientResponse {
+        /// Numeric status code.
+        pub status: u16,
+        /// Response body.
+        pub body: Vec<u8>,
+    }
+
+    impl ClientResponse {
+        /// The body as UTF-8 (lossy).
+        pub fn text(&self) -> String {
+            String::from_utf8_lossy(&self.body).into_owned()
+        }
+    }
+
+    /// A persistent keep-alive connection to the daemon.
+    #[derive(Debug)]
+    pub struct Connection {
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Connection {
+        /// Connect, with a read/write timeout guarding every request so a
+        /// wedged server cannot hang the caller forever.
+        pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Connection> {
+            let stream = TcpStream::connect_timeout(&addr, timeout)?;
+            stream.set_read_timeout(Some(timeout))?;
+            stream.set_write_timeout(Some(timeout))?;
+            // Without this, Nagle holds the request-body packet until the
+            // head packet is ACKed — against delayed ACKs, a flat ~40ms
+            // per request.
+            stream.set_nodelay(true)?;
+            Ok(Connection { reader: BufReader::new(stream) })
+        }
+
+        /// Issue one request and read the full response.
+        pub fn request(
+            &mut self,
+            method: &str,
+            target: &str,
+            body: &[u8],
+        ) -> std::io::Result<ClientResponse> {
+            let head = format!(
+                "{method} {target} HTTP/1.1\r\nHost: bclean\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+                body.len()
+            );
+            // One write for head + body: a single syscall and, with
+            // nodelay set, usually a single packet.
+            let mut message = Vec::with_capacity(head.len() + body.len());
+            message.extend_from_slice(head.as_bytes());
+            message.extend_from_slice(body);
+            let stream = self.reader.get_mut();
+            stream.write_all(&message)?;
+            stream.flush()?;
+            read_response(&mut self.reader)
+        }
+    }
+
+    /// One-shot request over a fresh connection.
+    pub fn request(
+        addr: SocketAddr,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        timeout: Duration,
+    ) -> std::io::Result<ClientResponse> {
+        Connection::connect(addr, timeout)?.request(method, target, body)
+    }
+
+    /// Parse a response off the wire: status line, headers, fixed-length body.
+    fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<ClientResponse> {
+        let malformed = |detail: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, detail);
+        let status_line = read_head_line(reader).map_err(|e| malformed(&e.to_string()))?;
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|code| code.parse::<u16>().ok())
+            .ok_or_else(|| malformed(&format!("bad status line {status_line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let line = read_head_line(reader).map_err(|e| malformed(&e.to_string()))?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| malformed("bad content-length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        Ok(ClientResponse { status, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_splitting_decodes_queries() {
+        let (path, query) = split_target("/clean?model=00ff&x=a%20b&flag");
+        assert_eq!(path, "/clean");
+        assert_eq!(
+            query,
+            vec![
+                ("model".to_string(), "00ff".to_string()),
+                ("x".to_string(), "a b".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+        let (path, query) = split_target("/health");
+        assert_eq!(path, "/health");
+        assert!(query.is_empty());
+    }
+
+    #[test]
+    fn percent_decoding_is_lenient() {
+        assert_eq!(percent_decode("a+b%2fc"), "a b/c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn json_escape_covers_control_characters() {
+        assert_eq!(json_escape("plain"), "\"plain\"");
+        assert_eq!(json_escape("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn responses_round_trip_over_a_socket_pair() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let request = read_request(&mut reader).unwrap();
+            assert_eq!(request.method, "POST");
+            assert_eq!(request.path, "/clean");
+            assert_eq!(request.query_param("model"), Some("abc"));
+            assert_eq!(request.body, b"row,data\n");
+            assert!(request.keep_alive);
+            let mut stream = stream;
+            Response::csv("header\nrow\n".to_string()).write_to(&mut stream, false).unwrap();
+        });
+        let response = client::request(
+            addr,
+            "POST",
+            "/clean?model=abc",
+            b"row,data\n",
+            std::time::Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.text(), "header\nrow\n");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,33 @@
+//! `bclean-serve`: the resident cleaning daemon.
+//!
+//! One-shot `bclean fit` / `bclean clean` runs pay the model-compile cost
+//! on every invocation. This crate amortizes it across requests: a
+//! long-running process holds a [`registry::ModelRegistry`] of compiled
+//! models keyed by schema hash, serves cleaning reads against immutable
+//! [`registry::ModelSnapshot`]s, and grows models through absorb-and-swap
+//! ingests — readers never block on writers, and every response is
+//! bit-identical to the equivalent one-shot CLI run.
+//!
+//! The wire protocol is a minimal HTTP/1.1 subset over [`std::net`]
+//! ([`http`]), keeping the workspace's offline no-external-deps
+//! discipline. The endpoint reference lives on [`server::Server`] and in
+//! the README's "Serving" section.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use bclean_serve::registry::ModelRegistry;
+//! use bclean_serve::server::{Server, ServerConfig};
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! let artifact = bclean_core::ModelArtifact::load("hospital.bclean").unwrap();
+//! registry.register(artifact);
+//! let config = ServerConfig { addr: "127.0.0.1:7345".into(), workers: 4 };
+//! Server::bind(&config, registry).unwrap().run().unwrap();
+//! ```
+
+pub mod http;
+pub mod registry;
+pub mod server;
+
+pub use registry::{IngestReceipt, ModelRegistry, ModelSnapshot, ModelSummary, RegistryError};
+pub use server::{Metrics, Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,349 @@
+//! The multi-model registry: resident [`ModelArtifact`]s keyed by their
+//! 64-bit schema hash, each behind an atomically swappable snapshot.
+//!
+//! # Consistency model
+//!
+//! Every model lives in a registry entry holding an `Arc<ModelSnapshot>` —
+//! the artifact (sufficient statistics) *and* its compiled scoring model,
+//! built together and immutable from then on. The two operations:
+//!
+//! * **Reads** ([`ModelRegistry::snapshot`]) clone the `Arc` under a
+//!   momentary read lock and score entirely against that snapshot. A read
+//!   never blocks on a writer's absorb/recompile work and never observes a
+//!   half-updated model: it sees exactly the state after some prefix of the
+//!   completed ingests.
+//! * **Writes** ([`ModelRegistry::ingest`]) serialize on a per-model
+//!   single-writer lock, clone the current artifact, absorb the batch
+//!   (the same [`ModelArtifact::ingest_batch`] path `bclean ingest` runs,
+//!   so the resulting artifact bytes are bit-identical to the CLI's),
+//!   recompile, and atomically swap the snapshot `Arc`. In-flight reads
+//!   keep their old snapshot alive through its refcount.
+//!
+//! Because writers serialize and absorbs are deterministic, the artifact
+//! after ingests `b1, …, bn` (in lock-acquisition order) is byte-identical
+//! to applying the same batches serially in one process — guarded by
+//! `tests/concurrent.rs`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use bclean_core::{BCleanModel, ModelArtifact};
+use bclean_data::{Dataset, Schema};
+use bclean_store::{SchemaMeta, StoreError};
+
+/// The 64-bit schema hash of a dataset schema — the registry key. Identical
+/// to what [`ModelArtifact::schema_hash`] computes over the fitting schema,
+/// so a request routes to a model exactly when the artifact's schema guard
+/// would accept its data.
+pub fn schema_hash_of(schema: &Schema) -> u64 {
+    let names: Vec<String> = schema.names().iter().map(|n| n.to_string()).collect();
+    let types = (0..schema.arity()).map(|c| schema.attribute(c).expect("column in range").ty).collect();
+    SchemaMeta { names, types }.hash()
+}
+
+/// An immutable, shareable point-in-time state of one model: the artifact
+/// and the scoring model compiled from it, plus the ingest version that
+/// produced it.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    artifact: ModelArtifact,
+    model: BCleanModel,
+    version: u64,
+}
+
+impl ModelSnapshot {
+    fn new(artifact: ModelArtifact, version: u64) -> ModelSnapshot {
+        let model = artifact.compile();
+        ModelSnapshot { artifact, model, version }
+    }
+
+    /// The sufficient statistics this snapshot was compiled from.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// The compiled scoring model.
+    pub fn model(&self) -> &BCleanModel {
+        &self.model
+    }
+
+    /// Number of ingests absorbed into this snapshot since registration.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// One registered model: the current snapshot plus the single-writer lock
+/// ingests serialize on.
+#[derive(Debug)]
+struct ModelEntry {
+    snapshot: RwLock<Arc<ModelSnapshot>>,
+    /// Writers (ingests) queue here; readers never touch this lock.
+    writer: Mutex<()>,
+    ingests: AtomicU64,
+}
+
+/// Receipt of one completed ingest.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestReceipt {
+    /// Rows absorbed from the batch.
+    pub absorbed: usize,
+    /// Total rows in the model after the absorb.
+    pub total_rows: usize,
+    /// The snapshot version the swap installed (1-based ingest sequence
+    /// number within this registration).
+    pub version: u64,
+}
+
+/// Summary of one registered model (the `/models` listing).
+#[derive(Debug, Clone)]
+pub struct ModelSummary {
+    /// Registry key.
+    pub schema_hash: u64,
+    /// Rows absorbed into the current snapshot.
+    pub rows: usize,
+    /// Attribute count.
+    pub columns: usize,
+    /// Learned structure edges.
+    pub edges: usize,
+    /// Ingests absorbed since registration.
+    pub version: u64,
+}
+
+/// Errors from registry operations, mapped to HTTP statuses by the server.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No model registered under the requested (or routed) schema hash.
+    UnknownModel(u64),
+    /// No `model` selector given and the registry holds several models.
+    Ambiguous(usize),
+    /// The persistence/schema layer rejected the operation.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownModel(hash) => {
+                write!(f, "no model registered for schema hash {hash:016x}")
+            }
+            RegistryError::Ambiguous(n) => {
+                write!(f, "{n} models registered; select one with ?model=<schema-hash>")
+            }
+            RegistryError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<StoreError> for RegistryError {
+    fn from(e: StoreError) -> RegistryError {
+        RegistryError::Store(e)
+    }
+}
+
+/// The daemon's resident model set. All methods are callable concurrently
+/// from any number of threads; see the module docs for the consistency
+/// model.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<u64, Arc<ModelEntry>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Register an artifact under its schema hash, replacing any previous
+    /// model of the same schema (replacement is itself an atomic swap: the
+    /// new entry starts at version 0). Returns the schema hash.
+    pub fn register(&self, artifact: ModelArtifact) -> u64 {
+        let hash = artifact.schema_hash();
+        let entry = Arc::new(ModelEntry {
+            snapshot: RwLock::new(Arc::new(ModelSnapshot::new(artifact, 0))),
+            writer: Mutex::new(()),
+            ingests: AtomicU64::new(0),
+        });
+        self.models.write().expect("registry lock poisoned").insert(hash, entry);
+        hash
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registered schema hashes, sorted.
+    pub fn schema_hashes(&self) -> Vec<u64> {
+        let mut hashes: Vec<u64> =
+            self.models.read().expect("registry lock poisoned").keys().copied().collect();
+        hashes.sort_unstable();
+        hashes
+    }
+
+    /// Per-model summaries, sorted by schema hash.
+    pub fn summaries(&self) -> Vec<ModelSummary> {
+        self.schema_hashes()
+            .into_iter()
+            .filter_map(|hash| {
+                let snapshot = self.snapshot(hash).ok()?;
+                Some(ModelSummary {
+                    schema_hash: hash,
+                    rows: snapshot.artifact().num_rows(),
+                    columns: snapshot.artifact().num_columns(),
+                    edges: snapshot.artifact().dag().num_edges(),
+                    version: snapshot.version(),
+                })
+            })
+            .collect()
+    }
+
+    fn entry(&self, hash: u64) -> Result<Arc<ModelEntry>, RegistryError> {
+        self.models
+            .read()
+            .expect("registry lock poisoned")
+            .get(&hash)
+            .cloned()
+            .ok_or(RegistryError::UnknownModel(hash))
+    }
+
+    /// Resolve an optional explicit selector: a given hash must be
+    /// registered; with none, a single-model registry routes to its only
+    /// model and a multi-model one refuses as ambiguous.
+    pub fn resolve(&self, selector: Option<u64>) -> Result<u64, RegistryError> {
+        match selector {
+            Some(hash) => {
+                self.entry(hash)?;
+                Ok(hash)
+            }
+            None => {
+                let hashes = self.schema_hashes();
+                match hashes.as_slice() {
+                    [only] => Ok(*only),
+                    [] => Err(RegistryError::UnknownModel(0)),
+                    many => Err(RegistryError::Ambiguous(many.len())),
+                }
+            }
+        }
+    }
+
+    /// The current snapshot of the model registered under `hash`. The
+    /// returned `Arc` stays valid (and unchanged) however many ingests swap
+    /// the entry afterwards.
+    pub fn snapshot(&self, hash: u64) -> Result<Arc<ModelSnapshot>, RegistryError> {
+        let entry = self.entry(hash)?;
+        let snapshot = entry.snapshot.read().expect("snapshot lock poisoned").clone();
+        Ok(snapshot)
+    }
+
+    /// Absorb a batch into the model registered under `hash` and atomically
+    /// install the grown snapshot. Concurrent ingests serialize on the
+    /// per-model writer lock; concurrent reads are never blocked and keep
+    /// their pre-swap snapshots. The batch must match the model's schema
+    /// ([`ModelArtifact::ingest_batch`]'s guard).
+    pub fn ingest(&self, hash: u64, batch: &Dataset) -> Result<IngestReceipt, RegistryError> {
+        let entry = self.entry(hash)?;
+        let _writer = entry.writer.lock().expect("writer lock poisoned");
+        // Under the writer lock the snapshot can only be replaced by us, so
+        // the clone-absorb-swap below is a serial read-modify-write.
+        let current = entry.snapshot.read().expect("snapshot lock poisoned").clone();
+        let mut artifact = current.artifact().clone();
+        let total_rows = artifact.ingest_batch(batch)?;
+        let version = entry.ingests.fetch_add(1, Ordering::SeqCst) + 1;
+        let fresh = Arc::new(ModelSnapshot::new(artifact, version));
+        *entry.snapshot.write().expect("snapshot lock poisoned") = fresh;
+        Ok(IngestReceipt { absorbed: batch.num_rows(), total_rows, version })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bclean_core::{BClean, Variant};
+    use bclean_data::dataset_from;
+
+    fn tiny_dataset() -> Dataset {
+        dataset_from(
+            &["City", "State"],
+            &[
+                vec!["sylacauga", "AL"],
+                vec!["sylacauga", "AL"],
+                vec!["sylacauga", "XX"],
+                vec!["centre", "AL"],
+                vec!["centre", "AL"],
+            ],
+        )
+    }
+
+    #[test]
+    fn register_snapshot_and_route() {
+        let data = tiny_dataset();
+        let artifact = BClean::new(Variant::PartitionedInference.config()).fit_artifact(&data);
+        let hash = artifact.schema_hash();
+        assert_eq!(schema_hash_of(data.schema()), hash, "routing hash matches the artifact's");
+
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        assert!(matches!(registry.resolve(None), Err(RegistryError::UnknownModel(_))));
+        assert_eq!(registry.register(artifact), hash);
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.resolve(None).unwrap(), hash);
+        assert_eq!(registry.resolve(Some(hash)).unwrap(), hash);
+        assert!(matches!(registry.resolve(Some(hash ^ 1)), Err(RegistryError::UnknownModel(_))));
+
+        let snapshot = registry.snapshot(hash).unwrap();
+        assert_eq!(snapshot.version(), 0);
+        assert_eq!(snapshot.artifact().num_rows(), data.num_rows());
+        let summaries = registry.summaries();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].schema_hash, hash);
+        assert_eq!(summaries[0].rows, data.num_rows());
+    }
+
+    #[test]
+    fn ingest_swaps_while_old_snapshots_survive() {
+        let data = tiny_dataset();
+        let artifact = BClean::new(Variant::PartitionedInference.config()).fit_artifact(&data);
+        let registry = ModelRegistry::new();
+        let hash = registry.register(artifact.clone());
+
+        let before = registry.snapshot(hash).unwrap();
+        let receipt = registry.ingest(hash, &data).unwrap();
+        assert_eq!(receipt.absorbed, data.num_rows());
+        assert_eq!(receipt.total_rows, 2 * data.num_rows());
+        assert_eq!(receipt.version, 1);
+
+        // The pre-swap snapshot is untouched; the fresh one grew.
+        assert_eq!(before.artifact().num_rows(), data.num_rows());
+        let after = registry.snapshot(hash).unwrap();
+        assert_eq!(after.artifact().num_rows(), 2 * data.num_rows());
+        assert_eq!(after.version(), 1);
+
+        // Byte-identical to the same absorb applied directly (the CLI path).
+        let mut oracle = artifact;
+        oracle.ingest_batch(&data).unwrap();
+        assert_eq!(after.artifact().to_bytes().unwrap(), oracle.to_bytes().unwrap());
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_typed_error() {
+        let data = tiny_dataset();
+        let artifact = BClean::new(Variant::PartitionedInference.config()).fit_artifact(&data);
+        let registry = ModelRegistry::new();
+        let hash = registry.register(artifact);
+        let drifted = dataset_from(&["Other", "Header"], &[vec!["a", "b"]]);
+        match registry.ingest(hash, &drifted) {
+            Err(RegistryError::Store(StoreError::SchemaMismatch { .. })) => {}
+            other => panic!("expected a schema mismatch, got {other:?}"),
+        }
+    }
+}

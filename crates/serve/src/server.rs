@@ -1,0 +1,458 @@
+//! The daemon: a blocking accept loop feeding a bounded worker pool, with
+//! endpoint dispatch over the [`crate::registry::ModelRegistry`].
+//!
+//! # Endpoints
+//!
+//! | Method | Path        | Body          | Response |
+//! |--------|-------------|---------------|----------|
+//! | GET    | `/health`   | —             | JSON liveness + model count |
+//! | GET    | `/metrics`  | —             | JSON request/repair/ingest counters |
+//! | GET    | `/models`   | —             | JSON per-model summaries |
+//! | POST   | `/models`   | `.bclean`     | register artifact, JSON receipt |
+//! | POST   | `/clean`    | CSV batch     | repair CSV — byte-identical to `bclean clean --repairs` |
+//! | POST   | `/ingest`   | CSV batch     | absorb + atomic snapshot swap, JSON receipt |
+//! | GET    | `/inspect`  | —             | JSON artifact summary |
+//! | GET    | `/artifact` | —             | current `.bclean` bytes — byte-identical to `bclean ingest -o` |
+//! | POST   | `/shutdown` | —             | acknowledge, then stop the daemon |
+//!
+//! Model selection: `?model=<16-hex schema hash>` on `/clean`, `/ingest`,
+//! `/inspect` and `/artifact`. Without it, `/clean` and `/ingest` route by
+//! the posted batch's schema hash, and `/inspect`/`/artifact` fall back to
+//! the only model when exactly one is registered.
+//!
+//! Worker pool: `workers` threads pull accepted connections from a shared
+//! queue (a `Mutex<VecDeque>` + `Condvar`), each serving its connection's
+//! keep-alive request stream to completion. Per-request model evaluation
+//! reuses the deterministic `ParallelExecutor` inside the compiled model,
+//! so responses are bit-identical to one-shot CLI runs at any pool size.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use bclean_core::{repairs_to_csv, ModelArtifact};
+use bclean_data::parse_csv;
+use bclean_store::StoreError;
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::registry::{schema_hash_of, ModelRegistry, RegistryError};
+
+/// How long a worker waits on an idle keep-alive connection before
+/// reclaiming the slot.
+const IDLE_CONNECTION_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Monotonic serving counters, exposed verbatim on `/metrics`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests parsed off the wire (any endpoint, any outcome).
+    pub requests: AtomicU64,
+    /// `/clean` requests answered with a repair stream.
+    pub clean_requests: AtomicU64,
+    /// Repairs emitted across all `/clean` responses.
+    pub repairs_emitted: AtomicU64,
+    /// `/ingest` requests that absorbed a batch and swapped the snapshot.
+    pub ingest_requests: AtomicU64,
+    /// Rows absorbed across all `/ingest` requests.
+    pub rows_ingested: AtomicU64,
+    /// Models registered over `/models` (startup loads not counted).
+    pub models_registered: AtomicU64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: AtomicU64,
+}
+
+/// Configuration for a daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7345`. Port 0 picks a free port
+    /// (printed on startup and readable via [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads serving connections. Zero means one worker.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { addr: "127.0.0.1:7345".to_string(), workers: 4 }
+    }
+}
+
+/// A handle that can stop a running [`Server`] from another thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Request shutdown and nudge the accept loop awake.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept()`; a throwaway connection to
+        // ourselves wakes it so it can observe the flag. Failure is fine —
+        // it only means the listener is already gone.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// The resident cleaning daemon. Construct with [`Server::bind`], populate
+/// the [`registry`](Server::registry), then [`run`](Server::run).
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listening socket. The registry may be pre-populated or
+    /// filled over `/models` later.
+    pub fn bind(config: &ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            registry,
+            metrics: Arc::new(Metrics::default()),
+            workers: config.workers.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The daemon's model registry.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The daemon's metrics counters.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// A handle that stops this server from another thread (what the
+    /// `/shutdown` endpoint uses internally).
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle { flag: self.shutdown.clone(), addr: self.local_addr()? })
+    }
+
+    /// Serve until shutdown. Blocks the calling thread; spawn it when the
+    /// caller needs to keep going (the tests and the CLI foreground mode
+    /// both just block).
+    pub fn run(self) -> std::io::Result<()> {
+        let shutdown_handle = self.shutdown_handle()?;
+        let queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)> =
+            Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+
+        let mut pool = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let queue = queue.clone();
+            let state = Arc::new(Handler {
+                registry: self.registry.clone(),
+                metrics: self.metrics.clone(),
+                shutdown: shutdown_handle.clone(),
+            });
+            pool.push(std::thread::spawn(move || {
+                let (jobs, ready) = &*queue;
+                loop {
+                    let stream = {
+                        let mut jobs = jobs.lock().expect("job queue poisoned");
+                        loop {
+                            if let Some(stream) = jobs.pop_front() {
+                                break Some(stream);
+                            }
+                            if state.shutdown.flag.load(Ordering::SeqCst) {
+                                break None;
+                            }
+                            jobs = ready.wait(jobs).expect("job queue poisoned");
+                        }
+                    };
+                    match stream {
+                        Some(stream) => state.serve_connection(stream),
+                        None => return,
+                    }
+                }
+            }));
+        }
+
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let (jobs, ready) = &*queue;
+                    jobs.lock().expect("job queue poisoned").push_back(stream);
+                    ready.notify_one();
+                }
+                // Transient accept errors (e.g. the peer vanished between
+                // SYN and accept) should not kill the daemon.
+                Err(_) => continue,
+            }
+        }
+
+        // Drain: wake every worker so each can observe the flag and exit
+        // once the queue is empty.
+        let (_, ready) = &*queue;
+        ready.notify_all();
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Per-worker request handling state.
+struct Handler {
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    shutdown: ShutdownHandle,
+}
+
+impl Handler {
+    /// Serve one connection's keep-alive request stream to completion.
+    fn serve_connection(&self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(IDLE_CONNECTION_TIMEOUT));
+        let Ok(reader_stream) = stream.try_clone() else { return };
+        let mut reader = BufReader::new(reader_stream);
+        let mut stream = stream;
+        loop {
+            let request = match read_request(&mut reader) {
+                Ok(request) => request,
+                Err(HttpError::ConnectionClosed) | Err(HttpError::Io(_)) => return,
+                Err(HttpError::BodyTooLarge(len)) => {
+                    self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let message = format!("body of {len} bytes exceeds the limit");
+                    let _ = Response::error(413, &message).write_to(&mut stream, false);
+                    return;
+                }
+                Err(HttpError::Malformed(detail)) => {
+                    self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = Response::error(400, &detail).write_to(&mut stream, false);
+                    return;
+                }
+            };
+            self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            let keep_alive = request.keep_alive;
+            let shutting_down = request.method == "POST" && request.path == "/shutdown";
+            let response = self.dispatch(&request);
+            if response.status >= 400 {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            if response.write_to(&mut stream, keep_alive && !shutting_down).is_err() {
+                return;
+            }
+            if shutting_down {
+                self.shutdown.shutdown();
+                return;
+            }
+            if !keep_alive {
+                return;
+            }
+        }
+    }
+
+    fn dispatch(&self, request: &Request) -> Response {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/health") => self.health(),
+            ("GET", "/metrics") => self.metrics_response(),
+            ("GET", "/models") => self.list_models(),
+            ("POST", "/models") => self.register_model(request),
+            ("POST", "/clean") => self.clean(request),
+            ("POST", "/ingest") => self.ingest(request),
+            ("GET", "/inspect") => self.inspect(request),
+            ("GET", "/artifact") => self.artifact(request),
+            ("POST", "/shutdown") => Response::json("{\"status\": \"shutting down\"}\n".to_string()),
+            (
+                _,
+                "/health" | "/metrics" | "/models" | "/clean" | "/ingest" | "/inspect" | "/artifact"
+                | "/shutdown",
+            ) => Response::error(405, &format!("method {} not allowed here", request.method)),
+            (_, path) => Response::error(404, &format!("no such endpoint: {path}")),
+        }
+    }
+
+    fn health(&self) -> Response {
+        Response::json(format!("{{\"status\": \"ok\", \"models\": {}}}\n", self.registry.len()))
+    }
+
+    fn metrics_response(&self) -> Response {
+        let m = &self.metrics;
+        Response::json(format!(
+            concat!(
+                "{{\"requests\": {}, \"clean_requests\": {}, \"repairs_emitted\": {}, ",
+                "\"ingest_requests\": {}, \"rows_ingested\": {}, \"models_registered\": {}, ",
+                "\"errors\": {}}}\n"
+            ),
+            m.requests.load(Ordering::Relaxed),
+            m.clean_requests.load(Ordering::Relaxed),
+            m.repairs_emitted.load(Ordering::Relaxed),
+            m.ingest_requests.load(Ordering::Relaxed),
+            m.rows_ingested.load(Ordering::Relaxed),
+            m.models_registered.load(Ordering::Relaxed),
+            m.errors.load(Ordering::Relaxed),
+        ))
+    }
+
+    fn list_models(&self) -> Response {
+        let entries: Vec<String> = self
+            .registry
+            .summaries()
+            .into_iter()
+            .map(|s| {
+                format!(
+                    "{{\"schema_hash\": \"{:016x}\", \"rows\": {}, \"columns\": {}, \"edges\": {}, \"version\": {}}}",
+                    s.schema_hash, s.rows, s.columns, s.edges, s.version
+                )
+            })
+            .collect();
+        Response::json(format!("{{\"models\": [{}]}}\n", entries.join(", ")))
+    }
+
+    fn register_model(&self, request: &Request) -> Response {
+        match ModelArtifact::from_bytes(&request.body) {
+            Ok(artifact) => {
+                let rows = artifact.num_rows();
+                let hash = self.registry.register(artifact);
+                self.metrics.models_registered.fetch_add(1, Ordering::Relaxed);
+                Response::json(format!("{{\"schema_hash\": \"{hash:016x}\", \"rows\": {rows}}}\n"))
+            }
+            Err(e) => Response::error(400, &format!("invalid artifact: {e}")),
+        }
+    }
+
+    /// Resolve the model a request addresses: an explicit `?model=` hash,
+    /// else the posted batch's schema hash (when a batch is given), else
+    /// the registry's single model.
+    fn select_model(&self, request: &Request, batch_hash: Option<u64>) -> Result<u64, Response> {
+        let explicit = match request.query_param("model") {
+            None => None,
+            Some(raw) => match u64::from_str_radix(raw, 16) {
+                Ok(hash) => Some(hash),
+                Err(_) => {
+                    return Err(Response::error(
+                        400,
+                        &format!("model selector {raw:?} is not a 64-bit hex hash"),
+                    ))
+                }
+            },
+        };
+        self.registry.resolve(explicit.or(batch_hash)).map_err(|e| registry_error_response(&e))
+    }
+
+    fn clean(&self, request: &Request) -> Response {
+        let batch = match parse_body_csv(request) {
+            Ok(batch) => batch,
+            Err(response) => return response,
+        };
+        let hash = match self.select_model(request, Some(schema_hash_of(batch.schema()))) {
+            Ok(hash) => hash,
+            Err(response) => return response,
+        };
+        let snapshot = match self.registry.snapshot(hash) {
+            Ok(snapshot) => snapshot,
+            Err(e) => return registry_error_response(&e),
+        };
+        if let Err(e) = snapshot.artifact().check_schema(batch.schema()) {
+            return Response::error(409, &e.to_string());
+        }
+        let result = snapshot.model().clean(&batch);
+        self.metrics.clean_requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.repairs_emitted.fetch_add(result.repairs.len() as u64, Ordering::Relaxed);
+        // Exactly the bytes `bclean clean --repairs <path>` writes.
+        Response::csv(repairs_to_csv(&result.repairs))
+    }
+
+    fn ingest(&self, request: &Request) -> Response {
+        let batch = match parse_body_csv(request) {
+            Ok(batch) => batch,
+            Err(response) => return response,
+        };
+        let hash = match self.select_model(request, Some(schema_hash_of(batch.schema()))) {
+            Ok(hash) => hash,
+            Err(response) => return response,
+        };
+        match self.registry.ingest(hash, &batch) {
+            Ok(receipt) => {
+                self.metrics.ingest_requests.fetch_add(1, Ordering::Relaxed);
+                self.metrics.rows_ingested.fetch_add(receipt.absorbed as u64, Ordering::Relaxed);
+                Response::json(format!(
+                    "{{\"schema_hash\": \"{hash:016x}\", \"absorbed\": {}, \"total_rows\": {}, \"version\": {}}}\n",
+                    receipt.absorbed, receipt.total_rows, receipt.version
+                ))
+            }
+            Err(e) => registry_error_response(&e),
+        }
+    }
+
+    fn inspect(&self, request: &Request) -> Response {
+        let hash = match self.select_model(request, None) {
+            Ok(hash) => hash,
+            Err(response) => return response,
+        };
+        match self.registry.snapshot(hash) {
+            Ok(snapshot) => {
+                let artifact = snapshot.artifact();
+                Response::json(format!(
+                    concat!(
+                        "{{\"schema_hash\": \"{:016x}\", \"rows\": {}, \"columns\": {}, ",
+                        "\"edges\": {}, \"version\": {}}}\n"
+                    ),
+                    hash,
+                    artifact.num_rows(),
+                    artifact.num_columns(),
+                    artifact.dag().num_edges(),
+                    snapshot.version(),
+                ))
+            }
+            Err(e) => registry_error_response(&e),
+        }
+    }
+
+    fn artifact(&self, request: &Request) -> Response {
+        let hash = match self.select_model(request, None) {
+            Ok(hash) => hash,
+            Err(response) => return response,
+        };
+        let snapshot = match self.registry.snapshot(hash) {
+            Ok(snapshot) => snapshot,
+            Err(e) => return registry_error_response(&e),
+        };
+        match snapshot.artifact().to_bytes() {
+            // Exactly the bytes `ModelArtifact::save` writes.
+            Ok(bytes) => Response::bytes(bytes),
+            Err(e) => Response::error(500, &format!("artifact serialization failed: {e}")),
+        }
+    }
+}
+
+/// Parse a request body as a CSV batch.
+fn parse_body_csv(request: &Request) -> Result<bclean_data::Dataset, Response> {
+    if request.body.is_empty() {
+        return Err(Response::error(400, "empty body; POST a CSV batch"));
+    }
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Err(Response::error(400, "body is not valid UTF-8")),
+    };
+    parse_csv(text).map_err(|e| Response::error(400, &format!("invalid CSV batch: {e}")))
+}
+
+/// Map a registry error to its HTTP status.
+fn registry_error_response(error: &RegistryError) -> Response {
+    let status = match error {
+        RegistryError::UnknownModel(_) => 404,
+        RegistryError::Ambiguous(_) => 400,
+        RegistryError::Store(StoreError::SchemaMismatch { .. }) => 409,
+        RegistryError::Store(_) => 400,
+    };
+    Response::error(status, &error.to_string())
+}

@@ -1,0 +1,135 @@
+//! Concurrent ingest/clean interleavings against one registry entry: N
+//! reader threads clean in a loop while M writer threads absorb-and-swap
+//! batches. The serving consistency contract under test:
+//!
+//! * every read observes a *consistent* snapshot — its repairs are exactly
+//!   the repairs of the model state after some prefix of the completed
+//!   ingests (identified by the snapshot version), never a half-absorbed
+//!   in-between;
+//! * the final artifact is byte-identical to the same batches applied
+//!   serially, in the order the writer lock admitted them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bclean_core::{repairs_to_csv, BClean, Variant};
+use bclean_datagen::BenchmarkDataset;
+use bclean_serve::ModelRegistry;
+
+const SEED: u64 = 20240817;
+const WRITERS: usize = 2;
+const BATCHES_PER_WRITER: usize = 2;
+const READERS: usize = 3;
+const MIN_READS_PER_READER: usize = 3;
+
+#[test]
+fn concurrent_reads_see_prefix_states_and_writes_serialize() {
+    // All datasets come straight from the generator, which stamps the same
+    // declared schema on every build — so batches pass the artifact's
+    // schema guard without a CSV round trip.
+    let fit_data = BenchmarkDataset::Hospital.build_sized(100, SEED).dirty;
+    let probe = BenchmarkDataset::Hospital.build_sized(12, SEED + 90).dirty;
+    let batches: Vec<_> = (0..WRITERS * BATCHES_PER_WRITER)
+        .map(|i| BenchmarkDataset::Hospital.build_sized(20, SEED + 1 + i as u64).dirty)
+        .collect();
+
+    let artifact =
+        BClean::new(Variant::PartitionedInference.config().with_threads(2)).fit_artifact(&fit_data);
+    let registry = Arc::new(ModelRegistry::new());
+    let hash = registry.register(artifact.clone());
+
+    // version → batch index, in the order the writer lock admitted them.
+    let admitted: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    // (snapshot version, rows, repair CSV) per read.
+    let observations: Arc<Mutex<Vec<(u64, usize, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let writers_done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for reader in 0..READERS {
+            let registry = Arc::clone(&registry);
+            let observations = Arc::clone(&observations);
+            let writers_done = Arc::clone(&writers_done);
+            let probe = &probe;
+            scope.spawn(move || {
+                let mut reads = 0usize;
+                // Keep reading until the writers finish AND this reader has
+                // seen a minimum number of snapshots, so every run really
+                // interleaves reads with swaps.
+                while reads < MIN_READS_PER_READER || !writers_done.load(Ordering::SeqCst) {
+                    let snapshot = registry.snapshot(hash).expect("model stays registered");
+                    let repairs = repairs_to_csv(&snapshot.model().clean(probe).repairs);
+                    observations.lock().unwrap().push((
+                        snapshot.version(),
+                        snapshot.artifact().num_rows(),
+                        repairs,
+                    ));
+                    reads += 1;
+                    if reads > 200 {
+                        break; // safety valve; never hit in practice
+                    }
+                }
+                assert!(reads >= MIN_READS_PER_READER, "reader {reader} exited early");
+            });
+        }
+
+        let writer_handles: Vec<_> = (0..WRITERS)
+            .map(|writer| {
+                let registry = Arc::clone(&registry);
+                let admitted = Arc::clone(&admitted);
+                let batches = &batches;
+                scope.spawn(move || {
+                    for slot in 0..BATCHES_PER_WRITER {
+                        let index = writer * BATCHES_PER_WRITER + slot;
+                        let receipt = registry.ingest(hash, &batches[index]).expect("ingest succeeds");
+                        admitted.lock().unwrap().push((receipt.version, index));
+                    }
+                })
+            })
+            .collect();
+        for handle in writer_handles {
+            handle.join().expect("writer thread");
+        }
+        writers_done.store(true, Ordering::SeqCst);
+    });
+
+    // --- Writers serialized: versions 1..=N, each exactly once. ---
+    let mut admitted = Arc::try_unwrap(admitted).unwrap().into_inner().unwrap();
+    admitted.sort_unstable();
+    let versions: Vec<u64> = admitted.iter().map(|(v, _)| *v).collect();
+    assert_eq!(versions, (1..=(WRITERS * BATCHES_PER_WRITER) as u64).collect::<Vec<_>>());
+
+    // --- Serial replay in admitted order: the per-version oracle. ---
+    // expected[v] = (rows, repair CSV, artifact bytes) after the first v ingests.
+    let mut oracle = artifact;
+    let mut expected = vec![(
+        oracle.num_rows(),
+        repairs_to_csv(&oracle.compile().clean(&probe).repairs),
+        oracle.to_bytes().expect("serializable"),
+    )];
+    for &(_, batch_index) in &admitted {
+        oracle.ingest_batch(&batches[batch_index]).expect("serial replay ingest");
+        expected.push((
+            oracle.num_rows(),
+            repairs_to_csv(&oracle.compile().clean(&probe).repairs),
+            oracle.to_bytes().expect("serializable"),
+        ));
+    }
+
+    // --- Every read was a prefix state. ---
+    let observations = Arc::try_unwrap(observations).unwrap().into_inner().unwrap();
+    assert!(observations.len() >= READERS * MIN_READS_PER_READER);
+    for (version, rows, repairs) in &observations {
+        let (expected_rows, expected_repairs, _) = &expected[*version as usize];
+        assert_eq!(rows, expected_rows, "snapshot v{version} rows");
+        assert_eq!(repairs, expected_repairs, "snapshot v{version} repairs");
+    }
+
+    // --- Final artifact byte-identical to the serial application. ---
+    let last = registry.snapshot(hash).expect("model registered");
+    assert_eq!(last.version(), (WRITERS * BATCHES_PER_WRITER) as u64);
+    assert_eq!(
+        last.artifact().to_bytes().expect("serializable"),
+        expected.last().unwrap().2,
+        "concurrent absorb-and-swap diverged from the serial application"
+    );
+}

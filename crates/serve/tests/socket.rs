@@ -1,0 +1,224 @@
+//! End-to-end daemon tests over real sockets: an in-process [`Server`]
+//! exercised through the HTTP client, with every data-bearing response
+//! byte-compared against the equivalent direct (CLI-path) computation.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bclean_core::{repairs_to_csv, BClean, ModelArtifact, Variant};
+use bclean_data::{parse_csv, to_csv, Dataset};
+use bclean_datagen::BenchmarkDataset;
+use bclean_serve::http::client;
+use bclean_serve::{ModelRegistry, Server, ServerConfig, ShutdownHandle};
+
+const SEED: u64 = 20240817;
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A daemon running on a free port, shut down and joined on drop.
+struct Daemon {
+    addr: SocketAddr,
+    shutdown: Option<ShutdownHandle>,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl Daemon {
+    fn start(artifacts: Vec<ModelArtifact>, workers: usize) -> Daemon {
+        let registry = Arc::new(ModelRegistry::new());
+        for artifact in artifacts {
+            registry.register(artifact);
+        }
+        let server = Server::bind(&ServerConfig { addr: "127.0.0.1:0".to_string(), workers }, registry)
+            .expect("bind on a free port");
+        let addr = server.local_addr().expect("bound address");
+        let shutdown = server.shutdown_handle().expect("shutdown handle");
+        let thread = std::thread::spawn(move || server.run());
+        Daemon { addr, shutdown: Some(shutdown), thread: Some(thread) }
+    }
+
+    fn request(&self, method: &str, target: &str, body: &[u8]) -> client::ClientResponse {
+        client::request(self.addr, method, target, body, TIMEOUT).expect("request succeeds")
+    }
+
+    fn stop(mut self) {
+        let response = self.request("POST", "/shutdown", b"");
+        assert_eq!(response.status, 200);
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(shutdown) = self.shutdown.take() {
+            shutdown.shutdown();
+        }
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("server thread").expect("server run");
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+/// Hospital data whose schema round-trips through CSV unchanged, so the
+/// posted batch's inferred schema hash matches the fitted artifact's.
+fn hospital(rows: usize, seed: u64) -> Dataset {
+    let built = BenchmarkDataset::Hospital.build_sized(rows, seed).dirty;
+    parse_csv(&to_csv(&built)).expect("round-trip parses")
+}
+
+fn fit(data: &Dataset) -> ModelArtifact {
+    BClean::new(Variant::PartitionedInference.config().with_threads(2)).fit_artifact(data)
+}
+
+#[test]
+fn clean_and_artifact_match_the_cli_path_byte_for_byte() {
+    let data = hospital(120, SEED);
+    let batch = hospital(24, SEED + 1);
+    let artifact = fit(&data);
+    let hash = artifact.schema_hash();
+    let daemon = Daemon::start(vec![artifact.clone()], 2);
+
+    let health = daemon.request("GET", "/health", b"");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.text(), "{\"status\": \"ok\", \"models\": 1}\n");
+
+    let models = daemon.request("GET", "/models", b"");
+    assert_eq!(models.status, 200);
+    assert!(models.text().contains(&format!("{hash:016x}")), "listing names the model");
+
+    // /clean ≡ `bclean clean --repairs` on the same artifact and batch.
+    let expected_repairs = repairs_to_csv(&artifact.compile().clean(&batch).repairs);
+    for target in ["/clean", &format!("/clean?model={hash:016x}")] {
+        let response = daemon.request("POST", target, to_csv(&batch).as_bytes());
+        assert_eq!(response.status, 200, "{target}: {}", response.text());
+        assert_eq!(response.body, expected_repairs.as_bytes(), "{target} repair bytes");
+    }
+
+    // /artifact ≡ `ModelArtifact::save` bytes.
+    let response = daemon.request("GET", "/artifact", b"");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.body, artifact.to_bytes().expect("serializable"));
+
+    let inspect = daemon.request("GET", "/inspect", b"");
+    assert_eq!(inspect.status, 200);
+    assert!(inspect.text().contains(&format!("\"schema_hash\": \"{hash:016x}\"")));
+    assert!(inspect.text().contains(&format!("\"rows\": {}", data.num_rows())));
+
+    let metrics = daemon.request("GET", "/metrics", b"");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.text().contains("\"clean_requests\": 2"), "metrics: {}", metrics.text());
+
+    daemon.stop();
+}
+
+#[test]
+fn ingest_swaps_the_served_model_and_stays_byte_identical() {
+    let data = hospital(100, SEED);
+    let batch = hospital(30, SEED + 2);
+    let probe = hospital(16, SEED + 3);
+    let artifact = fit(&data);
+    let hash = artifact.schema_hash();
+    let daemon = Daemon::start(vec![artifact.clone()], 2);
+
+    let response = daemon.request("POST", "/ingest", to_csv(&batch).as_bytes());
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert_eq!(
+        response.text(),
+        format!(
+            "{{\"schema_hash\": \"{hash:016x}\", \"absorbed\": {}, \"total_rows\": {}, \"version\": 1}}\n",
+            batch.num_rows(),
+            data.num_rows() + batch.num_rows(),
+        )
+    );
+
+    // The daemon's post-ingest state ≡ `bclean ingest` applied directly.
+    let mut oracle = artifact;
+    oracle.ingest_batch(&batch).expect("oracle ingest");
+    let served = daemon.request("GET", "/artifact", b"");
+    assert_eq!(served.body, oracle.to_bytes().expect("serializable"), "grown artifact bytes");
+
+    let expected_repairs = repairs_to_csv(&oracle.compile().clean(&probe).repairs);
+    let cleaned = daemon.request("POST", "/clean", to_csv(&probe).as_bytes());
+    assert_eq!(cleaned.status, 200);
+    assert_eq!(cleaned.body, expected_repairs.as_bytes(), "post-ingest repair bytes");
+
+    let metrics = daemon.request("GET", "/metrics", b"");
+    assert!(metrics.text().contains(&format!("\"rows_ingested\": {}", batch.num_rows())));
+
+    daemon.stop();
+}
+
+#[test]
+fn models_can_be_registered_over_the_wire() {
+    let daemon = Daemon::start(Vec::new(), 1);
+    let data = hospital(80, SEED);
+    let artifact = fit(&data);
+    let hash = artifact.schema_hash();
+
+    // Nothing registered yet: implicit routing has no model to fall back to.
+    let response = daemon.request("GET", "/inspect", b"");
+    assert_eq!(response.status, 404);
+
+    let bytes = artifact.to_bytes().expect("serializable");
+    let response = daemon.request("POST", "/models", &bytes);
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert_eq!(
+        response.text(),
+        format!("{{\"schema_hash\": \"{hash:016x}\", \"rows\": {}}}\n", data.num_rows())
+    );
+
+    let served = daemon.request("GET", "/artifact", b"");
+    assert_eq!(served.body, bytes, "registered artifact round-trips");
+
+    daemon.stop();
+}
+
+#[test]
+fn protocol_and_routing_errors_map_to_the_documented_statuses() {
+    let data = hospital(80, SEED);
+    let artifact = fit(&data);
+    let hash = artifact.schema_hash();
+    let daemon = Daemon::start(vec![artifact], 2);
+
+    // Unknown endpoint → 404; wrong method on a known one → 405.
+    assert_eq!(daemon.request("GET", "/nope", b"").status, 404);
+    assert_eq!(daemon.request("POST", "/health", b"").status, 405);
+    assert_eq!(daemon.request("GET", "/clean", b"").status, 405);
+
+    // Bad bodies → 400.
+    assert_eq!(daemon.request("POST", "/clean", b"").status, 400);
+    assert_eq!(daemon.request("POST", "/clean", &[0xff, 0xfe, 0x00]).status, 400);
+    assert_eq!(daemon.request("POST", "/models", b"not an artifact").status, 400);
+
+    // Bad selector → 400; unknown model → 404.
+    let batch = to_csv(&hospital(8, SEED + 4));
+    assert_eq!(daemon.request("POST", "/clean?model=zz", batch.as_bytes()).status, 400);
+    assert_eq!(daemon.request("GET", "/artifact?model=0000000000000000", b"").status, 404);
+
+    // A batch of some other schema: routed by its own hash → 404; forced
+    // onto the registered model → 409 (the artifact's schema guard).
+    let drifted = "Completely,Different\nvalues,here\n";
+    assert_eq!(daemon.request("POST", "/clean", drifted.as_bytes()).status, 404);
+    assert_eq!(daemon.request("POST", &format!("/clean?model={hash:016x}"), drifted.as_bytes()).status, 409);
+    assert_eq!(daemon.request("POST", &format!("/ingest?model={hash:016x}"), drifted.as_bytes()).status, 409);
+
+    // The error responses were counted.
+    let metrics = daemon.request("GET", "/metrics", b"");
+    assert!(metrics.text().contains("\"errors\": 11"), "metrics: {}", metrics.text());
+
+    daemon.stop();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_daemon() {
+    let daemon = Daemon::start(Vec::new(), 2);
+    let addr = daemon.addr;
+    daemon.stop(); // asserts the 200 acknowledgement and joins the thread
+
+    // The listener is gone: a fresh connection is refused (or at least
+    // cannot complete a request).
+    assert!(client::request(addr, "GET", "/health", b"", Duration::from_secs(2)).is_err());
+}

@@ -20,6 +20,9 @@
 //! * [`store`] — versioned, checksummed `.bclean` model containers (the
 //!   persistence layer behind `ModelArtifact::{save, load}` and the
 //!   `bclean` CLI's fit / clean / ingest / inspect lifecycle);
+//! * [`serve`] — the resident cleaning daemon behind `bclean serve`: a
+//!   multi-model registry with atomic snapshot swap, a minimal HTTP/1.1
+//!   layer over `std::net`, and the bounded-worker server loop;
 //! * [`datagen`] — synthetic benchmark generators and error injection;
 //! * [`baselines`] — HoloClean-lite, Raha+Baran-lite, PClean-lite, Garf-lite;
 //! * [`eval`] — metrics, per-dataset expert inputs, the experiment harness.
@@ -49,6 +52,7 @@ pub use bclean_linalg as linalg;
 pub use bclean_profile as profile;
 pub use bclean_regex as regex;
 pub use bclean_rules as rules;
+pub use bclean_serve as serve;
 pub use bclean_sketch as sketch;
 pub use bclean_store as store;
 
@@ -66,6 +70,7 @@ pub mod prelude {
     pub use bclean_datagen::{BenchmarkDataset, DirtyDataset, ErrorSpec, ErrorType};
     pub use bclean_eval::{evaluate, Method, Metrics};
     pub use bclean_rules::Rule;
+    pub use bclean_serve::{ModelRegistry, Server, ServerConfig};
     pub use bclean_sketch::{BudgetParams, FitBudget};
     pub use bclean_store::{StoreError, FORMAT_VERSION};
 }

@@ -1,0 +1,123 @@
+//! The workspace's offline no-deps discipline, as an executable guard: the
+//! build must never acquire a crates.io (or git) dependency. Everything
+//! resolves to workspace members — external APIs are stood in for by the
+//! path-dependency shims under `crates/compat/`. CI runs this alongside a
+//! manifest lint; the test is the half that keeps working on developer
+//! machines with no CI around.
+
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every manifest in the workspace: the root plus each member crate's.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let mut dirs = vec![root.join("crates")];
+    while let Some(dir) = dirs.pop() {
+        for entry in std::fs::read_dir(&dir).expect("readable workspace directory") {
+            let path = entry.expect("readable directory entry").path();
+            if path.is_dir() {
+                let manifest = path.join("Cargo.toml");
+                if manifest.is_file() {
+                    manifests.push(manifest);
+                } else {
+                    // e.g. crates/compat/, which holds nested members.
+                    dirs.push(path);
+                }
+            }
+        }
+    }
+    assert!(manifests.len() > 10, "workspace scan found only {} manifests", manifests.len());
+    manifests
+}
+
+/// A registry or git dependency in the lockfile always carries a `source`
+/// key; pure path/workspace dependencies never do. So one grep over
+/// `Cargo.lock` proves the whole resolved graph is in-tree.
+#[test]
+fn lockfile_resolves_no_external_sources() {
+    let lock = repo_root().join("Cargo.lock");
+    let contents = std::fs::read_to_string(&lock).expect("Cargo.lock exists at the workspace root");
+    assert!(contents.contains("[[package]]"), "lockfile looks empty — was it regenerated?");
+    let offenders: Vec<&str> =
+        contents.lines().filter(|line| line.trim_start().starts_with("source = ")).collect();
+    assert!(
+        offenders.is_empty(),
+        "Cargo.lock resolves external dependencies — the workspace builds offline, so new \
+         APIs must be stood in for under crates/compat/ instead:\n{}",
+        offenders.join("\n")
+    );
+}
+
+/// Manifest-side check: inside every dependency table, each entry must be
+/// either a workspace reference (`foo.workspace = true`) or an explicit
+/// path dependency. Version-only entries (`foo = "1.0"`) would ask cargo to
+/// hit the registry.
+#[test]
+fn manifests_declare_only_workspace_and_path_dependencies() {
+    let mut violations = Vec::new();
+    for manifest in workspace_manifests() {
+        let contents = std::fs::read_to_string(&manifest).expect("readable manifest");
+        let mut in_dependency_table = false;
+        for (number, line) in contents.lines().enumerate() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_dependency_table =
+                    line.trim_matches(['[', ']']).split('.').next_back().is_some_and(|section| {
+                        section == "dependencies"
+                            || section == "dev-dependencies"
+                            || section == "build-dependencies"
+                    });
+                continue;
+            }
+            if !in_dependency_table || line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if !(line.contains("workspace = true") || line.contains("path = ")) {
+                violations.push(format!("{}:{}: {line}", manifest.display(), number + 1));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "dependency entries that are neither workspace references nor path \
+         dependencies (these would pull from a registry):\n{}",
+        violations.join("\n")
+    );
+}
+
+/// The compat shims must stay leaves: a shim that itself grew a non-path
+/// dependency would smuggle the registry in through the back door.
+#[test]
+fn compat_shims_depend_only_on_each_other() {
+    let compat = repo_root().join("crates").join("compat");
+    for entry in std::fs::read_dir(&compat).expect("crates/compat exists") {
+        let dir = entry.expect("readable entry").path();
+        let manifest = dir.join("Cargo.toml");
+        if !manifest.is_file() {
+            continue;
+        }
+        let contents = std::fs::read_to_string(&manifest).expect("readable manifest");
+        let mut in_dependency_table = false;
+        for line in contents.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_dependency_table = line.contains("dependencies");
+                continue;
+            }
+            if in_dependency_table && line.contains("path = ") {
+                let target = line.split("path = ").nth(1).unwrap_or("").trim_matches(['"', ' ', '}', ',']);
+                let resolved = dir.join(target);
+                let resolved = resolved.canonicalize().unwrap_or(resolved);
+                assert!(
+                    resolved.starts_with(compat.canonicalize().expect("compat path")),
+                    "{}: compat shim depends outside crates/compat/: {line}",
+                    manifest.display()
+                );
+            }
+        }
+    }
+}
