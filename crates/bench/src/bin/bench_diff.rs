@@ -80,6 +80,11 @@ const KNOWN_TOP_LEVEL_KEYS: &[&str] = &[
     "batch_rows",
     "duration_seconds_per_point",
     "latencies",
+    // `bench_stream`'s out-of-core tier: informational (never gated) —
+    // bounded-memory streamed clean vs the in-RAM one-shot, the peak-memory
+    // proxy, the warm encoded-cache re-clean and the budgeted
+    // accuracy-vs-speed record.
+    "ooc",
 ];
 
 /// Keys of one record inside the `speedups` array. `agreement` rides along
@@ -152,17 +157,53 @@ fn main() -> ExitCode {
         }
     }
     let mut failures = 0usize;
-    if !baseline.speedups.is_empty() || !candidate.speedups.is_empty() {
-        let header = if gate.is_some() {
-            "| Variant | Threads | Baseline | Candidate | Delta | Threshold | Status |\n|---|---|---|---|---|---|---|"
-        } else {
-            "| Variant | Threads | Baseline | Candidate | Delta |\n|---|---|---|---|---|"
-        };
-        let _ = writeln!(table, "{header}");
+    failures += diff_speedups(&mut table, &baseline.speedups, &candidate.speedups, gate, floor);
+    failures += diff_latencies(&mut table, &baseline.latencies, &candidate.latencies, gate);
+
+    println!("{table}");
+    if let Some(path) = summary_path {
+        if let Err(e) = append_to(&path, &table) {
+            eprintln!("could not append summary to {path}: {e}");
+        }
     }
-    for ((variant, threads), base) in &baseline.speedups {
-        let Some(cand) =
-            candidate.speedups.iter().find(|((v, t), _)| v == variant && t == threads).map(|(_, s)| *s)
+
+    match (gate, failures) {
+        (None, _) => ExitCode::SUCCESS,
+        (Some(_), 0) => {
+            println!("perf gate: all records within thresholds");
+            ExitCode::SUCCESS
+        }
+        (Some(_), n) => {
+            eprintln!("perf gate: {n} record(s) regressed outside their thresholds");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Render (and under `--gate` evaluate) the speedup-record diff. A
+/// baseline record *missing* from the candidate fails the gate (a vanished
+/// measurement could hide a collapse); a record only the *candidate* has —
+/// a freshly added benchmark tier — passes with a `*new*` marker, so
+/// growing a snapshot never breaks an older committed baseline.
+fn diff_speedups(
+    table: &mut String,
+    baseline: &Speedups,
+    candidate: &Speedups,
+    gate: Option<f64>,
+    floor: f64,
+) -> usize {
+    if baseline.is_empty() && candidate.is_empty() {
+        return 0;
+    }
+    let header = if gate.is_some() {
+        "| Variant | Threads | Baseline | Candidate | Delta | Threshold | Status |\n|---|---|---|---|---|---|---|"
+    } else {
+        "| Variant | Threads | Baseline | Candidate | Delta |\n|---|---|---|---|---|"
+    };
+    let _ = writeln!(table, "{header}");
+    let mut failures = 0usize;
+    for ((variant, threads), base) in baseline {
+        let Some(cand) = candidate.iter().find(|((v, t), _)| v == variant && t == threads).map(|(_, s)| *s)
         else {
             let _ = writeln!(
                 table,
@@ -192,8 +233,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    for (key, cand) in &candidate.speedups {
-        if !baseline.speedups.iter().any(|(k, _)| k == key) {
+    for (key, cand) in candidate {
+        if !baseline.iter().any(|(k, _)| k == key) {
             let (variant, threads) = key;
             let _ = writeln!(
                 table,
@@ -202,27 +243,7 @@ fn main() -> ExitCode {
             );
         }
     }
-
-    failures += diff_latencies(&mut table, &baseline.latencies, &candidate.latencies, gate);
-
-    println!("{table}");
-    if let Some(path) = summary_path {
-        if let Err(e) = append_to(&path, &table) {
-            eprintln!("could not append summary to {path}: {e}");
-        }
-    }
-
-    match (gate, failures) {
-        (None, _) => ExitCode::SUCCESS,
-        (Some(_), 0) => {
-            println!("perf gate: all records within thresholds");
-            ExitCode::SUCCESS
-        }
-        (Some(_), n) => {
-            eprintln!("perf gate: {n} record(s) regressed outside their thresholds");
-            ExitCode::FAILURE
-        }
-    }
+    failures
 }
 
 /// Render (and under `--gate` evaluate) the latency-record diff. Gating is
@@ -497,6 +518,34 @@ mod tests {
         let (snapshot, warnings) = parse_snapshot(&Json::parse(legacy).unwrap()).unwrap();
         assert_eq!(snapshot.speedups, vec![(("BClean".to_string(), 2), 3.5)]);
         assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn new_tiers_warn_or_pass_but_never_fail_the_gate() {
+        // A candidate that grew records the baseline lacks (a new benchmark
+        // tier) passes the gate with a `*new*` marker …
+        let base: Speedups = vec![(("Hospital/BClean".to_string(), 1), 3.0)];
+        let mut cand = base.clone();
+        cand.push((("Hospital/ooc-warm".to_string(), 1), 1.1));
+        let mut table = String::new();
+        assert_eq!(diff_speedups(&mut table, &base, &cand, Some(0.35), 1.2), 0, "{table}");
+        assert!(table.contains("*new*"), "{table}");
+        // … while a baseline record *missing* from the candidate still fails.
+        assert_eq!(diff_speedups(&mut table, &cand, &base, Some(0.35), 1.2), 1);
+
+        // The `ooc` tier object is a known top-level key (no warning); a
+        // tier this tool has never heard of warns but still parses — new
+        // snapshot keys must never fail the diff.
+        let doc = r#"{
+  "benchmarks": ["Hospital"],
+  "ooc": {"rows": 10000, "peak_bytes": 123, "memory_ratio": 0.25},
+  "some_future_tier": {"anything": 1},
+  "speedups": [{"variant": "Hospital/BClean", "threads": 1, "speedup": 3.0}]
+}"#;
+        let (snapshot, warnings) = parse_snapshot(&Json::parse(doc).unwrap()).unwrap();
+        assert_eq!(snapshot.speedups.len(), 1);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("some_future_tier"));
     }
 
     #[test]

@@ -18,9 +18,10 @@ use std::time::Duration;
 use bclean_bayesnet::NetworkEdit;
 use bclean_bench::{Scale, EXPERIMENT_SEED};
 use bclean_core::{
-    BClean, BCleanConfig, BudgetParams, CleaningSession, CompensatoryParams, ConstraintKind, FitBudget,
-    ModelArtifact, Variant,
+    clean_stream, repairs_to_csv, BClean, BCleanConfig, BudgetParams, CleaningSession, CompensatoryParams,
+    ConstraintKind, FitBudget, ModelArtifact, SourceFingerprint, StreamOptions, Variant,
 };
+use bclean_data::{approx_dataset_bytes, read_csv_file, write_csv_file, ChunkLimits, CsvFileChunks};
 use bclean_datagen::{
     build_wide, BenchmarkDataset, DirtyDataset, ErrorSpec, ErrorType, ScaleFactor, SwapMode,
 };
@@ -758,6 +759,19 @@ fn bench_fit(scale: Scale, threads_sweep: &[usize]) {
 ///
 /// The `speedups` records gate the refit speedups in CI via `bench_diff`,
 /// keyed `"<benchmark>/<variant>"` with the session's thread count.
+///
+/// A second, **out-of-core tier** exercises the bounded-memory
+/// [`clean_stream`] pipeline at scale-factor row counts (10⁴ / 10⁵ / 10⁶
+/// rows for `--scale small|default|full`): the dirty table is written to a
+/// CSV file and cleaned chunk-by-chunk from disk, asserting bit-identical
+/// repairs against the in-RAM one-shot. The tier lands in the snapshot's
+/// `ooc` object — rows/s streamed vs resident, the `peak_bytes`
+/// peak-memory proxy against the resident dataset's footprint
+/// (`memory_ratio`), the warm re-clean speedup from the persisted encoded
+/// dataset, and the accuracy-vs-speed record of a sketch-budgeted streamed
+/// fit (`budgeted_agreement`). The object is informational, not gated:
+/// `bench_diff` warns on snapshot keys it does not know rather than
+/// failing, so adding tiers like this one never breaks an older gate.
 fn bench_stream(scale: Scale) {
     println!("## BENCH_stream — chunked streaming sessions vs one-shot fit+clean\n");
     let total_start = std::time::Instant::now();
@@ -905,17 +919,167 @@ fn bench_stream(scale: Scale) {
     }
     println!("{}", table.render());
 
+    // Out-of-core tier: the bounded-memory `clean_stream` pipeline reading
+    // the dirty table back from a CSV file in fixed-row chunks, against the
+    // in-RAM one-shot on the resident dataset. Timed once per mode — the
+    // tier's headline numbers are the memory proxy, the bit-identity
+    // assertions and the warm-cache / budgeted comparisons, not
+    // jitter-sensitive speedups (none of them are gated).
+    let factor = match scale {
+        Scale::Small => ScaleFactor::S10K,
+        Scale::Default => ScaleFactor::S100K,
+        Scale::Full => ScaleFactor::S1M,
+    };
+    let ooc_rows = factor.rows();
+    let ooc_chunk_rows = 2048usize;
+    println!("### out-of-core tier — streamed clean vs in-RAM one-shot (Hospital, {ooc_rows} rows)\n");
+    let ooc_bench = BenchmarkDataset::Hospital.build_sized(ooc_rows, EXPERIMENT_SEED);
+    let ooc_cleaner = BClean::new(Variant::PartitionedInference.config().with_threads(1))
+        .with_constraints(bclean_constraints(BenchmarkDataset::Hospital));
+
+    // Both modes clean the same on-disk CSV: the baseline loads it whole
+    // (schema inference included — the exact work `bclean clean` does),
+    // the streamed runs read it back in bounded chunks.
+    let tmp = std::env::temp_dir().join(format!("bclean-bench-ooc-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create bench temp dir");
+    let csv_path = tmp.join("ooc.csv");
+    let cache_path = tmp.join("ooc-encoded.bclean");
+    write_csv_file(&ooc_bench.dirty, &csv_path).expect("write streaming source CSV");
+
+    // In-RAM baseline: the whole dataset resident, one-shot artifact + clean.
+    let oneshot_start = std::time::Instant::now();
+    let resident = read_csv_file(&csv_path).expect("load streaming source whole");
+    let ooc_artifact = ooc_cleaner.fit_artifact(&resident);
+    let ooc_model = ooc_artifact.compile();
+    let ooc_oneshot = ooc_model.clean(&resident);
+    let oneshot_seconds = oneshot_start.elapsed().as_secs_f64();
+    let ooc_cols = resident.num_columns();
+    let resident_bytes = approx_dataset_bytes(&resident);
+    let oneshot_csv = repairs_to_csv(&ooc_oneshot.repairs);
+    let ooc_options = StreamOptions {
+        limits: ChunkLimits::rows(ooc_chunk_rows),
+        cache_path: Some(cache_path.clone()),
+        fingerprint: Some(SourceFingerprint::of_file(&csv_path).expect("fingerprint streaming source")),
+        cleaned_path: None,
+    };
+    let run_stream = |cleaner: &BClean, options: &StreamOptions| {
+        let mut source = CsvFileChunks::open(&csv_path, options.limits).expect("open streaming source");
+        let start = std::time::Instant::now();
+        let outcome = clean_stream(cleaner, &mut source, options).expect("streamed clean");
+        (start.elapsed().as_secs_f64(), outcome)
+    };
+    let (cold_seconds, cold) = run_stream(&ooc_cleaner, &ooc_options);
+    assert!(
+        !cold.encode_skipped && cold.cache_written,
+        "the first streamed run must encode from the source and persist the encoded dataset"
+    );
+    assert_eq!(
+        repairs_to_csv(&cold.repairs),
+        oneshot_csv,
+        "the streamed clean must be bit-identical to the in-RAM one-shot"
+    );
+    let (warm_seconds, warm) = run_stream(&ooc_cleaner, &ooc_options);
+    assert!(warm.encode_skipped, "the re-clean must hit the persisted encoded dataset");
+    assert_eq!(
+        repairs_to_csv(&warm.repairs),
+        oneshot_csv,
+        "the warm re-clean must reproduce the cold repairs byte for byte"
+    );
+
+    // Accuracy-vs-speed: the same streamed pipeline under a sketch fit
+    // budget — the documented large-scale mode (`bclean clean --stream
+    // --fit-sample`), where structure search runs on a sample while the
+    // clean itself still sees every row.
+    let ooc_budget = BudgetParams {
+        sample_rows: (ooc_rows / 5).clamp(2_000, 20_000),
+        heavy_hitters: 64,
+        ..BudgetParams::default()
+    };
+    let budgeted_cleaner = BClean::new(
+        Variant::PartitionedInference
+            .config()
+            .with_threads(1)
+            .with_fit_budget(FitBudget::Budgeted(ooc_budget)),
+    )
+    .with_constraints(bclean_constraints(BenchmarkDataset::Hospital));
+    let budget_options = StreamOptions { limits: ChunkLimits::rows(ooc_chunk_rows), ..Default::default() };
+    let (budgeted_seconds, budgeted) = run_stream(&budgeted_cleaner, &budget_options);
+    let budgeted_agreement = repair_agreement(&ooc_oneshot.repairs, &budgeted.repairs);
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let oneshot_rows_per_sec = ooc_rows as f64 / oneshot_seconds.max(1e-12);
+    let cold_rows_per_sec = ooc_rows as f64 / cold_seconds.max(1e-12);
+    let warm_rows_per_sec = ooc_rows as f64 / warm_seconds.max(1e-12);
+    let budgeted_rows_per_sec = ooc_rows as f64 / budgeted_seconds.max(1e-12);
+    let ooc_throughput_ratio = cold_rows_per_sec / oneshot_rows_per_sec.max(1e-12);
+    let warm_speedup = cold_seconds / warm_seconds.max(1e-12);
+    let budgeted_speedup = cold_seconds / budgeted_seconds.max(1e-12);
+    let memory_ratio = cold.peak_bytes as f64 / (resident_bytes.max(1)) as f64;
+    let mut ooc_table = TextTable::new(vec!["Mode", "Wall", "Rows/s", "Peak bytes", "Repairs", "Agreement"]);
+    for (mode, seconds, rows_per_sec, peak, repairs, agreement) in [
+        (
+            "in-RAM one-shot",
+            oneshot_seconds,
+            oneshot_rows_per_sec,
+            resident_bytes,
+            ooc_oneshot.repairs.len(),
+            1.0,
+        ),
+        ("streamed (cold)", cold_seconds, cold_rows_per_sec, cold.peak_bytes, cold.repairs.len(), 1.0),
+        ("streamed (warm cache)", warm_seconds, warm_rows_per_sec, warm.peak_bytes, warm.repairs.len(), 1.0),
+        (
+            "streamed (budgeted)",
+            budgeted_seconds,
+            budgeted_rows_per_sec,
+            budgeted.peak_bytes,
+            budgeted.repairs.len(),
+            budgeted_agreement,
+        ),
+    ] {
+        ooc_table.add_row(vec![
+            mode.to_string(),
+            format!("{seconds:.4}s"),
+            format!("{rows_per_sec:.0}"),
+            peak.to_string(),
+            repairs.to_string(),
+            format!("{agreement:.4}"),
+        ]);
+    }
+    println!("{}", ooc_table.render());
+    println!(
+        "out-of-core tier: peak chunk memory {:.1}% of resident, warm-cache speedup {warm_speedup:.2}x, \
+         budgeted agreement {budgeted_agreement:.4}\n",
+        memory_ratio * 100.0
+    );
+    let ooc_json = format!(
+        "  \"ooc\": {{\"benchmark\": \"Hospital\", \"rows\": {ooc_rows}, \"columns\": {ooc_cols}, \
+         \"chunk_rows\": {ooc_chunk_rows}, \"chunks\": {}, \
+         \"oneshot_seconds\": {oneshot_seconds:.6}, \"oneshot_rows_per_sec\": {oneshot_rows_per_sec:.2}, \
+         \"resident_bytes\": {resident_bytes}, \
+         \"stream_cold_seconds\": {cold_seconds:.6}, \"stream_cold_rows_per_sec\": {cold_rows_per_sec:.2}, \
+         \"peak_bytes\": {}, \"memory_ratio\": {memory_ratio:.4}, \
+         \"throughput_ratio\": {ooc_throughput_ratio:.4}, \
+         \"stream_warm_seconds\": {warm_seconds:.6}, \"warm_cache_speedup\": {warm_speedup:.3}, \
+         \"budgeted_seconds\": {budgeted_seconds:.6}, \"budgeted_speedup\": {budgeted_speedup:.3}, \
+         \"budgeted_agreement\": {budgeted_agreement:.4}, \
+         \"repairs\": {}}},",
+        cold.chunks,
+        cold.peak_bytes,
+        ooc_oneshot.repairs.len(),
+    );
+
     let min_speedup = speedups.iter().map(|(_, _, s)| *s).fold(f64::INFINITY, f64::min);
     let json = format!(
         "{{\n  \"benchmarks\": [\"Hospital\", \"Flights\"],\n  \"scale\": \"{:?}\",\n  \
          \"chunks\": {},\n  \"refit_every\": {},\n  \"clean_iters\": {},\n  \
-         \"min_throughput_ratio\": {:.4},\n  \"runs\": [\n{}\n  ],\n{}",
+         \"min_throughput_ratio\": {:.4},\n  \"runs\": [\n{}\n  ],\n{}\n{}",
         scale,
         chunks,
         refit_every,
         clean_iters,
         min_ratio,
         runs_json.join(",\n"),
+        ooc_json,
         speedups_json(&speedups, &[], min_speedup, total_start.elapsed().as_secs_f64()),
     );
     match std::fs::write("BENCH_stream.json", &json) {

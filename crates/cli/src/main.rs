@@ -37,11 +37,12 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use bclean_core::{
-    repairs_to_csv, BClean, BudgetParams, ConstraintSet, FitBudget, ModelArtifact, UserConstraint, Variant,
+    clean_stream, clean_stream_with_model, repairs_to_csv, BClean, BudgetParams, ConstraintSet, FitBudget,
+    ModelArtifact, Repair, StreamError, StreamOptions, StreamOutcome, UserConstraint, Variant,
 };
-use bclean_data::{read_csv_file, write_csv_file, Dataset};
+use bclean_data::{read_csv_file, write_csv_file, ChunkLimits, ChunkSource, CsvFileChunks, Dataset};
 use bclean_profile::{find_outliers, suggest_constraints, DatasetProfile, OutlierConfig, SuggestConfig};
-use bclean_store::{read_container_file, ContainerReader};
+use bclean_store::{read_container_file, ContainerReader, SourceFingerprint};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -122,6 +123,8 @@ fn usage() -> &'static str {
                             [--report report.json] [-c constraints.bc]
                             [--variant basic|nouc|pi|pip] [--threads N] [--shards N]
                             [--max-repairs N] [--fit-sample ROWS] [--sketch-budget K]
+                            [--stream] [--chunk-rows N] [--max-memory BYTES[K|M|G]]
+                            [--encoded-cache enc.bclean]
   bclean ingest  <batch.csv> -m <model.bclean> [-o updated.bclean]
   bclean inspect <model.bclean>
   bclean profile <data.csv>
@@ -183,6 +186,10 @@ struct CommonArgs {
     max_repairs: Option<usize>,
     fit_sample: Option<usize>,
     sketch_budget: Option<usize>,
+    stream: bool,
+    chunk_rows: Option<usize>,
+    max_memory: Option<usize>,
+    encoded_cache: Option<String>,
 }
 
 impl CommonArgs {
@@ -205,6 +212,35 @@ impl CommonArgs {
         }
         Some(FitBudget::Budgeted(params))
     }
+
+    /// The per-chunk bounds the streaming flags spell out. `--chunk-rows`
+    /// caps rows per chunk; `--max-memory` caps the raw-chunk buffer at
+    /// half the stated budget, leaving the other half as headroom for the
+    /// resident encoded columns and the confidence vector (see
+    /// docs/ARCHITECTURE.md, "Out-of-core cleaning").
+    fn chunk_limits(&self) -> ChunkLimits {
+        let mut limits = ChunkLimits::default();
+        if let Some(rows) = self.chunk_rows {
+            limits = ChunkLimits::rows(rows);
+        }
+        if let Some(bytes) = self.max_memory {
+            limits.max_bytes = (bytes / 2).max(1);
+        }
+        limits
+    }
+}
+
+/// Parse a byte count with an optional binary suffix: `65536`, `64K`,
+/// `512M`, `2G` (powers of 1024, case-insensitive).
+fn parse_bytes(text: &str) -> Result<usize, String> {
+    let (digits, multiplier) = match text.char_indices().last() {
+        Some((i, 'k' | 'K')) => (&text[..i], 1usize << 10),
+        Some((i, 'm' | 'M')) => (&text[..i], 1usize << 20),
+        Some((i, 'g' | 'G')) => (&text[..i], 1usize << 30),
+        _ => (text, 1usize),
+    };
+    let value: usize = digits.parse().map_err(|_| format!("invalid byte count {text:?}"))?;
+    value.checked_mul(multiplier).ok_or_else(|| format!("byte count {text:?} overflows"))
 }
 
 fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
@@ -265,6 +301,25 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
                 let n = flag_value("--sketch-budget")?;
                 parsed.sketch_budget =
                     Some(n.parse().map_err(|_| usage_err(format!("invalid --sketch-budget {n:?}")))?);
+                i += 2;
+            }
+            "--stream" => {
+                parsed.stream = true;
+                i += 1;
+            }
+            "--chunk-rows" => {
+                let n = flag_value("--chunk-rows")?;
+                parsed.chunk_rows =
+                    Some(n.parse().map_err(|_| usage_err(format!("invalid --chunk-rows {n:?}")))?);
+                i += 2;
+            }
+            "--max-memory" => {
+                let n = flag_value("--max-memory")?;
+                parsed.max_memory = Some(parse_bytes(&n).map_err(usage_err)?);
+                i += 2;
+            }
+            "--encoded-cache" => {
+                parsed.encoded_cache = Some(flag_value("--encoded-cache")?);
                 i += 2;
             }
             "--suggest" => {
@@ -331,6 +386,10 @@ fn fit_command(args: &[String]) -> Result<(), CliError> {
             ("--repairs", args.repairs.is_some()),
             ("--report", args.report.is_some()),
             ("--max-repairs", args.max_repairs.is_some()),
+            ("--stream", args.stream),
+            ("--chunk-rows", args.chunk_rows.is_some()),
+            ("--max-memory", args.max_memory.is_some()),
+            ("--encoded-cache", args.encoded_cache.is_some()),
         ],
     )?;
     let input = args.input.as_deref().ok_or_else(|| usage_err("missing <data.csv>"))?;
@@ -373,6 +432,19 @@ fn fit_command(args: &[String]) -> Result<(), CliError> {
 
 fn clean_command(args: &[String]) -> Result<(), CliError> {
     let args = parse_common(args)?;
+    if args.stream {
+        return stream_clean_command(&args);
+    }
+    // The chunking flags shape only the streaming pipeline; accepted and
+    // ignored they would look like a memory bound that was never enforced.
+    reject_unused_flags(
+        "without --stream",
+        &[
+            ("--chunk-rows", args.chunk_rows.is_some()),
+            ("--max-memory", args.max_memory.is_some()),
+            ("--encoded-cache", args.encoded_cache.is_some()),
+        ],
+    )?;
     let input = args.input.as_deref().ok_or_else(|| usage_err("missing <data.csv>"))?;
     let data = load(input)?;
 
@@ -428,19 +500,7 @@ fn clean_command(args: &[String]) -> Result<(), CliError> {
         data.num_rows(),
         result.stats.duration
     );
-    let shown = args.max_repairs.unwrap_or(50);
-    for repair in result.repairs.iter().take(shown) {
-        println!(
-            "  row {:<6} {:<22} {:?} -> {:?}",
-            repair.at.row,
-            repair.attribute,
-            repair.from.to_string(),
-            repair.to.to_string()
-        );
-    }
-    if result.repairs.len() > shown {
-        println!("  … and {} more (raise --max-repairs to see them)", result.repairs.len() - shown);
-    }
+    print_repair_lines(&result.repairs, args.max_repairs.unwrap_or(50));
 
     if let Some(path) = &args.output {
         write_csv_file(&result.cleaned, path).map_err(|e| io_err(format!("cannot write {path}: {e}")))?;
@@ -459,6 +519,160 @@ fn clean_command(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `bclean clean --stream`: the out-of-core path. The CSV is read in
+/// bounded chunks (never fully resident), the fit accumulates the encoding
+/// and per-row confidences chunk by chunk, and cleaning re-decodes bounded
+/// windows — repairs and artifact are bit-identical to the in-RAM run (see
+/// `bclean_core::stream`). With `--encoded-cache`, the encoding persists
+/// as a `.bclean` file keyed by a fingerprint of the source bytes, so a
+/// re-clean of the same file skips the parse and encode passes.
+fn stream_clean_command(args: &CommonArgs) -> Result<(), CliError> {
+    let input = args.input.as_deref().ok_or_else(|| usage_err("missing <data.csv>"))?;
+    let limits = args.chunk_limits();
+    let mut source =
+        CsvFileChunks::open(input, limits).map_err(|e| io_err(format!("cannot stream {input}: {e}")))?;
+    let mut options = StreamOptions {
+        limits,
+        cleaned_path: args.output.as_ref().map(std::path::PathBuf::from),
+        ..StreamOptions::default()
+    };
+
+    let outcome = match &args.model {
+        // Stream-clean against a persisted model: no fitting, one pass.
+        Some(path) => {
+            reject_unused_flags(
+                "when cleaning with -m (the artifact's persisted constraints and variant apply)",
+                &[
+                    ("-c/--constraints", args.constraints.is_some()),
+                    ("--variant", args.variant.is_some()),
+                    ("--suggest", args.suggest),
+                    ("--fit-sample", args.fit_sample.is_some()),
+                    ("--sketch-budget", args.sketch_budget.is_some()),
+                    ("--encoded-cache", args.encoded_cache.is_some()),
+                ],
+            )?;
+            let mut artifact =
+                ModelArtifact::load(path).map_err(|e| store_err(&format!("cannot load {path}"), e))?;
+            artifact.check_schema(source.schema()).map_err(|e| model_err(format!("{input}: {e}")))?;
+            if let Some(threads) = args.threads {
+                artifact.set_threads(threads);
+            }
+            if let Some(shards) = args.shards {
+                artifact.set_shards(shards);
+            }
+            let model = artifact.compile();
+            clean_stream_with_model(&model, &mut source, &options).map_err(|e| stream_err(input, e))?
+        }
+        // Stream fit + clean in one process. Constraint auto-suggestion
+        // needs the whole dataset in memory — exactly what --stream rules
+        // out — so the constraints file must be explicit.
+        None => {
+            if args.suggest {
+                return Err(usage_err("--suggest needs the full dataset in memory; --stream requires an explicit -c <constraints.bc>"));
+            }
+            let constraints_path = args.constraints.as_deref().ok_or_else(|| {
+                usage_err("--stream requires -c <constraints.bc> (constraint auto-suggestion needs the full dataset in memory)")
+            })?;
+            let text = std::fs::read_to_string(constraints_path)
+                .map_err(|e| io_err(format!("cannot read {constraints_path}: {e}")))?;
+            let constraints = ConstraintSet::from_spec_text(&text)
+                .map_err(|e| model_err(format!("{constraints_path}: {e}")))?;
+            let variant = args.variant.unwrap_or(Variant::PartitionedInference);
+            let mut config = variant.config();
+            if let Some(threads) = args.threads {
+                config = config.with_threads(threads);
+            }
+            if let Some(shards) = args.shards {
+                config = config.with_shards(shards);
+            }
+            if let Some(budget) = args.fit_budget() {
+                config = config.with_fit_budget(budget);
+            }
+            if let Some(cache) = &args.encoded_cache {
+                options.cache_path = Some(std::path::PathBuf::from(cache));
+                options.fingerprint = Some(
+                    SourceFingerprint::of_file(std::path::Path::new(input))
+                        .map_err(|e| store_err(&format!("cannot fingerprint {input}"), e))?,
+                );
+            }
+            let cleaner = BClean::new(config).with_constraints(constraints);
+            clean_stream(&cleaner, &mut source, &options).map_err(|e| stream_err(input, e))?
+        }
+    };
+
+    println!(
+        "{} repairs across {} rows in {} chunks in {:?} (peak chunk memory ~{})",
+        outcome.repairs.len(),
+        outcome.rows,
+        outcome.chunks,
+        outcome.stats.duration + outcome.stats.fit_duration,
+        format_bytes(outcome.peak_bytes)
+    );
+    if outcome.encode_skipped {
+        println!("encoded-dataset cache hit: parse and encode passes skipped");
+    } else if outcome.cache_written {
+        println!("encoded dataset cached to {}", args.encoded_cache.as_deref().unwrap_or_default());
+    }
+    print_repair_lines(&outcome.repairs, args.max_repairs.unwrap_or(50));
+
+    if let Some(path) = &args.output {
+        println!("cleaned dataset written to {path}");
+    }
+    if let Some(path) = &args.repairs {
+        std::fs::write(path, repairs_to_csv(&outcome.repairs))
+            .map_err(|e| io_err(format!("cannot write {path}: {e}")))?;
+        println!("repairs written to {path}");
+    }
+    if let Some(path) = &args.report {
+        std::fs::write(path, stream_report_json(input, &outcome))
+            .map_err(|e| io_err(format!("cannot write {path}: {e}")))?;
+        println!("report written to {path}");
+    }
+    Ok(())
+}
+
+/// Classify a [`StreamError`]: data-layer failures follow the CSV-loading
+/// convention (exit 3), store-layer failures follow [`store_err`].
+fn stream_err(input: &str, error: StreamError) -> CliError {
+    match error {
+        StreamError::Data(e) => io_err(format!("cannot stream {input}: {e}")),
+        StreamError::Store(e) => store_err(&format!("encoded cache for {input}"), e),
+    }
+}
+
+/// The shared per-repair console lines of `bclean clean` and
+/// `bclean clean --stream`.
+fn print_repair_lines(repairs: &[Repair], shown: usize) {
+    for repair in repairs.iter().take(shown) {
+        println!(
+            "  row {:<6} {:<22} {:?} -> {:?}",
+            repair.at.row,
+            repair.attribute,
+            repair.from.to_string(),
+            repair.to.to_string()
+        );
+    }
+    if repairs.len() > shown {
+        println!("  … and {} more (raise --max-repairs to see them)", repairs.len() - shown);
+    }
+}
+
+/// Human-readable binary byte count for console summaries.
+fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
 fn ingest_command(args: &[String]) -> Result<(), CliError> {
     let args = parse_common(args)?;
     reject_unused_flags(
@@ -474,6 +688,10 @@ fn ingest_command(args: &[String]) -> Result<(), CliError> {
             ("--max-repairs", args.max_repairs.is_some()),
             ("--fit-sample", args.fit_sample.is_some()),
             ("--sketch-budget", args.sketch_budget.is_some()),
+            ("--stream", args.stream),
+            ("--chunk-rows", args.chunk_rows.is_some()),
+            ("--max-memory", args.max_memory.is_some()),
+            ("--encoded-cache", args.encoded_cache.is_some()),
         ],
     )?;
     let input = args.input.as_deref().ok_or_else(|| usage_err("missing <batch.csv>"))?;
@@ -669,6 +887,44 @@ fn report_json(input: &str, result: &bclean_core::CleaningResult) -> String {
     )
 }
 
+/// Machine-readable report of a streaming clean: the [`report_json`] keys
+/// plus the out-of-core telemetry (chunks, peak-memory proxy, cache state).
+fn stream_report_json(input: &str, outcome: &StreamOutcome) -> String {
+    let mut repairs = String::new();
+    for (i, repair) in outcome.repairs.iter().enumerate() {
+        let _ = write!(
+            repairs,
+            "    {{\"row\": {}, \"col\": {}, \"attribute\": {}, \"from\": {}, \"to\": {}, \
+             \"score_gain\": {}}}{}",
+            repair.at.row,
+            repair.at.col,
+            json_string(&repair.attribute),
+            json_string(&repair.from.to_string()),
+            json_string(&repair.to.to_string()),
+            json_number(repair.score_gain),
+            if i + 1 < outcome.repairs.len() { ",\n" } else { "\n" }
+        );
+    }
+    format!(
+        "{{\n  \"input\": {},\n  \"rows\": {},\n  \"cells_examined\": {},\n  \"cells_skipped\": {},\n  \
+         \"candidates_evaluated\": {},\n  \"num_repairs\": {},\n  \"clean_seconds\": {:.6},\n  \
+         \"fit_seconds\": {:.6},\n  \"chunks\": {},\n  \"peak_bytes\": {},\n  \
+         \"encode_skipped\": {},\n  \"repairs\": [\n{}  ]\n}}\n",
+        json_string(input),
+        outcome.rows,
+        outcome.stats.cells_examined,
+        outcome.stats.cells_skipped,
+        outcome.stats.candidates_evaluated,
+        outcome.repairs.len(),
+        outcome.stats.duration.as_secs_f64(),
+        outcome.stats.fit_duration.as_secs_f64(),
+        outcome.chunks,
+        outcome.peak_bytes,
+        outcome.encode_skipped,
+        repairs
+    )
+}
+
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -793,6 +1049,54 @@ rule:    ends_with(code, zip)
         assert!(parse_common(&["--threads".to_string()]).is_err());
         assert!(parse_common(&["--threads".to_string(), "x".to_string()]).is_err());
         assert!(parse_common(&["--bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn stream_flags_parse_and_shape_chunk_limits() {
+        let args: Vec<String> = [
+            "data.csv",
+            "--stream",
+            "--chunk-rows",
+            "512",
+            "--max-memory",
+            "64M",
+            "--encoded-cache",
+            "enc.bclean",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let parsed = parse_common(&args).unwrap();
+        assert!(parsed.stream);
+        assert_eq!(parsed.chunk_rows, Some(512));
+        assert_eq!(parsed.max_memory, Some(64 << 20));
+        assert_eq!(parsed.encoded_cache.as_deref(), Some("enc.bclean"));
+        let limits = parsed.chunk_limits();
+        assert_eq!(limits.max_rows, 512);
+        assert_eq!(limits.max_bytes, 32 << 20);
+        // Defaults when no flags are set.
+        let bare = CommonArgs::default().chunk_limits();
+        assert_eq!(bare.max_rows, ChunkLimits::default().max_rows);
+        assert_eq!(bare.max_bytes, usize::MAX);
+    }
+
+    #[test]
+    fn byte_counts_parse_with_binary_suffixes() {
+        assert_eq!(parse_bytes("65536").unwrap(), 65536);
+        assert_eq!(parse_bytes("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("64K").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("3M").unwrap(), 3 << 20);
+        assert_eq!(parse_bytes("2G").unwrap(), 2 << 30);
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("M").is_err());
+        assert!(parse_bytes("12Q").is_err());
+    }
+
+    #[test]
+    fn human_byte_formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(64 << 10), "64.0 KiB");
+        assert_eq!(format_bytes((3 << 20) + (512 << 10)), "3.5 MiB");
     }
 
     #[test]

@@ -157,48 +157,75 @@ impl BClean {
         dag: Dag,
     ) -> crate::ModelArtifact {
         let m = dataset.num_columns();
-        assert_eq!(dag.num_nodes(), m, "DAG node count must match the dataset's attribute count");
-        let shards = self.config.effective_shards().min(dataset.num_rows().max(1));
-        let shard_plan =
-            if shards > 1 { Some(bclean_data::shard_ranges(dataset.num_rows(), shards)) } else { None };
-        let executor = self.fit_executor(m, dataset.num_rows(), m);
-        let node_counts: Vec<NodeCounts> = match &shard_plan {
-            Some(ranges) => crate::shard::sharded_node_counts(encoded, &dag, &executor, ranges),
-            None => executor.map(m, |node| NodeCounts::accumulate(encoded, node, &dag.parents(node))),
-        };
+        assert_eq!(encoded.num_rows(), dataset.num_rows(), "encoded dataset must match the value dataset");
         let names: Vec<String> = dataset.schema().names().iter().map(|s| s.to_string()).collect();
         let types: Vec<AttrType> =
             (0..m).map(|c| dataset.schema().attribute(c).expect("column in range").ty).collect();
         let constraints =
             if self.config.use_constraints { self.constraints.clone() } else { ConstraintSet::new() };
         let row_executor = self.fit_executor(m, dataset.num_rows(), dataset.num_rows());
+        let confidences = crate::compensatory::tuple_confidences(
+            dataset,
+            &constraints,
+            self.config.params.lambda,
+            &row_executor,
+        );
+        self.artifact_from_encoded_parts(names, types, encoded, dag, &confidences)
+    }
+
+    /// The encoded-only core of [`BClean::artifact_from_encoded`]: assembles
+    /// an artifact from the encoding, the learned structure and
+    /// pre-computed per-row tuple confidences, never touching a raw `Value`
+    /// dataset. The streaming pipeline (`crate::stream`) lands here after
+    /// accumulating the encoding and confidences chunk-by-chunk; because
+    /// the confidence sweep is the fit's only use of raw rows, the artifact
+    /// is bit-identical to the in-RAM one-shot fit.
+    pub(crate) fn artifact_from_encoded_parts(
+        &self,
+        names: Vec<String>,
+        types: Vec<AttrType>,
+        encoded: &EncodedDataset,
+        dag: Dag,
+        confidences: &[f64],
+    ) -> crate::ModelArtifact {
+        let m = encoded.num_columns();
+        let rows = encoded.num_rows();
+        assert_eq!(dag.num_nodes(), m, "DAG node count must match the dataset's attribute count");
+        assert_eq!(confidences.len(), rows, "one tuple confidence per encoded row");
+        let shards = self.config.effective_shards().min(rows.max(1));
+        let shard_plan = if shards > 1 { Some(bclean_data::shard_ranges(rows, shards)) } else { None };
+        let executor = self.fit_executor(m, rows, m);
+        let node_counts: Vec<NodeCounts> = match &shard_plan {
+            Some(ranges) => crate::shard::sharded_node_counts(encoded, &dag, &executor, ranges),
+            None => executor.map(m, |node| NodeCounts::accumulate(encoded, node, &dag.parents(node))),
+        };
+        let constraints =
+            if self.config.use_constraints { self.constraints.clone() } else { ConstraintSet::new() };
+        let row_executor = self.fit_executor(m, rows, rows);
         let compensatory = match (self.config.fit_budget.params(), &shard_plan) {
             // The budgeted pair pass ignores the shard grid: hybrid
             // core/tail tallies are integers owned per target column and
             // filled in row order, so the result is shard-invariant by
             // construction.
-            (Some(budget), _) => CompensatoryModel::build_budgeted(
-                dataset,
+            (Some(budget), _) => CompensatoryModel::build_budgeted_with_confidences(
                 encoded,
-                &constraints,
                 self.config.params,
                 &row_executor,
                 budget,
+                confidences,
             ),
-            (None, Some(ranges)) => CompensatoryModel::build_sharded(
-                dataset,
+            (None, Some(ranges)) => CompensatoryModel::build_sharded_with_confidences(
                 encoded,
-                &constraints,
                 self.config.params,
                 &row_executor,
                 ranges,
+                confidences,
             ),
-            (None, None) => CompensatoryModel::build_parallel(
-                dataset,
+            (None, None) => CompensatoryModel::build_parallel_with_confidences(
                 encoded,
-                &constraints,
                 self.config.params,
                 &row_executor,
+                confidences,
             ),
         };
         crate::ModelArtifact::from_parts(

@@ -515,6 +515,29 @@ pub(crate) fn pair_store_for(
 /// code), returned ascending — or `None` when the whole domain fits the
 /// budget. Null and unseen sentinels always keep their own slots and are
 /// never tracked.
+/// Per-row tuple confidences (Eq. 3) of a dataset: the user-constraint
+/// sweep shared by every compensatory builder, and the builders' **only**
+/// use of raw `Value` rows. Blocks execute in parallel and flatten in block
+/// order, so the result is the row-order confidence vector at every thread
+/// count — which is what makes a chunk-by-chunk streaming accumulation of
+/// the same per-row function bit-identical to this sweep.
+pub(crate) fn tuple_confidences(
+    dataset: &Dataset,
+    constraints: &ConstraintSet,
+    lambda: f64,
+    executor: &ParallelExecutor,
+) -> Vec<f64> {
+    let schema = dataset.schema();
+    executor
+        .execute(dataset.num_rows(), |rows| {
+            rows.map(|r| constraints.tuple_confidence(schema, dataset.row(r).expect("row in range"), lambda))
+                .collect::<Vec<f64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
 pub(crate) fn tracked_codes_for(
     dict: &ColumnDict,
     value_counts: &[u32],
@@ -628,9 +651,26 @@ impl CompensatoryModel {
         params: CompensatoryParams,
         executor: &ParallelExecutor,
     ) -> CompensatoryModel {
+        assert_eq!(encoded.num_rows(), dataset.num_rows(), "encoded dataset must match the value dataset");
+        let confidences = tuple_confidences(dataset, constraints, params.lambda, executor);
+        CompensatoryModel::build_parallel_with_confidences(encoded, params, executor, &confidences)
+    }
+
+    /// The encoded-only core of [`CompensatoryModel::build_parallel`]:
+    /// builds from pre-computed per-row tuple confidences instead of the
+    /// raw `Value` dataset. The confidence sweep is the builders' *only*
+    /// use of raw rows, so a streaming fit that accumulates confidences
+    /// chunk-by-chunk (in row order) lands here and produces the identical
+    /// model without ever materialising the full dataset.
+    pub(crate) fn build_parallel_with_confidences(
+        encoded: &EncodedDataset,
+        params: CompensatoryParams,
+        executor: &ParallelExecutor,
+        confidences: &[f64],
+    ) -> CompensatoryModel {
         let m = encoded.num_columns();
         let n = encoded.num_rows();
-        assert_eq!(n, dataset.num_rows(), "encoded dataset must match the value dataset");
+        assert_eq!(n, confidences.len(), "one tuple confidence per encoded row");
         let spaces: Vec<usize> = encoded.dicts().iter().map(|d| d.code_space()).collect();
         for (col, &space) in spaces.iter().enumerate() {
             assert!(
@@ -641,17 +681,6 @@ impl CompensatoryModel {
             );
         }
 
-        let schema = dataset.schema();
-        let confidences: Vec<f64> = executor
-            .execute(n, |rows| {
-                rows.map(|r| {
-                    constraints.tuple_confidence(schema, dataset.row(r).expect("row in range"), params.lambda)
-                })
-                .collect::<Vec<f64>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
         let conf_sum: f64 = confidences.iter().sum();
         let positives: Vec<bool> = confidences.iter().map(|&c| c >= params.tau).collect();
 
@@ -705,23 +734,26 @@ impl CompensatoryModel {
         executor: &ParallelExecutor,
         ranges: &[std::ops::Range<usize>],
     ) -> CompensatoryModel {
+        assert_eq!(encoded.num_rows(), dataset.num_rows(), "encoded dataset must match the value dataset");
+        let confidences = tuple_confidences(dataset, constraints, params.lambda, executor);
+        CompensatoryModel::build_sharded_with_confidences(encoded, params, executor, ranges, &confidences)
+    }
+
+    /// The encoded-only core of [`CompensatoryModel::build_sharded`] (see
+    /// [`CompensatoryModel::build_parallel_with_confidences`]).
+    pub(crate) fn build_sharded_with_confidences(
+        encoded: &EncodedDataset,
+        params: CompensatoryParams,
+        executor: &ParallelExecutor,
+        ranges: &[std::ops::Range<usize>],
+        confidences: &[f64],
+    ) -> CompensatoryModel {
         let m = encoded.num_columns();
         let n = encoded.num_rows();
-        assert_eq!(n, dataset.num_rows(), "encoded dataset must match the value dataset");
+        assert_eq!(n, confidences.len(), "one tuple confidence per encoded row");
         debug_assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), n, "shards must cover all rows");
         let spaces: Vec<usize> = encoded.dicts().iter().map(|d| d.code_space()).collect();
 
-        let schema = dataset.schema();
-        let confidences: Vec<f64> = executor
-            .execute(n, |rows| {
-                rows.map(|r| {
-                    constraints.tuple_confidence(schema, dataset.row(r).expect("row in range"), params.lambda)
-                })
-                .collect::<Vec<f64>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
         let conf_sum: f64 = confidences.iter().sum();
         let positives: Vec<bool> = confidences.iter().map(|&c| c >= params.tau).collect();
 
@@ -811,22 +843,25 @@ impl CompensatoryModel {
         executor: &ParallelExecutor,
         budget: &bclean_sketch::BudgetParams,
     ) -> CompensatoryModel {
+        assert_eq!(encoded.num_rows(), dataset.num_rows(), "encoded dataset must match the value dataset");
+        let confidences = tuple_confidences(dataset, constraints, params.lambda, executor);
+        CompensatoryModel::build_budgeted_with_confidences(encoded, params, executor, budget, &confidences)
+    }
+
+    /// The encoded-only core of [`CompensatoryModel::build_budgeted`] (see
+    /// [`CompensatoryModel::build_parallel_with_confidences`]).
+    pub(crate) fn build_budgeted_with_confidences(
+        encoded: &EncodedDataset,
+        params: CompensatoryParams,
+        executor: &ParallelExecutor,
+        budget: &bclean_sketch::BudgetParams,
+        confidences: &[f64],
+    ) -> CompensatoryModel {
         let m = encoded.num_columns();
         let n = encoded.num_rows();
-        assert_eq!(n, dataset.num_rows(), "encoded dataset must match the value dataset");
+        assert_eq!(n, confidences.len(), "one tuple confidence per encoded row");
         let spaces: Vec<usize> = encoded.dicts().iter().map(|d| d.code_space()).collect();
 
-        let schema = dataset.schema();
-        let confidences: Vec<f64> = executor
-            .execute(n, |rows| {
-                rows.map(|r| {
-                    constraints.tuple_confidence(schema, dataset.row(r).expect("row in range"), params.lambda)
-                })
-                .collect::<Vec<f64>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
         let conf_sum: f64 = confidences.iter().sum();
         let positives: Vec<bool> = confidences.iter().map(|&c| c >= params.tau).collect();
 

@@ -51,6 +51,7 @@ pub mod reference;
 pub mod report;
 pub mod session;
 pub mod shard;
+pub mod stream;
 
 pub use artifact::{CompileCache, ModelArtifact};
 pub use cleaner::{BClean, BCleanModel};
@@ -60,9 +61,12 @@ pub use constraints::{AttributeConstraints, ConstraintKind, ConstraintSet, UserC
 pub use exec::ParallelExecutor;
 pub use report::{repairs_to_csv, CleaningResult, CleaningStats, Repair};
 pub use session::{CleaningSession, SessionStats};
+pub use stream::{
+    clean_stream, clean_stream_with_model, schema_from_meta, StreamError, StreamOptions, StreamOutcome,
+};
 
 // Re-export the pieces of the substrate crates that appear in this crate's
 // public API, so downstream users need only one import path.
 pub use bclean_bayesnet::{NetworkEdit, StructureConfig};
 pub use bclean_sketch::{BudgetParams, FitBudget};
-pub use bclean_store::{StoreError, FORMAT_VERSION};
+pub use bclean_store::{SchemaMeta, SourceFingerprint, StoreError, FORMAT_VERSION};

@@ -1,0 +1,618 @@
+//! Out-of-core cleaning: a bounded-memory streaming pipeline over a
+//! [`ChunkSource`], bit-identical to the in-RAM one-shot run.
+//!
+//! [`clean_stream`] makes two passes over the data:
+//!
+//! 1. **Encode + fit.** Each raw chunk feeds an [`EncodedDatasetBuilder`]
+//!    (which reproduces `EncodedDataset::from_dataset` on the concatenation
+//!    exactly — first-appearance interning is chunk-order-invariant) and a
+//!    per-row tuple-confidence accumulator, then is dropped. Structure
+//!    learning and every fit statistic run over the finished encoding plus
+//!    the confidence vector through
+//!    `BClean::artifact_from_encoded_parts` — the confidence sweep is the
+//!    fit's only use of raw `Value` rows, so the resulting
+//!    [`ModelArtifact`] serialises to the **same bytes** as the one-shot
+//!    fit.
+//! 2. **Clean.** The artifact compiles once and chunks are re-synthesised
+//!    by *decoding* the encoding (decode returns the exact parsed values,
+//!    and `encode_lossy(decode(code)) == code`), cleaned independently, and
+//!    their repairs shifted to global row indices. Inference is per-row
+//!    independent, so the concatenated repair list is identical to cleaning
+//!    the whole dataset at once. Cleaned rows can stream straight to a CSV
+//!    file without ever materialising the cleaned dataset.
+//!
+//! Peak memory is therefore one raw chunk + the (columnar `u32`) encoding +
+//! the confidence vector — codes, not heap `Value`s — tracked as a
+//! deterministic byte proxy in [`StreamOutcome::peak_bytes`].
+//!
+//! The encoding itself can be persisted as the v4 `EncodedData` section of
+//! a `.bclean` container (guarded by a source fingerprint); a re-clean of
+//! the same file then skips the CSV parse *and* the encode pass entirely
+//! ([`StreamOutcome::encode_skipped`]) while producing byte-identical
+//! repairs. A `FitBudget` in the cleaner's config composes transparently:
+//! the budgeted structure/pair passes already run over the encoding, giving
+//! the BayesWipe-style fit-on-a-sample / clean-the-rest large-scale mode.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use bclean_bayesnet::{learn_structure_budgeted, learn_structure_encoded};
+use bclean_data::{
+    approx_dataset_bytes, write_csv_file, AttrType, Attribute, ChunkLimits, ChunkSource, DataError, Dataset,
+    EncodedDataset, EncodedDatasetBuilder, Schema, Value,
+};
+use bclean_store::{
+    read_container_file, read_encoded_dataset, read_schema, write_encoded_dataset, write_schema, ByteWriter,
+    ContainerReader, ContainerWriter, SchemaMeta, SectionId, SourceFingerprint, StoreError,
+};
+
+use crate::cleaner::{BClean, BCleanModel};
+use crate::constraints::ConstraintSet;
+use crate::report::{CleaningStats, Repair};
+use crate::ModelArtifact;
+
+/// How a streaming run reads, caches and writes data.
+#[derive(Debug, Clone, Default)]
+pub struct StreamOptions {
+    /// Per-chunk row/byte bounds for both passes.
+    pub limits: ChunkLimits,
+    /// Path of the encoded-dataset cache (a `.bclean` container holding
+    /// `Schema` + `EncodedData` sections). When the file exists and its
+    /// recorded fingerprint matches [`StreamOptions::fingerprint`], the
+    /// encode pass is skipped; otherwise the cache is (re)written after
+    /// encoding.
+    pub cache_path: Option<PathBuf>,
+    /// Fingerprint of the raw source document, required to use
+    /// [`StreamOptions::cache_path`] (compute with
+    /// [`SourceFingerprint::of_file`] / [`SourceFingerprint::of`]).
+    pub fingerprint: Option<SourceFingerprint>,
+    /// Stream the cleaned rows to this CSV file, chunk by chunk. The bytes
+    /// written are identical to `write_csv_file` of the one-shot cleaned
+    /// dataset.
+    pub cleaned_path: Option<PathBuf>,
+}
+
+/// What a streaming run produced. Repairs carry **global** row indices;
+/// the cleaned dataset is intentionally absent (stream it to
+/// [`StreamOptions::cleaned_path`] instead of holding it in memory).
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// The fitted artifact — byte-identical to the one-shot fit's. `None`
+    /// when the run cleaned against a pre-fitted model
+    /// ([`clean_stream_with_model`]), which never builds an artifact.
+    pub artifact: Option<ModelArtifact>,
+    /// All repairs, ordered by (row, column) with global row indices.
+    pub repairs: Vec<Repair>,
+    /// Merged cleaning statistics (durations summed across chunks).
+    pub stats: CleaningStats,
+    /// Total rows cleaned.
+    pub rows: usize,
+    /// Chunks processed in the cleaning pass.
+    pub chunks: usize,
+    /// Deterministic peak-memory proxy (bytes): the largest simultaneous
+    /// footprint of raw chunk + encoding/builder + confidence vector seen
+    /// during the run. A heuristic for benchmarks and `--max-memory`
+    /// accounting, not an allocator measurement.
+    pub peak_bytes: usize,
+    /// Did a valid encoded-dataset cache let the run skip the CSV parse and
+    /// encode pass?
+    pub encode_skipped: bool,
+    /// Was the encoded-dataset cache (re)written by this run?
+    pub cache_written: bool,
+}
+
+/// A streaming-run failure: either the data layer (CSV parse, I/O on the
+/// cleaned output) or the store layer (cache container read/write).
+#[derive(Debug)]
+pub enum StreamError {
+    /// CSV parsing or dataset I/O failed.
+    Data(DataError),
+    /// Reading or writing the encoded-dataset cache failed.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Data(e) => write!(f, "{e}"),
+            StreamError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<DataError> for StreamError {
+    fn from(e: DataError) -> StreamError {
+        StreamError::Data(e)
+    }
+}
+
+impl From<StoreError> for StreamError {
+    fn from(e: StoreError) -> StreamError {
+        StreamError::Store(e)
+    }
+}
+
+/// Fit and clean a chunked source end to end with bounded peak memory (see
+/// the module docs for the two-pass structure and the bit-identity
+/// argument). The source's schema must be the training schema; all of the
+/// cleaner's configuration — threads, shards, variant, fit budget,
+/// constraints — applies exactly as in `BClean::fit` + `clean`.
+pub fn clean_stream<S: ChunkSource + ?Sized>(
+    cleaner: &BClean,
+    source: &mut S,
+    options: &StreamOptions,
+) -> Result<StreamOutcome, StreamError> {
+    let fit_start = Instant::now();
+    let schema = source.schema().clone();
+    let constraints =
+        if cleaner.config().use_constraints { cleaner.constraints().clone() } else { ConstraintSet::new() };
+
+    let mut peak_bytes = 0usize;
+    let mut encode_skipped = false;
+    let mut cache_written = false;
+
+    // Pass 1: obtain the encoding and the per-row confidence vector —
+    // from the cache when it matches the source, from a chunked encode
+    // pass otherwise.
+    let (encoded, confidences) = match load_cache(&schema, options)? {
+        Some(cached) => {
+            encode_skipped = true;
+            let confidences = confidences_from_encoded(
+                &cached,
+                &schema,
+                &constraints,
+                cleaner.config().params.lambda,
+                &options.limits,
+            );
+            peak_bytes = peak_bytes.max(cached.approx_bytes() + 8 * confidences.len());
+            (cached, confidences)
+        }
+        None => {
+            let mut builder = EncodedDatasetBuilder::new(schema.arity());
+            let mut confidences: Vec<f64> = Vec::new();
+            let lambda = cleaner.config().params.lambda;
+            while let Some(chunk) = source.next_chunk()? {
+                for row in chunk.rows() {
+                    confidences.push(constraints.tuple_confidence(&schema, row, lambda));
+                }
+                builder.push_batch(&chunk);
+                peak_bytes = peak_bytes
+                    .max(approx_dataset_bytes(&chunk) + builder.approx_bytes() + 8 * confidences.len());
+            }
+            let encoded = builder.finish();
+            peak_bytes = peak_bytes.max(encoded.approx_bytes() + 8 * confidences.len());
+            if let (Some(path), Some(fingerprint)) = (&options.cache_path, options.fingerprint) {
+                write_cache(path, fingerprint, &schema, &encoded)?;
+                cache_written = true;
+            }
+            (encoded, confidences)
+        }
+    };
+
+    // Fit from the encoding + confidences: the same entry point the
+    // in-RAM one-shot fit reaches after its own encode + confidence sweep.
+    let types: Vec<AttrType> = schema.attributes().iter().map(|a| a.ty).collect();
+    let structure = match cleaner.config().fit_budget.params() {
+        Some(budget) => learn_structure_budgeted(&encoded, &types, cleaner.config().structure, budget),
+        None => learn_structure_encoded(&encoded, &types, cleaner.config().structure),
+    };
+    let names: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
+    let artifact = cleaner.artifact_from_encoded_parts(names, types, &encoded, structure.dag, &confidences);
+    let fit_duration = fit_start.elapsed();
+
+    // Pass 2: compile once, clean decoded chunks, shift repairs to global
+    // row indices, stream cleaned rows out.
+    let model = artifact.compile();
+    let outcome = clean_encoded_chunks(&model, &encoded, &schema, options, peak_bytes)?;
+
+    let mut stats = outcome.stats;
+    stats.fit_duration = fit_duration;
+    Ok(StreamOutcome {
+        artifact: Some(artifact),
+        repairs: outcome.repairs,
+        stats,
+        rows: encoded.num_rows(),
+        chunks: outcome.chunks,
+        peak_bytes: outcome.peak_bytes,
+        encode_skipped,
+        cache_written,
+    })
+}
+
+/// Clean a chunked source against an already-fitted model (the
+/// `bclean clean --stream -m` path): no fitting, one pass, repairs shifted
+/// to global row indices and cleaned rows streamed out chunk by chunk.
+/// Produces exactly the repairs of `model.clean` over the concatenated
+/// dataset, because inference is per-row independent.
+pub fn clean_stream_with_model<S: ChunkSource + ?Sized>(
+    model: &BCleanModel,
+    source: &mut S,
+    options: &StreamOptions,
+) -> Result<StreamOutcome, StreamError> {
+    let schema = source.schema().clone();
+    let mut writer = CleanedCsvWriter::new(options.cleaned_path.as_deref());
+    let mut repairs: Vec<Repair> = Vec::new();
+    let mut stats = CleaningStats::default();
+    let mut rows = 0usize;
+    let mut chunks = 0usize;
+    let mut peak_bytes = 0usize;
+    while let Some(chunk) = source.next_chunk()? {
+        peak_bytes = peak_bytes.max(2 * approx_dataset_bytes(&chunk));
+        let result = model.clean(&chunk);
+        absorb_chunk(&mut repairs, &mut stats, result, rows, &mut writer)?;
+        rows += chunk.num_rows();
+        chunks += 1;
+    }
+    writer.finish(&schema)?;
+    Ok(StreamOutcome {
+        artifact: None,
+        repairs,
+        stats,
+        rows,
+        chunks,
+        peak_bytes,
+        encode_skipped: false,
+        cache_written: false,
+    })
+}
+
+/// The shared cleaning pass: decode the encoding chunk by chunk, clean
+/// each chunk, shift repairs, stream cleaned rows.
+fn clean_encoded_chunks(
+    model: &BCleanModel,
+    encoded: &EncodedDataset,
+    schema: &Schema,
+    options: &StreamOptions,
+    mut peak_bytes: usize,
+) -> Result<ChunksOutcome, StreamError> {
+    let mut writer = CleanedCsvWriter::new(options.cleaned_path.as_deref());
+    let mut repairs: Vec<Repair> = Vec::new();
+    let mut stats = CleaningStats::default();
+    let mut chunks = 0usize;
+    let max_rows = options.limits.max_rows.max(1);
+    let mut start = 0usize;
+    while start < encoded.num_rows() {
+        let end = start.saturating_add(max_rows).min(encoded.num_rows());
+        let mut chunk = Dataset::new(schema.clone());
+        for r in start..end {
+            let row: Vec<Value> =
+                (0..encoded.num_columns()).map(|c| encoded.decode_cell(r, c).clone()).collect();
+            chunk.push_row(row)?;
+        }
+        peak_bytes = peak_bytes.max(encoded.approx_bytes() + 2 * approx_dataset_bytes(&chunk));
+        let result = model.clean(&chunk);
+        absorb_chunk(&mut repairs, &mut stats, result, start, &mut writer)?;
+        chunks += 1;
+        start = end;
+    }
+    writer.finish(schema)?;
+    Ok(ChunksOutcome { repairs, stats, chunks, peak_bytes })
+}
+
+struct ChunksOutcome {
+    repairs: Vec<Repair>,
+    stats: CleaningStats,
+    chunks: usize,
+    peak_bytes: usize,
+}
+
+/// Fold one chunk's cleaning result into the global accumulators: shift
+/// repair rows by the chunk's global offset, merge stats (summing the
+/// inference durations), append the cleaned rows to the output CSV.
+fn absorb_chunk(
+    repairs: &mut Vec<Repair>,
+    stats: &mut CleaningStats,
+    result: crate::report::CleaningResult,
+    offset: usize,
+    writer: &mut CleanedCsvWriter,
+) -> Result<(), StreamError> {
+    repairs.extend(result.repairs.into_iter().map(|mut repair| {
+        repair.at.row += offset;
+        repair
+    }));
+    stats.merge(&result.stats);
+    stats.duration += result.stats.duration;
+    writer.push(&result.cleaned)?;
+    Ok(())
+}
+
+/// Incremental cleaned-CSV writer: buffers the header + rows as chunks
+/// arrive and writes the file once at the end of the pass. The bytes equal
+/// `write_csv_file` of the concatenated cleaned dataset. (Rows are
+/// rendered and the raw chunks dropped immediately; only the rendered text
+/// accumulates, which is the same order of magnitude as the file itself.)
+struct CleanedCsvWriter {
+    path: Option<PathBuf>,
+    text: String,
+    wrote_header: bool,
+}
+
+impl CleanedCsvWriter {
+    fn new(path: Option<&Path>) -> CleanedCsvWriter {
+        CleanedCsvWriter { path: path.map(Path::to_path_buf), text: String::new(), wrote_header: false }
+    }
+
+    fn push(&mut self, cleaned: &Dataset) -> Result<(), StreamError> {
+        if self.path.is_none() {
+            return Ok(());
+        }
+        let rendered = bclean_data::to_csv(cleaned);
+        if self.wrote_header {
+            let body = rendered.split_once('\n').map(|(_, rest)| rest).unwrap_or("");
+            self.text.push_str(body);
+        } else {
+            self.text.push_str(&rendered);
+            self.wrote_header = true;
+        }
+        Ok(())
+    }
+
+    fn finish(self, schema: &Schema) -> Result<(), StreamError> {
+        let Some(path) = self.path else { return Ok(()) };
+        if !self.wrote_header {
+            // Zero chunks: still emit a header-only CSV, like the one-shot
+            // path writing an empty cleaned dataset.
+            write_csv_file(&Dataset::new(schema.clone()), &path)?;
+            return Ok(());
+        }
+        std::fs::write(&path, self.text).map_err(|e| {
+            StreamError::Data(DataError::Csv {
+                line: 0,
+                message: format!("cannot write {}: {e}", path.display()),
+            })
+        })
+    }
+}
+
+/// Try to load a matching encoded-dataset cache. Returns `None` (a miss,
+/// not an error) when no cache is configured, the file does not exist, or
+/// the recorded fingerprint/schema disagree with the current source; typed
+/// errors only for a present-but-corrupt container.
+fn load_cache(schema: &Schema, options: &StreamOptions) -> Result<Option<EncodedDataset>, StreamError> {
+    let (Some(path), Some(fingerprint)) = (&options.cache_path, options.fingerprint) else {
+        return Ok(None);
+    };
+    if !path.exists() {
+        return Ok(None);
+    }
+    let bytes = read_container_file(path)?;
+    let reader = ContainerReader::parse(&bytes)?;
+    let mut schema_section = reader.section(SectionId::Schema)?;
+    let meta = read_schema(&mut schema_section)?;
+    schema_section.finish()?;
+    let mut data_section = reader.section(SectionId::EncodedData)?;
+    let (recorded, encoded) = read_encoded_dataset(&mut data_section)?;
+    data_section.finish()?;
+    if recorded != fingerprint {
+        return Ok(None); // source changed: rebuild
+    }
+    let current = SchemaMeta {
+        names: schema.names().iter().map(|s| s.to_string()).collect(),
+        types: schema.attributes().iter().map(|a| a.ty).collect(),
+    };
+    if meta.hash() != current.hash() {
+        return Ok(None); // same bytes fingerprinted but schema read differently
+    }
+    Ok(Some(encoded))
+}
+
+/// Write the encoded-dataset cache: a v4 container with `Schema` +
+/// `EncodedData` sections, CRC-checksummed like every `.bclean` file.
+fn write_cache(
+    path: &Path,
+    fingerprint: SourceFingerprint,
+    schema: &Schema,
+    encoded: &EncodedDataset,
+) -> Result<(), StreamError> {
+    let mut container = ContainerWriter::new();
+    let meta = SchemaMeta {
+        names: schema.names().iter().map(|s| s.to_string()).collect(),
+        types: schema.attributes().iter().map(|a| a.ty).collect(),
+    };
+    let mut schema_payload = ByteWriter::new();
+    write_schema(&mut schema_payload, &meta);
+    container.section(SectionId::Schema, schema_payload);
+    let mut data_payload = ByteWriter::new();
+    write_encoded_dataset(&mut data_payload, fingerprint, encoded);
+    container.section(SectionId::EncodedData, data_payload);
+    container.write_file(path)?;
+    Ok(())
+}
+
+/// The per-row tuple confidences of a cached encoding, recovered by
+/// decoding bounded row windows. Decoding returns the exact values the
+/// source parsed to, and the confidence sweep is a pure per-row function
+/// evaluated in row order, so the vector equals the one a fresh parse
+/// would produce (with any thread count — the parallel sweep flattens in
+/// row order too).
+fn confidences_from_encoded(
+    encoded: &EncodedDataset,
+    schema: &Schema,
+    constraints: &ConstraintSet,
+    lambda: f64,
+    limits: &ChunkLimits,
+) -> Vec<f64> {
+    let mut confidences = Vec::with_capacity(encoded.num_rows());
+    let window = limits.max_rows.max(1);
+    let mut row_buf: Vec<Value> = Vec::with_capacity(encoded.num_columns());
+    let mut start = 0usize;
+    while start < encoded.num_rows() {
+        let end = start.saturating_add(window).min(encoded.num_rows());
+        for r in start..end {
+            row_buf.clear();
+            row_buf.extend((0..encoded.num_columns()).map(|c| encoded.decode_cell(r, c).clone()));
+            confidences.push(constraints.tuple_confidence(schema, &row_buf, lambda));
+        }
+        start = end;
+    }
+    confidences
+}
+
+/// Rebuild a [`Schema`] from persisted schema metadata (names + types).
+pub fn schema_from_meta(meta: &SchemaMeta) -> Result<Schema, DataError> {
+    Schema::new(
+        meta.names.iter().zip(&meta.types).map(|(name, &ty)| Attribute::new(name.clone(), ty)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::constraints::UserConstraint;
+    use crate::report::repairs_to_csv;
+    use bclean_data::{dataset_from, to_csv, DatasetChunks};
+
+    fn dirty_dataset() -> Dataset {
+        let mut rows: Vec<Vec<&str>> = Vec::new();
+        for _ in 0..6 {
+            rows.push(vec!["sylacauga", "AL", "35150"]);
+            rows.push(vec!["centre", "KT", "35960"]);
+            rows.push(vec!["dothan", "AL", "36301"]);
+        }
+        rows.push(vec!["sylacauga", "KT", "35150"]); // wrong State for ZipCode
+        rows.push(vec!["centre", "AL", "35960"]); // wrong State for ZipCode
+        rows.push(vec!["dothan", "AL", ""]); // missing ZipCode
+        dataset_from(&["City", "State", "ZipCode"], &rows)
+    }
+
+    fn cleaner(threads: usize) -> BClean {
+        let mut ucs = ConstraintSet::new();
+        ucs.add("ZipCode", UserConstraint::pattern("^[1-9][0-9]{4,4}$").unwrap());
+        ucs.add("State", UserConstraint::MaxLength(2));
+        let mut config = Variant::PartitionedInference.config();
+        config.num_threads = threads;
+        BClean::new(config).with_constraints(ucs)
+    }
+
+    #[test]
+    fn stream_matches_one_shot_for_any_chunking_and_threads() {
+        let dataset = dirty_dataset();
+        for threads in [1usize, 2, 8] {
+            let cleaner = cleaner(threads);
+            let expected_artifact = cleaner.fit_artifact(&dataset);
+            let expected = expected_artifact.compile().clean(&dataset);
+            let expected_bytes = expected_artifact.to_bytes().expect("serialize one-shot artifact");
+            for sizes in [vec![1usize], vec![3, 1, 2], vec![usize::MAX]] {
+                let mut source = DatasetChunks::new(dataset.clone(), &sizes);
+                let options = StreamOptions {
+                    limits: ChunkLimits::rows(*sizes.first().unwrap()),
+                    ..StreamOptions::default()
+                };
+                let outcome = clean_stream(&cleaner, &mut source, &options).expect("stream clean");
+                let artifact = outcome.artifact.as_ref().expect("fitted artifact");
+                assert_eq!(
+                    artifact.to_bytes().expect("serialize streamed artifact"),
+                    expected_bytes,
+                    "artifact bytes (threads {threads}, sizes {sizes:?})"
+                );
+                assert_eq!(
+                    repairs_to_csv(&outcome.repairs),
+                    repairs_to_csv(&expected.repairs),
+                    "repairs (threads {threads}, sizes {sizes:?})"
+                );
+                assert_eq!(outcome.rows, dataset.num_rows());
+                assert_eq!(outcome.stats.repairs, expected.stats.repairs);
+                assert_eq!(outcome.stats.cells_examined, expected.stats.cells_examined);
+                assert!(outcome.peak_bytes > 0);
+                assert!(!outcome.encode_skipped);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_cleaned_csv_matches_one_shot_write() {
+        let dataset = dirty_dataset();
+        let cleaner = cleaner(2);
+        let expected = cleaner.fit(&dataset).clean(&dataset);
+        let dir = std::env::temp_dir().join(format!("bclean-stream-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("cleaned.csv");
+        let mut source = DatasetChunks::new(dataset.clone(), &[4]);
+        let options = StreamOptions {
+            limits: ChunkLimits::rows(4),
+            cleaned_path: Some(out.clone()),
+            ..StreamOptions::default()
+        };
+        clean_stream(&cleaner, &mut source, &options).expect("stream clean");
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), to_csv(&expected.cleaned));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn encoded_cache_round_trip_skips_encode_and_preserves_repairs() {
+        let dataset = dirty_dataset();
+        let cleaner = cleaner(1);
+        let dir = std::env::temp_dir().join(format!("bclean-stream-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = dir.join("encoded.bclean");
+        let fingerprint = SourceFingerprint::of(to_csv(&dataset).as_bytes());
+        let options = StreamOptions {
+            limits: ChunkLimits::rows(5),
+            cache_path: Some(cache.clone()),
+            fingerprint: Some(fingerprint),
+            ..StreamOptions::default()
+        };
+
+        let mut source = DatasetChunks::new(dataset.clone(), &[5]);
+        let first = clean_stream(&cleaner, &mut source, &options).expect("first run");
+        assert!(!first.encode_skipped);
+        assert!(first.cache_written);
+        assert!(cache.exists());
+
+        let mut source = DatasetChunks::new(dataset.clone(), &[5]);
+        let second = clean_stream(&cleaner, &mut source, &options).expect("cached run");
+        assert!(second.encode_skipped);
+        assert!(!second.cache_written);
+        assert_eq!(repairs_to_csv(&second.repairs), repairs_to_csv(&first.repairs));
+        assert_eq!(second.artifact.unwrap().to_bytes().unwrap(), first.artifact.unwrap().to_bytes().unwrap());
+
+        // A different source fingerprint must miss and rebuild the cache.
+        let stale =
+            StreamOptions { fingerprint: Some(SourceFingerprint::of(b"different bytes")), ..options.clone() };
+        let mut source = DatasetChunks::new(dataset.clone(), &[5]);
+        let third = clean_stream(&cleaner, &mut source, &stale).expect("stale run");
+        assert!(!third.encode_skipped);
+        assert!(third.cache_written);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn model_path_streaming_matches_one_shot_clean() {
+        let dataset = dirty_dataset();
+        let cleaner = cleaner(2);
+        let model = cleaner.fit(&dataset);
+        let expected = model.clean(&dataset);
+        for sizes in [vec![1usize], vec![7, 2], vec![usize::MAX]] {
+            let mut source = DatasetChunks::new(dataset.clone(), &sizes);
+            let outcome = clean_stream_with_model(&model, &mut source, &StreamOptions::default())
+                .expect("stream clean with model");
+            assert!(outcome.artifact.is_none());
+            assert_eq!(
+                repairs_to_csv(&outcome.repairs),
+                repairs_to_csv(&expected.repairs),
+                "sizes {sizes:?}"
+            );
+            assert_eq!(outcome.rows, dataset.num_rows());
+        }
+    }
+
+    #[test]
+    fn zero_row_source_yields_empty_outcome_and_header_only_csv() {
+        let dataset = dataset_from(&["A", "B"], &[]);
+        let cleaner = cleaner(1);
+        let dir = std::env::temp_dir().join(format!("bclean-stream-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("cleaned.csv");
+        let mut source = DatasetChunks::new(dataset, &[4]);
+        let options = StreamOptions { cleaned_path: Some(out.clone()), ..StreamOptions::default() };
+        let outcome = clean_stream(&cleaner, &mut source, &options).expect("empty stream");
+        assert_eq!(outcome.rows, 0);
+        assert_eq!(outcome.chunks, 0);
+        assert!(outcome.repairs.is_empty());
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), "A,B\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -65,6 +65,10 @@ use crate::value::Value;
 /// The shared null value returned by [`ColumnDict::decode`] for sentinel codes.
 const NULL: Value = Value::Null;
 
+/// Interim code for nulls during the interning pass, rewritten to the real
+/// null code once the distinct values are sorted.
+const NULL_INTERIM: u32 = u32::MAX;
+
 /// A per-attribute dictionary assigning dense `u32` codes to the distinct
 /// non-null values of one column, in sorted order (see the module docs for
 /// the code-order invariant). [`ColumnDict::append_values`] grows the
@@ -315,7 +319,6 @@ impl EncodedDataset {
         // `ColumnDict::from_column` + `encode_with` — same sorted distinct
         // values, same codes — just without per-row clones or n·log n
         // value sorts.
-        const NULL_INTERIM: u32 = u32::MAX;
         let num_rows = dataset.num_rows();
         let m = dataset.num_columns();
         let mut interned: Vec<HashMap<&Value, u32>> = (0..m).map(|_| HashMap::new()).collect();
@@ -518,6 +521,59 @@ impl EncodedDataset {
         self.dicts
     }
 
+    /// Reassemble an encoding from its complete persisted state: the
+    /// per-attribute dictionaries plus every column's code block. This is
+    /// the loading half of the `.bclean` encoded-dataset section — unlike
+    /// [`EncodedDataset::from_dicts`] the historical cell codes *are*
+    /// retained, so the result is fully equivalent to the encoding that was
+    /// saved (decodable, scoreable, appendable).
+    ///
+    /// Errors (as messages, mapped to typed store errors by the caller) when
+    /// the parts are inconsistent: column-count mismatch, a code block whose
+    /// length differs from `num_rows`, or a code outside its dictionary's
+    /// decodable space.
+    pub fn from_parts(
+        dicts: Vec<ColumnDict>,
+        columns: Vec<Vec<u32>>,
+        num_rows: usize,
+    ) -> Result<EncodedDataset, String> {
+        if columns.len() != dicts.len() {
+            return Err(format!("{} code columns for {} dictionaries", columns.len(), dicts.len()));
+        }
+        for (c, (dict, column)) in dicts.iter().zip(&columns).enumerate() {
+            if column.len() != num_rows {
+                return Err(format!("column {c} holds {} codes for {num_rows} rows", column.len()));
+            }
+            let space = dict.code_space() as u32;
+            if let Some(&bad) = column.iter().find(|&&code| code >= space) {
+                return Err(format!("column {c} contains code {bad} outside its code space {space}"));
+            }
+        }
+        Ok(EncodedDataset { dicts, columns, num_rows })
+    }
+
+    /// Approximate in-memory bytes of the encoding: 4 bytes per cell code
+    /// plus the dictionary values (the [`crate::stream::approx_row_bytes`]
+    /// heuristic). Deterministic — used for the bounded-memory accounting of
+    /// the streaming pipeline, not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        const PER_VALUE: usize = 48;
+        let codes = 4 * self.num_rows * self.dicts.len();
+        let dict_bytes: usize = self
+            .dicts
+            .iter()
+            .flat_map(|d| d.values())
+            .map(|v| {
+                PER_VALUE
+                    + match v {
+                        Value::Text(s) => s.len(),
+                        _ => 0,
+                    }
+            })
+            .sum();
+        codes + dict_bytes
+    }
+
     /// A row-subset view of this encoding: the given rows' codes (in the
     /// given order) under **the same dictionaries**. Because the
     /// dictionaries are shared, codes — and therefore cardinalities, sort
@@ -532,6 +588,112 @@ impl EncodedDataset {
         let columns: Vec<Vec<u32>> =
             self.columns.iter().map(|column| rows.iter().map(|&r| column[r]).collect()).collect();
         EncodedDataset { dicts: self.dicts.clone(), columns, num_rows: rows.len() }
+    }
+}
+
+/// An incremental [`EncodedDataset::from_dataset`]: feed row batches with
+/// [`EncodedDatasetBuilder::push_batch`], then [`EncodedDatasetBuilder::finish`]
+/// to obtain the encoding of their concatenation — **bit-identical** to a
+/// one-shot `from_dataset` on the whole dataset, for any batch sizes.
+///
+/// Why that holds: `from_dataset` assigns per-column *interim* codes in
+/// first-appearance order, then sorts only the distinct values and rewrites
+/// the interim codes through the resulting permutation. First-appearance
+/// order over the concatenation is independent of where batch boundaries
+/// fall, so the builder reproduces the interim coding exactly and the final
+/// sort/remap step is shared verbatim. This is what lets the out-of-core
+/// pipeline encode a CSV stream chunk-by-chunk (holding one raw chunk plus
+/// the growing code columns, never the full `Value` dataset) and still meet
+/// the fresh sorted dictionary layout that model artifacts persist.
+#[derive(Debug, Clone)]
+pub struct EncodedDatasetBuilder {
+    /// Per-column first-appearance interim codes (owned: batches are
+    /// dropped after ingestion).
+    interned: Vec<HashMap<Value, u32>>,
+    /// Per-column interim code blocks, rewritten to final codes at `finish`.
+    columns: Vec<Vec<u32>>,
+    num_rows: usize,
+}
+
+impl EncodedDatasetBuilder {
+    /// Start an empty builder over `num_columns` attributes.
+    pub fn new(num_columns: usize) -> EncodedDatasetBuilder {
+        EncodedDatasetBuilder {
+            interned: (0..num_columns).map(|_| HashMap::new()).collect(),
+            columns: (0..num_columns).map(|_| Vec::new()).collect(),
+            num_rows: 0,
+        }
+    }
+
+    /// Ingest the next batch of rows (must have the builder's column count).
+    pub fn push_batch(&mut self, batch: &Dataset) {
+        assert_eq!(
+            batch.num_columns(),
+            self.columns.len(),
+            "pushed batch must have the builder's column count"
+        );
+        for row in batch.rows() {
+            for (c, value) in row.iter().enumerate() {
+                let code = if value.is_null() {
+                    NULL_INTERIM
+                } else {
+                    let next = self.interned[c].len() as u32;
+                    *self.interned[c].entry(value.clone()).or_insert(next)
+                };
+                self.columns[c].push(code);
+            }
+        }
+        self.num_rows += batch.num_rows();
+    }
+
+    /// Rows ingested so far.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Approximate in-memory bytes held by the builder (code columns plus
+    /// interned distinct values) — the streaming pipeline's peak-memory
+    /// accounting for the encode pass.
+    pub fn approx_bytes(&self) -> usize {
+        const PER_VALUE: usize = 48;
+        let codes = 4 * self.num_rows * self.columns.len();
+        let dict_bytes: usize = self
+            .interned
+            .iter()
+            .flat_map(|intern| intern.keys())
+            .map(|v| {
+                PER_VALUE
+                    + match v {
+                        Value::Text(s) => s.len(),
+                        _ => 0,
+                    }
+            })
+            .sum();
+        codes + dict_bytes
+    }
+
+    /// Sort each column's distinct values, rewrite the interim codes, and
+    /// return the final encoding (see the type docs for the equivalence
+    /// guarantee).
+    pub fn finish(self) -> EncodedDataset {
+        let EncodedDatasetBuilder { interned, mut columns, num_rows } = self;
+        let mut dicts = Vec::with_capacity(columns.len());
+        for (c, intern) in interned.into_iter().enumerate() {
+            let mut distinct: Vec<(Value, u32)> = intern.into_iter().collect();
+            distinct.sort_by(|x, y| x.0.cmp(&y.0));
+            let mut remap = vec![0u32; distinct.len()];
+            for (code, &(_, interim)) in distinct.iter().enumerate() {
+                remap[interim as usize] = code as u32;
+            }
+            let null_code = distinct.len() as u32;
+            for code in &mut columns[c] {
+                *code = if *code == NULL_INTERIM { null_code } else { remap[*code as usize] };
+            }
+            let values: Vec<Value> = distinct.into_iter().map(|(v, _)| v).collect();
+            let index = values.iter().enumerate().map(|(i, v)| (v.clone(), i as u32)).collect();
+            dicts.push(ColumnDict { values, index, sorted_codes: None, ranks: None, frozen_null: None });
+        }
+        EncodedDataset { dicts, columns, num_rows }
     }
 }
 
@@ -823,6 +985,81 @@ mod tests {
         }
         assert_eq!(subset.decode_cell(0, 0), encoded.decode_cell(3, 0));
         assert!(encoded.gather(&[]).rows().next().is_none());
+    }
+
+    /// The streaming builder must reproduce `from_dataset` bit-for-bit for
+    /// any batch boundaries — the foundation of the out-of-core encode pass.
+    #[test]
+    fn builder_matches_from_dataset_for_any_batching() {
+        let ds = dataset_from(
+            &["City", "Zip"],
+            &[
+                vec!["sylacauga", "35150"],
+                vec!["centre", "35960"],
+                vec!["", "35150"],
+                vec!["sylacauga", ""],
+                vec!["auburn", "36830"],
+                vec!["centre", "35960"],
+                vec!["zeta", ""],
+            ],
+        );
+        let oneshot = EncodedDataset::from_dataset(&ds);
+        for batch_size in [1, 2, 3, ds.num_rows(), ds.num_rows() + 5] {
+            let mut builder = EncodedDatasetBuilder::new(ds.num_columns());
+            let mut r = 0;
+            while r < ds.num_rows() {
+                let end = (r + batch_size).min(ds.num_rows());
+                let mut batch = Dataset::new(ds.schema().clone());
+                for i in r..end {
+                    batch.push_row(ds.row(i).unwrap().to_vec()).unwrap();
+                }
+                builder.push_batch(&batch);
+                r = end;
+            }
+            assert_eq!(builder.num_rows(), ds.num_rows());
+            assert!(builder.approx_bytes() > 0);
+            let streamed = builder.finish();
+            assert_eq!(streamed.num_rows(), oneshot.num_rows());
+            for c in 0..ds.num_columns() {
+                assert_eq!(streamed.column(c), oneshot.column(c), "batch size {batch_size}, col {c}");
+                assert_eq!(streamed.dict(c).values(), oneshot.dict(c).values());
+                assert!(streamed.dict(c).code_order().is_none(), "builder yields fresh layouts");
+                assert_eq!(streamed.dict(c).null_code(), oneshot.dict(c).null_code());
+            }
+        }
+        // An empty builder finishes to an empty encoding.
+        let empty = EncodedDatasetBuilder::new(2).finish();
+        assert_eq!(empty.num_rows(), 0);
+        assert_eq!(empty.dict(0).cardinality(), 0);
+    }
+
+    /// `from_parts` must round-trip an encoding through its persisted state
+    /// and reject inconsistent parts.
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let ds = sample();
+        let encoded = EncodedDataset::from_dataset(&ds);
+        let dicts = encoded.dicts().to_vec();
+        let columns: Vec<Vec<u32>> = (0..ds.num_columns()).map(|c| encoded.column(c).to_vec()).collect();
+        let rebuilt = EncodedDataset::from_parts(dicts.clone(), columns.clone(), ds.num_rows()).unwrap();
+        for c in 0..ds.num_columns() {
+            assert_eq!(rebuilt.column(c), encoded.column(c));
+            assert_eq!(rebuilt.dict(c).values(), encoded.dict(c).values());
+        }
+        for (r, row) in ds.rows().enumerate() {
+            for (c, value) in row.iter().enumerate() {
+                assert_eq!(rebuilt.decode_cell(r, c), value);
+            }
+        }
+        assert!(rebuilt.approx_bytes() > 0);
+        // Column-count mismatch.
+        assert!(EncodedDataset::from_parts(dicts.clone(), columns[..1].to_vec(), ds.num_rows()).is_err());
+        // Row-count mismatch.
+        assert!(EncodedDataset::from_parts(dicts.clone(), columns.clone(), ds.num_rows() + 1).is_err());
+        // Out-of-range code.
+        let mut bad = columns.clone();
+        bad[0][0] = dicts[0].code_space() as u32;
+        assert!(EncodedDataset::from_parts(dicts, bad, ds.num_rows()).is_err());
     }
 
     /// The counting-sort argsort must reproduce `Dataset::argsort_by_column`

@@ -35,6 +35,7 @@ pub mod encoded;
 pub mod error;
 pub mod schema;
 pub mod shard;
+pub mod stream;
 pub mod value;
 
 pub use cooc::{
@@ -45,8 +46,12 @@ pub use csv::{parse_csv, read_csv_file, to_csv, write_csv_file};
 pub use dataset::{dataset_from, dataset_with_attrs, CellRef, Dataset};
 pub use diff::{diff, error_cells, noise_rate, CellChange};
 pub use domain::{AttributeDomain, Domains};
-pub use encoded::{BatchAppend, ColumnDict, EncodedDataset};
+pub use encoded::{BatchAppend, ColumnDict, EncodedDataset, EncodedDatasetBuilder};
 pub use error::{DataError, DataResult};
 pub use schema::{AttrType, Attribute, Schema};
 pub use shard::shard_ranges;
+pub use stream::{
+    approx_dataset_bytes, approx_row_bytes, ChunkLimits, ChunkSource, CsvChunkReader, CsvFileChunks,
+    DatasetChunks,
+};
 pub use value::{format_number, Value};

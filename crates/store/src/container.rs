@@ -31,16 +31,20 @@ pub const MAGIC: [u8; 8] = *b"BCLNMODL";
 /// Current container format version. Bump on any incompatible change to
 /// the header, the section set, or any section's payload layout — and
 /// regenerate `tests/fixtures/hospital.bclean` (the golden CI gate fails
-/// otherwise, by design).
-pub const FORMAT_VERSION: u32 = 3;
+/// otherwise, by design). See `docs/FORMAT.md` for the full byte-layout
+/// contract and version history.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Oldest format version this reader still understands. Version 1 carried
 /// a β-folded f64 per compensatory pair entry (and no shard/pruning config
 /// fields); version 2 stores raw positive/negative tallies, which merge
 /// exactly across shards and batches; version 3 adds the fit-budget config
 /// fields and the per-column heavy-hitter lists backing bounded
-/// compensatory pair tables.
-pub const MIN_FORMAT_VERSION: u32 = 3;
+/// compensatory pair tables; version 4 adds the optional
+/// [`SectionId::EncodedData`] section persisting a dictionary-encoded
+/// dataset (source fingerprint + dict layouts + per-column code blocks) so
+/// re-cleaning the same file skips the encode pass.
+pub const MIN_FORMAT_VERSION: u32 = 4;
 
 /// Well-known section ids of a model artifact container.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -60,6 +64,9 @@ pub enum SectionId {
     NodeCounts = 6,
     /// Compensatory counters (pair stores, value counts, confidence sum).
     Compensatory = 7,
+    /// A persisted dictionary-encoded dataset: source fingerprint, row
+    /// count, dict layouts and per-column code blocks (format v4+).
+    EncodedData = 8,
 }
 
 impl SectionId {
@@ -73,6 +80,7 @@ impl SectionId {
             SectionId::Structure => "structure",
             SectionId::NodeCounts => "node_counts",
             SectionId::Compensatory => "compensatory",
+            SectionId::EncodedData => "encoded_data",
         }
     }
 
@@ -85,6 +93,7 @@ impl SectionId {
             5 => Some(SectionId::Structure),
             6 => Some(SectionId::NodeCounts),
             7 => Some(SectionId::Compensatory),
+            8 => Some(SectionId::EncodedData),
             _ => None,
         }
     }

@@ -275,6 +275,159 @@ fn candidate_pruning_is_exact_above_cardinality_and_prunes_below() {
     assert_eq!(pruned_sharded.cleaned, pruned.cleaned);
 }
 
+/// The out-of-core pipeline (`bclean_core::stream`): fitting and cleaning
+/// through bounded chunks must reproduce the in-RAM one-shot run
+/// **byte-for-byte** — serialized artifact bytes and the rendered repairs
+/// CSV — for chunkings of one row, uneven chunks and one whole-file chunk,
+/// across 1, 2 and 8 threads.
+#[test]
+fn out_of_core_clean_matches_one_shot_bytes_for_any_chunking_and_threads() {
+    use bclean::core::{clean_stream, repairs_to_csv, StreamOptions};
+    use bclean::data::DatasetChunks;
+
+    let bench = BenchmarkDataset::Hospital.build_sized(ROWS, SEED);
+    let constraints = bclean_constraints(BenchmarkDataset::Hospital);
+    let mut total_repairs = 0usize;
+    for threads in [1usize, 2, 8] {
+        let cleaner = BClean::new(Variant::PartitionedInference.config().with_threads(threads))
+            .with_constraints(constraints.clone());
+        let baseline = cleaner.fit_artifact(&bench.dirty);
+        let baseline_bytes = baseline.to_bytes().expect("artifact serialises");
+        let oneshot = baseline.compile().clean(&bench.dirty);
+        total_repairs += oneshot.repairs.len();
+        for sizes in [vec![1usize], vec![13, 50, 97], vec![usize::MAX]] {
+            let mut source = DatasetChunks::new(bench.dirty.clone(), &sizes);
+            let outcome = clean_stream(&cleaner, &mut source, &StreamOptions::default())
+                .expect("stream clean succeeds");
+            assert_eq!(
+                outcome.artifact.as_ref().unwrap().to_bytes().expect("artifact serialises"),
+                baseline_bytes,
+                "artifact diverged: threads {threads} sizes {sizes:?}"
+            );
+            assert_eq!(
+                repairs_to_csv(&outcome.repairs),
+                repairs_to_csv(&oneshot.repairs),
+                "repairs diverged: threads {threads} sizes {sizes:?}"
+            );
+            assert_eq!(outcome.rows, bench.dirty.num_rows());
+            assert_eq!(outcome.stats.cells_examined, oneshot.stats.cells_examined);
+            assert_eq!(outcome.stats.cells_skipped, oneshot.stats.cells_skipped);
+            assert_eq!(outcome.stats.candidates_evaluated, oneshot.stats.candidates_evaluated);
+        }
+    }
+    assert!(total_repairs > 0, "the fixture must exercise actual repairs");
+}
+
+/// The full file-to-file out-of-core path: a chunked CSV reader feeding
+/// `clean_stream` matches reading the same file whole, and the streamed
+/// cleaned-CSV output is byte-identical to the one-shot `write_csv_file`.
+#[test]
+fn csv_file_chunks_stream_to_one_shot_bytes() {
+    use bclean::core::{clean_stream, repairs_to_csv, StreamOptions};
+    use bclean::data::{read_csv_file, write_csv_file, ChunkLimits, CsvFileChunks};
+
+    let bench = BenchmarkDataset::Hospital.build_sized(ROWS, SEED + 5);
+    let constraints = bclean_constraints(BenchmarkDataset::Hospital);
+    let dir = std::env::temp_dir().join(format!("bclean-ooc-file-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let source_path = dir.join("dirty.csv");
+    write_csv_file(&bench.dirty, &source_path).unwrap();
+
+    // The in-RAM baseline reads the same bytes the stream will.
+    let whole = read_csv_file(&source_path).unwrap();
+    let cleaner =
+        BClean::new(Variant::PartitionedInference.config().with_threads(2)).with_constraints(constraints);
+    let baseline = cleaner.fit_artifact(&whole);
+    let oneshot = baseline.compile().clean(&whole);
+    let cleaned_path = dir.join("cleaned_oneshot.csv");
+    write_csv_file(&oneshot.cleaned, &cleaned_path).unwrap();
+
+    let streamed_path = dir.join("cleaned_streamed.csv");
+    let mut source = CsvFileChunks::open(&source_path, ChunkLimits::rows(37)).unwrap();
+    let options = StreamOptions {
+        limits: ChunkLimits::rows(37),
+        cleaned_path: Some(streamed_path.clone()),
+        ..StreamOptions::default()
+    };
+    let outcome = clean_stream(&cleaner, &mut source, &options).expect("stream clean succeeds");
+
+    assert_eq!(
+        outcome.artifact.as_ref().unwrap().to_bytes().unwrap(),
+        baseline.to_bytes().unwrap(),
+        "artifact bytes diverged between file-chunked and in-RAM fits"
+    );
+    assert_eq!(repairs_to_csv(&outcome.repairs), repairs_to_csv(&oneshot.repairs));
+    assert_eq!(
+        std::fs::read(&streamed_path).unwrap(),
+        std::fs::read(&cleaned_path).unwrap(),
+        "streamed cleaned CSV must be byte-identical to the one-shot write"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Re-cleaning from the persisted encoded-dataset section must skip the
+/// parse + encode passes and still produce byte-identical repairs and
+/// artifact; editing the source invalidates the fingerprint and rebuilds.
+#[test]
+fn persisted_encoded_dataset_reclean_is_byte_identical() {
+    use bclean::core::{clean_stream, repairs_to_csv, StreamOptions};
+    use bclean::data::{write_csv_file, ChunkLimits, CsvFileChunks};
+    use bclean::store::SourceFingerprint;
+
+    let bench = BenchmarkDataset::Hospital.build_sized(120, SEED + 6);
+    let constraints = bclean_constraints(BenchmarkDataset::Hospital);
+    let cleaner =
+        BClean::new(Variant::PartitionedInference.config().with_threads(2)).with_constraints(constraints);
+    let dir = std::env::temp_dir().join(format!("bclean-ooc-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let source_path = dir.join("dirty.csv");
+    write_csv_file(&bench.dirty, &source_path).unwrap();
+    let cache_path = dir.join("encoded.bclean");
+
+    let run = |expect_label: &str| {
+        let options = StreamOptions {
+            limits: ChunkLimits::rows(31),
+            cache_path: Some(cache_path.clone()),
+            fingerprint: Some(SourceFingerprint::of_file(&source_path).unwrap()),
+            ..StreamOptions::default()
+        };
+        let mut source = CsvFileChunks::open(&source_path, ChunkLimits::rows(31)).unwrap();
+        clean_stream(&cleaner, &mut source, &options).unwrap_or_else(|e| panic!("{expect_label}: {e}"))
+    };
+
+    let first = run("first run");
+    assert!(!first.encode_skipped);
+    assert!(first.cache_written);
+
+    let second = run("cached run");
+    assert!(second.encode_skipped, "matching fingerprint must skip the encode pass");
+    assert!(!second.cache_written);
+    assert_eq!(repairs_to_csv(&second.repairs), repairs_to_csv(&first.repairs));
+    assert_eq!(
+        second.artifact.as_ref().unwrap().to_bytes().unwrap(),
+        first.artifact.as_ref().unwrap().to_bytes().unwrap()
+    );
+
+    // Append a row: the fingerprint changes, the stale cache must miss and
+    // be rewritten against the new bytes.
+    let mut extra = String::new();
+    for c in 0..bench.dirty.num_columns() {
+        if c > 0 {
+            extra.push(',');
+        }
+        extra.push_str("extra");
+    }
+    let mut base = std::fs::read_to_string(&source_path).unwrap();
+    base.push_str(&extra);
+    base.push('\n');
+    std::fs::write(&source_path, base).unwrap();
+    let third = run("stale run");
+    assert!(!third.encode_skipped, "edited source must invalidate the cache");
+    assert!(third.cache_written);
+    assert_eq!(third.rows, bench.dirty.num_rows() + 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn benchmark_strategy() -> impl Strategy<Value = (BenchmarkDataset, usize, u64, Vec<usize>)> {
     (
         0usize..BenchmarkDataset::all().len(),
